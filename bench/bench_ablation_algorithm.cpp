@@ -1,0 +1,45 @@
+// Ablation: learning algorithm (paper §VI-D). PPO "provided accurate
+// results with rather short computing times"; SAC "was inefficient ...
+// either taking too much time for computation and consuming too much
+// power, or failing in learning tasks and collecting low rewards".
+// Matched PPO/SAC pairs from the campaign make the comparison direct.
+
+#include <cstdio>
+
+#include "campaign_common.hpp"
+
+int main() {
+  std::printf("=== Ablation: PPO vs SAC (matched configurations) ===\n\n");
+  const auto trials = darl::bench::campaign_trials();
+
+  struct Pair {
+    std::size_t ppo, sac;
+    const char* label;
+  };
+  const Pair pairs[] = {
+      {5, 6, "RLlib RK5 2x4"},
+      {11, 9, "TF-Agents RK3 1x4"},
+      {12, 13, "TF-Agents RK8 1x4"},
+      {16, 17, "Stable Baselines RK8 1x4"},
+  };
+
+  int reward_pass = 0, cost_pass = 0;
+  for (const auto& p : pairs) {
+    std::printf("%s:\n", p.label);
+    const auto& ppo = darl::bench::solution(trials, p.ppo);
+    const auto& sac = darl::bench::solution(trials, p.sac);
+    darl::bench::print_solution_row(ppo);
+    darl::bench::print_solution_row(sac);
+    if (ppo.metrics.at("Reward") > sac.metrics.at("Reward")) ++reward_pass;
+    if (sac.metrics.at("ComputationTime") > ppo.metrics.at("ComputationTime") ||
+        sac.metrics.at("PowerConsumption") > ppo.metrics.at("PowerConsumption")) {
+      ++cost_pass;
+    }
+  }
+  std::printf("\nShape:\n");
+  std::printf("  PPO out-rewards SAC in %d/4 matched pairs: %s\n", reward_pass,
+              reward_pass == 4 ? "PASS" : "MISS");
+  std::printf("  SAC costs more (time or power) in %d/4 matched pairs: %s\n",
+              cost_pass, cost_pass >= 3 ? "PASS" : "MISS");
+  return 0;
+}

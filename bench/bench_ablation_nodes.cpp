@@ -1,0 +1,47 @@
+// Ablation: node count (paper §VI-D, solutions 7 vs 8). Distributing RLlib
+// over two nodes speeds the run up but costs reward — the policy-staleness
+// effect of asynchronous parameter shipping.
+
+#include <cstdio>
+
+#include "campaign_common.hpp"
+
+int main() {
+  std::printf("=== Ablation: 1 vs 2 nodes (RLlib PPO RK8, 4 cores/node) ===\n\n");
+  const auto trials = darl::bench::campaign_trials();
+
+  const auto& one = darl::bench::solution(trials, 7);   // 1 node
+  const auto& two = darl::bench::solution(trials, 8);   // 2 nodes
+  darl::bench::print_solution_row(one);
+  darl::bench::print_solution_row(two);
+
+  std::printf("\nPaper: solution 7 scored -0.52 on one node; solution 8 scored "
+              "-0.73 on two.\n");
+  std::printf("  2 nodes faster: %s (%.1f -> %.1f min)\n",
+              two.metrics.at("ComputationTime") < one.metrics.at("ComputationTime")
+                  ? "PASS"
+                  : "MISS",
+              one.metrics.at("ComputationTime"),
+              two.metrics.at("ComputationTime"));
+  std::printf("  2 nodes lower reward: %s (%.3f -> %.3f)\n",
+              two.metrics.at("Reward") < one.metrics.at("Reward") ? "PASS"
+                                                                  : "MISS",
+              one.metrics.at("Reward"), two.metrics.at("Reward"));
+  std::printf("  2 nodes higher power: %s (%.1f -> %.1f kJ)\n",
+              two.metrics.at("PowerConsumption") >
+                      one.metrics.at("PowerConsumption")
+                  ? "PASS"
+                  : "MISS",
+              one.metrics.at("PowerConsumption"),
+              two.metrics.at("PowerConsumption"));
+
+  // The RK3 pair (solutions 3 and 2) shows the same speed effect.
+  const auto& one3 = darl::bench::solution(trials, 3);
+  const auto& two3 = darl::bench::solution(trials, 2);
+  std::printf("  RK3 pair agrees on speed (sol 3 vs 2): %s\n",
+              two3.metrics.at("ComputationTime") <
+                      one3.metrics.at("ComputationTime")
+                  ? "PASS"
+                  : "MISS");
+  return 0;
+}

@@ -1,0 +1,75 @@
+// Extension experiment (paper §II-A): IMPALA's V-trace correction vs PPO
+// under multi-node parameter staleness.
+//
+// The paper observes that distributing RLlib PPO over two nodes trades
+// reward for speed (solutions 7 vs 8) because asynchronous parameter
+// shipping makes the collected experience off-policy. IMPALA was designed
+// for exactly this regime: its truncated-importance-sampling (V-trace)
+// learner tolerates behaviour/target lag. This bench trains both
+// algorithms on the airdrop simulator at 1 and 2 nodes through the same
+// actor/learner backend and compares the multi-node reward drop.
+
+#include <cstdio>
+
+#include "darl/airdrop/airdrop_env.hpp"
+#include "darl/common/stats.hpp"
+#include "darl/frameworks/backend.hpp"
+
+namespace {
+
+using namespace darl;
+
+double run_once(rl::AlgoKind kind, std::size_t nodes, std::uint64_t seed) {
+  airdrop::AirdropConfig env_cfg;
+  env_cfg.altitude_min = 30.0;
+  env_cfg.altitude_max = 300.0;
+  env_cfg.rk_order = ode::RkOrder::Order3;
+
+  frameworks::TrainRequest req;
+  req.env_factory = airdrop::make_airdrop_factory(env_cfg);
+  req.algo.kind = kind;
+  req.algo.ppo.epochs = 6;
+  req.algo.impala.learning_rate = 1e-3;
+  req.deployment.nodes = nodes;
+  req.deployment.cores_per_node = 4;
+  req.total_timesteps = 12288;
+  req.train_batch_total = kind == rl::AlgoKind::IMPALA ? 512 : 1024;
+  req.eval_episodes = 40;
+  req.seed = seed;
+
+  frameworks::RllibBackend backend;
+  return backend.run(req).reward;
+}
+
+double mean_over_seeds(rl::AlgoKind kind, std::size_t nodes) {
+  RunningStats s;
+  for (std::uint64_t seed : {7ull, 19ull}) s.push(run_once(kind, nodes, seed));
+  return s.mean();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Extension: IMPALA (V-trace) vs PPO under multi-node "
+              "staleness ===\n\n");
+  std::printf("Airdrop simulator, RK3, 4 cores/node, 12288 timesteps, "
+              "2 seeds averaged.\n\n");
+
+  const double ppo1 = mean_over_seeds(rl::AlgoKind::PPO, 1);
+  const double ppo2 = mean_over_seeds(rl::AlgoKind::PPO, 2);
+  const double imp1 = mean_over_seeds(rl::AlgoKind::IMPALA, 1);
+  const double imp2 = mean_over_seeds(rl::AlgoKind::IMPALA, 2);
+
+  std::printf("  PPO    reward: 1 node %7.3f | 2 nodes %7.3f | drop %+.3f\n",
+              ppo1, ppo2, ppo1 - ppo2);
+  std::printf("  IMPALA reward: 1 node %7.3f | 2 nodes %7.3f | drop %+.3f\n",
+              imp1, imp2, imp1 - imp2);
+
+  const double ppo_drop = ppo1 - ppo2;
+  const double imp_drop = imp1 - imp2;
+  std::printf("\nShape: the V-trace learner loses no more reward from "
+              "distribution than PPO: %s (%.3f vs %.3f)\n",
+              imp_drop <= ppo_drop + 0.02 ? "PASS" : "MISS", imp_drop,
+              ppo_drop);
+  return 0;
+}

@@ -1,0 +1,10 @@
+// Reproduces Figure 4: the Pareto front of the Reward vs Computation Time
+// trade-off over the Table-I campaign. The paper's non-dominated set is
+// {2, 5, 11, 16}.
+
+#include "campaign_common.hpp"
+
+int main() {
+  return darl::bench::run_figure_bench("Figure 4", "ComputationTime", "Reward",
+                                       {2, 5, 11, 16});
+}

@@ -1,0 +1,10 @@
+// Reproduces Figure 5: the Pareto front of the Power Consumption vs
+// Computation Time trade-off over the Table-I campaign. The paper's
+// non-dominated set is {2, 5, 11}.
+
+#include "campaign_common.hpp"
+
+int main() {
+  return darl::bench::run_figure_bench("Figure 5", "ComputationTime",
+                                       "PowerConsumption", {2, 5, 11});
+}

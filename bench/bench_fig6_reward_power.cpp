@@ -1,0 +1,10 @@
+// Reproduces Figure 6: the Pareto front of the Reward vs Power Consumption
+// trade-off over the Table-I campaign. The paper's non-dominated set is
+// {11, 14, 16}.
+
+#include "campaign_common.hpp"
+
+int main() {
+  return darl::bench::run_figure_bench("Figure 6", "PowerConsumption", "Reward",
+                                       {11, 14, 16});
+}

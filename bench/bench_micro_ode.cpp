@@ -1,0 +1,61 @@
+// Microbenchmarks: ODE integrator cost per control interval for the three
+// study orders — the per-step compute signature behind the Runge-Kutta
+// column of Table I.
+
+#include <benchmark/benchmark.h>
+
+#include "darl/airdrop/dynamics.hpp"
+#include "darl/ode/integrator.hpp"
+
+namespace {
+
+using namespace darl;
+
+void BM_CanopyInterval(benchmark::State& state) {
+  const auto order = static_cast<ode::RkOrder>(state.range(0));
+  const airdrop::CanopyParams params;
+  const airdrop::WindState wind{1.0, -0.5};
+  const auto rhs = airdrop::make_canopy_rhs(params, wind, 0.7);
+
+  ode::AdaptiveOptions opts;
+  opts.rtol = 1e6;  // single fixed step per interval, as the simulator runs
+  opts.atol = 1e6;
+  opts.h_initial = 1.0;
+  opts.h_max = 1.0;
+  auto integ = ode::make_integrator(order, opts);
+
+  Vec y = airdrop::trim_state(params, 100.0, 50.0, 400.0, 0.3, wind);
+  double t = 0.0;
+  for (auto _ : state) {
+    integ->integrate(rhs, t, t + 1.0, y);
+    t += 1.0;
+    if (y[2] < 10.0) y[2] = 400.0;  // keep the package airborne
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["rhs_evals_per_step"] =
+      static_cast<double>(integ->stats().n_rhs_evals) /
+      static_cast<double>(state.iterations());
+}
+
+void BM_AdaptiveTolerance(benchmark::State& state) {
+  const auto order = static_cast<ode::RkOrder>(state.range(0));
+  const airdrop::CanopyParams params;
+  const auto rhs = airdrop::make_canopy_rhs(params, airdrop::WindState{}, 1.0);
+
+  ode::AdaptiveOptions opts;
+  opts.rtol = 1e-8;
+  opts.atol = 1e-10;
+  auto integ = ode::make_integrator(order, opts);
+  for (auto _ : state) {
+    Vec y = airdrop::trim_state(params, 100.0, 50.0, 400.0, 0.3, airdrop::WindState{});
+    integ->integrate(rhs, 0.0, 30.0, y);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["rhs_evals"] = static_cast<double>(integ->stats().n_rhs_evals) /
+                                static_cast<double>(state.iterations());
+}
+
+}  // namespace
+
+BENCHMARK(BM_CanopyInterval)->Arg(3)->Arg(5)->Arg(8);
+BENCHMARK(BM_AdaptiveTolerance)->Arg(3)->Arg(5)->Arg(8);

@@ -1,0 +1,72 @@
+// Microbenchmarks: decision-analysis kernels — Pareto-front filtering,
+// non-dominated sorting and hypervolume at growing campaign sizes.
+
+#include <benchmark/benchmark.h>
+
+#include "darl/common/rng.hpp"
+#include "darl/core/pareto.hpp"
+
+namespace {
+
+using namespace darl;
+using namespace darl::core;
+
+std::vector<std::vector<double>> random_points(std::size_t n, std::size_t dims,
+                                               std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<double>> pts(n);
+  for (auto& p : pts) {
+    p.resize(dims);
+    for (double& v : p) v = rng.uniform(0.0, 1.0);
+  }
+  return pts;
+}
+
+void BM_ParetoFront(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pts = random_points(n, 3, 11);
+  const std::vector<Sense> senses{Sense::Maximize, Sense::Minimize,
+                                  Sense::Minimize};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pareto_front(pts, senses).data());
+  }
+  state.SetComplexityN(static_cast<std::int64_t>(n));
+}
+
+void BM_NonDominatedSort(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pts = random_points(n, 3, 13);
+  const std::vector<Sense> senses{Sense::Maximize, Sense::Minimize,
+                                  Sense::Minimize};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(non_dominated_sort(pts, senses).data());
+  }
+}
+
+void BM_Hypervolume2d(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto pts = random_points(n, 2, 17);
+  const std::vector<Sense> senses{Sense::Minimize, Sense::Minimize};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hypervolume_2d(pts, senses, {2.0, 2.0}));
+  }
+}
+
+void BM_HypervolumeMonteCarlo3d(benchmark::State& state) {
+  const auto pts = random_points(32, 3, 19);
+  const std::vector<Sense> senses{Sense::Minimize, Sense::Minimize,
+                                  Sense::Minimize};
+  Rng rng(23);
+  const auto samples = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        hypervolume_monte_carlo(pts, senses, {2.0, 2.0, 2.0}, samples, rng));
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_ParetoFront)->Range(16, 4096)->Complexity(benchmark::oNSquared);
+BENCHMARK(BM_NonDominatedSort)->Range(16, 512);
+BENCHMARK(BM_Hypervolume2d)->Range(16, 4096);
+BENCHMARK(BM_HypervolumeMonteCarlo3d)->Arg(1000)->Arg(10000);

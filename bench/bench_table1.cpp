@@ -1,0 +1,94 @@
+// Reproduces Table I: configuration settings and results (Reward,
+// Computation Time, Power Consumption) of the 18-solution experimental
+// campaign, printed in the paper's layout plus shape checks against the
+// anchor observations the paper's prose states.
+
+#include <cstdio>
+
+#include "campaign_common.hpp"
+#include "darl/core/report.hpp"
+
+namespace {
+
+using darl::bench::campaign_def;
+using darl::bench::campaign_trials;
+using darl::bench::solution;
+
+void shape_check(const char* label, bool ok) {
+  std::printf("  [%s] %s\n", ok ? "PASS" : "MISS", label);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Table I: configuration settings and results ===\n\n");
+  const auto trials = campaign_trials();
+  const auto def = campaign_def();
+
+  std::printf("%s\n", darl::core::render_trial_table(
+                          def, trials,
+                          {darl::core::kParamRkOrder, darl::core::kParamFramework,
+                           darl::core::kParamAlgorithm, darl::core::kParamNodes,
+                           darl::core::kParamCores})
+                          .c_str());
+
+  // Shape checks: the relations the paper's §VI states about its rows.
+  std::printf("Shape checks against the paper's prose:\n");
+  auto reward = [&](std::size_t id) {
+    return solution(trials, id).metrics.at("Reward");
+  };
+  auto time_min = [&](std::size_t id) {
+    return solution(trials, id).metrics.at("ComputationTime");
+  };
+  auto power = [&](std::size_t id) {
+    return solution(trials, id).metrics.at("PowerConsumption");
+  };
+
+  // Fastest solution overall is #2 (RLlib PPO RK3 2x4).
+  std::size_t fastest = 1;
+  for (const auto& t : trials) {
+    if (t.metrics.at("ComputationTime") < time_min(fastest)) fastest = t.id + 1;
+  }
+  shape_check("solution 2 is the fastest", fastest == 2);
+  // #11 (TF-Agents 1x4 RK3) draws the least power.
+  std::size_t frugal = 1;
+  for (const auto& t : trials) {
+    if (t.metrics.at("PowerConsumption") < power(frugal)) frugal = t.id + 1;
+  }
+  shape_check("solution 11 draws the least power", frugal == 11);
+  // Stable Baselines provides the best reward (#16 or #14).
+  std::size_t best = 1;
+  for (const auto& t : trials) {
+    if (t.metrics.at("Reward") > reward(best)) best = t.id + 1;
+  }
+  shape_check("a Stable Baselines PPO solution has the best reward",
+              solution(trials, best).config.get_categorical(
+                  darl::core::kParamFramework) == "StableBaselines");
+  // RK-order time monotonicity at fixed deployment (RLlib 1x4: #3, #4, #7).
+  shape_check("time grows with RK order (solutions 3 < 4 < 7)",
+              time_min(3) < time_min(4) && time_min(4) < time_min(7));
+  // Two nodes are faster but score lower (solutions 7 vs 8).
+  shape_check("2 nodes faster than 1 (solution 8 vs 7)",
+              time_min(8) < time_min(7));
+  shape_check("2-node reward below 1-node (solution 8 vs 7)",
+              reward(8) < reward(7));
+  // SAC is dominated (paper: it was slow, power-hungry, or failed to
+  // learn; no SAC solution reaches any Pareto front).
+  double ppo_sum = 0.0, sac_sum = 0.0;
+  std::size_t ppo_n = 0, sac_n = 0;
+  for (const auto& t : trials) {
+    const bool sac = t.config.get_categorical(darl::core::kParamAlgorithm) ==
+                     "SAC";
+    (sac ? sac_sum : ppo_sum) += t.metrics.at("Reward");
+    ++(sac ? sac_n : ppo_n);
+  }
+  shape_check("mean SAC reward at least 0.1 below mean PPO reward",
+              sac_sum / static_cast<double>(sac_n) <
+                  ppo_sum / static_cast<double>(ppo_n) - 0.1);
+
+  std::printf(
+      "\nNote: absolute numbers come from the simulated-cluster calibration "
+      "(see DESIGN.md);\nonly the shape above is claimed. Paper-vs-measured "
+      "details: EXPERIMENTS.md.\n");
+  return 0;
+}

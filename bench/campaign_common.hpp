@@ -1,0 +1,99 @@
+// bench/campaign_common.hpp
+//
+// Shared setup for the table/figure/ablation benches. Every campaign bench
+// uses the same scaled-down Table-I campaign and the same CSV cache file:
+// whichever bench runs first pays the training cost; the rest load the
+// cache. Delete the cache file to force a re-run.
+
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "darl/core/airdrop_study.hpp"
+
+namespace darl::bench {
+
+inline const char* kCachePath = "darl_table1_cache.csv";
+inline constexpr std::uint64_t kCampaignSeed = 42;
+
+/// Campaign scaling shared by all benches (documented in EXPERIMENTS.md).
+inline core::AirdropStudyOptions campaign_options() {
+  core::AirdropStudyOptions opts;
+  opts.total_timesteps = 16384;
+  opts.eval_episodes = 50;
+  opts.train_batch_total = 1024;
+  opts.steps_per_env = 256;
+  return opts;
+}
+
+/// Run or load the 18-configuration campaign.
+inline std::vector<core::TrialRecord> campaign_trials() {
+  std::printf(
+      "Campaign: 18 configurations x %zu timesteps "
+      "(paper scale: 200000; reported minutes/kJ rescaled accordingly).\n"
+      "Cache: %s (first bench to run trains; later benches load).\n\n",
+      campaign_options().total_timesteps, kCachePath);
+  return core::run_table1_campaign(campaign_options(), kCachePath,
+                                   kCampaignSeed);
+}
+
+/// Case-study definition matching the campaign (for rendering).
+inline core::CaseStudyDef campaign_def() {
+  return core::make_airdrop_case_study(campaign_options());
+}
+
+/// Look up a trial by its 1-based paper solution id.
+inline const core::TrialRecord& solution(
+    const std::vector<core::TrialRecord>& trials, std::size_t one_based_id) {
+  for (const auto& t : trials) {
+    if (t.id + 1 == one_based_id) return t;
+  }
+  throw Error("campaign has no solution #" + std::to_string(one_based_id));
+}
+
+/// Print one metric row for a solution.
+inline void print_solution_row(const core::TrialRecord& t) {
+  std::printf(
+      "  #%-2zu %-42s Reward %7.3f | Time %6.1f min | Power %6.1f kJ\n",
+      t.id + 1, t.config.describe().c_str(), t.metrics.at("Reward"),
+      t.metrics.at("ComputationTime"), t.metrics.at("PowerConsumption"));
+}
+
+/// Shared implementation of the three Pareto-front figure benches: render
+/// the plot over one metric pair, list the computed non-dominated set and
+/// compare it against the paper's front.
+inline int run_figure_bench(const char* figure_name, const std::string& metric_x,
+                            const std::string& metric_y,
+                            const std::vector<std::size_t>& paper_front_1based) {
+  std::printf("=== %s: %s vs %s trade-off ===\n\n", figure_name,
+              metric_y.c_str(), metric_x.c_str());
+  const auto trials = campaign_trials();
+  const auto def = campaign_def();
+
+  std::vector<std::size_t> front_ids;
+  const std::string plot = core::render_pareto_plot(
+      def, trials, metric_x, metric_y, figure_name, &front_ids);
+  std::printf("%s\n", plot.c_str());
+
+  std::printf("Non-dominated solutions (measured): ");
+  for (std::size_t id : front_ids) std::printf("%zu ", id + 1);
+  std::printf("\nNon-dominated solutions (paper):    ");
+  for (std::size_t id : paper_front_1based) std::printf("%zu ", id);
+  std::printf("\n\nFront members, measured metrics:\n");
+  for (std::size_t id : front_ids) print_solution_row(solution(trials, id + 1));
+
+  std::size_t overlap = 0;
+  for (std::size_t id : front_ids) {
+    for (std::size_t paper_id : paper_front_1based) {
+      if (id + 1 == paper_id) ++overlap;
+    }
+  }
+  std::printf("\nOverlap with the paper's front: %zu/%zu\n", overlap,
+              paper_front_1based.size());
+  return 0;
+}
+
+}  // namespace darl::bench

@@ -1,0 +1,91 @@
+// darl/airdrop/dynamics.hpp
+//
+// Flight-dynamics model of a steerable parachute canopy carrying a cargo
+// package (the paper's Airdrop Package Delivery Simulator, §IV). The model
+// is a guided-parafoil point-mass with first-order velocity relaxation
+// toward the canopy trim state and a rate-limited heading channel driven by
+// the steering command — rich enough that the Runge-Kutta order visibly
+// trades integration accuracy against compute cost, which is the
+// environment parameter the paper studies.
+
+#pragma once
+
+#include "darl/linalg/vec.hpp"
+#include "darl/ode/types.hpp"
+
+namespace darl::airdrop {
+
+/// Continuous state of the canopy/package system, packed for integration as
+/// [x, y, z, vx, vy, vz, psi, psi_dot]:
+///   x, y     horizontal position (units; the target is the origin)
+///   z        altitude above ground (units)
+///   vx,vy,vz inertial velocity (units/s)
+///   psi      heading (radians)
+///   psi_dot  turn rate (radians/s)
+constexpr std::size_t kStateDim = 8;
+
+/// Physical parameters of the canopy (defaults give a glide ratio of 2.2
+/// and ~19 s for a full-rate 360-degree turn). The response time constants
+/// are fast relative to the 1 s control interval, which is what makes the
+/// integration order a real fidelity knob: a single 3rd-order step per
+/// interval shows visible truncation error, the 5th/8th-order methods do
+/// not (calibrated in EXPERIMENTS.md).
+struct CanopyParams {
+  double trim_airspeed = 9.0;   ///< forward airspeed at trim (units/s)
+  double sink_rate = 4.0;       ///< descent rate at trim (units/s)
+  double tau_velocity = 0.9;    ///< velocity relaxation time constant (s)
+  double tau_heading = 0.5;     ///< turn-rate response time constant (s)
+  double max_turn_rate = 0.33;  ///< commanded turn-rate limit (rad/s)
+  /// Turning couples into the longitudinal channel: forward speed drops and
+  /// sink grows with bank (fractions of trim at full turn rate).
+  double turn_speed_loss = 0.35;
+  double turn_sink_gain = 0.30;
+};
+
+/// Instantaneous wind (constant-plus-gust) sampled by the environment and
+/// held fixed during one control interval.
+struct WindState {
+  double wx = 0.0;  ///< wind x-component (units/s)
+  double wy = 0.0;  ///< wind y-component (units/s)
+};
+
+/// Altitude-dependent wind: the standard power-law boundary-layer profile
+/// W(z) = W_ref * (z / ref_altitude)^shear_exponent (clamped below
+/// ref_altitude/100 to avoid the singularity at the ground). A
+/// shear_exponent of 0 reduces to the uniform WindState model.
+struct WindProfile {
+  WindState reference;           ///< wind at ref_altitude
+  double ref_altitude = 100.0;   ///< measurement height (units)
+  double shear_exponent = 0.0;   ///< 0 = uniform; ~0.14 open terrain
+
+  /// Wind at altitude z.
+  WindState at(double z) const;
+};
+
+/// Right-hand side of the canopy ODE for a fixed steering command
+/// `u` in [-1, 1] (-1 = full left, +1 = full right) and wind held constant
+/// over the interval. Writes dydt (size kStateDim).
+void canopy_rhs(const CanopyParams& params, const WindState& wind, double u,
+                double t, const Vec& state, Vec& dydt);
+
+/// Right-hand side with an altitude-dependent wind profile.
+void canopy_rhs_sheared(const CanopyParams& params, const WindProfile& wind,
+                        double u, double t, const Vec& state, Vec& dydt);
+
+/// Build an ode::Rhs closure binding parameters, wind and command.
+ode::Rhs make_canopy_rhs(const CanopyParams& params, const WindState& wind,
+                         double u);
+
+/// Build an ode::Rhs with altitude-dependent wind.
+ode::Rhs make_canopy_rhs(const CanopyParams& params, const WindProfile& wind,
+                         double u);
+
+/// Trim-state initial velocity for a given heading (used when dropping the
+/// package: the canopy is assumed to have opened and settled on trim).
+Vec trim_state(const CanopyParams& params, double x, double y, double z,
+               double heading, const WindState& wind);
+
+/// Glide ratio (horizontal distance per unit altitude) at trim, no wind.
+double glide_ratio(const CanopyParams& params);
+
+}  // namespace darl::airdrop

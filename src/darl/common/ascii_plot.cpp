@@ -1,0 +1,133 @@
+#include "darl/common/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "darl/common/error.hpp"
+
+namespace darl {
+namespace {
+
+std::string format_tick(double v) {
+  char buf[32];
+  if (std::abs(v) >= 1000.0 || (std::abs(v) < 0.01 && v != 0.0)) {
+    std::snprintf(buf, sizeof(buf), "%.3g", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2f", v);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string render_scatter(const std::vector<PlotPoint>& points,
+                           const PlotOptions& options) {
+  DARL_CHECK(options.width >= 16 && options.height >= 8,
+             "plot area too small: " << options.width << "x" << options.height);
+
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin, ymin = xmin, ymax = -xmin;
+  for (const auto& p : points) {
+    xmin = std::min(xmin, p.x);
+    xmax = std::max(xmax, p.x);
+    ymin = std::min(ymin, p.y);
+    ymax = std::max(ymax, p.y);
+  }
+  if (points.empty()) {
+    xmin = ymin = 0.0;
+    xmax = ymax = 1.0;
+  }
+  // Expand degenerate and tight ranges by a 5% margin so markers do not sit
+  // on the frame.
+  auto expand = [](double& lo, double& hi) {
+    double span = hi - lo;
+    if (span <= 0.0) span = (std::abs(hi) > 1e-12) ? std::abs(hi) : 1.0;
+    lo -= 0.05 * span;
+    hi += 0.05 * span;
+  };
+  expand(xmin, xmax);
+  expand(ymin, ymax);
+
+  const int W = options.width;
+  const int H = options.height;
+  std::vector<std::string> grid(static_cast<std::size_t>(H),
+                                std::string(static_cast<std::size_t>(W), ' '));
+  // Track which cells hold a highlight so plain points never overwrite them.
+  std::vector<std::vector<bool>> is_highlight(
+      static_cast<std::size_t>(H), std::vector<bool>(static_cast<std::size_t>(W), false));
+
+  auto to_col = [&](double x) {
+    int c = static_cast<int>(std::lround((x - xmin) / (xmax - xmin) * (W - 1)));
+    return std::clamp(c, 0, W - 1);
+  };
+  auto to_row = [&](double y) {
+    int r = static_cast<int>(std::lround((y - ymin) / (ymax - ymin) * (H - 1)));
+    return std::clamp(H - 1 - r, 0, H - 1);  // row 0 is the top
+  };
+
+  // Draw plain points first, then highlights, then labels.
+  for (const auto& p : points) {
+    if (p.highlight) continue;
+    const auto r = static_cast<std::size_t>(to_row(p.y));
+    const auto c = static_cast<std::size_t>(to_col(p.x));
+    grid[r][c] = '*';
+  }
+  for (const auto& p : points) {
+    if (!p.highlight) continue;
+    const auto r = static_cast<std::size_t>(to_row(p.y));
+    const auto c = static_cast<std::size_t>(to_col(p.x));
+    grid[r][c] = '#';
+    is_highlight[r][c] = true;
+  }
+  for (const auto& p : points) {
+    if (p.label.empty()) continue;
+    const auto r = static_cast<std::size_t>(to_row(p.y));
+    int c = to_col(p.x) + 1;
+    for (char ch : p.label) {
+      if (c >= W) break;
+      const auto uc = static_cast<std::size_t>(c);
+      if (grid[r][uc] == ' ') grid[r][uc] = ch;
+      ++c;
+    }
+  }
+
+  std::ostringstream out;
+  if (!options.title.empty()) out << "  " << options.title << '\n';
+  if (!options.y_label.empty()) out << "  " << options.y_label << '\n';
+
+  const std::string ytop = format_tick(ymax);
+  const std::string ybot = format_tick(ymin);
+  const std::size_t gutter = std::max(ytop.size(), ybot.size()) + 1;
+
+  for (int r = 0; r < H; ++r) {
+    std::string margin(gutter, ' ');
+    if (r == 0) margin = ytop + std::string(gutter - ytop.size(), ' ');
+    if (r == H - 1) margin = ybot + std::string(gutter - ybot.size(), ' ');
+    out << margin << '|' << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  out << std::string(gutter, ' ') << '+' << std::string(static_cast<std::size_t>(W), '-')
+      << '\n';
+  const std::string xlo = format_tick(xmin);
+  const std::string xhi = format_tick(xmax);
+  std::string axis_line(gutter + 1, ' ');
+  axis_line += xlo;
+  const std::size_t total = gutter + 1 + static_cast<std::size_t>(W);
+  if (axis_line.size() + xhi.size() < total) {
+    axis_line += std::string(total - axis_line.size() - xhi.size(), ' ');
+    axis_line += xhi;
+  }
+  out << axis_line << '\n';
+  if (!options.x_label.empty()) {
+    const std::size_t pad = total > options.x_label.size()
+                                ? (total - options.x_label.size()) / 2
+                                : 0;
+    out << std::string(pad, ' ') << options.x_label << '\n';
+  }
+  out << "  legend: # = Pareto-optimal   * = dominated\n";
+  return out.str();
+}
+
+}  // namespace darl

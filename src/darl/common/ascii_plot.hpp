@@ -1,0 +1,41 @@
+// darl/common/ascii_plot.hpp
+//
+// Terminal scatter-plot rendering. The ranking stage of the methodology
+// presents Pareto fronts as graphs; in a terminal harness we render them as
+// ASCII scatter plots with labelled points and highlighted non-dominated
+// solutions, matching the role of Figures 4-6 in the paper.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace darl {
+
+/// One point in a scatter plot.
+struct PlotPoint {
+  double x = 0.0;
+  double y = 0.0;
+  /// Short label printed next to the marker (typically the configuration id).
+  std::string label;
+  /// Highlighted points are drawn with '#' and listed in the legend
+  /// (used for Pareto-optimal solutions).
+  bool highlight = false;
+};
+
+/// Options controlling scatter-plot rendering.
+struct PlotOptions {
+  int width = 72;    ///< plot-area columns (>= 16)
+  int height = 22;   ///< plot-area rows (>= 8)
+  std::string title;
+  std::string x_label;
+  std::string y_label;
+};
+
+/// Render a scatter plot to a multi-line string. Points outside the data
+/// bounding box never occur (the box is computed from the data, with a small
+/// margin). Highlighted points win grid-cell collisions.
+std::string render_scatter(const std::vector<PlotPoint>& points,
+                           const PlotOptions& options);
+
+}  // namespace darl

@@ -1,0 +1,71 @@
+#include "darl/common/csv.hpp"
+
+#include <iomanip>
+
+#include "darl/common/error.hpp"
+
+namespace darl {
+
+std::string csv_escape(const std::string& value) {
+  const bool needs_quotes =
+      value.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return value;
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(std::ostream& out) : out_(out) {}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  DARL_CHECK(!wrote_header_ && rows_ == 0 && !in_row_,
+             "header() must be the first write");
+  DARL_CHECK(!columns.empty(), "empty CSV header");
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(columns[i]);
+  }
+  out_ << '\n';
+  header_cols_ = columns.size();
+  wrote_header_ = true;
+}
+
+void CsvWriter::begin_row() {
+  DARL_CHECK(!in_row_, "begin_row() while a row is open");
+  in_row_ = true;
+  row_cols_ = 0;
+}
+
+void CsvWriter::raw_field(const std::string& escaped) {
+  DARL_CHECK(in_row_, "field written outside begin_row()/end_row()");
+  if (row_cols_) out_ << ',';
+  out_ << escaped;
+  ++row_cols_;
+}
+
+void CsvWriter::field(const std::string& value) { raw_field(csv_escape(value)); }
+
+void CsvWriter::number(double value, int precision) {
+  std::ostringstream oss;
+  oss << std::setprecision(precision) << value;
+  raw_field(oss.str());
+}
+
+void CsvWriter::integer(long long value) { raw_field(std::to_string(value)); }
+
+void CsvWriter::end_row() {
+  DARL_CHECK(in_row_, "end_row() without begin_row()");
+  if (wrote_header_) {
+    DARL_CHECK(row_cols_ == header_cols_,
+               "row has " << row_cols_ << " fields, header has " << header_cols_);
+  }
+  out_ << '\n';
+  in_row_ = false;
+  ++rows_;
+}
+
+}  // namespace darl

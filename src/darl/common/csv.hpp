@@ -1,0 +1,57 @@
+// darl/common/csv.hpp
+//
+// Minimal RFC-4180-style CSV emission. Study results are exported as CSV so
+// downstream users can post-process campaigns with their own tooling.
+
+#pragma once
+
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace darl {
+
+/// Writes one CSV document to a stream. Fields containing commas, quotes or
+/// newlines are quoted; embedded quotes are doubled.
+class CsvWriter {
+ public:
+  /// The writer does not own `out`; it must outlive the writer.
+  explicit CsvWriter(std::ostream& out);
+
+  /// Emit a header row. Must be called before any data row, at most once.
+  void header(const std::vector<std::string>& columns);
+
+  /// Begin a new row; fields are appended with field()/number().
+  void begin_row();
+
+  /// Append a string field to the current row.
+  void field(const std::string& value);
+
+  /// Append a numeric field with up to `precision` significant digits.
+  void number(double value, int precision = 10);
+
+  /// Append an integer field.
+  void integer(long long value);
+
+  /// Finish the current row (writes the line).
+  void end_row();
+
+  /// Number of data rows written so far.
+  std::size_t rows() const { return rows_; }
+
+ private:
+  void raw_field(const std::string& escaped);
+
+  std::ostream& out_;
+  std::size_t rows_ = 0;
+  std::size_t header_cols_ = 0;
+  std::size_t row_cols_ = 0;
+  bool in_row_ = false;
+  bool wrote_header_ = false;
+};
+
+/// Escape a single CSV field per RFC 4180.
+std::string csv_escape(const std::string& value);
+
+}  // namespace darl

@@ -1,0 +1,74 @@
+// darl/common/error.hpp
+//
+// Error handling primitives shared by every darl module.
+//
+// darl follows a "throw on contract violation" policy: library entry points
+// validate their inputs with DARL_CHECK and throw darl::Error on failure.
+// Internal invariants use DARL_ASSERT, which compiles to the same check but
+// documents that a failure is a library bug rather than a user error.
+
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace darl {
+
+/// Base exception type for every error raised by the darl libraries.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what_arg) : std::runtime_error(what_arg) {}
+};
+
+/// Raised when a user-supplied argument violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what_arg) : Error(what_arg) {}
+};
+
+/// Raised when an operation is attempted on an object in the wrong state
+/// (e.g. stepping an environment that has not been reset).
+class InvalidState : public Error {
+ public:
+  explicit InvalidState(const std::string& what_arg) : Error(what_arg) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_check_failure(const char* kind, const char* expr,
+                                             const char* file, int line,
+                                             const std::string& msg) {
+  std::ostringstream oss;
+  oss << kind << " failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) oss << " — " << msg;
+  if (std::string(kind) == "DARL_CHECK") throw InvalidArgument(oss.str());
+  throw Error(oss.str());
+}
+
+}  // namespace detail
+}  // namespace darl
+
+/// Validate a user-facing precondition; throws darl::InvalidArgument with
+/// location info when `cond` is false. `msg` is streamed, so
+/// `DARL_CHECK(n > 0, "n was " << n)` works.
+#define DARL_CHECK(cond, msg)                                                \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream darl_check_oss_;                                    \
+      darl_check_oss_ << msg;                                                \
+      ::darl::detail::throw_check_failure("DARL_CHECK", #cond, __FILE__,     \
+                                          __LINE__, darl_check_oss_.str()); \
+    }                                                                        \
+  } while (false)
+
+/// Validate an internal invariant; a failure indicates a darl bug.
+#define DARL_ASSERT(cond, msg)                                               \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::ostringstream darl_check_oss_;                                    \
+      darl_check_oss_ << msg;                                                \
+      ::darl::detail::throw_check_failure("DARL_ASSERT", #cond, __FILE__,    \
+                                          __LINE__, darl_check_oss_.str()); \
+    }                                                                        \
+  } while (false)

@@ -1,0 +1,171 @@
+#include "darl/common/jsonl.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "darl/common/error.hpp"
+
+namespace darl {
+
+Json Json::boolean(bool b) {
+  Json j;
+  j.value_ = b;
+  return j;
+}
+
+Json Json::number(double v) {
+  Json j;
+  j.value_ = v;
+  return j;
+}
+
+Json Json::integer(std::int64_t v) {
+  Json j;
+  j.value_ = static_cast<double>(v);
+  return j;
+}
+
+Json Json::string(std::string s) {
+  Json j;
+  j.value_ = std::move(s);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.value_ = Array{};
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.value_ = Object{};
+  return j;
+}
+
+void Json::push_back(Json v) {
+  auto* arr = std::get_if<Array>(&value_);
+  DARL_CHECK(arr != nullptr, "push_back on non-array Json node");
+  arr->push_back(std::move(v));
+}
+
+void Json::set(const std::string& key, Json v) {
+  auto* obj = std::get_if<Object>(&value_);
+  DARL_CHECK(obj != nullptr, "set on non-object Json node");
+  (*obj)[key] = std::move(v);
+}
+
+bool Json::is_null() const { return std::holds_alternative<std::nullptr_t>(value_); }
+bool Json::is_bool() const { return std::holds_alternative<bool>(value_); }
+bool Json::is_number() const { return std::holds_alternative<double>(value_); }
+bool Json::is_string() const { return std::holds_alternative<std::string>(value_); }
+bool Json::is_array() const { return std::holds_alternative<Array>(value_); }
+bool Json::is_object() const { return std::holds_alternative<Object>(value_); }
+
+bool Json::as_bool() const {
+  DARL_CHECK(is_bool(), "Json node is not a bool");
+  return std::get<bool>(value_);
+}
+
+double Json::as_number() const {
+  DARL_CHECK(is_number(), "Json node is not a number");
+  return std::get<double>(value_);
+}
+
+const std::string& Json::as_string() const {
+  DARL_CHECK(is_string(), "Json node is not a string");
+  return std::get<std::string>(value_);
+}
+
+const std::vector<Json>& Json::as_array() const {
+  DARL_CHECK(is_array(), "Json node is not an array");
+  return std::get<Array>(value_);
+}
+
+const std::map<std::string, Json>& Json::as_object() const {
+  DARL_CHECK(is_object(), "Json node is not an object");
+  return std::get<Object>(value_);
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+void Json::dump_to(std::string& out) const {
+  if (is_null()) {
+    out += "null";
+  } else if (is_bool()) {
+    out += std::get<bool>(value_) ? "true" : "false";
+  } else if (is_number()) {
+    const double v = std::get<double>(value_);
+    if (!std::isfinite(v)) {
+      out += "null";
+    } else if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+               std::abs(v) < 1e15) {
+      out += std::to_string(static_cast<std::int64_t>(v));
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.12g", v);
+      out += buf;
+    }
+  } else if (is_string()) {
+    out += '"';
+    out += json_escape(std::get<std::string>(value_));
+    out += '"';
+  } else if (is_array()) {
+    out += '[';
+    const auto& arr = std::get<Array>(value_);
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      if (i) out += ',';
+      arr[i].dump_to(out);
+    }
+    out += ']';
+  } else {
+    out += '{';
+    const auto& obj = std::get<Object>(value_);
+    bool first = true;
+    for (const auto& [k, v] : obj) {
+      if (!first) out += ',';
+      first = false;
+      out += '"';
+      out += json_escape(k);
+      out += "\":";
+      v.dump_to(out);
+    }
+    out += '}';
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
+}
+
+void JsonlWriter::write(const Json& record) {
+  out_ << record.dump() << '\n';
+  ++records_;
+}
+
+}  // namespace darl

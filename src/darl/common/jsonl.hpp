@@ -1,0 +1,85 @@
+// darl/common/jsonl.hpp
+//
+// Minimal JSON value model + JSON-lines writer. Used to persist per-trial
+// diagnostics from a study so external tools (or a later session) can replay
+// the decision analysis without re-running the training campaign.
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace darl {
+
+/// A small owning JSON document node (null / bool / number / string /
+/// array / object). Construction is via the static factories; rendering via
+/// dump(). Numbers are always doubles, matching JSON semantics.
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+
+  static Json null() { return Json(); }
+  static Json boolean(bool b);
+  static Json number(double v);
+  static Json integer(std::int64_t v);
+  static Json string(std::string s);
+  static Json array();
+  static Json object();
+
+  /// Append to an array node. Throws unless this node is an array.
+  void push_back(Json v);
+
+  /// Set a key on an object node. Throws unless this node is an object.
+  void set(const std::string& key, Json v);
+
+  /// True if the node is of the given kind.
+  bool is_null() const;
+  bool is_bool() const;
+  bool is_number() const;
+  bool is_string() const;
+  bool is_array() const;
+  bool is_object() const;
+
+  /// Accessors; throw darl::Error on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<Json>& as_array() const;
+  const std::map<std::string, Json>& as_object() const;
+
+  /// Render compact JSON (no whitespace). Strings are escaped; non-finite
+  /// numbers render as null per JSON rules.
+  std::string dump() const;
+
+ private:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> value_;
+
+  void dump_to(std::string& out) const;
+};
+
+/// Escape a string for embedding in a JSON document (without quotes).
+std::string json_escape(const std::string& s);
+
+/// Appends one JSON object per line to a stream (JSON-lines format).
+class JsonlWriter {
+ public:
+  explicit JsonlWriter(std::ostream& out) : out_(out) {}
+
+  /// Write one record (any Json node) followed by a newline.
+  void write(const Json& record);
+
+  std::size_t records() const { return records_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t records_ = 0;
+};
+
+}  // namespace darl

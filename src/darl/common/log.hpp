@@ -1,0 +1,50 @@
+// darl/common/log.hpp
+//
+// Leveled, thread-safe logging to stderr. Study runs log trial lifecycle
+// events; tests set the level to Off to keep output clean.
+
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace darl {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Set the global log threshold (messages below it are dropped).
+void set_log_level(LogLevel level);
+
+/// Current global log threshold.
+LogLevel log_level();
+
+/// Emit one log line (thread-safe; a single OS write per line).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, oss_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    oss_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream oss_;
+};
+
+}  // namespace detail
+}  // namespace darl
+
+#define DARL_LOG_DEBUG ::darl::detail::LogLine(::darl::LogLevel::Debug)
+#define DARL_LOG_INFO ::darl::detail::LogLine(::darl::LogLevel::Info)
+#define DARL_LOG_WARN ::darl::detail::LogLine(::darl::LogLevel::Warn)
+#define DARL_LOG_ERROR ::darl::detail::LogLine(::darl::LogLevel::Error)

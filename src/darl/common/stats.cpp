@@ -1,0 +1,93 @@
+#include "darl/common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "darl/common/error.hpp"
+
+namespace darl {
+
+void RunningStats::push(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  min_ = std::min(min_, x);
+  max_ = std::max(max_, x);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  // Chan et al. parallel variance combination.
+  const double delta = other.mean_ - mean_;
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double nab = na + nb;
+  mean_ += delta * nb / nab;
+  m2_ += other.m2_ + delta * delta * na * nb / nab;
+  n_ += other.n_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0.0;
+  RunningStats s;
+  for (double x : xs) s.push(x);
+  return s.mean();
+}
+
+double stddev(const std::vector<double>& xs) {
+  RunningStats s;
+  for (double x : xs) s.push(x);
+  return s.stddev();
+}
+
+double median(std::vector<double> xs) {
+  DARL_CHECK(!xs.empty(), "median of empty vector");
+  const std::size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid), xs.end());
+  const double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  const double lo = *std::max_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+double percentile(std::vector<double> xs, double p) {
+  DARL_CHECK(!xs.empty(), "percentile of empty vector");
+  DARL_CHECK(p >= 0.0 && p <= 100.0, "percentile out of [0,100]: " << p);
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+std::vector<double> ema(const std::vector<double>& xs, double alpha) {
+  DARL_CHECK(alpha > 0.0 && alpha <= 1.0, "ema alpha out of (0,1]: " << alpha);
+  std::vector<double> out;
+  out.reserve(xs.size());
+  double acc = 0.0;
+  bool first = true;
+  for (double x : xs) {
+    acc = first ? x : alpha * x + (1.0 - alpha) * acc;
+    first = false;
+    out.push_back(acc);
+  }
+  return out;
+}
+
+}  // namespace darl

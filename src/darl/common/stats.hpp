@@ -1,0 +1,67 @@
+// darl/common/stats.hpp
+//
+// Streaming and batch descriptive statistics used by the metric collection
+// stage of the methodology (means/medians over episode rewards, power
+// samples, timing samples).
+
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace darl {
+
+/// Numerically stable streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  /// Add one observation.
+  void push(double x);
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+  /// Number of observations pushed so far.
+  std::size_t count() const { return n_; }
+
+  /// Mean of the observations; 0 when empty.
+  double mean() const { return n_ ? mean_ : 0.0; }
+
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double variance() const;
+
+  /// Square root of variance().
+  double stddev() const;
+
+  /// Smallest observation; +inf when empty.
+  double min() const { return min_; }
+
+  /// Largest observation; -inf when empty.
+  double max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Arithmetic mean of a vector; 0 when empty.
+double mean(const std::vector<double>& xs);
+
+/// Unbiased sample standard deviation; 0 with fewer than two elements.
+double stddev(const std::vector<double>& xs);
+
+/// Median (average of the two middle elements for even sizes).
+/// Requires a non-empty vector.
+double median(std::vector<double> xs);
+
+/// Linear-interpolation percentile, p in [0, 100]. Requires non-empty input.
+double percentile(std::vector<double> xs, double p);
+
+/// Exponential moving average of a series with smoothing factor alpha in
+/// (0, 1]; returns a series of the same length.
+std::vector<double> ema(const std::vector<double>& xs, double alpha);
+
+}  // namespace darl

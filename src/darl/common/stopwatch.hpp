@@ -1,0 +1,34 @@
+// darl/common/stopwatch.hpp
+//
+// Wall-clock stopwatch. Note: *reported* study metrics use the simulated
+// cluster clock (darl/simcluster); this stopwatch only measures real host
+// time for diagnostics.
+
+#pragma once
+
+#include <chrono>
+
+namespace darl {
+
+/// Monotonic wall-clock stopwatch, started at construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  /// Restart the stopwatch.
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed.
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace darl

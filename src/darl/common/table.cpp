@@ -1,0 +1,85 @@
+#include "darl/common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "darl/common/error.hpp"
+
+namespace darl {
+
+std::string fixed(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+void TextTable::set_columns(std::vector<std::string> names,
+                            std::vector<Align> aligns) {
+  DARL_CHECK(!names.empty(), "table needs at least one column");
+  DARL_CHECK(rows_.empty(), "set_columns after rows were added");
+  if (aligns.empty()) aligns.assign(names.size(), Align::Left);
+  DARL_CHECK(aligns.size() == names.size(),
+             "alignment count " << aligns.size() << " != column count "
+                                << names.size());
+  columns_ = std::move(names);
+  aligns_ = std::move(aligns);
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  DARL_CHECK(!columns_.empty(), "set_columns must be called first");
+  DARL_CHECK(cells.size() == columns_.size(),
+             "row has " << cells.size() << " cells, table has "
+                        << columns_.size() << " columns");
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TextTable::add_rule() { rows_.push_back(Row{{}, true}); }
+
+std::size_t TextTable::row_count() const {
+  std::size_t n = 0;
+  for (const auto& r : rows_)
+    if (!r.rule) ++n;
+  return n;
+}
+
+std::string TextTable::render(int indent) const {
+  DARL_CHECK(!columns_.empty(), "render of an empty table");
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) widths[i] = columns_[i].size();
+  for (const auto& row : rows_) {
+    if (row.rule) continue;
+    for (std::size_t i = 0; i < row.cells.size(); ++i)
+      widths[i] = std::max(widths[i], row.cells[i].size());
+  }
+
+  const std::string pad(static_cast<std::size_t>(std::max(indent, 0)), ' ');
+  auto rule_line = [&] {
+    std::string s = pad + "+";
+    for (std::size_t w : widths) s += std::string(w + 2, '-') + "+";
+    return s + "\n";
+  };
+  auto cell_line = [&](const std::vector<std::string>& cells) {
+    std::string s = pad + "|";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const std::string& c = cells[i];
+      const std::size_t fill = widths[i] - c.size();
+      s += ' ';
+      if (aligns_[i] == Align::Right) s += std::string(fill, ' ') + c;
+      else s += c + std::string(fill, ' ');
+      s += " |";
+    }
+    return s + "\n";
+  };
+
+  std::ostringstream out;
+  out << rule_line() << cell_line(columns_) << rule_line();
+  for (const auto& row : rows_) {
+    if (row.rule) out << rule_line();
+    else out << cell_line(row.cells);
+  }
+  out << rule_line();
+  return out.str();
+}
+
+}  // namespace darl

@@ -1,0 +1,47 @@
+// darl/common/table.hpp
+//
+// Plain-text table rendering for paper-style result tables (Table I) and
+// sorted-array ranking output.
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace darl {
+
+/// Column alignment for TextTable.
+enum class Align { Left, Right };
+
+/// Accumulates rows of string cells and renders an aligned, ruled table.
+class TextTable {
+ public:
+  /// Define the columns. Must be called before adding rows.
+  void set_columns(std::vector<std::string> names,
+                   std::vector<Align> aligns = {});
+
+  /// Add a data row; must match the column count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Insert a horizontal rule after the last added row.
+  void add_rule();
+
+  /// Render the table with a header rule; `indent` spaces prefix each line.
+  std::string render(int indent = 0) const;
+
+  std::size_t row_count() const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule = false;
+  };
+  std::vector<std::string> columns_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+};
+
+/// Format a double with `decimals` fixed decimal places.
+std::string fixed(double value, int decimals);
+
+}  // namespace darl

@@ -1,0 +1,249 @@
+#include "darl/core/airdrop_study.hpp"
+
+#include <fstream>
+
+#include "darl/common/error.hpp"
+#include "darl/common/log.hpp"
+#include "darl/frameworks/backend.hpp"
+
+namespace darl::core {
+namespace {
+
+constexpr double kPaperTimesteps = 200000.0;
+
+frameworks::FrameworkKind framework_from_label(const std::string& label) {
+  if (label == "RLlib") return frameworks::FrameworkKind::RayRllib;
+  if (label == "StableBaselines") return frameworks::FrameworkKind::StableBaselines;
+  if (label == "TF-Agents") return frameworks::FrameworkKind::TfAgents;
+  throw InvalidArgument("unknown framework label '" + label + "'");
+}
+
+rl::AlgoKind algo_from_label(const std::string& label) {
+  if (label == "PPO") return rl::AlgoKind::PPO;
+  if (label == "SAC") return rl::AlgoKind::SAC;
+  throw InvalidArgument("unknown algorithm label '" + label + "'");
+}
+
+ode::RkOrder rk_from_int(std::int64_t order) {
+  switch (order) {
+    case 3: return ode::RkOrder::Order3;
+    case 5: return ode::RkOrder::Order5;
+    case 8: return ode::RkOrder::Order8;
+    default: throw InvalidArgument("unsupported Runge-Kutta order");
+  }
+}
+
+LearningConfiguration make_config(std::int64_t rk, const char* framework,
+                                  const char* algo, std::int64_t nodes,
+                                  std::int64_t cores) {
+  LearningConfiguration c;
+  c.set(kParamRkOrder, rk);
+  c.set(kParamFramework, std::string(framework));
+  c.set(kParamAlgorithm, std::string(algo));
+  c.set(kParamNodes, nodes);
+  c.set(kParamCores, cores);
+  return c;
+}
+
+}  // namespace
+
+double paper_time_scale(const AirdropStudyOptions& options) {
+  return kPaperTimesteps / static_cast<double>(options.total_timesteps);
+}
+
+ParamSpace airdrop_param_space() {
+  ParamSpace space;
+  space.add(ParamDomain::integer_set(kParamRkOrder, {3, 5, 8},
+                                     ParamCategory::Environment));
+  space.add(ParamDomain::categorical(
+      kParamFramework, {"RLlib", "StableBaselines", "TF-Agents"},
+      ParamCategory::Algorithm));
+  space.add(ParamDomain::categorical(kParamAlgorithm, {"PPO", "SAC"},
+                                     ParamCategory::Algorithm));
+  space.add(ParamDomain::integer_set(kParamNodes, {1, 2}, ParamCategory::System));
+  space.add(ParamDomain::integer_set(kParamCores, {2, 4}, ParamCategory::System));
+  // Framework capability coupling (§V-b): only RLlib distributes across
+  // nodes; exploratory methods therefore never propose multi-node Stable
+  // Baselines / TF-Agents configurations.
+  space.add_constraint(
+      [](const LearningConfiguration& c) {
+        return c.get_integer(kParamNodes) == 1 ||
+               c.get_categorical(kParamFramework) == "RLlib";
+      },
+      "multi-node deployments require RLlib");
+  return space;
+}
+
+CaseStudyDef make_airdrop_case_study(const AirdropStudyOptions& options) {
+  CaseStudyDef def;
+  def.name = "airdrop-package-delivery";
+  def.space = airdrop_param_space();
+  def.metrics = MetricSet::paper_metrics();
+
+  const AirdropStudyOptions opts = options;
+  def.evaluate = [opts](const LearningConfiguration& config,
+                        double budget_fraction,
+                        std::uint64_t seed) -> MetricValues {
+    DARL_CHECK(budget_fraction > 0.0 && budget_fraction <= 1.0,
+               "budget fraction out of (0,1]");
+
+    const auto fw = framework_from_label(config.get_categorical(kParamFramework));
+    const auto algo = algo_from_label(config.get_categorical(kParamAlgorithm));
+
+    airdrop::AirdropConfig env_cfg = opts.base_env;
+    env_cfg.rk_order = rk_from_int(config.get_integer(kParamRkOrder));
+    // SAC needs a continuous steering channel; PPO uses the paper's
+    // discrete rotation-direction actions.
+    env_cfg.action_mode = algo == rl::AlgoKind::SAC
+                              ? airdrop::ActionMode::Continuous
+                              : airdrop::ActionMode::Discrete3;
+
+    frameworks::TrainRequest request;
+    request.env_factory = airdrop::make_airdrop_factory(env_cfg);
+    request.algo.kind = algo;
+    if (algo == rl::AlgoKind::PPO) {
+      // Each framework ships its own PPO defaults; these profiles mirror
+      // the real libraries' relative settings (Stable Baselines: many
+      // epochs, small minibatches; RLlib: larger minibatches, wider clip,
+      // more conservative learning rate; TF-Agents: in between) — one real
+      // mechanism behind the per-framework reward differences in Table I.
+      auto& p = request.algo.ppo;
+      switch (fw) {
+        case frameworks::FrameworkKind::StableBaselines:
+          p.epochs = 10;
+          p.minibatch_size = 64;
+          p.entropy_coef = 0.0;
+          break;
+        case frameworks::FrameworkKind::RayRllib:
+          p.epochs = 6;
+          p.minibatch_size = 128;
+          p.clip_epsilon = 0.3;
+          p.learning_rate = 1e-4;
+          break;
+        case frameworks::FrameworkKind::TfAgents:
+          p.epochs = 8;
+          p.minibatch_size = 64;
+          p.learning_rate = 2e-4;
+          break;
+      }
+    } else if (algo == rl::AlgoKind::SAC) {
+      auto& s = request.algo.sac;
+      s.batch_size = 64;
+      s.updates_per_step = 0.5;
+      s.warmup_steps = 512;
+    }
+    request.deployment.nodes =
+        static_cast<std::size_t>(config.get_integer(kParamNodes));
+    request.deployment.cores_per_node =
+        static_cast<std::size_t>(config.get_integer(kParamCores));
+    // Single-node frameworks cannot spread over nodes; requesting more
+    // simply deploys on one (their real-world behaviour).
+    if (fw != frameworks::FrameworkKind::RayRllib) request.deployment.nodes = 1;
+
+    request.total_timesteps = std::max<std::size_t>(
+        1, static_cast<std::size_t>(
+               static_cast<double>(opts.total_timesteps) * budget_fraction));
+    request.seed = seed;
+    request.train_batch_total = opts.train_batch_total;
+    request.steps_per_env = opts.steps_per_env;
+    request.eval_episodes = opts.eval_episodes;
+
+    // Average the trial over independent training seeds (see
+    // AirdropStudyOptions::seeds_per_trial). Time and power are nearly
+    // deterministic across seeds; the reward is the noisy quantity.
+    const std::size_t reps = std::max<std::size_t>(1, opts.seeds_per_trial);
+    frameworks::TrainResult acc{};
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      frameworks::TrainRequest req = request;
+      req.seed = Rng(seed).split(rep).seed();
+      auto backend = frameworks::make_backend(fw);
+      const frameworks::TrainResult result = backend->run(req);
+      acc.reward += result.reward;
+      acc.sim_seconds += result.sim_seconds;
+      acc.sim_energy_joules += result.sim_energy_joules;
+      acc.train_reward += result.train_reward;
+      acc.reward_stddev += result.reward_stddev;
+      acc.wall_seconds += result.wall_seconds;
+      acc.episodes += result.episodes;
+    }
+    const double inv = 1.0 / static_cast<double>(reps);
+
+    const double scale = paper_time_scale(opts);
+    MetricValues metrics;
+    metrics["Reward"] = acc.reward * inv;
+    metrics["ComputationTime"] = acc.sim_seconds * inv * scale / 60.0;  // min
+    metrics["PowerConsumption"] =
+        acc.sim_energy_joules * inv * scale / 1e3;  // kJ
+    // Extra diagnostics travel alongside the declared metrics.
+    metrics["TrainReward"] = acc.train_reward * inv;
+    metrics["RewardStddev"] = acc.reward_stddev * inv;
+    metrics["WallSeconds"] = acc.wall_seconds;  // total host cost
+    metrics["Episodes"] = static_cast<double>(acc.episodes) * inv;
+    return metrics;
+  };
+  return def;
+}
+
+std::vector<LearningConfiguration> paper_table1_configs() {
+  // Reconstruction of Table I (the scan preserves only the RK-order column
+  // and the prose constraints; see EXPERIMENTS.md). 1-based solution ids
+  // in comments match the paper text.
+  return {
+      make_config(3, "RLlib", "PPO", 2, 2),            // 1
+      make_config(3, "RLlib", "PPO", 2, 4),            // 2: fastest
+      make_config(3, "RLlib", "PPO", 1, 4),            // 3
+      make_config(5, "RLlib", "PPO", 1, 4),            // 4: =7 except RK
+      make_config(5, "RLlib", "PPO", 2, 4),            // 5: trade-off
+      make_config(5, "RLlib", "SAC", 2, 4),            // 6
+      make_config(8, "RLlib", "PPO", 1, 4),            // 7: -0.52
+      make_config(8, "RLlib", "PPO", 2, 4),            // 8: -0.73 (stale)
+      make_config(3, "TF-Agents", "SAC", 1, 4),        // 9
+      make_config(3, "TF-Agents", "PPO", 1, 2),        // 10
+      make_config(3, "TF-Agents", "PPO", 1, 4),        // 11: lowest power
+      make_config(8, "TF-Agents", "PPO", 1, 4),        // 12
+      make_config(8, "TF-Agents", "SAC", 1, 4),        // 13
+      make_config(3, "StableBaselines", "PPO", 1, 2),  // 14: -0.47
+      make_config(3, "StableBaselines", "PPO", 1, 4),  // 15
+      make_config(8, "StableBaselines", "PPO", 1, 4),  // 16: best reward
+      make_config(8, "StableBaselines", "SAC", 1, 4),  // 17
+      make_config(8, "StableBaselines", "PPO", 1, 2),  // 18
+  };
+}
+
+std::vector<TrialRecord> run_table1_campaign(const AirdropStudyOptions& options,
+                                             const std::string& cache_path,
+                                             std::uint64_t seed) {
+  const CaseStudyDef def = make_airdrop_case_study(options);
+
+  if (!cache_path.empty()) {
+    std::ifstream in(cache_path);
+    if (in) {
+      auto cached = load_trials_csv(in, def);
+      if (cached.has_value() && cached->size() == paper_table1_configs().size()) {
+        DARL_LOG_INFO << "table-1 campaign loaded from cache '" << cache_path << "'";
+        return *cached;
+      }
+      DARL_LOG_WARN << "stale or invalid campaign cache '" << cache_path
+                    << "', re-running";
+    }
+  }
+
+  auto explorer =
+      std::make_unique<FixedListSearch>(paper_table1_configs());
+  StudyOptions study_opts;
+  study_opts.seed = seed;
+  Study study(def, std::move(explorer), study_opts);
+  study.run();
+
+  if (!cache_path.empty()) {
+    std::ofstream out(cache_path);
+    if (out) {
+      write_trials_csv(out, def, study.trials());
+    } else {
+      DARL_LOG_WARN << "could not write campaign cache '" << cache_path << "'";
+    }
+  }
+  return study.trials();
+}
+
+}  // namespace darl::core

@@ -1,0 +1,86 @@
+// darl/core/airdrop_study.hpp
+//
+// Application of the methodology to the Airdrop Package Delivery Simulator
+// (paper §V): the parameter space of the study (Runge-Kutta order,
+// framework, algorithm, nodes, cores per node), the case-study evaluation
+// function that trains a model through a framework backend and reports
+// Reward / Computation Time / Power Consumption, and the reconstructed
+// 18-configuration Table-I campaign with CSV caching (training campaigns
+// are expensive; every bench that needs Table-I data shares one cache).
+
+#pragma once
+
+#include <string>
+
+#include "darl/airdrop/airdrop_env.hpp"
+#include "darl/core/report.hpp"
+#include "darl/core/study.hpp"
+
+namespace darl::core {
+
+/// Scaling knobs mapping the paper's campaign onto the host budget.
+struct AirdropStudyOptions {
+  /// Training timesteps per trial. The paper trains for 200,000; reported
+  /// times/energies are rescaled to paper scale by (200000 / this).
+  std::size_t total_timesteps = 16384;
+
+  /// Environment template (§V-a: wind disabled, drop altitude interval in
+  /// its basic configuration — lowered here so scaled-down training sees
+  /// enough episodes; see EXPERIMENTS.md).
+  airdrop::AirdropConfig base_env;
+
+  std::size_t eval_episodes = 50;
+
+  /// Independent training repetitions averaged into one trial's metrics.
+  /// One PPO run at the scaled-down budget has a reward standard deviation
+  /// of ~0.05; averaging two halves it, keeping the campaign's orderings
+  /// stable across re-runs (the paper ran each configuration once on real
+  /// hardware at 12x our training budget).
+  std::size_t seeds_per_trial = 2;
+
+  /// Iteration sizing forwarded to the backends.
+  std::size_t train_batch_total = 1024;
+  std::size_t steps_per_env = 256;
+
+  AirdropStudyOptions() {
+    base_env.wind_enabled = false;
+    base_env.gusts_enabled = false;
+    base_env.altitude_min = 30.0;
+    base_env.altitude_max = 300.0;
+  }
+};
+
+/// Parameter names used by the airdrop study.
+inline constexpr const char* kParamRkOrder = "rk_order";
+inline constexpr const char* kParamFramework = "framework";
+inline constexpr const char* kParamAlgorithm = "algorithm";
+inline constexpr const char* kParamNodes = "nodes";
+inline constexpr const char* kParamCores = "cores_per_node";
+
+/// The study's parameter space (§V-b): rk_order in {3,5,8} (environment),
+/// framework in {RLlib, StableBaselines, TF-Agents} and algorithm in
+/// {PPO, SAC} (algorithm), nodes in {1,2} and cores_per_node in {2,4}
+/// (system).
+ParamSpace airdrop_param_space();
+
+/// Full case-study definition (space + paper metrics + evaluation
+/// function). The evaluation trains through the configured framework
+/// backend; `nodes` is clamped to 1 for the single-node frameworks
+/// (Stable Baselines, TF-Agents), mirroring their real capability.
+CaseStudyDef make_airdrop_case_study(const AirdropStudyOptions& options = {});
+
+/// The reconstructed Table-I campaign: 18 configurations consistent with
+/// every constraint the paper's prose states about its (OCR-damaged)
+/// table. See EXPERIMENTS.md for the reconstruction notes.
+std::vector<LearningConfiguration> paper_table1_configs();
+
+/// Run the Table-I campaign, or load it from `cache_path` when a valid
+/// cache exists (written on first run). `seed` feeds per-trial seeds.
+std::vector<TrialRecord> run_table1_campaign(const AirdropStudyOptions& options,
+                                             const std::string& cache_path,
+                                             std::uint64_t seed = 42);
+
+/// Factor converting executed sim-seconds to paper-scale seconds.
+double paper_time_scale(const AirdropStudyOptions& options);
+
+}  // namespace darl::core

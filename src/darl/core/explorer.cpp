@@ -1,0 +1,165 @@
+#include "darl/core/explorer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "darl/common/error.hpp"
+#include "darl/common/rng.hpp"
+
+namespace darl::core {
+
+GridSearch::GridSearch(ParamSpace space, std::size_t real_grid_points)
+    : space_(std::move(space)), real_grid_points_(real_grid_points) {
+  DARL_CHECK(real_grid_points >= 2, "real grid needs at least 2 points");
+  total_ = space_.grid_size(real_grid_points_);
+}
+
+std::optional<Proposal> GridSearch::ask() {
+  // Skip grid points that violate the space's feasibility constraints.
+  while (next_ < total_ &&
+         !space_.satisfies_constraints(space_.grid_point(next_, real_grid_points_))) {
+    ++next_;
+  }
+  if (next_ >= total_) return std::nullopt;
+  Proposal p;
+  p.trial_id = next_;
+  p.config = space_.grid_point(next_, real_grid_points_);
+  ++next_;
+  return p;
+}
+
+void GridSearch::tell(std::size_t trial_id, const MetricValues& metrics) {
+  (void)trial_id;
+  (void)metrics;  // exhaustive search ignores feedback
+}
+
+RandomSearch::RandomSearch(ParamSpace space, std::size_t n_trials,
+                           std::uint64_t seed)
+    : space_(std::move(space)),
+      n_trials_(n_trials),
+      rng_(std::make_unique<Rng>(seed)) {
+  DARL_CHECK(n_trials > 0, "RandomSearch needs at least one trial");
+  DARL_CHECK(space_.size() > 0, "RandomSearch over an empty space");
+}
+
+std::optional<Proposal> RandomSearch::ask() {
+  if (next_ >= n_trials_) return std::nullopt;
+  LearningConfiguration config = space_.sample(*rng_);
+  // Bounded re-draw to avoid evaluating identical configurations twice
+  // (small discrete spaces may still repeat after the attempts run out).
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const std::string key = config.cache_key();
+    if (std::find(seen_keys_.begin(), seen_keys_.end(), key) == seen_keys_.end()) {
+      break;
+    }
+    config = space_.sample(*rng_);
+  }
+  seen_keys_.push_back(config.cache_key());
+  Proposal p;
+  p.trial_id = next_;
+  p.config = std::move(config);
+  ++next_;
+  return p;
+}
+
+void RandomSearch::tell(std::size_t trial_id, const MetricValues& metrics) {
+  (void)trial_id;
+  (void)metrics;  // uninformed sampling ignores feedback
+}
+
+FixedListSearch::FixedListSearch(std::vector<LearningConfiguration> configs)
+    : configs_(std::move(configs)) {
+  DARL_CHECK(!configs_.empty(), "FixedListSearch needs at least one config");
+}
+
+std::optional<Proposal> FixedListSearch::ask() {
+  if (next_ >= configs_.size()) return std::nullopt;
+  Proposal p;
+  p.trial_id = next_;
+  p.config = configs_[next_];
+  ++next_;
+  return p;
+}
+
+void FixedListSearch::tell(std::size_t trial_id, const MetricValues& metrics) {
+  (void)trial_id;
+  (void)metrics;
+}
+
+SuccessiveHalving::SuccessiveHalving(ParamSpace space, MetricDef objective,
+                                     std::size_t initial_trials, double eta,
+                                     double min_budget_fraction,
+                                     std::uint64_t seed)
+    : space_(std::move(space)),
+      objective_(std::move(objective)),
+      eta_(eta),
+      rng_(std::make_unique<Rng>(seed)) {
+  DARL_CHECK(initial_trials >= 2, "successive halving needs >= 2 trials");
+  DARL_CHECK(eta > 1.0, "eta must exceed 1");
+  DARL_CHECK(min_budget_fraction > 0.0 && min_budget_fraction <= 1.0,
+             "min budget fraction out of (0,1]");
+  budget_ = min_budget_fraction;
+  current_.resize(initial_trials);
+  for (auto& e : current_) e.config = space_.sample(*rng_);
+}
+
+std::optional<Proposal> SuccessiveHalving::ask() {
+  if (done_) return std::nullopt;
+  if (next_in_rung_ >= current_.size()) return std::nullopt;  // awaiting tells
+  RungEntry& e = current_[next_in_rung_];
+  e.trial_id = next_trial_id_++;
+  e.asked = true;
+  ++next_in_rung_;
+  Proposal p;
+  p.trial_id = e.trial_id;
+  p.config = e.config;
+  p.budget_fraction = budget_;
+  return p;
+}
+
+void SuccessiveHalving::tell(std::size_t trial_id, const MetricValues& metrics) {
+  const auto it = metrics.find(objective_.name);
+  DARL_CHECK(it != metrics.end(),
+             "trial did not report objective '" << objective_.name << "'");
+  bool found = false;
+  for (auto& e : current_) {
+    if (e.asked && e.trial_id == trial_id && !e.score.has_value()) {
+      e.score = objective_.sense == Sense::Maximize ? it->second : -it->second;
+      found = true;
+      break;
+    }
+  }
+  DARL_CHECK(found, "tell() for unknown trial id " << trial_id);
+  const bool rung_complete =
+      next_in_rung_ == current_.size() &&
+      std::all_of(current_.begin(), current_.end(),
+                  [](const RungEntry& e) { return e.score.has_value(); });
+  if (rung_complete) build_next_rung();
+}
+
+void SuccessiveHalving::build_next_rung() {
+  if (budget_ >= 1.0 || current_.size() <= 1) {
+    done_ = true;
+    return;
+  }
+  // Keep the best ceil(n/eta) configurations (higher internal score wins).
+  std::vector<RungEntry> sorted = current_;
+  std::sort(sorted.begin(), sorted.end(), [](const RungEntry& a, const RungEntry& b) {
+    return a.score.value() > b.score.value();
+  });
+  const std::size_t keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(static_cast<double>(sorted.size()) / eta_)));
+  sorted.resize(keep);
+  for (auto& e : sorted) {
+    e.score.reset();
+    e.trial_id = 0;
+    e.asked = false;
+  }
+  current_ = std::move(sorted);
+  budget_ = std::min(1.0, budget_ * eta_);
+  ++rung_;
+  next_in_rung_ = 0;
+}
+
+}  // namespace darl::core

@@ -1,0 +1,141 @@
+// darl/core/explorer.hpp
+//
+// Stage (c) of the methodology: exploratory methods. An ExploratoryMethod
+// decides which learning configurations to evaluate (and at which training
+// budget) through an ask/tell protocol, so pruning strategies can react to
+// intermediate results. Implementations: the paper's Random Search, the
+// Grid Search alternative it names, a fixed configuration list (the
+// "manually selected" §V campaign), and Successive Halving as the
+// Optuna-style pruning idea of §III-C.
+
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "darl/common/rng.hpp"
+#include "darl/core/metric.hpp"
+#include "darl/core/param.hpp"
+
+namespace darl::core {
+
+/// A configuration to evaluate, with the training-budget fraction to spend
+/// on it (1.0 = full budget; pruning methods start lower).
+struct Proposal {
+  std::size_t trial_id = 0;
+  LearningConfiguration config;
+  double budget_fraction = 1.0;
+};
+
+/// Ask/tell exploration strategy. Single-threaded protocol: every ask()
+/// must be answered by a tell() with the same trial id before the study
+/// finishes (methods may allow several outstanding asks; the default
+/// implementations do).
+class ExploratoryMethod {
+ public:
+  virtual ~ExploratoryMethod() = default;
+
+  virtual const std::string& name() const = 0;
+
+  /// Next configuration to evaluate, or nullopt when the search is over.
+  virtual std::optional<Proposal> ask() = 0;
+
+  /// Report a finished trial's metrics.
+  virtual void tell(std::size_t trial_id, const MetricValues& metrics) = 0;
+};
+
+/// Exhaustive grid enumeration (real domains discretized).
+class GridSearch final : public ExploratoryMethod {
+ public:
+  GridSearch(ParamSpace space, std::size_t real_grid_points = 5);
+
+  const std::string& name() const override { return name_; }
+  std::optional<Proposal> ask() override;
+  void tell(std::size_t trial_id, const MetricValues& metrics) override;
+
+ private:
+  std::string name_ = "GridSearch";
+  ParamSpace space_;
+  std::size_t real_grid_points_;
+  std::size_t next_ = 0;
+  std::size_t total_;
+};
+
+/// Uniform random sampling of `n_trials` configurations (the paper's
+/// choice, §V-c). Repeated configurations are re-drawn a bounded number of
+/// times, then accepted (small discrete spaces may not have n distinct
+/// points).
+class RandomSearch final : public ExploratoryMethod {
+ public:
+  RandomSearch(ParamSpace space, std::size_t n_trials, std::uint64_t seed);
+
+  const std::string& name() const override { return name_; }
+  std::optional<Proposal> ask() override;
+  void tell(std::size_t trial_id, const MetricValues& metrics) override;
+
+ private:
+  std::string name_ = "RandomSearch";
+  ParamSpace space_;
+  std::size_t n_trials_;
+  std::unique_ptr<Rng> rng_;
+  std::size_t next_ = 0;
+  std::vector<std::string> seen_keys_;
+};
+
+/// Evaluate an explicit configuration list in order (the paper's manually
+/// selected Table-I campaign).
+class FixedListSearch final : public ExploratoryMethod {
+ public:
+  explicit FixedListSearch(std::vector<LearningConfiguration> configs);
+
+  const std::string& name() const override { return name_; }
+  std::optional<Proposal> ask() override;
+  void tell(std::size_t trial_id, const MetricValues& metrics) override;
+
+ private:
+  std::string name_ = "FixedList";
+  std::vector<LearningConfiguration> configs_;
+  std::size_t next_ = 0;
+};
+
+/// Successive halving over one objective metric: rung 0 evaluates
+/// `initial_trials` random configurations at `min_budget_fraction`; each
+/// rung keeps the best 1/eta and multiplies the budget by eta until it
+/// reaches 1.0. The pruning-style exploratory method of §III-C.
+class SuccessiveHalving final : public ExploratoryMethod {
+ public:
+  SuccessiveHalving(ParamSpace space, MetricDef objective,
+                    std::size_t initial_trials, double eta,
+                    double min_budget_fraction, std::uint64_t seed);
+
+  const std::string& name() const override { return name_; }
+  std::optional<Proposal> ask() override;
+  void tell(std::size_t trial_id, const MetricValues& metrics) override;
+
+  std::size_t rung() const { return rung_; }
+
+ private:
+  void build_next_rung();
+
+  std::string name_ = "SuccessiveHalving";
+  ParamSpace space_;
+  MetricDef objective_;
+  double eta_;
+  std::unique_ptr<Rng> rng_;
+
+  struct RungEntry {
+    LearningConfiguration config;
+    std::optional<double> score;
+    std::size_t trial_id = 0;
+    bool asked = false;
+  };
+  std::vector<RungEntry> current_;
+  double budget_ = 0.0;
+  std::size_t rung_ = 0;
+  std::size_t next_in_rung_ = 0;
+  std::size_t next_trial_id_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace darl::core

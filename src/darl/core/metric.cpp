@@ -1,0 +1,54 @@
+#include "darl/core/metric.hpp"
+
+#include <cmath>
+
+#include "darl/common/error.hpp"
+
+namespace darl::core {
+
+const char* sense_name(Sense s) {
+  return s == Sense::Maximize ? "maximize" : "minimize";
+}
+
+void MetricSet::add(MetricDef def) {
+  DARL_CHECK(!def.name.empty(), "metric needs a name");
+  DARL_CHECK(!has(def.name), "duplicate metric '" << def.name << "'");
+  defs_.push_back(std::move(def));
+}
+
+bool MetricSet::has(const std::string& name) const {
+  for (const auto& d : defs_) {
+    if (d.name == name) return true;
+  }
+  return false;
+}
+
+const MetricDef& MetricSet::def(const std::string& name) const {
+  for (const auto& d : defs_) {
+    if (d.name == name) return d;
+  }
+  throw InvalidArgument("no metric named '" + name + "'");
+}
+
+std::vector<double> MetricSet::extract(const MetricValues& values) const {
+  std::vector<double> out;
+  out.reserve(defs_.size());
+  for (const auto& d : defs_) {
+    const auto it = values.find(d.name);
+    DARL_CHECK(it != values.end(), "trial did not report metric '" << d.name << "'");
+    DARL_CHECK(std::isfinite(it->second),
+               "metric '" << d.name << "' is non-finite");
+    out.push_back(it->second);
+  }
+  return out;
+}
+
+MetricSet MetricSet::paper_metrics() {
+  MetricSet m;
+  m.add({"Reward", "", Sense::Maximize});
+  m.add({"ComputationTime", "min", Sense::Minimize});
+  m.add({"PowerConsumption", "kJ", Sense::Minimize});
+  return m;
+}
+
+}  // namespace darl::core

@@ -1,0 +1,52 @@
+// darl/core/metric.hpp
+//
+// Stage (d) of the methodology: evaluation metrics. A MetricSet declares
+// what a study measures per trial (name, unit, optimization sense); trial
+// results carry one value per declared metric.
+
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace darl::core {
+
+/// Whether larger or smaller values of a metric are better.
+enum class Sense { Maximize, Minimize };
+
+const char* sense_name(Sense s);
+
+/// Declaration of one evaluation metric.
+struct MetricDef {
+  std::string name;
+  std::string unit;  ///< for display only ("min", "kJ", "")
+  Sense sense = Sense::Maximize;
+};
+
+/// Values measured for one trial, keyed by metric name.
+using MetricValues = std::map<std::string, double>;
+
+/// The ordered metric declarations of a study.
+class MetricSet {
+ public:
+  void add(MetricDef def);
+
+  const std::vector<MetricDef>& defs() const { return defs_; }
+  std::size_t size() const { return defs_.size(); }
+  const MetricDef& def(const std::string& name) const;
+  bool has(const std::string& name) const;
+
+  /// Extract the declared metrics from `values` in declaration order;
+  /// throws darl::InvalidArgument when one is missing or non-finite.
+  std::vector<double> extract(const MetricValues& values) const;
+
+  /// The paper's three metrics: Reward (maximize), Computation Time in
+  /// minutes (minimize), Power Consumption in kJ (minimize).
+  static MetricSet paper_metrics();
+
+ private:
+  std::vector<MetricDef> defs_;
+};
+
+}  // namespace darl::core

@@ -1,0 +1,188 @@
+// darl/core/param.hpp
+//
+// Stage (b) of the methodology: learning configurations. A ParamSpace
+// declares the parameters under study — categorical choices (framework,
+// algorithm), integer ranges (nodes, cores) and real intervals (learning
+// rate) — optionally tagged by the paper's taxonomy (algorithm- vs system-
+// vs environment-dependent). A LearningConfiguration is one assignment.
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace darl {
+class Rng;
+}
+
+namespace darl::core {
+
+/// The paper's parameter taxonomy (§III-B b).
+enum class ParamCategory { Algorithm, System, Environment };
+
+const char* param_category_name(ParamCategory c);
+
+/// One parameter value: a categorical label, an integer or a real.
+using ParamValue = std::variant<std::string, std::int64_t, double>;
+
+/// Human-readable rendering of a ParamValue.
+std::string param_value_to_string(const ParamValue& v);
+
+/// Equality that treats variant alternatives strictly.
+bool param_value_equal(const ParamValue& a, const ParamValue& b);
+
+/// Domain of one parameter.
+class ParamDomain {
+ public:
+  /// Categorical domain over the given labels (non-empty, unique).
+  static ParamDomain categorical(std::string name,
+                                 std::vector<std::string> choices,
+                                 ParamCategory category);
+
+  /// Integer range [lo, hi] with the given step (> 0, hi reachable or not).
+  static ParamDomain integer_range(std::string name, std::int64_t lo,
+                                   std::int64_t hi, std::int64_t step,
+                                   ParamCategory category);
+
+  /// Explicit integer choice set (e.g. Runge-Kutta order in {3, 5, 8}).
+  static ParamDomain integer_set(std::string name,
+                                 std::vector<std::int64_t> choices,
+                                 ParamCategory category);
+
+  /// Real interval [lo, hi]; `log_scale` samples uniformly in log space.
+  static ParamDomain real_range(std::string name, double lo, double hi,
+                                bool log_scale, ParamCategory category);
+
+  const std::string& name() const { return name_; }
+  ParamCategory category() const { return category_; }
+
+  bool is_categorical() const;
+  bool is_integer() const;
+  bool is_real() const;
+
+  /// Number of grid points: categorical size, integer-step count, or
+  /// nullopt for a (continuous) real domain.
+  std::optional<std::size_t> cardinality() const;
+
+  /// The i-th grid value (for grid search). Real domains discretize into
+  /// `real_grid_points` equally spaced values (log-spaced if log_scale).
+  ParamValue grid_value(std::size_t i, std::size_t real_grid_points) const;
+
+  /// Uniform random value from the domain.
+  ParamValue sample(Rng& rng) const;
+
+  /// Bounds of a real domain as {lo, hi}; throws unless is_real().
+  std::pair<double, double> real_bounds() const;
+
+  /// Whether a real domain samples in log space; throws unless is_real().
+  bool real_log_scale() const;
+
+  /// True when `v` has the right type and lies in the domain.
+  bool contains(const ParamValue& v) const;
+
+ private:
+  ParamDomain() = default;
+
+  struct Categorical {
+    std::vector<std::string> choices;
+  };
+  struct IntRange {
+    std::int64_t lo = 0, hi = 0, step = 1;
+  };
+  struct IntSet {
+    std::vector<std::int64_t> choices;
+  };
+  struct RealRange {
+    double lo = 0.0, hi = 1.0;
+    bool log_scale = false;
+  };
+
+  std::string name_;
+  ParamCategory category_ = ParamCategory::Algorithm;
+  std::variant<Categorical, IntRange, IntSet, RealRange> domain_;
+};
+
+/// One assignment of values to (a subset of) a ParamSpace's parameters.
+class LearningConfiguration {
+ public:
+  void set(const std::string& name, ParamValue value);
+
+  bool has(const std::string& name) const;
+
+  /// Typed accessors; throw darl::Error on missing key or wrong type.
+  const std::string& get_categorical(const std::string& name) const;
+  std::int64_t get_integer(const std::string& name) const;
+  double get_real(const std::string& name) const;
+  const ParamValue& get(const std::string& name) const;
+
+  const std::map<std::string, ParamValue>& values() const { return values_; }
+
+  /// "name=value, name=value, ..." in key order.
+  std::string describe() const;
+
+  /// Stable content key for caching/dedup.
+  std::string cache_key() const { return describe(); }
+
+  bool operator==(const LearningConfiguration& other) const;
+
+ private:
+  std::map<std::string, ParamValue> values_;
+};
+
+/// Feasibility predicate over full configurations (e.g. "Stable Baselines
+/// requires nodes == 1").
+struct Constraint {
+  std::function<bool(const LearningConfiguration&)> predicate;
+  std::string description;
+};
+
+/// The ordered set of parameters a study explores, plus feasibility
+/// constraints coupling them.
+class ParamSpace {
+ public:
+  /// Add a parameter; names must be unique.
+  void add(ParamDomain domain);
+
+  /// Add a feasibility constraint. sample() rejection-samples against
+  /// constraints; validate() enforces them; grid-based explorers skip
+  /// infeasible points.
+  void add_constraint(std::function<bool(const LearningConfiguration&)> predicate,
+                      std::string description);
+
+  const std::vector<Constraint>& constraints() const { return constraints_; }
+
+  /// True when every constraint accepts `config` (domains not checked).
+  bool satisfies_constraints(const LearningConfiguration& config) const;
+
+  const std::vector<ParamDomain>& domains() const { return domains_; }
+  std::size_t size() const { return domains_.size(); }
+  const ParamDomain& domain(const std::string& name) const;
+
+  /// Full-grid cardinality, with real domains counted as
+  /// `real_grid_points` values. Throws if the space is empty.
+  std::size_t grid_size(std::size_t real_grid_points) const;
+
+  /// The i-th point of the full grid (mixed-radix decoding of i).
+  LearningConfiguration grid_point(std::size_t index,
+                                   std::size_t real_grid_points) const;
+
+  /// Uniform random configuration over the feasible region
+  /// (rejection-samples against constraints; throws darl::Error when no
+  /// feasible point is found within an attempt budget).
+  LearningConfiguration sample(Rng& rng) const;
+
+  /// Validate that `config` assigns an in-domain value to every parameter
+  /// and satisfies every constraint. Throws darl::InvalidArgument otherwise.
+  void validate(const LearningConfiguration& config) const;
+
+ private:
+  std::vector<ParamDomain> domains_;
+  std::vector<Constraint> constraints_;
+};
+
+}  // namespace darl::core

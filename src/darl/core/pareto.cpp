@@ -1,0 +1,167 @@
+#include "darl/core/pareto.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "darl/common/error.hpp"
+#include "darl/common/rng.hpp"
+
+namespace darl::core {
+namespace {
+
+/// Convert a point to minimization form (negate maximized metrics).
+std::vector<double> to_min_form(const std::vector<double>& p,
+                                const std::vector<Sense>& senses) {
+  std::vector<double> out(p.size());
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    out[i] = senses[i] == Sense::Minimize ? p[i] : -p[i];
+  }
+  return out;
+}
+
+void check_shapes(const std::vector<std::vector<double>>& points,
+                  const std::vector<Sense>& senses) {
+  DARL_CHECK(!senses.empty(), "no metric senses given");
+  for (const auto& p : points) {
+    DARL_CHECK(p.size() == senses.size(),
+               "point has " << p.size() << " coordinates, senses "
+                            << senses.size());
+  }
+}
+
+}  // namespace
+
+bool dominates(const std::vector<double>& a, const std::vector<double>& b,
+               const std::vector<Sense>& senses) {
+  DARL_CHECK(a.size() == senses.size() && b.size() == senses.size(),
+             "dominates: size mismatch");
+  bool strictly_better = false;
+  for (std::size_t i = 0; i < senses.size(); ++i) {
+    const double av = senses[i] == Sense::Minimize ? a[i] : -a[i];
+    const double bv = senses[i] == Sense::Minimize ? b[i] : -b[i];
+    if (av > bv) return false;
+    if (av < bv) strictly_better = true;
+  }
+  return strictly_better;
+}
+
+std::vector<std::size_t> pareto_front(
+    const std::vector<std::vector<double>>& points,
+    const std::vector<Sense>& senses) {
+  check_shapes(points, senses);
+  std::vector<std::size_t> front;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+      if (i != j && dominates(points[j], points[i], senses)) dominated = true;
+    }
+    if (!dominated) front.push_back(i);
+  }
+  return front;
+}
+
+std::vector<std::vector<std::size_t>> non_dominated_sort(
+    const std::vector<std::vector<double>>& points,
+    const std::vector<Sense>& senses) {
+  check_shapes(points, senses);
+  std::vector<std::vector<std::size_t>> fronts;
+  std::vector<bool> assigned(points.size(), false);
+  std::size_t remaining = points.size();
+  while (remaining > 0) {
+    std::vector<std::size_t> front;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (assigned[i]) continue;
+      bool dominated = false;
+      for (std::size_t j = 0; j < points.size() && !dominated; ++j) {
+        if (j != i && !assigned[j] && dominates(points[j], points[i], senses)) {
+          dominated = true;
+        }
+      }
+      if (!dominated) front.push_back(i);
+    }
+    DARL_ASSERT(!front.empty(), "non-dominated sort made no progress");
+    for (std::size_t idx : front) assigned[idx] = true;
+    remaining -= front.size();
+    fronts.push_back(std::move(front));
+  }
+  return fronts;
+}
+
+double hypervolume_2d(const std::vector<std::vector<double>>& points,
+                      const std::vector<Sense>& senses,
+                      const std::vector<double>& reference) {
+  DARL_CHECK(senses.size() == 2, "hypervolume_2d needs exactly 2 objectives");
+  check_shapes(points, senses);
+  DARL_CHECK(reference.size() == 2, "reference must have 2 coordinates");
+  if (points.empty()) return 0.0;
+
+  const std::vector<double> ref = to_min_form(reference, senses);
+  std::vector<std::vector<double>> mins;
+  mins.reserve(points.size());
+  for (const auto& p : points) {
+    const auto m = to_min_form(p, senses);
+    if (m[0] < ref[0] && m[1] < ref[1]) mins.push_back(m);
+  }
+  if (mins.empty()) return 0.0;
+
+  // Keep the non-dominated subset, sweep by x ascending.
+  std::sort(mins.begin(), mins.end());
+  double hv = 0.0;
+  double best_y = ref[1];
+  for (const auto& p : mins) {
+    if (p[1] < best_y) {
+      hv += (ref[0] - p[0]) * (best_y - p[1]);
+      best_y = p[1];
+    }
+  }
+  return hv;
+}
+
+double hypervolume_monte_carlo(const std::vector<std::vector<double>>& points,
+                               const std::vector<Sense>& senses,
+                               const std::vector<double>& reference,
+                               std::size_t samples, Rng& rng) {
+  check_shapes(points, senses);
+  DARL_CHECK(reference.size() == senses.size(), "reference size mismatch");
+  DARL_CHECK(samples > 0, "need at least one sample");
+  if (points.empty()) return 0.0;
+
+  const std::vector<double> ref = to_min_form(reference, senses);
+  std::vector<std::vector<double>> mins;
+  mins.reserve(points.size());
+  for (const auto& p : points) mins.push_back(to_min_form(p, senses));
+
+  // Ideal corner of the sampling box: the coordinate-wise best.
+  std::vector<double> ideal = mins[0];
+  for (const auto& p : mins) {
+    for (std::size_t d = 0; d < ideal.size(); ++d) ideal[d] = std::min(ideal[d], p[d]);
+  }
+  double box = 1.0;
+  for (std::size_t d = 0; d < ideal.size(); ++d) {
+    const double span = ref[d] - ideal[d];
+    if (span <= 0.0) return 0.0;
+    box *= span;
+  }
+
+  std::size_t hits = 0;
+  std::vector<double> x(ideal.size());
+  for (std::size_t s = 0; s < samples; ++s) {
+    for (std::size_t d = 0; d < x.size(); ++d) x[d] = rng.uniform(ideal[d], ref[d]);
+    for (const auto& p : mins) {
+      bool dominated = true;
+      for (std::size_t d = 0; d < x.size(); ++d) {
+        if (p[d] > x[d]) {
+          dominated = false;
+          break;
+        }
+      }
+      if (dominated) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return box * static_cast<double>(hits) / static_cast<double>(samples);
+}
+
+}  // namespace darl::core

@@ -1,0 +1,55 @@
+// darl/core/pareto.hpp
+//
+// Pareto dominance machinery for stage (e) of the methodology: the
+// non-dominated filter behind the paper's Figures 4-6, non-dominated
+// sorting into successive fronts, and hypervolume indicators for
+// quantitative front comparison.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "darl/core/metric.hpp"
+
+namespace darl {
+class Rng;
+}
+
+namespace darl::core {
+
+/// True when point `a` Pareto-dominates point `b` under the given senses:
+/// a is at least as good on every metric and strictly better on one.
+/// Points must have the same size as `senses`.
+bool dominates(const std::vector<double>& a, const std::vector<double>& b,
+               const std::vector<Sense>& senses);
+
+/// Indices of the non-dominated points (first Pareto front), in input
+/// order. Duplicate points are all kept (none dominates the other).
+std::vector<std::size_t> pareto_front(
+    const std::vector<std::vector<double>>& points,
+    const std::vector<Sense>& senses);
+
+/// Non-dominated sorting: partition all points into successive fronts
+/// (front 0 = pareto_front; front k = front of the remainder).
+std::vector<std::vector<std::size_t>> non_dominated_sort(
+    const std::vector<std::vector<double>>& points,
+    const std::vector<Sense>& senses);
+
+/// Exact hypervolume of a 2-objective front with respect to a reference
+/// point. Points and the reference are first converted to minimization
+/// form; the reference must be dominated by every point (i.e. worse on
+/// both objectives), otherwise the offending point contributes nothing.
+double hypervolume_2d(const std::vector<std::vector<double>>& points,
+                      const std::vector<Sense>& senses,
+                      const std::vector<double>& reference);
+
+/// Monte Carlo hypervolume estimate for >= 2 objectives (used where no
+/// exact routine is provided). `samples` uniform draws in the reference
+/// box; standard error ~ sqrt(p(1-p)/samples) * box volume.
+double hypervolume_monte_carlo(const std::vector<std::vector<double>>& points,
+                               const std::vector<Sense>& senses,
+                               const std::vector<double>& reference,
+                               std::size_t samples, Rng& rng);
+
+}  // namespace darl::core

@@ -1,0 +1,126 @@
+#include "darl/core/ranking.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "darl/common/error.hpp"
+#include "darl/core/pareto.hpp"
+
+namespace darl::core {
+namespace {
+
+std::vector<Sense> senses_of(const MetricSet& metrics) {
+  std::vector<Sense> senses;
+  senses.reserve(metrics.size());
+  for (const auto& d : metrics.defs()) senses.push_back(d.sense);
+  return senses;
+}
+
+}  // namespace
+
+std::vector<RankedTrial> ParetoRanking::rank(
+    const MetricSet& metrics,
+    const std::vector<std::vector<double>>& points) const {
+  const auto fronts = non_dominated_sort(points, senses_of(metrics));
+  std::vector<RankedTrial> out;
+  out.reserve(points.size());
+  for (std::size_t f = 0; f < fronts.size(); ++f) {
+    for (std::size_t idx : fronts[f]) {
+      RankedTrial r;
+      r.trial_index = idx;
+      r.rank = f;
+      r.score = -static_cast<double>(f);
+      r.pareto_optimal = (f == 0);
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+WeightedSumRanking::WeightedSumRanking(std::vector<double> weights)
+    : weights_(std::move(weights)) {}
+
+std::vector<RankedTrial> WeightedSumRanking::rank(
+    const MetricSet& metrics,
+    const std::vector<std::vector<double>>& points) const {
+  const std::size_t m = metrics.size();
+  std::vector<double> w = weights_;
+  if (w.empty()) w.assign(m, 1.0 / static_cast<double>(m));
+  DARL_CHECK(w.size() == m, "got " << w.size() << " weights for " << m << " metrics");
+
+  // Min-max normalize each metric to "higher is better" in [0,1].
+  std::vector<double> lo(m, std::numeric_limits<double>::infinity());
+  std::vector<double> hi(m, -std::numeric_limits<double>::infinity());
+  for (const auto& p : points) {
+    DARL_CHECK(p.size() == m, "point/metric size mismatch");
+    for (std::size_t j = 0; j < m; ++j) {
+      lo[j] = std::min(lo[j], p[j]);
+      hi[j] = std::max(hi[j], p[j]);
+    }
+  }
+  std::vector<RankedTrial> out;
+  out.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    double score = 0.0;
+    for (std::size_t j = 0; j < m; ++j) {
+      const double span = hi[j] - lo[j];
+      double v = span > 0.0 ? (points[i][j] - lo[j]) / span : 0.5;
+      if (metrics.defs()[j].sense == Sense::Minimize) v = 1.0 - v;
+      score += w[j] * v;
+    }
+    RankedTrial r;
+    r.trial_index = i;
+    r.score = score;
+    out.push_back(r);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const RankedTrial& a, const RankedTrial& b) {
+                     return a.score > b.score;
+                   });
+  for (std::size_t i = 0; i < out.size(); ++i) out[i].rank = i;
+
+  // Annotate Pareto optimality for reference.
+  const auto front = pareto_front(points, senses_of(metrics));
+  for (auto& r : out) {
+    r.pareto_optimal =
+        std::find(front.begin(), front.end(), r.trial_index) != front.end();
+  }
+  return out;
+}
+
+SingleMetricRanking::SingleMetricRanking(std::string metric_name)
+    : metric_name_(std::move(metric_name)) {
+  name_ = "SortedBy(" + metric_name_ + ")";
+}
+
+std::vector<RankedTrial> SingleMetricRanking::rank(
+    const MetricSet& metrics,
+    const std::vector<std::vector<double>>& points) const {
+  const MetricDef& def = metrics.def(metric_name_);
+  std::size_t col = 0;
+  for (std::size_t j = 0; j < metrics.size(); ++j) {
+    if (metrics.defs()[j].name == metric_name_) col = j;
+  }
+  std::vector<RankedTrial> out;
+  out.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    DARL_CHECK(points[i].size() == metrics.size(), "point/metric size mismatch");
+    RankedTrial r;
+    r.trial_index = i;
+    r.score = def.sense == Sense::Maximize ? points[i][col] : -points[i][col];
+    out.push_back(r);
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const RankedTrial& a, const RankedTrial& b) {
+                     return a.score > b.score;
+                   });
+  for (std::size_t i = 0; i < out.size(); ++i) out[i].rank = i;
+  const auto front = pareto_front(points, senses_of(metrics));
+  for (auto& r : out) {
+    r.pareto_optimal =
+        std::find(front.begin(), front.end(), r.trial_index) != front.end();
+  }
+  return out;
+}
+
+}  // namespace darl::core

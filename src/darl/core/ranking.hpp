@@ -1,0 +1,83 @@
+// darl/core/ranking.hpp
+//
+// Stage (e) of the methodology: ranking methods. A RankingMethod builds a
+// hierarchy over evaluated configurations; the paper names Pareto fronts
+// (its choice) and sorted arrays as examples. Weighted-sum scalarization is
+// provided as a third option.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "darl/core/metric.hpp"
+
+namespace darl::core {
+
+/// Rank assigned to one trial. Lower rank is better; rank 0 of
+/// ParetoRanking is the Pareto-optimal set.
+struct RankedTrial {
+  std::size_t trial_index = 0;  ///< index into the input point table
+  std::size_t rank = 0;
+  double score = 0.0;           ///< method-specific (higher is better)
+  bool pareto_optimal = false;
+};
+
+/// Orders trials given their metric table (one row per trial, columns in
+/// MetricSet declaration order).
+class RankingMethod {
+ public:
+  virtual ~RankingMethod() = default;
+  virtual const std::string& name() const = 0;
+
+  /// Returns one entry per input row, sorted best-first.
+  virtual std::vector<RankedTrial> rank(
+      const MetricSet& metrics,
+      const std::vector<std::vector<double>>& points) const = 0;
+};
+
+/// Non-dominated sorting: rank = Pareto front index; ties within a front
+/// keep input order. The paper's choice.
+class ParetoRanking final : public RankingMethod {
+ public:
+  const std::string& name() const override { return name_; }
+  std::vector<RankedTrial> rank(
+      const MetricSet& metrics,
+      const std::vector<std::vector<double>>& points) const override;
+
+ private:
+  std::string name_ = "ParetoFront";
+};
+
+/// Scalarization: metrics are min-max normalized to "higher is better" in
+/// [0, 1] across the trials, then combined with the given weights (uniform
+/// when empty). Rank = position in the sorted order.
+class WeightedSumRanking final : public RankingMethod {
+ public:
+  explicit WeightedSumRanking(std::vector<double> weights = {});
+  const std::string& name() const override { return name_; }
+  std::vector<RankedTrial> rank(
+      const MetricSet& metrics,
+      const std::vector<std::vector<double>>& points) const override;
+
+ private:
+  std::string name_ = "WeightedSum";
+  std::vector<double> weights_;
+};
+
+/// Sorted array over a single metric (the paper's "sorted arrays" example).
+class SingleMetricRanking final : public RankingMethod {
+ public:
+  explicit SingleMetricRanking(std::string metric_name);
+  const std::string& name() const override { return name_; }
+  std::vector<RankedTrial> rank(
+      const MetricSet& metrics,
+      const std::vector<std::vector<double>>& points) const override;
+
+ private:
+  std::string name_;
+  std::string metric_name_;
+};
+
+}  // namespace darl::core

@@ -1,0 +1,297 @@
+#include "darl/core/report.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "darl/common/ascii_plot.hpp"
+#include "darl/common/csv.hpp"
+#include "darl/common/error.hpp"
+#include "darl/common/rng.hpp"
+#include "darl/common/table.hpp"
+#include "darl/core/pareto.hpp"
+#include "darl/core/stability.hpp"
+
+namespace darl::core {
+namespace {
+
+std::vector<std::string> param_columns(const CaseStudyDef& def,
+                                       const std::vector<std::string>& order) {
+  if (!order.empty()) return order;
+  std::vector<std::string> names;
+  for (const auto& d : def.space.domains()) names.push_back(d.name());
+  return names;
+}
+
+}  // namespace
+
+std::string render_trial_table(const CaseStudyDef& def,
+                               const std::vector<TrialRecord>& trials,
+                               const std::vector<std::string>& param_order) {
+  const auto params = param_columns(def, param_order);
+  TextTable table;
+  std::vector<std::string> cols{"#"};
+  std::vector<Align> aligns{Align::Right};
+  for (const auto& p : params) {
+    cols.push_back(p);
+    aligns.push_back(Align::Left);
+  }
+  for (const auto& m : def.metrics.defs()) {
+    cols.push_back(m.unit.empty() ? m.name : m.name + " (" + m.unit + ")");
+    aligns.push_back(Align::Right);
+  }
+  table.set_columns(cols, aligns);
+
+  for (const auto& t : trials) {
+    std::vector<std::string> row;
+    row.push_back(std::to_string(t.id + 1));  // paper numbering is 1-based
+    for (const auto& p : params) {
+      row.push_back(t.config.has(p) ? param_value_to_string(t.config.get(p))
+                                    : "-");
+    }
+    for (const auto& m : def.metrics.defs()) {
+      const auto it = t.metrics.find(m.name);
+      row.push_back(it == t.metrics.end() ? "-" : fixed(it->second, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+std::string render_pareto_plot(const CaseStudyDef& def,
+                               const std::vector<TrialRecord>& trials,
+                               const std::string& metric_x,
+                               const std::string& metric_y,
+                               const std::string& title,
+                               std::vector<std::size_t>* front_trial_ids) {
+  const MetricDef& mx = def.metrics.def(metric_x);
+  const MetricDef& my = def.metrics.def(metric_y);
+
+  std::vector<std::vector<double>> points;
+  std::vector<std::size_t> ids;
+  for (const auto& t : trials) {
+    if (t.budget_fraction < 1.0) continue;
+    const auto ix = t.metrics.find(metric_x);
+    const auto iy = t.metrics.find(metric_y);
+    DARL_CHECK(ix != t.metrics.end() && iy != t.metrics.end(),
+               "trial " << t.id << " lacks plotted metrics");
+    points.push_back({ix->second, iy->second});
+    ids.push_back(t.id);
+  }
+  const auto front = pareto_front(points, {mx.sense, my.sense});
+  if (front_trial_ids != nullptr) {
+    front_trial_ids->clear();
+    for (std::size_t f : front) front_trial_ids->push_back(ids[f]);
+  }
+
+  std::vector<PlotPoint> plot;
+  plot.reserve(points.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    PlotPoint p;
+    p.x = points[i][0];
+    p.y = points[i][1];
+    p.label = std::to_string(ids[i] + 1);
+    p.highlight = std::find(front.begin(), front.end(), i) != front.end();
+    plot.push_back(p);
+  }
+  PlotOptions opts;
+  opts.title = title;
+  opts.x_label = mx.unit.empty() ? metric_x : metric_x + " (" + mx.unit + ")";
+  opts.y_label = my.unit.empty() ? metric_y : metric_y + " (" + my.unit + ")";
+  return render_scatter(plot, opts);
+}
+
+void write_trials_csv(std::ostream& out, const CaseStudyDef& def,
+                      const std::vector<TrialRecord>& trials) {
+  CsvWriter csv(out);
+  std::vector<std::string> header{"id", "budget_fraction", "config"};
+  for (const auto& m : def.metrics.defs()) header.push_back(m.name);
+  csv.header(header);
+  for (const auto& t : trials) {
+    csv.begin_row();
+    csv.integer(static_cast<long long>(t.id));
+    csv.number(t.budget_fraction, 6);
+    csv.field(t.config.describe());
+    for (const auto& m : def.metrics.defs()) {
+      const auto it = t.metrics.find(m.name);
+      DARL_CHECK(it != t.metrics.end(), "trial missing metric '" << m.name << "'");
+      csv.number(it->second, 12);
+    }
+    csv.end_row();
+  }
+}
+
+LearningConfiguration parse_configuration(const ParamSpace& space,
+                                          const std::string& description) {
+  LearningConfiguration config;
+  std::stringstream ss(description);
+  std::string piece;
+  while (std::getline(ss, piece, ',')) {
+    // trim
+    const auto b = piece.find_first_not_of(' ');
+    const auto e = piece.find_last_not_of(' ');
+    DARL_CHECK(b != std::string::npos, "empty configuration fragment");
+    piece = piece.substr(b, e - b + 1);
+    const auto eq = piece.find('=');
+    DARL_CHECK(eq != std::string::npos, "malformed fragment '" << piece << "'");
+    const std::string key = piece.substr(0, eq);
+    const std::string val = piece.substr(eq + 1);
+    const ParamDomain& dom = space.domain(key);
+    if (dom.is_categorical()) {
+      config.set(key, val);
+    } else if (dom.is_integer()) {
+      config.set(key, static_cast<std::int64_t>(std::stoll(val)));
+    } else {
+      config.set(key, std::stod(val));
+    }
+  }
+  return config;
+}
+
+std::optional<std::vector<TrialRecord>> load_trials_csv(std::istream& in,
+                                                        const CaseStudyDef& def) {
+  std::string header_line;
+  if (!std::getline(in, header_line)) return std::nullopt;
+  std::string expected = "id,budget_fraction,config";
+  for (const auto& m : def.metrics.defs()) expected += "," + m.name;
+  if (header_line != expected) return std::nullopt;
+
+  std::vector<TrialRecord> trials;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    // Parse with quote awareness (the config field is quoted when it
+    // contains commas — which it does for multi-parameter configs).
+    std::vector<std::string> fields;
+    std::string cur;
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      if (quoted) {
+        if (c == '"') {
+          if (i + 1 < line.size() && line[i + 1] == '"') {
+            cur += '"';
+            ++i;
+          } else {
+            quoted = false;
+          }
+        } else {
+          cur += c;
+        }
+      } else if (c == '"') {
+        quoted = true;
+      } else if (c == ',') {
+        fields.push_back(cur);
+        cur.clear();
+      } else {
+        cur += c;
+      }
+    }
+    fields.push_back(cur);
+    if (fields.size() != 3 + def.metrics.size()) return std::nullopt;
+
+    TrialRecord t;
+    try {
+      t.id = static_cast<std::size_t>(std::stoull(fields[0]));
+      t.budget_fraction = std::stod(fields[1]);
+      t.config = parse_configuration(def.space, fields[2]);
+      for (std::size_t j = 0; j < def.metrics.size(); ++j) {
+        t.metrics[def.metrics.defs()[j].name] = std::stod(fields[3 + j]);
+      }
+    } catch (const std::exception&) {
+      return std::nullopt;
+    }
+    trials.push_back(std::move(t));
+  }
+  if (trials.empty()) return std::nullopt;
+  return trials;
+}
+
+std::string write_markdown_report(const CaseStudyDef& def,
+                                  const std::vector<TrialRecord>& trials,
+                                  const MarkdownReportOptions& options) {
+  std::ostringstream md;
+  md << "# Decision analysis: " << def.name << "\n\n";
+  md << trials.size() << " evaluated configurations, "
+     << def.metrics.size() << " metrics (";
+  for (std::size_t i = 0; i < def.metrics.size(); ++i) {
+    if (i) md << ", ";
+    md << def.metrics.defs()[i].name << " "
+       << sense_name(def.metrics.defs()[i].sense);
+  }
+  md << ").\n\n";
+
+  // --- campaign table.
+  md << "## Evaluated configurations\n\n|#|";
+  for (const auto& d : def.space.domains()) md << d.name() << "|";
+  for (const auto& m : def.metrics.defs()) {
+    md << m.name << (m.unit.empty() ? "" : " (" + m.unit + ")") << "|";
+  }
+  md << "\n|-|";
+  for (std::size_t i = 0; i < def.space.size() + def.metrics.size(); ++i)
+    md << "-|";
+  md << "\n";
+  for (const auto& t : trials) {
+    md << "|" << (t.id + 1) << "|";
+    for (const auto& d : def.space.domains()) {
+      md << (t.config.has(d.name())
+                 ? param_value_to_string(t.config.get(d.name()))
+                 : "-")
+         << "|";
+    }
+    for (const auto& m : def.metrics.defs()) {
+      const auto it = t.metrics.find(m.name);
+      md << (it == t.metrics.end() ? std::string("-") : fixed(it->second, 2))
+         << "|";
+    }
+    md << "\n";
+  }
+  md << "\n";
+
+  // --- Pareto-front sections.
+  auto figures = options.figures;
+  if (figures.empty()) {
+    const auto& defs = def.metrics.defs();
+    for (std::size_t i = 0; i + 1 < defs.size(); ++i) {
+      figures.emplace_back(defs[i].name, defs[i + 1].name);
+    }
+    if (defs.size() > 2) figures.emplace_back(defs.back().name, defs[0].name);
+  }
+  for (const auto& [x, y] : figures) {
+    std::vector<std::size_t> front;
+    const std::string plot =
+        render_pareto_plot(def, trials, x, y, y + " vs " + x, &front);
+    md << "## Trade-off: " << y << " vs " << x << "\n\n";
+    md << "Non-dominated solutions: ";
+    for (std::size_t i = 0; i < front.size(); ++i) {
+      if (i) md << ", ";
+      md << "#" << (front[i] + 1);
+    }
+    md << "\n\n```\n" << plot << "```\n\n";
+  }
+
+  // --- stability section.
+  if (options.include_stability && !trials.empty()) {
+    std::vector<std::vector<double>> points;
+    points.reserve(trials.size());
+    for (const auto& t : trials) points.push_back(def.metrics.extract(t.metrics));
+    StabilityOptions sopts;
+    sopts.samples = options.stability_samples;
+    sopts.relative_noise = options.stability_relative_noise;
+    Rng rng(options.stability_seed);
+    const StabilityResult st = front_stability(points, def.metrics, sopts, rng);
+    md << "## Front stability (" << sopts.samples << " resamples, "
+       << fixed(100.0 * sopts.relative_noise, 0) << "% relative noise)\n\n"
+       << "|#|front membership|\n|-|-|\n";
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+      md << "|" << (trials[i].id + 1) << "|"
+         << fixed(100.0 * st.membership[i], 1) << "%"
+         << (st.membership[i] >= 0.5 ? " **robust**" : "") << "|\n";
+    }
+    md << "\n";
+  }
+  return md.str();
+}
+
+}  // namespace darl::core

@@ -1,0 +1,62 @@
+#include "darl/core/stability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "darl/common/error.hpp"
+#include "darl/common/rng.hpp"
+#include "darl/core/pareto.hpp"
+
+namespace darl::core {
+
+StabilityResult front_stability(const std::vector<std::vector<double>>& points,
+                                const MetricSet& metrics,
+                                const StabilityOptions& options, Rng& rng) {
+  DARL_CHECK(options.samples > 0, "stability needs at least one sample");
+  DARL_CHECK(options.relative_noise >= 0.0, "negative relative noise");
+  const std::size_t m = metrics.size();
+  DARL_CHECK(options.absolute_stddev.empty() ||
+                 options.absolute_stddev.size() == m,
+             "absolute_stddev must match the metric count");
+  for (const auto& p : points) {
+    DARL_CHECK(p.size() == m, "point/metric size mismatch");
+  }
+
+  std::vector<Sense> senses;
+  senses.reserve(m);
+  for (const auto& d : metrics.defs()) senses.push_back(d.sense);
+
+  StabilityResult out;
+  out.membership.assign(points.size(), 0.0);
+  if (points.empty()) return out;
+
+  std::vector<std::vector<double>> noisy = points;
+  for (std::size_t s = 0; s < options.samples; ++s) {
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      for (std::size_t j = 0; j < m; ++j) {
+        double sd = 0.0;
+        if (!options.absolute_stddev.empty() && options.absolute_stddev[j] > 0.0) {
+          sd = options.absolute_stddev[j];
+        } else {
+          sd = options.relative_noise * std::abs(points[i][j]);
+        }
+        noisy[i][j] = points[i][j] + rng.normal(0.0, sd);
+      }
+    }
+    for (std::size_t idx : pareto_front(noisy, senses)) {
+      out.membership[idx] += 1.0;
+    }
+  }
+  for (double& f : out.membership) f /= static_cast<double>(options.samples);
+
+  for (std::size_t i = 0; i < out.membership.size(); ++i) {
+    if (out.membership[i] >= 0.5) out.robust_front.push_back(i);
+  }
+  std::stable_sort(out.robust_front.begin(), out.robust_front.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return out.membership[a] > out.membership[b];
+                   });
+  return out;
+}
+
+}  // namespace darl::core

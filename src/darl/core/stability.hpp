@@ -1,0 +1,53 @@
+// darl/core/stability.hpp
+//
+// Robustness analysis for the ranking stage. The paper's §VI-D notes that
+// distributed learning "comes with uncertainties and a lack of
+// reproducibility regarding the accuracy" — which means a Pareto front
+// computed from one campaign is itself uncertain. This module quantifies
+// that: it resamples the metric table under multiplicative noise (or under
+// supplied per-metric standard deviations) and reports how often each
+// configuration stays non-dominated. A decision maker can then distinguish
+// solid front members from coin-flip ones.
+
+#pragma once
+
+#include <vector>
+
+#include "darl/core/metric.hpp"
+
+namespace darl {
+class Rng;
+}
+
+namespace darl::core {
+
+/// Options for front_stability.
+struct StabilityOptions {
+  /// Number of perturbed resamples of the metric table.
+  std::size_t samples = 1000;
+  /// Relative (multiplicative, Gaussian) noise applied to each metric
+  /// value, used when `absolute_stddev` is empty.
+  double relative_noise = 0.05;
+  /// Optional per-metric absolute standard deviations (size = #metrics);
+  /// overrides relative noise for the metrics where the entry is > 0.
+  std::vector<double> absolute_stddev;
+};
+
+/// Per-point front-membership statistics.
+struct StabilityResult {
+  /// membership[i] = fraction of resamples in which point i was
+  /// non-dominated.
+  std::vector<double> membership;
+  /// Indices whose membership >= 0.5, sorted by membership descending —
+  /// the "robust front".
+  std::vector<std::size_t> robust_front;
+};
+
+/// Estimate the stability of the Pareto front of `points` (rows = trials,
+/// columns aligned with `metrics`). Noise is resampled independently per
+/// point, metric and draw.
+StabilityResult front_stability(const std::vector<std::vector<double>>& points,
+                                const MetricSet& metrics,
+                                const StabilityOptions& options, Rng& rng);
+
+}  // namespace darl::core

@@ -1,0 +1,134 @@
+#include "darl/core/study.hpp"
+
+#include "darl/common/error.hpp"
+#include "darl/common/log.hpp"
+#include "darl/common/rng.hpp"
+#include "darl/common/stopwatch.hpp"
+#include <thread>
+
+#include "darl/core/pareto.hpp"
+
+namespace darl::core {
+
+Study::Study(CaseStudyDef def, std::unique_ptr<ExploratoryMethod> explorer,
+             StudyOptions options)
+    : def_(std::move(def)), explorer_(std::move(explorer)), options_(options) {
+  DARL_CHECK(def_.evaluate != nullptr, "case study has no evaluate function");
+  DARL_CHECK(explorer_ != nullptr, "study needs an exploratory method");
+  DARL_CHECK(def_.metrics.size() > 0, "study needs at least one metric");
+}
+
+void Study::run() {
+  const Rng seeder(options_.seed);
+  const std::size_t width = std::max<std::size_t>(1, options_.parallel_trials);
+
+  while (true) {
+    // Gather a batch of proposals (adaptive explorers may hand out fewer
+    // than `width` before needing feedback — that is fine).
+    std::vector<Proposal> batch;
+    while (batch.size() < width) {
+      if (options_.max_trials > 0 &&
+          trials_.size() + batch.size() >= options_.max_trials) {
+        break;
+      }
+      auto proposal = explorer_->ask();
+      if (!proposal.has_value()) break;
+      def_.space.validate(proposal->config);
+      if (options_.log_progress) {
+        DARL_LOG_INFO << "study '" << def_.name << "': trial "
+                      << proposal->trial_id << " ["
+                      << proposal->config.describe() << "] budget "
+                      << proposal->budget_fraction;
+      }
+      batch.push_back(std::move(*proposal));
+    }
+    if (batch.empty()) break;
+
+    // Evaluate the batch (concurrently when width > 1).
+    std::vector<TrialRecord> records(batch.size());
+    auto evaluate_one = [&](std::size_t i) {
+      const Proposal& p = batch[i];
+      Stopwatch sw;
+      const std::uint64_t trial_seed = seeder.split(p.trial_id).seed();
+      TrialRecord record;
+      record.id = p.trial_id;
+      record.config = p.config;
+      record.budget_fraction = p.budget_fraction;
+      record.metrics = def_.evaluate(p.config, p.budget_fraction, trial_seed);
+      record.wall_seconds = sw.seconds();
+      records[i] = std::move(record);
+    };
+    if (batch.size() == 1) {
+      evaluate_one(0);
+    } else {
+      std::vector<std::thread> threads;
+      threads.reserve(batch.size());
+      for (std::size_t i = 0; i < batch.size(); ++i) {
+        threads.emplace_back(evaluate_one, i);
+      }
+      for (auto& t : threads) t.join();
+    }
+
+    // Record and report feedback in proposal order (deterministic
+    // regardless of evaluation scheduling).
+    for (auto& record : records) {
+      (void)def_.metrics.extract(record.metrics);  // validate completeness
+      explorer_->tell(record.id, record.metrics);
+      trials_.push_back(std::move(record));
+    }
+  }
+}
+
+std::vector<std::vector<double>> Study::metric_table() const {
+  std::vector<std::vector<double>> table;
+  table.reserve(trials_.size());
+  for (const auto& t : trials_) table.push_back(def_.metrics.extract(t.metrics));
+  return table;
+}
+
+std::vector<std::vector<double>> Study::full_budget_metric_table(
+    std::vector<std::size_t>& indices) const {
+  indices.clear();
+  std::vector<std::vector<double>> table;
+  for (std::size_t i = 0; i < trials_.size(); ++i) {
+    if (trials_[i].budget_fraction >= 1.0) {
+      indices.push_back(i);
+      table.push_back(def_.metrics.extract(trials_[i].metrics));
+    }
+  }
+  return table;
+}
+
+std::vector<std::size_t> Study::pareto_trials(
+    const std::vector<std::string>& metric_names) const {
+  std::vector<std::string> names = metric_names;
+  if (names.empty()) {
+    for (const auto& d : def_.metrics.defs()) names.push_back(d.name);
+  }
+  std::vector<Sense> senses;
+  senses.reserve(names.size());
+  for (const auto& n : names) senses.push_back(def_.metrics.def(n).sense);
+
+  std::vector<std::size_t> indices;
+  std::vector<std::vector<double>> points;
+  for (std::size_t i = 0; i < trials_.size(); ++i) {
+    if (trials_[i].budget_fraction < 1.0) continue;
+    std::vector<double> p;
+    p.reserve(names.size());
+    for (const auto& n : names) {
+      const auto it = trials_[i].metrics.find(n);
+      DARL_CHECK(it != trials_[i].metrics.end(),
+                 "trial " << trials_[i].id << " missing metric '" << n << "'");
+      p.push_back(it->second);
+    }
+    indices.push_back(i);
+    points.push_back(std::move(p));
+  }
+  const auto front = pareto_front(points, senses);
+  std::vector<std::size_t> out;
+  out.reserve(front.size());
+  for (std::size_t f : front) out.push_back(indices[f]);
+  return out;
+}
+
+}  // namespace darl::core

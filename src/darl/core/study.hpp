@@ -1,0 +1,92 @@
+// darl/core/study.hpp
+//
+// The study runner: wires the five methodology stages together. A
+// CaseStudyDef supplies the case study (stage a) as an evaluation function,
+// the parameter space (stage b) and the metric set (stage d); the caller
+// chooses an ExploratoryMethod (stage c); Study::run() executes the
+// campaign and the ranking methods (stage e) read the trial table.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "darl/core/explorer.hpp"
+#include "darl/core/metric.hpp"
+#include "darl/core/param.hpp"
+
+namespace darl::core {
+
+/// Stage (a): the case study, reduced to what the methodology needs — an
+/// evaluation function mapping (configuration, budget fraction, seed) to
+/// the declared metrics. For the airdrop use case the function trains a
+/// model through a framework backend; unit tests use synthetic functions.
+struct CaseStudyDef {
+  std::string name;
+  ParamSpace space;
+  MetricSet metrics;
+
+  using EvaluateFn = std::function<MetricValues(
+      const LearningConfiguration& config, double budget_fraction,
+      std::uint64_t seed)>;
+  EvaluateFn evaluate;
+};
+
+/// One executed trial.
+struct TrialRecord {
+  std::size_t id = 0;
+  LearningConfiguration config;
+  double budget_fraction = 1.0;
+  MetricValues metrics;
+  double wall_seconds = 0.0;
+};
+
+/// Study options.
+struct StudyOptions {
+  std::uint64_t seed = 1;
+  bool log_progress = true;
+  /// Hard cap on trials regardless of the exploratory method (0 = none).
+  std::size_t max_trials = 0;
+  /// Evaluate up to this many trials concurrently (each on its own
+  /// thread). Results and explorer feedback are applied in proposal order,
+  /// so a study is deterministic regardless of this setting; the
+  /// evaluation function must be thread-safe for values > 1 (the airdrop
+  /// case study is: every trial builds its own backend/envs/learner).
+  std::size_t parallel_trials = 1;
+};
+
+/// Executes an exploration campaign over a case study.
+class Study {
+ public:
+  Study(CaseStudyDef def, std::unique_ptr<ExploratoryMethod> explorer,
+        StudyOptions options = {});
+
+  /// Run until the exploratory method is exhausted (or max_trials).
+  void run();
+
+  const std::vector<TrialRecord>& trials() const { return trials_; }
+  const CaseStudyDef& definition() const { return def_; }
+
+  /// Metric table of all trials (rows in trial order, columns in metric
+  /// declaration order).
+  std::vector<std::vector<double>> metric_table() const;
+
+  /// Metric table restricted to full-budget trials, with the original
+  /// trial indices returned through `indices`.
+  std::vector<std::vector<double>> full_budget_metric_table(
+      std::vector<std::size_t>& indices) const;
+
+  /// Trial indices on the first Pareto front over the given metric subset
+  /// (all declared metrics when `metric_names` is empty). Only full-budget
+  /// trials participate.
+  std::vector<std::size_t> pareto_trials(
+      const std::vector<std::string>& metric_names = {}) const;
+
+ private:
+  CaseStudyDef def_;
+  std::unique_ptr<ExploratoryMethod> explorer_;
+  StudyOptions options_;
+  std::vector<TrialRecord> trials_;
+};
+
+}  // namespace darl::core

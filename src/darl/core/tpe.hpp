@@ -1,0 +1,78 @@
+// darl/core/tpe.hpp
+//
+// Tree-structured Parzen Estimator exploratory method (Bergstra et al.
+// 2011) — the model-based search the paper's §III-C names via Hyperopt as
+// an alternative implementation of the exploration stage.
+//
+// After a random startup phase, observed trials are split into a "good"
+// quantile and the rest; per-parameter Parzen densities l(x) (good) and
+// g(x) (rest) are fitted, candidates are drawn from l and the one
+// maximizing the density ratio l(x)/g(x) — equivalently the expected
+// improvement — is proposed. Parameters are modelled independently
+// (Optuna's default independent sampler).
+
+#pragma once
+
+#include "darl/core/explorer.hpp"
+
+namespace darl::core {
+
+/// TPE options.
+struct TpeOptions {
+  std::size_t n_trials = 30;        ///< total ask() budget
+  std::size_t n_startup = 8;        ///< random trials before the model kicks in
+  double gamma = 0.25;              ///< fraction of trials deemed "good"
+  std::size_t n_candidates = 24;    ///< EI candidates per ask()
+  double categorical_prior = 1.0;   ///< Dirichlet-style smoothing count
+  /// Bandwidth floor as a fraction of the domain span (real parameters).
+  double min_bandwidth_fraction = 0.05;
+};
+
+/// Tree-structured Parzen Estimator over one objective metric.
+class TpeSearch final : public ExploratoryMethod {
+ public:
+  TpeSearch(ParamSpace space, MetricDef objective, TpeOptions options,
+            std::uint64_t seed);
+
+  const std::string& name() const override { return name_; }
+  std::optional<Proposal> ask() override;
+  void tell(std::size_t trial_id, const MetricValues& metrics) override;
+
+  /// Number of completed (told) trials.
+  std::size_t observations() const { return history_.size(); }
+
+ private:
+  struct Observation {
+    LearningConfiguration config;
+    double score = 0.0;  ///< internally maximized
+  };
+
+  /// Split history into good/rest views (indices), best first.
+  void split(std::vector<const Observation*>& good,
+             std::vector<const Observation*>& rest) const;
+
+  /// Sample one candidate configuration from the "good" Parzen model.
+  LearningConfiguration sample_from_model(
+      const std::vector<const Observation*>& good);
+
+  /// log-density of `config` under the Parzen model of `group`.
+  double log_density(const LearningConfiguration& config,
+                     const std::vector<const Observation*>& group) const;
+
+  /// Per-dimension helpers.
+  double dim_log_density(const ParamDomain& dom, const ParamValue& v,
+                         const std::vector<const Observation*>& group) const;
+  ParamValue dim_sample(const ParamDomain& dom,
+                        const std::vector<const Observation*>& group);
+
+  std::string name_ = "TPE";
+  ParamSpace space_;
+  MetricDef objective_;
+  TpeOptions options_;
+  Rng rng_;
+  std::size_t asked_ = 0;
+  std::vector<Observation> history_;
+  std::map<std::size_t, LearningConfiguration> pending_;
+};
+
+}  // namespace darl::core

@@ -1,0 +1,32 @@
+#include "darl/env/env.hpp"
+
+#include "darl/common/error.hpp"
+#include "darl/common/rng.hpp"
+
+namespace darl::env {
+
+EnvBase::EnvBase(std::uint64_t default_seed)
+    : rng_(std::make_unique<Rng>(default_seed)) {}
+
+void EnvBase::seed(std::uint64_t s) { rng_ = std::make_unique<Rng>(s); }
+
+Vec EnvBase::reset() {
+  needs_reset_ = false;
+  episode_steps_ = 0;
+  return do_reset(*rng_);
+}
+
+StepResult EnvBase::step(const Vec& action) {
+  if (needs_reset_) {
+    throw InvalidState("step() called before reset() (or after episode end)");
+  }
+  DARL_CHECK(action_space().action_dim() == action.size(),
+             "action has " << action.size() << " elements, space "
+                           << action_space().describe());
+  ++episode_steps_;
+  StepResult result = do_step(*rng_, action);
+  if (result.done()) needs_reset_ = true;
+  return result;
+}
+
+}  // namespace darl::env

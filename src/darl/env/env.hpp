@@ -1,0 +1,97 @@
+// darl/env/env.hpp
+//
+// The gym-style environment interface (§IV-A of the paper: the simulator
+// "is provided as a gym environment"). Environments are single-threaded
+// objects; parallel collection uses one instance per worker, created from
+// an EnvFactory.
+
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "darl/common/rng.hpp"
+#include "darl/env/space.hpp"
+#include "darl/linalg/vec.hpp"
+
+namespace darl::env {
+
+/// Result of one environment step.
+struct StepResult {
+  Vec observation;
+  double reward = 0.0;
+  bool terminated = false;  ///< reached a terminal state (e.g. landing)
+  bool truncated = false;   ///< cut off by a wrapper (e.g. time limit)
+
+  bool done() const { return terminated || truncated; }
+};
+
+/// Abstract RL environment.
+///
+/// Lifecycle: seed() (optional) -> reset() -> step()* until done ->
+/// reset() ... Calling step() after done and before reset() throws
+/// darl::InvalidState (enforced by implementations via EnvBase).
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Reseed the environment's private random stream.
+  virtual void seed(std::uint64_t seed) = 0;
+
+  /// Start a new episode; returns the initial observation.
+  virtual Vec reset() = 0;
+
+  /// Advance one time-step with the given action (see ActionSpace for the
+  /// Vec encoding of discrete actions).
+  virtual StepResult step(const Vec& action) = 0;
+
+  virtual const BoxSpace& observation_space() const = 0;
+  virtual const ActionSpace& action_space() const = 0;
+
+  /// Stable identifier used in logs and reports.
+  virtual const std::string& name() const = 0;
+
+  /// Simulated in-environment compute cost (in cost units, e.g. ODE
+  /// right-hand-side evaluations) accumulated since the last
+  /// take_compute_cost() call. Environments with no meaningful internal
+  /// cost return steps taken. The cluster cost model drains this counter.
+  virtual double take_compute_cost() { return 0.0; }
+
+  /// Domain score of the most recently *finished* episode, when the
+  /// environment defines one distinct from the per-step reward sum (the
+  /// airdrop simulator's landing score — the paper's Reward metric).
+  /// Environments without a separate notion return nullopt and the summed
+  /// reward is used instead.
+  virtual std::optional<double> episode_score() const { return std::nullopt; }
+};
+
+/// Factory producing independent environment instances (one per parallel
+/// worker). Implementations must return a fresh, unshared object.
+using EnvFactory = std::function<std::unique_ptr<Env>()>;
+
+/// Convenience base class handling the reset/step state machine and the
+/// private Rng. Subclasses implement do_reset()/do_step().
+class EnvBase : public Env {
+ public:
+  void seed(std::uint64_t s) override;
+  Vec reset() override;
+  StepResult step(const Vec& action) override;
+
+ protected:
+  explicit EnvBase(std::uint64_t default_seed = 0);
+
+  virtual Vec do_reset(Rng& rng) = 0;
+  virtual StepResult do_step(Rng& rng, const Vec& action) = 0;
+
+  /// Steps taken in the current episode.
+  std::size_t episode_steps() const { return episode_steps_; }
+
+ private:
+  std::unique_ptr<Rng> rng_;
+  bool needs_reset_ = true;
+  std::size_t episode_steps_ = 0;
+};
+
+}  // namespace darl::env

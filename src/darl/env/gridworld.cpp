@@ -1,0 +1,108 @@
+#include "darl/env/gridworld.hpp"
+
+#include "darl/common/error.hpp"
+#include "darl/common/rng.hpp"
+#include "darl/env/wrappers.hpp"
+
+namespace darl::env {
+
+GridWorldLayout GridWorldLayout::small_maze() {
+  return GridWorldLayout{{
+      "S..G",
+      ".#.X",
+      "....",
+      "....",
+  }};
+}
+
+GridWorldEnv::GridWorldEnv(GridWorldLayout layout)
+    : layout_(std::move(layout)),
+      obs_space_(1, 0.0, 1.0),  // placeholder, resized below
+      act_space_(DiscreteSpace(4)) {
+  DARL_CHECK(!layout_.rows.empty(), "grid world needs at least one row");
+  height_ = layout_.rows.size();
+  width_ = layout_.rows[0].size();
+  DARL_CHECK(width_ > 0, "grid world rows must be non-empty");
+  std::size_t starts = 0;
+  for (std::size_t y = 0; y < height_; ++y) {
+    DARL_CHECK(layout_.rows[y].size() == width_,
+               "grid row " << y << " has inconsistent width");
+    for (std::size_t x = 0; x < width_; ++x) {
+      const char c = cell(x, y);
+      DARL_CHECK(c == '.' || c == 'S' || c == 'G' || c == 'X' || c == '#',
+                 "unknown grid cell '" << c << "'");
+      if (c == 'S') {
+        start_x_ = x;
+        start_y_ = y;
+        ++starts;
+      }
+    }
+  }
+  DARL_CHECK(starts == 1, "grid world needs exactly one start, got " << starts);
+  obs_space_ = BoxSpace(width_ * height_, 0.0, 1.0);
+}
+
+Vec GridWorldEnv::observe() const {
+  Vec obs(width_ * height_, 0.0);
+  obs[y_ * width_ + x_] = 1.0;
+  return obs;
+}
+
+Vec GridWorldEnv::do_reset(Rng& rng) {
+  (void)rng;  // deterministic start
+  x_ = start_x_;
+  y_ = start_y_;
+  return observe();
+}
+
+StepResult GridWorldEnv::do_step(Rng& rng, const Vec& action) {
+  (void)rng;
+  const std::size_t a = act_space_.discrete().decode(action);
+  std::ptrdiff_t nx = static_cast<std::ptrdiff_t>(x_);
+  std::ptrdiff_t ny = static_cast<std::ptrdiff_t>(y_);
+  switch (a) {
+    case 0: --ny; break;  // up
+    case 1: ++nx; break;  // right
+    case 2: ++ny; break;  // down
+    default: --nx; break; // left
+  }
+  const bool inside = nx >= 0 && ny >= 0 &&
+                      nx < static_cast<std::ptrdiff_t>(width_) &&
+                      ny < static_cast<std::ptrdiff_t>(height_);
+  if (inside && cell(static_cast<std::size_t>(nx),
+                     static_cast<std::size_t>(ny)) != '#') {
+    x_ = static_cast<std::size_t>(nx);
+    y_ = static_cast<std::size_t>(ny);
+  }
+  pending_cost_ += 1.0;
+
+  StepResult r;
+  r.observation = observe();
+  const char c = cell(x_, y_);
+  if (c == 'G') {
+    r.reward = 1.0;
+    r.terminated = true;
+  } else if (c == 'X') {
+    r.reward = -1.0;
+    r.terminated = true;
+  } else {
+    r.reward = -0.01;
+  }
+  return r;
+}
+
+double GridWorldEnv::take_compute_cost() {
+  const double c = pending_cost_;
+  pending_cost_ = 0.0;
+  return c;
+}
+
+EnvFactory make_gridworld_factory(GridWorldLayout layout,
+                                  std::size_t time_limit) {
+  return [layout, time_limit]() -> std::unique_ptr<Env> {
+    return std::make_unique<TimeLimit>(std::make_unique<GridWorldEnv>(layout),
+                                       time_limit);
+  };
+}
+
+}  // namespace darl::env

@@ -1,0 +1,106 @@
+#include "darl/env/space.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "darl/common/error.hpp"
+#include "darl/common/rng.hpp"
+
+namespace darl::env {
+
+BoxSpace::BoxSpace(Vec low, Vec high) : low_(std::move(low)), high_(std::move(high)) {
+  DARL_CHECK(!low_.empty(), "BoxSpace with zero dimensions");
+  DARL_CHECK(low_.size() == high_.size(),
+             "BoxSpace bound sizes differ: " << low_.size() << " vs " << high_.size());
+  for (std::size_t i = 0; i < low_.size(); ++i) {
+    DARL_CHECK(low_[i] <= high_[i], "BoxSpace bounds inverted at dim " << i);
+  }
+}
+
+BoxSpace::BoxSpace(std::size_t dim, double lo, double hi)
+    : BoxSpace(Vec(dim, lo), Vec(dim, hi)) {}
+
+bool BoxSpace::contains(const Vec& x) const {
+  if (x.size() != low_.size()) return false;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (!(x[i] >= low_[i] && x[i] <= high_[i])) return false;
+  }
+  return true;
+}
+
+Vec BoxSpace::sample(Rng& rng) const {
+  Vec x(dim());
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = rng.uniform(low_[i], high_[i]);
+  return x;
+}
+
+Vec BoxSpace::clip(const Vec& x) const {
+  DARL_CHECK(x.size() == dim(), "clip size mismatch");
+  Vec out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    out[i] = std::clamp(x[i], low_[i], high_[i]);
+  return out;
+}
+
+DiscreteSpace::DiscreteSpace(std::size_t n) : n_(n) {
+  DARL_CHECK(n >= 1, "DiscreteSpace needs n >= 1");
+}
+
+bool DiscreteSpace::contains(const Vec& action) const {
+  if (action.empty()) return false;
+  const double v = std::round(action[0]);
+  return v >= 0.0 && v < static_cast<double>(n_);
+}
+
+std::size_t DiscreteSpace::decode(const Vec& action) const {
+  DARL_CHECK(!action.empty(), "decode of empty action");
+  const auto idx = static_cast<long long>(std::llround(action[0]));
+  const long long hi = static_cast<long long>(n_) - 1;
+  return static_cast<std::size_t>(std::clamp(idx, 0ll, hi));
+}
+
+Vec DiscreteSpace::encode(std::size_t index) const {
+  DARL_CHECK(index < n_, "discrete action " << index << " out of " << n_);
+  return Vec{static_cast<double>(index)};
+}
+
+Vec DiscreteSpace::sample(Rng& rng) const {
+  return encode(rng.index(n_));
+}
+
+const BoxSpace& ActionSpace::box() const {
+  const auto* b = std::get_if<BoxSpace>(&space_);
+  DARL_CHECK(b != nullptr, "action space is not continuous");
+  return *b;
+}
+
+const DiscreteSpace& ActionSpace::discrete() const {
+  const auto* d = std::get_if<DiscreteSpace>(&space_);
+  DARL_CHECK(d != nullptr, "action space is not discrete");
+  return *d;
+}
+
+std::size_t ActionSpace::action_dim() const {
+  return is_discrete() ? 1 : box().dim();
+}
+
+bool ActionSpace::contains(const Vec& action) const {
+  return is_discrete() ? discrete().contains(action) : box().contains(action);
+}
+
+Vec ActionSpace::sample(Rng& rng) const {
+  return is_discrete() ? discrete().sample(rng) : box().sample(rng);
+}
+
+std::string ActionSpace::describe() const {
+  std::ostringstream oss;
+  if (is_discrete()) {
+    oss << "Discrete(" << discrete().n() << ")";
+  } else {
+    oss << "Box(dim=" << box().dim() << ")";
+  }
+  return oss.str();
+}
+
+}  // namespace darl::env

@@ -1,0 +1,103 @@
+// darl/env/space.hpp
+//
+// Observation/action space descriptions, mirroring the gym API the paper's
+// simulator is built on. Two kinds are supported: bounded continuous boxes
+// and finite discrete sets. Actions are always carried as a Vec — a
+// DiscreteSpace interprets element 0 (rounded) as the action index — so the
+// policy/NN plumbing is uniform for PPO (discrete or continuous) and SAC.
+
+#pragma once
+
+#include <string>
+#include <variant>
+
+#include "darl/linalg/vec.hpp"
+
+namespace darl {
+class Rng;
+}
+
+namespace darl::env {
+
+/// Continuous box space: element-wise bounds low[i] <= x[i] <= high[i].
+class BoxSpace {
+ public:
+  BoxSpace() = default;
+
+  /// Bounds must have equal, non-zero size with low[i] <= high[i].
+  BoxSpace(Vec low, Vec high);
+
+  /// Convenience: `dim` dimensions all bounded by [lo, hi].
+  BoxSpace(std::size_t dim, double lo, double hi);
+
+  std::size_t dim() const { return low_.size(); }
+  const Vec& low() const { return low_; }
+  const Vec& high() const { return high_; }
+
+  /// True when x has the right size and lies inside the bounds.
+  bool contains(const Vec& x) const;
+
+  /// Uniform sample from the box.
+  Vec sample(Rng& rng) const;
+
+  /// Element-wise clamp of x into the box; size must match.
+  Vec clip(const Vec& x) const;
+
+ private:
+  Vec low_, high_;
+};
+
+/// Finite action set {0, 1, ..., n-1}.
+class DiscreteSpace {
+ public:
+  DiscreteSpace() = default;
+
+  /// Requires n >= 1.
+  explicit DiscreteSpace(std::size_t n);
+
+  std::size_t n() const { return n_; }
+
+  /// True when `action` decodes to a valid index.
+  bool contains(const Vec& action) const;
+
+  /// Decode a Vec-carried action into an index (element 0, rounded and
+  /// clamped into range). Requires a non-empty action vector.
+  std::size_t decode(const Vec& action) const;
+
+  /// Encode an index as a Vec-carried action.
+  Vec encode(std::size_t index) const;
+
+  /// Uniform sample over the set, encoded as a Vec.
+  Vec sample(Rng& rng) const;
+
+ private:
+  std::size_t n_ = 0;
+};
+
+/// An action space is either continuous (Box) or discrete.
+class ActionSpace {
+ public:
+  ActionSpace() : space_(DiscreteSpace(1)) {}
+  explicit ActionSpace(BoxSpace box) : space_(std::move(box)) {}
+  explicit ActionSpace(DiscreteSpace d) : space_(d) {}
+
+  bool is_discrete() const { return std::holds_alternative<DiscreteSpace>(space_); }
+  bool is_box() const { return !is_discrete(); }
+
+  /// Accessors; throw darl::Error on kind mismatch.
+  const BoxSpace& box() const;
+  const DiscreteSpace& discrete() const;
+
+  /// Dimension of the Vec carrying an action: box dim, or 1 for discrete.
+  std::size_t action_dim() const;
+
+  bool contains(const Vec& action) const;
+  Vec sample(Rng& rng) const;
+
+  std::string describe() const;
+
+ private:
+  std::variant<BoxSpace, DiscreteSpace> space_;
+};
+
+}  // namespace darl::env

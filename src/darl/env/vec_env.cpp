@@ -1,0 +1,82 @@
+#include "darl/env/vec_env.hpp"
+
+#include "darl/common/error.hpp"
+#include "darl/common/rng.hpp"
+
+namespace darl::env {
+
+SyncVecEnv::SyncVecEnv(const EnvFactory& factory, std::size_t n_envs,
+                       std::uint64_t seed) {
+  DARL_CHECK(n_envs > 0, "SyncVecEnv needs at least one sub-env");
+  const Rng seeder(seed);
+  envs_.reserve(n_envs);
+  for (std::size_t i = 0; i < n_envs; ++i) {
+    auto e = factory();
+    DARL_CHECK(e != nullptr, "EnvFactory returned null");
+    e->seed(seeder.split(i).seed());
+    envs_.push_back(std::make_unique<EpisodeMonitor>(std::move(e)));
+  }
+}
+
+std::vector<Vec> SyncVecEnv::reset() {
+  std::vector<Vec> obs;
+  obs.reserve(envs_.size());
+  for (auto& e : envs_) obs.push_back(e->reset());
+  return obs;
+}
+
+VecStepResult SyncVecEnv::step(const std::vector<Vec>& actions) {
+  DARL_CHECK(actions.size() == envs_.size(),
+             "got " << actions.size() << " actions for " << envs_.size()
+                    << " envs");
+  VecStepResult out;
+  const std::size_t n = envs_.size();
+  out.observation.resize(n);
+  out.reward.resize(n);
+  out.terminated.assign(n, false);
+  out.truncated.assign(n, false);
+  out.final_observation.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    StepResult r = envs_[i]->step(actions[i]);
+    out.reward[i] = r.reward;
+    out.terminated[i] = r.terminated;
+    out.truncated[i] = r.truncated;
+    if (r.done()) {
+      out.final_observation[i] = std::move(r.observation);
+      out.observation[i] = envs_[i]->reset();  // auto-reset
+    } else {
+      out.observation[i] = std::move(r.observation);
+    }
+  }
+  return out;
+}
+
+const BoxSpace& SyncVecEnv::observation_space() const {
+  return envs_.front()->observation_space();
+}
+
+const ActionSpace& SyncVecEnv::action_space() const {
+  return envs_.front()->action_space();
+}
+
+const std::vector<EpisodeRecord>& SyncVecEnv::episodes(std::size_t i) const {
+  DARL_CHECK(i < envs_.size(), "episode index out of range");
+  return envs_[i]->episodes();
+}
+
+std::vector<EpisodeRecord> SyncVecEnv::all_episodes() const {
+  std::vector<EpisodeRecord> all;
+  for (const auto& e : envs_) {
+    const auto& eps = e->episodes();
+    all.insert(all.end(), eps.begin(), eps.end());
+  }
+  return all;
+}
+
+double SyncVecEnv::take_compute_cost() {
+  double total = 0.0;
+  for (auto& e : envs_) total += e->take_compute_cost();
+  return total;
+}
+
+}  // namespace darl::env

@@ -1,0 +1,62 @@
+// darl/env/vec_env.hpp
+//
+// Synchronous vectorized environment: N independent env instances stepped
+// in lockstep with auto-reset, the parallelization idiom the paper
+// attributes to Stable Baselines ("parallelized environments through
+// vectorization", one vectorized environment per CPU core).
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "darl/env/env.hpp"
+#include "darl/env/wrappers.hpp"
+
+namespace darl::env {
+
+/// Batched step result: one slot per sub-environment. When a
+/// sub-environment finishes, `observation` already holds the first
+/// observation of the next episode (auto-reset) and `final_observation`
+/// holds the terminal one.
+struct VecStepResult {
+  std::vector<Vec> observation;
+  std::vector<double> reward;
+  std::vector<bool> terminated;
+  std::vector<bool> truncated;
+  std::vector<Vec> final_observation;  // empty Vec for slots that did not end
+};
+
+/// Steps N environments sequentially in one thread (the "Sync" flavour).
+/// Each sub-env is wrapped in an EpisodeMonitor so episode statistics are
+/// available per slot.
+class SyncVecEnv {
+ public:
+  /// Creates `n_envs` instances from the factory, seeding sub-env i with
+  /// split(i) of `seed`.
+  SyncVecEnv(const EnvFactory& factory, std::size_t n_envs, std::uint64_t seed);
+
+  /// Reset every sub-environment; returns the batch of initial observations.
+  std::vector<Vec> reset();
+
+  /// Step every sub-environment with its action (size must equal n_envs).
+  VecStepResult step(const std::vector<Vec>& actions);
+
+  std::size_t n_envs() const { return envs_.size(); }
+  const BoxSpace& observation_space() const;
+  const ActionSpace& action_space() const;
+
+  /// Episode records from sub-env i.
+  const std::vector<EpisodeRecord>& episodes(std::size_t i) const;
+
+  /// All episode records across sub-envs, in per-slot order.
+  std::vector<EpisodeRecord> all_episodes() const;
+
+  /// Aggregate simulated compute cost drained from all sub-envs.
+  double take_compute_cost();
+
+ private:
+  std::vector<std::unique_ptr<EpisodeMonitor>> envs_;
+};
+
+}  // namespace darl::env

@@ -1,0 +1,111 @@
+#include "darl/env/wrappers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "darl/common/error.hpp"
+
+namespace darl::env {
+
+EnvWrapper::EnvWrapper(std::unique_ptr<Env> inner) : inner_(std::move(inner)) {
+  DARL_CHECK(inner_ != nullptr, "wrapping a null environment");
+}
+
+TimeLimit::TimeLimit(std::unique_ptr<Env> inner, std::size_t max_steps)
+    : EnvWrapper(std::move(inner)), max_steps_(max_steps) {
+  DARL_CHECK(max_steps > 0, "TimeLimit needs max_steps > 0");
+}
+
+Vec TimeLimit::reset() {
+  steps_ = 0;
+  return EnvWrapper::reset();
+}
+
+StepResult TimeLimit::step(const Vec& action) {
+  StepResult r = EnvWrapper::step(action);
+  ++steps_;
+  if (!r.terminated && steps_ >= max_steps_) r.truncated = true;
+  return r;
+}
+
+EpisodeMonitor::EpisodeMonitor(std::unique_ptr<Env> inner)
+    : EnvWrapper(std::move(inner)) {}
+
+Vec EpisodeMonitor::reset() {
+  current_reward_ = 0.0;
+  current_length_ = 0;
+  return EnvWrapper::reset();
+}
+
+StepResult EpisodeMonitor::step(const Vec& action) {
+  StepResult r = EnvWrapper::step(action);
+  current_reward_ += r.reward;
+  ++current_length_;
+  if (r.done()) {
+    const double score = inner().episode_score().value_or(current_reward_);
+    episodes_.push_back(EpisodeRecord{current_reward_, score, current_length_});
+    current_reward_ = 0.0;
+    current_length_ = 0;
+  }
+  return r;
+}
+
+double EpisodeMonitor::mean_recent_reward(std::size_t n) const {
+  if (episodes_.empty() || n == 0) return 0.0;
+  const std::size_t take = std::min(n, episodes_.size());
+  double s = 0.0;
+  for (std::size_t i = episodes_.size() - take; i < episodes_.size(); ++i)
+    s += episodes_[i].total_reward;
+  return s / static_cast<double>(take);
+}
+
+double EpisodeMonitor::mean_recent_score(std::size_t n) const {
+  if (episodes_.empty() || n == 0) return 0.0;
+  const std::size_t take = std::min(n, episodes_.size());
+  double s = 0.0;
+  for (std::size_t i = episodes_.size() - take; i < episodes_.size(); ++i)
+    s += episodes_[i].score;
+  return s / static_cast<double>(take);
+}
+
+RewardScale::RewardScale(std::unique_ptr<Env> inner, double factor)
+    : EnvWrapper(std::move(inner)), factor_(factor) {
+  DARL_CHECK(std::isfinite(factor), "non-finite reward scale");
+}
+
+StepResult RewardScale::step(const Vec& action) {
+  StepResult r = EnvWrapper::step(action);
+  r.reward *= factor_;
+  return r;
+}
+
+ObservationNormalizer::ObservationNormalizer(std::unique_ptr<Env> inner,
+                                             double clip)
+    : EnvWrapper(std::move(inner)), clip_(clip) {
+  DARL_CHECK(clip > 0.0, "normalizer clip must be positive");
+  const std::size_t d = EnvWrapper::observation_space().dim();
+  dims_.resize(d);
+  norm_space_ = BoxSpace(d, -clip, clip);
+}
+
+Vec ObservationNormalizer::normalize(const Vec& raw) {
+  DARL_CHECK(raw.size() == dims_.size(), "observation size changed");
+  Vec out(raw.size());
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    dims_[i].push(raw[i]);
+    const double sd = dims_[i].stddev();
+    const double denom = sd > 1e-8 ? sd : 1.0;
+    out[i] = std::clamp((raw[i] - dims_[i].mean()) / denom, -clip_, clip_);
+  }
+  return out;
+}
+
+Vec ObservationNormalizer::reset() { return normalize(EnvWrapper::reset()); }
+
+StepResult ObservationNormalizer::step(const Vec& action) {
+  StepResult r = EnvWrapper::step(action);
+  r.observation = normalize(r.observation);
+  return r;
+}
+
+}  // namespace darl::env

@@ -1,0 +1,97 @@
+#include "darl/frameworks/backend.hpp"
+
+#include <algorithm>
+
+#include "darl/common/error.hpp"
+#include "darl/common/stats.hpp"
+#include "darl/rl/evaluate.hpp"
+
+namespace darl::frameworks {
+
+double BackendBase::worker_busy_seconds(const CollectCost& cost,
+                                        double inference_mflop) const {
+  const double env_s = cost.env_cost_units * costs_.env_sec_per_cost_unit;
+  const double overhead_s =
+      static_cast<double>(cost.steps) * costs_.per_step_overhead_s;
+  // Inference converted at the paper-testbed core throughput with the
+  // framework tax; batching discounts are applied by the caller when the
+  // backend batches across environments.
+  const double inf_mflop = static_cast<double>(cost.inferences) *
+                           inference_mflop * costs_.inference_tax *
+                           costs_.inference_batch_efficiency;
+  const double inf_s = inf_mflop / sim::NodeSpec{}.core_mflop_per_s;
+  return env_s + overhead_s + inf_s;
+}
+
+std::vector<std::unique_ptr<RolloutWorker>> BackendBase::make_workers(
+    const TrainRequest& request, const rl::Algorithm& algo, std::size_t n) const {
+  DARL_CHECK(n > 0, "backend needs at least one worker");
+  const Rng seeder(request.seed);
+  std::vector<std::unique_ptr<RolloutWorker>> workers;
+  workers.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto e = request.env_factory();
+    DARL_CHECK(e != nullptr, "env factory returned null");
+    workers.push_back(std::make_unique<RolloutWorker>(
+        i, std::move(e), algo.make_actor(), seeder.split(100 + i).seed()));
+  }
+  return workers;
+}
+
+void BackendBase::finalize(
+    const TrainRequest& request, rl::Algorithm& algo,
+    const std::vector<std::unique_ptr<RolloutWorker>>& workers,
+    const sim::SimCluster& cluster, TrainResult& result) const {
+  // Training-episode diagnostics: mean score of the most recent episodes
+  // (up to 50 per worker).
+  RunningStats train_scores;
+  std::size_t episodes = 0;
+  for (const auto& w : workers) {
+    const auto& eps = w->episodes();
+    episodes += eps.size();
+    const std::size_t take = std::min<std::size_t>(eps.size(), 50);
+    for (std::size_t i = eps.size() - take; i < eps.size(); ++i)
+      train_scores.push(eps[i].score);
+  }
+  result.episodes = episodes;
+  result.train_reward = train_scores.mean();
+
+  // The Reward metric: greedy evaluation of the final policy on a fresh
+  // environment with a fixed evaluation seed (independent of the training
+  // stream, like re-running the trained model on the simulator).
+  auto eval_env = request.env_factory();
+  eval_env->seed(Rng(request.seed).split(0xEA1).seed());
+  auto eval_actor = algo.make_actor();
+  eval_actor->set_params(algo.policy_params());
+  Rng eval_rng(Rng(request.seed).split(777).seed());
+  RunningStats scores;
+  for (std::size_t ep = 0; ep < request.eval_episodes; ++ep) {
+    const rl::EvalResult r =
+        rl::evaluate_policy(*eval_actor, *eval_env, 1, eval_rng,
+                            /*stochastic=*/false);
+    scores.push(r.mean_score);
+  }
+  result.reward = scores.mean();
+  result.reward_stddev = scores.stddev();
+  result.sim_seconds = cluster.elapsed_seconds();
+  result.sim_energy_joules = cluster.energy_joules();
+  result.final_policy = algo.policy_params();
+}
+
+std::unique_ptr<Backend> make_backend(FrameworkKind kind) {
+  return make_backend(kind, default_costs(kind));
+}
+
+std::unique_ptr<Backend> make_backend(FrameworkKind kind,
+                                      const BackendCosts& costs) {
+  switch (kind) {
+    case FrameworkKind::RayRllib: return std::make_unique<RllibBackend>(costs);
+    case FrameworkKind::StableBaselines:
+      return std::make_unique<StableBaselinesBackend>(costs);
+    case FrameworkKind::TfAgents:
+      return std::make_unique<TfAgentsBackend>(costs);
+  }
+  throw InvalidArgument("unknown FrameworkKind");
+}
+
+}  // namespace darl::frameworks

@@ -1,0 +1,100 @@
+// darl/frameworks/backend.hpp
+//
+// The framework-backend interface and the three implementations mirroring
+// the architectures the paper attributes to Ray RLlib, Stable Baselines and
+// TF-Agents. Backends execute real training (threads, environments, neural
+// updates) while replaying their coordination structure against the
+// simulated cluster for the time/energy metrics.
+
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "darl/frameworks/costs.hpp"
+#include "darl/frameworks/types.hpp"
+#include "darl/frameworks/worker.hpp"
+#include "darl/simcluster/cluster.hpp"
+
+namespace darl::frameworks {
+
+/// A training-framework backend: runs one TrainRequest end to end.
+class Backend {
+ public:
+  virtual ~Backend() = default;
+
+  virtual FrameworkKind kind() const = 0;
+  const char* name() const { return framework_name(kind()); }
+
+  /// Execute the training job. Throws darl::InvalidArgument when the
+  /// deployment is not supported by this framework (e.g. multi-node
+  /// Stable Baselines — the paper's frameworks differ exactly here).
+  virtual TrainResult run(const TrainRequest& request) = 0;
+};
+
+/// Shared machinery of the three backends.
+class BackendBase : public Backend {
+ protected:
+  explicit BackendBase(BackendCosts costs) : costs_(costs) {}
+
+  /// Convert one worker's collection cost into simulated busy core-seconds.
+  double worker_busy_seconds(const CollectCost& cost,
+                             double inference_mflop) const;
+
+  /// Build `n` workers, seeding worker i deterministically from the
+  /// request seed.
+  std::vector<std::unique_ptr<RolloutWorker>> make_workers(
+      const TrainRequest& request, const rl::Algorithm& algo, std::size_t n) const;
+
+  /// Final greedy evaluation on a fresh environment (fixed eval seed), and
+  /// aggregation of training-episode diagnostics into `result`.
+  void finalize(const TrainRequest& request, rl::Algorithm& algo,
+                const std::vector<std::unique_ptr<RolloutWorker>>& workers,
+                const sim::SimCluster& cluster, TrainResult& result) const;
+
+  BackendCosts costs_;
+};
+
+/// Ray-RLlib-style distributed actor/learner: one rollout worker per core
+/// on every node, samples shipped to the learner on node 0, parameter
+/// broadcasts to remote nodes. Remote workers act with a one-iteration-old
+/// policy snapshot (asynchronous shipping), the mechanism behind the
+/// paper's multi-node reward-reproducibility caveat. Supports 1..N nodes.
+class RllibBackend final : public BackendBase {
+ public:
+  explicit RllibBackend(BackendCosts costs = default_costs(FrameworkKind::RayRllib));
+  FrameworkKind kind() const override { return FrameworkKind::RayRllib; }
+  TrainResult run(const TrainRequest& request) override;
+};
+
+/// Stable-Baselines-style single-node vectorized training: one vectorized
+/// environment per CPU core stepped in lockstep, batched inference on the
+/// driver, learner update every `steps_per_env` steps — so the total batch
+/// (and hence the update frequency per sample) scales with the core count.
+class StableBaselinesBackend final : public BackendBase {
+ public:
+  explicit StableBaselinesBackend(
+      BackendCosts costs = default_costs(FrameworkKind::StableBaselines));
+  FrameworkKind kind() const override { return FrameworkKind::StableBaselines; }
+  TrainResult run(const TrainRequest& request) override;
+};
+
+/// TF-Agents-style single-node parallel driver: a fixed total collection
+/// batch spread over per-core environment workers, batched inference, and
+/// graph-compiled (cheap) learner updates.
+class TfAgentsBackend final : public BackendBase {
+ public:
+  explicit TfAgentsBackend(
+      BackendCosts costs = default_costs(FrameworkKind::TfAgents));
+  FrameworkKind kind() const override { return FrameworkKind::TfAgents; }
+  TrainResult run(const TrainRequest& request) override;
+};
+
+/// Factory over FrameworkKind.
+std::unique_ptr<Backend> make_backend(FrameworkKind kind);
+
+/// Factory with explicit cost calibration (ablation benches).
+std::unique_ptr<Backend> make_backend(FrameworkKind kind,
+                                      const BackendCosts& costs);
+
+}  // namespace darl::frameworks

@@ -1,0 +1,50 @@
+// darl/frameworks/costs.hpp
+//
+// Calibration constants of the simulated cost model, per framework.
+//
+// The paper's absolute times/energies come from Python frameworks driving a
+// CPU-heavy proprietary simulator on Xeon W-2102 nodes; our reproduction
+// preserves the *shape* of those numbers (who is fast, who is frugal, where
+// the RK-order penalty lands) through these constants. They are calibrated
+// once against the anchor solutions the paper text cites (2, 5, 7, 8, 11,
+// 14, 16 — see EXPERIMENTS.md) and then frozen; benches print them for
+// transparency.
+
+#pragma once
+
+#include "darl/frameworks/types.hpp"
+
+namespace darl::frameworks {
+
+/// Per-backend execution-cost profile (simulated seconds/multipliers).
+struct BackendCosts {
+  /// Seconds of worker-core time per environment compute-cost unit (one
+  /// ODE right-hand-side evaluation for the airdrop simulator).
+  double env_sec_per_cost_unit = 2.4e-3;
+
+  /// Fixed per-environment-step framework overhead on the worker core
+  /// (serialization, Python dispatch, driver bookkeeping...).
+  double per_step_overhead_s = 2.0e-3;
+
+  /// Multiplier on policy-inference MFLOPs when converting to core time
+  /// (the "tiny network, big framework" tax; < 1 never happens in Python).
+  double inference_tax = 40.0;
+
+  /// Extra discount on inference when the backend batches observations
+  /// across parallel environments (Stable Baselines / TF-Agents style).
+  double inference_batch_efficiency = 1.0;
+
+  /// Multiplier on learner MFLOPs when converting to core time.
+  double train_tax = 40.0;
+
+  /// Parallel efficiency of the learner across the cores of its node.
+  double train_parallel_efficiency = 0.75;
+
+  /// Per-iteration coordination cost (seconds of makespan, no core busy).
+  double iteration_overhead_s = 0.25;
+};
+
+/// The frozen calibration for each framework (see header comment).
+BackendCosts default_costs(FrameworkKind kind);
+
+}  // namespace darl::frameworks

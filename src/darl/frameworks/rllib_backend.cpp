@@ -1,0 +1,141 @@
+#include <thread>
+
+#include "darl/common/error.hpp"
+#include "darl/common/stopwatch.hpp"
+#include "darl/frameworks/backend.hpp"
+
+namespace darl::frameworks {
+
+RllibBackend::RllibBackend(BackendCosts costs) : BackendBase(costs) {}
+
+TrainResult RllibBackend::run(const TrainRequest& request) {
+  const auto& dep = request.deployment;
+  DARL_CHECK(dep.nodes >= 1 && dep.cores_per_node >= 1,
+             "invalid deployment " << dep.nodes << "x" << dep.cores_per_node);
+  DARL_CHECK(request.total_timesteps > 0, "no timesteps requested");
+
+  Stopwatch wall;
+
+  // Probe the environment interface.
+  auto probe = request.env_factory();
+  const std::size_t obs_dim = probe->observation_space().dim();
+  const env::ActionSpace action_space = probe->action_space();
+  probe.reset();
+
+  auto algo = rl::make_algorithm(request.algo, obs_dim, action_space,
+                                 Rng(request.seed).split(1).seed());
+
+  // One rollout worker per core on every node; the learner shares node 0.
+  const std::size_t n_workers = dep.nodes * dep.cores_per_node;
+  auto workers = make_workers(request, *algo, n_workers);
+  const auto worker_node = [&](std::size_t i) { return i / dep.cores_per_node; };
+
+  sim::SimCluster cluster(
+      sim::ClusterSpec::paper_testbed(dep.nodes, dep.cores_per_node));
+  const double inference_mflop = algo->make_actor()->inference_cost_mflop();
+
+  // Asynchronous pipeline model for multi-node deployments: remote workers
+  // act with the previous iteration's parameter snapshot, and their sample
+  // batches arrive one update cycle late — so the learner always consumes
+  // remote experience that is moderately but consistently off-policy.
+  Vec params_current = algo->policy_params();
+  Vec params_prev = params_current;   // one update cycle old
+  Vec params_prev2 = params_current;  // two update cycles old
+  std::vector<rl::WorkerBatch> delayed_remote;
+
+  const std::size_t per_worker =
+      std::max<std::size_t>(1, request.train_batch_total / n_workers);
+
+  TrainResult result;
+  std::size_t steps_done = 0;
+  rl::TrainStats last_stats;
+
+  while (steps_done < request.total_timesteps) {
+    // --- policy sync. Workers co-located with the learner read the fresh
+    // parameters; remote workers act with the previous iteration's
+    // snapshot, modelling asynchronous parameter shipping. This staleness
+    // is the mechanism behind the paper's observation that multi-node
+    // RLlib runs trade reward reproducibility for speed (§VI-D).
+    // Single-node deployments sync workers synchronously with the learner.
+    // Multi-node deployments broadcast weights through the cluster object
+    // store: co-located workers act on the previous cycle's snapshot and
+    // remote workers on one older still (broadcast + in-flight latency).
+    for (std::size_t i = 0; i < n_workers; ++i) {
+      if (dep.nodes == 1) {
+        workers[i]->sync(params_current);
+      } else {
+        workers[i]->sync(worker_node(i) == 0 ? params_prev : params_prev2);
+      }
+    }
+    for (std::size_t node = 1; node < dep.nodes; ++node) {
+      cluster.run_transfer(0, node, static_cast<double>(algo->params_bytes()));
+    }
+
+    // --- parallel collection on real threads (one per worker; workers are
+    // self-contained, so the result is schedule-independent).
+    std::vector<rl::WorkerBatch> batches(n_workers);
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(n_workers);
+      for (std::size_t i = 0; i < n_workers; ++i) {
+        threads.emplace_back([&, i] { batches[i] = workers[i]->collect(per_worker); });
+      }
+      for (auto& t : threads) t.join();
+    }
+
+    // --- simulated collection phase.
+    std::vector<sim::SimCluster::WorkerLoad> loads;
+    loads.reserve(n_workers);
+    for (std::size_t i = 0; i < n_workers; ++i) {
+      const CollectCost cost = workers[i]->take_cost();
+      loads.push_back({worker_node(i), worker_busy_seconds(cost, inference_mflop)});
+    }
+    cluster.run_parallel_phase(loads);
+
+    // --- sample shipping from remote nodes to the learner.
+    for (std::size_t node = 1; node < dep.nodes; ++node) {
+      double bytes = 0.0;
+      for (std::size_t i = 0; i < n_workers; ++i) {
+        if (worker_node(i) == node) {
+          bytes += static_cast<double>(batches[i].transitions.size()) *
+                   static_cast<double>(algo->transition_bytes());
+        }
+      }
+      cluster.run_transfer(node, 0, bytes);
+    }
+
+    // --- learner update on node 0 (all its cores). Remote batches join
+    // the pipeline one iteration late; local batches are consumed fresh.
+    std::vector<rl::WorkerBatch> train_batches = std::move(delayed_remote);
+    delayed_remote.clear();
+    for (std::size_t i = 0; i < n_workers; ++i) {
+      if (worker_node(i) == 0) {
+        train_batches.push_back(std::move(batches[i]));
+      } else {
+        delayed_remote.push_back(std::move(batches[i]));
+      }
+    }
+    params_prev2 = params_prev;
+    params_prev = params_current;
+    last_stats = algo->train(train_batches);
+    const double train_core_seconds =
+        cluster.seconds_for_mflop(0, last_stats.train_cost_mflop * costs_.train_tax);
+    cluster.run_compute(0, train_core_seconds, dep.cores_per_node,
+                        costs_.train_parallel_efficiency);
+    cluster.run_idle(costs_.iteration_overhead_s);
+    params_current = algo->policy_params();
+
+    steps_done += per_worker * n_workers;
+    ++result.iterations;
+  }
+
+  result.timesteps = steps_done;
+  result.final_policy_loss = last_stats.policy_loss;
+  result.final_value_loss = last_stats.value_loss;
+  result.final_entropy = last_stats.entropy;
+  finalize(request, *algo, workers, cluster, result);
+  result.wall_seconds = wall.seconds();
+  return result;
+}
+
+}  // namespace darl::frameworks

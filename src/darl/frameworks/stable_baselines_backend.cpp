@@ -1,0 +1,94 @@
+#include "darl/common/error.hpp"
+#include "darl/common/stopwatch.hpp"
+#include "darl/frameworks/backend.hpp"
+
+namespace darl::frameworks {
+
+StableBaselinesBackend::StableBaselinesBackend(BackendCosts costs)
+    : BackendBase(costs) {}
+
+TrainResult StableBaselinesBackend::run(const TrainRequest& request) {
+  const auto& dep = request.deployment;
+  DARL_CHECK(dep.nodes == 1,
+             "Stable Baselines parallelizes on a single node (requested "
+                 << dep.nodes << " nodes)");
+  DARL_CHECK(dep.cores_per_node >= 1, "invalid core count");
+  DARL_CHECK(request.total_timesteps > 0, "no timesteps requested");
+
+  Stopwatch wall;
+
+  auto probe = request.env_factory();
+  const std::size_t obs_dim = probe->observation_space().dim();
+  const env::ActionSpace action_space = probe->action_space();
+  probe.reset();
+
+  auto algo = rl::make_algorithm(request.algo, obs_dim, action_space,
+                                 Rng(request.seed).split(1).seed());
+
+  // One vectorized environment per CPU core (§V-d of the paper). The
+  // learner consumes a batch after every `steps_per_env` lockstep sweeps,
+  // so the total batch — and with it the update frequency per sample —
+  // scales with the core count.
+  const std::size_t n_envs = dep.cores_per_node;
+  auto workers = make_workers(request, *algo, n_envs);
+
+  sim::SimCluster cluster(sim::ClusterSpec::paper_testbed(1, dep.cores_per_node));
+  const double inference_mflop = algo->make_actor()->inference_cost_mflop();
+
+  const std::size_t per_env = std::max<std::size_t>(1, request.steps_per_env);
+
+  TrainResult result;
+  std::size_t steps_done = 0;
+  rl::TrainStats last_stats;
+
+  while (steps_done < request.total_timesteps) {
+    // Synchronous vectorized collection: all environments advance in
+    // lockstep with a fresh policy (no staleness on a single node). The
+    // env physics runs on the per-core workers; inference happens batched
+    // on the driver, so it is charged separately below.
+    const Vec params = algo->policy_params();
+    std::vector<rl::WorkerBatch> batches(n_envs);
+    for (std::size_t i = 0; i < n_envs; ++i) {
+      workers[i]->sync(params);
+      batches[i] = workers[i]->collect(per_env);
+    }
+
+    std::vector<sim::SimCluster::WorkerLoad> loads;
+    double total_inferences = 0.0;
+    for (std::size_t i = 0; i < n_envs; ++i) {
+      CollectCost cost = workers[i]->take_cost();
+      total_inferences += static_cast<double>(cost.inferences);
+      cost.inferences = 0;  // env stepping only; inference charged batched
+      loads.push_back({0, worker_busy_seconds(cost, inference_mflop)});
+    }
+    cluster.run_parallel_phase(loads);
+
+    // Batched driver inference: one core, discounted by the vectorized
+    // batch efficiency.
+    const double inf_mflop = total_inferences * inference_mflop *
+                             costs_.inference_tax *
+                             costs_.inference_batch_efficiency;
+    cluster.run_compute(0, cluster.seconds_for_mflop(0, inf_mflop), 1);
+
+    // Learner update across the node's cores.
+    last_stats = algo->train(batches);
+    const double train_core_seconds =
+        cluster.seconds_for_mflop(0, last_stats.train_cost_mflop * costs_.train_tax);
+    cluster.run_compute(0, train_core_seconds, dep.cores_per_node,
+                        costs_.train_parallel_efficiency);
+    cluster.run_idle(costs_.iteration_overhead_s);
+
+    steps_done += per_env * n_envs;
+    ++result.iterations;
+  }
+
+  result.timesteps = steps_done;
+  result.final_policy_loss = last_stats.policy_loss;
+  result.final_value_loss = last_stats.value_loss;
+  result.final_entropy = last_stats.entropy;
+  finalize(request, *algo, workers, cluster, result);
+  result.wall_seconds = wall.seconds();
+  return result;
+}
+
+}  // namespace darl::frameworks

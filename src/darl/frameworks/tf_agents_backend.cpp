@@ -1,0 +1,86 @@
+#include <thread>
+
+#include "darl/common/error.hpp"
+#include "darl/common/stopwatch.hpp"
+#include "darl/frameworks/backend.hpp"
+
+namespace darl::frameworks {
+
+TfAgentsBackend::TfAgentsBackend(BackendCosts costs) : BackendBase(costs) {}
+
+TrainResult TfAgentsBackend::run(const TrainRequest& request) {
+  const auto& dep = request.deployment;
+  DARL_CHECK(dep.nodes == 1,
+             "TF-Agents parallelizes on a single node (requested "
+                 << dep.nodes << " nodes)");
+  DARL_CHECK(dep.cores_per_node >= 1, "invalid core count");
+  DARL_CHECK(request.total_timesteps > 0, "no timesteps requested");
+
+  Stopwatch wall;
+
+  auto probe = request.env_factory();
+  const std::size_t obs_dim = probe->observation_space().dim();
+  const env::ActionSpace action_space = probe->action_space();
+  probe.reset();
+
+  auto algo = rl::make_algorithm(request.algo, obs_dim, action_space,
+                                 Rng(request.seed).split(1).seed());
+
+  // Parallel driver: per-core environment workers collect a *fixed total*
+  // batch each iteration (collection sizing does not depend on the core
+  // count, unlike Stable Baselines), with batched inference.
+  const std::size_t n_workers = dep.cores_per_node;
+  auto workers = make_workers(request, *algo, n_workers);
+
+  sim::SimCluster cluster(sim::ClusterSpec::paper_testbed(1, dep.cores_per_node));
+  const double inference_mflop = algo->make_actor()->inference_cost_mflop();
+
+  const std::size_t per_worker =
+      std::max<std::size_t>(1, request.train_batch_total / n_workers);
+
+  TrainResult result;
+  std::size_t steps_done = 0;
+  rl::TrainStats last_stats;
+
+  while (steps_done < request.total_timesteps) {
+    const Vec params = algo->policy_params();
+    std::vector<rl::WorkerBatch> batches(n_workers);
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(n_workers);
+      for (std::size_t i = 0; i < n_workers; ++i) {
+        workers[i]->sync(params);
+        threads.emplace_back([&, i] { batches[i] = workers[i]->collect(per_worker); });
+      }
+      for (auto& t : threads) t.join();
+    }
+
+    std::vector<sim::SimCluster::WorkerLoad> loads;
+    loads.reserve(n_workers);
+    for (std::size_t i = 0; i < n_workers; ++i) {
+      const CollectCost cost = workers[i]->take_cost();
+      loads.push_back({0, worker_busy_seconds(cost, inference_mflop)});
+    }
+    cluster.run_parallel_phase(loads);
+
+    last_stats = algo->train(batches);
+    const double train_core_seconds =
+        cluster.seconds_for_mflop(0, last_stats.train_cost_mflop * costs_.train_tax);
+    cluster.run_compute(0, train_core_seconds, dep.cores_per_node,
+                        costs_.train_parallel_efficiency);
+    cluster.run_idle(costs_.iteration_overhead_s);
+
+    steps_done += per_worker * n_workers;
+    ++result.iterations;
+  }
+
+  result.timesteps = steps_done;
+  result.final_policy_loss = last_stats.policy_loss;
+  result.final_value_loss = last_stats.value_loss;
+  result.final_entropy = last_stats.entropy;
+  finalize(request, *algo, workers, cluster, result);
+  result.wall_seconds = wall.seconds();
+  return result;
+}
+
+}  // namespace darl::frameworks

@@ -1,0 +1,14 @@
+#include "darl/frameworks/types.hpp"
+
+namespace darl::frameworks {
+
+const char* framework_name(FrameworkKind kind) {
+  switch (kind) {
+    case FrameworkKind::RayRllib: return "RLlib";
+    case FrameworkKind::StableBaselines: return "Stable Baselines";
+    case FrameworkKind::TfAgents: return "TF-Agents";
+  }
+  return "???";
+}
+
+}  // namespace darl::frameworks

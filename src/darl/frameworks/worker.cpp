@@ -1,0 +1,64 @@
+#include "darl/frameworks/worker.hpp"
+
+#include "darl/common/error.hpp"
+
+namespace darl::frameworks {
+
+RolloutWorker::RolloutWorker(std::size_t id, std::unique_ptr<env::Env> env,
+                             std::unique_ptr<rl::RolloutActor> actor,
+                             std::uint64_t seed)
+    : id_(id), actor_(std::move(actor)), rng_(seed) {
+  DARL_CHECK(env != nullptr, "worker got a null environment");
+  DARL_CHECK(actor_ != nullptr, "worker got a null actor");
+  env->seed(Rng(seed).split(0xE57).seed());
+  env_ = std::make_unique<env::EpisodeMonitor>(std::move(env));
+}
+
+void RolloutWorker::sync(const Vec& params) { actor_->set_params(params); }
+
+rl::WorkerBatch RolloutWorker::collect(std::size_t n_steps) {
+  rl::WorkerBatch batch;
+  batch.worker_id = id_;
+  batch.transitions.reserve(n_steps);
+
+  if (!started_) {
+    obs_ = env_->reset();
+    started_ = true;
+  }
+  for (std::size_t i = 0; i < n_steps; ++i) {
+    const rl::ActOutput act = actor_->act(obs_, rng_);
+    ++cost_.inferences;
+    const env::StepResult r = env_->step(act.action);
+    ++cost_.steps;
+
+    rl::Transition tr;
+    tr.obs = obs_;
+    tr.action = act.action;
+    tr.reward = r.reward;
+    tr.next_obs = r.observation;
+    tr.terminated = r.terminated;
+    tr.truncated = r.truncated;
+    tr.log_prob = act.log_prob;
+    batch.transitions.push_back(std::move(tr));
+
+    if (r.done()) {
+      obs_ = env_->reset();
+    } else {
+      obs_ = r.observation;
+    }
+  }
+  cost_.env_cost_units += env_->take_compute_cost();
+  return batch;
+}
+
+CollectCost RolloutWorker::take_cost() {
+  CollectCost c = cost_;
+  cost_ = CollectCost{};
+  return c;
+}
+
+const std::vector<env::EpisodeRecord>& RolloutWorker::episodes() const {
+  return env_->episodes();
+}
+
+}  // namespace darl::frameworks

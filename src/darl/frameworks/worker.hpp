@@ -1,0 +1,59 @@
+// darl/frameworks/worker.hpp
+//
+// A rollout worker: one private environment instance plus an inference-only
+// policy copy and a private random stream. Workers are the unit every
+// backend parallelizes over; because each worker is self-contained, running
+// them on real threads is deterministic regardless of scheduling.
+
+#pragma once
+
+#include <memory>
+
+#include "darl/common/rng.hpp"
+#include "darl/env/wrappers.hpp"
+#include "darl/rl/algorithm.hpp"
+
+namespace darl::frameworks {
+
+/// Costs a worker accumulated while collecting (simulated units).
+struct CollectCost {
+  double env_cost_units = 0.0;  ///< env-internal compute (ODE RHS evals)
+  std::size_t inferences = 0;   ///< policy forward passes
+  std::size_t steps = 0;        ///< environment steps taken
+};
+
+/// One rollout worker. Not thread-safe; exactly one thread may drive it at
+/// a time (different workers may run concurrently).
+class RolloutWorker {
+ public:
+  /// `env` is wrapped in an EpisodeMonitor internally. `actor` must come
+  /// from the Algorithm this worker feeds.
+  RolloutWorker(std::size_t id, std::unique_ptr<env::Env> env,
+                std::unique_ptr<rl::RolloutActor> actor, std::uint64_t seed);
+
+  /// Refresh the worker's policy snapshot.
+  void sync(const Vec& params);
+
+  /// Collect exactly `n_steps` transitions (crossing episode boundaries
+  /// with auto-reset). Returns the batch; costs accumulate into cost().
+  rl::WorkerBatch collect(std::size_t n_steps);
+
+  /// Drain the accumulated collection cost counters.
+  CollectCost take_cost();
+
+  /// Episode records observed so far (score = paper Reward metric).
+  const std::vector<env::EpisodeRecord>& episodes() const;
+
+  std::size_t id() const { return id_; }
+
+ private:
+  std::size_t id_;
+  std::unique_ptr<env::EpisodeMonitor> env_;
+  std::unique_ptr<rl::RolloutActor> actor_;
+  Rng rng_;
+  Vec obs_;
+  bool started_ = false;
+  CollectCost cost_;
+};
+
+}  // namespace darl::frameworks

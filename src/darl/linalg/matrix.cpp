@@ -1,0 +1,101 @@
+#include "darl/linalg/matrix.hpp"
+
+#include <cmath>
+
+#include "darl/common/error.hpp"
+#include "darl/common/rng.hpp"
+
+namespace darl {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+  DARL_CHECK(rows > 0 && cols > 0, "matrix dimensions must be positive");
+}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  DARL_CHECK(r < rows_ && c < cols_,
+             "matrix index (" << r << "," << c << ") out of " << rows_ << "x" << cols_);
+  return (*this)(r, c);
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  DARL_CHECK(r < rows_ && c < cols_,
+             "matrix index (" << r << "," << c << ") out of " << rows_ << "x" << cols_);
+  return (*this)(r, c);
+}
+
+void Matrix::fill(double value) {
+  for (double& v : data_) v = value;
+}
+
+Vec Matrix::matvec(const Vec& x) const {
+  DARL_CHECK(x.size() == cols_, "matvec: x has " << x.size() << ", cols " << cols_);
+  Vec y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = data_.data() + r * cols_;
+    double s = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) s += row[c] * x[c];
+    y[r] = s;
+  }
+  return y;
+}
+
+Vec Matrix::matvec_t(const Vec& x) const {
+  DARL_CHECK(x.size() == rows_, "matvec_t: x has " << x.size() << ", rows " << rows_);
+  Vec y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row = data_.data() + r * cols_;
+    const double xr = x[r];
+    for (std::size_t c = 0; c < cols_; ++c) y[c] += row[c] * xr;
+  }
+  return y;
+}
+
+void Matrix::add_outer(double alpha, const Vec& u, const Vec& v) {
+  DARL_CHECK(u.size() == rows_ && v.size() == cols_,
+             "add_outer shape mismatch: u " << u.size() << ", v " << v.size()
+                                            << " vs " << rows_ << "x" << cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double* row = data_.data() + r * cols_;
+    const double au = alpha * u[r];
+    for (std::size_t c = 0; c < cols_; ++c) row[c] += au * v[c];
+  }
+}
+
+void Matrix::add_scaled(double alpha, const Matrix& other) {
+  DARL_CHECK(rows_ == other.rows_ && cols_ == other.cols_,
+             "add_scaled shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+Matrix Matrix::multiply(const Matrix& a, const Matrix& b) {
+  DARL_CHECK(a.cols_ == b.rows_,
+             "multiply shape mismatch: " << a.rows_ << "x" << a.cols_ << " * "
+                                         << b.rows_ << "x" << b.cols_);
+  Matrix c(a.rows_, b.cols_, 0.0);
+  for (std::size_t i = 0; i < a.rows_; ++i) {
+    for (std::size_t k = 0; k < a.cols_; ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const double* brow = b.data_.data() + k * b.cols_;
+      double* crow = c.data_.data() + i * c.cols_;
+      for (std::size_t j = 0; j < b.cols_; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+void Matrix::randomize_kaiming(Rng& rng, double gain) {
+  DARL_CHECK(gain > 0.0, "non-positive init gain " << gain);
+  const double stddev = gain / std::sqrt(static_cast<double>(cols_));
+  for (double& v : data_) v = rng.normal(0.0, stddev);
+}
+
+}  // namespace darl

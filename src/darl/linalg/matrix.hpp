@@ -1,0 +1,72 @@
+// darl/linalg/matrix.hpp
+//
+// Dense row-major matrix with the BLAS-2/3-lite kernels the neural-network
+// substrate needs (matrix-vector products, rank-1 updates, small GEMMs).
+
+#pragma once
+
+#include <cstddef>
+
+#include "darl/linalg/vec.hpp"
+
+namespace darl {
+
+class Rng;
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix filled with `fill`.
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  /// Unchecked element access (row-major).
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Bounds-checked element access; throws darl::InvalidArgument.
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  /// Flat row-major storage (e.g. for optimizers and serialization).
+  Vec& data() { return data_; }
+  const Vec& data() const { return data_; }
+
+  /// Set every element to `value`.
+  void fill(double value);
+
+  /// y = A * x. Requires x.size() == cols(); returns a rows()-vector.
+  Vec matvec(const Vec& x) const;
+
+  /// y = A^T * x. Requires x.size() == rows(); returns a cols()-vector.
+  Vec matvec_t(const Vec& x) const;
+
+  /// A += alpha * u * v^T. Requires u.size() == rows(), v.size() == cols().
+  void add_outer(double alpha, const Vec& u, const Vec& v);
+
+  /// this += alpha * other (same shape).
+  void add_scaled(double alpha, const Matrix& other);
+
+  /// C = A * B (shapes must be compatible).
+  static Matrix multiply(const Matrix& a, const Matrix& b);
+
+  /// Transposed copy.
+  Matrix transposed() const;
+
+  /// Fill with He/Kaiming-style scaled normal draws: N(0, gain/sqrt(cols)).
+  /// Used for layer weight initialization.
+  void randomize_kaiming(Rng& rng, double gain = 1.0);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  Vec data_;
+};
+
+}  // namespace darl

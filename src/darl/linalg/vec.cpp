@@ -1,0 +1,86 @@
+#include "darl/linalg/vec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "darl/common/error.hpp"
+
+namespace darl {
+
+void axpy(double alpha, const Vec& x, Vec& y) {
+  DARL_CHECK(x.size() == y.size(), "axpy size mismatch " << x.size() << " vs " << y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+Vec add(const Vec& a, const Vec& b) {
+  DARL_CHECK(a.size() == b.size(), "add size mismatch " << a.size() << " vs " << b.size());
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] + b[i];
+  return out;
+}
+
+Vec sub(const Vec& a, const Vec& b) {
+  DARL_CHECK(a.size() == b.size(), "sub size mismatch " << a.size() << " vs " << b.size());
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] - b[i];
+  return out;
+}
+
+Vec scaled(const Vec& x, double alpha) {
+  Vec out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = alpha * x[i];
+  return out;
+}
+
+void scale(Vec& x, double alpha) {
+  for (double& v : x) v *= alpha;
+}
+
+double dot(const Vec& a, const Vec& b) {
+  DARL_CHECK(a.size() == b.size(), "dot size mismatch " << a.size() << " vs " << b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(const Vec& x) { return std::sqrt(dot(x, x)); }
+
+double norm_inf(const Vec& x) {
+  double m = 0.0;
+  for (double v : x) m = std::max(m, std::abs(v));
+  return m;
+}
+
+Vec hadamard(const Vec& a, const Vec& b) {
+  DARL_CHECK(a.size() == b.size(),
+             "hadamard size mismatch " << a.size() << " vs " << b.size());
+  Vec out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) out[i] = a[i] * b[i];
+  return out;
+}
+
+Vec clamped(const Vec& x, double lo, double hi) {
+  DARL_CHECK(lo <= hi, "clamped bounds inverted");
+  Vec out(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = std::clamp(x[i], lo, hi);
+  return out;
+}
+
+bool all_finite(const Vec& x) {
+  return std::all_of(x.begin(), x.end(), [](double v) { return std::isfinite(v); });
+}
+
+double rms_norm_scaled(const Vec& x, const Vec& scl) {
+  DARL_CHECK(x.size() == scl.size(),
+             "rms_norm_scaled size mismatch " << x.size() << " vs " << scl.size());
+  if (x.empty()) return 0.0;
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    DARL_CHECK(scl[i] > 0.0, "non-positive error scale at index " << i);
+    const double r = x[i] / scl[i];
+    s += r * r;
+  }
+  return std::sqrt(s / static_cast<double>(x.size()));
+}
+
+}  // namespace darl

@@ -1,0 +1,54 @@
+// darl/linalg/vec.hpp
+//
+// Dense vector type and BLAS-1-style kernels shared by the ODE integrators
+// and the neural-network layers. A plain std::vector<double> is used as the
+// storage type so callers can interoperate with the standard library freely.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace darl {
+
+/// Dense column vector of doubles.
+using Vec = std::vector<double>;
+
+/// y += alpha * x (sizes must match).
+void axpy(double alpha, const Vec& x, Vec& y);
+
+/// Element-wise sum; sizes must match.
+Vec add(const Vec& a, const Vec& b);
+
+/// Element-wise difference a - b; sizes must match.
+Vec sub(const Vec& a, const Vec& b);
+
+/// alpha * x.
+Vec scaled(const Vec& x, double alpha);
+
+/// In-place scale x *= alpha.
+void scale(Vec& x, double alpha);
+
+/// Dot product; sizes must match.
+double dot(const Vec& a, const Vec& b);
+
+/// Euclidean norm.
+double norm2(const Vec& x);
+
+/// Infinity norm (max absolute element); 0 for empty vectors.
+double norm_inf(const Vec& x);
+
+/// Element-wise product; sizes must match.
+Vec hadamard(const Vec& a, const Vec& b);
+
+/// Clamp every element into [lo, hi].
+Vec clamped(const Vec& x, double lo, double hi);
+
+/// True when every element is finite.
+bool all_finite(const Vec& x);
+
+/// Weighted RMS norm used by adaptive ODE error control:
+/// sqrt(mean((x_i / scale_i)^2)). Sizes must match; scale_i must be > 0.
+double rms_norm_scaled(const Vec& x, const Vec& scale);
+
+}  // namespace darl

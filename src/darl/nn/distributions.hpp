@@ -1,0 +1,94 @@
+// darl/nn/distributions.hpp
+//
+// Policy-head probability distributions with the exact gradient formulas the
+// RL algorithms need: categorical over logits (discrete PPO), diagonal
+// Gaussian (continuous PPO) and tanh-squashed Gaussian with reparameterized
+// sampling (SAC).
+
+#pragma once
+
+#include <cstddef>
+
+#include "darl/linalg/vec.hpp"
+
+namespace darl {
+class Rng;
+}
+
+namespace darl::nn {
+
+/// Categorical distribution parameterized by unnormalized logits.
+struct Categorical {
+  /// Numerically stable softmax.
+  static Vec softmax(const Vec& logits);
+
+  /// Sample an index.
+  static std::size_t sample(const Vec& logits, Rng& rng);
+
+  /// log p(a) under softmax(logits).
+  static double log_prob(const Vec& logits, std::size_t a);
+
+  /// Shannon entropy of softmax(logits).
+  static double entropy(const Vec& logits);
+
+  /// d log p(a) / d logits = onehot(a) - softmax(logits).
+  static Vec log_prob_grad(const Vec& logits, std::size_t a);
+
+  /// d entropy / d logits.
+  static Vec entropy_grad(const Vec& logits);
+};
+
+/// Diagonal Gaussian with externally produced mean and log-std vectors.
+struct DiagGaussian {
+  /// Draw x ~ N(mean, exp(log_std)^2).
+  static Vec sample(const Vec& mean, const Vec& log_std, Rng& rng);
+
+  /// log density of x.
+  static double log_prob(const Vec& mean, const Vec& log_std, const Vec& x);
+
+  /// Differential entropy (depends only on log_std).
+  static double entropy(const Vec& log_std);
+
+  /// Gradients of log_prob with respect to mean and log_std (score
+  /// function, used by PPO's likelihood-ratio objective). Outputs are
+  /// resized to match.
+  static void log_prob_grad(const Vec& mean, const Vec& log_std, const Vec& x,
+                            Vec& d_mean, Vec& d_log_std);
+};
+
+/// Tanh-squashed Gaussian for SAC: a = tanh(z), z = mean + exp(log_std)*eps.
+/// log-probabilities include the tanh change-of-variables correction.
+struct SquashedGaussian {
+  /// Numerical floor inside log(1 - tanh(z)^2 + kEps).
+  static constexpr double kEps = 1e-6;
+
+  struct Draw {
+    Vec action;    ///< tanh(z), in (-1, 1)
+    Vec pre_tanh;  ///< z
+    Vec noise;     ///< eps
+    double log_prob = 0.0;
+  };
+
+  /// Reparameterized sample.
+  static Draw sample(const Vec& mean, const Vec& log_std, Rng& rng);
+
+  /// Deterministic action (tanh of the mean) for evaluation.
+  static Vec mode(const Vec& mean);
+
+  /// log-probability of an existing draw (recomputed from z).
+  static double log_prob(const Vec& mean, const Vec& log_std,
+                         const Vec& pre_tanh);
+
+  /// Pathwise gradients through the reparameterized draw.
+  ///
+  /// For a loss L = c_logp * log pi(a|s) + <grad_action, a> (per sample),
+  /// fills d_mean and d_log_std with dL/dmean and dL/dlog_std. grad_action
+  /// is dL/da from, e.g., back-propagating the critic through its action
+  /// input.
+  static void pathwise_grad(const Vec& mean, const Vec& log_std,
+                            const Vec& pre_tanh, const Vec& noise,
+                            double c_logp, const Vec& grad_action, Vec& d_mean,
+                            Vec& d_log_std);
+};
+
+}  // namespace darl::nn

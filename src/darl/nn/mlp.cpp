@@ -1,0 +1,161 @@
+#include "darl/nn/mlp.hpp"
+
+#include <cmath>
+
+#include "darl/common/error.hpp"
+#include "darl/common/rng.hpp"
+
+namespace darl::nn {
+
+Mlp::Mlp(const std::vector<std::size_t>& sizes, Activation activation, Rng& rng)
+    : sizes_(sizes), activation_(activation) {
+  DARL_CHECK(sizes_.size() >= 2, "Mlp needs at least input and output sizes");
+  for (std::size_t s : sizes_) DARL_CHECK(s > 0, "Mlp layer size must be positive");
+
+  const std::size_t layers = sizes_.size() - 1;
+  // tanh keeps unit variance with gain 1; ReLU needs sqrt(2).
+  const double gain = activation_ == Activation::ReLU ? std::sqrt(2.0) : 1.0;
+  weights_.reserve(layers);
+  for (std::size_t l = 0; l < layers; ++l) {
+    Matrix w(sizes_[l + 1], sizes_[l]);
+    w.randomize_kaiming(rng, gain);
+    weights_.push_back(std::move(w));
+    biases_.emplace_back(sizes_[l + 1], 0.0);
+    grad_w_.emplace_back(sizes_[l + 1], sizes_[l], 0.0);
+    grad_b_.emplace_back(sizes_[l + 1], 0.0);
+  }
+  inputs_.resize(layers);
+  pre_.resize(layers);
+}
+
+double Mlp::act(double z) const {
+  return activation_ == Activation::Tanh ? std::tanh(z) : (z > 0.0 ? z : 0.0);
+}
+
+double Mlp::act_grad(double z) const {
+  if (activation_ == Activation::Tanh) {
+    const double t = std::tanh(z);
+    return 1.0 - t * t;
+  }
+  return z > 0.0 ? 1.0 : 0.0;
+}
+
+const Vec& Mlp::forward(const Vec& x) {
+  DARL_CHECK(x.size() == input_dim(),
+             "Mlp input has " << x.size() << " dims, expected " << input_dim());
+  const std::size_t layers = weights_.size();
+  Vec a = x;
+  for (std::size_t l = 0; l < layers; ++l) {
+    inputs_[l] = a;
+    Vec z = weights_[l].matvec(a);
+    axpy(1.0, biases_[l], z);
+    pre_[l] = z;
+    if (l + 1 < layers) {
+      for (double& v : z) v = act(v);
+    }
+    a = std::move(z);
+  }
+  output_ = std::move(a);
+  forward_done_ = true;
+  return output_;
+}
+
+Vec Mlp::evaluate(const Vec& x) const {
+  DARL_CHECK(x.size() == input_dim(),
+             "Mlp input has " << x.size() << " dims, expected " << input_dim());
+  const std::size_t layers = weights_.size();
+  Vec a = x;
+  for (std::size_t l = 0; l < layers; ++l) {
+    Vec z = weights_[l].matvec(a);
+    axpy(1.0, biases_[l], z);
+    if (l + 1 < layers) {
+      for (double& v : z) v = act(v);
+    }
+    a = std::move(z);
+  }
+  return a;
+}
+
+Vec Mlp::backward(const Vec& grad_output) {
+  DARL_CHECK(forward_done_, "backward() without a preceding forward()");
+  DARL_CHECK(grad_output.size() == output_dim(),
+             "grad_output has " << grad_output.size() << " dims, expected "
+                                << output_dim());
+  const std::size_t layers = weights_.size();
+  Vec delta = grad_output;  // dL/dz for the output layer (linear)
+  for (std::size_t li = layers; li-- > 0;) {
+    if (li + 1 < layers) {
+      // delta currently holds dL/da for this layer's activation output;
+      // convert to dL/dz through the activation derivative.
+      for (std::size_t i = 0; i < delta.size(); ++i)
+        delta[i] *= act_grad(pre_[li][i]);
+    }
+    grad_w_[li].add_outer(1.0, delta, inputs_[li]);
+    axpy(1.0, delta, grad_b_[li]);
+    delta = weights_[li].matvec_t(delta);
+  }
+  forward_done_ = false;
+  return delta;  // dL/dx
+}
+
+void Mlp::zero_grad() {
+  for (auto& g : grad_w_) g.fill(0.0);
+  for (auto& g : grad_b_) std::fill(g.begin(), g.end(), 0.0);
+}
+
+std::vector<ParamRef> Mlp::params() {
+  std::vector<ParamRef> out;
+  out.reserve(2 * weights_.size());
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    out.push_back(ParamRef{&weights_[l].data(), &grad_w_[l].data(),
+                           "w" + std::to_string(l)});
+    out.push_back(ParamRef{&biases_[l], &grad_b_[l], "b" + std::to_string(l)});
+  }
+  return out;
+}
+
+double Mlp::flops_per_forward() const {
+  double flops = 0.0;
+  for (std::size_t l = 0; l + 1 < sizes_.size(); ++l) {
+    flops += 2.0 * static_cast<double>(sizes_[l]) * static_cast<double>(sizes_[l + 1]);
+    flops += static_cast<double>(sizes_[l + 1]);  // bias + activation
+  }
+  return flops;
+}
+
+std::size_t Mlp::param_count() const {
+  std::size_t n = 0;
+  for (std::size_t l = 0; l < weights_.size(); ++l)
+    n += weights_[l].size() + biases_[l].size();
+  return n;
+}
+
+Vec Mlp::get_flat_params() const {
+  Vec flat;
+  flat.reserve(param_count());
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    const Vec& w = weights_[l].data();
+    flat.insert(flat.end(), w.begin(), w.end());
+    flat.insert(flat.end(), biases_[l].begin(), biases_[l].end());
+  }
+  return flat;
+}
+
+void Mlp::set_flat_params(const Vec& flat) {
+  DARL_CHECK(flat.size() == param_count(),
+             "flat parameter vector has " << flat.size() << " values, expected "
+                                          << param_count());
+  std::size_t off = 0;
+  for (std::size_t l = 0; l < weights_.size(); ++l) {
+    Vec& w = weights_[l].data();
+    std::copy(flat.begin() + static_cast<std::ptrdiff_t>(off),
+              flat.begin() + static_cast<std::ptrdiff_t>(off + w.size()), w.begin());
+    off += w.size();
+    Vec& b = biases_[l];
+    std::copy(flat.begin() + static_cast<std::ptrdiff_t>(off),
+              flat.begin() + static_cast<std::ptrdiff_t>(off + b.size()), b.begin());
+    off += b.size();
+  }
+}
+
+}  // namespace darl::nn

@@ -1,0 +1,103 @@
+// darl/nn/mlp.hpp
+//
+// Multi-layer perceptron with manual reverse-mode differentiation — the
+// function approximator behind the PPO/SAC policies and value functions.
+// Sized for RL workloads (observation dims ~10, hidden 64, per-sample
+// forward/backward), double precision throughout, zero allocations on the
+// hot path after the first call.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "darl/linalg/matrix.hpp"
+
+namespace darl::nn {
+
+/// Hidden-layer activation functions.
+enum class Activation { Tanh, ReLU };
+
+/// A reference to one parameter buffer and its gradient accumulator.
+/// Optimizers iterate these; the referenced storage is owned by the model.
+struct ParamRef {
+  Vec* value = nullptr;
+  Vec* grad = nullptr;
+  std::string name;
+};
+
+/// Fully connected network: input -> (Linear -> act)* -> Linear.
+///
+/// Usage per sample: y = forward(x); then backward(dL/dy) accumulates
+/// parameter gradients (call zero_grad() between optimizer steps) and
+/// returns dL/dx. forward/backward must be paired: backward consumes the
+/// caches of the immediately preceding forward.
+class Mlp {
+ public:
+  /// `sizes` = {in, hidden..., out}, at least {in, out}. Weights use
+  /// Kaiming-style init scaled for the activation; biases start at zero.
+  Mlp(const std::vector<std::size_t>& sizes, Activation activation, Rng& rng);
+
+  /// Evaluate the network and cache intermediates for backward().
+  const Vec& forward(const Vec& x);
+
+  /// Evaluate without touching the backward caches (safe for concurrent
+  /// rollouts where no gradient is needed). Slightly slower than forward()
+  /// due to local buffers.
+  Vec evaluate(const Vec& x) const;
+
+  /// Back-propagate dL/dy from the last forward(); accumulates gradients
+  /// into the parameter buffers and returns dL/dx.
+  Vec backward(const Vec& grad_output);
+
+  /// Zero every gradient accumulator.
+  void zero_grad();
+
+  /// All parameter buffers (weights then bias per layer, in order).
+  std::vector<ParamRef> params();
+
+  /// Total number of scalar parameters.
+  std::size_t param_count() const;
+
+  /// Flatten all parameters into one vector (serialization / checkpoints).
+  Vec get_flat_params() const;
+
+  /// Load parameters from a flat vector produced by get_flat_params().
+  void set_flat_params(const Vec& flat);
+
+  /// Floating-point operations of one forward pass (2*in*out per layer plus
+  /// activations) — the unit of the simulated compute-cost model. A
+  /// backward pass is charged at twice this.
+  double flops_per_forward() const;
+
+  std::size_t input_dim() const { return sizes_.front(); }
+  std::size_t output_dim() const { return sizes_.back(); }
+  const std::vector<std::size_t>& sizes() const { return sizes_; }
+  Activation activation() const { return activation_; }
+
+ private:
+  struct LayerGrads {
+    Matrix w;
+    Vec b;
+  };
+
+  double act(double z) const;
+  double act_grad(double z) const;
+
+  std::vector<std::size_t> sizes_;
+  Activation activation_;
+  std::vector<Matrix> weights_;  // weights_[l] is (sizes_[l+1] x sizes_[l])
+  std::vector<Vec> biases_;
+  std::vector<Matrix> grad_w_;
+  std::vector<Vec> grad_b_;
+
+  // forward caches: inputs_[l] is the input to layer l; pre_[l] the
+  // pre-activation of layer l.
+  std::vector<Vec> inputs_;
+  std::vector<Vec> pre_;
+  Vec output_;
+  bool forward_done_ = false;
+};
+
+}  // namespace darl::nn

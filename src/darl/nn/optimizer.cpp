@@ -1,0 +1,98 @@
+#include "darl/nn/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "darl/common/error.hpp"
+
+namespace darl::nn {
+
+Optimizer::Optimizer(std::vector<ParamRef> params, double lr)
+    : params_(std::move(params)), lr_(lr) {
+  DARL_CHECK(!params_.empty(), "optimizer with no parameters");
+  DARL_CHECK(lr > 0.0, "learning rate must be positive");
+  for (const auto& p : params_) {
+    DARL_CHECK(p.value != nullptr && p.grad != nullptr, "null ParamRef");
+    DARL_CHECK(p.value->size() == p.grad->size(),
+               "param/grad size mismatch for '" << p.name << "'");
+  }
+}
+
+void Optimizer::zero_grad() {
+  for (auto& p : params_) std::fill(p.grad->begin(), p.grad->end(), 0.0);
+}
+
+void Optimizer::set_learning_rate(double lr) {
+  DARL_CHECK(lr > 0.0, "learning rate must be positive");
+  lr_ = lr;
+}
+
+Adam::Adam(std::vector<ParamRef> params, double lr, double beta1, double beta2,
+           double eps)
+    : Optimizer(std::move(params), lr), beta1_(beta1), beta2_(beta2), eps_(eps) {
+  DARL_CHECK(beta1 >= 0.0 && beta1 < 1.0, "beta1 out of [0,1)");
+  DARL_CHECK(beta2 >= 0.0 && beta2 < 1.0, "beta2 out of [0,1)");
+  DARL_CHECK(eps > 0.0, "eps must be positive");
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.value->size(), 0.0);
+    v_.emplace_back(p.value->size(), 0.0);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Vec& w = *params_[i].value;
+    const Vec& g = *params_[i].grad;
+    Vec& m = m_[i];
+    Vec& v = v_[i];
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0 - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0 - beta2_) * g[j] * g[j];
+      const double mhat = m[j] / bc1;
+      const double vhat = v[j] / bc2;
+      w[j] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+    }
+  }
+}
+
+Sgd::Sgd(std::vector<ParamRef> params, double lr, double momentum)
+    : Optimizer(std::move(params), lr), momentum_(momentum) {
+  DARL_CHECK(momentum >= 0.0 && momentum < 1.0, "momentum out of [0,1)");
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) velocity_.emplace_back(p.value->size(), 0.0);
+}
+
+void Sgd::step() {
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Vec& w = *params_[i].value;
+    const Vec& g = *params_[i].grad;
+    Vec& vel = velocity_[i];
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      vel[j] = momentum_ * vel[j] + g[j];
+      w[j] -= lr_ * vel[j];
+    }
+  }
+}
+
+double clip_grad_norm(const std::vector<ParamRef>& params, double max_norm) {
+  DARL_CHECK(max_norm > 0.0, "max_norm must be positive");
+  double sq = 0.0;
+  for (const auto& p : params) {
+    for (double g : *p.grad) sq += g * g;
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm && norm > 0.0) {
+    const double scale = max_norm / norm;
+    for (auto& p : params) {
+      for (double& g : *p.grad) g *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace darl::nn

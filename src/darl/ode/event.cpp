@@ -1,0 +1,43 @@
+#include "darl/ode/event.hpp"
+
+#include "darl/common/error.hpp"
+
+namespace darl::ode {
+
+EventResult integrate_with_event(Integrator& integrator, const Rhs& rhs,
+                                 double t0, double t1, Vec& y,
+                                 const EventFn& event, double time_tolerance) {
+  DARL_CHECK(t1 >= t0, "integrate_with_event with t1 < t0");
+  DARL_CHECK(time_tolerance > 0.0, "non-positive event time tolerance");
+
+  if (event(t0, y) <= 0.0) {
+    return EventResult{true, t0};  // already past the event
+  }
+
+  const Vec y_start = y;
+  integrator.integrate(rhs, t0, t1, y);
+  if (event(t1, y) > 0.0) {
+    return EventResult{false, t1};  // no crossing in the interval
+  }
+
+  // Bisection: maintain [lo, hi] with g(lo) > 0 >= g(hi); each probe
+  // re-integrates from the interval start so any integrator works.
+  double lo = t0;
+  double hi = t1;
+  Vec y_hi = y;
+  while (hi - lo > time_tolerance) {
+    const double mid = 0.5 * (lo + hi);
+    Vec y_mid = y_start;
+    integrator.integrate(rhs, t0, mid, y_mid);
+    if (event(mid, y_mid) > 0.0) {
+      lo = mid;
+    } else {
+      hi = mid;
+      y_hi = std::move(y_mid);
+    }
+  }
+  y = std::move(y_hi);
+  return EventResult{true, hi};
+}
+
+}  // namespace darl::ode

@@ -1,0 +1,37 @@
+// darl/ode/event.hpp
+//
+// Event localization for integrations that must stop at a state condition —
+// the airdrop simulator's touchdown (altitude crossing zero) being the
+// motivating case. Works with any Integrator by re-integrating from the
+// interval start during bisection (no dense output required; interval
+// lengths here are one control step, so the extra cost is bounded).
+
+#pragma once
+
+#include <functional>
+
+#include "darl/ode/integrator.hpp"
+
+namespace darl::ode {
+
+/// Scalar event function g(t, y); an event fires when g's sign changes
+/// from positive at t0 to non-positive during the interval.
+using EventFn = std::function<double(double t, const Vec& y)>;
+
+/// Result of integrate_with_event.
+struct EventResult {
+  bool triggered = false;
+  double t_end = 0.0;  ///< event time if triggered, else t1
+};
+
+/// Advance `y` from t0 toward t1; when the event fires inside the interval,
+/// stop at the crossing (localized by bisection to `time_tolerance`) and
+/// leave `y` at the event state. Requires g(t0, y) > 0 for a meaningful
+/// crossing; if g is already non-positive at t0 the event triggers
+/// immediately at t0.
+EventResult integrate_with_event(Integrator& integrator, const Rhs& rhs,
+                                 double t0, double t1, Vec& y,
+                                 const EventFn& event,
+                                 double time_tolerance = 1e-3);
+
+}  // namespace darl::ode

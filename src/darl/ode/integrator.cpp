@@ -1,0 +1,32 @@
+#include "darl/ode/integrator.hpp"
+
+#include "darl/common/error.hpp"
+#include "darl/ode/explicit_rk.hpp"
+#include "darl/ode/gbs.hpp"
+#include "darl/ode/tableau.hpp"
+
+namespace darl::ode {
+
+const char* rk_order_name(RkOrder order) {
+  switch (order) {
+    case RkOrder::Order3: return "RK3";
+    case RkOrder::Order5: return "RK5";
+    case RkOrder::Order8: return "RK8";
+  }
+  return "RK?";
+}
+
+std::unique_ptr<Integrator> make_integrator(RkOrder order,
+                                            const AdaptiveOptions& options) {
+  switch (order) {
+    case RkOrder::Order3:
+      return std::make_unique<ExplicitRk>(bogacki_shampine23(), options);
+    case RkOrder::Order5:
+      return std::make_unique<ExplicitRk>(dormand_prince45(), options);
+    case RkOrder::Order8:
+      return std::make_unique<GbsExtrapolation>(4, options);
+  }
+  throw InvalidArgument("unknown RkOrder");
+}
+
+}  // namespace darl::ode

@@ -1,0 +1,96 @@
+#include "darl/ode/tableau.hpp"
+
+#include <cmath>
+
+#include "darl/common/error.hpp"
+
+namespace darl::ode {
+
+void ButcherTableau::validate() const {
+  const std::size_t s = stages();
+  DARL_CHECK(s > 0, "tableau '" << name << "' has no stages");
+  DARL_CHECK(a.size() == s, "tableau '" << name << "': a has " << a.size()
+                                        << " rows, expected " << s);
+  DARL_CHECK(c.size() == s, "tableau '" << name << "': c has " << c.size()
+                                        << " entries, expected " << s);
+  if (embedded()) {
+    DARL_CHECK(b_low.size() == s, "tableau '" << name << "': b_low has "
+                                              << b_low.size() << " entries");
+  }
+  for (std::size_t i = 0; i < s; ++i) {
+    DARL_CHECK(a[i].size() == i,
+               "tableau '" << name << "': row " << i << " has " << a[i].size()
+                           << " coefficients, expected " << i << " (explicit method)");
+    double row_sum = 0.0;
+    for (double v : a[i]) row_sum += v;
+    DARL_CHECK(std::abs(row_sum - c[i]) < 1e-12,
+               "tableau '" << name << "': row-sum condition violated at stage "
+                           << i << " (" << row_sum << " vs c=" << c[i] << ")");
+  }
+  double b_sum = 0.0;
+  for (double v : b) b_sum += v;
+  DARL_CHECK(std::abs(b_sum - 1.0) < 1e-12,
+             "tableau '" << name << "': b does not sum to 1 (" << b_sum << ")");
+  if (embedded()) {
+    double bl_sum = 0.0;
+    for (double v : b_low) bl_sum += v;
+    DARL_CHECK(std::abs(bl_sum - 1.0) < 1e-12,
+               "tableau '" << name << "': b_low does not sum to 1 (" << bl_sum << ")");
+  }
+}
+
+ButcherTableau rk4_classic() {
+  ButcherTableau t;
+  t.name = "RK4";
+  t.order = 4;
+  t.error_order = 0;
+  t.fsal = false;
+  t.a = {{}, {0.5}, {0.0, 0.5}, {0.0, 0.0, 1.0}};
+  t.b = {1.0 / 6, 1.0 / 3, 1.0 / 3, 1.0 / 6};
+  t.c = {0.0, 0.5, 0.5, 1.0};
+  t.validate();
+  return t;
+}
+
+ButcherTableau bogacki_shampine23() {
+  ButcherTableau t;
+  t.name = "RK23 (Bogacki-Shampine)";
+  t.order = 3;
+  t.error_order = 2;
+  t.fsal = true;
+  t.a = {{},
+         {1.0 / 2},
+         {0.0, 3.0 / 4},
+         {2.0 / 9, 1.0 / 3, 4.0 / 9}};
+  t.b = {2.0 / 9, 1.0 / 3, 4.0 / 9, 0.0};
+  t.b_low = {7.0 / 24, 1.0 / 4, 1.0 / 3, 1.0 / 8};
+  t.c = {0.0, 1.0 / 2, 3.0 / 4, 1.0};
+  t.validate();
+  return t;
+}
+
+ButcherTableau dormand_prince45() {
+  ButcherTableau t;
+  t.name = "RK45 (Dormand-Prince)";
+  t.order = 5;
+  t.error_order = 4;
+  t.fsal = true;
+  t.a = {{},
+         {1.0 / 5},
+         {3.0 / 40, 9.0 / 40},
+         {44.0 / 45, -56.0 / 15, 32.0 / 9},
+         {19372.0 / 6561, -25360.0 / 2187, 64448.0 / 6561, -212.0 / 729},
+         {9017.0 / 3168, -355.0 / 33, 46732.0 / 5247, 49.0 / 176,
+          -5103.0 / 18656},
+         {35.0 / 384, 0.0, 500.0 / 1113, 125.0 / 192, -2187.0 / 6784,
+          11.0 / 84}};
+  t.b = {35.0 / 384, 0.0,          500.0 / 1113, 125.0 / 192,
+         -2187.0 / 6784, 11.0 / 84, 0.0};
+  t.b_low = {5179.0 / 57600,    0.0,         7571.0 / 16695, 393.0 / 640,
+             -92097.0 / 339200, 187.0 / 2100, 1.0 / 40};
+  t.c = {0.0, 1.0 / 5, 3.0 / 10, 4.0 / 5, 8.0 / 9, 1.0, 1.0};
+  t.validate();
+  return t;
+}
+
+}  // namespace darl::ode

@@ -1,0 +1,48 @@
+// darl/ode/tableau.hpp
+//
+// Butcher tableaus for explicit Runge-Kutta methods.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace darl::ode {
+
+/// Coefficients of an explicit (embedded) Runge-Kutta method.
+///
+/// `a` is stored as a dense lower-triangular stage matrix: a[i][j] for
+/// j < i is the weight of stage j in the computation of stage i.
+/// `b` are the high-order solution weights, `b_low` the embedded lower-order
+/// weights used for error estimation (empty for non-embedded methods), and
+/// `c` the stage abscissae.
+struct ButcherTableau {
+  std::string name;
+  int order = 0;        ///< order of the solution advanced with b
+  int error_order = 0;  ///< order of the embedded solution (0 if none)
+  bool fsal = false;    ///< first-same-as-last: stage s of step n equals
+                        ///< stage 1 of step n+1, saving one evaluation
+  std::vector<std::vector<double>> a;
+  std::vector<double> b;
+  std::vector<double> b_low;
+  std::vector<double> c;
+
+  std::size_t stages() const { return b.size(); }
+  bool embedded() const { return !b_low.empty(); }
+
+  /// Validate structural consistency (shapes, row-sum condition
+  /// sum_j a[i][j] == c[i] within tolerance). Throws darl::Error on failure.
+  void validate() const;
+};
+
+/// Classic fixed-step RK4 (non-embedded).
+ButcherTableau rk4_classic();
+
+/// Bogacki-Shampine 3(2) pair — SciPy's "RK23". FSAL, 4 stages.
+ButcherTableau bogacki_shampine23();
+
+/// Dormand-Prince 5(4) pair — SciPy's "RK45". FSAL, 7 stages.
+ButcherTableau dormand_prince45();
+
+}  // namespace darl::ode

@@ -1,0 +1,39 @@
+#include "darl/rl/algorithm.hpp"
+
+#include "darl/rl/factory.hpp"
+
+#include "darl/common/error.hpp"
+#include "darl/rl/ppo.hpp"
+#include "darl/rl/impala.hpp"
+#include "darl/rl/sac.hpp"
+
+namespace darl::rl {
+
+const char* algo_name(AlgoKind kind) {
+  switch (kind) {
+    case AlgoKind::PPO: return "PPO";
+    case AlgoKind::SAC: return "SAC";
+    case AlgoKind::IMPALA: return "IMPALA";
+  }
+  return "???";
+}
+
+std::unique_ptr<Algorithm> make_algorithm(const AlgorithmSpec& spec,
+                                          std::size_t obs_dim,
+                                          const env::ActionSpace& action_space,
+                                          std::uint64_t seed) {
+  switch (spec.kind) {
+    case AlgoKind::PPO:
+      return std::make_unique<PpoAlgorithm>(obs_dim, action_space, spec.ppo,
+                                            seed);
+    case AlgoKind::SAC:
+      return std::make_unique<SacAlgorithm>(obs_dim, action_space, spec.sac,
+                                            seed);
+    case AlgoKind::IMPALA:
+      return std::make_unique<ImpalaAlgorithm>(obs_dim, action_space,
+                                               spec.impala, seed);
+  }
+  throw InvalidArgument("unknown AlgoKind");
+}
+
+}  // namespace darl::rl

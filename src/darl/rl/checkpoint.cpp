@@ -1,0 +1,68 @@
+#include "darl/rl/checkpoint.hpp"
+
+#include <cinttypes>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "darl/common/error.hpp"
+
+namespace darl::rl {
+namespace {
+
+constexpr const char* kMagic = "darl-checkpoint-v1";
+
+}  // namespace
+
+void save_checkpoint(std::ostream& out, const Checkpoint& checkpoint) {
+  out << kMagic << '\n';
+  out << algo_name(checkpoint.kind) << ' ' << checkpoint.obs_dim << ' '
+      << checkpoint.action_dim << ' ' << checkpoint.params.size() << '\n';
+  out.precision(17);
+  for (double v : checkpoint.params) out << v << '\n';
+  DARL_CHECK(static_cast<bool>(out), "checkpoint write failed");
+}
+
+Checkpoint load_checkpoint(std::istream& in) {
+  std::string magic;
+  DARL_CHECK(std::getline(in, magic), "empty checkpoint stream");
+  DARL_CHECK(magic == kMagic, "unrecognized checkpoint header '" << magic << "'");
+
+  std::string algo;
+  std::size_t obs_dim = 0, action_dim = 0, count = 0;
+  DARL_CHECK(static_cast<bool>(in >> algo >> obs_dim >> action_dim >> count),
+             "malformed checkpoint metadata");
+  Checkpoint ck;
+  if (algo == "PPO") {
+    ck.kind = AlgoKind::PPO;
+  } else if (algo == "SAC") {
+    ck.kind = AlgoKind::SAC;
+  } else if (algo == "IMPALA") {
+    ck.kind = AlgoKind::IMPALA;
+  } else {
+    throw Error("unknown checkpoint algorithm '" + algo + "'");
+  }
+  ck.obs_dim = obs_dim;
+  ck.action_dim = action_dim;
+  ck.params.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    DARL_CHECK(static_cast<bool>(in >> ck.params[i]),
+               "checkpoint truncated at parameter " << i);
+  }
+  return ck;
+}
+
+void save_checkpoint_file(const std::string& path, const Checkpoint& checkpoint) {
+  std::ofstream out(path);
+  DARL_CHECK(static_cast<bool>(out), "cannot open '" << path << "' for writing");
+  save_checkpoint(out, checkpoint);
+}
+
+Checkpoint load_checkpoint_file(const std::string& path) {
+  std::ifstream in(path);
+  DARL_CHECK(static_cast<bool>(in), "cannot open '" << path << "' for reading");
+  return load_checkpoint(in);
+}
+
+}  // namespace darl::rl

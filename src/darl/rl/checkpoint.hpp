@@ -1,0 +1,38 @@
+// darl/rl/checkpoint.hpp
+//
+// Policy checkpointing: persist a trained policy's flat parameter vector
+// (plus an interface fingerprint) so a study's winning configuration can be
+// re-deployed without retraining — the paper's motivation for choosing a
+// good configuration *before* the learning phase is reproduced.
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "darl/linalg/vec.hpp"
+#include "darl/rl/types.hpp"
+
+namespace darl::rl {
+
+/// A saved policy snapshot.
+struct Checkpoint {
+  AlgoKind kind = AlgoKind::PPO;
+  std::size_t obs_dim = 0;
+  std::size_t action_dim = 0;
+  Vec params;
+};
+
+/// Serialize a checkpoint (text header + little-endian doubles in base-10
+/// text lines; robust and diffable, adequate for the small policies here).
+void save_checkpoint(std::ostream& out, const Checkpoint& checkpoint);
+
+/// Parse a checkpoint written by save_checkpoint. Throws darl::Error on a
+/// malformed stream or version mismatch.
+Checkpoint load_checkpoint(std::istream& in);
+
+/// Convenience file wrappers; throw darl::Error on I/O failure.
+void save_checkpoint_file(const std::string& path, const Checkpoint& checkpoint);
+Checkpoint load_checkpoint_file(const std::string& path);
+
+}  // namespace darl::rl

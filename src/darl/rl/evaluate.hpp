@@ -1,0 +1,35 @@
+// darl/rl/evaluate.hpp
+//
+// Post-training policy evaluation: runs a trained policy for a number of
+// episodes and reports the domain score (the paper's Reward metric is the
+// landing score of the trained model, measured here over a fixed
+// evaluation set rather than noisy training episodes).
+
+#pragma once
+
+#include <cstddef>
+
+#include "darl/env/env.hpp"
+#include "darl/rl/algorithm.hpp"
+
+namespace darl::rl {
+
+/// Aggregate outcome of an evaluation run.
+struct EvalResult {
+  double mean_score = 0.0;         ///< mean Env::episode_score (or reward sum)
+  double mean_total_reward = 0.0;  ///< mean per-episode reward sum
+  double mean_length = 0.0;        ///< mean episode length in steps
+  std::size_t episodes = 0;
+  double env_cost_units = 0.0;     ///< simulated env compute drained
+  std::size_t inferences = 0;      ///< policy evaluations performed
+};
+
+/// Run `episodes` episodes of `actor` on `environment`. `stochastic`
+/// selects sampled vs greedy actions. The environment is reset internally;
+/// seed it beforehand for determinism.
+EvalResult evaluate_policy(RolloutActor& actor, env::Env& environment,
+                           std::size_t episodes, Rng& rng,
+                           bool stochastic = true,
+                           std::size_t max_steps_per_episode = 100000);
+
+}  // namespace darl::rl

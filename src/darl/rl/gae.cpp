@@ -1,0 +1,52 @@
+#include "darl/rl/gae.hpp"
+
+#include <cmath>
+
+#include "darl/common/error.hpp"
+#include "darl/common/stats.hpp"
+
+namespace darl::rl {
+
+GaeResult compute_gae(const std::vector<Transition>& stream,
+                      const std::vector<double>& values,
+                      const std::vector<double>& bootstrap_values, double gamma,
+                      double lambda) {
+  const std::size_t n = stream.size();
+  DARL_CHECK(values.size() == n, "values size " << values.size() << " != " << n);
+  DARL_CHECK(bootstrap_values.size() == n,
+             "bootstrap_values size " << bootstrap_values.size() << " != " << n);
+  DARL_CHECK(gamma >= 0.0 && gamma <= 1.0, "gamma out of [0,1]: " << gamma);
+  DARL_CHECK(lambda >= 0.0 && lambda <= 1.0, "lambda out of [0,1]: " << lambda);
+
+  GaeResult out;
+  out.advantages.resize(n);
+  out.returns.resize(n);
+
+  double running = 0.0;
+  for (std::size_t i = n; i-- > 0;) {
+    const Transition& tr = stream[i];
+    // Value after this transition: 0 at true terminals; V(next_obs) when the
+    // episode continues or was truncated; for a mid-stream non-done
+    // transition the next stream entry's V(obs) equals V(next_obs), so
+    // bootstrap_values[i] is correct everywhere it is read.
+    const double next_value = tr.terminated ? 0.0 : bootstrap_values[i];
+    const double delta = tr.reward + gamma * next_value - values[i];
+    // The lambda accumulator resets at episode boundaries.
+    running = delta + (tr.done() ? 0.0 : gamma * lambda * running);
+    out.advantages[i] = running;
+    out.returns[i] = running + values[i];
+  }
+  return out;
+}
+
+void normalize_advantages(std::vector<double>& advantages) {
+  if (advantages.size() < 2) return;
+  RunningStats s;
+  for (double a : advantages) s.push(a);
+  const double sd = s.stddev();
+  if (sd < 1e-8) return;
+  const double m = s.mean();
+  for (double& a : advantages) a = (a - m) / sd;
+}
+
+}  // namespace darl::rl

@@ -1,0 +1,38 @@
+// darl/rl/gae.hpp
+//
+// Generalized Advantage Estimation (Schulman et al. 2016) over a single
+// worker stream of transitions. Pure functions, unit-tested against
+// closed-form cases.
+
+#pragma once
+
+#include <vector>
+
+#include "darl/rl/types.hpp"
+
+namespace darl::rl {
+
+/// Advantages and discounted returns for one stream.
+struct GaeResult {
+  std::vector<double> advantages;
+  std::vector<double> returns;  ///< advantage + V(obs): the critic target
+};
+
+/// Compute GAE(gamma, lambda) over `stream` (time-ordered transitions from
+/// one worker, possibly spanning several episodes).
+///
+/// `values[t]` must be V(stream[t].obs) and `bootstrap_values[t]` must be
+/// V(stream[t].next_obs) (only read where a bootstrap is needed: at
+/// truncated transitions and at the final transition of the stream when it
+/// is not terminated). The lambda-accumulator resets across episode
+/// boundaries (done transitions).
+GaeResult compute_gae(const std::vector<Transition>& stream,
+                      const std::vector<double>& values,
+                      const std::vector<double>& bootstrap_values, double gamma,
+                      double lambda);
+
+/// Normalize advantages to zero mean / unit standard deviation in place
+/// (no-op for fewer than two elements or ~zero variance).
+void normalize_advantages(std::vector<double>& advantages);
+
+}  // namespace darl::rl

@@ -1,0 +1,328 @@
+#include "darl/rl/ppo.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "darl/common/error.hpp"
+#include "darl/nn/distributions.hpp"
+#include "darl/rl/gae.hpp"
+
+namespace darl::rl {
+namespace {
+
+std::vector<std::size_t> actor_sizes(std::size_t obs_dim,
+                                     const env::ActionSpace& space,
+                                     const std::vector<std::size_t>& hidden) {
+  std::vector<std::size_t> sizes;
+  sizes.push_back(obs_dim);
+  sizes.insert(sizes.end(), hidden.begin(), hidden.end());
+  sizes.push_back(space.is_discrete() ? space.discrete().n() : space.box().dim());
+  return sizes;
+}
+
+std::vector<std::size_t> critic_sizes(std::size_t obs_dim,
+                                      const std::vector<std::size_t>& hidden) {
+  std::vector<std::size_t> sizes;
+  sizes.push_back(obs_dim);
+  sizes.insert(sizes.end(), hidden.begin(), hidden.end());
+  sizes.push_back(1);
+  return sizes;
+}
+
+/// Inference-only PPO policy used by rollout workers.
+class PpoActor final : public RolloutActor {
+ public:
+  PpoActor(const nn::Mlp& actor, Vec log_std, env::ActionSpace space,
+           std::uint64_t rng_seed)
+      : net_(actor),  // copy
+        log_std_(std::move(log_std)),
+        space_(std::move(space)),
+        scratch_rng_(rng_seed) {}
+
+  void set_params(const Vec& flat) override {
+    const std::size_t net_n = net_.param_count();
+    DARL_CHECK(flat.size() == net_n + log_std_.size(),
+               "PPO actor snapshot has " << flat.size() << " values, expected "
+                                         << net_n + log_std_.size());
+    Vec net_part(flat.begin(), flat.begin() + static_cast<std::ptrdiff_t>(net_n));
+    net_.set_flat_params(net_part);
+    std::copy(flat.begin() + static_cast<std::ptrdiff_t>(net_n), flat.end(),
+              log_std_.begin());
+  }
+
+  ActOutput act(const Vec& obs, Rng& rng) override {
+    const Vec head = net_.evaluate(obs);
+    ActOutput out;
+    if (space_.is_discrete()) {
+      const std::size_t a = nn::Categorical::sample(head, rng);
+      out.action = space_.discrete().encode(a);
+      out.log_prob = nn::Categorical::log_prob(head, a);
+    } else {
+      const Vec raw = nn::DiagGaussian::sample(head, log_std_, rng);
+      out.log_prob = nn::DiagGaussian::log_prob(head, log_std_, raw);
+      out.action = space_.box().clip(raw);
+      // log_prob intentionally refers to the unclipped draw (standard
+      // practice: the clip is part of the environment interface).
+    }
+    return out;
+  }
+
+  Vec act_greedy(const Vec& obs) override {
+    const Vec head = net_.evaluate(obs);
+    if (space_.is_discrete()) {
+      const Vec p = nn::Categorical::softmax(head);
+      const auto it = std::max_element(p.begin(), p.end());
+      return space_.discrete().encode(
+          static_cast<std::size_t>(it - p.begin()));
+    }
+    return space_.box().clip(head);
+  }
+
+  double inference_cost_mflop() const override {
+    return net_.flops_per_forward() / 1e6;
+  }
+
+ private:
+  nn::Mlp net_;
+  Vec log_std_;
+  env::ActionSpace space_;
+  Rng scratch_rng_;  // reserved for actor-local stochasticity
+};
+
+}  // namespace
+
+PpoAlgorithm::PpoAlgorithm(std::size_t obs_dim, env::ActionSpace action_space,
+                           PpoConfig config, std::uint64_t seed)
+    : obs_dim_(obs_dim),
+      action_space_(std::move(action_space)),
+      config_(std::move(config)),
+      rng_(seed),
+      actor_([&] {
+        Rng init = rng_.split(1);
+        return nn::Mlp(actor_sizes(obs_dim, action_space_, config_.hidden),
+                       nn::Activation::Tanh, init);
+      }()),
+      critic_([&] {
+        Rng init = rng_.split(2);
+        return nn::Mlp(critic_sizes(obs_dim, config_.hidden),
+                       nn::Activation::Tanh, init);
+      }()) {
+  DARL_CHECK(obs_dim > 0, "obs_dim must be positive");
+  DARL_CHECK(config_.epochs > 0 && config_.minibatch_size > 0,
+             "epochs and minibatch_size must be positive");
+  DARL_CHECK(config_.clip_epsilon > 0.0 && config_.clip_epsilon < 1.0,
+             "clip_epsilon out of (0,1)");
+
+  if (action_space_.is_box()) {
+    log_std_.assign(action_space_.box().dim(), config_.log_std_init);
+    log_std_grad_.assign(log_std_.size(), 0.0);
+  }
+
+  auto actor_params = actor_.params();
+  if (!log_std_.empty()) {
+    actor_params.push_back(nn::ParamRef{&log_std_, &log_std_grad_, "log_std"});
+  }
+  actor_opt_ = std::make_unique<nn::Adam>(actor_params, config_.learning_rate);
+  critic_opt_ = std::make_unique<nn::Adam>(critic_.params(), config_.learning_rate);
+}
+
+std::unique_ptr<RolloutActor> PpoAlgorithm::make_actor() const {
+  return std::make_unique<PpoActor>(actor_, log_std_, action_space_,
+                                    rng_.seed() ^ 0xAC7012Full);
+}
+
+Vec PpoAlgorithm::policy_params() const {
+  Vec flat = actor_.get_flat_params();
+  flat.insert(flat.end(), log_std_.begin(), log_std_.end());
+  return flat;
+}
+
+std::size_t PpoAlgorithm::params_bytes() const {
+  return (actor_.param_count() + log_std_.size()) * sizeof(double);
+}
+
+std::size_t PpoAlgorithm::transition_bytes() const {
+  // obs + next_obs + action + scalars, in doubles.
+  return (2 * obs_dim_ + action_space_.action_dim() + 4) * sizeof(double);
+}
+
+double PpoAlgorithm::value(const Vec& obs) const {
+  return critic_.evaluate(obs)[0];
+}
+
+PpoAlgorithm::PolicyEval PpoAlgorithm::policy_loss_backward(const Sample& s,
+                                                            double scale) {
+  const Transition& tr = *s.t;
+  const Vec& head = actor_.forward(tr.obs);
+  PolicyEval ev;
+  Vec d_head(head.size(), 0.0);
+
+  if (action_space_.is_discrete()) {
+    const std::size_t a = action_space_.discrete().decode(tr.action);
+    ev.log_prob = nn::Categorical::log_prob(head, a);
+    ev.entropy = nn::Categorical::entropy(head);
+
+    const double ratio = std::exp(ev.log_prob - tr.log_prob);
+    const double lo = 1.0 - config_.clip_epsilon;
+    const double hi = 1.0 + config_.clip_epsilon;
+    const double unclipped = ratio * s.advantage;
+    const double clipped = std::clamp(ratio, lo, hi) * s.advantage;
+    // Gradient of -min(unclipped, clipped) w.r.t. logp flows through the
+    // ratio only when the active branch is differentiable in it.
+    double d_logp = 0.0;
+    if (unclipped <= clipped || (ratio >= lo && ratio <= hi)) {
+      d_logp = -s.advantage * ratio;
+    }
+    const Vec g_logp = nn::Categorical::log_prob_grad(head, a);
+    const Vec g_ent = nn::Categorical::entropy_grad(head);
+    for (std::size_t i = 0; i < head.size(); ++i) {
+      d_head[i] = scale * (d_logp * g_logp[i] - config_.entropy_coef * g_ent[i]);
+    }
+    actor_.backward(d_head);
+  } else {
+    ev.log_prob = nn::DiagGaussian::log_prob(head, log_std_, tr.action);
+    ev.entropy = nn::DiagGaussian::entropy(log_std_);
+
+    const double ratio = std::exp(ev.log_prob - tr.log_prob);
+    const double lo = 1.0 - config_.clip_epsilon;
+    const double hi = 1.0 + config_.clip_epsilon;
+    const double unclipped = ratio * s.advantage;
+    const double clipped = std::clamp(ratio, lo, hi) * s.advantage;
+    double d_logp = 0.0;
+    if (unclipped <= clipped || (ratio >= lo && ratio <= hi)) {
+      d_logp = -s.advantage * ratio;
+    }
+    Vec d_mean, d_log_std;
+    nn::DiagGaussian::log_prob_grad(head, log_std_, tr.action, d_mean, d_log_std);
+    for (std::size_t i = 0; i < head.size(); ++i) {
+      d_head[i] = scale * d_logp * d_mean[i];
+      // Entropy of a Gaussian is independent of the mean; bonus flows into
+      // log_std only (d entropy / d log_std = 1).
+      log_std_grad_[i] += scale * (d_logp * d_log_std[i] - config_.entropy_coef);
+    }
+    actor_.backward(d_head);
+  }
+  return ev;
+}
+
+TrainStats PpoAlgorithm::train(const std::vector<WorkerBatch>& batches) {
+  TrainStats stats;
+
+  // 1) GAE per worker stream with the current critic.
+  std::vector<Sample> samples;
+  double value_evals = 0.0;
+  for (const auto& batch : batches) {
+    const auto& stream = batch.transitions;
+    if (stream.empty()) continue;
+    std::vector<double> values(stream.size());
+    std::vector<double> boots(stream.size());
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      values[i] = value(stream[i].obs);
+      // V(next_obs) is only read at stream ends and truncations; computing
+      // it from values[i+1] when possible halves the critic evaluations.
+      if (i + 1 < stream.size() && !stream[i].done()) {
+        boots[i] = 0.0;  // filled below from values[i+1]
+      } else {
+        boots[i] = stream[i].terminated ? 0.0 : value(stream[i].next_obs);
+        value_evals += 1.0;
+      }
+    }
+    for (std::size_t i = 0; i + 1 < stream.size(); ++i) {
+      if (!stream[i].done()) boots[i] = values[i + 1];
+    }
+    value_evals += static_cast<double>(stream.size());
+
+    const GaeResult gae = compute_gae(stream, values, boots, config_.gamma,
+                                      config_.gae_lambda);
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      samples.push_back(Sample{&stream[i], gae.advantages[i], gae.returns[i]});
+    }
+  }
+  if (samples.empty()) return stats;
+  stats.samples = samples.size();
+
+  if (config_.normalize_advantages) {
+    std::vector<double> advs(samples.size());
+    for (std::size_t i = 0; i < samples.size(); ++i) advs[i] = samples[i].advantage;
+    normalize_advantages(advs);
+    for (std::size_t i = 0; i < samples.size(); ++i) samples[i].advantage = advs[i];
+  }
+
+  // 2) Minibatch epochs.
+  double kl_sum = 0.0;
+  std::size_t kl_count = 0;
+  double policy_loss_sum = 0.0, value_loss_sum = 0.0, entropy_sum = 0.0;
+  std::size_t loss_count = 0;
+  bool stop = false;
+
+  for (std::size_t epoch = 0; epoch < config_.epochs && !stop; ++epoch) {
+    const auto perm = rng_.permutation(samples.size());
+    for (std::size_t start = 0; start < perm.size() && !stop;
+         start += config_.minibatch_size) {
+      const std::size_t end = std::min(start + config_.minibatch_size, perm.size());
+      const double scale = 1.0 / static_cast<double>(end - start);
+
+      actor_.zero_grad();
+      std::fill(log_std_grad_.begin(), log_std_grad_.end(), 0.0);
+      critic_.zero_grad();
+
+      double mb_kl = 0.0;
+      for (std::size_t p = start; p < end; ++p) {
+        const Sample& s = samples[perm[p]];
+        const PolicyEval ev = policy_loss_backward(s, scale);
+
+        const double ratio_log = ev.log_prob - s.t->log_prob;
+        mb_kl += (std::exp(ratio_log) - 1.0) - ratio_log;  // k3 estimator
+        const double ratio = std::exp(ratio_log);
+        const double unclipped = ratio * s.advantage;
+        const double clipped =
+            std::clamp(ratio, 1.0 - config_.clip_epsilon,
+                       1.0 + config_.clip_epsilon) *
+            s.advantage;
+        policy_loss_sum += -std::min(unclipped, clipped);
+        entropy_sum += ev.entropy;
+
+        // Critic step on the same minibatch.
+        const double v = critic_.forward(s.t->obs)[0];
+        const double verr = v - s.ret;
+        value_loss_sum += 0.5 * verr * verr;
+        critic_.backward(Vec{scale * config_.value_coef * verr});
+        ++loss_count;
+      }
+
+      auto actor_params = actor_.params();
+      if (!log_std_.empty())
+        actor_params.push_back(nn::ParamRef{&log_std_, &log_std_grad_, "log_std"});
+      nn::clip_grad_norm(actor_params, config_.max_grad_norm);
+      nn::clip_grad_norm(critic_.params(), config_.max_grad_norm);
+      actor_opt_->step();
+      critic_opt_->step();
+      ++stats.gradient_steps;
+
+      mb_kl /= static_cast<double>(end - start);
+      kl_sum += mb_kl;
+      ++kl_count;
+      if (config_.target_kl > 0.0 && mb_kl > 1.5 * config_.target_kl) {
+        stop = true;  // early stop as in Stable Baselines
+      }
+    }
+  }
+
+  last_kl_ = kl_count ? kl_sum / static_cast<double>(kl_count) : 0.0;
+  if (loss_count > 0) {
+    stats.policy_loss = policy_loss_sum / static_cast<double>(loss_count);
+    stats.value_loss = value_loss_sum / static_cast<double>(loss_count);
+    stats.entropy = entropy_sum / static_cast<double>(loss_count);
+  }
+
+  // 3) Simulated compute cost: GAE value evaluations plus one forward and
+  // one backward (2x forward) per sample visit on both networks.
+  const double af = actor_.flops_per_forward();
+  const double cf = critic_.flops_per_forward();
+  const double visits = static_cast<double>(loss_count);
+  stats.train_cost_mflop =
+      (value_evals * cf + visits * 3.0 * (af + cf)) / 1e6;
+  return stats;
+}
+
+}  // namespace darl::rl

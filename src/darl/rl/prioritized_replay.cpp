@@ -1,0 +1,134 @@
+#include "darl/rl/prioritized_replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "darl/common/error.hpp"
+#include "darl/common/rng.hpp"
+
+namespace darl::rl {
+
+SumTree::SumTree(std::size_t capacity) : capacity_(capacity) {
+  DARL_CHECK(capacity > 0, "sum tree needs positive capacity");
+  leaves_ = 1;
+  while (leaves_ < capacity_) leaves_ *= 2;
+  tree_.assign(2 * leaves_, 0.0);
+}
+
+void SumTree::set(std::size_t index, double value) {
+  DARL_CHECK(index < capacity_, "leaf " << index << " out of " << capacity_);
+  DARL_CHECK(value >= 0.0 && std::isfinite(value),
+             "leaf value must be finite and non-negative, got " << value);
+  std::size_t node = leaves_ + index;
+  tree_[node] = value;
+  for (node /= 2; node >= 1; node /= 2) {
+    tree_[node] = tree_[2 * node] + tree_[2 * node + 1];
+    if (node == 1) break;
+  }
+}
+
+double SumTree::get(std::size_t index) const {
+  DARL_CHECK(index < capacity_, "leaf " << index << " out of " << capacity_);
+  return tree_[leaves_ + index];
+}
+
+double SumTree::total() const { return tree_[1]; }
+
+double SumTree::max_value() const {
+  double m = 0.0;
+  for (std::size_t i = 0; i < capacity_; ++i) m = std::max(m, tree_[leaves_ + i]);
+  return m;
+}
+
+std::size_t SumTree::sample(double prefix) const {
+  DARL_CHECK(total() > 0.0, "sampling from an empty sum tree");
+  prefix = std::clamp(prefix, 0.0, std::nextafter(total(), 0.0));
+  std::size_t node = 1;
+  while (node < leaves_) {
+    const std::size_t left = 2 * node;
+    if (prefix < tree_[left]) {
+      node = left;
+    } else {
+      prefix -= tree_[left];
+      node = left + 1;
+    }
+  }
+  const std::size_t leaf = node - leaves_;
+  // Zero-weight leaves at the padded tail cannot be reached because the
+  // prefix is clamped below total(); clamp defensively anyway.
+  return std::min(leaf, capacity_ - 1);
+}
+
+PrioritizedReplayBuffer::PrioritizedReplayBuffer(std::size_t capacity,
+                                                 double alpha, double epsilon)
+    : capacity_(capacity),
+      alpha_(alpha),
+      epsilon_(epsilon),
+      tree_(capacity),
+      raw_priority_(capacity, 0.0) {
+  DARL_CHECK(capacity > 0, "replay capacity must be positive");
+  DARL_CHECK(alpha >= 0.0 && alpha <= 1.0, "alpha out of [0,1]");
+  DARL_CHECK(epsilon > 0.0, "epsilon must be positive");
+  storage_.reserve(capacity);
+}
+
+void PrioritizedReplayBuffer::push(const Transition& t) {
+  if (size_ < capacity_) {
+    storage_.push_back(t);
+    ++size_;
+  } else {
+    storage_[next_] = t;
+  }
+  raw_priority_[next_] = max_priority_;
+  tree_.set(next_, std::pow(max_priority_ + epsilon_, alpha_));
+  next_ = (next_ + 1) % capacity_;
+}
+
+PrioritizedBatch PrioritizedReplayBuffer::sample(std::size_t n, double beta,
+                                                 Rng& rng) const {
+  DARL_CHECK(!empty(), "sampling from an empty prioritized replay buffer");
+  DARL_CHECK(beta >= 0.0 && beta <= 1.0, "beta out of [0,1]");
+  PrioritizedBatch batch;
+  batch.transitions.reserve(n);
+  batch.indices.reserve(n);
+  batch.weights.reserve(n);
+
+  const double total = tree_.total();
+  double max_weight = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t idx = tree_.sample(rng.uniform(0.0, total));
+    const double p = tree_.get(idx) / total;
+    DARL_ASSERT(p > 0.0, "sampled a zero-probability slot");
+    const double w =
+        std::pow(1.0 / (static_cast<double>(size_) * p), beta);
+    batch.transitions.push_back(&storage_[idx]);
+    batch.indices.push_back(idx);
+    batch.weights.push_back(w);
+    max_weight = std::max(max_weight, w);
+  }
+  for (double& w : batch.weights) w /= max_weight;
+  return batch;
+}
+
+void PrioritizedReplayBuffer::update_priorities(
+    const std::vector<std::size_t>& indices,
+    const std::vector<double>& priorities) {
+  DARL_CHECK(indices.size() == priorities.size(),
+             "indices/priorities size mismatch");
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const std::size_t idx = indices[i];
+    DARL_CHECK(idx < size_, "priority update for unused slot " << idx);
+    const double p = std::abs(priorities[i]);
+    DARL_CHECK(std::isfinite(p), "non-finite priority");
+    raw_priority_[idx] = p;
+    tree_.set(idx, std::pow(p + epsilon_, alpha_));
+    max_priority_ = std::max(max_priority_, p);
+  }
+}
+
+double PrioritizedReplayBuffer::priority(std::size_t index) const {
+  DARL_CHECK(index < size_, "priority query for unused slot " << index);
+  return raw_priority_[index];
+}
+
+}  // namespace darl::rl

@@ -1,0 +1,100 @@
+// darl/rl/prioritized_replay.hpp
+//
+// Proportional prioritized experience replay (Schaul et al. 2016) — the
+// memory behind Ape-X, the distributed-replay architecture the paper's
+// §II-A cites. Transitions are sampled with probability proportional to
+// priority^alpha (priorities track TD error magnitudes) and corrected with
+// importance-sampling weights; a sum-tree gives O(log n) updates and draws.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "darl/rl/types.hpp"
+
+namespace darl {
+class Rng;
+}
+
+namespace darl::rl {
+
+/// Flat-array binary sum-tree over `capacity` leaves. Leaf values are
+/// non-negative weights; sample(prefix) finds the leaf whose cumulative
+/// range contains `prefix` in O(log n).
+class SumTree {
+ public:
+  explicit SumTree(std::size_t capacity);
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Set leaf `index` to `value` (>= 0) and update the path to the root.
+  void set(std::size_t index, double value);
+
+  /// Value of leaf `index`.
+  double get(std::size_t index) const;
+
+  /// Sum of all leaves.
+  double total() const;
+
+  /// Largest leaf value (tracked incrementally is overkill here; O(n)).
+  double max_value() const;
+
+  /// Leaf whose cumulative interval contains `prefix` in [0, total()).
+  /// Requires total() > 0.
+  std::size_t sample(double prefix) const;
+
+ private:
+  std::size_t capacity_;
+  std::size_t leaves_;  // power-of-two leaf count
+  std::vector<double> tree_;
+};
+
+/// One prioritized sample batch.
+struct PrioritizedBatch {
+  std::vector<const Transition*> transitions;
+  std::vector<std::size_t> indices;  ///< slots for update_priorities
+  std::vector<double> weights;       ///< IS weights, normalized to max 1
+};
+
+/// Ring-buffer replay with proportional prioritization.
+class PrioritizedReplayBuffer {
+ public:
+  /// `alpha` shapes the priority distribution (0 = uniform); `epsilon`
+  /// keeps every transition sampleable.
+  PrioritizedReplayBuffer(std::size_t capacity, double alpha = 0.6,
+                          double epsilon = 1e-3);
+
+  /// Append a transition with maximal current priority (new experience is
+  /// sampled at least once soon, the standard heuristic).
+  void push(const Transition& t);
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return capacity_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Sample `n` transitions ~ p_i^alpha / sum p^alpha with IS weights
+  /// (p_uniform / p_i)^beta, normalized by the batch max. Requires a
+  /// non-empty buffer; pointers valid until the next push.
+  PrioritizedBatch sample(std::size_t n, double beta, Rng& rng) const;
+
+  /// Set new |TD-error|-based priorities for previously sampled slots.
+  void update_priorities(const std::vector<std::size_t>& indices,
+                         const std::vector<double>& priorities);
+
+  /// Priority currently assigned to slot `index` (before alpha shaping).
+  double priority(std::size_t index) const;
+
+ private:
+  std::size_t capacity_;
+  double alpha_;
+  double epsilon_;
+  std::vector<Transition> storage_;
+  SumTree tree_;
+  std::vector<double> raw_priority_;
+  std::size_t next_ = 0;
+  std::size_t size_ = 0;
+  double max_priority_ = 1.0;
+};
+
+}  // namespace darl::rl

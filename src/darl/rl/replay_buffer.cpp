@@ -1,0 +1,38 @@
+#include "darl/rl/replay_buffer.hpp"
+
+#include "darl/common/error.hpp"
+#include "darl/common/rng.hpp"
+
+namespace darl::rl {
+
+ReplayBuffer::ReplayBuffer(std::size_t capacity) : capacity_(capacity) {
+  DARL_CHECK(capacity > 0, "replay capacity must be positive");
+  storage_.reserve(capacity);
+}
+
+void ReplayBuffer::push(const Transition& t) {
+  if (size_ < capacity_) {
+    storage_.push_back(t);
+    ++size_;
+  } else {
+    storage_[next_] = t;
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++total_pushed_;
+}
+
+std::vector<const Transition*> ReplayBuffer::sample(std::size_t n,
+                                                    Rng& rng) const {
+  DARL_CHECK(!empty(), "sampling from an empty replay buffer");
+  std::vector<const Transition*> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(&storage_[rng.index(size_)]);
+  return out;
+}
+
+const Transition& ReplayBuffer::at(std::size_t index) const {
+  DARL_CHECK(index < size_, "replay index " << index << " out of " << size_);
+  return storage_[index];
+}
+
+}  // namespace darl::rl

@@ -1,0 +1,366 @@
+#include "darl/rl/sac.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "darl/common/error.hpp"
+#include "darl/nn/distributions.hpp"
+
+namespace darl::rl {
+namespace {
+
+std::vector<std::size_t> actor_sizes(std::size_t obs_dim, std::size_t act_dim,
+                                     const std::vector<std::size_t>& hidden) {
+  std::vector<std::size_t> sizes;
+  sizes.push_back(obs_dim);
+  sizes.insert(sizes.end(), hidden.begin(), hidden.end());
+  sizes.push_back(2 * act_dim);
+  return sizes;
+}
+
+std::vector<std::size_t> critic_sizes(std::size_t obs_dim, std::size_t act_dim,
+                                      const std::vector<std::size_t>& hidden) {
+  std::vector<std::size_t> sizes;
+  sizes.push_back(obs_dim + act_dim);
+  sizes.insert(sizes.end(), hidden.begin(), hidden.end());
+  sizes.push_back(1);
+  return sizes;
+}
+
+/// Affine map between the squashed action in [-1,1]^d and the env box.
+Vec scale_to_box(const Vec& squashed, const env::BoxSpace& box) {
+  Vec out(squashed.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = box.low()[i] +
+             0.5 * (squashed[i] + 1.0) * (box.high()[i] - box.low()[i]);
+  }
+  return out;
+}
+
+Vec unscale_from_box(const Vec& env_action, const env::BoxSpace& box) {
+  Vec out(env_action.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const double span = box.high()[i] - box.low()[i];
+    const double v = span > 0.0
+                         ? 2.0 * (env_action[i] - box.low()[i]) / span - 1.0
+                         : 0.0;
+    out[i] = std::clamp(v, -0.999999, 0.999999);
+  }
+  return out;
+}
+
+Vec concat(const Vec& a, const Vec& b) {
+  Vec out;
+  out.reserve(a.size() + b.size());
+  out.insert(out.end(), a.begin(), a.end());
+  out.insert(out.end(), b.begin(), b.end());
+  return out;
+}
+
+/// Inference-only SAC policy for rollout workers.
+class SacActor final : public RolloutActor {
+ public:
+  SacActor(const nn::Mlp& actor, env::BoxSpace box, double log_std_min,
+           double log_std_max)
+      : net_(actor), box_(std::move(box)), lo_(log_std_min), hi_(log_std_max) {}
+
+  void set_params(const Vec& flat) override { net_.set_flat_params(flat); }
+
+  ActOutput act(const Vec& obs, Rng& rng) override {
+    const Vec head = net_.evaluate(obs);
+    const std::size_t d = head.size() / 2;
+    Vec mean(head.begin(), head.begin() + static_cast<std::ptrdiff_t>(d));
+    Vec log_std(d);
+    for (std::size_t i = 0; i < d; ++i) {
+      log_std[i] = lo_ + 0.5 * (hi_ - lo_) * (std::tanh(head[d + i]) + 1.0);
+    }
+    const auto draw = nn::SquashedGaussian::sample(mean, log_std, rng);
+    ActOutput out;
+    out.action = scale_to_box(draw.action, box_);
+    out.log_prob = draw.log_prob;
+    return out;
+  }
+
+  Vec act_greedy(const Vec& obs) override {
+    const Vec head = net_.evaluate(obs);
+    const std::size_t d = head.size() / 2;
+    Vec mean(head.begin(), head.begin() + static_cast<std::ptrdiff_t>(d));
+    return scale_to_box(nn::SquashedGaussian::mode(mean), box_);
+  }
+
+  double inference_cost_mflop() const override {
+    return net_.flops_per_forward() / 1e6;
+  }
+
+ private:
+  nn::Mlp net_;
+  env::BoxSpace box_;
+  double lo_, hi_;
+};
+
+}  // namespace
+
+SacAlgorithm::SacAlgorithm(std::size_t obs_dim, env::ActionSpace action_space,
+                           SacConfig config, std::uint64_t seed)
+    : obs_dim_(obs_dim),
+      act_dim_([&] {
+        DARL_CHECK(action_space.is_box(),
+                   "SAC requires a continuous action space, got "
+                       << action_space.describe());
+        return action_space.box().dim();
+      }()),
+      action_space_(std::move(action_space)),
+      config_(std::move(config)),
+      rng_(seed),
+      actor_([&] {
+        Rng init = rng_.split(1);
+        return nn::Mlp(actor_sizes(obs_dim, act_dim_, config_.hidden),
+                       nn::Activation::ReLU, init);
+      }()),
+      q1_([&] {
+        Rng init = rng_.split(2);
+        return nn::Mlp(critic_sizes(obs_dim, act_dim_, config_.hidden),
+                       nn::Activation::ReLU, init);
+      }()),
+      q2_([&] {
+        Rng init = rng_.split(3);
+        return nn::Mlp(critic_sizes(obs_dim, act_dim_, config_.hidden),
+                       nn::Activation::ReLU, init);
+      }()),
+      q1_target_(q1_),
+      q2_target_(q2_),
+      replay_(config_.replay_capacity) {
+  DARL_CHECK(obs_dim > 0, "obs_dim must be positive");
+  DARL_CHECK(config_.batch_size > 0, "batch_size must be positive");
+  DARL_CHECK(config_.tau > 0.0 && config_.tau <= 1.0, "tau out of (0,1]");
+  DARL_CHECK(config_.updates_per_step >= 0.0, "updates_per_step negative");
+  DARL_CHECK(config_.init_alpha > 0.0, "init_alpha must be positive");
+
+  // Bias the raw log-std head positive so the initial policy explores
+  // widely (standard SAC behaviour via start-steps random acting; here the
+  // same effect comes from a broad initial Gaussian).
+  {
+    auto params = actor_.params();
+    Vec& last_bias = *params[params.size() - 1].value;
+    DARL_ASSERT(last_bias.size() == 2 * act_dim_, "unexpected actor head size");
+    for (std::size_t i = 0; i < act_dim_; ++i) last_bias[act_dim_ + i] = 0.5;
+  }
+
+  if (config_.prioritized_replay) {
+    per_ = std::make_unique<PrioritizedReplayBuffer>(
+        config_.replay_capacity, config_.per_alpha);
+  }
+
+  log_alpha_.assign(1, std::log(config_.init_alpha));
+  log_alpha_grad_.assign(1, 0.0);
+  target_entropy_ = config_.target_entropy != 0.0
+                        ? config_.target_entropy
+                        : -static_cast<double>(act_dim_);
+
+  actor_opt_ = std::make_unique<nn::Adam>(actor_.params(), config_.learning_rate);
+  q1_opt_ = std::make_unique<nn::Adam>(q1_.params(), config_.learning_rate);
+  q2_opt_ = std::make_unique<nn::Adam>(q2_.params(), config_.learning_rate);
+  alpha_opt_ = std::make_unique<nn::Adam>(
+      std::vector<nn::ParamRef>{{&log_alpha_, &log_alpha_grad_, "log_alpha"}},
+      config_.learning_rate);
+}
+
+double SacAlgorithm::alpha() const { return std::exp(log_alpha_[0]); }
+
+std::unique_ptr<RolloutActor> SacAlgorithm::make_actor() const {
+  return std::make_unique<SacActor>(actor_, action_space_.box(),
+                                    config_.log_std_min, config_.log_std_max);
+}
+
+Vec SacAlgorithm::policy_params() const { return actor_.get_flat_params(); }
+
+std::size_t SacAlgorithm::params_bytes() const {
+  return actor_.param_count() * sizeof(double);
+}
+
+std::size_t SacAlgorithm::transition_bytes() const {
+  return (2 * obs_dim_ + act_dim_ + 4) * sizeof(double);
+}
+
+void SacAlgorithm::split_head(const Vec& head, Vec& mean, Vec& log_std) const {
+  mean.assign(head.begin(), head.begin() + static_cast<std::ptrdiff_t>(act_dim_));
+  log_std.resize(act_dim_);
+  for (std::size_t i = 0; i < act_dim_; ++i) {
+    log_std[i] = config_.log_std_min +
+                 0.5 * (config_.log_std_max - config_.log_std_min) *
+                     (std::tanh(head[act_dim_ + i]) + 1.0);
+  }
+}
+
+double SacAlgorithm::q_value(const Vec& obs, const Vec& squashed_action) {
+  const Vec in = concat(obs, squashed_action);
+  return std::min(q1_.evaluate(in)[0], q2_.evaluate(in)[0]);
+}
+
+void SacAlgorithm::polyak_update() {
+  const double tau = config_.tau;
+  const Vec q1p = q1_.get_flat_params();
+  Vec q1t = q1_target_.get_flat_params();
+  for (std::size_t i = 0; i < q1t.size(); ++i)
+    q1t[i] = (1.0 - tau) * q1t[i] + tau * q1p[i];
+  q1_target_.set_flat_params(q1t);
+
+  const Vec q2p = q2_.get_flat_params();
+  Vec q2t = q2_target_.get_flat_params();
+  for (std::size_t i = 0; i < q2t.size(); ++i)
+    q2t[i] = (1.0 - tau) * q2t[i] + tau * q2p[i];
+  q2_target_.set_flat_params(q2t);
+}
+
+void SacAlgorithm::one_update(TrainStats& stats) {
+  // Uniform or prioritized sampling; with PER the critic regression is
+  // importance-weighted and TD errors feed back as priorities.
+  std::vector<const Transition*> batch;
+  std::vector<std::size_t> per_indices;
+  std::vector<double> is_weights;
+  if (per_) {
+    PrioritizedBatch pb = per_->sample(config_.batch_size, config_.per_beta, rng_);
+    batch = std::move(pb.transitions);
+    per_indices = std::move(pb.indices);
+    is_weights = std::move(pb.weights);
+  } else {
+    batch = replay_.sample(config_.batch_size, rng_);
+    is_weights.assign(batch.size(), 1.0);
+  }
+  const double inv_b = 1.0 / static_cast<double>(batch.size());
+  const double a_now = alpha();
+
+  // --- 1) Critic targets y = r + gamma (1-d)(min Q_t(s',a') - alpha logp').
+  std::vector<double> targets(batch.size());
+  Vec mean, log_std;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Transition& tr = *batch[i];
+    double y = tr.reward;
+    if (!tr.terminated) {
+      const Vec head = actor_.evaluate(tr.next_obs);
+      split_head(head, mean, log_std);
+      const auto draw = nn::SquashedGaussian::sample(mean, log_std, rng_);
+      const Vec in = concat(tr.next_obs, draw.action);
+      const double qmin =
+          std::min(q1_target_.evaluate(in)[0], q2_target_.evaluate(in)[0]);
+      y += config_.gamma * (qmin - a_now * draw.log_prob);
+    }
+    targets[i] = y;
+  }
+
+  // --- 2) Critic updates (importance-weighted MSE to targets).
+  q1_.zero_grad();
+  q2_.zero_grad();
+  double q_loss = 0.0;
+  std::vector<double> new_priorities(per_ ? batch.size() : 0);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Transition& tr = *batch[i];
+    const Vec squashed = unscale_from_box(tr.action, action_space_.box());
+    const Vec in = concat(tr.obs, squashed);
+    const double w = is_weights[i];
+    const double e1 = q1_.forward(in)[0] - targets[i];
+    q1_.backward(Vec{inv_b * w * e1});
+    const double e2 = q2_.forward(in)[0] - targets[i];
+    q2_.backward(Vec{inv_b * w * e2});
+    q_loss += 0.5 * inv_b * w * (e1 * e1 + e2 * e2);
+    if (per_) new_priorities[i] = 0.5 * (std::abs(e1) + std::abs(e2));
+  }
+  if (per_) per_->update_priorities(per_indices, new_priorities);
+  nn::clip_grad_norm(q1_.params(), config_.max_grad_norm);
+  nn::clip_grad_norm(q2_.params(), config_.max_grad_norm);
+  q1_opt_->step();
+  q2_opt_->step();
+
+  // --- 3) Actor update: minimize alpha logp - min Q(s, a(s)).
+  actor_.zero_grad();
+  double logp_sum = 0.0;
+  for (const Transition* trp : batch) {
+    const Transition& tr = *trp;
+    const Vec& head = actor_.forward(tr.obs);
+    split_head(head, mean, log_std);
+    const auto draw = nn::SquashedGaussian::sample(mean, log_std, rng_);
+    logp_sum += draw.log_prob;
+
+    // dL/da from the critic with the smaller Q (grad of -Q is -dQ/da).
+    const Vec in = concat(tr.obs, draw.action);
+    const double v1 = q1_.evaluate(in)[0];
+    const double v2 = q2_.evaluate(in)[0];
+    nn::Mlp& qmin = v1 <= v2 ? q1_ : q2_;
+    qmin.forward(in);
+    const Vec dq_din = qmin.backward(Vec{1.0});  // dQ/d[obs, action]
+    Vec grad_action(act_dim_);
+    for (std::size_t i = 0; i < act_dim_; ++i)
+      grad_action[i] = -dq_din[obs_dim_ + i];
+
+    Vec d_mean, d_log_std;
+    nn::SquashedGaussian::pathwise_grad(mean, log_std, draw.pre_tanh,
+                                        draw.noise, a_now, grad_action, d_mean,
+                                        d_log_std);
+    // Chain d_log_std through the soft clamp log_std = f(raw).
+    Vec d_head(2 * act_dim_);
+    for (std::size_t i = 0; i < act_dim_; ++i) {
+      d_head[i] = inv_b * d_mean[i];
+      const double t = std::tanh(head[act_dim_ + i]);
+      const double dclamp =
+          0.5 * (config_.log_std_max - config_.log_std_min) * (1.0 - t * t);
+      d_head[act_dim_ + i] = inv_b * d_log_std[i] * dclamp;
+    }
+    actor_.backward(d_head);
+  }
+  // Discard the input-gradient pollution accumulated in the critics.
+  q1_.zero_grad();
+  q2_.zero_grad();
+  nn::clip_grad_norm(actor_.params(), config_.max_grad_norm);
+  actor_opt_->step();
+
+  // --- 4) Temperature update: J(alpha) = E[-alpha (logp + target_entropy)].
+  const double mean_logp = logp_sum * inv_b;
+  log_alpha_grad_[0] = -a_now * (mean_logp + target_entropy_);
+  alpha_opt_->step();
+
+  // --- 5) Target networks.
+  polyak_update();
+
+  ++stats.gradient_steps;
+  stats.value_loss += q_loss;
+  stats.entropy += -mean_logp;
+
+  // Simulated compute cost of this update.
+  const double af = actor_.flops_per_forward();
+  const double qf = q1_.flops_per_forward();
+  const double b = static_cast<double>(batch.size());
+  // targets: actor fwd + 2 target fwd; critics: 2 * (fwd + bwd);
+  // actor: fwd + bwd + 3 critic fwd + critic bwd.
+  stats.train_cost_mflop +=
+      b * ((af + 2.0 * qf) + 2.0 * 3.0 * qf + (3.0 * af + 5.0 * qf)) / 1e6;
+}
+
+TrainStats SacAlgorithm::train(const std::vector<WorkerBatch>& batches) {
+  TrainStats stats;
+  std::size_t pushed = 0;
+  for (const auto& b : batches) {
+    for (const auto& tr : b.transitions) {
+      if (per_) per_->push(tr);
+      else replay_.push(tr);
+      ++pushed;
+    }
+  }
+  stats.samples = pushed;
+  if (replay_size() < std::max<std::size_t>(config_.warmup_steps,
+                                            config_.batch_size)) {
+    return stats;
+  }
+
+  update_carry_ += static_cast<double>(pushed) * config_.updates_per_step;
+  std::size_t n_updates = static_cast<std::size_t>(update_carry_);
+  update_carry_ -= static_cast<double>(n_updates);
+  for (std::size_t u = 0; u < n_updates; ++u) one_update(stats);
+
+  if (stats.gradient_steps > 0) {
+    stats.value_loss /= static_cast<double>(stats.gradient_steps);
+    stats.entropy /= static_cast<double>(stats.gradient_steps);
+  }
+  return stats;
+}
+
+}  // namespace darl::rl

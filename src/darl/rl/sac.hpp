@@ -1,0 +1,97 @@
+// darl/rl/sac.hpp
+//
+// Soft Actor-Critic (Haarnoja et al. 2018), the second algorithm of the
+// paper's study: off-policy maximum-entropy RL with twin Q critics, target
+// networks, a tanh-squashed Gaussian policy and automatic entropy
+// temperature tuning. Continuous action spaces only (the airdrop simulator
+// exposes a continuous steering mode for exactly this reason).
+
+#pragma once
+
+#include <memory>
+
+#include "darl/common/rng.hpp"
+#include "darl/nn/mlp.hpp"
+#include "darl/nn/optimizer.hpp"
+#include "darl/rl/algorithm.hpp"
+#include "darl/rl/prioritized_replay.hpp"
+#include "darl/rl/replay_buffer.hpp"
+
+namespace darl::rl {
+
+/// SAC hyperparameters (defaults follow the original paper, scaled down
+/// for the small networks and budgets used here).
+struct SacConfig {
+  std::vector<std::size_t> hidden = {64, 64};
+  double learning_rate = 3e-4;
+  double gamma = 0.99;
+  double tau = 0.005;             ///< polyak averaging rate for targets
+  std::size_t batch_size = 64;
+  std::size_t replay_capacity = 200000;
+  std::size_t warmup_steps = 256; ///< uniform-random acting before learning
+  /// Gradient updates per collected environment step (0.5 = one update
+  /// every two steps).
+  double updates_per_step = 0.5;
+  /// Entropy target for temperature auto-tuning; 0 means "-action_dim".
+  double target_entropy = 0.0;
+  double init_alpha = 0.2;
+  double max_grad_norm = 10.0;
+  /// Soft bounds for the state-dependent log-std head.
+  double log_std_min = -5.0;
+  double log_std_max = 2.0;
+  /// Use proportional prioritized replay (the Ape-X ingredient, paper
+  /// §II-A) instead of uniform sampling. Critic updates are corrected with
+  /// importance-sampling weights and priorities track TD errors.
+  bool prioritized_replay = false;
+  double per_alpha = 0.6;  ///< priority shaping exponent
+  double per_beta = 0.4;   ///< importance-sampling correction exponent
+};
+
+/// SAC learner. See Algorithm for the learner/actor role split.
+class SacAlgorithm final : public Algorithm {
+ public:
+  /// Requires a continuous (Box) action space.
+  SacAlgorithm(std::size_t obs_dim, env::ActionSpace action_space,
+               SacConfig config, std::uint64_t seed);
+
+  AlgoKind kind() const override { return AlgoKind::SAC; }
+  std::unique_ptr<RolloutActor> make_actor() const override;
+  Vec policy_params() const override;
+  std::size_t params_bytes() const override;
+  std::size_t transition_bytes() const override;
+  TrainStats train(const std::vector<WorkerBatch>& batches) override;
+
+  const SacConfig& config() const { return config_; }
+  double alpha() const;
+  std::size_t replay_size() const {
+    return per_ ? per_->size() : replay_.size();
+  }
+
+  /// Q-value estimate min(Q1, Q2)(obs, squashed_action) for tests.
+  double q_value(const Vec& obs, const Vec& squashed_action);
+
+ private:
+  /// Split an actor head output into mean and softly clamped log-std.
+  void split_head(const Vec& head, Vec& mean, Vec& log_std) const;
+
+  void polyak_update();
+  void one_update(TrainStats& stats);
+
+  std::size_t obs_dim_;
+  std::size_t act_dim_;
+  env::ActionSpace action_space_;
+  SacConfig config_;
+  Rng rng_;
+
+  nn::Mlp actor_;    // obs -> [mean, raw_log_std]
+  nn::Mlp q1_, q2_;  // [obs, action] -> scalar
+  nn::Mlp q1_target_, q2_target_;
+  Vec log_alpha_, log_alpha_grad_;
+  std::unique_ptr<nn::Adam> actor_opt_, q1_opt_, q2_opt_, alpha_opt_;
+  ReplayBuffer replay_;
+  std::unique_ptr<PrioritizedReplayBuffer> per_;
+  double update_carry_ = 0.0;
+  double target_entropy_ = 0.0;
+};
+
+}  // namespace darl::rl

@@ -1,0 +1,122 @@
+#include "darl/simcluster/cluster.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "darl/common/error.hpp"
+
+namespace darl::sim {
+
+ClusterSpec ClusterSpec::paper_testbed(std::size_t n_nodes,
+                                       std::size_t cores_per_node) {
+  DARL_CHECK(n_nodes >= 1, "cluster needs at least one node");
+  DARL_CHECK(cores_per_node >= 1, "nodes need at least one core");
+  ClusterSpec spec;
+  for (std::size_t i = 0; i < n_nodes; ++i) {
+    NodeSpec node;
+    node.name = "node" + std::to_string(i);
+    node.cores = cores_per_node;
+    spec.nodes.push_back(node);
+  }
+  return spec;
+}
+
+SimCluster::SimCluster(ClusterSpec spec) : spec_(std::move(spec)) {
+  DARL_CHECK(!spec_.nodes.empty(), "cluster has no nodes");
+  for (const auto& n : spec_.nodes) {
+    DARL_CHECK(n.cores > 0, "node '" << n.name << "' has zero cores");
+    DARL_CHECK(n.core_mflop_per_s > 0.0,
+               "node '" << n.name << "' has non-positive throughput");
+    DARL_CHECK(n.frequency_scale > 0.0,
+               "node '" << n.name << "' has non-positive frequency scale");
+  }
+  DARL_CHECK(spec_.link.bandwidth_bytes_per_s > 0.0,
+             "link bandwidth must be positive");
+  busy_core_seconds_.assign(spec_.nodes.size(), 0.0);
+}
+
+void SimCluster::check_node(std::size_t node) const {
+  DARL_CHECK(node < spec_.nodes.size(),
+             "node index " << node << " out of " << spec_.nodes.size());
+}
+
+double SimCluster::run_parallel_phase(const std::vector<WorkerLoad>& loads) {
+  DARL_CHECK(!loads.empty(), "parallel phase with no workers");
+  std::map<std::size_t, std::size_t> per_node;
+  double duration = 0.0;
+  for (const auto& l : loads) {
+    check_node(l.node);
+    DARL_CHECK(l.busy_seconds >= 0.0, "negative busy time");
+    per_node[l.node] += 1;
+    duration = std::max(duration, l.busy_seconds);
+  }
+  for (const auto& [node, count] : per_node) {
+    DARL_CHECK(count <= spec_.nodes[node].cores,
+               count << " workers mapped to node " << node << " with only "
+                     << spec_.nodes[node].cores << " cores");
+  }
+  for (const auto& l : loads) busy_core_seconds_[l.node] += l.busy_seconds;
+  elapsed_ += duration;
+  return duration;
+}
+
+double SimCluster::run_compute(std::size_t node, double core_seconds,
+                               std::size_t cores, double parallel_efficiency) {
+  check_node(node);
+  DARL_CHECK(core_seconds >= 0.0, "negative compute time");
+  DARL_CHECK(cores >= 1 && cores <= spec_.nodes[node].cores,
+             "compute phase uses " << cores << " cores on a "
+                                   << spec_.nodes[node].cores << "-core node");
+  DARL_CHECK(parallel_efficiency > 0.0 && parallel_efficiency <= 1.0,
+             "parallel efficiency out of (0,1]");
+  const double eff = cores == 1 ? 1.0 : parallel_efficiency;
+  const double duration = core_seconds / (static_cast<double>(cores) * eff);
+  busy_core_seconds_[node] += core_seconds;  // energy follows actual work
+  elapsed_ += duration;
+  return duration;
+}
+
+double SimCluster::run_transfer(std::size_t from, std::size_t to, double bytes) {
+  check_node(from);
+  check_node(to);
+  DARL_CHECK(from != to, "transfer between a node and itself");
+  DARL_CHECK(bytes >= 0.0, "negative transfer size");
+  const double duration =
+      spec_.link.latency_s + bytes / spec_.link.bandwidth_bytes_per_s;
+  nic_seconds_ += duration;
+  elapsed_ += duration;
+  return duration;
+}
+
+void SimCluster::run_idle(double seconds) {
+  DARL_CHECK(seconds >= 0.0, "negative idle time");
+  elapsed_ += seconds;
+}
+
+double SimCluster::energy_joules() const {
+  double joules = 0.0;
+  for (std::size_t i = 0; i < spec_.nodes.size(); ++i) {
+    const auto& n = spec_.nodes[i];
+    const double f = n.frequency_scale;
+    joules += n.power.idle_watts * elapsed_;
+    // Active power scales cubically with the DVFS operating point.
+    joules += n.power.active_watts_per_core * f * f * f * busy_core_seconds_[i];
+  }
+  // Both transfer endpoints draw NIC power while a transfer is in flight.
+  joules += 2.0 * spec_.link.nic_watts * nic_seconds_;
+  return joules;
+}
+
+double SimCluster::seconds_for_mflop(std::size_t node, double mflop) const {
+  check_node(node);
+  DARL_CHECK(mflop >= 0.0, "negative work");
+  return mflop /
+         (spec_.nodes[node].core_mflop_per_s * spec_.nodes[node].frequency_scale);
+}
+
+double SimCluster::busy_core_seconds(std::size_t node) const {
+  check_node(node);
+  return busy_core_seconds_[node];
+}
+
+}  // namespace darl::sim

@@ -1,0 +1,124 @@
+// darl/simcluster/cluster.hpp
+//
+// Deterministic cluster time/energy model.
+//
+// The paper measures Computation Time (launch of the first actor to the
+// last stop) and Power Consumption (a CPU-usage-based consumption curve)
+// on a physical 2-node testbed. This module replaces the testbed with a
+// simulated cluster: framework backends replay their execution structure
+// (parallel collection phases, network transfers, learner updates) against
+// it, and the model integrates a makespan clock and a per-node power curve.
+// Training computations still run for real on the host; only *reported*
+// time and energy come from this model, making the paper's metrics
+// reproducible on any machine (see DESIGN.md §2, §5).
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace darl::sim {
+
+/// CPU power curve: a node draws `idle_watts` for the whole time it is
+/// allocated to the job, plus `active_watts_per_core` for every busy
+/// core-second (the "equivalence with a consumption curve of the CPU" the
+/// paper describes).
+struct CpuPowerModel {
+  double idle_watts = 24.0;
+  double active_watts_per_core = 5.5;
+};
+
+/// One compute node.
+struct NodeSpec {
+  std::string name = "node";
+  std::size_t cores = 4;
+  /// Sustained per-core throughput used to convert simulated MFLOPs into
+  /// seconds (Xeon W-2102-class scalar double-precision work).
+  double core_mflop_per_s = 1200.0;
+  CpuPowerModel power;
+  /// DVFS operating point relative to nominal (the GEOPM-style power-
+  /// management knob of the paper's related work §II-B): throughput scales
+  /// linearly with frequency, active power cubically (classic CMOS
+  /// P ~ C V^2 f with V ~ f). 1.0 = nominal.
+  double frequency_scale = 1.0;
+};
+
+/// Inter-node interconnect (shared switch model: one link per node pair,
+/// full duplex, no contention modelling beyond serialized transfers).
+struct LinkSpec {
+  double bandwidth_bytes_per_s = 125e6;  ///< 1 Gbps Ethernet
+  double latency_s = 5e-4;               ///< per-message latency
+  /// Extra power drawn by both endpoints while a transfer is in flight.
+  double nic_watts = 2.0;
+};
+
+/// The cluster: homogeneous or heterogeneous nodes plus the link model.
+struct ClusterSpec {
+  std::vector<NodeSpec> nodes;
+  LinkSpec link;
+
+  /// The paper's testbed shape: `n_nodes` machines (Intel Xeon W-2102,
+  /// 4 cores) on 1 Gbps Ethernet. `cores_per_node` restricts how many
+  /// cores the job may use on each node (the study's system parameter).
+  static ClusterSpec paper_testbed(std::size_t n_nodes,
+                                   std::size_t cores_per_node);
+};
+
+/// Accumulates the makespan and energy of one training run replayed as a
+/// sequence of phases. Not thread-safe; backends own one instance per run.
+class SimCluster {
+ public:
+  explicit SimCluster(ClusterSpec spec);
+
+  /// Busy time one worker contributes to a parallel phase.
+  struct WorkerLoad {
+    std::size_t node = 0;
+    double busy_seconds = 0.0;
+  };
+
+  /// A fork/join collection phase: every worker runs on its own core of its
+  /// node; the phase lasts as long as the slowest worker. Workers mapped to
+  /// one node must not exceed its core count. Returns the phase duration.
+  double run_parallel_phase(const std::vector<WorkerLoad>& loads);
+
+  /// A (possibly multi-core) compute phase on one node, e.g. a learner
+  /// update. `core_seconds` is the total single-core work; with `cores`
+  /// cores the duration is core_seconds / (cores * parallel_efficiency).
+  /// Returns the duration.
+  double run_compute(std::size_t node, double core_seconds, std::size_t cores,
+                     double parallel_efficiency = 0.85);
+
+  /// A serialized transfer of `bytes` between two distinct nodes.
+  /// Returns the duration.
+  double run_transfer(std::size_t from, std::size_t to, double bytes);
+
+  /// Advance the clock without compute (e.g. a synchronization barrier);
+  /// idle power still accrues.
+  void run_idle(double seconds);
+
+  /// Seconds of simulated makespan so far.
+  double elapsed_seconds() const { return elapsed_; }
+
+  /// Joules drawn by all allocated nodes so far (idle + active + NIC).
+  double energy_joules() const;
+
+  /// Convert a simulated MFLOP count into single-core seconds on `node`.
+  double seconds_for_mflop(std::size_t node, double mflop) const;
+
+  const ClusterSpec& spec() const { return spec_; }
+  std::size_t n_nodes() const { return spec_.nodes.size(); }
+
+  /// Total busy core-seconds charged to `node` (diagnostics/tests).
+  double busy_core_seconds(std::size_t node) const;
+
+ private:
+  void check_node(std::size_t node) const;
+
+  ClusterSpec spec_;
+  double elapsed_ = 0.0;
+  std::vector<double> busy_core_seconds_;
+  double nic_seconds_ = 0.0;
+};
+
+}  // namespace darl::sim

@@ -1,0 +1,280 @@
+// Tests for the exploratory methods: grid enumeration, random search,
+// fixed lists and successive halving's rung/budget mechanics.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "darl/common/error.hpp"
+#include "darl/core/explorer.hpp"
+#include "darl/core/tpe.hpp"
+
+namespace darl::core {
+namespace {
+
+ParamSpace small_space() {
+  ParamSpace space;
+  space.add(ParamDomain::categorical("algo", {"PPO", "SAC"},
+                                     ParamCategory::Algorithm));
+  space.add(ParamDomain::integer_set("nodes", {1, 2}, ParamCategory::System));
+  return space;
+}
+
+TEST(GridSearch, EnumeratesEveryPointOnce) {
+  GridSearch grid(small_space(), 3);
+  std::set<std::string> seen;
+  std::size_t count = 0;
+  while (auto p = grid.ask()) {
+    EXPECT_EQ(p->budget_fraction, 1.0);
+    EXPECT_EQ(p->trial_id, count);
+    seen.insert(p->config.cache_key());
+    grid.tell(p->trial_id, {{"m", 0.0}});
+    ++count;
+  }
+  EXPECT_EQ(count, 4u);
+  EXPECT_EQ(seen.size(), 4u);
+  EXPECT_FALSE(grid.ask().has_value());  // exhausted stays exhausted
+}
+
+TEST(GridSearch, DiscretizesRealDomains) {
+  ParamSpace space;
+  space.add(ParamDomain::real_range("lr", 0.0, 1.0, false,
+                                    ParamCategory::Algorithm));
+  GridSearch grid(space, 5);
+  std::size_t count = 0;
+  while (grid.ask()) ++count;
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(RandomSearch, ProposesRequestedTrialsFromSpace) {
+  const ParamSpace space = small_space();
+  RandomSearch rs(space, 10, 42);
+  std::size_t count = 0;
+  while (auto p = rs.ask()) {
+    EXPECT_NO_THROW(space.validate(p->config));
+    rs.tell(p->trial_id, {});
+    ++count;
+  }
+  EXPECT_EQ(count, 10u);
+}
+
+TEST(RandomSearch, AvoidsDuplicatesWhenPossible) {
+  // 4-point space, 4 trials: the bounded re-draw should find all 4.
+  RandomSearch rs(small_space(), 4, 7);
+  std::set<std::string> seen;
+  while (auto p = rs.ask()) seen.insert(p->config.cache_key());
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RandomSearch, DeterministicForSeed) {
+  RandomSearch a(small_space(), 5, 3), b(small_space(), 5, 3);
+  while (true) {
+    auto pa = a.ask();
+    auto pb = b.ask();
+    ASSERT_EQ(pa.has_value(), pb.has_value());
+    if (!pa) break;
+    EXPECT_EQ(pa->config.cache_key(), pb->config.cache_key());
+  }
+}
+
+TEST(FixedListSearch, ReplaysListInOrder) {
+  LearningConfiguration c1, c2;
+  c1.set("algo", std::string("PPO"));
+  c2.set("algo", std::string("SAC"));
+  FixedListSearch fixed({c1, c2});
+  auto p1 = fixed.ask();
+  auto p2 = fixed.ask();
+  ASSERT_TRUE(p1 && p2);
+  EXPECT_EQ(p1->config.get_categorical("algo"), "PPO");
+  EXPECT_EQ(p2->config.get_categorical("algo"), "SAC");
+  EXPECT_FALSE(fixed.ask().has_value());
+  EXPECT_THROW(FixedListSearch({}), InvalidArgument);
+}
+
+TEST(SuccessiveHalving, RungBudgetsGrowAndPopulationShrinks) {
+  MetricDef objective{"score", "", Sense::Maximize};
+  SuccessiveHalving sh(small_space(), objective, 8, 2.0, 0.25, 5);
+
+  std::map<std::size_t, double> budget_by_rung_count;
+  std::size_t trials_rung0 = 0;
+  double score = 0.0;
+
+  // Rung 0: 8 trials at fraction 0.25.
+  std::vector<Proposal> pending;
+  while (auto p = sh.ask()) {
+    EXPECT_DOUBLE_EQ(p->budget_fraction, 0.25);
+    pending.push_back(*p);
+    ++trials_rung0;
+  }
+  EXPECT_EQ(trials_rung0, 8u);
+  for (auto& p : pending) {
+    sh.tell(p.trial_id, {{"score", score}});
+    score += 1.0;  // later trials score higher
+  }
+
+  // Rung 1: 4 survivors at fraction 0.5.
+  EXPECT_EQ(sh.rung(), 1u);
+  pending.clear();
+  while (auto p = sh.ask()) {
+    EXPECT_DOUBLE_EQ(p->budget_fraction, 0.5);
+    pending.push_back(*p);
+  }
+  EXPECT_EQ(pending.size(), 4u);
+  // Survivors must be the best scorers from rung 0 (the last-told configs).
+  for (auto& p : pending) sh.tell(p.trial_id, {{"score", 1.0}});
+
+  // Rung 2: 2 survivors at fraction 1.0; then the search ends.
+  pending.clear();
+  while (auto p = sh.ask()) {
+    EXPECT_DOUBLE_EQ(p->budget_fraction, 1.0);
+    pending.push_back(*p);
+  }
+  EXPECT_EQ(pending.size(), 2u);
+  for (auto& p : pending) sh.tell(p.trial_id, {{"score", 1.0}});
+  EXPECT_FALSE(sh.ask().has_value());
+}
+
+TEST(SuccessiveHalving, MinimizeObjectiveKeepsSmallScores) {
+  MetricDef objective{"time", "min", Sense::Minimize};
+  SuccessiveHalving sh(small_space(), objective, 4, 2.0, 0.5, 9);
+  std::vector<Proposal> r0;
+  while (auto p = sh.ask()) r0.push_back(*p);
+  ASSERT_EQ(r0.size(), 4u);
+  // Give trial 0 the best (smallest) time; remember its config.
+  const std::string best_key = r0[0].config.cache_key();
+  sh.tell(r0[0].trial_id, {{"time", 1.0}});
+  sh.tell(r0[1].trial_id, {{"time", 10.0}});
+  sh.tell(r0[2].trial_id, {{"time", 10.0}});
+  sh.tell(r0[3].trial_id, {{"time", 10.0}});
+
+  std::set<std::string> survivors;
+  while (auto p = sh.ask()) {
+    survivors.insert(p->config.cache_key());
+    sh.tell(p->trial_id, {{"time", 1.0}});
+  }
+  EXPECT_TRUE(survivors.count(best_key) == 1);
+}
+
+TEST(SuccessiveHalving, ValidatesConstructionAndTells) {
+  MetricDef objective{"score", "", Sense::Maximize};
+  EXPECT_THROW(SuccessiveHalving(small_space(), objective, 1, 2.0, 0.5, 1),
+               InvalidArgument);
+  EXPECT_THROW(SuccessiveHalving(small_space(), objective, 4, 1.0, 0.5, 1),
+               InvalidArgument);
+  EXPECT_THROW(SuccessiveHalving(small_space(), objective, 4, 2.0, 0.0, 1),
+               InvalidArgument);
+
+  SuccessiveHalving sh(small_space(), objective, 2, 2.0, 0.5, 1);
+  auto p = sh.ask();
+  ASSERT_TRUE(p);
+  EXPECT_THROW(sh.tell(p->trial_id, {{"wrong_metric", 1.0}}), InvalidArgument);
+  EXPECT_THROW(sh.tell(9999, {{"score", 1.0}}), InvalidArgument);
+}
+
+// ------------------------------------------------------------------ TPE
+
+ParamSpace mixed_space() {
+  ParamSpace space;
+  space.add(ParamDomain::categorical("arch", {"mlp", "cnn"},
+                                     ParamCategory::Algorithm));
+  space.add(ParamDomain::integer_set("depth", {1, 2, 3, 4},
+                                     ParamCategory::Algorithm));
+  space.add(ParamDomain::real_range("lr", 1e-4, 1e-1, /*log_scale=*/true,
+                                    ParamCategory::Algorithm));
+  return space;
+}
+
+/// Synthetic objective with a clear optimum: arch=cnn, depth=3, lr=1e-2.
+double mixed_objective(const LearningConfiguration& c) {
+  double score = c.get_categorical("arch") == "cnn" ? 1.0 : 0.0;
+  const double d = static_cast<double>(c.get_integer("depth"));
+  score -= 0.3 * (d - 3.0) * (d - 3.0);
+  const double loglr = std::log10(c.get_real("lr") / 1e-2);
+  score -= loglr * loglr;
+  return score;
+}
+
+TEST(Tpe, ProposalsStayInsideTheSpace) {
+  const ParamSpace space = mixed_space();
+  TpeOptions opts;
+  opts.n_trials = 20;
+  opts.n_startup = 4;
+  TpeSearch tpe(space, {"score", "", Sense::Maximize}, opts, 5);
+  std::size_t count = 0;
+  while (auto p = tpe.ask()) {
+    EXPECT_NO_THROW(space.validate(p->config));
+    EXPECT_DOUBLE_EQ(p->budget_fraction, 1.0);
+    tpe.tell(p->trial_id, {{"score", mixed_objective(p->config)}});
+    ++count;
+  }
+  EXPECT_EQ(count, 20u);
+  EXPECT_EQ(tpe.observations(), 20u);
+}
+
+TEST(Tpe, BeatsRandomSearchOnStructuredObjective) {
+  // Compare the mean best-found score over several seeds at equal budget.
+  const ParamSpace space = mixed_space();
+  const std::size_t budget = 40;
+  double tpe_total = 0.0, random_total = 0.0;
+  const int repeats = 5;
+  for (int rep = 0; rep < repeats; ++rep) {
+    TpeOptions opts;
+    opts.n_trials = budget;
+    opts.n_startup = 8;
+    TpeSearch tpe(space, {"score", "", Sense::Maximize}, opts,
+                  100 + static_cast<std::uint64_t>(rep));
+    double best_tpe = -1e18;
+    while (auto p = tpe.ask()) {
+      const double s = mixed_objective(p->config);
+      best_tpe = std::max(best_tpe, s);
+      tpe.tell(p->trial_id, {{"score", s}});
+    }
+    RandomSearch rs(space, budget, 100 + static_cast<std::uint64_t>(rep));
+    double best_rs = -1e18;
+    while (auto p = rs.ask()) {
+      const double s = mixed_objective(p->config);
+      best_rs = std::max(best_rs, s);
+      rs.tell(p->trial_id, {{"score", s}});
+    }
+    tpe_total += best_tpe;
+    random_total += best_rs;
+  }
+  EXPECT_GT(tpe_total / repeats, random_total / repeats - 1e-9);
+  // And TPE should come close to the optimum (score 1.0).
+  EXPECT_GT(tpe_total / repeats, 0.7);
+}
+
+TEST(Tpe, MinimizeSenseInverts) {
+  const ParamSpace space = mixed_space();
+  TpeOptions opts;
+  opts.n_trials = 30;
+  opts.n_startup = 6;
+  TpeSearch tpe(space, {"loss", "", Sense::Minimize}, opts, 11);
+  double best = 1e18;
+  while (auto p = tpe.ask()) {
+    const double loss = -mixed_objective(p->config);
+    best = std::min(best, loss);
+    tpe.tell(p->trial_id, {{"loss", loss}});
+  }
+  EXPECT_LT(best, 0.0);  // found configurations better than score 0
+}
+
+TEST(Tpe, ValidatesProtocolAndConstruction) {
+  const ParamSpace space = mixed_space();
+  TpeOptions opts;
+  EXPECT_THROW(TpeSearch(ParamSpace{}, {"s", "", Sense::Maximize}, opts, 1),
+               InvalidArgument);
+  opts.gamma = 1.5;
+  EXPECT_THROW(TpeSearch(space, {"s", "", Sense::Maximize}, opts, 1),
+               InvalidArgument);
+  opts = TpeOptions{};
+  TpeSearch tpe(space, {"s", "", Sense::Maximize}, opts, 1);
+  EXPECT_THROW(tpe.tell(99, {{"s", 1.0}}), InvalidArgument);
+  auto p = tpe.ask();
+  ASSERT_TRUE(p);
+  EXPECT_THROW(tpe.tell(p->trial_id, {{"other", 1.0}}), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace darl::core

@@ -1,0 +1,180 @@
+// Tests for the learning-configuration stage: parameter domains, spaces,
+// grid decoding, sampling and validation.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "darl/common/error.hpp"
+#include "darl/common/rng.hpp"
+#include "darl/core/param.hpp"
+
+namespace darl::core {
+namespace {
+
+ParamSpace demo_space() {
+  ParamSpace space;
+  space.add(ParamDomain::categorical("framework", {"A", "B", "C"},
+                                     ParamCategory::Algorithm));
+  space.add(ParamDomain::integer_set("nodes", {1, 2}, ParamCategory::System));
+  space.add(ParamDomain::integer_range("cores", 2, 4, 2, ParamCategory::System));
+  return space;
+}
+
+TEST(ParamDomain, CategoricalBasics) {
+  const auto d = ParamDomain::categorical("f", {"x", "y"}, ParamCategory::Algorithm);
+  EXPECT_TRUE(d.is_categorical());
+  EXPECT_EQ(*d.cardinality(), 2u);
+  EXPECT_TRUE(d.contains(ParamValue{std::string("x")}));
+  EXPECT_FALSE(d.contains(ParamValue{std::string("z")}));
+  EXPECT_FALSE(d.contains(ParamValue{std::int64_t{1}}));
+  EXPECT_EQ(std::get<std::string>(d.grid_value(1, 5)), "y");
+  EXPECT_THROW(d.grid_value(2, 5), InvalidArgument);
+  EXPECT_THROW(ParamDomain::categorical("f", {}, ParamCategory::Algorithm),
+               InvalidArgument);
+  EXPECT_THROW(ParamDomain::categorical("f", {"x", "x"}, ParamCategory::Algorithm),
+               InvalidArgument);
+}
+
+TEST(ParamDomain, IntegerRangeStepSemantics) {
+  const auto d = ParamDomain::integer_range("n", 2, 8, 3, ParamCategory::System);
+  EXPECT_EQ(*d.cardinality(), 3u);  // 2, 5, 8
+  EXPECT_EQ(std::get<std::int64_t>(d.grid_value(1, 5)), 5);
+  EXPECT_TRUE(d.contains(ParamValue{std::int64_t{8}}));
+  EXPECT_FALSE(d.contains(ParamValue{std::int64_t{3}}));  // off-step
+  EXPECT_FALSE(d.contains(ParamValue{std::int64_t{11}}));
+  EXPECT_THROW(ParamDomain::integer_range("n", 3, 1, 1, ParamCategory::System),
+               InvalidArgument);
+  EXPECT_THROW(ParamDomain::integer_range("n", 1, 3, 0, ParamCategory::System),
+               InvalidArgument);
+}
+
+TEST(ParamDomain, IntegerSet) {
+  const auto d = ParamDomain::integer_set("rk", {3, 5, 8}, ParamCategory::Environment);
+  EXPECT_TRUE(d.is_integer());
+  EXPECT_EQ(*d.cardinality(), 3u);
+  EXPECT_EQ(std::get<std::int64_t>(d.grid_value(2, 5)), 8);
+  EXPECT_TRUE(d.contains(ParamValue{std::int64_t{5}}));
+  EXPECT_FALSE(d.contains(ParamValue{std::int64_t{4}}));
+  Rng rng(1);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 100; ++i)
+    seen.insert(std::get<std::int64_t>(d.sample(rng)));
+  EXPECT_EQ(seen, (std::set<std::int64_t>{3, 5, 8}));
+  EXPECT_THROW(ParamDomain::integer_set("rk", {3, 3}, ParamCategory::Environment),
+               InvalidArgument);
+}
+
+TEST(ParamDomain, RealRangeLinearAndLog) {
+  const auto lin = ParamDomain::real_range("lr", 0.0, 1.0, false,
+                                           ParamCategory::Algorithm);
+  EXPECT_TRUE(lin.is_real());
+  EXPECT_FALSE(lin.cardinality().has_value());
+  EXPECT_DOUBLE_EQ(std::get<double>(lin.grid_value(0, 5)), 0.0);
+  EXPECT_DOUBLE_EQ(std::get<double>(lin.grid_value(4, 5)), 1.0);
+  EXPECT_DOUBLE_EQ(std::get<double>(lin.grid_value(2, 5)), 0.5);
+
+  const auto log = ParamDomain::real_range("lr", 1e-4, 1e-2, true,
+                                           ParamCategory::Algorithm);
+  EXPECT_NEAR(std::get<double>(log.grid_value(1, 3)), 1e-3, 1e-12);
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const double v = std::get<double>(log.sample(rng));
+    EXPECT_GE(v, 1e-4);
+    EXPECT_LE(v, 1e-2);
+  }
+  EXPECT_THROW(
+      ParamDomain::real_range("x", 1.0, 1.0, false, ParamCategory::Algorithm),
+      InvalidArgument);
+  EXPECT_THROW(
+      ParamDomain::real_range("x", 0.0, 1.0, true, ParamCategory::Algorithm),
+      InvalidArgument);
+}
+
+TEST(ParamDomain, RealBoundsAccessors) {
+  const auto lin = ParamDomain::real_range("lr", 0.5, 2.0, false,
+                                           ParamCategory::Algorithm);
+  const auto [lo, hi] = lin.real_bounds();
+  EXPECT_DOUBLE_EQ(lo, 0.5);
+  EXPECT_DOUBLE_EQ(hi, 2.0);
+  EXPECT_FALSE(lin.real_log_scale());
+  const auto log = ParamDomain::real_range("lr", 1e-3, 1e-1, true,
+                                           ParamCategory::Algorithm);
+  EXPECT_TRUE(log.real_log_scale());
+  const auto cat =
+      ParamDomain::categorical("c", {"a"}, ParamCategory::Algorithm);
+  EXPECT_THROW(cat.real_bounds(), InvalidArgument);
+  EXPECT_THROW(cat.real_log_scale(), InvalidArgument);
+}
+
+TEST(ParamDomain, LogGridEndpointsStayInDomain) {
+  const auto log = ParamDomain::real_range("lr", 1e-4, 1e-1, true,
+                                           ParamCategory::Algorithm);
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_TRUE(log.contains(log.grid_value(i, 7))) << "grid point " << i;
+  }
+}
+
+TEST(ParamDomain, CategoryNames) {
+  EXPECT_STREQ(param_category_name(ParamCategory::Algorithm), "algorithm");
+  EXPECT_STREQ(param_category_name(ParamCategory::System), "system");
+  EXPECT_STREQ(param_category_name(ParamCategory::Environment), "environment");
+}
+
+TEST(LearningConfiguration, TypedAccessors) {
+  LearningConfiguration c;
+  c.set("f", std::string("B"));
+  c.set("n", std::int64_t{2});
+  c.set("lr", 0.01);
+  EXPECT_EQ(c.get_categorical("f"), "B");
+  EXPECT_EQ(c.get_integer("n"), 2);
+  EXPECT_DOUBLE_EQ(c.get_real("lr"), 0.01);
+  EXPECT_DOUBLE_EQ(c.get_real("n"), 2.0);  // numeric widening
+  EXPECT_THROW(c.get_integer("f"), InvalidArgument);
+  EXPECT_THROW(c.get("missing"), InvalidArgument);
+  EXPECT_TRUE(c.has("f"));
+  EXPECT_FALSE(c.has("missing"));
+  EXPECT_EQ(c.describe(), "f=B, lr=0.01, n=2");
+}
+
+TEST(ParamSpace, GridEnumeratesAllCombinations) {
+  const ParamSpace space = demo_space();
+  EXPECT_EQ(space.grid_size(5), 3u * 2u * 2u);
+  std::set<std::string> keys;
+  for (std::size_t i = 0; i < space.grid_size(5); ++i) {
+    keys.insert(space.grid_point(i, 5).cache_key());
+  }
+  EXPECT_EQ(keys.size(), 12u);
+  EXPECT_THROW(space.grid_point(12, 5), InvalidArgument);
+}
+
+TEST(ParamSpace, SampleIsAlwaysValid) {
+  const ParamSpace space = demo_space();
+  Rng rng(3);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NO_THROW(space.validate(space.sample(rng)));
+  }
+}
+
+TEST(ParamSpace, ValidateDetectsProblems) {
+  const ParamSpace space = demo_space();
+  LearningConfiguration missing;
+  missing.set("framework", std::string("A"));
+  EXPECT_THROW(space.validate(missing), InvalidArgument);
+
+  LearningConfiguration bad = space.grid_point(0, 5);
+  bad.set("nodes", std::int64_t{7});
+  EXPECT_THROW(space.validate(bad), InvalidArgument);
+}
+
+TEST(ParamSpace, RejectsDuplicatesAndUnknownLookups) {
+  ParamSpace space = demo_space();
+  EXPECT_THROW(
+      space.add(ParamDomain::integer_set("nodes", {1}, ParamCategory::System)),
+      InvalidArgument);
+  EXPECT_THROW(space.domain("nope"), InvalidArgument);
+  EXPECT_EQ(space.domain("nodes").category(), ParamCategory::System);
+}
+
+}  // namespace
+}  // namespace darl::core

@@ -1,0 +1,118 @@
+// Tests for the ranking stage: Pareto ranking, weighted-sum scalarization
+// and single-metric sorted arrays.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "darl/common/error.hpp"
+#include "darl/core/ranking.hpp"
+
+namespace darl::core {
+namespace {
+
+MetricSet paper_like_metrics() { return MetricSet::paper_metrics(); }
+
+// Reward (max), time (min), power (min).
+const std::vector<std::vector<double>> kPoints{
+    {-0.65, 46.0, 201.0},  // 0: fastest
+    {-0.55, 49.0, 201.0},  // 1
+    {-0.60, 49.0, 120.0},  // 2: frugal
+    {-0.45, 65.0, 166.0},  // 3: best reward
+    {-0.73, 55.0, 210.0},  // 4: dominated by 0? time 46<55, reward -0.65>-0.73, power 201<210 -> yes
+};
+
+TEST(MetricSet, PaperMetricsShape) {
+  const MetricSet m = paper_like_metrics();
+  ASSERT_EQ(m.size(), 3u);
+  EXPECT_EQ(m.defs()[0].name, "Reward");
+  EXPECT_EQ(m.defs()[0].sense, Sense::Maximize);
+  EXPECT_EQ(m.defs()[1].sense, Sense::Minimize);
+  EXPECT_TRUE(m.has("PowerConsumption"));
+  EXPECT_THROW(m.def("nope"), InvalidArgument);
+  EXPECT_STREQ(sense_name(Sense::Maximize), "maximize");
+}
+
+TEST(MetricSet, ExtractValidates) {
+  const MetricSet m = paper_like_metrics();
+  MetricValues v{{"Reward", -0.5},
+                 {"ComputationTime", 46.0},
+                 {"PowerConsumption", 200.0}};
+  const auto row = m.extract(v);
+  EXPECT_EQ(row.size(), 3u);
+  EXPECT_DOUBLE_EQ(row[0], -0.5);
+  v.erase("Reward");
+  EXPECT_THROW(m.extract(v), InvalidArgument);
+  v["Reward"] = std::nan("");
+  EXPECT_THROW(m.extract(v), InvalidArgument);
+
+  MetricSet dup;
+  dup.add({"x", "", Sense::Maximize});
+  EXPECT_THROW(dup.add({"x", "", Sense::Minimize}), InvalidArgument);
+}
+
+TEST(ParetoRanking, FrontIsRankZero) {
+  ParetoRanking ranking;
+  const auto ranked = ranking.rank(paper_like_metrics(), kPoints);
+  ASSERT_EQ(ranked.size(), kPoints.size());
+  // Point 4 is dominated by point 0 on all three metrics.
+  for (const auto& r : ranked) {
+    if (r.trial_index == 4) {
+      EXPECT_GT(r.rank, 0u);
+      EXPECT_FALSE(r.pareto_optimal);
+    }
+    if (r.trial_index == 0 || r.trial_index == 2 || r.trial_index == 3) {
+      EXPECT_EQ(r.rank, 0u);
+      EXPECT_TRUE(r.pareto_optimal);
+    }
+  }
+  // Output is sorted best-first (rank non-decreasing).
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i].rank, ranked[i - 1].rank);
+  }
+}
+
+TEST(WeightedSumRanking, UniformWeightsOrdering) {
+  WeightedSumRanking ranking;
+  const auto ranked = ranking.rank(paper_like_metrics(), kPoints);
+  ASSERT_EQ(ranked.size(), kPoints.size());
+  // Scores are sorted descending and lie in [0, 1].
+  for (std::size_t i = 0; i < ranked.size(); ++i) {
+    EXPECT_GE(ranked[i].score, 0.0);
+    EXPECT_LE(ranked[i].score, 1.0);
+    if (i > 0) {
+      EXPECT_LE(ranked[i].score, ranked[i - 1].score);
+    }
+    EXPECT_EQ(ranked[i].rank, i);
+  }
+  // The all-around-dominated point 4 must be last.
+  EXPECT_EQ(ranked.back().trial_index, 4u);
+}
+
+TEST(WeightedSumRanking, CustomWeightsFavorChosenMetric) {
+  // All weight on reward: the best-reward trial (3) wins.
+  WeightedSumRanking ranking({1.0, 0.0, 0.0});
+  const auto ranked = ranking.rank(paper_like_metrics(), kPoints);
+  EXPECT_EQ(ranked.front().trial_index, 3u);
+  WeightedSumRanking bad({1.0, 0.0});
+  EXPECT_THROW(bad.rank(paper_like_metrics(), kPoints), InvalidArgument);
+}
+
+TEST(SingleMetricRanking, SortsByDeclaredSense) {
+  SingleMetricRanking by_time("ComputationTime");
+  const auto ranked = by_time.rank(paper_like_metrics(), kPoints);
+  EXPECT_EQ(ranked.front().trial_index, 0u);  // 46 minutes
+  EXPECT_EQ(ranked.back().trial_index, 3u);   // 65 minutes
+
+  SingleMetricRanking by_reward("Reward");
+  const auto r2 = by_reward.rank(paper_like_metrics(), kPoints);
+  EXPECT_EQ(r2.front().trial_index, 3u);  // -0.45 best
+  EXPECT_EQ(r2.back().trial_index, 4u);   // -0.73 worst
+  EXPECT_EQ(by_reward.name(), "SortedBy(Reward)");
+
+  SingleMetricRanking unknown("nope");
+  EXPECT_THROW(unknown.rank(paper_like_metrics(), kPoints), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace darl::core

@@ -1,0 +1,163 @@
+// Tests for the Pareto-front stability analysis and the ParamSpace
+// constraint machinery.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "darl/common/error.hpp"
+#include "darl/common/rng.hpp"
+#include "darl/core/explorer.hpp"
+#include "darl/core/stability.hpp"
+#include "darl/core/tpe.hpp"
+
+namespace darl::core {
+namespace {
+
+MetricSet two_metrics() {
+  MetricSet m;
+  m.add({"quality", "", Sense::Maximize});
+  m.add({"cost", "", Sense::Minimize});
+  return m;
+}
+
+TEST(FrontStability, ClearWinnersAreAlwaysMembers) {
+  // One point dominates by a wide margin on one axis, another on the
+  // other; a third is deeply dominated.
+  const std::vector<std::vector<double>> pts{
+      {10.0, 5.0},   // best quality
+      {1.0, 0.5},    // best cost
+      {1.0, 100.0},  // hopeless
+  };
+  Rng rng(1);
+  StabilityOptions opts;
+  opts.samples = 500;
+  opts.relative_noise = 0.02;
+  const StabilityResult r = front_stability(pts, two_metrics(), opts, rng);
+  EXPECT_GT(r.membership[0], 0.99);
+  EXPECT_GT(r.membership[1], 0.99);
+  EXPECT_LT(r.membership[2], 0.01);
+  ASSERT_EQ(r.robust_front.size(), 2u);
+}
+
+TEST(FrontStability, NearTiesSplitMembership) {
+  // Two nearly identical points: under noise each is on the front roughly
+  // half the time (ties rarely both survive with strict dominance... both
+  // survive when neither dominates — with 2 metrics and independent noise
+  // each pair is non-dominated unless one draws better on both axes).
+  const std::vector<std::vector<double>> pts{{1.0, 1.0}, {1.0, 1.0}};
+  Rng rng(2);
+  StabilityOptions opts;
+  opts.samples = 2000;
+  opts.relative_noise = 0.05;
+  const StabilityResult r = front_stability(pts, two_metrics(), opts, rng);
+  // Each point is dominated only when the other beats it on both axes:
+  // probability 1/4. Expect membership ~0.75 each.
+  EXPECT_NEAR(r.membership[0], 0.75, 0.05);
+  EXPECT_NEAR(r.membership[1], 0.75, 0.05);
+}
+
+TEST(FrontStability, AbsoluteStddevOverridesRelative) {
+  const std::vector<std::vector<double>> pts{{1.0, 1.0}, {1.05, 1.0}};
+  Rng rng(3);
+  StabilityOptions opts;
+  opts.samples = 1000;
+  opts.relative_noise = 0.0;  // no noise at all: deterministic fronts
+  const StabilityResult crisp = front_stability(pts, two_metrics(), opts, rng);
+  EXPECT_DOUBLE_EQ(crisp.membership[0], 0.0);  // strictly dominated
+  EXPECT_DOUBLE_EQ(crisp.membership[1], 1.0);
+
+  opts.absolute_stddev = {0.5, 0.0};  // huge noise on quality only
+  const StabilityResult fuzzy = front_stability(pts, two_metrics(), opts, rng);
+  EXPECT_GT(fuzzy.membership[0], 0.2);  // now frequently wins
+}
+
+TEST(FrontStability, Validation) {
+  Rng rng(4);
+  StabilityOptions opts;
+  opts.samples = 0;
+  EXPECT_THROW(front_stability({{1.0, 1.0}}, two_metrics(), opts, rng),
+               InvalidArgument);
+  opts = StabilityOptions{};
+  opts.absolute_stddev = {1.0};  // wrong size
+  EXPECT_THROW(front_stability({{1.0, 1.0}}, two_metrics(), opts, rng),
+               InvalidArgument);
+  EXPECT_THROW(front_stability({{1.0}}, two_metrics(), StabilityOptions{}, rng),
+               InvalidArgument);
+  // Empty input: empty result.
+  const auto r = front_stability({}, two_metrics(), StabilityOptions{}, rng);
+  EXPECT_TRUE(r.membership.empty());
+}
+
+// ------------------------------------------------------- constraints
+
+ParamSpace constrained_space() {
+  ParamSpace space;
+  space.add(ParamDomain::categorical("fw", {"A", "B"}, ParamCategory::Algorithm));
+  space.add(ParamDomain::integer_set("nodes", {1, 2}, ParamCategory::System));
+  space.add_constraint(
+      [](const LearningConfiguration& c) {
+        return c.get_integer("nodes") == 1 || c.get_categorical("fw") == "A";
+      },
+      "multi-node requires fw A");
+  return space;
+}
+
+TEST(Constraints, SampleOnlyProducesFeasiblePoints) {
+  const ParamSpace space = constrained_space();
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    const auto c = space.sample(rng);
+    EXPECT_TRUE(space.satisfies_constraints(c));
+    EXPECT_NO_THROW(space.validate(c));
+  }
+}
+
+TEST(Constraints, ValidateRejectsInfeasible) {
+  const ParamSpace space = constrained_space();
+  LearningConfiguration bad;
+  bad.set("fw", std::string("B"));
+  bad.set("nodes", std::int64_t{2});
+  EXPECT_FALSE(space.satisfies_constraints(bad));
+  EXPECT_THROW(space.validate(bad), InvalidArgument);
+}
+
+TEST(Constraints, GridSearchSkipsInfeasiblePoints) {
+  GridSearch grid(constrained_space(), 2);
+  std::size_t count = 0;
+  while (auto p = grid.ask()) {
+    EXPECT_TRUE(constrained_space().satisfies_constraints(p->config));
+    grid.tell(p->trial_id, {});
+    ++count;
+  }
+  EXPECT_EQ(count, 3u);  // 4-point grid minus the one infeasible combo
+}
+
+TEST(Constraints, TpeRespectsConstraints) {
+  TpeOptions opts;
+  opts.n_trials = 25;
+  opts.n_startup = 5;
+  TpeSearch tpe(constrained_space(), {"score", "", Sense::Maximize}, opts, 7);
+  while (auto p = tpe.ask()) {
+    EXPECT_TRUE(constrained_space().satisfies_constraints(p->config));
+    // Reward feasible-but-infeasible-adjacent configs to push the model
+    // toward the constrained corner.
+    const double score =
+        (p->config.get_categorical("fw") == "B" ? 1.0 : 0.0) +
+        (p->config.get_integer("nodes") == 2 ? 1.0 : 0.0);
+    tpe.tell(p->trial_id, {{"score", score}});
+  }
+}
+
+TEST(Constraints, UnsatisfiableSamplingThrows) {
+  ParamSpace space;
+  space.add(ParamDomain::integer_set("x", {1}, ParamCategory::System));
+  space.add_constraint([](const LearningConfiguration&) { return false; },
+                       "never satisfiable");
+  Rng rng(6);
+  EXPECT_THROW(space.sample(rng), Error);
+  EXPECT_THROW(space.add_constraint(nullptr, "null"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace darl::core

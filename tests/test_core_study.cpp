@@ -1,0 +1,244 @@
+// Tests for the study runner and the report/persistence layer, using
+// synthetic (cheap) case studies.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "darl/common/error.hpp"
+#include "darl/core/report.hpp"
+#include "darl/core/study.hpp"
+
+namespace darl::core {
+namespace {
+
+/// Synthetic case study: two metrics computed analytically from the config.
+CaseStudyDef synthetic_study() {
+  CaseStudyDef def;
+  def.name = "synthetic";
+  def.space.add(ParamDomain::integer_set("x", {1, 2, 3}, ParamCategory::System));
+  def.space.add(ParamDomain::categorical("mode", {"a", "b"},
+                                         ParamCategory::Algorithm));
+  def.metrics.add({"quality", "", Sense::Maximize});
+  def.metrics.add({"cost", "s", Sense::Minimize});
+  def.evaluate = [](const LearningConfiguration& c, double budget,
+                    std::uint64_t seed) -> MetricValues {
+    (void)seed;
+    const double x = static_cast<double>(c.get_integer("x"));
+    const double bonus = c.get_categorical("mode") == "a" ? 0.5 : 0.0;
+    return {{"quality", (x + bonus) * budget}, {"cost", x * x}};
+  };
+  return def;
+}
+
+TEST(Study, RunsGridCampaignAndRecordsTrials) {
+  Study study(synthetic_study(),
+              std::make_unique<GridSearch>(synthetic_study().space, 3),
+              {.seed = 1, .log_progress = false});
+  study.run();
+  EXPECT_EQ(study.trials().size(), 6u);
+  for (const auto& t : study.trials()) {
+    EXPECT_EQ(t.budget_fraction, 1.0);
+    EXPECT_TRUE(t.metrics.count("quality"));
+    EXPECT_TRUE(t.metrics.count("cost"));
+  }
+  const auto table = study.metric_table();
+  EXPECT_EQ(table.size(), 6u);
+  EXPECT_EQ(table[0].size(), 2u);
+}
+
+TEST(Study, ParallelExecutionMatchesSequentialResults) {
+  const CaseStudyDef def = synthetic_study();
+  Study seq(def, std::make_unique<GridSearch>(def.space, 3),
+            {.seed = 9, .log_progress = false, .parallel_trials = 1});
+  seq.run();
+  Study par(def, std::make_unique<GridSearch>(def.space, 3),
+            {.seed = 9, .log_progress = false, .parallel_trials = 4});
+  par.run();
+
+  ASSERT_EQ(seq.trials().size(), par.trials().size());
+  for (std::size_t i = 0; i < seq.trials().size(); ++i) {
+    EXPECT_EQ(seq.trials()[i].id, par.trials()[i].id);
+    EXPECT_EQ(seq.trials()[i].config.cache_key(),
+              par.trials()[i].config.cache_key());
+    EXPECT_DOUBLE_EQ(seq.trials()[i].metrics.at("quality"),
+                     par.trials()[i].metrics.at("quality"));
+  }
+}
+
+TEST(Study, ParallelRespectsMaxTrials) {
+  const CaseStudyDef def = synthetic_study();
+  Study study(def, std::make_unique<GridSearch>(def.space, 3),
+              {.seed = 9, .log_progress = false, .max_trials = 3,
+               .parallel_trials = 8});
+  study.run();
+  EXPECT_EQ(study.trials().size(), 3u);
+}
+
+TEST(Study, ParallelWorksWithAdaptiveExplorers) {
+  // Successive halving releases one rung at a time; the parallel driver
+  // must not deadlock on the partial batches.
+  const CaseStudyDef def = synthetic_study();
+  auto sh = std::make_unique<SuccessiveHalving>(
+      def.space, def.metrics.defs()[0], 4, 2.0, 0.5, 3);
+  Study study(def, std::move(sh),
+              {.seed = 2, .log_progress = false, .parallel_trials = 3});
+  study.run();
+  EXPECT_GE(study.trials().size(), 6u);  // 4 + 2 across rungs
+}
+
+TEST(Study, MaxTrialsCapsTheCampaign) {
+  Study study(synthetic_study(),
+              std::make_unique<GridSearch>(synthetic_study().space, 3),
+              {.seed = 1, .log_progress = false, .max_trials = 2});
+  study.run();
+  EXPECT_EQ(study.trials().size(), 2u);
+}
+
+TEST(Study, ParetoTrialsOverMetricSubset) {
+  Study study(synthetic_study(),
+              std::make_unique<GridSearch>(synthetic_study().space, 3),
+              {.seed = 1, .log_progress = false});
+  study.run();
+  // quality rises with x but cost rises quadratically: the front over
+  // (quality, cost) contains the mode-a configs of every x (mode-b configs
+  // are dominated by mode-a at equal x).
+  const auto front = study.pareto_trials();
+  for (std::size_t idx : front) {
+    EXPECT_EQ(study.trials()[idx].config.get_categorical("mode"), "a");
+  }
+  EXPECT_EQ(front.size(), 3u);
+  // Single-metric "front": only the best-quality trial(s).
+  const auto best_quality = study.pareto_trials({"quality"});
+  ASSERT_EQ(best_quality.size(), 1u);
+  EXPECT_EQ(study.trials()[best_quality[0]].config.get_integer("x"), 3);
+}
+
+TEST(Study, ValidatesConstruction) {
+  CaseStudyDef def = synthetic_study();
+  def.evaluate = nullptr;
+  EXPECT_THROW(Study(def, std::make_unique<GridSearch>(def.space, 3), {}),
+               InvalidArgument);
+}
+
+TEST(Study, SuccessiveHalvingProducesPartialBudgetTrials) {
+  CaseStudyDef def = synthetic_study();
+  auto sh = std::make_unique<SuccessiveHalving>(
+      def.space, def.metrics.defs()[0], 4, 2.0, 0.5, 3);
+  Study study(def, std::move(sh), {.seed = 2, .log_progress = false});
+  study.run();
+  bool saw_partial = false, saw_full = false;
+  for (const auto& t : study.trials()) {
+    if (t.budget_fraction < 1.0) saw_partial = true;
+    if (t.budget_fraction >= 1.0) saw_full = true;
+  }
+  EXPECT_TRUE(saw_partial);
+  EXPECT_TRUE(saw_full);
+  // full_budget_metric_table filters the partial trials out.
+  std::vector<std::size_t> indices;
+  const auto table = study.full_budget_metric_table(indices);
+  EXPECT_EQ(table.size(), indices.size());
+  for (std::size_t idx : indices) {
+    EXPECT_GE(study.trials()[idx].budget_fraction, 1.0);
+  }
+}
+
+TEST(Report, TrialTableContainsConfigsAndMetrics) {
+  Study study(synthetic_study(),
+              std::make_unique<GridSearch>(synthetic_study().space, 3),
+              {.seed = 1, .log_progress = false});
+  study.run();
+  const std::string table =
+      render_trial_table(study.definition(), study.trials());
+  EXPECT_NE(table.find("quality"), std::string::npos);
+  EXPECT_NE(table.find("cost (s)"), std::string::npos);
+  EXPECT_NE(table.find("mode"), std::string::npos);
+  // 1-based ids.
+  EXPECT_NE(table.find("| 1 "), std::string::npos);
+}
+
+TEST(Report, ParetoPlotHighlightsFront) {
+  Study study(synthetic_study(),
+              std::make_unique<GridSearch>(synthetic_study().space, 3),
+              {.seed = 1, .log_progress = false});
+  study.run();
+  std::vector<std::size_t> front_ids;
+  const std::string plot =
+      render_pareto_plot(study.definition(), study.trials(), "quality", "cost",
+                         "demo", &front_ids);
+  EXPECT_NE(plot.find('#'), std::string::npos);
+  EXPECT_FALSE(front_ids.empty());
+}
+
+TEST(Report, CsvRoundTrip) {
+  const CaseStudyDef def = synthetic_study();
+  Study study(def, std::make_unique<GridSearch>(def.space, 3),
+              {.seed = 1, .log_progress = false});
+  study.run();
+
+  std::stringstream buf;
+  write_trials_csv(buf, def, study.trials());
+  const auto loaded = load_trials_csv(buf, def);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), study.trials().size());
+  for (std::size_t i = 0; i < loaded->size(); ++i) {
+    const TrialRecord& a = study.trials()[i];
+    const TrialRecord& b = (*loaded)[i];
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.config.cache_key(), b.config.cache_key());
+    EXPECT_DOUBLE_EQ(a.metrics.at("quality"), b.metrics.at("quality"));
+    EXPECT_DOUBLE_EQ(a.metrics.at("cost"), b.metrics.at("cost"));
+  }
+}
+
+TEST(Report, MarkdownReportContainsAllSections) {
+  const CaseStudyDef def = synthetic_study();
+  Study study(def, std::make_unique<GridSearch>(def.space, 3),
+              {.seed = 1, .log_progress = false});
+  study.run();
+
+  const std::string md = write_markdown_report(def, study.trials());
+  EXPECT_NE(md.find("# Decision analysis: synthetic"), std::string::npos);
+  EXPECT_NE(md.find("## Evaluated configurations"), std::string::npos);
+  EXPECT_NE(md.find("## Trade-off: cost vs quality"), std::string::npos);
+  EXPECT_NE(md.find("Non-dominated solutions:"), std::string::npos);
+  EXPECT_NE(md.find("## Front stability"), std::string::npos);
+  EXPECT_NE(md.find("**robust**"), std::string::npos);
+  // One table row per trial (1-based ids).
+  for (std::size_t i = 1; i <= study.trials().size(); ++i) {
+    EXPECT_NE(md.find("|" + std::to_string(i) + "|"), std::string::npos);
+  }
+}
+
+TEST(Report, MarkdownReportCustomFiguresAndNoStability) {
+  const CaseStudyDef def = synthetic_study();
+  Study study(def, std::make_unique<GridSearch>(def.space, 3),
+              {.seed = 1, .log_progress = false});
+  study.run();
+  MarkdownReportOptions opts;
+  opts.include_stability = false;
+  opts.figures = {{"quality", "cost"}};
+  const std::string md = write_markdown_report(def, study.trials(), opts);
+  EXPECT_EQ(md.find("## Front stability"), std::string::npos);
+  EXPECT_NE(md.find("## Trade-off: cost vs quality"), std::string::npos);
+}
+
+TEST(Report, LoadRejectsMismatchedHeader) {
+  const CaseStudyDef def = synthetic_study();
+  std::stringstream buf("id,oops\n1,2\n");
+  EXPECT_FALSE(load_trials_csv(buf, def).has_value());
+  std::stringstream empty;
+  EXPECT_FALSE(load_trials_csv(empty, def).has_value());
+}
+
+TEST(Report, ParseConfigurationTypesValues) {
+  const CaseStudyDef def = synthetic_study();
+  const LearningConfiguration c =
+      parse_configuration(def.space, "mode=b, x=2");
+  EXPECT_EQ(c.get_categorical("mode"), "b");
+  EXPECT_EQ(c.get_integer("x"), 2);
+  EXPECT_THROW(parse_configuration(def.space, "garbage"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace darl::core

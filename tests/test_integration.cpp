@@ -1,0 +1,144 @@
+// End-to-end integration: the methodology applied to the real airdrop case
+// study at a tiny training budget, exercising env -> algorithm -> backend
+// -> study -> ranking -> report as one pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "darl/core/airdrop_study.hpp"
+#include "darl/core/ranking.hpp"
+
+namespace darl::core {
+namespace {
+
+AirdropStudyOptions tiny_options() {
+  AirdropStudyOptions opts;
+  opts.total_timesteps = 1024;
+  opts.seeds_per_trial = 1;
+  opts.eval_episodes = 4;
+  opts.train_batch_total = 256;
+  opts.steps_per_env = 64;
+  opts.base_env.altitude_max = 120.0;
+  return opts;
+}
+
+TEST(AirdropStudy, SpaceMatchesThePaper) {
+  const ParamSpace space = airdrop_param_space();
+  EXPECT_EQ(space.size(), 5u);
+  EXPECT_EQ(space.domain(kParamRkOrder).category(), ParamCategory::Environment);
+  EXPECT_EQ(space.domain(kParamFramework).category(), ParamCategory::Algorithm);
+  EXPECT_EQ(space.domain(kParamNodes).category(), ParamCategory::System);
+  // Full grid: 3 RK x 3 frameworks x 2 algorithms x 2 nodes x 2 cores.
+  EXPECT_EQ(space.grid_size(2), 72u);
+}
+
+TEST(AirdropStudy, Table1ConfigsAreValidAndMatchAnchors) {
+  const ParamSpace space = airdrop_param_space();
+  const auto configs = paper_table1_configs();
+  ASSERT_EQ(configs.size(), 18u);
+  for (const auto& c : configs) EXPECT_NO_THROW(space.validate(c));
+
+  // Anchor solutions from the paper's prose (1-based ids).
+  EXPECT_EQ(configs[1].get_categorical(kParamFramework), "RLlib");   // #2
+  EXPECT_EQ(configs[1].get_integer(kParamNodes), 2);
+  EXPECT_EQ(configs[1].get_integer(kParamRkOrder), 3);
+  EXPECT_EQ(configs[10].get_categorical(kParamFramework), "TF-Agents");  // #11
+  EXPECT_EQ(configs[10].get_integer(kParamNodes), 1);
+  EXPECT_EQ(configs[15].get_categorical(kParamFramework), "StableBaselines");  // #16
+  EXPECT_EQ(configs[15].get_integer(kParamRkOrder), 8);
+  EXPECT_EQ(configs[6].get_integer(kParamNodes), 1);  // #7 vs #8: node count
+  EXPECT_EQ(configs[7].get_integer(kParamNodes), 2);
+  EXPECT_EQ(configs[6].get_integer(kParamRkOrder),
+            configs[7].get_integer(kParamRkOrder));
+}
+
+TEST(AirdropStudy, EvaluateProducesAllMetrics) {
+  const CaseStudyDef def = make_airdrop_case_study(tiny_options());
+  LearningConfiguration config;
+  config.set(kParamRkOrder, std::int64_t{3});
+  config.set(kParamFramework, std::string("TF-Agents"));
+  config.set(kParamAlgorithm, std::string("PPO"));
+  config.set(kParamNodes, std::int64_t{1});
+  config.set(kParamCores, std::int64_t{2});
+
+  const MetricValues m = def.evaluate(config, 1.0, 7);
+  EXPECT_TRUE(m.count("Reward"));
+  EXPECT_LT(m.at("Reward"), 0.0);  // landing scores are negative
+  EXPECT_GT(m.at("ComputationTime"), 0.0);
+  EXPECT_GT(m.at("PowerConsumption"), 0.0);
+  EXPECT_TRUE(m.count("TrainReward"));
+}
+
+TEST(AirdropStudy, MultiNodeRequestClampedForSingleNodeFrameworks) {
+  const CaseStudyDef def = make_airdrop_case_study(tiny_options());
+  LearningConfiguration config;
+  config.set(kParamRkOrder, std::int64_t{3});
+  config.set(kParamFramework, std::string("StableBaselines"));
+  config.set(kParamAlgorithm, std::string("PPO"));
+  config.set(kParamNodes, std::int64_t{2});  // SB cannot use 2 nodes
+  config.set(kParamCores, std::int64_t{2});
+  EXPECT_NO_THROW(def.evaluate(config, 1.0, 7));
+}
+
+TEST(AirdropStudy, SmallRandomSearchEndToEnd) {
+  const CaseStudyDef def = make_airdrop_case_study(tiny_options());
+  // Restrict to PPO configs (SAC at this tiny budget is slow) by running a
+  // fixed list of 3 representative configurations.
+  std::vector<LearningConfiguration> configs;
+  for (const char* fw : {"RLlib", "StableBaselines", "TF-Agents"}) {
+    LearningConfiguration c;
+    c.set(kParamRkOrder, std::int64_t{3});
+    c.set(kParamFramework, std::string(fw));
+    c.set(kParamAlgorithm, std::string("PPO"));
+    c.set(kParamNodes, std::int64_t{fw == std::string("RLlib") ? 2 : 1});
+    c.set(kParamCores, std::int64_t{2});
+    configs.push_back(c);
+  }
+  Study study(def, std::make_unique<FixedListSearch>(configs),
+              {.seed = 11, .log_progress = false});
+  study.run();
+  ASSERT_EQ(study.trials().size(), 3u);
+
+  // Ranking and reporting run over the real results.
+  const auto table = study.metric_table();
+  ParetoRanking ranking;
+  const auto ranked = ranking.rank(def.metrics, table);
+  EXPECT_EQ(ranked.size(), 3u);
+
+  std::vector<std::size_t> front;
+  const std::string plot = render_pareto_plot(
+      def, study.trials(), "Reward", "ComputationTime", "fig", &front);
+  EXPECT_FALSE(front.empty());
+  EXPECT_NE(plot.find("Reward"), std::string::npos);
+
+  const std::string txt = render_trial_table(def, study.trials());
+  EXPECT_NE(txt.find("RLlib"), std::string::npos);
+}
+
+TEST(AirdropStudy, CampaignCacheRoundTrip) {
+  // Miniature 2-trial campaign through the caching path.
+  const std::string path = "test_campaign_cache.csv";
+  std::remove(path.c_str());
+
+  const CaseStudyDef def = make_airdrop_case_study(tiny_options());
+  auto subset = paper_table1_configs();
+  subset.resize(2);
+  Study study(def, std::make_unique<FixedListSearch>(subset),
+              {.seed = 5, .log_progress = false});
+  study.run();
+  {
+    std::ofstream out(path);
+    write_trials_csv(out, def, study.trials());
+  }
+  std::ifstream in(path);
+  const auto loaded = load_trials_csv(in, def);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), 2u);
+  EXPECT_EQ((*loaded)[0].config.cache_key(), study.trials()[0].config.cache_key());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace darl::core

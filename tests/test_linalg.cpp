@@ -1,0 +1,127 @@
+// Unit tests for darl/linalg: vector kernels and the dense matrix.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "darl/common/error.hpp"
+#include "darl/common/rng.hpp"
+#include "darl/common/stats.hpp"
+#include "darl/linalg/matrix.hpp"
+#include "darl/linalg/vec.hpp"
+
+namespace darl {
+namespace {
+
+TEST(Vec, AxpyAddSub) {
+  Vec y{1.0, 2.0};
+  axpy(2.0, Vec{3.0, 4.0}, y);
+  EXPECT_DOUBLE_EQ(y[0], 7.0);
+  EXPECT_DOUBLE_EQ(y[1], 10.0);
+  EXPECT_THROW(axpy(1.0, Vec{1.0}, y), InvalidArgument);
+
+  const Vec s = add({1.0, 2.0}, {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s[1], 6.0);
+  const Vec d = sub({1.0, 2.0}, {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(d[0], -2.0);
+}
+
+TEST(Vec, DotNormScale) {
+  EXPECT_DOUBLE_EQ(dot({1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}), 32.0);
+  EXPECT_DOUBLE_EQ(norm2({3.0, 4.0}), 5.0);
+  EXPECT_DOUBLE_EQ(norm_inf({-7.0, 2.0}), 7.0);
+  EXPECT_DOUBLE_EQ(norm_inf({}), 0.0);
+  Vec x{1.0, -2.0};
+  scale(x, -2.0);
+  EXPECT_DOUBLE_EQ(x[0], -2.0);
+  EXPECT_DOUBLE_EQ(x[1], 4.0);
+  const Vec sc = scaled({1.0, 2.0}, 3.0);
+  EXPECT_DOUBLE_EQ(sc[1], 6.0);
+}
+
+TEST(Vec, HadamardClampFinite) {
+  const Vec h = hadamard({2.0, 3.0}, {4.0, -1.0});
+  EXPECT_DOUBLE_EQ(h[0], 8.0);
+  EXPECT_DOUBLE_EQ(h[1], -3.0);
+  const Vec c = clamped({-5.0, 0.5, 5.0}, -1.0, 1.0);
+  EXPECT_DOUBLE_EQ(c[0], -1.0);
+  EXPECT_DOUBLE_EQ(c[1], 0.5);
+  EXPECT_DOUBLE_EQ(c[2], 1.0);
+  EXPECT_TRUE(all_finite({1.0, 2.0}));
+  EXPECT_FALSE(all_finite({1.0, std::nan("")}));
+}
+
+TEST(Vec, RmsNormScaled) {
+  // sqrt(mean((x/s)^2)) with x = {3,4}, s = {1,2} -> sqrt((9+4)/2)
+  EXPECT_NEAR(rms_norm_scaled({3.0, 4.0}, {1.0, 2.0}), std::sqrt(6.5), 1e-14);
+  EXPECT_THROW(rms_norm_scaled({1.0}, {0.0}), InvalidArgument);
+  EXPECT_DOUBLE_EQ(rms_norm_scaled({}, {}), 0.0);
+}
+
+TEST(Matrix, MatvecAndTranspose) {
+  Matrix a(2, 3);
+  // [[1,2,3],[4,5,6]]
+  for (std::size_t r = 0; r < 2; ++r)
+    for (std::size_t c = 0; c < 3; ++c)
+      a(r, c) = static_cast<double>(r * 3 + c + 1);
+  const Vec y = a.matvec({1.0, 0.0, -1.0});
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+  const Vec z = a.matvec_t({1.0, 1.0});
+  EXPECT_DOUBLE_EQ(z[0], 5.0);
+  EXPECT_DOUBLE_EQ(z[1], 7.0);
+  EXPECT_DOUBLE_EQ(z[2], 9.0);
+  const Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+  EXPECT_THROW(a.matvec({1.0}), InvalidArgument);
+}
+
+TEST(Matrix, AddOuterAndAddScaled) {
+  Matrix a(2, 2, 1.0);
+  a.add_outer(2.0, {1.0, 0.0}, {3.0, 4.0});
+  EXPECT_DOUBLE_EQ(a(0, 0), 7.0);
+  EXPECT_DOUBLE_EQ(a(0, 1), 9.0);
+  EXPECT_DOUBLE_EQ(a(1, 0), 1.0);
+
+  Matrix b(2, 2, 0.5);
+  a.add_scaled(2.0, b);
+  EXPECT_DOUBLE_EQ(a(1, 1), 2.0);
+  Matrix wrong(3, 2);
+  EXPECT_THROW(a.add_scaled(1.0, wrong), InvalidArgument);
+}
+
+TEST(Matrix, MultiplyAgainstManual) {
+  Matrix a(2, 3), b(3, 2);
+  for (std::size_t i = 0; i < a.size(); ++i) a.data()[i] = static_cast<double>(i + 1);
+  for (std::size_t i = 0; i < b.size(); ++i) b.data()[i] = static_cast<double>(i);
+  const Matrix c = Matrix::multiply(a, b);
+  // a = [[1,2,3],[4,5,6]]; b = [[0,1],[2,3],[4,5]]
+  EXPECT_DOUBLE_EQ(c(0, 0), 16.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 34.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 49.0);
+  EXPECT_THROW(Matrix::multiply(a, a), InvalidArgument);
+}
+
+TEST(Matrix, BoundsCheckedAccess) {
+  Matrix a(2, 2);
+  EXPECT_THROW(a.at(2, 0), InvalidArgument);
+  EXPECT_THROW(a.at(0, 2), InvalidArgument);
+  a.at(1, 1) = 5.0;
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 5.0);
+  EXPECT_THROW(Matrix(0, 3), InvalidArgument);
+}
+
+TEST(Matrix, KaimingInitStatistics) {
+  Rng rng(3);
+  Matrix w(64, 256);
+  w.randomize_kaiming(rng, 1.0);
+  RunningStats s;
+  for (double v : w.data()) s.push(v);
+  EXPECT_NEAR(s.mean(), 0.0, 0.002);
+  EXPECT_NEAR(s.stddev(), 1.0 / 16.0, 0.002);  // gain/sqrt(cols) = 1/16
+}
+
+}  // namespace
+}  // namespace darl

@@ -1,0 +1,330 @@
+// Tests for the ODE substrate: tableau validity, adaptive error control,
+// empirical convergence orders (the property that makes the RK-order study
+// parameter meaningful) and cost accounting.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "darl/common/error.hpp"
+#include "darl/ode/event.hpp"
+#include "darl/ode/explicit_rk.hpp"
+#include "darl/ode/gbs.hpp"
+#include "darl/ode/integrator.hpp"
+#include "darl/ode/tableau.hpp"
+
+namespace darl::ode {
+namespace {
+
+// y' = y, y(0) = 1, y(t) = e^t.
+const Rhs kExp = [](double, const Vec& y, Vec& dydt) { dydt[0] = y[0]; };
+
+// Harmonic oscillator: y = (q, p), q' = p, p' = -q. Energy q^2+p^2 conserved.
+const Rhs kOsc = [](double, const Vec& y, Vec& dydt) {
+  dydt[0] = y[1];
+  dydt[1] = -y[0];
+};
+
+// Nonlinear scalar problem with known solution: y' = -2 t y^2, y(0)=1
+// => y(t) = 1/(1+t^2).
+const Rhs kRational = [](double t, const Vec& y, Vec& dydt) {
+  dydt[0] = -2.0 * t * y[0] * y[0];
+};
+
+TEST(Tableau, AllBuiltinsValidate) {
+  EXPECT_NO_THROW(rk4_classic().validate());
+  EXPECT_NO_THROW(bogacki_shampine23().validate());
+  EXPECT_NO_THROW(dormand_prince45().validate());
+  EXPECT_EQ(bogacki_shampine23().stages(), 4u);
+  EXPECT_EQ(dormand_prince45().stages(), 7u);
+  EXPECT_TRUE(dormand_prince45().fsal);
+}
+
+TEST(Tableau, ValidationCatchesBrokenRowSum) {
+  ButcherTableau t = rk4_classic();
+  t.a[1][0] = 0.3;  // breaks sum(a[1]) == c[1]
+  EXPECT_THROW(t.validate(), Error);
+}
+
+TEST(Tableau, ValidationCatchesBadWeights) {
+  ButcherTableau t = rk4_classic();
+  t.b[0] += 0.5;
+  EXPECT_THROW(t.validate(), Error);
+}
+
+TEST(FixedStepRk, Rk4FourthOrderConvergence) {
+  // Halving the step should cut the error by ~2^4.
+  double errors[2];
+  for (int k = 0; k < 2; ++k) {
+    FixedStepRk integ(rk4_classic(), k == 0 ? 20 : 40);
+    Vec y{1.0};
+    integ.integrate(kExp, 0.0, 2.0, y);
+    errors[k] = std::abs(y[0] - std::exp(2.0));
+  }
+  const double order = std::log2(errors[0] / errors[1]);
+  EXPECT_NEAR(order, 4.0, 0.3);
+}
+
+TEST(FixedStepRk, CountsRhsEvals) {
+  FixedStepRk integ(rk4_classic(), 10);
+  Vec y{1.0};
+  integ.integrate(kExp, 0.0, 1.0, y);
+  EXPECT_EQ(integ.stats().n_steps, 10u);
+  EXPECT_EQ(integ.stats().n_rhs_evals, 40u);  // 4 stages x 10 steps
+}
+
+class AdaptiveOrderTest : public ::testing::TestWithParam<RkOrder> {};
+
+TEST_P(AdaptiveOrderTest, MeetsToleranceOnNonlinearProblem) {
+  AdaptiveOptions opts;
+  opts.rtol = 1e-7;
+  opts.atol = 1e-9;
+  auto integ = make_integrator(GetParam(), opts);
+  Vec y{1.0};
+  integ->integrate(kRational, 0.0, 3.0, y);
+  const double exact = 1.0 / (1.0 + 9.0);
+  // The controller bounds local error; allow two orders of slack globally.
+  EXPECT_NEAR(y[0], exact, 1e-5);
+  EXPECT_GT(integ->stats().n_rhs_evals, 0u);
+}
+
+TEST_P(AdaptiveOrderTest, EnergyNearlyConservedOnOscillator) {
+  AdaptiveOptions opts;
+  opts.rtol = 1e-8;
+  opts.atol = 1e-10;
+  auto integ = make_integrator(GetParam(), opts);
+  Vec y{1.0, 0.0};
+  integ->integrate(kOsc, 0.0, 20.0, y);
+  EXPECT_NEAR(y[0] * y[0] + y[1] * y[1], 1.0, 1e-5);
+  EXPECT_NEAR(y[0], std::cos(20.0), 1e-5);
+}
+
+TEST_P(AdaptiveOrderTest, ZeroSpanIsNoOp) {
+  auto integ = make_integrator(GetParam());
+  Vec y{1.0};
+  integ->integrate(kExp, 1.0, 1.0, y);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_EQ(integ->stats().n_rhs_evals, 0u);
+}
+
+TEST_P(AdaptiveOrderTest, RejectsBackwardInterval) {
+  auto integ = make_integrator(GetParam());
+  Vec y{1.0};
+  EXPECT_THROW(integ->integrate(kExp, 1.0, 0.0, y), InvalidArgument);
+  Vec empty;
+  EXPECT_THROW(integ->integrate(kExp, 0.0, 1.0, empty), InvalidArgument);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrders, AdaptiveOrderTest,
+                         ::testing::Values(RkOrder::Order3, RkOrder::Order5,
+                                           RkOrder::Order8),
+                         [](const auto& gen_info) {
+                           return std::string(rk_order_name(gen_info.param));
+                         });
+
+TEST(Adaptive, TighterToleranceMoreWork) {
+  std::size_t evals[2];
+  for (int k = 0; k < 2; ++k) {
+    AdaptiveOptions opts;
+    opts.rtol = k == 0 ? 1e-3 : 1e-9;
+    opts.atol = opts.rtol * 1e-2;
+    ExplicitRk integ(dormand_prince45(), opts);
+    Vec y{1.0};
+    integ.integrate(kRational, 0.0, 5.0, y);
+    evals[k] = integ.stats().n_rhs_evals;
+  }
+  EXPECT_GT(evals[1], evals[0]);
+}
+
+TEST(Adaptive, EmpiricalOrderOfRk23) {
+  // Fixed-step behaviour extracted by forcing single steps over shrinking
+  // intervals: local error ~ h^(order+1) means global over fixed count of
+  // steps ~ h^order.
+  auto run = [](double h) {
+    AdaptiveOptions opts;
+    opts.rtol = 1e6;  // accept everything: pure fixed-step method
+    opts.atol = 1e6;
+    opts.h_initial = h;
+    opts.h_max = h;
+    ExplicitRk integ(bogacki_shampine23(), opts);
+    Vec y{1.0};
+    integ.integrate(kExp, 0.0, 1.0, y);  // 1/h equal steps
+    return std::abs(y[0] - std::exp(1.0));
+  };
+  const double e1 = run(0.1);
+  const double e2 = run(0.05);
+  EXPECT_NEAR(std::log2(e1 / e2), 3.0, 0.4);
+}
+
+TEST(Adaptive, EmpiricalOrderOfRk45) {
+  auto run = [](double h) {
+    AdaptiveOptions opts;
+    opts.rtol = 1e6;
+    opts.atol = 1e6;
+    opts.h_initial = h;
+    opts.h_max = h;
+    ExplicitRk integ(dormand_prince45(), opts);
+    Vec y{1.0};
+    integ.integrate(kExp, 0.0, 1.0, y);
+    return std::abs(y[0] - std::exp(1.0));
+  };
+  const double e1 = run(0.2);
+  const double e2 = run(0.1);
+  EXPECT_NEAR(std::log2(e1 / e2), 5.0, 0.5);
+}
+
+TEST(Gbs, EmpiricalOrderIsEight) {
+  auto run = [](double h) {
+    AdaptiveOptions opts;
+    opts.rtol = 1e6;
+    opts.atol = 1e6;
+    opts.h_initial = h;
+    opts.h_max = h;
+    GbsExtrapolation integ(4, opts);
+    Vec y{1.0};
+    integ.integrate(kExp, 0.0, 1.0, y);
+    return std::abs(y[0] - std::exp(1.0));
+  };
+  const double e1 = run(0.5);
+  const double e2 = run(0.25);
+  EXPECT_NEAR(std::log2(e1 / e2), 8.0, 1.2);
+}
+
+TEST(Gbs, MuchMoreAccurateThanRk23AtSameStep) {
+  AdaptiveOptions opts;
+  opts.rtol = 1e6;
+  opts.atol = 1e6;
+  opts.h_initial = 0.25;
+  opts.h_max = 0.25;
+
+  ExplicitRk rk23(bogacki_shampine23(), opts);
+  GbsExtrapolation gbs(4, opts);
+  Vec y1{1.0}, y2{1.0};
+  rk23.integrate(kRational, 0.0, 2.0, y1);
+  gbs.integrate(kRational, 0.0, 2.0, y2);
+  const double exact = 1.0 / 5.0;
+  EXPECT_LT(std::abs(y2[0] - exact), std::abs(y1[0] - exact) / 100.0);
+}
+
+TEST(Gbs, CostsMoreEvalsPerStepThanRk) {
+  AdaptiveOptions opts;
+  opts.rtol = 1e6;
+  opts.atol = 1e6;
+  opts.h_initial = 1.0;
+  opts.h_max = 1.0;
+
+  ExplicitRk rk23(bogacki_shampine23(), opts);
+  GbsExtrapolation gbs(4, opts);
+  Vec y1{1.0}, y2{1.0};
+  rk23.integrate(kExp, 0.0, 1.0, y1);
+  gbs.integrate(kExp, 0.0, 1.0, y2);
+  // Single step each: BS23 = 4 evals; GBS(k=4) midpoint transfers cost
+  // n_j + 1 evals (initial derivative, n_j - 1 interior, smoothing), so
+  // 3 + 5 + 7 + 9 = 24.
+  EXPECT_EQ(rk23.stats().n_rhs_evals, 4u);
+  EXPECT_EQ(gbs.stats().n_rhs_evals, 24u);
+}
+
+TEST(Adaptive, FsalSavesEvaluations) {
+  AdaptiveOptions opts;
+  opts.rtol = 1e-6;
+  opts.atol = 1e-8;
+  ExplicitRk integ(dormand_prince45(), opts);
+  Vec y{1.0};
+  integ.integrate(kExp, 0.0, 2.0, y);
+  const auto& s = integ.stats();
+  // Without FSAL every step costs 7 evals; with FSAL all accepted steps
+  // after the first cost 6.
+  EXPECT_LT(s.n_rhs_evals, 7 * (s.n_steps + s.n_rejected));
+}
+
+TEST(Adaptive, StepLimitEnforced) {
+  AdaptiveOptions opts;
+  opts.max_steps = 3;
+  opts.h_max = 1e-4;
+  opts.h_initial = 1e-4;
+  ExplicitRk integ(dormand_prince45(), opts);
+  Vec y{1.0};
+  EXPECT_THROW(integ.integrate(kExp, 0.0, 1.0, y), Error);
+}
+
+TEST(Adaptive, RkOrderNames) {
+  EXPECT_STREQ(rk_order_name(RkOrder::Order3), "RK3");
+  EXPECT_STREQ(rk_order_name(RkOrder::Order5), "RK5");
+  EXPECT_STREQ(rk_order_name(RkOrder::Order8), "RK8");
+}
+
+TEST(Event, LocalizesLinearCrossing) {
+  // y' = -2 (constant fall): y = 5 - 2t crosses zero at t = 2.5.
+  const Rhs fall = [](double, const Vec&, Vec& dydt) { dydt[0] = -2.0; };
+  AdaptiveOptions opts;
+  ExplicitRk integ(dormand_prince45(), opts);
+  Vec y{5.0};
+  const EventResult ev = integrate_with_event(
+      integ, fall, 0.0, 10.0, y, [](double, const Vec& s) { return s[0]; },
+      1e-6);
+  EXPECT_TRUE(ev.triggered);
+  EXPECT_NEAR(ev.t_end, 2.5, 1e-5);
+  EXPECT_NEAR(y[0], 0.0, 1e-4);
+}
+
+TEST(Event, NoCrossingRunsToTheEnd) {
+  const Rhs rise = [](double, const Vec&, Vec& dydt) { dydt[0] = 1.0; };
+  AdaptiveOptions opts;
+  ExplicitRk integ(dormand_prince45(), opts);
+  Vec y{1.0};
+  const EventResult ev = integrate_with_event(
+      integ, rise, 0.0, 3.0, y, [](double, const Vec& s) { return s[0]; });
+  EXPECT_FALSE(ev.triggered);
+  EXPECT_DOUBLE_EQ(ev.t_end, 3.0);
+  EXPECT_NEAR(y[0], 4.0, 1e-9);
+}
+
+TEST(Event, ImmediateWhenAlreadyPast) {
+  const Rhs fall = [](double, const Vec&, Vec& dydt) { dydt[0] = -1.0; };
+  AdaptiveOptions opts;
+  ExplicitRk integ(dormand_prince45(), opts);
+  Vec y{-1.0};
+  const EventResult ev = integrate_with_event(
+      integ, fall, 2.0, 5.0, y, [](double, const Vec& s) { return s[0]; });
+  EXPECT_TRUE(ev.triggered);
+  EXPECT_DOUBLE_EQ(ev.t_end, 2.0);
+  EXPECT_DOUBLE_EQ(y[0], -1.0);  // state untouched
+}
+
+TEST(Event, NonlinearCrossingOnOscillator) {
+  // cos(t) crosses zero at pi/2.
+  AdaptiveOptions opts;
+  opts.rtol = 1e-10;
+  opts.atol = 1e-12;
+  ExplicitRk integ(dormand_prince45(), opts);
+  Vec y{1.0, 0.0};
+  const EventResult ev = integrate_with_event(
+      integ, kOsc, 0.0, 3.0, y, [](double, const Vec& s) { return s[0]; },
+      1e-6);
+  EXPECT_TRUE(ev.triggered);
+  EXPECT_NEAR(ev.t_end, std::numbers::pi / 2, 1e-4);
+}
+
+TEST(Event, ValidatesArguments) {
+  AdaptiveOptions opts;
+  ExplicitRk integ(dormand_prince45(), opts);
+  Vec y{1.0};
+  EXPECT_THROW(integrate_with_event(integ, kExp, 1.0, 0.0, y,
+                                    [](double, const Vec&) { return 1.0; }),
+               InvalidArgument);
+  EXPECT_THROW(integrate_with_event(integ, kExp, 0.0, 1.0, y,
+                                    [](double, const Vec&) { return 1.0; },
+                                    0.0),
+               InvalidArgument);
+}
+
+TEST(Factory, ProducesExpectedOrders) {
+  EXPECT_EQ(make_integrator(RkOrder::Order3)->order(), 3);
+  EXPECT_EQ(make_integrator(RkOrder::Order5)->order(), 5);
+  EXPECT_EQ(make_integrator(RkOrder::Order8)->order(), 8);
+}
+
+}  // namespace
+}  // namespace darl::ode

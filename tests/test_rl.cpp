@@ -1,0 +1,556 @@
+// Tests for the RL substrate: GAE closed forms, replay-buffer semantics,
+// PPO/SAC construction, actor snapshots, and evaluation. Learning-quality
+// tests (does it actually learn) live in test_rl_learning.cpp.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "darl/common/error.hpp"
+#include "darl/env/cartpole.hpp"
+#include "darl/env/pendulum.hpp"
+#include "darl/rl/checkpoint.hpp"
+#include "darl/rl/evaluate.hpp"
+#include "darl/rl/factory.hpp"
+#include "darl/rl/gae.hpp"
+#include "darl/rl/impala.hpp"
+#include "darl/rl/prioritized_replay.hpp"
+#include "darl/rl/replay_buffer.hpp"
+
+namespace darl::rl {
+namespace {
+
+Transition make_tr(double reward, bool terminated, bool truncated = false) {
+  Transition t;
+  t.obs = {0.0};
+  t.action = {0.0};
+  t.next_obs = {0.0};
+  t.reward = reward;
+  t.terminated = terminated;
+  t.truncated = truncated;
+  return t;
+}
+
+TEST(Gae, SingleTerminalStepIsTdError) {
+  const std::vector<Transition> stream{make_tr(2.0, true)};
+  const auto r = compute_gae(stream, {0.5}, {99.0}, 0.9, 0.8);
+  // terminal: next value ignored; delta = 2.0 - 0.5.
+  EXPECT_NEAR(r.advantages[0], 1.5, 1e-12);
+  EXPECT_NEAR(r.returns[0], 2.0, 1e-12);
+}
+
+TEST(Gae, BootstrapsTruncatedEpisodes) {
+  const std::vector<Transition> stream{make_tr(1.0, false, true)};
+  const auto r = compute_gae(stream, {0.5}, {2.0}, 0.5, 0.9);
+  // delta = 1 + 0.5*2 - 0.5 = 1.5
+  EXPECT_NEAR(r.advantages[0], 1.5, 1e-12);
+}
+
+TEST(Gae, LambdaOneGivesDiscountedMonteCarloAdvantage) {
+  // Two-step episode, gamma=0.5, lambda=1: A_0 = r0 + g r1 - V(s0).
+  std::vector<Transition> stream{make_tr(1.0, false), make_tr(2.0, true)};
+  const std::vector<double> values{0.3, 0.7};
+  const auto r = compute_gae(stream, values, {values[1], 0.0}, 0.5, 1.0);
+  EXPECT_NEAR(r.advantages[0], 1.0 + 0.5 * 2.0 - 0.3, 1e-12);
+  EXPECT_NEAR(r.advantages[1], 2.0 - 0.7, 1e-12);
+  EXPECT_NEAR(r.returns[0], r.advantages[0] + 0.3, 1e-12);
+}
+
+TEST(Gae, LambdaZeroGivesOneStepTd) {
+  std::vector<Transition> stream{make_tr(1.0, false), make_tr(2.0, true)};
+  const std::vector<double> values{0.3, 0.7};
+  const auto r = compute_gae(stream, values, {0.7, 0.0}, 0.9, 0.0);
+  EXPECT_NEAR(r.advantages[0], 1.0 + 0.9 * 0.7 - 0.3, 1e-12);
+}
+
+TEST(Gae, ResetsAcrossEpisodeBoundaries) {
+  // Episode ends at index 0; advantage at 1 must not leak into 0's lambda
+  // accumulation.
+  std::vector<Transition> stream{make_tr(1.0, true), make_tr(5.0, true)};
+  const auto r = compute_gae(stream, {0.0, 0.0}, {0.0, 0.0}, 0.9, 0.9);
+  EXPECT_NEAR(r.advantages[0], 1.0, 1e-12);
+  EXPECT_NEAR(r.advantages[1], 5.0, 1e-12);
+}
+
+TEST(Gae, ValidatesInputs) {
+  std::vector<Transition> stream{make_tr(1.0, true)};
+  EXPECT_THROW(compute_gae(stream, {}, {0.0}, 0.9, 0.9), InvalidArgument);
+  EXPECT_THROW(compute_gae(stream, {0.0}, {0.0}, 1.5, 0.9), InvalidArgument);
+  EXPECT_THROW(compute_gae(stream, {0.0}, {0.0}, 0.9, -0.1), InvalidArgument);
+}
+
+TEST(Gae, NormalizeAdvantages) {
+  std::vector<double> adv{1.0, 2.0, 3.0, 4.0};
+  normalize_advantages(adv);
+  double mean = 0.0;
+  for (double a : adv) mean += a;
+  EXPECT_NEAR(mean, 0.0, 1e-12);
+  // No-ops:
+  std::vector<double> single{5.0};
+  normalize_advantages(single);
+  EXPECT_DOUBLE_EQ(single[0], 5.0);
+  std::vector<double> constant{2.0, 2.0, 2.0};
+  normalize_advantages(constant);
+  EXPECT_DOUBLE_EQ(constant[0], 2.0);
+}
+
+TEST(Vtrace, OnPolicyReducesToDiscountedReturns) {
+  // With log_ratio = 0 (behaviour == target), rho = c = 1 and
+  // vs_t = r_t + gamma * vs_{t+1} — the discounted return.
+  std::vector<Transition> stream{make_tr(1.0, false), make_tr(2.0, false),
+                                 make_tr(3.0, true)};
+  const std::vector<double> values{0.1, 0.2, 0.3};
+  const std::vector<double> boots{0.0, 0.0, 0.0};
+  const auto vt = compute_vtrace(stream, {0.0, 0.0, 0.0}, values, boots, 0.5,
+                                 1.0, 1.0);
+  EXPECT_NEAR(vt.vs[2], 3.0, 1e-12);
+  EXPECT_NEAR(vt.vs[1], 2.0 + 0.5 * 3.0, 1e-12);
+  EXPECT_NEAR(vt.vs[0], 1.0 + 0.5 * 3.5, 1e-12);
+  // pg advantage = r + gamma vs_{t+1} - V(s_t).
+  EXPECT_NEAR(vt.pg_adv[0], 1.0 + 0.5 * 3.5 - 0.1, 1e-12);
+  EXPECT_NEAR(vt.pg_adv[2], 3.0 - 0.3, 1e-12);
+  for (double r : vt.rho) EXPECT_DOUBLE_EQ(r, 1.0);
+}
+
+TEST(Vtrace, ClipsLargeImportanceWeights) {
+  std::vector<Transition> stream{make_tr(1.0, true)};
+  const auto vt = compute_vtrace(stream, {3.0 /* ratio e^3 */}, {0.0}, {0.0},
+                                 0.9, 1.0, 1.0);
+  EXPECT_DOUBLE_EQ(vt.rho[0], 1.0);
+  // Small ratios pass through unclipped.
+  const auto vt2 = compute_vtrace(stream, {-1.0}, {0.0}, {0.0}, 0.9, 1.0, 1.0);
+  EXPECT_NEAR(vt2.rho[0], std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(vt2.vs[0], std::exp(-1.0) * 1.0, 1e-12);
+}
+
+TEST(Vtrace, BootstrapsTruncationAndResetsTraces) {
+  // Truncated first episode bootstraps from next_obs; the trace must not
+  // leak across the boundary.
+  std::vector<Transition> stream{make_tr(1.0, false, true), make_tr(5.0, true)};
+  const std::vector<double> values{0.5, 0.0};
+  const std::vector<double> boots{2.0, 0.0};
+  const auto vt = compute_vtrace(stream, {0.0, 0.0}, values, boots, 0.5, 1.0,
+                                 1.0);
+  EXPECT_NEAR(vt.vs[0], 1.0 + 0.5 * 2.0, 1e-12);
+  EXPECT_NEAR(vt.vs[1], 5.0, 1e-12);
+}
+
+TEST(Vtrace, ValidatesInputs) {
+  std::vector<Transition> stream{make_tr(1.0, true)};
+  EXPECT_THROW(compute_vtrace(stream, {}, {0.0}, {0.0}, 0.9, 1.0, 1.0),
+               InvalidArgument);
+  EXPECT_THROW(compute_vtrace(stream, {0.0}, {0.0}, {0.0}, 2.0, 1.0, 1.0),
+               InvalidArgument);
+  EXPECT_THROW(compute_vtrace(stream, {0.0}, {0.0}, {0.0}, 0.9, 0.0, 1.0),
+               InvalidArgument);
+}
+
+TEST(Impala, BuildsActsAndTrains) {
+  AlgorithmSpec spec;
+  spec.kind = AlgoKind::IMPALA;
+  auto algo = make_algorithm(spec, 4, env::ActionSpace(env::DiscreteSpace(2)), 3);
+  EXPECT_EQ(algo->kind(), AlgoKind::IMPALA);
+  EXPECT_STREQ(algo_name(AlgoKind::IMPALA), "IMPALA");
+
+  auto actor = algo->make_actor();
+  Rng rng(1);
+  auto env = env::make_cartpole_factory(50)();
+  env->seed(1);
+  WorkerBatch batch;
+  Vec obs = env->reset();
+  for (int i = 0; i < 64; ++i) {
+    const ActOutput a = actor->act(obs, rng);
+    const env::StepResult r = env->step(a.action);
+    Transition t;
+    t.obs = obs;
+    t.action = a.action;
+    t.reward = r.reward;
+    t.next_obs = r.observation;
+    t.terminated = r.terminated;
+    t.truncated = r.truncated;
+    t.log_prob = a.log_prob;
+    batch.transitions.push_back(t);
+    obs = r.done() ? env->reset() : r.observation;
+  }
+  const Vec before = algo->policy_params();
+  const TrainStats stats = algo->train({batch});
+  EXPECT_EQ(stats.samples, 64u);
+  EXPECT_EQ(stats.gradient_steps, 1u);  // single-pass learner
+  EXPECT_GT(stats.train_cost_mflop, 0.0);
+  const Vec after = algo->policy_params();
+  bool changed = false;
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    if (before[i] != after[i]) changed = true;
+  }
+  EXPECT_TRUE(changed);
+}
+
+TEST(ReplayBuffer, RingOverwriteAndSampling) {
+  ReplayBuffer buf(3);
+  EXPECT_TRUE(buf.empty());
+  for (int i = 0; i < 5; ++i) buf.push(make_tr(static_cast<double>(i), false));
+  EXPECT_EQ(buf.size(), 3u);
+  EXPECT_EQ(buf.total_pushed(), 5u);
+  // Contents are {3, 4, 2} in slots; rewards seen must be from {2,3,4}.
+  Rng rng(1);
+  for (const Transition* t : buf.sample(50, rng)) {
+    EXPECT_GE(t->reward, 2.0);
+    EXPECT_LE(t->reward, 4.0);
+  }
+  EXPECT_THROW(buf.at(3), InvalidArgument);
+  EXPECT_THROW(ReplayBuffer(0), InvalidArgument);
+  ReplayBuffer empty(2);
+  EXPECT_THROW(empty.sample(1, rng), InvalidArgument);
+}
+
+TEST(SumTree, SetGetTotalAndMax) {
+  SumTree tree(5);
+  tree.set(0, 1.0);
+  tree.set(3, 4.0);
+  tree.set(4, 2.0);
+  EXPECT_DOUBLE_EQ(tree.get(3), 4.0);
+  EXPECT_DOUBLE_EQ(tree.total(), 7.0);
+  EXPECT_DOUBLE_EQ(tree.max_value(), 4.0);
+  tree.set(3, 0.5);
+  EXPECT_DOUBLE_EQ(tree.total(), 3.5);
+  EXPECT_THROW(tree.set(5, 1.0), InvalidArgument);
+  EXPECT_THROW(tree.set(0, -1.0), InvalidArgument);
+  EXPECT_THROW(SumTree(0), InvalidArgument);
+}
+
+TEST(SumTree, SamplePicksLeafByPrefix) {
+  SumTree tree(4);
+  tree.set(0, 1.0);  // [0, 1)
+  tree.set(1, 3.0);  // [1, 4)
+  tree.set(2, 0.0);  // empty
+  tree.set(3, 2.0);  // [4, 6)
+  EXPECT_EQ(tree.sample(0.5), 0u);
+  EXPECT_EQ(tree.sample(1.0), 1u);
+  EXPECT_EQ(tree.sample(3.9), 1u);
+  EXPECT_EQ(tree.sample(4.1), 3u);
+  EXPECT_EQ(tree.sample(5.999), 3u);
+  // Prefix at/above total clamps to the last positive leaf.
+  EXPECT_EQ(tree.sample(6.0), 3u);
+}
+
+TEST(SumTree, SamplingFrequenciesMatchWeights) {
+  SumTree tree(3);
+  tree.set(0, 1.0);
+  tree.set(1, 2.0);
+  tree.set(2, 7.0);
+  Rng rng(5);
+  std::vector<int> counts(3, 0);
+  for (int i = 0; i < 40000; ++i) {
+    ++counts[tree.sample(rng.uniform(0.0, tree.total()))];
+  }
+  EXPECT_NEAR(counts[0] / 40000.0, 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / 40000.0, 0.2, 0.015);
+  EXPECT_NEAR(counts[2] / 40000.0, 0.7, 0.02);
+}
+
+TEST(PrioritizedReplay, HighPriorityTransitionsSampledMoreOften) {
+  PrioritizedReplayBuffer buf(8, /*alpha=*/1.0);
+  for (int i = 0; i < 8; ++i) buf.push(make_tr(static_cast<double>(i), false));
+  // Give slot 3 a much larger priority than the rest.
+  std::vector<std::size_t> idx{0, 1, 2, 3, 4, 5, 6, 7};
+  std::vector<double> pri{0.1, 0.1, 0.1, 10.0, 0.1, 0.1, 0.1, 0.1};
+  buf.update_priorities(idx, pri);
+
+  Rng rng(6);
+  int hits = 0, draws = 0;
+  for (int round = 0; round < 200; ++round) {
+    const PrioritizedBatch b = buf.sample(8, 0.5, rng);
+    for (std::size_t i = 0; i < b.transitions.size(); ++i) {
+      ++draws;
+      if (b.indices[i] == 3) {
+        ++hits;
+        // Over-sampled transitions carry the smallest IS weights.
+        EXPECT_LE(b.weights[i], 1.0);
+      }
+    }
+  }
+  // p(slot 3) = 10.1/10.8-ish >> uniform 1/8.
+  EXPECT_GT(static_cast<double>(hits) / draws, 0.6);
+}
+
+TEST(PrioritizedReplay, WeightsNormalizedAndPushUsesMaxPriority) {
+  PrioritizedReplayBuffer buf(4, 0.6);
+  buf.push(make_tr(1.0, false));
+  buf.update_priorities({0}, {5.0});
+  buf.push(make_tr(2.0, false));  // inherits max priority (5.0)
+  EXPECT_DOUBLE_EQ(buf.priority(1), 5.0);
+
+  Rng rng(7);
+  const PrioritizedBatch b = buf.sample(16, 1.0, rng);
+  double max_w = 0.0;
+  for (double w : b.weights) {
+    EXPECT_GT(w, 0.0);
+    max_w = std::max(max_w, w);
+  }
+  EXPECT_DOUBLE_EQ(max_w, 1.0);
+  EXPECT_THROW(buf.update_priorities({9}, {1.0}), InvalidArgument);
+  EXPECT_THROW(buf.sample(4, 1.5, rng), InvalidArgument);
+}
+
+TEST(PrioritizedReplay, RingOverwriteKeepsTreeConsistent) {
+  PrioritizedReplayBuffer buf(3, 1.0);
+  for (int i = 0; i < 7; ++i) buf.push(make_tr(static_cast<double>(i), false));
+  EXPECT_EQ(buf.size(), 3u);
+  Rng rng(8);
+  const PrioritizedBatch b = buf.sample(30, 0.4, rng);
+  for (const Transition* t : b.transitions) {
+    EXPECT_GE(t->reward, 4.0);  // only the latest three survive
+  }
+}
+
+TEST(SacTrain, PrioritizedReplayPathRuns) {
+  AlgorithmSpec spec;
+  spec.kind = AlgoKind::SAC;
+  spec.sac.warmup_steps = 32;
+  spec.sac.batch_size = 16;
+  spec.sac.updates_per_step = 0.5;
+  spec.sac.prioritized_replay = true;
+  auto algo =
+      make_algorithm(spec, 3, env::ActionSpace(env::BoxSpace(1, -2.0, 2.0)), 19);
+  auto actor = algo->make_actor();
+
+  auto env = env::make_pendulum_factory(50)();
+  env->seed(4);
+  Rng rng(4);
+  WorkerBatch batch;
+  Vec obs = env->reset();
+  for (int i = 0; i < 96; ++i) {
+    const ActOutput a = actor->act(obs, rng);
+    const env::StepResult r = env->step(a.action);
+    Transition t;
+    t.obs = obs;
+    t.action = a.action;
+    t.reward = r.reward;
+    t.next_obs = r.observation;
+    t.terminated = r.terminated;
+    t.truncated = r.truncated;
+    batch.transitions.push_back(t);
+    obs = r.done() ? env->reset() : r.observation;
+  }
+  const TrainStats stats = algo->train({batch});
+  EXPECT_GT(stats.gradient_steps, 0u);
+  EXPECT_TRUE(std::isfinite(stats.value_loss));
+}
+
+TEST(Factory, BuildsPpoAndSac) {
+  AlgorithmSpec ppo_spec;
+  ppo_spec.kind = AlgoKind::PPO;
+  auto ppo = make_algorithm(ppo_spec, 4, env::ActionSpace(env::DiscreteSpace(2)), 1);
+  EXPECT_EQ(ppo->kind(), AlgoKind::PPO);
+
+  AlgorithmSpec sac_spec;
+  sac_spec.kind = AlgoKind::SAC;
+  auto sac = make_algorithm(sac_spec, 3, env::ActionSpace(env::BoxSpace(1, -2.0, 2.0)), 1);
+  EXPECT_EQ(sac->kind(), AlgoKind::SAC);
+
+  // SAC requires a continuous space.
+  EXPECT_THROW(
+      make_algorithm(sac_spec, 3, env::ActionSpace(env::DiscreteSpace(2)), 1),
+      InvalidArgument);
+  EXPECT_STREQ(algo_name(AlgoKind::PPO), "PPO");
+  EXPECT_STREQ(algo_name(AlgoKind::SAC), "SAC");
+}
+
+TEST(PpoActor, SnapshotRoundTripAndDeterminism) {
+  AlgorithmSpec spec;
+  spec.kind = AlgoKind::PPO;
+  auto algo = make_algorithm(spec, 4, env::ActionSpace(env::DiscreteSpace(3)), 7);
+  auto a1 = algo->make_actor();
+  auto a2 = algo->make_actor();
+  a2->set_params(algo->policy_params());
+
+  Rng r1(5), r2(5);
+  const Vec obs{0.1, 0.2, 0.3, 0.4};
+  const ActOutput o1 = a1->act(obs, r1);
+  const ActOutput o2 = a2->act(obs, r2);
+  EXPECT_EQ(o1.action[0], o2.action[0]);
+  EXPECT_DOUBLE_EQ(o1.log_prob, o2.log_prob);
+  EXPECT_LE(o1.log_prob, 0.0);
+  EXPECT_GT(a1->inference_cost_mflop(), 0.0);
+
+  const Vec greedy = a1->act_greedy(obs);
+  EXPECT_GE(greedy[0], 0.0);
+  EXPECT_LE(greedy[0], 2.0);
+  EXPECT_THROW(a1->set_params(Vec{1.0}), InvalidArgument);
+}
+
+TEST(PpoActor, ContinuousActionsClippedToBox) {
+  AlgorithmSpec spec;
+  spec.kind = AlgoKind::PPO;
+  auto algo =
+      make_algorithm(spec, 2, env::ActionSpace(env::BoxSpace(1, -0.5, 0.5)), 3);
+  auto actor = algo->make_actor();
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const ActOutput o = actor->act({0.0, 0.0}, rng);
+    EXPECT_GE(o.action[0], -0.5);
+    EXPECT_LE(o.action[0], 0.5);
+  }
+}
+
+TEST(SacActor, ActionsInsideBox) {
+  AlgorithmSpec spec;
+  spec.kind = AlgoKind::SAC;
+  auto algo =
+      make_algorithm(spec, 3, env::ActionSpace(env::BoxSpace(1, -2.0, 2.0)), 3);
+  auto actor = algo->make_actor();
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const ActOutput o = actor->act({0.1, 0.2, 0.3}, rng);
+    EXPECT_GT(o.action[0], -2.0);
+    EXPECT_LT(o.action[0], 2.0);
+  }
+  const Vec g = actor->act_greedy({0.1, 0.2, 0.3});
+  EXPECT_GE(g[0], -2.0);
+  EXPECT_LE(g[0], 2.0);
+}
+
+TEST(PpoTrain, RunsAndReportsStats) {
+  AlgorithmSpec spec;
+  spec.kind = AlgoKind::PPO;
+  spec.ppo.epochs = 2;
+  spec.ppo.minibatch_size = 16;
+  auto algo = make_algorithm(spec, 4, env::ActionSpace(env::DiscreteSpace(2)), 11);
+  auto actor = algo->make_actor();
+
+  // Collect a batch from CartPole.
+  auto env = env::make_cartpole_factory(50)();
+  env->seed(1);
+  Rng rng(1);
+  WorkerBatch batch;
+  batch.worker_id = 0;
+  Vec obs = env->reset();
+  for (int i = 0; i < 128; ++i) {
+    const ActOutput a = actor->act(obs, rng);
+    const env::StepResult r = env->step(a.action);
+    Transition t;
+    t.obs = obs;
+    t.action = a.action;
+    t.reward = r.reward;
+    t.next_obs = r.observation;
+    t.terminated = r.terminated;
+    t.truncated = r.truncated;
+    t.log_prob = a.log_prob;
+    batch.transitions.push_back(t);
+    obs = r.done() ? env->reset() : r.observation;
+  }
+
+  const TrainStats stats = algo->train({batch});
+  EXPECT_EQ(stats.samples, 128u);
+  EXPECT_GT(stats.gradient_steps, 0u);
+  EXPECT_GT(stats.train_cost_mflop, 0.0);
+  EXPECT_GT(stats.entropy, 0.0);
+  EXPECT_TRUE(std::isfinite(stats.policy_loss));
+  EXPECT_TRUE(std::isfinite(stats.value_loss));
+
+  // Empty train is a no-op.
+  const TrainStats none = algo->train({});
+  EXPECT_EQ(none.samples, 0u);
+}
+
+TEST(SacTrain, WarmupThenUpdates) {
+  AlgorithmSpec spec;
+  spec.kind = AlgoKind::SAC;
+  spec.sac.warmup_steps = 32;
+  spec.sac.batch_size = 16;
+  spec.sac.updates_per_step = 0.5;
+  auto algo =
+      make_algorithm(spec, 3, env::ActionSpace(env::BoxSpace(1, -2.0, 2.0)), 13);
+  auto actor = algo->make_actor();
+
+  auto env = env::make_pendulum_factory(50)();
+  env->seed(2);
+  Rng rng(3);
+  auto collect = [&](std::size_t n) {
+    WorkerBatch batch;
+    Vec obs = env->reset();
+    for (std::size_t i = 0; i < n; ++i) {
+      const ActOutput a = actor->act(obs, rng);
+      const env::StepResult r = env->step(a.action);
+      Transition t;
+      t.obs = obs;
+      t.action = a.action;
+      t.reward = r.reward;
+      t.next_obs = r.observation;
+      t.terminated = r.terminated;
+      t.truncated = r.truncated;
+      batch.transitions.push_back(t);
+      obs = r.done() ? env->reset() : r.observation;
+    }
+    return batch;
+  };
+
+  // Below warmup: samples recorded, no gradient steps.
+  const TrainStats s1 = algo->train({collect(16)});
+  EXPECT_EQ(s1.gradient_steps, 0u);
+  // Past warmup: ~updates_per_step * pushed updates.
+  const TrainStats s2 = algo->train({collect(64)});
+  EXPECT_GT(s2.gradient_steps, 0u);
+  EXPECT_GT(s2.train_cost_mflop, 0.0);
+}
+
+TEST(Checkpoint, RoundTripPreservesPolicyBehaviour) {
+  AlgorithmSpec spec;
+  spec.kind = AlgoKind::PPO;
+  auto algo = make_algorithm(spec, 4, env::ActionSpace(env::DiscreteSpace(2)), 31);
+
+  Checkpoint ck;
+  ck.kind = AlgoKind::PPO;
+  ck.obs_dim = 4;
+  ck.action_dim = 1;
+  ck.params = algo->policy_params();
+
+  std::stringstream buf;
+  save_checkpoint(buf, ck);
+  const Checkpoint loaded = load_checkpoint(buf);
+  EXPECT_EQ(loaded.kind, AlgoKind::PPO);
+  EXPECT_EQ(loaded.obs_dim, 4u);
+  ASSERT_EQ(loaded.params.size(), ck.params.size());
+
+  // The restored parameters drive an identical policy.
+  auto a1 = algo->make_actor();
+  auto a2 = algo->make_actor();
+  a2->set_params(loaded.params);
+  const Vec obs{0.1, -0.2, 0.3, 0.4};
+  EXPECT_EQ(a1->act_greedy(obs)[0], a2->act_greedy(obs)[0]);
+  for (std::size_t i = 0; i < ck.params.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ck.params[i], loaded.params[i]);
+  }
+}
+
+TEST(Checkpoint, RejectsMalformedStreams) {
+  std::stringstream empty;
+  EXPECT_THROW(load_checkpoint(empty), Error);
+  std::stringstream bad_magic("not-a-checkpoint\nPPO 1 1 0\n");
+  EXPECT_THROW(load_checkpoint(bad_magic), Error);
+  std::stringstream bad_algo("darl-checkpoint-v1\nDQN 1 1 0\n");
+  EXPECT_THROW(load_checkpoint(bad_algo), Error);
+  std::stringstream truncated("darl-checkpoint-v1\nPPO 1 1 3\n1.0\n2.0\n");
+  EXPECT_THROW(load_checkpoint(truncated), Error);
+  EXPECT_THROW(load_checkpoint_file("/nonexistent/dir/x.ckpt"), Error);
+}
+
+TEST(Evaluate, RunsEpisodesAndAggregates) {
+  AlgorithmSpec spec;
+  spec.kind = AlgoKind::PPO;
+  auto algo = make_algorithm(spec, 4, env::ActionSpace(env::DiscreteSpace(2)), 17);
+  auto actor = algo->make_actor();
+  auto env = env::make_cartpole_factory(30)();
+  env->seed(5);
+  Rng rng(5);
+  const EvalResult r = evaluate_policy(*actor, *env, 5, rng);
+  EXPECT_EQ(r.episodes, 5u);
+  EXPECT_GT(r.mean_length, 0.0);
+  EXPECT_GT(r.mean_total_reward, 0.0);  // CartPole rewards are positive
+  EXPECT_GT(r.inferences, 0u);
+  EXPECT_THROW(evaluate_policy(*actor, *env, 0, rng), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace darl::rl

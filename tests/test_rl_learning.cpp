@@ -1,0 +1,130 @@
+// Learning-quality tests: the algorithms must actually improve policies.
+// Budgets are kept small; thresholds are lenient but meaningful (clearly
+// above random-policy performance).
+
+#include <gtest/gtest.h>
+
+#include "darl/common/log.hpp"
+#include "darl/common/rng.hpp"
+#include "darl/env/cartpole.hpp"
+#include "darl/env/gridworld.hpp"
+#include "darl/env/pendulum.hpp"
+#include "darl/rl/evaluate.hpp"
+#include "darl/rl/factory.hpp"
+
+namespace darl::rl {
+namespace {
+
+/// Single-worker collect loop feeding an algorithm, mirroring what the
+/// framework backends do (without the cluster accounting).
+double train_and_eval(Algorithm& algo, const env::EnvFactory& factory,
+                      std::size_t iterations, std::size_t steps_per_iter,
+                      std::size_t eval_episodes, std::uint64_t seed) {
+  auto env = factory();
+  env->seed(seed);
+  auto actor = algo.make_actor();
+  Rng rng(seed);
+  Vec obs = env->reset();
+
+  for (std::size_t it = 0; it < iterations; ++it) {
+    actor->set_params(algo.policy_params());
+    WorkerBatch batch;
+    for (std::size_t i = 0; i < steps_per_iter; ++i) {
+      const ActOutput a = actor->act(obs, rng);
+      const env::StepResult r = env->step(a.action);
+      Transition t;
+      t.obs = obs;
+      t.action = a.action;
+      t.reward = r.reward;
+      t.next_obs = r.observation;
+      t.terminated = r.terminated;
+      t.truncated = r.truncated;
+      t.log_prob = a.log_prob;
+      batch.transitions.push_back(std::move(t));
+      obs = r.done() ? env->reset() : r.observation;
+    }
+    algo.train({batch});
+  }
+
+  auto eval_env = factory();
+  eval_env->seed(seed + 1000);
+  auto eval_actor = algo.make_actor();
+  eval_actor->set_params(algo.policy_params());
+  Rng eval_rng(seed + 1);
+  return evaluate_policy(*eval_actor, *eval_env, eval_episodes, eval_rng,
+                         /*stochastic=*/false)
+      .mean_total_reward;
+}
+
+TEST(PpoLearning, SolvesMostOfCartPole) {
+  AlgorithmSpec spec;
+  spec.kind = AlgoKind::PPO;
+  spec.ppo.epochs = 6;
+  spec.ppo.minibatch_size = 64;
+  auto algo =
+      make_algorithm(spec, 4, env::ActionSpace(env::DiscreteSpace(2)), 21);
+
+  const auto factory = env::make_cartpole_factory(200);
+  const double before = train_and_eval(*algo, factory, 0, 1, 10, 33);
+  const double after = train_and_eval(*algo, factory, 12, 1024, 10, 33);
+  // Random CartPole policies survive ~20 steps; a trained one should hold
+  // the pole several times longer.
+  EXPECT_GT(after, 120.0) << "before-training baseline was " << before;
+  EXPECT_GT(after, before + 50.0);
+}
+
+TEST(PpoLearning, FindsTheShortestSafeGridWorldPath) {
+  // The small maze has a 3-step optimal path (right, right, right) that
+  // passes next to a pit; the greedy policy after training must reach the
+  // goal with the optimal return.
+  AlgorithmSpec spec;
+  spec.kind = AlgoKind::PPO;
+  spec.ppo.epochs = 6;
+  spec.ppo.minibatch_size = 64;
+  spec.ppo.entropy_coef = 0.01;
+  auto algo =
+      make_algorithm(spec, 16, env::ActionSpace(env::DiscreteSpace(4)), 61);
+
+  const auto factory = env::make_gridworld_factory();
+  const double after = train_and_eval(*algo, factory, 24, 256, 5, 71);
+  // Optimal return: 1.0 - 2 * 0.01 = 0.98 (greedy eval, deterministic env).
+  EXPECT_NEAR(after, 0.98, 0.05);
+}
+
+TEST(ImpalaLearning, ImprovesCartPole) {
+  AlgorithmSpec spec;
+  spec.kind = AlgoKind::IMPALA;
+  spec.impala.learning_rate = 1e-3;  // single-pass learner: larger steps
+  auto algo =
+      make_algorithm(spec, 4, env::ActionSpace(env::DiscreteSpace(2)), 29);
+
+  const auto factory = env::make_cartpole_factory(200);
+  const double before = train_and_eval(*algo, factory, 0, 1, 10, 51);
+  // Small rollouts, many updates — the IMPALA cadence.
+  const double after = train_and_eval(*algo, factory, 120, 256, 10, 51);
+  EXPECT_GT(after, 100.0) << "before-training baseline was " << before;
+  EXPECT_GT(after, before + 40.0);
+}
+
+TEST(SacLearning, ImprovesPendulumSwingUp) {
+  AlgorithmSpec spec;
+  spec.kind = AlgoKind::SAC;
+  spec.sac.warmup_steps = 256;
+  spec.sac.batch_size = 64;
+  spec.sac.updates_per_step = 1.0;
+  spec.sac.learning_rate = 1e-3;
+  spec.sac.tau = 0.01;
+  auto algo = make_algorithm(
+      spec, 3, env::ActionSpace(env::BoxSpace(1, -2.0, 2.0)), 23);
+
+  const auto factory = env::make_pendulum_factory(200);
+  const double before = train_and_eval(*algo, factory, 0, 1, 10, 41);
+  // 24k steps: SAC reaches ~-180 (solved) on this setup; -400 leaves seed
+  // margin while staying far above the ~-1200 random baseline.
+  const double after = train_and_eval(*algo, factory, 48, 512, 10, 41);
+  EXPECT_GT(after, -400.0) << "before-training baseline was " << before;
+  EXPECT_GT(after, before + 500.0);
+}
+
+}  // namespace
+}  // namespace darl::rl

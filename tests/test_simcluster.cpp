@@ -1,0 +1,193 @@
+// Tests for the simulated cluster time/energy model: exact phase
+// arithmetic, power-curve integration, link modelling and validation.
+
+#include <gtest/gtest.h>
+
+#include "darl/common/error.hpp"
+#include "darl/simcluster/cluster.hpp"
+
+namespace darl::sim {
+namespace {
+
+ClusterSpec two_nodes() { return ClusterSpec::paper_testbed(2, 4); }
+
+TEST(ClusterSpec, PaperTestbedShape) {
+  const ClusterSpec s = two_nodes();
+  ASSERT_EQ(s.nodes.size(), 2u);
+  EXPECT_EQ(s.nodes[0].cores, 4u);
+  EXPECT_EQ(s.nodes[1].name, "node1");
+  EXPECT_DOUBLE_EQ(s.link.bandwidth_bytes_per_s, 125e6);  // 1 Gbps
+  EXPECT_THROW(ClusterSpec::paper_testbed(0, 4), InvalidArgument);
+  EXPECT_THROW(ClusterSpec::paper_testbed(1, 0), InvalidArgument);
+}
+
+TEST(SimCluster, ParallelPhaseLastsAsLongAsSlowestWorker) {
+  SimCluster c(two_nodes());
+  const double d = c.run_parallel_phase({{0, 2.0}, {0, 5.0}, {1, 3.0}});
+  EXPECT_DOUBLE_EQ(d, 5.0);
+  EXPECT_DOUBLE_EQ(c.elapsed_seconds(), 5.0);
+  EXPECT_DOUBLE_EQ(c.busy_core_seconds(0), 7.0);
+  EXPECT_DOUBLE_EQ(c.busy_core_seconds(1), 3.0);
+}
+
+TEST(SimCluster, ParallelPhaseRespectsCoreCounts) {
+  SimCluster c(ClusterSpec::paper_testbed(1, 2));
+  EXPECT_THROW(c.run_parallel_phase({{0, 1.0}, {0, 1.0}, {0, 1.0}}),
+               InvalidArgument);
+  EXPECT_THROW(c.run_parallel_phase({{5, 1.0}}), InvalidArgument);
+  EXPECT_THROW(c.run_parallel_phase({}), InvalidArgument);
+  EXPECT_THROW(c.run_parallel_phase({{0, -1.0}}), InvalidArgument);
+}
+
+TEST(SimCluster, ComputePhaseScalesWithCoresAndEfficiency) {
+  SimCluster c(two_nodes());
+  const double d1 = c.run_compute(0, 8.0, 1);
+  EXPECT_DOUBLE_EQ(d1, 8.0);  // single core: efficiency ignored
+  const double d4 = c.run_compute(0, 8.0, 4, 0.5);
+  EXPECT_DOUBLE_EQ(d4, 4.0);  // 8 / (4 * 0.5)
+  EXPECT_DOUBLE_EQ(c.elapsed_seconds(), 12.0);
+  EXPECT_DOUBLE_EQ(c.busy_core_seconds(0), 16.0);
+  EXPECT_THROW(c.run_compute(0, 1.0, 5), InvalidArgument);
+  EXPECT_THROW(c.run_compute(0, 1.0, 1, 0.0), InvalidArgument);
+}
+
+TEST(SimCluster, TransferUsesLatencyPlusBandwidth) {
+  SimCluster c(two_nodes());
+  const double d = c.run_transfer(0, 1, 125e6);  // one second of payload
+  EXPECT_NEAR(d, 1.0 + c.spec().link.latency_s, 1e-12);
+  EXPECT_THROW(c.run_transfer(0, 0, 10.0), InvalidArgument);
+  EXPECT_THROW(c.run_transfer(0, 7, 10.0), InvalidArgument);
+}
+
+TEST(SimCluster, EnergyIntegratesIdleActiveAndNic) {
+  ClusterSpec spec = ClusterSpec::paper_testbed(2, 4);
+  spec.nodes[0].power = {10.0, 2.0};
+  spec.nodes[1].power = {10.0, 2.0};
+  spec.link.nic_watts = 3.0;
+  spec.link.latency_s = 0.0;
+  SimCluster c(spec);
+
+  c.run_parallel_phase({{0, 4.0}, {1, 2.0}});  // elapsed 4, busy 4+2
+  c.run_transfer(0, 1, 125e6);                 // elapsed +1, nic 1s
+
+  const double elapsed = c.elapsed_seconds();
+  EXPECT_DOUBLE_EQ(elapsed, 5.0);
+  // idle: 2 nodes * 10 W * 5 s = 100 J; active: (4+2) * 2 = 12 J;
+  // nic: 2 endpoints * 3 W * 1 s = 6 J.
+  EXPECT_NEAR(c.energy_joules(), 100.0 + 12.0 + 6.0, 1e-9);
+}
+
+TEST(SimCluster, IdlePowerScalesWithNodeCount) {
+  SimCluster one(ClusterSpec::paper_testbed(1, 4));
+  SimCluster two(ClusterSpec::paper_testbed(2, 4));
+  one.run_idle(100.0);
+  two.run_idle(100.0);
+  EXPECT_NEAR(two.energy_joules(), 2.0 * one.energy_joules(), 1e-9);
+}
+
+TEST(SimCluster, SecondsForMflop) {
+  ClusterSpec spec = ClusterSpec::paper_testbed(1, 4);
+  spec.nodes[0].core_mflop_per_s = 500.0;
+  SimCluster c(spec);
+  EXPECT_DOUBLE_EQ(c.seconds_for_mflop(0, 1000.0), 2.0);
+  EXPECT_THROW(c.seconds_for_mflop(0, -1.0), InvalidArgument);
+}
+
+TEST(SimCluster, RunIdleAdvancesClockOnly) {
+  SimCluster c(two_nodes());
+  c.run_idle(3.0);
+  EXPECT_DOUBLE_EQ(c.elapsed_seconds(), 3.0);
+  EXPECT_DOUBLE_EQ(c.busy_core_seconds(0), 0.0);
+  EXPECT_THROW(c.run_idle(-1.0), InvalidArgument);
+}
+
+class ClusterShapeTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(ClusterShapeTest, AccountingScalesWithShape) {
+  const auto [nodes, cores] = GetParam();
+  SimCluster c(ClusterSpec::paper_testbed(nodes, cores));
+  // Fill every core of every node for 10 seconds.
+  std::vector<SimCluster::WorkerLoad> loads;
+  for (std::size_t n = 0; n < nodes; ++n) {
+    for (std::size_t k = 0; k < cores; ++k) loads.push_back({n, 10.0});
+  }
+  c.run_parallel_phase(loads);
+  EXPECT_DOUBLE_EQ(c.elapsed_seconds(), 10.0);
+  double busy = 0.0;
+  for (std::size_t n = 0; n < nodes; ++n) busy += c.busy_core_seconds(n);
+  EXPECT_DOUBLE_EQ(busy, 10.0 * static_cast<double>(nodes * cores));
+  // Energy grows strictly with the node count at fixed duration.
+  const double expected =
+      static_cast<double>(nodes) *
+      (c.spec().nodes[0].power.idle_watts * 10.0 +
+       c.spec().nodes[0].power.active_watts_per_core * 10.0 *
+           static_cast<double>(cores));
+  EXPECT_NEAR(c.energy_joules(), expected, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, ClusterShapeTest,
+    ::testing::Values(std::pair<std::size_t, std::size_t>{1, 2},
+                      std::pair<std::size_t, std::size_t>{1, 4},
+                      std::pair<std::size_t, std::size_t>{2, 2},
+                      std::pair<std::size_t, std::size_t>{2, 4},
+                      std::pair<std::size_t, std::size_t>{4, 8}),
+    [](const auto& gen_info) {
+      return std::to_string(gen_info.param.first) + "x" +
+             std::to_string(gen_info.param.second);
+    });
+
+TEST(SimCluster, DvfsScalesThroughputLinearlyAndPowerCubically) {
+  ClusterSpec nominal = ClusterSpec::paper_testbed(1, 4);
+  ClusterSpec slow = nominal;
+  slow.nodes[0].frequency_scale = 0.5;
+
+  SimCluster a(nominal), b(slow);
+  // Same MFLOP work takes twice as long at half frequency.
+  EXPECT_DOUBLE_EQ(b.seconds_for_mflop(0, 1200.0),
+                   2.0 * a.seconds_for_mflop(0, 1200.0));
+
+  // Equal busy core-seconds: active energy falls by f^3 = 1/8.
+  ClusterSpec pure = nominal;
+  pure.nodes[0].power.idle_watts = 0.0;
+  pure.link.nic_watts = 0.0;
+  ClusterSpec pure_slow = pure;
+  pure_slow.nodes[0].frequency_scale = 0.5;
+  SimCluster c(pure), d(pure_slow);
+  c.run_parallel_phase({{0, 10.0}});
+  d.run_parallel_phase({{0, 10.0}});
+  EXPECT_NEAR(d.energy_joules(), c.energy_joules() / 8.0, 1e-9);
+
+  ClusterSpec bad = nominal;
+  bad.nodes[0].frequency_scale = 0.0;
+  EXPECT_THROW(SimCluster{bad}, InvalidArgument);
+}
+
+TEST(SimCluster, DvfsEnergyTimeTradeoffOnFixedWork) {
+  // Fixed MFLOP job: down-clocking lengthens it but cuts total active
+  // energy (idle zeroed to isolate the active term).
+  auto run = [](double f) {
+    ClusterSpec spec = ClusterSpec::paper_testbed(1, 1);
+    spec.nodes[0].power.idle_watts = 0.0;
+    spec.nodes[0].frequency_scale = f;
+    SimCluster c(spec);
+    c.run_compute(0, c.seconds_for_mflop(0, 12000.0), 1);
+    return std::pair{c.elapsed_seconds(), c.energy_joules()};
+  };
+  const auto [t_fast, e_fast] = run(1.0);
+  const auto [t_slow, e_slow] = run(0.5);
+  EXPECT_GT(t_slow, t_fast);
+  EXPECT_LT(e_slow, e_fast);  // f^3 power drop beats the 1/f time growth
+}
+
+TEST(SimCluster, RejectsDegenerateSpecs) {
+  ClusterSpec spec;
+  EXPECT_THROW(SimCluster{spec}, InvalidArgument);
+  spec = ClusterSpec::paper_testbed(1, 1);
+  spec.link.bandwidth_bytes_per_s = 0.0;
+  EXPECT_THROW(SimCluster{spec}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace darl::sim

@@ -1,0 +1,218 @@
+// darl_study — command-line front end for the methodology applied to the
+// airdrop case study.
+//
+//   darl_study [options]
+//
+//   --explorer {table1|random|grid|tpe|halving}   exploration stage (default table1)
+//   --trials N            trial budget for random/tpe (default 12)
+//   --timesteps N         training timesteps per trial (default 16384)
+//   --seeds N             training seeds averaged per trial (default 2)
+//   --seed N              study seed (default 42)
+//   --cache PATH          campaign CSV cache ("" disables; table1 only)
+//   --figure X,Y          extra Pareto plot over a metric pair (repeatable)
+//   --csv PATH            write the trial table as CSV
+//   --verbose             log trial progress
+//   --help
+//
+// Examples:
+//   darl_study                         # the paper's Table-I campaign
+//   darl_study --explorer random --trials 10
+//   darl_study --explorer tpe --trials 20 --timesteps 8192
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "darl/common/log.hpp"
+#include "darl/common/rng.hpp"
+#include "darl/core/airdrop_study.hpp"
+#include "darl/core/ranking.hpp"
+#include "darl/core/stability.hpp"
+#include "darl/core/tpe.hpp"
+
+namespace {
+
+using namespace darl;
+using namespace darl::core;
+
+struct CliOptions {
+  std::string explorer = "table1";
+  std::size_t trials = 12;
+  std::size_t timesteps = 16384;
+  std::size_t seeds_per_trial = 2;
+  std::uint64_t seed = 42;
+  std::string cache = "darl_table1_cache.csv";
+  std::vector<std::pair<std::string, std::string>> figures;
+  std::string csv_out;
+  std::string report_out;
+  bool verbose = false;
+  bool stability = false;
+};
+
+[[noreturn]] void usage(int code) {
+  std::printf(
+      "darl_study — decision-analysis campaigns on the airdrop case study\n"
+      "\n"
+      "  --explorer {table1|random|grid|tpe|halving}  (default table1)\n"
+      "  --trials N        trial budget for random/tpe       (default 12)\n"
+      "  --timesteps N     training timesteps per trial      (default 16384)\n"
+      "  --seeds N         training seeds averaged per trial (default 2)\n"
+      "  --seed N          study seed                        (default 42)\n"
+      "  --cache PATH      campaign cache (table1 only; \"\" disables)\n"
+      "  --figure X,Y      extra Pareto plot over metrics X and Y\n"
+      "  --csv PATH        write the trial table as CSV\n"
+      "  --stability       report Pareto-front robustness under noise\n"
+      "  --verbose         log per-trial progress\n");
+  std::exit(code);
+}
+
+CliOptions parse_args(int argc, char** argv) {
+  CliOptions opt;
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      usage(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (!std::strcmp(a, "--help") || !std::strcmp(a, "-h")) usage(0);
+    else if (!std::strcmp(a, "--explorer")) opt.explorer = need_value(i);
+    else if (!std::strcmp(a, "--trials")) opt.trials = std::strtoull(need_value(i), nullptr, 10);
+    else if (!std::strcmp(a, "--timesteps")) opt.timesteps = std::strtoull(need_value(i), nullptr, 10);
+    else if (!std::strcmp(a, "--seeds")) opt.seeds_per_trial = std::strtoull(need_value(i), nullptr, 10);
+    else if (!std::strcmp(a, "--seed")) opt.seed = std::strtoull(need_value(i), nullptr, 10);
+    else if (!std::strcmp(a, "--cache")) opt.cache = need_value(i);
+    else if (!std::strcmp(a, "--csv")) opt.csv_out = need_value(i);
+    else if (!std::strcmp(a, "--report")) opt.report_out = need_value(i);
+    else if (!std::strcmp(a, "--verbose")) opt.verbose = true;
+    else if (!std::strcmp(a, "--stability")) opt.stability = true;
+    else if (!std::strcmp(a, "--figure")) {
+      const std::string v = need_value(i);
+      const auto comma = v.find(',');
+      if (comma == std::string::npos) {
+        std::fprintf(stderr, "--figure needs METRIC_X,METRIC_Y\n");
+        usage(2);
+      }
+      opt.figures.emplace_back(v.substr(0, comma), v.substr(comma + 1));
+    } else {
+      std::fprintf(stderr, "unknown option '%s'\n", a);
+      usage(2);
+    }
+  }
+  if (opt.trials == 0 || opt.timesteps == 0 || opt.seeds_per_trial == 0) {
+    std::fprintf(stderr, "--trials/--timesteps/--seeds must be positive\n");
+    usage(2);
+  }
+  return opt;
+}
+
+std::unique_ptr<ExploratoryMethod> make_explorer(const CliOptions& opt,
+                                                 const CaseStudyDef& def) {
+  if (opt.explorer == "table1") {
+    return std::make_unique<FixedListSearch>(paper_table1_configs());
+  }
+  if (opt.explorer == "random") {
+    return std::make_unique<RandomSearch>(def.space, opt.trials, opt.seed);
+  }
+  if (opt.explorer == "grid") {
+    return std::make_unique<GridSearch>(def.space, 2);
+  }
+  if (opt.explorer == "tpe") {
+    TpeOptions tpe;
+    tpe.n_trials = opt.trials;
+    tpe.n_startup = std::max<std::size_t>(4, opt.trials / 4);
+    return std::make_unique<TpeSearch>(def.space, def.metrics.def("Reward"),
+                                       tpe, opt.seed);
+  }
+  if (opt.explorer == "halving") {
+    return std::make_unique<SuccessiveHalving>(
+        def.space, def.metrics.def("Reward"),
+        std::max<std::size_t>(4, opt.trials), 2.0, 0.25, opt.seed);
+  }
+  std::fprintf(stderr, "unknown explorer '%s'\n", opt.explorer.c_str());
+  usage(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions opt = parse_args(argc, argv);
+  if (opt.verbose) set_log_level(LogLevel::Info);
+
+  AirdropStudyOptions study_opts;
+  study_opts.total_timesteps = opt.timesteps;
+  study_opts.seeds_per_trial = opt.seeds_per_trial;
+  const CaseStudyDef def = make_airdrop_case_study(study_opts);
+
+  std::vector<TrialRecord> trials;
+  if (opt.explorer == "table1") {
+    trials = run_table1_campaign(study_opts, opt.cache, opt.seed);
+  } else {
+    Study study(def, make_explorer(opt, def),
+                {.seed = opt.seed, .log_progress = opt.verbose});
+    study.run();
+    trials = study.trials();
+  }
+
+  std::printf("%s\n", render_trial_table(def, trials).c_str());
+
+  // Default figures: the paper's three trade-offs.
+  auto figures = opt.figures;
+  if (figures.empty()) {
+    figures = {{"ComputationTime", "Reward"},
+               {"ComputationTime", "PowerConsumption"},
+               {"PowerConsumption", "Reward"}};
+  }
+  for (const auto& [x, y] : figures) {
+    std::vector<std::size_t> front;
+    std::printf("%s\n", render_pareto_plot(def, trials, x, y,
+                                           y + " vs " + x, &front)
+                            .c_str());
+    std::printf("  non-dominated:");
+    for (std::size_t id : front) std::printf(" #%zu", id + 1);
+    std::printf("\n\n");
+  }
+
+  if (opt.stability) {
+    std::vector<std::vector<double>> points;
+    for (const auto& t : trials) points.push_back(def.metrics.extract(t.metrics));
+    StabilityOptions sopts;
+    sopts.samples = 4000;
+    sopts.relative_noise = 0.03;
+    sopts.absolute_stddev = {0.04, 0.0, 0.0};  // measured reward seed noise
+    Rng rng(opt.seed);
+    const StabilityResult st = front_stability(points, def.metrics, sopts, rng);
+    std::printf("Pareto-front membership under metric noise:\n");
+    for (const auto& t : trials) {
+      std::printf("  #%-2zu %5.1f%%%s\n", t.id + 1, 100.0 * st.membership[t.id],
+                  st.membership[t.id] >= 0.5 ? "  <== robust" : "");
+    }
+    std::printf("\n");
+  }
+
+  if (!opt.report_out.empty()) {
+    std::ofstream out(opt.report_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", opt.report_out.c_str());
+      return 1;
+    }
+    out << write_markdown_report(def, trials);
+    std::printf("wrote %s\n", opt.report_out.c_str());
+  }
+
+  if (!opt.csv_out.empty()) {
+    std::ofstream out(opt.csv_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", opt.csv_out.c_str());
+      return 1;
+    }
+    write_trials_csv(out, def, trials);
+    std::printf("wrote %s\n", opt.csv_out.c_str());
+  }
+  return 0;
+}
