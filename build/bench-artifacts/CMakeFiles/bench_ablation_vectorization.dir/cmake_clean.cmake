@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_vectorization"
+  "../bench/bench_ablation_vectorization.pdb"
+  "CMakeFiles/bench_ablation_vectorization.dir/bench_ablation_vectorization.cpp.o"
+  "CMakeFiles/bench_ablation_vectorization.dir/bench_ablation_vectorization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_vectorization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_explorer_comparison"
+  "../bench/bench_explorer_comparison.pdb"
+  "CMakeFiles/bench_explorer_comparison.dir/bench_explorer_comparison.cpp.o"
+  "CMakeFiles/bench_explorer_comparison.dir/bench_explorer_comparison.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_explorer_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_extension_impala"
+  "../bench/bench_extension_impala.pdb"
+  "CMakeFiles/bench_extension_impala.dir/bench_extension_impala.cpp.o"
+  "CMakeFiles/bench_extension_impala.dir/bench_extension_impala.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_impala.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_reward_power"
+  "../bench/bench_fig6_reward_power.pdb"
+  "CMakeFiles/bench_fig6_reward_power.dir/bench_fig6_reward_power.cpp.o"
+  "CMakeFiles/bench_fig6_reward_power.dir/bench_fig6_reward_power.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_reward_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_env.cpp" "bench-artifacts/CMakeFiles/bench_micro_env.dir/bench_micro_env.cpp.o" "gcc" "bench-artifacts/CMakeFiles/bench_micro_env.dir/bench_micro_env.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/darl/core/CMakeFiles/darl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/darl/frameworks/CMakeFiles/darl_frameworks.dir/DependInfo.cmake"
+  "/root/repo/build/src/darl/simcluster/CMakeFiles/darl_simcluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/darl/rl/CMakeFiles/darl_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/darl/nn/CMakeFiles/darl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/darl/airdrop/CMakeFiles/darl_airdrop.dir/DependInfo.cmake"
+  "/root/repo/build/src/darl/env/CMakeFiles/darl_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/darl/ode/CMakeFiles/darl_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/darl/linalg/CMakeFiles/darl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/darl/common/CMakeFiles/darl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_nn"
+  "../bench/bench_micro_nn.pdb"
+  "CMakeFiles/bench_micro_nn.dir/bench_micro_nn.cpp.o"
+  "CMakeFiles/bench_micro_nn.dir/bench_micro_nn.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

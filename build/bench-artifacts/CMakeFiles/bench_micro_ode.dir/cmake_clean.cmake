@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_ode"
+  "../bench/bench_micro_ode.pdb"
+  "CMakeFiles/bench_micro_ode.dir/bench_micro_ode.cpp.o"
+  "CMakeFiles/bench_micro_ode.dir/bench_micro_ode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_ode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

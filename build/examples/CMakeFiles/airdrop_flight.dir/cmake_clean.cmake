@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airdrop_flight.dir/airdrop_flight.cpp.o"
+  "CMakeFiles/airdrop_flight.dir/airdrop_flight.cpp.o.d"
+  "airdrop_flight"
+  "airdrop_flight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airdrop_flight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

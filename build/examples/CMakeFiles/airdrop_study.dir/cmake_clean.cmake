@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/airdrop_study.dir/airdrop_study.cpp.o"
+  "CMakeFiles/airdrop_study.dir/airdrop_study.cpp.o.d"
+  "airdrop_study"
+  "airdrop_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/airdrop_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checkpoint_deploy.dir/checkpoint_deploy.cpp.o"
+  "CMakeFiles/checkpoint_deploy.dir/checkpoint_deploy.cpp.o.d"
+  "checkpoint_deploy"
+  "checkpoint_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checkpoint_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explorer_tour.dir/explorer_tour.cpp.o"
+  "CMakeFiles/explorer_tour.dir/explorer_tour.cpp.o.d"
+  "explorer_tour"
+  "explorer_tour.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explorer_tour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

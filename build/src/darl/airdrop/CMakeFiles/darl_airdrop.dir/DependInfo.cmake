@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/darl/airdrop/airdrop_env.cpp" "src/darl/airdrop/CMakeFiles/darl_airdrop.dir/airdrop_env.cpp.o" "gcc" "src/darl/airdrop/CMakeFiles/darl_airdrop.dir/airdrop_env.cpp.o.d"
+  "/root/repo/src/darl/airdrop/dynamics.cpp" "src/darl/airdrop/CMakeFiles/darl_airdrop.dir/dynamics.cpp.o" "gcc" "src/darl/airdrop/CMakeFiles/darl_airdrop.dir/dynamics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/darl/common/CMakeFiles/darl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/darl/linalg/CMakeFiles/darl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/darl/ode/CMakeFiles/darl_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/darl/env/CMakeFiles/darl_env.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darl_airdrop.dir/airdrop_env.cpp.o"
+  "CMakeFiles/darl_airdrop.dir/airdrop_env.cpp.o.d"
+  "CMakeFiles/darl_airdrop.dir/dynamics.cpp.o"
+  "CMakeFiles/darl_airdrop.dir/dynamics.cpp.o.d"
+  "libdarl_airdrop.a"
+  "libdarl_airdrop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darl_airdrop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

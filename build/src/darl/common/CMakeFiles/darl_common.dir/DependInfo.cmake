@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/darl/common/ascii_plot.cpp" "src/darl/common/CMakeFiles/darl_common.dir/ascii_plot.cpp.o" "gcc" "src/darl/common/CMakeFiles/darl_common.dir/ascii_plot.cpp.o.d"
+  "/root/repo/src/darl/common/csv.cpp" "src/darl/common/CMakeFiles/darl_common.dir/csv.cpp.o" "gcc" "src/darl/common/CMakeFiles/darl_common.dir/csv.cpp.o.d"
+  "/root/repo/src/darl/common/jsonl.cpp" "src/darl/common/CMakeFiles/darl_common.dir/jsonl.cpp.o" "gcc" "src/darl/common/CMakeFiles/darl_common.dir/jsonl.cpp.o.d"
+  "/root/repo/src/darl/common/log.cpp" "src/darl/common/CMakeFiles/darl_common.dir/log.cpp.o" "gcc" "src/darl/common/CMakeFiles/darl_common.dir/log.cpp.o.d"
+  "/root/repo/src/darl/common/rng.cpp" "src/darl/common/CMakeFiles/darl_common.dir/rng.cpp.o" "gcc" "src/darl/common/CMakeFiles/darl_common.dir/rng.cpp.o.d"
+  "/root/repo/src/darl/common/stats.cpp" "src/darl/common/CMakeFiles/darl_common.dir/stats.cpp.o" "gcc" "src/darl/common/CMakeFiles/darl_common.dir/stats.cpp.o.d"
+  "/root/repo/src/darl/common/table.cpp" "src/darl/common/CMakeFiles/darl_common.dir/table.cpp.o" "gcc" "src/darl/common/CMakeFiles/darl_common.dir/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

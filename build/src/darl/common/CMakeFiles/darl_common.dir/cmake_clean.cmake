@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darl_common.dir/ascii_plot.cpp.o"
+  "CMakeFiles/darl_common.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/darl_common.dir/csv.cpp.o"
+  "CMakeFiles/darl_common.dir/csv.cpp.o.d"
+  "CMakeFiles/darl_common.dir/jsonl.cpp.o"
+  "CMakeFiles/darl_common.dir/jsonl.cpp.o.d"
+  "CMakeFiles/darl_common.dir/log.cpp.o"
+  "CMakeFiles/darl_common.dir/log.cpp.o.d"
+  "CMakeFiles/darl_common.dir/rng.cpp.o"
+  "CMakeFiles/darl_common.dir/rng.cpp.o.d"
+  "CMakeFiles/darl_common.dir/stats.cpp.o"
+  "CMakeFiles/darl_common.dir/stats.cpp.o.d"
+  "CMakeFiles/darl_common.dir/table.cpp.o"
+  "CMakeFiles/darl_common.dir/table.cpp.o.d"
+  "libdarl_common.a"
+  "libdarl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

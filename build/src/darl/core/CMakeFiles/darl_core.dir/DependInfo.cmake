@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/darl/core/airdrop_study.cpp" "src/darl/core/CMakeFiles/darl_core.dir/airdrop_study.cpp.o" "gcc" "src/darl/core/CMakeFiles/darl_core.dir/airdrop_study.cpp.o.d"
+  "/root/repo/src/darl/core/explorer.cpp" "src/darl/core/CMakeFiles/darl_core.dir/explorer.cpp.o" "gcc" "src/darl/core/CMakeFiles/darl_core.dir/explorer.cpp.o.d"
+  "/root/repo/src/darl/core/metric.cpp" "src/darl/core/CMakeFiles/darl_core.dir/metric.cpp.o" "gcc" "src/darl/core/CMakeFiles/darl_core.dir/metric.cpp.o.d"
+  "/root/repo/src/darl/core/param.cpp" "src/darl/core/CMakeFiles/darl_core.dir/param.cpp.o" "gcc" "src/darl/core/CMakeFiles/darl_core.dir/param.cpp.o.d"
+  "/root/repo/src/darl/core/pareto.cpp" "src/darl/core/CMakeFiles/darl_core.dir/pareto.cpp.o" "gcc" "src/darl/core/CMakeFiles/darl_core.dir/pareto.cpp.o.d"
+  "/root/repo/src/darl/core/ranking.cpp" "src/darl/core/CMakeFiles/darl_core.dir/ranking.cpp.o" "gcc" "src/darl/core/CMakeFiles/darl_core.dir/ranking.cpp.o.d"
+  "/root/repo/src/darl/core/report.cpp" "src/darl/core/CMakeFiles/darl_core.dir/report.cpp.o" "gcc" "src/darl/core/CMakeFiles/darl_core.dir/report.cpp.o.d"
+  "/root/repo/src/darl/core/stability.cpp" "src/darl/core/CMakeFiles/darl_core.dir/stability.cpp.o" "gcc" "src/darl/core/CMakeFiles/darl_core.dir/stability.cpp.o.d"
+  "/root/repo/src/darl/core/study.cpp" "src/darl/core/CMakeFiles/darl_core.dir/study.cpp.o" "gcc" "src/darl/core/CMakeFiles/darl_core.dir/study.cpp.o.d"
+  "/root/repo/src/darl/core/tpe.cpp" "src/darl/core/CMakeFiles/darl_core.dir/tpe.cpp.o" "gcc" "src/darl/core/CMakeFiles/darl_core.dir/tpe.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/darl/common/CMakeFiles/darl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/darl/env/CMakeFiles/darl_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/darl/rl/CMakeFiles/darl_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/darl/frameworks/CMakeFiles/darl_frameworks.dir/DependInfo.cmake"
+  "/root/repo/build/src/darl/airdrop/CMakeFiles/darl_airdrop.dir/DependInfo.cmake"
+  "/root/repo/build/src/darl/nn/CMakeFiles/darl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/darl/simcluster/CMakeFiles/darl_simcluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/darl/ode/CMakeFiles/darl_ode.dir/DependInfo.cmake"
+  "/root/repo/build/src/darl/linalg/CMakeFiles/darl_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

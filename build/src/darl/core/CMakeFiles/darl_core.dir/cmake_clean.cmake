@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darl_core.dir/airdrop_study.cpp.o"
+  "CMakeFiles/darl_core.dir/airdrop_study.cpp.o.d"
+  "CMakeFiles/darl_core.dir/explorer.cpp.o"
+  "CMakeFiles/darl_core.dir/explorer.cpp.o.d"
+  "CMakeFiles/darl_core.dir/metric.cpp.o"
+  "CMakeFiles/darl_core.dir/metric.cpp.o.d"
+  "CMakeFiles/darl_core.dir/param.cpp.o"
+  "CMakeFiles/darl_core.dir/param.cpp.o.d"
+  "CMakeFiles/darl_core.dir/pareto.cpp.o"
+  "CMakeFiles/darl_core.dir/pareto.cpp.o.d"
+  "CMakeFiles/darl_core.dir/ranking.cpp.o"
+  "CMakeFiles/darl_core.dir/ranking.cpp.o.d"
+  "CMakeFiles/darl_core.dir/report.cpp.o"
+  "CMakeFiles/darl_core.dir/report.cpp.o.d"
+  "CMakeFiles/darl_core.dir/stability.cpp.o"
+  "CMakeFiles/darl_core.dir/stability.cpp.o.d"
+  "CMakeFiles/darl_core.dir/study.cpp.o"
+  "CMakeFiles/darl_core.dir/study.cpp.o.d"
+  "CMakeFiles/darl_core.dir/tpe.cpp.o"
+  "CMakeFiles/darl_core.dir/tpe.cpp.o.d"
+  "libdarl_core.a"
+  "libdarl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/darl/env/cartpole.cpp" "src/darl/env/CMakeFiles/darl_env.dir/cartpole.cpp.o" "gcc" "src/darl/env/CMakeFiles/darl_env.dir/cartpole.cpp.o.d"
+  "/root/repo/src/darl/env/env.cpp" "src/darl/env/CMakeFiles/darl_env.dir/env.cpp.o" "gcc" "src/darl/env/CMakeFiles/darl_env.dir/env.cpp.o.d"
+  "/root/repo/src/darl/env/gridworld.cpp" "src/darl/env/CMakeFiles/darl_env.dir/gridworld.cpp.o" "gcc" "src/darl/env/CMakeFiles/darl_env.dir/gridworld.cpp.o.d"
+  "/root/repo/src/darl/env/mountain_car.cpp" "src/darl/env/CMakeFiles/darl_env.dir/mountain_car.cpp.o" "gcc" "src/darl/env/CMakeFiles/darl_env.dir/mountain_car.cpp.o.d"
+  "/root/repo/src/darl/env/pendulum.cpp" "src/darl/env/CMakeFiles/darl_env.dir/pendulum.cpp.o" "gcc" "src/darl/env/CMakeFiles/darl_env.dir/pendulum.cpp.o.d"
+  "/root/repo/src/darl/env/space.cpp" "src/darl/env/CMakeFiles/darl_env.dir/space.cpp.o" "gcc" "src/darl/env/CMakeFiles/darl_env.dir/space.cpp.o.d"
+  "/root/repo/src/darl/env/vec_env.cpp" "src/darl/env/CMakeFiles/darl_env.dir/vec_env.cpp.o" "gcc" "src/darl/env/CMakeFiles/darl_env.dir/vec_env.cpp.o.d"
+  "/root/repo/src/darl/env/wrappers.cpp" "src/darl/env/CMakeFiles/darl_env.dir/wrappers.cpp.o" "gcc" "src/darl/env/CMakeFiles/darl_env.dir/wrappers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/darl/common/CMakeFiles/darl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/darl/linalg/CMakeFiles/darl_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darl_env.dir/cartpole.cpp.o"
+  "CMakeFiles/darl_env.dir/cartpole.cpp.o.d"
+  "CMakeFiles/darl_env.dir/env.cpp.o"
+  "CMakeFiles/darl_env.dir/env.cpp.o.d"
+  "CMakeFiles/darl_env.dir/gridworld.cpp.o"
+  "CMakeFiles/darl_env.dir/gridworld.cpp.o.d"
+  "CMakeFiles/darl_env.dir/mountain_car.cpp.o"
+  "CMakeFiles/darl_env.dir/mountain_car.cpp.o.d"
+  "CMakeFiles/darl_env.dir/pendulum.cpp.o"
+  "CMakeFiles/darl_env.dir/pendulum.cpp.o.d"
+  "CMakeFiles/darl_env.dir/space.cpp.o"
+  "CMakeFiles/darl_env.dir/space.cpp.o.d"
+  "CMakeFiles/darl_env.dir/vec_env.cpp.o"
+  "CMakeFiles/darl_env.dir/vec_env.cpp.o.d"
+  "CMakeFiles/darl_env.dir/wrappers.cpp.o"
+  "CMakeFiles/darl_env.dir/wrappers.cpp.o.d"
+  "libdarl_env.a"
+  "libdarl_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darl_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

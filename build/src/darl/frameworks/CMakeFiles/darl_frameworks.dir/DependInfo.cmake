@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/darl/frameworks/backend.cpp" "src/darl/frameworks/CMakeFiles/darl_frameworks.dir/backend.cpp.o" "gcc" "src/darl/frameworks/CMakeFiles/darl_frameworks.dir/backend.cpp.o.d"
+  "/root/repo/src/darl/frameworks/costs.cpp" "src/darl/frameworks/CMakeFiles/darl_frameworks.dir/costs.cpp.o" "gcc" "src/darl/frameworks/CMakeFiles/darl_frameworks.dir/costs.cpp.o.d"
+  "/root/repo/src/darl/frameworks/rllib_backend.cpp" "src/darl/frameworks/CMakeFiles/darl_frameworks.dir/rllib_backend.cpp.o" "gcc" "src/darl/frameworks/CMakeFiles/darl_frameworks.dir/rllib_backend.cpp.o.d"
+  "/root/repo/src/darl/frameworks/stable_baselines_backend.cpp" "src/darl/frameworks/CMakeFiles/darl_frameworks.dir/stable_baselines_backend.cpp.o" "gcc" "src/darl/frameworks/CMakeFiles/darl_frameworks.dir/stable_baselines_backend.cpp.o.d"
+  "/root/repo/src/darl/frameworks/tf_agents_backend.cpp" "src/darl/frameworks/CMakeFiles/darl_frameworks.dir/tf_agents_backend.cpp.o" "gcc" "src/darl/frameworks/CMakeFiles/darl_frameworks.dir/tf_agents_backend.cpp.o.d"
+  "/root/repo/src/darl/frameworks/types.cpp" "src/darl/frameworks/CMakeFiles/darl_frameworks.dir/types.cpp.o" "gcc" "src/darl/frameworks/CMakeFiles/darl_frameworks.dir/types.cpp.o.d"
+  "/root/repo/src/darl/frameworks/worker.cpp" "src/darl/frameworks/CMakeFiles/darl_frameworks.dir/worker.cpp.o" "gcc" "src/darl/frameworks/CMakeFiles/darl_frameworks.dir/worker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/darl/common/CMakeFiles/darl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/darl/env/CMakeFiles/darl_env.dir/DependInfo.cmake"
+  "/root/repo/build/src/darl/rl/CMakeFiles/darl_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/darl/simcluster/CMakeFiles/darl_simcluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/darl/nn/CMakeFiles/darl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/darl/linalg/CMakeFiles/darl_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

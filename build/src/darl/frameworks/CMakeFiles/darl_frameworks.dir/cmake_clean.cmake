@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darl_frameworks.dir/backend.cpp.o"
+  "CMakeFiles/darl_frameworks.dir/backend.cpp.o.d"
+  "CMakeFiles/darl_frameworks.dir/costs.cpp.o"
+  "CMakeFiles/darl_frameworks.dir/costs.cpp.o.d"
+  "CMakeFiles/darl_frameworks.dir/rllib_backend.cpp.o"
+  "CMakeFiles/darl_frameworks.dir/rllib_backend.cpp.o.d"
+  "CMakeFiles/darl_frameworks.dir/stable_baselines_backend.cpp.o"
+  "CMakeFiles/darl_frameworks.dir/stable_baselines_backend.cpp.o.d"
+  "CMakeFiles/darl_frameworks.dir/tf_agents_backend.cpp.o"
+  "CMakeFiles/darl_frameworks.dir/tf_agents_backend.cpp.o.d"
+  "CMakeFiles/darl_frameworks.dir/types.cpp.o"
+  "CMakeFiles/darl_frameworks.dir/types.cpp.o.d"
+  "CMakeFiles/darl_frameworks.dir/worker.cpp.o"
+  "CMakeFiles/darl_frameworks.dir/worker.cpp.o.d"
+  "libdarl_frameworks.a"
+  "libdarl_frameworks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darl_frameworks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darl_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/darl_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/darl_linalg.dir/vec.cpp.o"
+  "CMakeFiles/darl_linalg.dir/vec.cpp.o.d"
+  "libdarl_linalg.a"
+  "libdarl_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darl_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

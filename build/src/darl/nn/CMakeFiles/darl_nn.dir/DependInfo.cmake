@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/darl/nn/distributions.cpp" "src/darl/nn/CMakeFiles/darl_nn.dir/distributions.cpp.o" "gcc" "src/darl/nn/CMakeFiles/darl_nn.dir/distributions.cpp.o.d"
+  "/root/repo/src/darl/nn/mlp.cpp" "src/darl/nn/CMakeFiles/darl_nn.dir/mlp.cpp.o" "gcc" "src/darl/nn/CMakeFiles/darl_nn.dir/mlp.cpp.o.d"
+  "/root/repo/src/darl/nn/optimizer.cpp" "src/darl/nn/CMakeFiles/darl_nn.dir/optimizer.cpp.o" "gcc" "src/darl/nn/CMakeFiles/darl_nn.dir/optimizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/darl/common/CMakeFiles/darl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/darl/linalg/CMakeFiles/darl_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darl_nn.dir/distributions.cpp.o"
+  "CMakeFiles/darl_nn.dir/distributions.cpp.o.d"
+  "CMakeFiles/darl_nn.dir/mlp.cpp.o"
+  "CMakeFiles/darl_nn.dir/mlp.cpp.o.d"
+  "CMakeFiles/darl_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/darl_nn.dir/optimizer.cpp.o.d"
+  "libdarl_nn.a"
+  "libdarl_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darl_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

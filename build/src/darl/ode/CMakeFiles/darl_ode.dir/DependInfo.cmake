@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/darl/ode/event.cpp" "src/darl/ode/CMakeFiles/darl_ode.dir/event.cpp.o" "gcc" "src/darl/ode/CMakeFiles/darl_ode.dir/event.cpp.o.d"
+  "/root/repo/src/darl/ode/explicit_rk.cpp" "src/darl/ode/CMakeFiles/darl_ode.dir/explicit_rk.cpp.o" "gcc" "src/darl/ode/CMakeFiles/darl_ode.dir/explicit_rk.cpp.o.d"
+  "/root/repo/src/darl/ode/gbs.cpp" "src/darl/ode/CMakeFiles/darl_ode.dir/gbs.cpp.o" "gcc" "src/darl/ode/CMakeFiles/darl_ode.dir/gbs.cpp.o.d"
+  "/root/repo/src/darl/ode/integrator.cpp" "src/darl/ode/CMakeFiles/darl_ode.dir/integrator.cpp.o" "gcc" "src/darl/ode/CMakeFiles/darl_ode.dir/integrator.cpp.o.d"
+  "/root/repo/src/darl/ode/tableau.cpp" "src/darl/ode/CMakeFiles/darl_ode.dir/tableau.cpp.o" "gcc" "src/darl/ode/CMakeFiles/darl_ode.dir/tableau.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/darl/common/CMakeFiles/darl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/darl/linalg/CMakeFiles/darl_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

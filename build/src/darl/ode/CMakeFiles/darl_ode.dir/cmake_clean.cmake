@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darl_ode.dir/event.cpp.o"
+  "CMakeFiles/darl_ode.dir/event.cpp.o.d"
+  "CMakeFiles/darl_ode.dir/explicit_rk.cpp.o"
+  "CMakeFiles/darl_ode.dir/explicit_rk.cpp.o.d"
+  "CMakeFiles/darl_ode.dir/gbs.cpp.o"
+  "CMakeFiles/darl_ode.dir/gbs.cpp.o.d"
+  "CMakeFiles/darl_ode.dir/integrator.cpp.o"
+  "CMakeFiles/darl_ode.dir/integrator.cpp.o.d"
+  "CMakeFiles/darl_ode.dir/tableau.cpp.o"
+  "CMakeFiles/darl_ode.dir/tableau.cpp.o.d"
+  "libdarl_ode.a"
+  "libdarl_ode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darl_ode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

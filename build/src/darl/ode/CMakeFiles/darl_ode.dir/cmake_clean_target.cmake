@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdarl_ode.a"
+)

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/darl/rl/algorithm.cpp" "src/darl/rl/CMakeFiles/darl_rl.dir/algorithm.cpp.o" "gcc" "src/darl/rl/CMakeFiles/darl_rl.dir/algorithm.cpp.o.d"
+  "/root/repo/src/darl/rl/checkpoint.cpp" "src/darl/rl/CMakeFiles/darl_rl.dir/checkpoint.cpp.o" "gcc" "src/darl/rl/CMakeFiles/darl_rl.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/darl/rl/evaluate.cpp" "src/darl/rl/CMakeFiles/darl_rl.dir/evaluate.cpp.o" "gcc" "src/darl/rl/CMakeFiles/darl_rl.dir/evaluate.cpp.o.d"
+  "/root/repo/src/darl/rl/gae.cpp" "src/darl/rl/CMakeFiles/darl_rl.dir/gae.cpp.o" "gcc" "src/darl/rl/CMakeFiles/darl_rl.dir/gae.cpp.o.d"
+  "/root/repo/src/darl/rl/impala.cpp" "src/darl/rl/CMakeFiles/darl_rl.dir/impala.cpp.o" "gcc" "src/darl/rl/CMakeFiles/darl_rl.dir/impala.cpp.o.d"
+  "/root/repo/src/darl/rl/ppo.cpp" "src/darl/rl/CMakeFiles/darl_rl.dir/ppo.cpp.o" "gcc" "src/darl/rl/CMakeFiles/darl_rl.dir/ppo.cpp.o.d"
+  "/root/repo/src/darl/rl/prioritized_replay.cpp" "src/darl/rl/CMakeFiles/darl_rl.dir/prioritized_replay.cpp.o" "gcc" "src/darl/rl/CMakeFiles/darl_rl.dir/prioritized_replay.cpp.o.d"
+  "/root/repo/src/darl/rl/replay_buffer.cpp" "src/darl/rl/CMakeFiles/darl_rl.dir/replay_buffer.cpp.o" "gcc" "src/darl/rl/CMakeFiles/darl_rl.dir/replay_buffer.cpp.o.d"
+  "/root/repo/src/darl/rl/sac.cpp" "src/darl/rl/CMakeFiles/darl_rl.dir/sac.cpp.o" "gcc" "src/darl/rl/CMakeFiles/darl_rl.dir/sac.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/darl/common/CMakeFiles/darl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/darl/linalg/CMakeFiles/darl_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/darl/nn/CMakeFiles/darl_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/darl/env/CMakeFiles/darl_env.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

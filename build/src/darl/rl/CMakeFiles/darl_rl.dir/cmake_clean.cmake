@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darl_rl.dir/algorithm.cpp.o"
+  "CMakeFiles/darl_rl.dir/algorithm.cpp.o.d"
+  "CMakeFiles/darl_rl.dir/checkpoint.cpp.o"
+  "CMakeFiles/darl_rl.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/darl_rl.dir/evaluate.cpp.o"
+  "CMakeFiles/darl_rl.dir/evaluate.cpp.o.d"
+  "CMakeFiles/darl_rl.dir/gae.cpp.o"
+  "CMakeFiles/darl_rl.dir/gae.cpp.o.d"
+  "CMakeFiles/darl_rl.dir/impala.cpp.o"
+  "CMakeFiles/darl_rl.dir/impala.cpp.o.d"
+  "CMakeFiles/darl_rl.dir/ppo.cpp.o"
+  "CMakeFiles/darl_rl.dir/ppo.cpp.o.d"
+  "CMakeFiles/darl_rl.dir/prioritized_replay.cpp.o"
+  "CMakeFiles/darl_rl.dir/prioritized_replay.cpp.o.d"
+  "CMakeFiles/darl_rl.dir/replay_buffer.cpp.o"
+  "CMakeFiles/darl_rl.dir/replay_buffer.cpp.o.d"
+  "CMakeFiles/darl_rl.dir/sac.cpp.o"
+  "CMakeFiles/darl_rl.dir/sac.cpp.o.d"
+  "libdarl_rl.a"
+  "libdarl_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darl_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darl_simcluster.dir/cluster.cpp.o"
+  "CMakeFiles/darl_simcluster.dir/cluster.cpp.o.d"
+  "libdarl_simcluster.a"
+  "libdarl_simcluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darl_simcluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for darl_simcluster.
+# This may be replaced when dependencies are built.

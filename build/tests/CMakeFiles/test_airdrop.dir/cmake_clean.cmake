@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_airdrop.dir/test_airdrop.cpp.o"
+  "CMakeFiles/test_airdrop.dir/test_airdrop.cpp.o.d"
+  "test_airdrop"
+  "test_airdrop.pdb"
+  "test_airdrop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_airdrop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_airdrop.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_ranking.dir/test_core_ranking.cpp.o"
+  "CMakeFiles/test_core_ranking.dir/test_core_ranking.cpp.o.d"
+  "test_core_ranking"
+  "test_core_ranking.pdb"
+  "test_core_ranking[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

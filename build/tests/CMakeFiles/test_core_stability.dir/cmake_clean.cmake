@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_stability.dir/test_core_stability.cpp.o"
+  "CMakeFiles/test_core_stability.dir/test_core_stability.cpp.o.d"
+  "test_core_stability"
+  "test_core_stability.pdb"
+  "test_core_stability[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_stability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_ode[1]_include.cmake")
+include("/root/repo/build/tests/test_env[1]_include.cmake")
+include("/root/repo/build/tests/test_airdrop[1]_include.cmake")
+include("/root/repo/build/tests/test_nn[1]_include.cmake")
+include("/root/repo/build/tests/test_rl[1]_include.cmake")
+include("/root/repo/build/tests/test_rl_learning[1]_include.cmake")
+include("/root/repo/build/tests/test_simcluster[1]_include.cmake")
+include("/root/repo/build/tests/test_frameworks[1]_include.cmake")
+include("/root/repo/build/tests/test_core_param[1]_include.cmake")
+include("/root/repo/build/tests/test_core_pareto[1]_include.cmake")
+include("/root/repo/build/tests/test_core_explorer[1]_include.cmake")
+include("/root/repo/build/tests/test_core_ranking[1]_include.cmake")
+include("/root/repo/build/tests/test_core_stability[1]_include.cmake")
+include("/root/repo/build/tests/test_core_study[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/darl_study.dir/darl_study.cpp.o"
+  "CMakeFiles/darl_study.dir/darl_study.cpp.o.d"
+  "darl_study"
+  "darl_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/darl_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
