@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <mutex>
 
+#include "darl/common/stopwatch.hpp"
+
 namespace darl {
 namespace {
 
@@ -27,10 +29,17 @@ void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_rela
 
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
+int thread_ordinal() {
+  static std::atomic<int> next{0};
+  thread_local const int ordinal = next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
 void log_message(LogLevel level, const std::string& message) {
-  if (level < log_level() || level == LogLevel::Off) return;
+  if (!log_enabled(level)) return;
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::fprintf(stderr, "[darl %s] %s\n", level_name(level), message.c_str());
+  std::fprintf(stderr, "[darl %s %10.3fs t%02d] %s\n", level_name(level),
+               process_uptime_seconds(), thread_ordinal(), message.c_str());
 }
 
 }  // namespace darl

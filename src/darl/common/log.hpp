@@ -1,10 +1,13 @@
 // darl/common/log.hpp
 //
 // Leveled, thread-safe logging to stderr. Study runs log trial lifecycle
-// events; tests set the level to Off to keep output clean.
+// events; tests set the level to Off to keep output clean. Lines carry a
+// monotonic timestamp (seconds since process start) and a dense thread
+// ordinal so they can be correlated with darl/obs trace spans.
 
 #pragma once
 
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -18,27 +21,43 @@ void set_log_level(LogLevel level);
 /// Current global log threshold.
 LogLevel log_level();
 
+/// True when a message at `level` would be emitted.
+inline bool log_enabled(LogLevel level) {
+  return level >= log_level() && level != LogLevel::Off;
+}
+
 /// Emit one log line (thread-safe; a single OS write per line).
 void log_message(LogLevel level, const std::string& message);
+
+/// Small dense per-thread ordinal (0, 1, 2, ... in first-use order), stable
+/// for the thread's lifetime. Printed in log lines and recorded in obs
+/// trace spans, so the two can be matched up.
+int thread_ordinal();
 
 namespace detail {
 
 class LogLine {
  public:
-  explicit LogLine(LogLevel level) : level_(level) {}
-  ~LogLine() { log_message(level_, oss_.str()); }
+  /// The stream (and therefore every formatting cost) only materializes
+  /// when the level passes the threshold; dropped lines pay one check.
+  explicit LogLine(LogLevel level) : level_(level) {
+    if (log_enabled(level)) oss_.emplace();
+  }
+  ~LogLine() {
+    if (oss_.has_value()) log_message(level_, oss_->str());
+  }
   LogLine(const LogLine&) = delete;
   LogLine& operator=(const LogLine&) = delete;
 
   template <typename T>
   LogLine& operator<<(const T& v) {
-    oss_ << v;
+    if (oss_.has_value()) *oss_ << v;
     return *this;
   }
 
  private:
   LogLevel level_;
-  std::ostringstream oss_;
+  std::optional<std::ostringstream> oss_;
 };
 
 }  // namespace detail

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <chrono>
+#include <cstdint>
 
 namespace darl {
 
@@ -30,5 +31,26 @@ class Stopwatch {
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
 };
+
+namespace detail {
+/// Monotonic anchor captured during static initialization — close enough to
+/// process start for log/trace correlation purposes.
+inline const std::chrono::steady_clock::time_point process_start =
+    std::chrono::steady_clock::now();
+}  // namespace detail
+
+/// Monotonic nanoseconds since (approximately) process start. Log lines and
+/// trace spans share this clock so they can be correlated.
+inline std::uint64_t process_uptime_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - detail::process_start)
+          .count());
+}
+
+/// Same clock in seconds.
+inline double process_uptime_seconds() {
+  return static_cast<double>(process_uptime_ns()) * 1e-9;
+}
 
 }  // namespace darl

@@ -165,6 +165,9 @@ CaseStudyDef make_airdrop_case_study(const AirdropStudyOptions& options) {
       acc.reward_stddev += result.reward_stddev;
       acc.wall_seconds += result.wall_seconds;
       acc.episodes += result.episodes;
+      acc.collect_wall_seconds += result.collect_wall_seconds;
+      acc.learn_wall_seconds += result.learn_wall_seconds;
+      acc.sync_wall_seconds += result.sync_wall_seconds;
     }
     const double inv = 1.0 / static_cast<double>(reps);
 
@@ -179,6 +182,12 @@ CaseStudyDef make_airdrop_case_study(const AirdropStudyOptions& options) {
     metrics["RewardStddev"] = acc.reward_stddev * inv;
     metrics["WallSeconds"] = acc.wall_seconds;  // total host cost
     metrics["Episodes"] = static_cast<double>(acc.episodes) * inv;
+    // Host-side phase breakdown (totals across seeds, like WallSeconds):
+    // where inside a trial the wall time went. Rendered by
+    // render_phase_breakdown next to the paper's Table-I metrics.
+    metrics["CollectSeconds"] = acc.collect_wall_seconds;
+    metrics["LearnSeconds"] = acc.learn_wall_seconds;
+    metrics["SyncSeconds"] = acc.sync_wall_seconds;
     return metrics;
   };
   return def;

@@ -102,6 +102,42 @@ std::string render_pareto_plot(const CaseStudyDef& def,
   return render_scatter(plot, opts);
 }
 
+namespace {
+
+constexpr const char* kPhaseKeys[] = {"CollectSeconds", "LearnSeconds",
+                                      "SyncSeconds"};
+
+bool has_phase_metrics(const TrialRecord& t) {
+  for (const char* key : kPhaseKeys) {
+    if (t.metrics.find(key) == t.metrics.end()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string render_phase_breakdown(const std::vector<TrialRecord>& trials) {
+  const bool any = std::any_of(trials.begin(), trials.end(), has_phase_metrics);
+  if (!any) return "";
+
+  TextTable table;
+  table.set_columns({"#", "collect (s)", "learn (s)", "sync (s)", "total (s)",
+                     "collect %"},
+                    {Align::Right, Align::Right, Align::Right, Align::Right,
+                     Align::Right, Align::Right});
+  for (const auto& t : trials) {
+    if (!has_phase_metrics(t)) continue;
+    const double collect = t.metrics.at("CollectSeconds");
+    const double learn = t.metrics.at("LearnSeconds");
+    const double sync = t.metrics.at("SyncSeconds");
+    const double total = collect + learn + sync;
+    table.add_row({std::to_string(t.id + 1), fixed(collect, 3), fixed(learn, 3),
+                   fixed(sync, 3), fixed(total, 3),
+                   total > 0.0 ? fixed(100.0 * collect / total, 1) : "-"});
+  }
+  return "Per-trial phase breakdown (host seconds):\n" + table.render();
+}
+
 void write_trials_csv(std::ostream& out, const CaseStudyDef& def,
                       const std::vector<TrialRecord>& trials) {
   CsvWriter csv(out);
@@ -248,6 +284,22 @@ std::string write_markdown_report(const CaseStudyDef& def,
     md << "\n";
   }
   md << "\n";
+
+  // --- phase-time breakdown (when the trials carry the diagnostics).
+  if (std::any_of(trials.begin(), trials.end(), has_phase_metrics)) {
+    md << "## Phase breakdown (host seconds)\n\n"
+       << "|#|collect|learn|sync|total|\n|-|-|-|-|-|\n";
+    for (const auto& t : trials) {
+      if (!has_phase_metrics(t)) continue;
+      const double collect = t.metrics.at("CollectSeconds");
+      const double learn = t.metrics.at("LearnSeconds");
+      const double sync = t.metrics.at("SyncSeconds");
+      md << "|" << (t.id + 1) << "|" << fixed(collect, 3) << "|"
+         << fixed(learn, 3) << "|" << fixed(sync, 3) << "|"
+         << fixed(collect + learn + sync, 3) << "|\n";
+    }
+    md << "\n";
+  }
 
   // --- Pareto-front sections.
   auto figures = options.figures;

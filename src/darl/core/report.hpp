@@ -33,6 +33,13 @@ std::string render_pareto_plot(const CaseStudyDef& def,
                                const std::string& title,
                                std::vector<std::size_t>* front_trial_ids = nullptr);
 
+/// Render a per-trial phase-time breakdown table (host seconds spent in the
+/// backends' collect / learn / sync phases, plus the trial total). Reads the
+/// "CollectSeconds"/"LearnSeconds"/"SyncSeconds" diagnostics the airdrop
+/// evaluation attaches beside the declared metrics; returns "" when no trial
+/// carries them (e.g. a campaign loaded from a pre-observability cache).
+std::string render_phase_breakdown(const std::vector<TrialRecord>& trials);
+
 /// Write trials to CSV: id, budget_fraction, config (describe string), one
 /// column per declared metric.
 void write_trials_csv(std::ostream& out, const CaseStudyDef& def,

@@ -4,6 +4,8 @@
 #include "darl/common/log.hpp"
 #include "darl/common/rng.hpp"
 #include "darl/common/stopwatch.hpp"
+#include "darl/obs/metrics.hpp"
+#include "darl/obs/trace.hpp"
 #include <thread>
 
 #include "darl/core/pareto.hpp"
@@ -19,18 +21,22 @@ Study::Study(CaseStudyDef def, std::unique_ptr<ExploratoryMethod> explorer,
 }
 
 void Study::run() {
+  DARL_SPAN("study.run");
   const Rng seeder(options_.seed);
   const std::size_t width = std::max<std::size_t>(1, options_.parallel_trials);
+  const Stopwatch study_clock;
 
   while (true) {
     // Gather a batch of proposals (adaptive explorers may hand out fewer
     // than `width` before needing feedback — that is fine).
     std::vector<Proposal> batch;
+    std::vector<double> proposed_at;  // study_clock seconds, per proposal
     while (batch.size() < width) {
       if (options_.max_trials > 0 &&
           trials_.size() + batch.size() >= options_.max_trials) {
         break;
       }
+      DARL_SPAN("study.propose");
       auto proposal = explorer_->ask();
       if (!proposal.has_value()) break;
       def_.space.validate(proposal->config);
@@ -40,7 +46,9 @@ void Study::run() {
                       << proposal->config.describe() << "] budget "
                       << proposal->budget_fraction;
       }
+      DARL_COUNTER_ADD("study.trials_proposed", 1);
       batch.push_back(std::move(*proposal));
+      proposed_at.push_back(study_clock.seconds());
     }
     if (batch.empty()) break;
 
@@ -48,6 +56,15 @@ void Study::run() {
     std::vector<TrialRecord> records(batch.size());
     auto evaluate_one = [&](std::size_t i) {
       const Proposal& p = batch[i];
+      // Queue wait: proposal issued -> evaluation actually starting (only
+      // meaningfully non-zero once parallel_trials staggers a batch).
+      if (obs::metrics_enabled()) {
+        static obs::Histogram& wait_hist = obs::Registry::global().histogram(
+            "study.queue_wait_s", {0.001, 0.01, 0.1, 1.0, 10.0, 60.0});
+        wait_hist.observe(study_clock.seconds() - proposed_at[i]);
+      }
+      obs::TrialScope trial_tag(static_cast<std::int64_t>(p.trial_id));
+      DARL_SPAN_V("trial.evaluate", "trial", p.trial_id);
       Stopwatch sw;
       const std::uint64_t trial_seed = seeder.split(p.trial_id).seed();
       TrialRecord record;
@@ -56,6 +73,12 @@ void Study::run() {
       record.budget_fraction = p.budget_fraction;
       record.metrics = def_.evaluate(p.config, p.budget_fraction, trial_seed);
       record.wall_seconds = sw.seconds();
+      if (obs::metrics_enabled()) {
+        static obs::Histogram& eval_hist = obs::Registry::global().histogram(
+            "study.trial_eval_s", {0.1, 1.0, 10.0, 60.0, 600.0});
+        eval_hist.observe(record.wall_seconds);
+      }
+      DARL_COUNTER_ADD("study.trials_done", 1);
       records[i] = std::move(record);
     };
     if (batch.size() == 1) {

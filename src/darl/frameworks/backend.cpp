@@ -4,6 +4,8 @@
 
 #include "darl/common/error.hpp"
 #include "darl/common/stats.hpp"
+#include "darl/obs/metrics.hpp"
+#include "darl/obs/trace.hpp"
 #include "darl/rl/evaluate.hpp"
 
 namespace darl::frameworks {
@@ -42,6 +44,8 @@ void BackendBase::finalize(
     const TrainRequest& request, rl::Algorithm& algo,
     const std::vector<std::unique_ptr<RolloutWorker>>& workers,
     const sim::SimCluster& cluster, TrainResult& result) const {
+  DARL_SPAN("backend.eval");
+  DARL_COUNTER_ADD("backend.train_jobs", 1);
   // Training-episode diagnostics: mean score of the most recent episodes
   // (up to 50 per worker).
   RunningStats train_scores;

@@ -3,6 +3,7 @@
 #include "darl/common/error.hpp"
 #include "darl/common/stopwatch.hpp"
 #include "darl/frameworks/backend.hpp"
+#include "darl/obs/trace.hpp"
 
 namespace darl::frameworks {
 
@@ -49,8 +50,12 @@ TrainResult RllibBackend::run(const TrainRequest& request) {
   TrainResult result;
   std::size_t steps_done = 0;
   rl::TrainStats last_stats;
+  // Spans emitted by the collection threads below re-tag themselves with
+  // the trial this backend runs under (thread-locals do not inherit).
+  const std::int64_t obs_trial = obs::current_trial();
 
   while (steps_done < request.total_timesteps) {
+    Stopwatch phase;
     // --- policy sync. Workers co-located with the learner read the fresh
     // parameters; remote workers act with the previous iteration's
     // snapshot, modelling asynchronous parameter shipping. This staleness
@@ -60,70 +65,90 @@ TrainResult RllibBackend::run(const TrainRequest& request) {
     // Multi-node deployments broadcast weights through the cluster object
     // store: co-located workers act on the previous cycle's snapshot and
     // remote workers on one older still (broadcast + in-flight latency).
-    for (std::size_t i = 0; i < n_workers; ++i) {
-      if (dep.nodes == 1) {
-        workers[i]->sync(params_current);
-      } else {
-        workers[i]->sync(worker_node(i) == 0 ? params_prev : params_prev2);
+    {
+      DARL_SPAN("backend.sync");
+      for (std::size_t i = 0; i < n_workers; ++i) {
+        if (dep.nodes == 1) {
+          workers[i]->sync(params_current);
+        } else {
+          workers[i]->sync(worker_node(i) == 0 ? params_prev : params_prev2);
+        }
+      }
+      for (std::size_t node = 1; node < dep.nodes; ++node) {
+        cluster.run_transfer(0, node, static_cast<double>(algo->params_bytes()));
       }
     }
-    for (std::size_t node = 1; node < dep.nodes; ++node) {
-      cluster.run_transfer(0, node, static_cast<double>(algo->params_bytes()));
-    }
+    result.sync_wall_seconds += phase.seconds();
+    phase.reset();
 
     // --- parallel collection on real threads (one per worker; workers are
     // self-contained, so the result is schedule-independent).
     std::vector<rl::WorkerBatch> batches(n_workers);
     {
+      DARL_SPAN("backend.collect");
       std::vector<std::thread> threads;
       threads.reserve(n_workers);
       for (std::size_t i = 0; i < n_workers; ++i) {
-        threads.emplace_back([&, i] { batches[i] = workers[i]->collect(per_worker); });
+        threads.emplace_back([&, i] {
+          obs::TrialScope tag(obs_trial);
+          batches[i] = workers[i]->collect(per_worker);
+        });
       }
       for (auto& t : threads) t.join();
-    }
 
-    // --- simulated collection phase.
-    std::vector<sim::SimCluster::WorkerLoad> loads;
-    loads.reserve(n_workers);
-    for (std::size_t i = 0; i < n_workers; ++i) {
-      const CollectCost cost = workers[i]->take_cost();
-      loads.push_back({worker_node(i), worker_busy_seconds(cost, inference_mflop)});
+      // --- simulated collection phase.
+      std::vector<sim::SimCluster::WorkerLoad> loads;
+      loads.reserve(n_workers);
+      for (std::size_t i = 0; i < n_workers; ++i) {
+        const CollectCost cost = workers[i]->take_cost();
+        loads.push_back({worker_node(i), worker_busy_seconds(cost, inference_mflop)});
+      }
+      cluster.run_parallel_phase(loads);
     }
-    cluster.run_parallel_phase(loads);
+    result.collect_wall_seconds += phase.seconds();
+    phase.reset();
 
     // --- sample shipping from remote nodes to the learner.
-    for (std::size_t node = 1; node < dep.nodes; ++node) {
-      double bytes = 0.0;
-      for (std::size_t i = 0; i < n_workers; ++i) {
-        if (worker_node(i) == node) {
-          bytes += static_cast<double>(batches[i].transitions.size()) *
-                   static_cast<double>(algo->transition_bytes());
+    {
+      DARL_SPAN("backend.sync");
+      for (std::size_t node = 1; node < dep.nodes; ++node) {
+        double bytes = 0.0;
+        for (std::size_t i = 0; i < n_workers; ++i) {
+          if (worker_node(i) == node) {
+            bytes += static_cast<double>(batches[i].transitions.size()) *
+                     static_cast<double>(algo->transition_bytes());
+          }
         }
+        cluster.run_transfer(node, 0, bytes);
       }
-      cluster.run_transfer(node, 0, bytes);
     }
+    result.sync_wall_seconds += phase.seconds();
+    phase.reset();
 
     // --- learner update on node 0 (all its cores). Remote batches join
     // the pipeline one iteration late; local batches are consumed fresh.
-    std::vector<rl::WorkerBatch> train_batches = std::move(delayed_remote);
-    delayed_remote.clear();
-    for (std::size_t i = 0; i < n_workers; ++i) {
-      if (worker_node(i) == 0) {
-        train_batches.push_back(std::move(batches[i]));
-      } else {
-        delayed_remote.push_back(std::move(batches[i]));
+    {
+      DARL_SPAN("backend.learn");
+      std::vector<rl::WorkerBatch> train_batches = std::move(delayed_remote);
+      delayed_remote.clear();
+      for (std::size_t i = 0; i < n_workers; ++i) {
+        if (worker_node(i) == 0) {
+          train_batches.push_back(std::move(batches[i]));
+        } else {
+          delayed_remote.push_back(std::move(batches[i]));
+        }
       }
+      params_prev2 = params_prev;
+      params_prev = params_current;
+      last_stats = algo->train(train_batches);
+      const double train_core_seconds = cluster.seconds_for_mflop(
+          0, last_stats.train_cost_mflop * costs_.train_tax);
+      cluster.run_compute(0, train_core_seconds, dep.cores_per_node,
+                          costs_.train_parallel_efficiency);
+      cluster.run_idle(costs_.iteration_overhead_s);
+      params_current = algo->policy_params();
     }
-    params_prev2 = params_prev;
-    params_prev = params_current;
-    last_stats = algo->train(train_batches);
-    const double train_core_seconds =
-        cluster.seconds_for_mflop(0, last_stats.train_cost_mflop * costs_.train_tax);
-    cluster.run_compute(0, train_core_seconds, dep.cores_per_node,
-                        costs_.train_parallel_efficiency);
-    cluster.run_idle(costs_.iteration_overhead_s);
-    params_current = algo->policy_params();
+    result.learn_wall_seconds += phase.seconds();
 
     steps_done += per_worker * n_workers;
     ++result.iterations;

@@ -1,6 +1,7 @@
 #include "darl/common/error.hpp"
 #include "darl/common/stopwatch.hpp"
 #include "darl/frameworks/backend.hpp"
+#include "darl/obs/trace.hpp"
 
 namespace darl::frameworks {
 
@@ -42,41 +43,57 @@ TrainResult StableBaselinesBackend::run(const TrainRequest& request) {
   rl::TrainStats last_stats;
 
   while (steps_done < request.total_timesteps) {
+    Stopwatch phase;
     // Synchronous vectorized collection: all environments advance in
     // lockstep with a fresh policy (no staleness on a single node). The
     // env physics runs on the per-core workers; inference happens batched
     // on the driver, so it is charged separately below.
     const Vec params = algo->policy_params();
+    {
+      DARL_SPAN("backend.sync");
+      for (std::size_t i = 0; i < n_envs; ++i) workers[i]->sync(params);
+    }
+    result.sync_wall_seconds += phase.seconds();
+    phase.reset();
+
     std::vector<rl::WorkerBatch> batches(n_envs);
-    for (std::size_t i = 0; i < n_envs; ++i) {
-      workers[i]->sync(params);
-      batches[i] = workers[i]->collect(per_env);
-    }
+    {
+      DARL_SPAN("backend.collect");
+      for (std::size_t i = 0; i < n_envs; ++i) {
+        batches[i] = workers[i]->collect(per_env);
+      }
 
-    std::vector<sim::SimCluster::WorkerLoad> loads;
-    double total_inferences = 0.0;
-    for (std::size_t i = 0; i < n_envs; ++i) {
-      CollectCost cost = workers[i]->take_cost();
-      total_inferences += static_cast<double>(cost.inferences);
-      cost.inferences = 0;  // env stepping only; inference charged batched
-      loads.push_back({0, worker_busy_seconds(cost, inference_mflop)});
-    }
-    cluster.run_parallel_phase(loads);
+      std::vector<sim::SimCluster::WorkerLoad> loads;
+      double total_inferences = 0.0;
+      for (std::size_t i = 0; i < n_envs; ++i) {
+        CollectCost cost = workers[i]->take_cost();
+        total_inferences += static_cast<double>(cost.inferences);
+        cost.inferences = 0;  // env stepping only; inference charged batched
+        loads.push_back({0, worker_busy_seconds(cost, inference_mflop)});
+      }
+      cluster.run_parallel_phase(loads);
 
-    // Batched driver inference: one core, discounted by the vectorized
-    // batch efficiency.
-    const double inf_mflop = total_inferences * inference_mflop *
-                             costs_.inference_tax *
-                             costs_.inference_batch_efficiency;
-    cluster.run_compute(0, cluster.seconds_for_mflop(0, inf_mflop), 1);
+      // Batched driver inference: one core, discounted by the vectorized
+      // batch efficiency.
+      const double inf_mflop = total_inferences * inference_mflop *
+                               costs_.inference_tax *
+                               costs_.inference_batch_efficiency;
+      cluster.run_compute(0, cluster.seconds_for_mflop(0, inf_mflop), 1);
+    }
+    result.collect_wall_seconds += phase.seconds();
+    phase.reset();
 
     // Learner update across the node's cores.
-    last_stats = algo->train(batches);
-    const double train_core_seconds =
-        cluster.seconds_for_mflop(0, last_stats.train_cost_mflop * costs_.train_tax);
-    cluster.run_compute(0, train_core_seconds, dep.cores_per_node,
-                        costs_.train_parallel_efficiency);
-    cluster.run_idle(costs_.iteration_overhead_s);
+    {
+      DARL_SPAN("backend.learn");
+      last_stats = algo->train(batches);
+      const double train_core_seconds = cluster.seconds_for_mflop(
+          0, last_stats.train_cost_mflop * costs_.train_tax);
+      cluster.run_compute(0, train_core_seconds, dep.cores_per_node,
+                          costs_.train_parallel_efficiency);
+      cluster.run_idle(costs_.iteration_overhead_s);
+    }
+    result.learn_wall_seconds += phase.seconds();
 
     steps_done += per_env * n_envs;
     ++result.iterations;

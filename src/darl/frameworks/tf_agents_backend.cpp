@@ -3,6 +3,7 @@
 #include "darl/common/error.hpp"
 #include "darl/common/stopwatch.hpp"
 #include "darl/frameworks/backend.hpp"
+#include "darl/obs/trace.hpp"
 
 namespace darl::frameworks {
 
@@ -42,33 +43,52 @@ TrainResult TfAgentsBackend::run(const TrainRequest& request) {
   std::size_t steps_done = 0;
   rl::TrainStats last_stats;
 
+  const std::int64_t obs_trial = obs::current_trial();
+
   while (steps_done < request.total_timesteps) {
+    Stopwatch phase;
     const Vec params = algo->policy_params();
+    {
+      DARL_SPAN("backend.sync");
+      for (std::size_t i = 0; i < n_workers; ++i) workers[i]->sync(params);
+    }
+    result.sync_wall_seconds += phase.seconds();
+    phase.reset();
+
     std::vector<rl::WorkerBatch> batches(n_workers);
     {
+      DARL_SPAN("backend.collect");
       std::vector<std::thread> threads;
       threads.reserve(n_workers);
       for (std::size_t i = 0; i < n_workers; ++i) {
-        workers[i]->sync(params);
-        threads.emplace_back([&, i] { batches[i] = workers[i]->collect(per_worker); });
+        threads.emplace_back([&, i] {
+          obs::TrialScope tag(obs_trial);
+          batches[i] = workers[i]->collect(per_worker);
+        });
       }
       for (auto& t : threads) t.join();
-    }
 
-    std::vector<sim::SimCluster::WorkerLoad> loads;
-    loads.reserve(n_workers);
-    for (std::size_t i = 0; i < n_workers; ++i) {
-      const CollectCost cost = workers[i]->take_cost();
-      loads.push_back({0, worker_busy_seconds(cost, inference_mflop)});
+      std::vector<sim::SimCluster::WorkerLoad> loads;
+      loads.reserve(n_workers);
+      for (std::size_t i = 0; i < n_workers; ++i) {
+        const CollectCost cost = workers[i]->take_cost();
+        loads.push_back({0, worker_busy_seconds(cost, inference_mflop)});
+      }
+      cluster.run_parallel_phase(loads);
     }
-    cluster.run_parallel_phase(loads);
+    result.collect_wall_seconds += phase.seconds();
+    phase.reset();
 
-    last_stats = algo->train(batches);
-    const double train_core_seconds =
-        cluster.seconds_for_mflop(0, last_stats.train_cost_mflop * costs_.train_tax);
-    cluster.run_compute(0, train_core_seconds, dep.cores_per_node,
-                        costs_.train_parallel_efficiency);
-    cluster.run_idle(costs_.iteration_overhead_s);
+    {
+      DARL_SPAN("backend.learn");
+      last_stats = algo->train(batches);
+      const double train_core_seconds = cluster.seconds_for_mflop(
+          0, last_stats.train_cost_mflop * costs_.train_tax);
+      cluster.run_compute(0, train_core_seconds, dep.cores_per_node,
+                          costs_.train_parallel_efficiency);
+      cluster.run_idle(costs_.iteration_overhead_s);
+    }
+    result.learn_wall_seconds += phase.seconds();
 
     steps_done += per_worker * n_workers;
     ++result.iterations;

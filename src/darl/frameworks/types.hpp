@@ -60,6 +60,15 @@ struct TrainResult {
   double reward_stddev = 0.0;   ///< eval-episode score spread
   double train_reward = 0.0;    ///< mean score of recent training episodes
   double wall_seconds = 0.0;    ///< real host time spent (not a metric)
+
+  /// Host wall time spent inside each training phase (collect = rollout
+  /// workers, learn = gradient updates + simulated learner accounting,
+  /// sync = policy/sample shipping). Always measured — two clock reads per
+  /// phase per iteration — and surfaced per trial in core/report.
+  double collect_wall_seconds = 0.0;
+  double learn_wall_seconds = 0.0;
+  double sync_wall_seconds = 0.0;
+
   std::size_t timesteps = 0;
   std::size_t episodes = 0;
   std::size_t iterations = 0;

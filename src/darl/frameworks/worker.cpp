@@ -1,6 +1,8 @@
 #include "darl/frameworks/worker.hpp"
 
 #include "darl/common/error.hpp"
+#include "darl/obs/metrics.hpp"
+#include "darl/obs/trace.hpp"
 
 namespace darl::frameworks {
 
@@ -17,6 +19,7 @@ RolloutWorker::RolloutWorker(std::size_t id, std::unique_ptr<env::Env> env,
 void RolloutWorker::sync(const Vec& params) { actor_->set_params(params); }
 
 rl::WorkerBatch RolloutWorker::collect(std::size_t n_steps) {
+  DARL_SPAN_V("worker.collect", "worker", id_);
   rl::WorkerBatch batch;
   batch.worker_id = id_;
   batch.transitions.reserve(n_steps);
@@ -47,7 +50,13 @@ rl::WorkerBatch RolloutWorker::collect(std::size_t n_steps) {
       obs_ = r.observation;
     }
   }
-  cost_.env_cost_units += env_->take_compute_cost();
+  const double env_cost = env_->take_compute_cost();
+  cost_.env_cost_units += env_cost;
+  // Surface the collection cost into the process-wide registry (the
+  // CollectCost struct itself stays backend-internal).
+  DARL_COUNTER_ADD("worker.steps", n_steps);
+  DARL_COUNTER_ADD("worker.inferences", n_steps);
+  DARL_GAUGE_ADD("worker.env_cost_units", env_cost);
   return batch;
 }
 

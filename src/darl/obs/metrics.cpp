@@ -1,0 +1,183 @@
+#include "darl/obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "darl/common/error.hpp"
+
+namespace darl::obs {
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+void atomic_add_double(std::atomic<double>& target, double delta) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+void set_metrics_enabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool metrics_enabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void Gauge::add(double delta) { atomic_add_double(value_, delta); }
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  DARL_CHECK(!bounds_.empty(), "histogram needs at least one bucket bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    DARL_CHECK(bounds_[i - 1] < bounds_[i],
+               "histogram bounds must be strictly increasing");
+  }
+  buckets_ = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+}
+
+void Histogram::observe(double v) {
+  // First bound >= v; values above every bound land in the overflow bucket.
+  const std::size_t i = static_cast<std::size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add_double(sum_, v);
+}
+
+std::vector<std::uint64_t> Histogram::counts() const {
+  std::vector<std::uint64_t> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) out.push_back(b.load(std::memory_order_relaxed));
+  return out;
+}
+
+double Histogram::sum() const { return sum_.load(std::memory_order_relaxed); }
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+Json RegistrySnapshot::to_json() const {
+  Json root = Json::object();
+  Json jc = Json::object();
+  for (const auto& [name, v] : counters) {
+    jc.set(name, Json::integer(static_cast<std::int64_t>(v)));
+  }
+  root.set("counters", std::move(jc));
+  Json jg = Json::object();
+  for (const auto& [name, v] : gauges) jg.set(name, Json::number(v));
+  root.set("gauges", std::move(jg));
+  Json jh = Json::object();
+  for (const auto& [name, h] : histograms) {
+    Json node = Json::object();
+    Json bounds = Json::array();
+    for (double b : h.bounds) bounds.push_back(Json::number(b));
+    node.set("bounds", std::move(bounds));
+    Json counts = Json::array();
+    for (std::uint64_t c : h.counts) {
+      counts.push_back(Json::integer(static_cast<std::int64_t>(c)));
+    }
+    node.set("counts", std::move(counts));
+    node.set("count", Json::integer(static_cast<std::int64_t>(h.count)));
+    node.set("sum", Json::number(h.sum));
+    jh.set(name, std::move(node));
+  }
+  root.set("histograms", std::move(jh));
+  return root;
+}
+
+void RegistrySnapshot::write_jsonl(JsonlWriter& out) const {
+  for (const auto& [name, v] : counters) {
+    Json rec = Json::object();
+    rec.set("kind", Json::string("counter"));
+    rec.set("name", Json::string(name));
+    rec.set("value", Json::integer(static_cast<std::int64_t>(v)));
+    out.write(rec);
+  }
+  for (const auto& [name, v] : gauges) {
+    Json rec = Json::object();
+    rec.set("kind", Json::string("gauge"));
+    rec.set("name", Json::string(name));
+    rec.set("value", Json::number(v));
+    out.write(rec);
+  }
+  for (const auto& [name, h] : histograms) {
+    Json rec = Json::object();
+    rec.set("kind", Json::string("histogram"));
+    rec.set("name", Json::string(name));
+    Json bounds = Json::array();
+    for (double b : h.bounds) bounds.push_back(Json::number(b));
+    rec.set("bounds", std::move(bounds));
+    Json counts = Json::array();
+    for (std::uint64_t c : h.counts) {
+      counts.push_back(Json::integer(static_cast<std::int64_t>(c)));
+    }
+    rec.set("counts", std::move(counts));
+    rec.set("count", Json::integer(static_cast<std::int64_t>(h.count)));
+    rec.set("sum", Json::number(h.sum));
+    out.write(rec);
+  }
+}
+
+Registry& Registry::global() {
+  // Leaked singleton: call sites cache references in function-local
+  // statics, which must stay valid through static destruction.
+  static Registry* g = new Registry();
+  return *g;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(std::move(bounds));
+  } else {
+    DARL_CHECK(slot->bounds() == bounds,
+               "histogram '" << name << "' re-registered with different bounds");
+  }
+  return *slot;
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.bounds = h->bounds();
+    hs.counts = h->counts();
+    hs.count = h->count();
+    hs.sum = h->sum();
+    snap.histograms[name] = std::move(hs);
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace darl::obs

@@ -1,0 +1,167 @@
+// darl/obs/metrics.hpp
+//
+// Process-wide metrics registry: named counters, gauges and fixed-bucket
+// histograms. Registration (name -> instrument lookup) takes a mutex once
+// per call site; the hot path is a single relaxed atomic operation, so
+// instruments may be hammered concurrently from every worker thread.
+// Snapshots serialize through darl::Json, and the whole layer is
+// zero-cost when disabled: a relaxed atomic-bool check at runtime
+// (set_metrics_enabled), or compiled out entirely with -DDARL_OBS_DISABLED.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "darl/common/jsonl.hpp"
+
+namespace darl::obs {
+
+/// Runtime gate for the metrics registry (default off, so benches measure
+/// the uninstrumented hot paths). Instruments still accept writes while
+/// disabled — the gate lives in the DARL_COUNTER_* / DARL_GAUGE_* macros
+/// and in callers using the registry directly.
+void set_metrics_enabled(bool enabled);
+bool metrics_enabled();
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value / accumulating double instrument.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta);
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations v with
+/// bounds[i-1] < v <= bounds[i]; one implicit overflow bucket counts
+/// v > bounds.back(). Bounds are fixed at registration (strictly
+/// increasing, non-empty).
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v);
+
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts, size bounds().size() + 1 (last = overflow).
+  std::vector<std::uint64_t> counts() const;
+  std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  void reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::vector<std::atomic<std::uint64_t>> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Point-in-time copy of one histogram.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  ///< size bounds.size() + 1
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Point-in-time copy of the whole registry.
+struct RegistrySnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+
+  /// One Json object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  Json to_json() const;
+
+  /// One JSONL record per instrument:
+  /// {"kind":"counter","name":...,"value":...} etc.
+  void write_jsonl(JsonlWriter& out) const;
+};
+
+/// Named-instrument registry. Lookup registers on first use and returns a
+/// reference that stays valid for the registry's lifetime (reset() zeroes
+/// values but never invalidates references — call sites may cache them).
+class Registry {
+ public:
+  /// The process-wide registry used by the DARL_COUNTER_* macros.
+  static Registry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// First registration fixes the bounds; a later call with different
+  /// bounds throws darl::InvalidArgument.
+  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+
+  RegistrySnapshot snapshot() const;
+
+  /// Zero every instrument, keeping registrations (and references) alive.
+  void reset();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace darl::obs
+
+#define DARL_OBS_CONCAT_INNER(a, b) a##b
+#define DARL_OBS_CONCAT(a, b) DARL_OBS_CONCAT_INNER(a, b)
+
+// Hot-path macros: one relaxed atomic-bool load when disabled; the
+// instrument reference is resolved once per call site (function-local
+// static) when enabled. `name` must outlive the first call (use literals).
+#ifndef DARL_OBS_DISABLED
+#define DARL_COUNTER_ADD(name, n)                                             \
+  do {                                                                        \
+    if (::darl::obs::metrics_enabled()) {                                     \
+      static ::darl::obs::Counter& DARL_OBS_CONCAT(darl_obs_ctr_, __LINE__) = \
+          ::darl::obs::Registry::global().counter(name);                      \
+      DARL_OBS_CONCAT(darl_obs_ctr_, __LINE__)                                \
+          .add(static_cast<std::uint64_t>(n));                                \
+    }                                                                         \
+  } while (0)
+#define DARL_GAUGE_ADD(name, v)                                               \
+  do {                                                                        \
+    if (::darl::obs::metrics_enabled()) {                                     \
+      static ::darl::obs::Gauge& DARL_OBS_CONCAT(darl_obs_gge_, __LINE__) =   \
+          ::darl::obs::Registry::global().gauge(name);                        \
+      DARL_OBS_CONCAT(darl_obs_gge_, __LINE__)                                \
+          .add(static_cast<double>(v));                                       \
+    }                                                                         \
+  } while (0)
+#define DARL_GAUGE_SET(name, v)                                               \
+  do {                                                                        \
+    if (::darl::obs::metrics_enabled()) {                                     \
+      static ::darl::obs::Gauge& DARL_OBS_CONCAT(darl_obs_gge_, __LINE__) =   \
+          ::darl::obs::Registry::global().gauge(name);                        \
+      DARL_OBS_CONCAT(darl_obs_gge_, __LINE__)                                \
+          .set(static_cast<double>(v));                                       \
+    }                                                                         \
+  } while (0)
+#else
+#define DARL_COUNTER_ADD(name, n) static_cast<void>(0)
+#define DARL_GAUGE_ADD(name, v) static_cast<void>(0)
+#define DARL_GAUGE_SET(name, v) static_cast<void>(0)
+#endif

@@ -1,0 +1,195 @@
+#include "darl/obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+
+#include "darl/common/log.hpp"
+
+namespace darl::obs {
+namespace {
+
+// Per-thread buffers are flushed into the process-wide trace when they
+// reach kFlushAt spans (and at thread exit); the trace itself is capped at
+// kMaxSpans to bound memory on runaway instrumentation.
+constexpr std::size_t kFlushAt = 4096;
+constexpr std::size_t kMaxSpans = 1u << 20;
+
+std::atomic<bool> g_tracing_enabled{false};
+thread_local std::int64_t t_current_trial = -1;
+
+struct ThreadBuffer;
+
+// Process-wide trace. Leaked singleton: thread-exit flushes may run during
+// static destruction.
+struct GlobalTrace {
+  std::mutex mutex;
+  std::vector<SpanRecord> spans;
+  std::vector<ThreadBuffer*> live;
+  std::size_t dropped = 0;
+
+  void append(std::vector<SpanRecord>& batch) {
+    // Caller holds no locks; takes the global mutex.
+    std::lock_guard<std::mutex> lock(mutex);
+    append_locked(batch);
+  }
+
+  void append_locked(std::vector<SpanRecord>& batch) {
+    const std::size_t room =
+        spans.size() < kMaxSpans ? kMaxSpans - spans.size() : 0;
+    const std::size_t take = std::min(room, batch.size());
+    spans.insert(spans.end(), batch.begin(),
+                 batch.begin() + static_cast<std::ptrdiff_t>(take));
+    dropped += batch.size() - take;
+    batch.clear();
+  }
+};
+
+GlobalTrace& trace() {
+  static GlobalTrace* g = new GlobalTrace();
+  return *g;
+}
+
+// One per thread that ever emitted a span. Lock ordering: the owner thread
+// only ever holds `mutex` alone (push) or the global mutex alone (flush,
+// after swapping the batch out); collect_spans holds global-then-local,
+// which is safe because no path acquires local-then-global.
+struct ThreadBuffer {
+  std::mutex mutex;
+  std::vector<SpanRecord> local;
+
+  ThreadBuffer() {
+    local.reserve(kFlushAt);
+    GlobalTrace& g = trace();
+    std::lock_guard<std::mutex> lock(g.mutex);
+    g.live.push_back(this);
+  }
+
+  ~ThreadBuffer() {
+    std::vector<SpanRecord> batch;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      batch.swap(local);
+    }
+    GlobalTrace& g = trace();
+    std::lock_guard<std::mutex> lock(g.mutex);
+    g.live.erase(std::remove(g.live.begin(), g.live.end(), this), g.live.end());
+    g.append_locked(batch);
+  }
+
+  void push(const SpanRecord& r) {
+    std::vector<SpanRecord> batch;
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      local.push_back(r);
+      if (local.size() < kFlushAt) return;
+      batch.swap(local);
+      local.reserve(kFlushAt);
+    }
+    trace().append(batch);
+  }
+};
+
+ThreadBuffer& thread_buffer() {
+  thread_local ThreadBuffer buffer;
+  return buffer;
+}
+
+}  // namespace
+
+void set_tracing_enabled(bool enabled) {
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool tracing_enabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool enabled) {
+  set_tracing_enabled(enabled);
+  set_metrics_enabled(enabled);
+}
+
+std::int64_t current_trial() { return t_current_trial; }
+
+TrialScope::TrialScope(std::int64_t trial_id) : previous_(t_current_trial) {
+  t_current_trial = trial_id;
+}
+
+TrialScope::~TrialScope() { t_current_trial = previous_; }
+
+namespace detail {
+
+void finish_span(const char* name, std::uint64_t start_ns, const char* k1,
+                 std::int64_t v1, const char* k2, std::int64_t v2) {
+  SpanRecord r;
+  r.name = name;
+  r.start_ns = start_ns;
+  r.end_ns = process_uptime_ns();
+  r.tid = thread_ordinal();
+  r.trial = t_current_trial;
+  r.k1 = k1;
+  r.v1 = v1;
+  r.k2 = k2;
+  r.v2 = v2;
+  thread_buffer().push(r);
+}
+
+}  // namespace detail
+
+std::vector<SpanRecord> collect_spans() {
+  GlobalTrace& g = trace();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  std::vector<SpanRecord> out = g.spans;
+  for (ThreadBuffer* b : g.live) {
+    std::lock_guard<std::mutex> local_lock(b->mutex);
+    out.insert(out.end(), b->local.begin(), b->local.end());
+  }
+  return out;
+}
+
+void clear_spans() {
+  GlobalTrace& g = trace();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  g.spans.clear();
+  g.dropped = 0;
+  for (ThreadBuffer* b : g.live) {
+    std::lock_guard<std::mutex> local_lock(b->mutex);
+    b->local.clear();
+  }
+}
+
+std::size_t spans_dropped() {
+  GlobalTrace& g = trace();
+  std::lock_guard<std::mutex> lock(g.mutex);
+  return g.dropped;
+}
+
+Json chrome_trace_json(const std::vector<SpanRecord>& spans) {
+  Json events = Json::array();
+  for (const SpanRecord& s : spans) {
+    Json e = Json::object();
+    e.set("name", Json::string(s.name));
+    e.set("cat", Json::string("darl"));
+    e.set("ph", Json::string("X"));
+    e.set("ts", Json::number(static_cast<double>(s.start_ns) / 1e3));
+    e.set("dur",
+          Json::number(static_cast<double>(s.end_ns - s.start_ns) / 1e3));
+    e.set("pid", Json::integer(1));
+    e.set("tid", Json::integer(s.tid));
+    if (s.trial >= 0 || s.k1 != nullptr) {
+      Json args = Json::object();
+      if (s.trial >= 0) args.set("trial", Json::integer(s.trial));
+      if (s.k1 != nullptr) args.set(s.k1, Json::integer(s.v1));
+      if (s.k2 != nullptr) args.set(s.k2, Json::integer(s.v2));
+      e.set("args", std::move(args));
+    }
+    events.push_back(std::move(e));
+  }
+  Json root = Json::object();
+  root.set("traceEvents", std::move(events));
+  root.set("displayTimeUnit", Json::string("ms"));
+  return root;
+}
+
+}  // namespace darl::obs

@@ -1,0 +1,122 @@
+// darl/obs/trace.hpp
+//
+// Span tracing: RAII DARL_SPAN("backend.collect") scopes record
+// {name, start, end, thread, trial, args} into per-thread buffers that are
+// flushed into one process-wide trace, exportable as Chrome trace-event
+// JSON (open in Perfetto / chrome://tracing). Disabled spans cost one
+// relaxed atomic-bool load; -DDARL_OBS_DISABLED compiles them out.
+//
+// Span names and arg keys must be string literals (or otherwise outlive
+// the trace) — records store the pointers, not copies.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "darl/common/jsonl.hpp"
+#include "darl/common/stopwatch.hpp"
+#include "darl/obs/metrics.hpp"  // for the DARL_OBS_CONCAT helpers
+
+namespace darl::obs {
+
+/// Runtime gate for span recording (default off).
+void set_tracing_enabled(bool enabled);
+bool tracing_enabled();
+
+/// Convenience: flip metrics and tracing together.
+void set_enabled(bool enabled);
+
+/// One finished span. Times are process_uptime_ns() values.
+struct SpanRecord {
+  const char* name = nullptr;
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  int tid = 0;            ///< darl::thread_ordinal() of the emitting thread
+  std::int64_t trial = -1;  ///< current_trial() at emission (-1 = none)
+  const char* k1 = nullptr;  ///< optional integer arg, e.g. "worker"
+  std::int64_t v1 = 0;
+  const char* k2 = nullptr;
+  std::int64_t v2 = 0;
+};
+
+/// Snapshot every span recorded so far (flushed + still thread-local).
+/// Safe to call while other threads keep emitting.
+std::vector<SpanRecord> collect_spans();
+
+/// Drop all recorded spans (flushed and thread-local).
+void clear_spans();
+
+/// Spans discarded because the process-wide trace hit its size cap.
+std::size_t spans_dropped();
+
+/// Chrome trace-event JSON ({"traceEvents":[...]} with "X" complete
+/// events; ts/dur in microseconds, tid = thread ordinal, args carry
+/// trial/worker ids). Loadable in Perfetto and chrome://tracing.
+Json chrome_trace_json(const std::vector<SpanRecord>& spans);
+
+namespace detail {
+void finish_span(const char* name, std::uint64_t start_ns, const char* k1,
+                 std::int64_t v1, const char* k2, std::int64_t v2);
+}  // namespace detail
+
+/// RAII span. Inactive (and nearly free) when tracing is disabled at
+/// construction time.
+class SpanScope {
+ public:
+  explicit SpanScope(const char* name, const char* k1 = nullptr,
+                     std::int64_t v1 = 0, const char* k2 = nullptr,
+                     std::int64_t v2 = 0) {
+    if (!tracing_enabled()) return;
+    name_ = name;
+    k1_ = k1;
+    v1_ = v1;
+    k2_ = k2;
+    v2_ = v2;
+    start_ns_ = process_uptime_ns();
+  }
+  ~SpanScope() {
+    if (name_ != nullptr) detail::finish_span(name_, start_ns_, k1_, v1_, k2_, v2_);
+  }
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  std::uint64_t start_ns_ = 0;
+  const char* k1_ = nullptr;
+  std::int64_t v1_ = 0;
+  const char* k2_ = nullptr;
+  std::int64_t v2_ = 0;
+};
+
+/// Thread-local trial tag: spans emitted by this thread (and threads that
+/// re-tag themselves with the parent's current_trial()) carry the trial id,
+/// keying the exported trace by trial.
+std::int64_t current_trial();
+
+class TrialScope {
+ public:
+  explicit TrialScope(std::int64_t trial_id);
+  ~TrialScope();
+  TrialScope(const TrialScope&) = delete;
+  TrialScope& operator=(const TrialScope&) = delete;
+
+ private:
+  std::int64_t previous_;
+};
+
+}  // namespace darl::obs
+
+#ifndef DARL_OBS_DISABLED
+#define DARL_SPAN(name) \
+  ::darl::obs::SpanScope DARL_OBS_CONCAT(darl_obs_span_, __LINE__){name}
+#define DARL_SPAN_V(name, key, value)                       \
+  ::darl::obs::SpanScope DARL_OBS_CONCAT(darl_obs_span_,   \
+                                         __LINE__){name, key, \
+                                                   static_cast<std::int64_t>(value)}
+#else
+#define DARL_SPAN(name) static_cast<void>(0)
+#define DARL_SPAN_V(name, key, value) static_cast<void>(0)
+#endif

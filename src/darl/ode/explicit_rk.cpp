@@ -64,7 +64,7 @@ double ExplicitRk::attempt_step(const Rhs& rhs, double t, const Vec& y,
   return rms_norm_scaled(y_err_, err_scale_);
 }
 
-void ExplicitRk::integrate(const Rhs& rhs, double t0, double t1, Vec& y) {
+void ExplicitRk::do_integrate(const Rhs& rhs, double t0, double t1, Vec& y) {
   DARL_CHECK(!y.empty(), "integrate with empty state");
   DARL_CHECK(t1 >= t0, "integrate with t1 < t0");
   if (t1 == t0) return;
@@ -127,7 +127,7 @@ FixedStepRk::FixedStepRk(ButcherTableau tableau, std::size_t n_steps)
   k_.resize(tableau_.stages());
 }
 
-void FixedStepRk::integrate(const Rhs& rhs, double t0, double t1, Vec& y) {
+void FixedStepRk::do_integrate(const Rhs& rhs, double t0, double t1, Vec& y) {
   DARL_CHECK(!y.empty(), "integrate with empty state");
   DARL_CHECK(t1 >= t0, "integrate with t1 < t0");
   if (t1 == t0) return;

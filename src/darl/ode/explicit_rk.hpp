@@ -22,7 +22,7 @@ class ExplicitRk final : public Integrator {
   /// The tableau must be embedded (b_low non-empty) and valid.
   ExplicitRk(ButcherTableau tableau, AdaptiveOptions options);
 
-  void integrate(const Rhs& rhs, double t0, double t1, Vec& y) override;
+  void do_integrate(const Rhs& rhs, double t0, double t1, Vec& y) override;
   int order() const override { return tableau_.order; }
   const std::string& name() const override { return tableau_.name; }
 
@@ -49,7 +49,7 @@ class FixedStepRk final : public Integrator {
  public:
   FixedStepRk(ButcherTableau tableau, std::size_t n_steps);
 
-  void integrate(const Rhs& rhs, double t0, double t1, Vec& y) override;
+  void do_integrate(const Rhs& rhs, double t0, double t1, Vec& y) override;
   int order() const override { return tableau_.order; }
   const std::string& name() const override { return tableau_.name; }
 

@@ -53,7 +53,7 @@ void GbsExtrapolation::modified_midpoint(const Rhs& rhs, double t, const Vec& y,
     out[i] = 0.5 * (z_prev_[i] + z_curr_[i] + h * deriv_[i]);
 }
 
-void GbsExtrapolation::integrate(const Rhs& rhs, double t0, double t1, Vec& y) {
+void GbsExtrapolation::do_integrate(const Rhs& rhs, double t0, double t1, Vec& y) {
   DARL_CHECK(!y.empty(), "integrate with empty state");
   DARL_CHECK(t1 >= t0, "integrate with t1 < t0");
   if (t1 == t0) return;

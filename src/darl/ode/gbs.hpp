@@ -25,7 +25,7 @@ class GbsExtrapolation final : public Integrator {
   /// `half_order` is k; the method order is 2k. Requires k >= 2.
   GbsExtrapolation(int half_order, AdaptiveOptions options);
 
-  void integrate(const Rhs& rhs, double t0, double t1, Vec& y) override;
+  void do_integrate(const Rhs& rhs, double t0, double t1, Vec& y) override;
   int order() const override { return 2 * k_; }
   const std::string& name() const override { return name_; }
 

@@ -1,11 +1,20 @@
 #include "darl/ode/integrator.hpp"
 
 #include "darl/common/error.hpp"
+#include "darl/obs/metrics.hpp"
 #include "darl/ode/explicit_rk.hpp"
 #include "darl/ode/gbs.hpp"
 #include "darl/ode/tableau.hpp"
 
 namespace darl::ode {
+
+void Integrator::integrate(const Rhs& rhs, double t0, double t1, Vec& y) {
+  const std::size_t rhs_before = stats_.n_rhs_evals;
+  const std::size_t steps_before = stats_.n_steps;
+  do_integrate(rhs, t0, t1, y);
+  DARL_COUNTER_ADD("ode.rhs_evals", stats_.n_rhs_evals - rhs_before);
+  DARL_COUNTER_ADD("ode.steps", stats_.n_steps - steps_before);
+}
 
 const char* rk_order_name(RkOrder order) {
   switch (order) {

@@ -24,7 +24,9 @@ class Integrator {
   /// Advance `y` (in place) from t0 to t1 under the configured error
   /// control. Requires t1 >= t0 and a non-empty state. Throws darl::Error
   /// if the step limit is exhausted or the state becomes non-finite.
-  virtual void integrate(const Rhs& rhs, double t0, double t1, Vec& y) = 0;
+  /// Non-virtual: dispatches to do_integrate() and feeds the step/RHS-eval
+  /// deltas to the darl::obs metrics registry when observability is on.
+  void integrate(const Rhs& rhs, double t0, double t1, Vec& y);
 
   /// Nominal convergence order of the method.
   virtual int order() const = 0;
@@ -37,6 +39,8 @@ class Integrator {
   void reset_stats() { stats_.reset(); }
 
  protected:
+  virtual void do_integrate(const Rhs& rhs, double t0, double t1, Vec& y) = 0;
+
   IntegrationStats stats_;
 };
 

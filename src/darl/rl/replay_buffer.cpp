@@ -2,6 +2,7 @@
 
 #include "darl/common/error.hpp"
 #include "darl/common/rng.hpp"
+#include "darl/obs/metrics.hpp"
 
 namespace darl::rl {
 
@@ -19,11 +20,13 @@ void ReplayBuffer::push(const Transition& t) {
   }
   next_ = (next_ + 1) % capacity_;
   ++total_pushed_;
+  DARL_COUNTER_ADD("replay.push", 1);
 }
 
 std::vector<const Transition*> ReplayBuffer::sample(std::size_t n,
                                                     Rng& rng) const {
   DARL_CHECK(!empty(), "sampling from an empty replay buffer");
+  DARL_COUNTER_ADD("replay.sample", n);
   std::vector<const Transition*> out;
   out.reserve(n);
   for (std::size_t i = 0; i < n; ++i) out.push_back(&storage_[rng.index(size_)]);

@@ -281,6 +281,39 @@ TEST(Json, KindChecksThrow) {
   EXPECT_THROW(o.as_number(), Error);
 }
 
+TEST(Json, EscapesControlAndSpecialCharacters) {
+  EXPECT_EQ(json_escape("quote\" back\\slash"), "quote\\\" back\\\\slash");
+  EXPECT_EQ(json_escape("\b\f\n\r\t"), "\\b\\f\\n\\r\\t");
+  // Other control characters become \u00XX escapes.
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(json_escape(std::string("a\0b", 3)), "a\\u0000b");
+  EXPECT_EQ(json_escape(std::string(1, '\x1f')), "\\u001f");
+  // Non-ASCII (UTF-8) bytes pass through untouched.
+  EXPECT_EQ(json_escape("caf\xc3\xa9 \xe2\x82\xac"), "caf\xc3\xa9 \xe2\x82\xac");
+  EXPECT_EQ(Json::string("tab\there").dump(), "\"tab\\there\"");
+}
+
+TEST(Json, NestedContainersRoundTripThroughDump) {
+  Json inner = Json::object();
+  inner.set("k\"ey", Json::string("v\nal"));
+  Json arr = Json::array();
+  arr.push_back(Json::integer(1));
+  arr.push_back(std::move(inner));
+  Json nested_arr = Json::array();
+  nested_arr.push_back(Json::array());
+  arr.push_back(std::move(nested_arr));
+  Json root = Json::object();
+  root.set("list", std::move(arr));
+  root.set("empty", Json::object());
+  EXPECT_EQ(root.dump(),
+            "{\"empty\":{},\"list\":[1,{\"k\\\"ey\":\"v\\nal\"},[[]]]}");
+  // The tree is still walkable after dump (dump is const / non-destructive).
+  const auto& list = root.as_object().at("list").as_array();
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[1].as_object().at("k\"ey").as_string(), "v\nal");
+  EXPECT_TRUE(list[2].as_array()[0].as_array().empty());
+}
+
 TEST(Jsonl, OneRecordPerLine) {
   std::ostringstream out;
   JsonlWriter w(out);
@@ -366,6 +399,25 @@ TEST(Log, LevelRoundTripAndSuppression) {
   // Below-threshold messages are dropped without side effects.
   log_message(LogLevel::Debug, "should be dropped");
   DARL_LOG_INFO << "also dropped";
+  set_log_level(before);
+}
+
+struct FormatProbe {
+  int* calls;
+};
+
+std::ostream& operator<<(std::ostream& os, const FormatProbe& p) {
+  ++*p.calls;
+  return os << "probe";
+}
+
+TEST(Log, DroppedLinesNeverFormatTheirArguments) {
+  const LogLevel before = log_level();
+  set_log_level(LogLevel::Off);
+  int calls = 0;
+  DARL_LOG_ERROR << "expensive " << FormatProbe{&calls};
+  EXPECT_EQ(calls, 0);
+  EXPECT_FALSE(log_enabled(LogLevel::Error));
   set_log_level(before);
 }
 

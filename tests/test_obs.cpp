@@ -1,0 +1,378 @@
+// Unit tests for darl/obs: metrics registry (counters, gauges, histograms),
+// span tracer, Chrome trace export, and the enabled/disabled gates.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "darl/common/error.hpp"
+#include "darl/common/jsonl.hpp"
+#include "darl/obs/metrics.hpp"
+#include "darl/obs/trace.hpp"
+
+namespace darl::obs {
+namespace {
+
+// Each test owns the process-wide state: reset instruments and spans, turn
+// the layer on, and turn it back off on exit so other suites (which expect
+// the default-off gates) are unaffected.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Registry::global().reset();
+    clear_spans();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    Registry::global().reset();
+    clear_spans();
+  }
+};
+
+// ------------------------------------------------------------- validator
+//
+// Minimal JSON syntax checker (the repo has a writer but no parser): accepts
+// a position, consumes one value, reports success. Enough to assert the
+// exporter emits structurally valid JSON.
+
+bool skip_value(const std::string& s, std::size_t& i);
+
+void skip_ws(const std::string& s, std::size_t& i) {
+  while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' || s[i] == '\r'))
+    ++i;
+}
+
+bool skip_string(const std::string& s, std::size_t& i) {
+  if (i >= s.size() || s[i] != '"') return false;
+  ++i;
+  while (i < s.size() && s[i] != '"') {
+    if (s[i] == '\\') {
+      ++i;
+      if (i >= s.size()) return false;
+      const char c = s[i];
+      if (c == 'u') {
+        for (int k = 0; k < 4; ++k) {
+          ++i;
+          if (i >= s.size() || !std::isxdigit(static_cast<unsigned char>(s[i])))
+            return false;
+        }
+      } else if (c != '"' && c != '\\' && c != '/' && c != 'b' && c != 'f' &&
+                 c != 'n' && c != 'r' && c != 't') {
+        return false;
+      }
+    } else if (static_cast<unsigned char>(s[i]) < 0x20) {
+      return false;  // raw control character inside a string
+    }
+    ++i;
+  }
+  if (i >= s.size()) return false;
+  ++i;  // closing quote
+  return true;
+}
+
+bool skip_number(const std::string& s, std::size_t& i) {
+  const std::size_t start = i;
+  if (i < s.size() && s[i] == '-') ++i;
+  while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+  if (i < s.size() && s[i] == '.') {
+    ++i;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  if (i < s.size() && (s[i] == 'e' || s[i] == 'E')) {
+    ++i;
+    if (i < s.size() && (s[i] == '+' || s[i] == '-')) ++i;
+    while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) ++i;
+  }
+  return i > start && s[start] != '.' &&
+         std::isdigit(static_cast<unsigned char>(s[i - 1]));
+}
+
+bool skip_value(const std::string& s, std::size_t& i) {
+  skip_ws(s, i);
+  if (i >= s.size()) return false;
+  const char c = s[i];
+  if (c == '"') return skip_string(s, i);
+  if (c == '{') {
+    ++i;
+    skip_ws(s, i);
+    if (i < s.size() && s[i] == '}') { ++i; return true; }
+    while (true) {
+      skip_ws(s, i);
+      if (!skip_string(s, i)) return false;
+      skip_ws(s, i);
+      if (i >= s.size() || s[i] != ':') return false;
+      ++i;
+      if (!skip_value(s, i)) return false;
+      skip_ws(s, i);
+      if (i < s.size() && s[i] == ',') { ++i; continue; }
+      if (i < s.size() && s[i] == '}') { ++i; return true; }
+      return false;
+    }
+  }
+  if (c == '[') {
+    ++i;
+    skip_ws(s, i);
+    if (i < s.size() && s[i] == ']') { ++i; return true; }
+    while (true) {
+      if (!skip_value(s, i)) return false;
+      skip_ws(s, i);
+      if (i < s.size() && s[i] == ',') { ++i; continue; }
+      if (i < s.size() && s[i] == ']') { ++i; return true; }
+      return false;
+    }
+  }
+  if (s.compare(i, 4, "true") == 0) { i += 4; return true; }
+  if (s.compare(i, 5, "false") == 0) { i += 5; return true; }
+  if (s.compare(i, 4, "null") == 0) { i += 4; return true; }
+  return skip_number(s, i);
+}
+
+bool is_valid_json(const std::string& s) {
+  std::size_t i = 0;
+  if (!skip_value(s, i)) return false;
+  skip_ws(s, i);
+  return i == s.size();
+}
+
+TEST(JsonValidator, SelfCheck) {
+  EXPECT_TRUE(is_valid_json(R"({"a":[1,2.5,-3e4],"b":"x\n","c":null})"));
+  EXPECT_FALSE(is_valid_json(R"({"a":1,})"));
+  EXPECT_FALSE(is_valid_json(R"([1,2)"));
+  EXPECT_FALSE(is_valid_json("{\"a\":\"\x01\"}"));
+}
+
+// --------------------------------------------------------------- metrics
+
+TEST_F(ObsTest, ConcurrentCounterIncrementsSumExactly) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 50000;
+  Counter& c = Registry::global().counter("test.concurrent");
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i)
+        DARL_COUNTER_ADD("test.concurrent", 1);
+      (void)c;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST_F(ObsTest, CounterMacroRespectsDisable) {
+  set_metrics_enabled(false);
+  DARL_COUNTER_ADD("test.gated", 5);
+  set_metrics_enabled(true);
+  DARL_COUNTER_ADD("test.gated", 2);
+  EXPECT_EQ(Registry::global().counter("test.gated").value(), 2u);
+}
+
+TEST_F(ObsTest, GaugeSetAddAndConcurrentAdd) {
+  Gauge& g = Registry::global().gauge("test.gauge");
+  g.set(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.add(0.25);
+  EXPECT_DOUBLE_EQ(g.value(), 1.75);
+
+  g.reset();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&g] {
+      for (int i = 0; i < 10000; ++i) g.add(0.5);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_DOUBLE_EQ(g.value(), 4 * 10000 * 0.5);  // halves sum exactly
+}
+
+TEST_F(ObsTest, HistogramBucketBoundaries) {
+  Histogram& h = Registry::global().histogram("test.hist", {1.0, 2.0, 4.0});
+  // le-semantics: bucket i counts bounds[i-1] < v <= bounds[i].
+  h.observe(0.5);   // bucket 0
+  h.observe(1.0);   // bucket 0 (boundary is inclusive)
+  h.observe(1.001); // bucket 1
+  h.observe(2.0);   // bucket 1
+  h.observe(3.0);   // bucket 2
+  h.observe(4.0);   // bucket 2
+  h.observe(4.001); // overflow
+  h.observe(100.0); // overflow
+  const auto counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 2u);
+  EXPECT_EQ(counts[3], 2u);
+  EXPECT_EQ(h.count(), 8u);
+  EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 1.001 + 2.0 + 3.0 + 4.0 + 4.001 + 100.0, 1e-9);
+}
+
+TEST_F(ObsTest, HistogramRejectsBadBounds) {
+  EXPECT_THROW(Histogram({}), Error);
+  EXPECT_THROW(Histogram({1.0, 1.0}), Error);
+  EXPECT_THROW(Histogram({2.0, 1.0}), Error);
+  // Re-registration with different bounds is a programming error.
+  Registry::global().histogram("test.hist_fixed", {1.0, 2.0});
+  EXPECT_NO_THROW(Registry::global().histogram("test.hist_fixed", {1.0, 2.0}));
+  EXPECT_THROW(Registry::global().histogram("test.hist_fixed", {3.0}), Error);
+}
+
+TEST_F(ObsTest, SnapshotAndResetKeepReferencesValid) {
+  Counter& c = Registry::global().counter("test.snap_ctr");
+  c.add(3);
+  Registry::global().gauge("test.snap_gauge").set(2.5);
+  Registry::global().histogram("test.snap_hist", {1.0}).observe(0.5);
+
+  RegistrySnapshot snap = Registry::global().snapshot();
+  EXPECT_EQ(snap.counters.at("test.snap_ctr"), 3u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("test.snap_gauge"), 2.5);
+  EXPECT_EQ(snap.histograms.at("test.snap_hist").count, 1u);
+
+  Registry::global().reset();
+  c.add(1);  // the pre-reset reference still points at the live instrument
+  EXPECT_EQ(Registry::global().snapshot().counters.at("test.snap_ctr"), 1u);
+
+  const std::string json = snap.to_json().dump();
+  EXPECT_TRUE(is_valid_json(json)) << json;
+  std::ostringstream os;
+  JsonlWriter writer(os);
+  snap.write_jsonl(writer);
+  EXPECT_GE(writer.records(), 3u);
+  std::istringstream lines(os.str());
+  std::string line;
+  while (std::getline(lines, line)) EXPECT_TRUE(is_valid_json(line)) << line;
+}
+
+// ----------------------------------------------------------------- spans
+
+TEST_F(ObsTest, SpansNestAndCarryTrialTags) {
+  {
+    TrialScope trial(42);
+    DARL_SPAN("outer");
+    {
+      DARL_SPAN_V("inner", "worker", 7);
+    }
+  }
+  const auto spans = collect_spans();
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner closes first, so it flushes first.
+  const SpanRecord& inner = spans[0];
+  const SpanRecord& outer = spans[1];
+  EXPECT_STREQ(inner.name, "inner");
+  EXPECT_STREQ(outer.name, "outer");
+  EXPECT_EQ(inner.trial, 42);
+  EXPECT_EQ(outer.trial, 42);
+  EXPECT_STREQ(inner.k1, "worker");
+  EXPECT_EQ(inner.v1, 7);
+  // Correct nesting: inner lies within outer on the same thread.
+  EXPECT_EQ(inner.tid, outer.tid);
+  EXPECT_GE(inner.start_ns, outer.start_ns);
+  EXPECT_LE(inner.end_ns, outer.end_ns);
+}
+
+TEST_F(ObsTest, MultiThreadSpansKeepPerThreadOrdering) {
+  constexpr int kThreads = 4;
+  constexpr int kSpansPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        DARL_SPAN("unit");
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  auto spans = collect_spans();
+  ASSERT_EQ(spans.size(), static_cast<std::size_t>(kThreads * kSpansPerThread));
+
+  std::map<int, std::vector<SpanRecord>> by_tid;
+  for (const auto& s : spans) {
+    EXPECT_LE(s.start_ns, s.end_ns);
+    by_tid[s.tid].push_back(s);
+  }
+  ASSERT_EQ(by_tid.size(), static_cast<std::size_t>(kThreads));
+  for (auto& [tid, list] : by_tid) {
+    EXPECT_EQ(list.size(), static_cast<std::size_t>(kSpansPerThread));
+    // Sequential scopes on one thread never overlap.
+    std::sort(list.begin(), list.end(),
+              [](const SpanRecord& a, const SpanRecord& b) {
+                return a.start_ns < b.start_ns;
+              });
+    for (std::size_t i = 1; i < list.size(); ++i)
+      EXPECT_GE(list[i].start_ns, list[i - 1].end_ns);
+  }
+}
+
+TEST_F(ObsTest, DisabledTracingRecordsNothing) {
+  set_tracing_enabled(false);
+  {
+    DARL_SPAN("ghost");
+  }
+  EXPECT_TRUE(collect_spans().empty());
+}
+
+TEST_F(ObsTest, ChromeTraceExportIsValidJson) {
+  {
+    TrialScope trial(3);
+    DARL_SPAN_V("backend.collect", "worker", 1);
+  }
+  {
+    DARL_SPAN("study.run");
+  }
+  const auto spans = collect_spans();
+  const Json doc = chrome_trace_json(spans);
+  const std::string text = doc.dump();
+  EXPECT_TRUE(is_valid_json(text)) << text;
+
+  const auto& events = doc.as_object().at("traceEvents").as_array();
+  ASSERT_EQ(events.size(), spans.size());
+  bool saw_collect = false;
+  for (const auto& ev : events) {
+    const auto& obj = ev.as_object();
+    EXPECT_EQ(obj.at("ph").as_string(), "X");
+    EXPECT_GE(obj.at("dur").as_number(), 0.0);
+    if (obj.at("name").as_string() == "backend.collect") {
+      saw_collect = true;
+      const auto& args = obj.at("args").as_object();
+      EXPECT_DOUBLE_EQ(args.at("trial").as_number(), 3.0);
+      EXPECT_DOUBLE_EQ(args.at("worker").as_number(), 1.0);
+    }
+  }
+  EXPECT_TRUE(saw_collect);
+}
+
+TEST_F(ObsTest, CollectIsSafeWhileThreadsEmit) {
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> emitters;
+  for (int t = 0; t < 4; ++t) {
+    emitters.emplace_back([&stop] {
+      // Emit a minimum batch even if the collector finishes first.
+      for (int i = 0; i < 100 || !stop.load(std::memory_order_relaxed); ++i) {
+        DARL_SPAN("churn");
+        DARL_COUNTER_ADD("test.churn", 1);
+      }
+    });
+  }
+  std::size_t last = 0;
+  for (int i = 0; i < 10; ++i) {
+    const auto spans = collect_spans();
+    EXPECT_GE(spans.size(), last);
+    last = spans.size();
+    (void)Registry::global().snapshot();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : emitters) t.join();
+  EXPECT_GT(collect_spans().size(), 0u);
+}
+
+}  // namespace
+}  // namespace darl::obs

@@ -11,6 +11,8 @@
 //   --cache PATH          campaign CSV cache ("" disables; table1 only)
 //   --figure X,Y          extra Pareto plot over a metric pair (repeatable)
 //   --csv PATH            write the trial table as CSV
+//   --trace-out PATH      write a Chrome trace-event JSON of the run
+//   --obs-out PATH        write the metrics-registry snapshot as JSONL
 //   --verbose             log trial progress
 //   --help
 //
@@ -26,8 +28,11 @@
 #include <string>
 #include <vector>
 
+#include "darl/common/jsonl.hpp"
 #include "darl/common/log.hpp"
 #include "darl/common/rng.hpp"
+#include "darl/obs/metrics.hpp"
+#include "darl/obs/trace.hpp"
 #include "darl/core/airdrop_study.hpp"
 #include "darl/core/ranking.hpp"
 #include "darl/core/stability.hpp"
@@ -48,6 +53,8 @@ struct CliOptions {
   std::vector<std::pair<std::string, std::string>> figures;
   std::string csv_out;
   std::string report_out;
+  std::string trace_out;
+  std::string obs_out;
   bool verbose = false;
   bool stability = false;
 };
@@ -64,6 +71,9 @@ struct CliOptions {
       "  --cache PATH      campaign cache (table1 only; \"\" disables)\n"
       "  --figure X,Y      extra Pareto plot over metrics X and Y\n"
       "  --csv PATH        write the trial table as CSV\n"
+      "  --trace-out PATH  write a Chrome trace-event JSON (Perfetto /\n"
+      "                    chrome://tracing) of the study's spans\n"
+      "  --obs-out PATH    write the metrics-registry snapshot as JSONL\n"
       "  --stability       report Pareto-front robustness under noise\n"
       "  --verbose         log per-trial progress\n");
   std::exit(code);
@@ -89,6 +99,8 @@ CliOptions parse_args(int argc, char** argv) {
     else if (!std::strcmp(a, "--cache")) opt.cache = need_value(i);
     else if (!std::strcmp(a, "--csv")) opt.csv_out = need_value(i);
     else if (!std::strcmp(a, "--report")) opt.report_out = need_value(i);
+    else if (!std::strcmp(a, "--trace-out")) opt.trace_out = need_value(i);
+    else if (!std::strcmp(a, "--obs-out")) opt.obs_out = need_value(i);
     else if (!std::strcmp(a, "--verbose")) opt.verbose = true;
     else if (!std::strcmp(a, "--stability")) opt.stability = true;
     else if (!std::strcmp(a, "--figure")) {
@@ -143,6 +155,9 @@ std::unique_ptr<ExploratoryMethod> make_explorer(const CliOptions& opt,
 int main(int argc, char** argv) {
   const CliOptions opt = parse_args(argc, argv);
   if (opt.verbose) set_log_level(LogLevel::Info);
+  // Observability is opt-in so default runs measure the bare hot paths.
+  if (!opt.trace_out.empty()) obs::set_tracing_enabled(true);
+  if (!opt.obs_out.empty()) obs::set_metrics_enabled(true);
 
   AirdropStudyOptions study_opts;
   study_opts.total_timesteps = opt.timesteps;
@@ -160,6 +175,9 @@ int main(int argc, char** argv) {
   }
 
   std::printf("%s\n", render_trial_table(def, trials).c_str());
+
+  const std::string phases = render_phase_breakdown(trials);
+  if (!phases.empty()) std::printf("%s\n", phases.c_str());
 
   // Default figures: the paper's three trade-offs.
   auto figures = opt.figures;
@@ -213,6 +231,29 @@ int main(int argc, char** argv) {
     }
     write_trials_csv(out, def, trials);
     std::printf("wrote %s\n", opt.csv_out.c_str());
+  }
+
+  if (!opt.trace_out.empty()) {
+    std::ofstream out(opt.trace_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", opt.trace_out.c_str());
+      return 1;
+    }
+    const auto spans = obs::collect_spans();
+    out << obs::chrome_trace_json(spans).dump() << '\n';
+    std::printf("wrote %s (%zu spans%s)\n", opt.trace_out.c_str(), spans.size(),
+                obs::spans_dropped() > 0 ? ", trace cap hit" : "");
+  }
+
+  if (!opt.obs_out.empty()) {
+    std::ofstream out(opt.obs_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", opt.obs_out.c_str());
+      return 1;
+    }
+    JsonlWriter writer(out);
+    obs::Registry::global().snapshot().write_jsonl(writer);
+    std::printf("wrote %s (%zu records)\n", opt.obs_out.c_str(), writer.records());
   }
   return 0;
 }
