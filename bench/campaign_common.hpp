@@ -37,7 +37,7 @@ inline std::vector<core::TrialRecord> campaign_trials() {
       "Cache: %s (first bench to run trains; later benches load).\n\n",
       campaign_options().total_timesteps, kCachePath);
   return core::run_table1_campaign(campaign_options(), kCachePath,
-                                   kCampaignSeed);
+                                   {.seed = kCampaignSeed});
 }
 
 /// Case-study definition matching the campaign (for rendering).

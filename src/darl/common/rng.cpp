@@ -13,6 +13,15 @@ std::uint64_t splitmix64(std::uint64_t x) {
   return x ^ (x >> 31);
 }
 
+std::uint64_t fnv1a64(const std::string& bytes) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
 Rng::Rng(std::uint64_t seed) : seed_(seed), engine_(splitmix64(seed)) {}
 
 Rng Rng::split(std::uint64_t index) const {

@@ -78,4 +78,9 @@ class Rng {
 /// SplitMix64 mixing function — used for seed derivation; exposed for tests.
 std::uint64_t splitmix64(std::uint64_t x);
 
+/// FNV-1a 64-bit hash of a byte string. Stable across platforms (unlike
+/// std::hash), so it is safe to persist — used for campaign-cache config
+/// digests and for deriving per-configuration seed streams.
+std::uint64_t fnv1a64(const std::string& bytes);
+
 }  // namespace darl

@@ -221,35 +221,42 @@ std::vector<LearningConfiguration> paper_table1_configs() {
 
 std::vector<TrialRecord> run_table1_campaign(const AirdropStudyOptions& options,
                                              const std::string& cache_path,
-                                             std::uint64_t seed) {
+                                             const StudyOptions& study_options) {
   const CaseStudyDef def = make_airdrop_case_study(options);
+  const auto configs = paper_table1_configs();
+  const CampaignCacheKey cache_key{study_options.seed,
+                                   config_list_digest(configs)};
 
   if (!cache_path.empty()) {
     std::ifstream in(cache_path);
     if (in) {
-      auto cached = load_trials_csv(in, def);
-      if (cached.has_value() && cached->size() == paper_table1_configs().size()) {
+      auto cached = load_campaign_cache(in, def, cache_key);
+      if (cached.has_value() && cached->size() == configs.size()) {
         DARL_LOG_INFO << "table-1 campaign loaded from cache '" << cache_path << "'";
         return *cached;
       }
       DARL_LOG_WARN << "stale or invalid campaign cache '" << cache_path
-                    << "', re-running";
+                    << "' (wrong seed/configs or unreadable), re-running";
     }
   }
 
-  auto explorer =
-      std::make_unique<FixedListSearch>(paper_table1_configs());
-  StudyOptions study_opts;
-  study_opts.seed = seed;
-  Study study(def, std::move(explorer), study_opts);
+  Study study(def, std::make_unique<FixedListSearch>(configs), study_options);
   study.run();
 
   if (!cache_path.empty()) {
-    std::ofstream out(cache_path);
-    if (out) {
-      write_trials_csv(out, def, study.trials());
+    if (study.failed_trials() > 0) {
+      // Transient faults must not be persisted: a cache hit would replay
+      // the failures forever instead of retrying them next run.
+      DARL_LOG_WARN << "campaign had " << study.failed_trials()
+                    << " failed trial(s); not writing cache '" << cache_path
+                    << "'";
     } else {
-      DARL_LOG_WARN << "could not write campaign cache '" << cache_path << "'";
+      std::ofstream out(cache_path);
+      if (out) {
+        write_campaign_cache(out, def, study.trials(), cache_key);
+      } else {
+        DARL_LOG_WARN << "could not write campaign cache '" << cache_path << "'";
+      }
     }
   }
   return study.trials();

@@ -75,10 +75,14 @@ CaseStudyDef make_airdrop_case_study(const AirdropStudyOptions& options = {});
 std::vector<LearningConfiguration> paper_table1_configs();
 
 /// Run the Table-I campaign, or load it from `cache_path` when a valid
-/// cache exists (written on first run). `seed` feeds per-trial seeds.
-std::vector<TrialRecord> run_table1_campaign(const AirdropStudyOptions& options,
-                                             const std::string& cache_path,
-                                             std::uint64_t seed = 42);
+/// cache exists (written on first run). The cache is keyed by the study
+/// seed and the campaign's configuration digest: a cache written under a
+/// different seed or config list is treated as stale and re-run rather
+/// than silently returned. `study_options.seed` feeds per-trial seeds;
+/// fault-tolerance knobs (retries, timeout, failure policy) apply too.
+std::vector<TrialRecord> run_table1_campaign(
+    const AirdropStudyOptions& options, const std::string& cache_path,
+    const StudyOptions& study_options = {.seed = 42});
 
 /// Factor converting executed sim-seconds to paper-scale seconds.
 double paper_time_scale(const AirdropStudyOptions& options);

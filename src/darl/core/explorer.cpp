@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "darl/common/error.hpp"
 #include "darl/common/rng.hpp"
@@ -15,17 +16,20 @@ GridSearch::GridSearch(ParamSpace space, std::size_t real_grid_points)
 }
 
 std::optional<Proposal> GridSearch::ask() {
-  // Skip grid points that violate the space's feasibility constraints.
-  while (next_ < total_ &&
-         !space_.satisfies_constraints(space_.grid_point(next_, real_grid_points_))) {
+  // Skip grid points that violate the space's feasibility constraints,
+  // materializing each candidate point once.
+  while (next_ < total_) {
+    LearningConfiguration config = space_.grid_point(next_, real_grid_points_);
+    if (space_.satisfies_constraints(config)) {
+      Proposal p;
+      p.trial_id = next_;
+      p.config = std::move(config);
+      ++next_;
+      return p;
+    }
     ++next_;
   }
-  if (next_ >= total_) return std::nullopt;
-  Proposal p;
-  p.trial_id = next_;
-  p.config = space_.grid_point(next_, real_grid_points_);
-  ++next_;
-  return p;
+  return std::nullopt;
 }
 
 void GridSearch::tell(std::size_t trial_id, const MetricValues& metrics) {
@@ -48,13 +52,10 @@ std::optional<Proposal> RandomSearch::ask() {
   // Bounded re-draw to avoid evaluating identical configurations twice
   // (small discrete spaces may still repeat after the attempts run out).
   for (int attempt = 0; attempt < 16; ++attempt) {
-    const std::string key = config.cache_key();
-    if (std::find(seen_keys_.begin(), seen_keys_.end(), key) == seen_keys_.end()) {
-      break;
-    }
+    if (seen_keys_.count(config.cache_key()) == 0) break;
     config = space_.sample(*rng_);
   }
-  seen_keys_.push_back(config.cache_key());
+  seen_keys_.insert(config.cache_key());
   Proposal p;
   p.trial_id = next_;
   p.config = std::move(config);
@@ -121,10 +122,21 @@ void SuccessiveHalving::tell(std::size_t trial_id, const MetricValues& metrics) 
   const auto it = metrics.find(objective_.name);
   DARL_CHECK(it != metrics.end(),
              "trial did not report objective '" << objective_.name << "'");
+  resolve(trial_id,
+          objective_.sense == Sense::Maximize ? it->second : -it->second);
+}
+
+void SuccessiveHalving::tell_failure(std::size_t trial_id) {
+  // The failed configuration competes with the worst possible score, so
+  // the rung still completes and the config is pruned on the next cut.
+  resolve(trial_id, -std::numeric_limits<double>::infinity());
+}
+
+void SuccessiveHalving::resolve(std::size_t trial_id, double score) {
   bool found = false;
   for (auto& e : current_) {
     if (e.asked && e.trial_id == trial_id && !e.score.has_value()) {
-      e.score = objective_.sense == Sense::Maximize ? it->second : -it->second;
+      e.score = score;
       found = true;
       break;
     }

@@ -13,6 +13,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <unordered_set>
 
 #include "darl/common/rng.hpp"
 #include "darl/core/metric.hpp"
@@ -29,8 +30,9 @@ struct Proposal {
 };
 
 /// Ask/tell exploration strategy. Single-threaded protocol: every ask()
-/// must be answered by a tell() with the same trial id before the study
-/// finishes (methods may allow several outstanding asks; the default
+/// must be answered by a tell() — or a tell_failure() when the trial
+/// failed permanently — with the same trial id before the study finishes
+/// (methods may allow several outstanding asks; the default
 /// implementations do).
 class ExploratoryMethod {
  public:
@@ -43,6 +45,12 @@ class ExploratoryMethod {
 
   /// Report a finished trial's metrics.
   virtual void tell(std::size_t trial_id, const MetricValues& metrics) = 0;
+
+  /// Report that a trial failed permanently: no tell() will ever arrive
+  /// for this id. Uninformed methods may ignore it (the default); adaptive
+  /// methods must resolve the outstanding ask so they do not stall waiting
+  /// for metrics that never come.
+  virtual void tell_failure(std::size_t trial_id) { (void)trial_id; }
 };
 
 /// Exhaustive grid enumeration (real domains discretized).
@@ -80,7 +88,7 @@ class RandomSearch final : public ExploratoryMethod {
   std::size_t n_trials_;
   std::unique_ptr<Rng> rng_;
   std::size_t next_ = 0;
-  std::vector<std::string> seen_keys_;
+  std::unordered_set<std::string> seen_keys_;
 };
 
 /// Evaluate an explicit configuration list in order (the paper's manually
@@ -112,10 +120,14 @@ class SuccessiveHalving final : public ExploratoryMethod {
   const std::string& name() const override { return name_; }
   std::optional<Proposal> ask() override;
   void tell(std::size_t trial_id, const MetricValues& metrics) override;
+  /// A failed trial scores -inf: it is ranked last in its rung (and so
+  /// pruned) instead of stalling the rung forever.
+  void tell_failure(std::size_t trial_id) override;
 
   std::size_t rung() const { return rung_; }
 
  private:
+  void resolve(std::size_t trial_id, double score);
   void build_next_rung();
 
   std::string name_ = "SuccessiveHalving";

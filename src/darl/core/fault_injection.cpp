@@ -1,0 +1,50 @@
+#include "darl/core/fault_injection.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "darl/common/error.hpp"
+#include "darl/common/rng.hpp"
+
+namespace darl::core {
+
+CaseStudyDef make_fault_injection_case_study(
+    const FaultInjectionOptions& options) {
+  DARL_CHECK(options.throw_probability >= 0.0 && options.throw_probability <= 1.0,
+             "throw probability out of [0,1]");
+  DARL_CHECK(options.hang_probability >= 0.0 && options.hang_probability <= 1.0,
+             "hang probability out of [0,1]");
+  DARL_CHECK(options.hang_seconds >= 0.0, "hang duration must be non-negative");
+
+  CaseStudyDef def;
+  def.name = "fault-injection";
+  def.space.add(
+      ParamDomain::integer_set("x", {1, 2, 3, 4}, ParamCategory::System));
+  def.space.add(
+      ParamDomain::categorical("mode", {"a", "b"}, ParamCategory::Algorithm));
+  def.metrics.add({"quality", "", Sense::Maximize});
+  def.metrics.add({"cost", "s", Sense::Minimize});
+
+  const FaultInjectionOptions opts = options;
+  def.evaluate = [opts](const LearningConfiguration& config,
+                        double budget_fraction,
+                        std::uint64_t seed) -> MetricValues {
+    // The fault lottery hashes (config, seed, fault_seed): deterministic
+    // per attempt, independent across attempts once the study reseeds.
+    Rng lottery(splitmix64(fnv1a64(config.cache_key()) ^ seed) ^
+                opts.fault_seed);
+    if (lottery.bernoulli(opts.throw_probability)) {
+      throw Error("injected fault evaluating [" + config.describe() + "]");
+    }
+    if (lottery.bernoulli(opts.hang_probability)) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(opts.hang_seconds));
+    }
+    const double x = static_cast<double>(config.get_integer("x"));
+    const double bonus = config.get_categorical("mode") == "a" ? 0.5 : 0.0;
+    return {{"quality", (x + bonus) * budget_fraction}, {"cost", x * x}};
+  };
+  return def;
+}
+
+}  // namespace darl::core

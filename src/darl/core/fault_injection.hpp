@@ -1,0 +1,44 @@
+// darl/core/fault_injection.hpp
+//
+// Synthetic case study with configurable fault injection: evaluations
+// throw or hang with per-attempt probabilities. Production distributed-RL
+// stacks treat actor/learner failure as a first-class event; this case
+// study lets the fault-tolerance machinery in Study::run (retries,
+// timeouts, skip/abort policies, explorer failure protocol) be exercised
+// deterministically in tier-1 tests and demos without a real flaky
+// cluster.
+
+#pragma once
+
+#include <cstdint>
+
+#include "darl/core/study.hpp"
+
+namespace darl::core {
+
+/// Fault-injection knobs. Fault decisions are a deterministic function of
+/// (configuration, evaluation seed, fault_seed): the same attempt always
+/// behaves the same way, while a *retried* attempt — which Study::run
+/// reseeds — re-rolls its fate, so retry-then-succeed paths are reachable.
+struct FaultInjectionOptions {
+  /// Probability that an evaluation attempt throws darl::Error.
+  double throw_probability = 0.0;
+  /// Probability that an attempt hangs (sleeps) instead of returning
+  /// promptly — pair with StudyOptions::trial_timeout_seconds.
+  double hang_probability = 0.0;
+  /// How long a "hung" attempt sleeps before completing normally. Kept
+  /// short so abandoned watchdog threads drain quickly in tests.
+  double hang_seconds = 0.25;
+  /// Stream selector for the fault lottery, independent of the study seed.
+  std::uint64_t fault_seed = 0xFA17;
+};
+
+/// Case study "fault-injection": parameter space {x in 1..4, mode in
+/// {a,b}}, metrics quality (maximize) and cost (minimize) computed
+/// analytically from the configuration, with faults injected per the
+/// options. Metrics are independent of the evaluation seed, so campaigns
+/// that retry through faults still produce deterministic tables.
+CaseStudyDef make_fault_injection_case_study(
+    const FaultInjectionOptions& options = {});
+
+}  // namespace darl::core

@@ -1,7 +1,9 @@
 #include "darl/core/report.hpp"
 
 #include <algorithm>
+#include <iomanip>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 
@@ -30,6 +32,9 @@ std::string render_trial_table(const CaseStudyDef& def,
                                const std::vector<TrialRecord>& trials,
                                const std::vector<std::string>& param_order) {
   const auto params = param_columns(def, param_order);
+  const bool any_failed =
+      std::any_of(trials.begin(), trials.end(),
+                  [](const TrialRecord& t) { return !t.ok(); });
   TextTable table;
   std::vector<std::string> cols{"#"};
   std::vector<Align> aligns{Align::Right};
@@ -40,6 +45,10 @@ std::string render_trial_table(const CaseStudyDef& def,
   for (const auto& m : def.metrics.defs()) {
     cols.push_back(m.unit.empty() ? m.name : m.name + " (" + m.unit + ")");
     aligns.push_back(Align::Right);
+  }
+  if (any_failed) {
+    cols.push_back("status");
+    aligns.push_back(Align::Left);
   }
   table.set_columns(cols, aligns);
 
@@ -54,6 +63,7 @@ std::string render_trial_table(const CaseStudyDef& def,
       const auto it = t.metrics.find(m.name);
       row.push_back(it == t.metrics.end() ? "-" : fixed(it->second, 2));
     }
+    if (any_failed) row.push_back(trial_status_name(t.status));
     table.add_row(std::move(row));
   }
   return table.render();
@@ -71,7 +81,7 @@ std::string render_pareto_plot(const CaseStudyDef& def,
   std::vector<std::vector<double>> points;
   std::vector<std::size_t> ids;
   for (const auto& t : trials) {
-    if (t.budget_fraction < 1.0) continue;
+    if (!t.ok() || t.budget_fraction < 1.0) continue;
     const auto ix = t.metrics.find(metric_x);
     const auto iy = t.metrics.find(metric_y);
     DARL_CHECK(ix != t.metrics.end() && iy != t.metrics.end(),
@@ -140,19 +150,30 @@ std::string render_phase_breakdown(const std::vector<TrialRecord>& trials) {
 
 void write_trials_csv(std::ostream& out, const CaseStudyDef& def,
                       const std::vector<TrialRecord>& trials) {
+  // max_digits10 significant digits round-trip doubles exactly; anything
+  // less lets cache loads flip low-order bits (and downstream Pareto ties).
+  constexpr int kDoubleDigits = std::numeric_limits<double>::max_digits10;
   CsvWriter csv(out);
-  std::vector<std::string> header{"id", "budget_fraction", "config"};
+  std::vector<std::string> header{"id", "budget_fraction", "status",
+                                  "attempts", "error", "config"};
   for (const auto& m : def.metrics.defs()) header.push_back(m.name);
   csv.header(header);
   for (const auto& t : trials) {
     csv.begin_row();
     csv.integer(static_cast<long long>(t.id));
-    csv.number(t.budget_fraction, 6);
+    csv.number(t.budget_fraction, kDoubleDigits);
+    csv.field(trial_status_name(t.status));
+    csv.integer(static_cast<long long>(t.attempts));
+    csv.field(t.error);
     csv.field(t.config.describe());
     for (const auto& m : def.metrics.defs()) {
       const auto it = t.metrics.find(m.name);
-      DARL_CHECK(it != t.metrics.end(), "trial missing metric '" << m.name << "'");
-      csv.number(it->second, 12);
+      if (it == t.metrics.end()) {
+        DARL_CHECK(!t.ok(), "trial missing metric '" << m.name << "'");
+        csv.field("");
+      } else {
+        csv.number(it->second, kDoubleDigits);
+      }
     }
     csv.end_row();
   }
@@ -189,9 +210,10 @@ std::optional<std::vector<TrialRecord>> load_trials_csv(std::istream& in,
                                                         const CaseStudyDef& def) {
   std::string header_line;
   if (!std::getline(in, header_line)) return std::nullopt;
-  std::string expected = "id,budget_fraction,config";
+  std::string expected = "id,budget_fraction,status,attempts,error,config";
   for (const auto& m : def.metrics.defs()) expected += "," + m.name;
   if (header_line != expected) return std::nullopt;
+  constexpr std::size_t kFixedCols = 6;
 
   std::vector<TrialRecord> trials;
   std::string line;
@@ -225,15 +247,26 @@ std::optional<std::vector<TrialRecord>> load_trials_csv(std::istream& in,
       }
     }
     fields.push_back(cur);
-    if (fields.size() != 3 + def.metrics.size()) return std::nullopt;
+    if (fields.size() != kFixedCols + def.metrics.size()) return std::nullopt;
 
     TrialRecord t;
     try {
       t.id = static_cast<std::size_t>(std::stoull(fields[0]));
       t.budget_fraction = std::stod(fields[1]);
-      t.config = parse_configuration(def.space, fields[2]);
+      const auto status = trial_status_from_name(fields[2]);
+      if (!status.has_value()) return std::nullopt;
+      t.status = *status;
+      t.attempts = static_cast<std::size_t>(std::stoull(fields[3]));
+      t.error = fields[4];
+      t.config = parse_configuration(def.space, fields[5]);
       for (std::size_t j = 0; j < def.metrics.size(); ++j) {
-        t.metrics[def.metrics.defs()[j].name] = std::stod(fields[3 + j]);
+        const std::string& cell = fields[kFixedCols + j];
+        // Failed trials persist empty metric cells.
+        if (cell.empty()) {
+          if (t.ok()) return std::nullopt;
+          continue;
+        }
+        t.metrics[def.metrics.defs()[j].name] = std::stod(cell);
       }
     } catch (const std::exception&) {
       return std::nullopt;
@@ -244,13 +277,76 @@ std::optional<std::vector<TrialRecord>> load_trials_csv(std::istream& in,
   return trials;
 }
 
+std::string config_list_digest(
+    const std::vector<LearningConfiguration>& configs) {
+  std::string blob;
+  for (const auto& c : configs) {
+    blob += c.cache_key();
+    blob += '\n';
+  }
+  std::ostringstream oss;
+  oss << std::hex << std::setw(16) << std::setfill('0') << fnv1a64(blob);
+  return oss.str();
+}
+
+namespace {
+
+constexpr const char* kCacheMagic = "# darl-campaign-cache v2";
+
+std::string cache_meta_line(const CampaignCacheKey& key) {
+  std::ostringstream oss;
+  oss << kCacheMagic << " seed=" << key.seed << " digest=" << key.config_digest;
+  return oss.str();
+}
+
+}  // namespace
+
+void write_campaign_cache(std::ostream& out, const CaseStudyDef& def,
+                          const std::vector<TrialRecord>& trials,
+                          const CampaignCacheKey& key) {
+  out << cache_meta_line(key) << '\n';
+  write_trials_csv(out, def, trials);
+}
+
+std::optional<std::vector<TrialRecord>> load_campaign_cache(
+    std::istream& in, const CaseStudyDef& def, const CampaignCacheKey& key) {
+  std::string meta;
+  if (!std::getline(in, meta)) return std::nullopt;
+  // Any mismatch — missing meta line, different seed, different config
+  // list — means the cache answers a different campaign: treat as stale.
+  if (meta != cache_meta_line(key)) return std::nullopt;
+  return load_trials_csv(in, def);
+}
+
+std::string render_failure_summary(const std::vector<TrialRecord>& trials) {
+  const bool any =
+      std::any_of(trials.begin(), trials.end(),
+                  [](const TrialRecord& t) { return !t.ok(); });
+  if (!any) return "";
+
+  TextTable table;
+  table.set_columns({"#", "status", "attempts", "error"},
+                    {Align::Right, Align::Left, Align::Right, Align::Left});
+  for (const auto& t : trials) {
+    if (t.ok()) continue;
+    table.add_row({std::to_string(t.id + 1), trial_status_name(t.status),
+                   std::to_string(t.attempts), t.error});
+  }
+  return "Failed trials (excluded from tables, fronts and rankings):\n" +
+         table.render();
+}
+
 std::string write_markdown_report(const CaseStudyDef& def,
                                   const std::vector<TrialRecord>& trials,
                                   const MarkdownReportOptions& options) {
+  const std::size_t failed = static_cast<std::size_t>(
+      std::count_if(trials.begin(), trials.end(),
+                    [](const TrialRecord& t) { return !t.ok(); }));
   std::ostringstream md;
   md << "# Decision analysis: " << def.name << "\n\n";
-  md << trials.size() << " evaluated configurations, "
-     << def.metrics.size() << " metrics (";
+  md << trials.size() << " evaluated configurations";
+  if (failed > 0) md << " (" << failed << " failed)";
+  md << ", " << def.metrics.size() << " metrics (";
   for (std::size_t i = 0; i < def.metrics.size(); ++i) {
     if (i) md << ", ";
     md << def.metrics.defs()[i].name << " "
@@ -284,6 +380,19 @@ std::string write_markdown_report(const CaseStudyDef& def,
     md << "\n";
   }
   md << "\n";
+
+  // --- failure summary (faults are first-class campaign events).
+  if (failed > 0) {
+    md << "## Failed trials\n\n"
+       << "Excluded from fronts, rankings and stability below.\n\n"
+       << "|#|status|attempts|error|\n|-|-|-|-|\n";
+    for (const auto& t : trials) {
+      if (t.ok()) continue;
+      md << "|" << (t.id + 1) << "|" << trial_status_name(t.status) << "|"
+         << t.attempts << "|" << t.error << "|\n";
+    }
+    md << "\n";
+  }
 
   // --- phase-time breakdown (when the trials carry the diagnostics).
   if (std::any_of(trials.begin(), trials.end(), has_phase_metrics)) {
@@ -323,11 +432,18 @@ std::string write_markdown_report(const CaseStudyDef& def,
     md << "\n\n```\n" << plot << "```\n\n";
   }
 
-  // --- stability section.
-  if (options.include_stability && !trials.empty()) {
+  // --- stability section (successful trials only; failed trials carry no
+  // metrics to resample).
+  std::vector<std::size_t> ok_indices;
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    if (trials[i].ok()) ok_indices.push_back(i);
+  }
+  if (options.include_stability && !ok_indices.empty()) {
     std::vector<std::vector<double>> points;
-    points.reserve(trials.size());
-    for (const auto& t : trials) points.push_back(def.metrics.extract(t.metrics));
+    points.reserve(ok_indices.size());
+    for (std::size_t i : ok_indices) {
+      points.push_back(def.metrics.extract(trials[i].metrics));
+    }
     StabilityOptions sopts;
     sopts.samples = options.stability_samples;
     sopts.relative_noise = options.stability_relative_noise;
@@ -336,10 +452,10 @@ std::string write_markdown_report(const CaseStudyDef& def,
     md << "## Front stability (" << sopts.samples << " resamples, "
        << fixed(100.0 * sopts.relative_noise, 0) << "% relative noise)\n\n"
        << "|#|front membership|\n|-|-|\n";
-    for (std::size_t i = 0; i < trials.size(); ++i) {
-      md << "|" << (trials[i].id + 1) << "|"
-         << fixed(100.0 * st.membership[i], 1) << "%"
-         << (st.membership[i] >= 0.5 ? " **robust**" : "") << "|\n";
+    for (std::size_t k = 0; k < ok_indices.size(); ++k) {
+      md << "|" << (trials[ok_indices[k]].id + 1) << "|"
+         << fixed(100.0 * st.membership[k], 1) << "%"
+         << (st.membership[k] >= 0.5 ? " **robust**" : "") << "|\n";
     }
     md << "\n";
   }

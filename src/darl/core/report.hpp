@@ -33,6 +33,10 @@ std::string render_pareto_plot(const CaseStudyDef& def,
                                const std::string& title,
                                std::vector<std::size_t>* front_trial_ids = nullptr);
 
+/// Render a failure summary table (trial id, status, attempts, error) for
+/// every non-Ok trial; returns "" when the campaign had no failures.
+std::string render_failure_summary(const std::vector<TrialRecord>& trials);
+
 /// Render a per-trial phase-time breakdown table (host seconds spent in the
 /// backends' collect / learn / sync phases, plus the trial total). Reads the
 /// "CollectSeconds"/"LearnSeconds"/"SyncSeconds" diagnostics the airdrop
@@ -40,8 +44,10 @@ std::string render_pareto_plot(const CaseStudyDef& def,
 /// carries them (e.g. a campaign loaded from a pre-observability cache).
 std::string render_phase_breakdown(const std::vector<TrialRecord>& trials);
 
-/// Write trials to CSV: id, budget_fraction, config (describe string), one
-/// column per declared metric.
+/// Write trials to CSV: id, budget_fraction, status, attempts, error,
+/// config (describe string), one column per declared metric. Metric values
+/// are written with max_digits10 significant digits so a load is
+/// bit-exact; failed trials leave their missing metric cells empty.
 void write_trials_csv(std::ostream& out, const CaseStudyDef& def,
                       const std::vector<TrialRecord>& trials);
 
@@ -50,6 +56,32 @@ void write_trials_csv(std::ostream& out, const CaseStudyDef& def,
 /// the header does not match the case study (stale cache).
 std::optional<std::vector<TrialRecord>> load_trials_csv(std::istream& in,
                                                         const CaseStudyDef& def);
+
+/// Identity of a campaign cache: the study seed plus a digest of the
+/// configurations the campaign proposes. A cache written under a different
+/// key is stale — loading it would silently answer a different question
+/// (e.g. `--seed 2` returning seed-1 results).
+struct CampaignCacheKey {
+  std::uint64_t seed = 0;
+  /// Digest of the campaign's configuration list (config_list_digest).
+  std::string config_digest;
+};
+
+/// Stable hex digest over a configuration list's cache keys.
+std::string config_list_digest(
+    const std::vector<LearningConfiguration>& configs);
+
+/// write_trials_csv preceded by a `# darl-campaign-cache ...` meta line
+/// embedding `key`, so loads can reject stale caches.
+void write_campaign_cache(std::ostream& out, const CaseStudyDef& def,
+                          const std::vector<TrialRecord>& trials,
+                          const CampaignCacheKey& key);
+
+/// Load a cache written by write_campaign_cache. Returns nullopt when the
+/// meta line is missing or its seed/digest disagree with `key` (stale), or
+/// when the trial rows fail to parse.
+std::optional<std::vector<TrialRecord>> load_campaign_cache(
+    std::istream& in, const CaseStudyDef& def, const CampaignCacheKey& key);
 
 /// Parse a "k=v, k=v" configuration description using the space for types.
 LearningConfiguration parse_configuration(const ParamSpace& space,

@@ -6,11 +6,30 @@
 #include "darl/common/stopwatch.hpp"
 #include "darl/obs/metrics.hpp"
 #include "darl/obs/trace.hpp"
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <thread>
 
 #include "darl/core/pareto.hpp"
 
 namespace darl::core {
+
+const char* trial_status_name(TrialStatus status) {
+  switch (status) {
+    case TrialStatus::Ok: return "ok";
+    case TrialStatus::Failed: return "failed";
+    case TrialStatus::TimedOut: return "timed_out";
+  }
+  return "unknown";
+}
+
+std::optional<TrialStatus> trial_status_from_name(const std::string& name) {
+  if (name == "ok") return TrialStatus::Ok;
+  if (name == "failed") return TrialStatus::Failed;
+  if (name == "timed_out") return TrialStatus::TimedOut;
+  return std::nullopt;
+}
 
 Study::Study(CaseStudyDef def, std::unique_ptr<ExploratoryMethod> explorer,
              StudyOptions options)
@@ -18,7 +37,94 @@ Study::Study(CaseStudyDef def, std::unique_ptr<ExploratoryMethod> explorer,
   DARL_CHECK(def_.evaluate != nullptr, "case study has no evaluate function");
   DARL_CHECK(explorer_ != nullptr, "study needs an exploratory method");
   DARL_CHECK(def_.metrics.size() > 0, "study needs at least one metric");
+  DARL_CHECK(options_.retry_backoff_seconds >= 0.0,
+             "retry backoff must be non-negative");
+  DARL_CHECK(options_.trial_timeout_seconds >= 0.0,
+             "trial timeout must be non-negative");
 }
+
+namespace {
+
+/// Result of one evaluation attempt. Exactly one of {metrics valid,
+/// error set, timed_out} describes the outcome.
+struct AttemptOutcome {
+  MetricValues metrics;
+  std::exception_ptr error;
+  bool timed_out = false;
+};
+
+std::string describe_exception(const std::exception_ptr& e) {
+  try {
+    std::rethrow_exception(e);
+  } catch (const std::exception& ex) {
+    return ex.what();
+  } catch (...) {
+    return "unknown exception";
+  }
+}
+
+/// Run one evaluation, optionally under a wall-clock watchdog. A timed-out
+/// evaluation keeps running on a detached thread that only touches
+/// heap-shared state, so abandoning it is safe.
+AttemptOutcome evaluate_attempt(const CaseStudyDef::EvaluateFn& evaluate,
+                                const Proposal& proposal,
+                                std::uint64_t trial_seed,
+                                double timeout_seconds) {
+  AttemptOutcome outcome;
+  if (timeout_seconds <= 0.0) {
+    try {
+      outcome.metrics =
+          evaluate(proposal.config, proposal.budget_fraction, trial_seed);
+    } catch (...) {
+      outcome.error = std::current_exception();
+    }
+    return outcome;
+  }
+
+  struct Shared {
+    std::mutex mutex;
+    std::condition_variable cv;
+    bool done = false;
+    MetricValues metrics;
+    std::exception_ptr error;
+  };
+  auto shared = std::make_shared<Shared>();
+  std::thread worker([shared, evaluate, config = proposal.config,
+                      budget = proposal.budget_fraction,
+                      trial_id = proposal.trial_id, trial_seed] {
+    obs::TrialScope trial_tag(static_cast<std::int64_t>(trial_id));
+    MetricValues metrics;
+    std::exception_ptr error;
+    try {
+      metrics = evaluate(config, budget, trial_seed);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    std::lock_guard<std::mutex> lock(shared->mutex);
+    shared->metrics = std::move(metrics);
+    shared->error = error;
+    shared->done = true;
+    shared->cv.notify_all();
+  });
+
+  std::unique_lock<std::mutex> lock(shared->mutex);
+  const bool finished =
+      shared->cv.wait_for(lock, std::chrono::duration<double>(timeout_seconds),
+                          [&] { return shared->done; });
+  if (finished) {
+    lock.unlock();
+    worker.join();
+    outcome.metrics = std::move(shared->metrics);
+    outcome.error = shared->error;
+  } else {
+    lock.unlock();
+    worker.detach();  // `shared` keeps the abandoned thread's state alive
+    outcome.timed_out = true;
+  }
+  return outcome;
+}
+
+}  // namespace
 
 void Study::run() {
   DARL_SPAN("study.run");
@@ -52,8 +158,12 @@ void Study::run() {
     }
     if (batch.empty()) break;
 
-    // Evaluate the batch (concurrently when width > 1).
+    // Evaluate the batch (concurrently when width > 1). Each slot runs its
+    // own retry loop and never lets an exception escape its thread; the
+    // outcome (including the last failure's exception) is carried back to
+    // the ordered recording pass below.
     std::vector<TrialRecord> records(batch.size());
+    std::vector<std::exception_ptr> failures(batch.size());
     auto evaluate_one = [&](std::size_t i) {
       const Proposal& p = batch[i];
       // Queue wait: proposal issued -> evaluation actually starting (only
@@ -66,19 +176,69 @@ void Study::run() {
       obs::TrialScope trial_tag(static_cast<std::int64_t>(p.trial_id));
       DARL_SPAN_V("trial.evaluate", "trial", p.trial_id);
       Stopwatch sw;
-      const std::uint64_t trial_seed = seeder.split(p.trial_id).seed();
       TrialRecord record;
       record.id = p.trial_id;
       record.config = p.config;
       record.budget_fraction = p.budget_fraction;
-      record.metrics = def_.evaluate(p.config, p.budget_fraction, trial_seed);
+
+      const std::size_t max_attempts = 1 + options_.max_retries;
+      for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+        record.attempts = attempt + 1;
+        if (attempt > 0) {
+          DARL_COUNTER_ADD("study.trials_retried", 1);
+          if (options_.retry_backoff_seconds > 0.0) {
+            std::this_thread::sleep_for(std::chrono::duration<double>(
+                options_.retry_backoff_seconds *
+                static_cast<double>(attempt)));
+          }
+        }
+        // Attempt 0 keeps the historical per-trial seed so fault-free
+        // campaigns are byte-identical to pre-retry builds; retries draw
+        // from a fresh per-attempt child stream.
+        const std::uint64_t trial_seed =
+            attempt == 0 ? seeder.split(p.trial_id).seed()
+                         : seeder.split(p.trial_id).split(attempt).seed();
+        const AttemptOutcome outcome = evaluate_attempt(
+            def_.evaluate, p, trial_seed, options_.trial_timeout_seconds);
+        if (outcome.timed_out) {
+          record.status = TrialStatus::TimedOut;
+          record.error = "evaluation exceeded the " +
+                         std::to_string(options_.trial_timeout_seconds) +
+                         "s trial timeout";
+          failures[i] = std::make_exception_ptr(Error(
+              "trial " + std::to_string(p.trial_id) + ": " + record.error));
+        } else if (outcome.error) {
+          record.status = TrialStatus::Failed;
+          record.error = describe_exception(outcome.error);
+          failures[i] = outcome.error;
+        } else {
+          record.status = TrialStatus::Ok;
+          record.error.clear();
+          record.metrics = std::move(outcome.metrics);
+          failures[i] = nullptr;
+        }
+        if (record.ok()) break;
+        // Failure-annotated span: a zero-length marker keyed by trial and
+        // attempt, so traces show where a campaign lost time to faults.
+        {
+          obs::SpanScope failure_span(
+              record.status == TrialStatus::TimedOut ? "trial.timeout"
+                                                     : "trial.failure",
+              "trial", static_cast<std::int64_t>(p.trial_id), "attempt",
+              static_cast<std::int64_t>(attempt + 1));
+        }
+      }
       record.wall_seconds = sw.seconds();
       if (obs::metrics_enabled()) {
         static obs::Histogram& eval_hist = obs::Registry::global().histogram(
             "study.trial_eval_s", {0.1, 1.0, 10.0, 60.0, 600.0});
         eval_hist.observe(record.wall_seconds);
       }
-      DARL_COUNTER_ADD("study.trials_done", 1);
+      if (record.ok()) {
+        DARL_COUNTER_ADD("study.trials_done", 1);
+      } else {
+        DARL_COUNTER_ADD("study.trials_failed", 1);
+      }
       records[i] = std::move(record);
     };
     if (batch.size() == 1) {
@@ -93,19 +253,55 @@ void Study::run() {
     }
 
     // Record and report feedback in proposal order (deterministic
-    // regardless of evaluation scheduling).
-    for (auto& record : records) {
-      (void)def_.metrics.extract(record.metrics);  // validate completeness
-      explorer_->tell(record.id, record.metrics);
+    // regardless of evaluation scheduling). The whole batch is recorded
+    // even when a failure aborts the study, so finished work survives.
+    std::exception_ptr abort_error;
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      TrialRecord& record = records[i];
+      if (record.ok()) {
+        try {
+          (void)def_.metrics.extract(record.metrics);  // validate completeness
+        } catch (...) {
+          record.status = TrialStatus::Failed;
+          record.error = describe_exception(std::current_exception());
+          record.metrics.clear();
+          failures[i] = std::current_exception();
+          DARL_COUNTER_ADD("study.trials_failed", 1);
+        }
+      }
+      if (record.ok()) {
+        explorer_->tell(record.id, record.metrics);
+      } else {
+        if (options_.log_progress) {
+          DARL_LOG_WARN << "study '" << def_.name << "': trial " << record.id
+                        << " " << trial_status_name(record.status) << " after "
+                        << record.attempts << " attempt(s): " << record.error;
+        }
+        explorer_->tell_failure(record.id);
+        if (options_.on_trial_failure == FailurePolicy::Abort && !abort_error) {
+          abort_error = failures[i];
+        }
+      }
       trials_.push_back(std::move(record));
     }
+    if (abort_error) std::rethrow_exception(abort_error);
   }
+}
+
+std::size_t Study::failed_trials() const {
+  std::size_t n = 0;
+  for (const auto& t : trials_) {
+    if (!t.ok()) ++n;
+  }
+  return n;
 }
 
 std::vector<std::vector<double>> Study::metric_table() const {
   std::vector<std::vector<double>> table;
   table.reserve(trials_.size());
-  for (const auto& t : trials_) table.push_back(def_.metrics.extract(t.metrics));
+  for (const auto& t : trials_) {
+    if (t.ok()) table.push_back(def_.metrics.extract(t.metrics));
+  }
   return table;
 }
 
@@ -114,7 +310,7 @@ std::vector<std::vector<double>> Study::full_budget_metric_table(
   indices.clear();
   std::vector<std::vector<double>> table;
   for (std::size_t i = 0; i < trials_.size(); ++i) {
-    if (trials_[i].budget_fraction >= 1.0) {
+    if (trials_[i].ok() && trials_[i].budget_fraction >= 1.0) {
       indices.push_back(i);
       table.push_back(def_.metrics.extract(trials_[i].metrics));
     }
@@ -135,7 +331,7 @@ std::vector<std::size_t> Study::pareto_trials(
   std::vector<std::size_t> indices;
   std::vector<std::vector<double>> points;
   for (std::size_t i = 0; i < trials_.size(); ++i) {
-    if (trials_[i].budget_fraction < 1.0) continue;
+    if (!trials_[i].ok() || trials_[i].budget_fraction < 1.0) continue;
     std::vector<double> p;
     p.reserve(names.size());
     for (const auto& n : names) {

@@ -10,6 +10,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 
 #include "darl/core/explorer.hpp"
 #include "darl/core/metric.hpp"
@@ -32,6 +33,15 @@ struct CaseStudyDef {
   EvaluateFn evaluate;
 };
 
+/// Outcome of one trial. A trial is Failed when its evaluation threw on
+/// every attempt, TimedOut when the last attempt exceeded the per-trial
+/// wall-clock timeout.
+enum class TrialStatus { Ok, Failed, TimedOut };
+
+const char* trial_status_name(TrialStatus status);
+/// Inverse of trial_status_name; nullopt for unknown strings.
+std::optional<TrialStatus> trial_status_from_name(const std::string& name);
+
 /// One executed trial.
 struct TrialRecord {
   std::size_t id = 0;
@@ -39,6 +49,22 @@ struct TrialRecord {
   double budget_fraction = 1.0;
   MetricValues metrics;
   double wall_seconds = 0.0;
+  TrialStatus status = TrialStatus::Ok;
+  /// Human-readable cause of the last failed attempt ("" when Ok).
+  std::string error;
+  /// Evaluation attempts spent on this trial (1 = succeeded first try).
+  std::size_t attempts = 1;
+
+  bool ok() const { return status == TrialStatus::Ok; }
+};
+
+/// What Study::run does when a trial exhausts its retry budget.
+enum class FailurePolicy {
+  /// Record the failure, then rethrow the trial's exception out of run().
+  /// Completed trials (and the failed record) stay in trials().
+  Abort,
+  /// Record the failure, notify the explorer via tell_failure, continue.
+  Skip,
 };
 
 /// Study options.
@@ -53,6 +79,20 @@ struct StudyOptions {
   /// evaluation function must be thread-safe for values > 1 (the airdrop
   /// case study is: every trial builds its own backend/envs/learner).
   std::size_t parallel_trials = 1;
+  /// Re-evaluate a throwing/timed-out trial up to this many extra times.
+  /// Retried attempts run with a reseeded attempt stream (attempt 0 keeps
+  /// the historical per-trial seed, so fault-free studies are unchanged).
+  std::size_t max_retries = 0;
+  /// Sleep this long before retry k (scaled linearly: k * backoff). 0
+  /// retries immediately.
+  double retry_backoff_seconds = 0.0;
+  /// Per-attempt wall-clock timeout in seconds (0 = none). A timed-out
+  /// evaluation is abandoned on a detached watchdog thread and the attempt
+  /// counts as failed; the evaluation function must therefore not mutate
+  /// shared state if timeouts are enabled.
+  double trial_timeout_seconds = 0.0;
+  /// Policy applied once a trial's retry budget is exhausted.
+  FailurePolicy on_trial_failure = FailurePolicy::Abort;
 };
 
 /// Executes an exploration campaign over a case study.
@@ -61,24 +101,32 @@ class Study {
   Study(CaseStudyDef def, std::unique_ptr<ExploratoryMethod> explorer,
         StudyOptions options = {});
 
-  /// Run until the exploratory method is exhausted (or max_trials).
+  /// Run until the exploratory method is exhausted (or max_trials). With
+  /// FailurePolicy::Abort (the default) the first permanently failed trial
+  /// rethrows its exception after being recorded; with FailurePolicy::Skip
+  /// run() never throws for evaluation failures and the campaign's
+  /// surviving trials stay analyzable.
   void run();
 
   const std::vector<TrialRecord>& trials() const { return trials_; }
   const CaseStudyDef& definition() const { return def_; }
 
-  /// Metric table of all trials (rows in trial order, columns in metric
-  /// declaration order).
+  /// Number of recorded trials whose status is not Ok.
+  std::size_t failed_trials() const;
+
+  /// Metric table of all successful trials (rows in trial order, columns
+  /// in metric declaration order). Failed trials carry no metrics and are
+  /// skipped.
   std::vector<std::vector<double>> metric_table() const;
 
-  /// Metric table restricted to full-budget trials, with the original
-  /// trial indices returned through `indices`.
+  /// Metric table restricted to successful full-budget trials, with the
+  /// original trial indices returned through `indices`.
   std::vector<std::vector<double>> full_budget_metric_table(
       std::vector<std::size_t>& indices) const;
 
   /// Trial indices on the first Pareto front over the given metric subset
-  /// (all declared metrics when `metric_names` is empty). Only full-budget
-  /// trials participate.
+  /// (all declared metrics when `metric_names` is empty). Only successful
+  /// full-budget trials participate.
   std::vector<std::size_t> pareto_trials(
       const std::vector<std::string>& metric_names = {}) const;
 

@@ -199,4 +199,13 @@ void TpeSearch::tell(std::size_t trial_id, const MetricValues& metrics) {
   pending_.erase(it);
 }
 
+void TpeSearch::tell_failure(std::size_t trial_id) {
+  // Drop the outstanding proposal without feeding the model: a failed
+  // trial yields no objective value, but the ask() budget stays spent.
+  const auto it = pending_.find(trial_id);
+  DARL_CHECK(it != pending_.end(),
+             "tell_failure() for unknown TPE trial " << trial_id);
+  pending_.erase(it);
+}
+
 }  // namespace darl::core

@@ -37,6 +37,8 @@ class TpeSearch final : public ExploratoryMethod {
   const std::string& name() const override { return name_; }
   std::optional<Proposal> ask() override;
   void tell(std::size_t trial_id, const MetricValues& metrics) override;
+  /// Drops the pending proposal; the failed trial never enters the model.
+  void tell_failure(std::size_t trial_id) override;
 
   /// Number of completed (told) trials.
   std::size_t observations() const { return history_.size(); }

@@ -156,6 +156,52 @@ TEST(SuccessiveHalving, MinimizeObjectiveKeepsSmallScores) {
   EXPECT_TRUE(survivors.count(best_key) == 1);
 }
 
+TEST(SuccessiveHalving, TellFailurePrunesFailedConfigAndAdvancesRung) {
+  // A continuous parameter keeps the sampled population distinct, so the
+  // failed entry's config cannot reappear under another trial id.
+  ParamSpace space;
+  space.add(ParamDomain::real_range("lr", 1e-4, 1e-1, /*log_scale=*/true,
+                                    ParamCategory::Algorithm));
+  MetricDef objective{"score", "", Sense::Maximize};
+  SuccessiveHalving sh(space, objective, 4, 2.0, 0.5, 11);
+
+  std::vector<Proposal> r0;
+  while (auto p = sh.ask()) r0.push_back(*p);
+  ASSERT_EQ(r0.size(), 4u);
+
+  // One trial fails; the other three report real scores. The rung must
+  // still complete (no stall waiting for the failed result).
+  const std::string failed_key = r0[1].config.cache_key();
+  sh.tell(r0[0].trial_id, {{"score", 3.0}});
+  sh.tell_failure(r0[1].trial_id);
+  sh.tell(r0[2].trial_id, {{"score", 2.0}});
+  sh.tell(r0[3].trial_id, {{"score", 1.0}});
+
+  EXPECT_EQ(sh.rung(), 1u);
+  std::set<std::string> survivors;
+  while (auto p = sh.ask()) {
+    EXPECT_DOUBLE_EQ(p->budget_fraction, 1.0);
+    survivors.insert(p->config.cache_key());
+    sh.tell(p->trial_id, {{"score", 1.0}});
+  }
+  // Halving keeps 2 of 4; the failed config scores -inf and is cut.
+  EXPECT_EQ(survivors.size(), 2u);
+  EXPECT_EQ(survivors.count(failed_key), 0u);
+}
+
+TEST(SuccessiveHalving, TellFailureCompletesEntirelyFailedSearch) {
+  MetricDef objective{"score", "", Sense::Maximize};
+  SuccessiveHalving sh(small_space(), objective, 4, 2.0, 0.5, 11);
+  std::size_t proposals = 0;
+  while (auto p = sh.ask()) {
+    sh.tell_failure(p->trial_id);
+    ++proposals;
+  }
+  // Every rung completes even though no trial ever produced a score.
+  EXPECT_GE(proposals, 4u);
+  EXPECT_FALSE(sh.ask().has_value());
+}
+
 TEST(SuccessiveHalving, ValidatesConstructionAndTells) {
   MetricDef objective{"score", "", Sense::Maximize};
   EXPECT_THROW(SuccessiveHalving(small_space(), objective, 1, 2.0, 0.5, 1),
@@ -258,6 +304,29 @@ TEST(Tpe, MinimizeSenseInverts) {
     tpe.tell(p->trial_id, {{"loss", loss}});
   }
   EXPECT_LT(best, 0.0);  // found configurations better than score 0
+}
+
+TEST(Tpe, TellFailureDropsPendingTrialFromModel) {
+  const ParamSpace space = mixed_space();
+  TpeOptions opts;
+  opts.n_trials = 12;
+  opts.n_startup = 4;
+  TpeSearch tpe(space, {"score", "", Sense::Maximize}, opts, 21);
+  std::size_t proposed = 0, told = 0;
+  while (auto p = tpe.ask()) {
+    ++proposed;
+    if (proposed % 3 == 0) {
+      tpe.tell_failure(p->trial_id);  // failed trials never enter the model
+    } else {
+      tpe.tell(p->trial_id, {{"score", mixed_objective(p->config)}});
+      ++told;
+    }
+  }
+  // The ask budget is still spent on failed trials; only successful ones
+  // become observations.
+  EXPECT_EQ(proposed, 12u);
+  EXPECT_EQ(tpe.observations(), told);
+  EXPECT_THROW(tpe.tell_failure(9999), InvalidArgument);
 }
 
 TEST(Tpe, ValidatesProtocolAndConstruction) {

@@ -1,0 +1,303 @@
+// Tier-1 coverage for fault-tolerant campaign execution: per-trial failure
+// capture (serial and parallel), retry with reseeded attempts, the
+// wall-clock timeout watchdog, Abort/Skip failure policies, and the
+// explorer failure protocol — driven by deterministic throwing studies and
+// the fault-injection case study.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <thread>
+
+#include "darl/common/error.hpp"
+#include "darl/core/fault_injection.hpp"
+#include "darl/core/report.hpp"
+#include "darl/core/study.hpp"
+
+namespace darl::core {
+namespace {
+
+/// Case study over x in {1,2,3} that throws deterministically for the
+/// configurations in `bad_x`, every attempt.
+CaseStudyDef throwing_study(std::vector<std::int64_t> bad_x) {
+  CaseStudyDef def;
+  def.name = "throwing";
+  def.space.add(ParamDomain::integer_set("x", {1, 2, 3}, ParamCategory::System));
+  def.metrics.add({"quality", "", Sense::Maximize});
+  def.evaluate = [bad_x](const LearningConfiguration& c, double budget,
+                         std::uint64_t seed) -> MetricValues {
+    (void)seed;
+    const std::int64_t x = c.get_integer("x");
+    for (const std::int64_t bad : bad_x) {
+      if (x == bad) throw Error("boom for x=" + std::to_string(x));
+    }
+    return {{"quality", static_cast<double>(x) * budget}};
+  };
+  return def;
+}
+
+std::vector<LearningConfiguration> configs_for_x(
+    std::initializer_list<std::int64_t> xs) {
+  std::vector<LearningConfiguration> configs;
+  for (const std::int64_t x : xs) {
+    LearningConfiguration c;
+    c.set("x", x);
+    configs.push_back(c);
+  }
+  return configs;
+}
+
+TEST(FaultStudy, AbortPolicyRethrowsButKeepsCompletedTrials) {
+  Study study(throwing_study({2}),
+              std::make_unique<FixedListSearch>(configs_for_x({1, 2, 3})),
+              {.seed = 1, .log_progress = false});
+  EXPECT_THROW(study.run(), Error);
+  // Trial 0 completed and trial 1's failure was recorded before the throw:
+  // a single bad trial no longer discards the campaign's finished work.
+  ASSERT_EQ(study.trials().size(), 2u);
+  EXPECT_EQ(study.trials()[0].status, TrialStatus::Ok);
+  EXPECT_EQ(study.trials()[1].status, TrialStatus::Failed);
+  EXPECT_NE(study.trials()[1].error.find("boom for x=2"), std::string::npos);
+  EXPECT_EQ(study.failed_trials(), 1u);
+}
+
+TEST(FaultStudy, SkipPolicyCompletesCampaignAndExcludesFailures) {
+  Study study(throwing_study({2}),
+              std::make_unique<FixedListSearch>(configs_for_x({1, 2, 3})),
+              {.seed = 1,
+               .log_progress = false,
+               .on_trial_failure = FailurePolicy::Skip});
+  EXPECT_NO_THROW(study.run());
+  ASSERT_EQ(study.trials().size(), 3u);
+  EXPECT_EQ(study.failed_trials(), 1u);
+  EXPECT_FALSE(study.trials()[1].ok());
+  EXPECT_EQ(study.trials()[1].attempts, 1u);
+  // Failed trials carry no metrics and vanish from analysis surfaces.
+  EXPECT_EQ(study.metric_table().size(), 2u);
+  for (const std::size_t idx : study.pareto_trials()) {
+    EXPECT_TRUE(study.trials()[idx].ok());
+  }
+}
+
+TEST(FaultStudy, RetryReseedsAndSucceeds) {
+  // Fails exactly once for x=2, then succeeds: one retry must rescue it.
+  auto attempts_seen = std::make_shared<std::atomic<int>>(0);
+  CaseStudyDef def = throwing_study({});
+  def.evaluate = [attempts_seen](const LearningConfiguration& c, double budget,
+                                 std::uint64_t seed) -> MetricValues {
+    (void)seed;
+    const std::int64_t x = c.get_integer("x");
+    if (x == 2 && attempts_seen->fetch_add(1) == 0) {
+      throw Error("transient fault");
+    }
+    return {{"quality", static_cast<double>(x) * budget}};
+  };
+  Study study(def, std::make_unique<FixedListSearch>(configs_for_x({1, 2, 3})),
+              {.seed = 1, .log_progress = false, .max_retries = 1});
+  EXPECT_NO_THROW(study.run());
+  ASSERT_EQ(study.trials().size(), 3u);
+  EXPECT_EQ(study.trials()[1].status, TrialStatus::Ok);
+  EXPECT_EQ(study.trials()[1].attempts, 2u);
+  EXPECT_TRUE(study.trials()[1].error.empty());
+  EXPECT_EQ(study.trials()[0].attempts, 1u);
+  EXPECT_EQ(study.failed_trials(), 0u);
+}
+
+TEST(FaultStudy, TimeoutMarksTrialTimedOut) {
+  CaseStudyDef def = throwing_study({});
+  def.evaluate = [](const LearningConfiguration& c, double budget,
+                    std::uint64_t seed) -> MetricValues {
+    (void)seed;
+    const std::int64_t x = c.get_integer("x");
+    if (x == 2) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(250));
+    }
+    return {{"quality", static_cast<double>(x) * budget}};
+  };
+  Study study(def, std::make_unique<FixedListSearch>(configs_for_x({1, 2, 3})),
+              {.seed = 1,
+               .log_progress = false,
+               .trial_timeout_seconds = 0.05,
+               .on_trial_failure = FailurePolicy::Skip});
+  EXPECT_NO_THROW(study.run());
+  ASSERT_EQ(study.trials().size(), 3u);
+  EXPECT_EQ(study.trials()[1].status, TrialStatus::TimedOut);
+  EXPECT_NE(study.trials()[1].error.find("timeout"), std::string::npos);
+  EXPECT_EQ(study.trials()[0].status, TrialStatus::Ok);
+  EXPECT_EQ(study.trials()[2].status, TrialStatus::Ok);
+  // Let the abandoned watchdog evaluation drain before the process moves on.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+}
+
+TEST(FaultStudy, TimeoutAbortRethrowsDarlError) {
+  CaseStudyDef def = throwing_study({});
+  def.evaluate = [](const LearningConfiguration& c, double budget,
+                    std::uint64_t seed) -> MetricValues {
+    (void)c;
+    (void)seed;
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    return {{"quality", budget}};
+  };
+  Study study(def, std::make_unique<FixedListSearch>(configs_for_x({1})),
+              {.seed = 1, .log_progress = false, .trial_timeout_seconds = 0.05});
+  EXPECT_THROW(study.run(), Error);
+  ASSERT_EQ(study.trials().size(), 1u);
+  EXPECT_EQ(study.trials()[0].status, TrialStatus::TimedOut);
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+}
+
+// Acceptance scenario: throw probability 0.3 with two retries and the skip
+// policy completes every proposed trial, records the permanent failures,
+// and never terminates the process — serially and with parallel_trials=4.
+void run_fault_injection_campaign(std::size_t parallel,
+                                  std::vector<TrialRecord>& out) {
+  FaultInjectionOptions fi;
+  fi.throw_probability = 0.3;
+  const CaseStudyDef def = make_fault_injection_case_study(fi);
+  Study study(def, std::make_unique<GridSearch>(def.space, 2),
+              {.seed = 7,
+               .log_progress = false,
+               .parallel_trials = parallel,
+               .max_retries = 2,
+               .on_trial_failure = FailurePolicy::Skip});
+  EXPECT_NO_THROW(study.run());
+  out = study.trials();
+  // The grid proposes all 8 configurations; all of them must be recorded.
+  ASSERT_EQ(out.size(), 8u);
+  for (const auto& t : out) {
+    if (!t.ok()) {
+      EXPECT_EQ(t.status, TrialStatus::Failed);
+      EXPECT_EQ(t.attempts, 3u);  // exhausted 1 + 2 retries
+      EXPECT_FALSE(t.error.empty());
+    }
+  }
+  for (const std::size_t idx : study.pareto_trials()) {
+    EXPECT_TRUE(out[idx].ok());
+  }
+}
+
+TEST(FaultStudy, FaultInjectionCampaignCompletesSerial) {
+  std::vector<TrialRecord> trials;
+  run_fault_injection_campaign(1, trials);
+}
+
+TEST(FaultStudy, FaultInjectionCampaignCompletesParallel4) {
+  std::vector<TrialRecord> trials;
+  run_fault_injection_campaign(4, trials);
+}
+
+TEST(FaultStudy, FaultInjectionDeterministicAcrossParallelism) {
+  // Fault decisions hash (config, attempt seed), so the whole campaign —
+  // including which trials fail and after how many attempts — must be
+  // identical for parallel_trials = 1, 2 and 4.
+  std::vector<TrialRecord> base;
+  run_fault_injection_campaign(1, base);
+  for (const std::size_t width : {2u, 4u}) {
+    std::vector<TrialRecord> other;
+    run_fault_injection_campaign(width, other);
+    ASSERT_EQ(base.size(), other.size());
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      EXPECT_EQ(base[i].id, other[i].id);
+      EXPECT_EQ(base[i].config.cache_key(), other[i].config.cache_key());
+      EXPECT_EQ(base[i].status, other[i].status);
+      EXPECT_EQ(base[i].attempts, other[i].attempts);
+      EXPECT_EQ(base[i].error, other[i].error);
+      if (base[i].ok()) {
+        EXPECT_EQ(base[i].metrics.at("quality"), other[i].metrics.at("quality"));
+        EXPECT_EQ(base[i].metrics.at("cost"), other[i].metrics.at("cost"));
+      }
+    }
+  }
+}
+
+TEST(FaultStudy, SuccessiveHalvingDoesNotStallOnFailures) {
+  // Every evaluation fails: without tell_failure the rungs would never
+  // complete and run() would spin forever waiting for tells.
+  FaultInjectionOptions fi;
+  fi.throw_probability = 1.0;
+  const CaseStudyDef def = make_fault_injection_case_study(fi);
+  auto sh = std::make_unique<SuccessiveHalving>(
+      def.space, def.metrics.defs()[0], 4, 2.0, 0.5, 3);
+  Study study(def, std::move(sh),
+              {.seed = 5,
+               .log_progress = false,
+               .on_trial_failure = FailurePolicy::Skip});
+  EXPECT_NO_THROW(study.run());
+  // Rung 0 (4 trials at half budget) plus the follow-up rung both ran.
+  EXPECT_GE(study.trials().size(), 6u);
+  EXPECT_EQ(study.failed_trials(), study.trials().size());
+  EXPECT_TRUE(study.pareto_trials().empty());
+}
+
+TEST(FaultStudy, IncompleteMetricsCountAsFailure) {
+  CaseStudyDef def = throwing_study({});
+  def.evaluate = [](const LearningConfiguration& c, double budget,
+                    std::uint64_t seed) -> MetricValues {
+    (void)seed;
+    if (c.get_integer("x") == 2) return {};  // forgot to report "quality"
+    return {{"quality", static_cast<double>(c.get_integer("x")) * budget}};
+  };
+  Study study(def, std::make_unique<FixedListSearch>(configs_for_x({1, 2, 3})),
+              {.seed = 1,
+               .log_progress = false,
+               .on_trial_failure = FailurePolicy::Skip});
+  EXPECT_NO_THROW(study.run());
+  ASSERT_EQ(study.trials().size(), 3u);
+  EXPECT_EQ(study.trials()[1].status, TrialStatus::Failed);
+  EXPECT_EQ(study.metric_table().size(), 2u);
+}
+
+TEST(FaultStudy, FailureSummaryRendersFailedTrialsOnly) {
+  Study study(throwing_study({2}),
+              std::make_unique<FixedListSearch>(configs_for_x({1, 2, 3})),
+              {.seed = 1,
+               .log_progress = false,
+               .on_trial_failure = FailurePolicy::Skip});
+  study.run();
+  const std::string summary = render_failure_summary(study.trials());
+  EXPECT_NE(summary.find("failed"), std::string::npos);
+  EXPECT_NE(summary.find("boom for x=2"), std::string::npos);
+  // The trial table grows a status column when failures are present.
+  const std::string table = render_trial_table(study.definition(), study.trials());
+  EXPECT_NE(table.find("status"), std::string::npos);
+  // Markdown report gains a failure section and still renders fronts.
+  const std::string md = write_markdown_report(study.definition(), study.trials());
+  EXPECT_NE(md.find("## Failed trials"), std::string::npos);
+  EXPECT_NE(md.find("(1 failed)"), std::string::npos);
+
+  // An all-Ok campaign renders no failure artifacts.
+  Study clean(throwing_study({}),
+              std::make_unique<FixedListSearch>(configs_for_x({1, 2, 3})),
+              {.seed = 1, .log_progress = false});
+  clean.run();
+  EXPECT_EQ(render_failure_summary(clean.trials()), "");
+  EXPECT_EQ(render_trial_table(clean.definition(), clean.trials()).find("status"),
+            std::string::npos);
+}
+
+TEST(FaultStudy, FailedTrialsRoundTripThroughCsv) {
+  Study study(throwing_study({2}),
+              std::make_unique<FixedListSearch>(configs_for_x({1, 2, 3})),
+              {.seed = 1,
+               .log_progress = false,
+               .max_retries = 1,
+               .on_trial_failure = FailurePolicy::Skip});
+  study.run();
+  std::stringstream buf;
+  write_trials_csv(buf, study.definition(), study.trials());
+  const auto loaded = load_trials_csv(buf, study.definition());
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), 3u);
+  EXPECT_EQ((*loaded)[1].status, TrialStatus::Failed);
+  EXPECT_EQ((*loaded)[1].attempts, 2u);
+  EXPECT_EQ((*loaded)[1].error, study.trials()[1].error);
+  EXPECT_EQ((*loaded)[1].metrics.count("quality"), 0u);
+  EXPECT_EQ((*loaded)[0].metrics.at("quality"),
+            study.trials()[0].metrics.at("quality"));
+}
+
+}  // namespace
+}  // namespace darl::core

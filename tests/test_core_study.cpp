@@ -66,6 +66,30 @@ TEST(Study, ParallelExecutionMatchesSequentialResults) {
   }
 }
 
+TEST(Study, ParallelDeterminismAcrossWidths) {
+  // Identical trial tables for parallel_trials = 1, 2 and 4: scheduling
+  // must never leak into results.
+  const CaseStudyDef def = synthetic_study();
+  Study base(def, std::make_unique<GridSearch>(def.space, 3),
+             {.seed = 4, .log_progress = false, .parallel_trials = 1});
+  base.run();
+  for (const std::size_t width : {2u, 4u}) {
+    Study other(def, std::make_unique<GridSearch>(def.space, 3),
+                {.seed = 4, .log_progress = false, .parallel_trials = width});
+    other.run();
+    ASSERT_EQ(base.trials().size(), other.trials().size());
+    for (std::size_t i = 0; i < base.trials().size(); ++i) {
+      EXPECT_EQ(base.trials()[i].id, other.trials()[i].id);
+      EXPECT_EQ(base.trials()[i].config.cache_key(),
+                other.trials()[i].config.cache_key());
+      EXPECT_EQ(base.trials()[i].metrics.at("quality"),
+                other.trials()[i].metrics.at("quality"));
+      EXPECT_EQ(base.trials()[i].metrics.at("cost"),
+                other.trials()[i].metrics.at("cost"));
+    }
+  }
+}
+
 TEST(Study, ParallelRespectsMaxTrials) {
   const CaseStudyDef def = synthetic_study();
   Study study(def, std::make_unique<GridSearch>(def.space, 3),
@@ -189,6 +213,89 @@ TEST(Report, CsvRoundTrip) {
     EXPECT_DOUBLE_EQ(a.metrics.at("quality"), b.metrics.at("quality"));
     EXPECT_DOUBLE_EQ(a.metrics.at("cost"), b.metrics.at("cost"));
   }
+}
+
+TEST(Report, CsvRoundTripIsBitExact) {
+  // Metrics with non-terminating binary expansions must survive a
+  // save->load cycle exactly: anything less flips low-order bits and can
+  // flip downstream Pareto ties between a fresh and a cache-loaded run.
+  CaseStudyDef def = synthetic_study();
+  def.evaluate = [](const LearningConfiguration& c, double budget,
+                    std::uint64_t seed) -> MetricValues {
+    (void)seed;
+    const double x = static_cast<double>(c.get_integer("x"));
+    return {{"quality", (x / 3.0 + 0.1) * budget}, {"cost", x * 0.07}};
+  };
+  Study study(def, std::make_unique<GridSearch>(def.space, 3),
+              {.seed = 1, .log_progress = false});
+  study.run();
+
+  std::stringstream buf;
+  write_trials_csv(buf, def, study.trials());
+  const auto loaded = load_trials_csv(buf, def);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), study.trials().size());
+  for (std::size_t i = 0; i < loaded->size(); ++i) {
+    const TrialRecord& a = study.trials()[i];
+    const TrialRecord& b = (*loaded)[i];
+    // Exact equality, not near-equality: the cache must be lossless.
+    EXPECT_EQ(a.budget_fraction, b.budget_fraction);
+    EXPECT_EQ(a.metrics.at("quality"), b.metrics.at("quality"));
+    EXPECT_EQ(a.metrics.at("cost"), b.metrics.at("cost"));
+  }
+}
+
+TEST(Report, CampaignCacheRejectsMismatchedKey) {
+  const CaseStudyDef def = synthetic_study();
+  Study study(def, std::make_unique<GridSearch>(def.space, 3),
+              {.seed = 1, .log_progress = false});
+  study.run();
+
+  std::vector<LearningConfiguration> configs;
+  for (const auto& t : study.trials()) configs.push_back(t.config);
+  const CampaignCacheKey key{1, config_list_digest(configs)};
+
+  std::stringstream buf;
+  write_campaign_cache(buf, def, study.trials(), key);
+  const std::string cache_text = buf.str();
+
+  // Matching key loads.
+  {
+    std::stringstream in(cache_text);
+    const auto loaded = load_campaign_cache(in, def, key);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(loaded->size(), study.trials().size());
+  }
+  // A different study seed must be treated as stale, not silently served.
+  {
+    std::stringstream in(cache_text);
+    EXPECT_FALSE(
+        load_campaign_cache(in, def, {2, key.config_digest}).has_value());
+  }
+  // A different configuration list must be stale too.
+  {
+    std::stringstream in(cache_text);
+    const CampaignCacheKey other{1, config_list_digest({configs[0]})};
+    EXPECT_FALSE(load_campaign_cache(in, def, other).has_value());
+  }
+  // A bare trials CSV (no meta line) is not a valid campaign cache.
+  {
+    std::stringstream plain;
+    write_trials_csv(plain, def, study.trials());
+    EXPECT_FALSE(load_campaign_cache(plain, def, key).has_value());
+  }
+}
+
+TEST(Report, ConfigListDigestIsOrderAndContentSensitive) {
+  const CaseStudyDef def = synthetic_study();
+  LearningConfiguration a, b;
+  a.set("x", std::int64_t{1});
+  a.set("mode", std::string("a"));
+  b.set("x", std::int64_t{2});
+  b.set("mode", std::string("b"));
+  EXPECT_EQ(config_list_digest({a, b}), config_list_digest({a, b}));
+  EXPECT_NE(config_list_digest({a, b}), config_list_digest({b, a}));
+  EXPECT_NE(config_list_digest({a}), config_list_digest({a, b}));
 }
 
 TEST(Report, MarkdownReportContainsAllSections) {

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# tools/check.sh — the full pre-merge gate.
+#
+# Builds two trees and runs the test suite on both:
+#   build/       Release-style tree (the default developer build)
+#   build-tsan/  ThreadSanitizer tree (DARL_SANITIZE=thread), which is what
+#                gives the parallel fault-tolerance tests teeth: data races
+#                in Study::run's threaded evaluate/retry/timeout paths show
+#                up here, not in the plain build.
+#
+# Usage: tools/check.sh [extra ctest args...]
+#   e.g. tools/check.sh -R core_fault
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc)"
+
+run_tree() {
+  local dir="$1" sanitize="$2"
+  shift 2
+  echo "=== [$dir] configure (DARL_SANITIZE='$sanitize') ==="
+  cmake -B "$dir" -S . -DDARL_SANITIZE="$sanitize"
+  echo "=== [$dir] build ==="
+  cmake --build "$dir" -j "$JOBS"
+  echo "=== [$dir] ctest ==="
+  ctest --test-dir "$dir" --output-on-failure -j "$JOBS" "$@"
+}
+
+run_tree build "" "$@"
+run_tree build-tsan thread "$@"
+
+echo "=== check.sh: both trees green ==="

@@ -8,6 +8,10 @@
 //   --timesteps N         training timesteps per trial (default 16384)
 //   --seeds N             training seeds averaged per trial (default 2)
 //   --seed N              study seed (default 42)
+//   --parallel N          evaluate up to N trials concurrently (default 1)
+//   --trial-retries N     re-evaluate a failed trial up to N times (default 0)
+//   --trial-timeout SEC   per-attempt wall-clock timeout (default 0 = none)
+//   --on-trial-failure {abort|skip}  what to do when retries run out
 //   --cache PATH          campaign CSV cache ("" disables; table1 only)
 //   --figure X,Y          extra Pareto plot over a metric pair (repeatable)
 //   --csv PATH            write the trial table as CSV
@@ -49,6 +53,10 @@ struct CliOptions {
   std::size_t timesteps = 16384;
   std::size_t seeds_per_trial = 2;
   std::uint64_t seed = 42;
+  std::size_t parallel_trials = 1;
+  std::size_t trial_retries = 0;
+  double trial_timeout = 0.0;
+  core::FailurePolicy on_trial_failure = core::FailurePolicy::Abort;
   std::string cache = "darl_table1_cache.csv";
   std::vector<std::pair<std::string, std::string>> figures;
   std::string csv_out;
@@ -68,6 +76,12 @@ struct CliOptions {
       "  --timesteps N     training timesteps per trial      (default 16384)\n"
       "  --seeds N         training seeds averaged per trial (default 2)\n"
       "  --seed N          study seed                        (default 42)\n"
+      "  --parallel N      concurrent trial evaluations      (default 1)\n"
+      "  --trial-retries N retry a failed trial up to N times (default 0)\n"
+      "  --trial-timeout S per-attempt wall-clock timeout, seconds (0 = none)\n"
+      "  --on-trial-failure {abort|skip}\n"
+      "                    abort: rethrow after recording (default)\n"
+      "                    skip: record the failure and keep going\n"
       "  --cache PATH      campaign cache (table1 only; \"\" disables)\n"
       "  --figure X,Y      extra Pareto plot over metrics X and Y\n"
       "  --csv PATH        write the trial table as CSV\n"
@@ -96,6 +110,18 @@ CliOptions parse_args(int argc, char** argv) {
     else if (!std::strcmp(a, "--timesteps")) opt.timesteps = std::strtoull(need_value(i), nullptr, 10);
     else if (!std::strcmp(a, "--seeds")) opt.seeds_per_trial = std::strtoull(need_value(i), nullptr, 10);
     else if (!std::strcmp(a, "--seed")) opt.seed = std::strtoull(need_value(i), nullptr, 10);
+    else if (!std::strcmp(a, "--parallel")) opt.parallel_trials = std::strtoull(need_value(i), nullptr, 10);
+    else if (!std::strcmp(a, "--trial-retries")) opt.trial_retries = std::strtoull(need_value(i), nullptr, 10);
+    else if (!std::strcmp(a, "--trial-timeout")) opt.trial_timeout = std::strtod(need_value(i), nullptr);
+    else if (!std::strcmp(a, "--on-trial-failure")) {
+      const std::string v = need_value(i);
+      if (v == "abort") opt.on_trial_failure = core::FailurePolicy::Abort;
+      else if (v == "skip") opt.on_trial_failure = core::FailurePolicy::Skip;
+      else {
+        std::fprintf(stderr, "--on-trial-failure must be 'abort' or 'skip'\n");
+        usage(2);
+      }
+    }
     else if (!std::strcmp(a, "--cache")) opt.cache = need_value(i);
     else if (!std::strcmp(a, "--csv")) opt.csv_out = need_value(i);
     else if (!std::strcmp(a, "--report")) opt.report_out = need_value(i);
@@ -116,8 +142,14 @@ CliOptions parse_args(int argc, char** argv) {
       usage(2);
     }
   }
-  if (opt.trials == 0 || opt.timesteps == 0 || opt.seeds_per_trial == 0) {
-    std::fprintf(stderr, "--trials/--timesteps/--seeds must be positive\n");
+  if (opt.trials == 0 || opt.timesteps == 0 || opt.seeds_per_trial == 0 ||
+      opt.parallel_trials == 0) {
+    std::fprintf(stderr,
+                 "--trials/--timesteps/--seeds/--parallel must be positive\n");
+    usage(2);
+  }
+  if (opt.trial_timeout < 0.0) {
+    std::fprintf(stderr, "--trial-timeout must be non-negative\n");
     usage(2);
   }
   return opt;
@@ -164,17 +196,25 @@ int main(int argc, char** argv) {
   study_opts.seeds_per_trial = opt.seeds_per_trial;
   const CaseStudyDef def = make_airdrop_case_study(study_opts);
 
+  const StudyOptions run_opts{.seed = opt.seed,
+                              .log_progress = opt.verbose,
+                              .parallel_trials = opt.parallel_trials,
+                              .max_retries = opt.trial_retries,
+                              .trial_timeout_seconds = opt.trial_timeout,
+                              .on_trial_failure = opt.on_trial_failure};
   std::vector<TrialRecord> trials;
   if (opt.explorer == "table1") {
-    trials = run_table1_campaign(study_opts, opt.cache, opt.seed);
+    trials = run_table1_campaign(study_opts, opt.cache, run_opts);
   } else {
-    Study study(def, make_explorer(opt, def),
-                {.seed = opt.seed, .log_progress = opt.verbose});
+    Study study(def, make_explorer(opt, def), run_opts);
     study.run();
     trials = study.trials();
   }
 
   std::printf("%s\n", render_trial_table(def, trials).c_str());
+
+  const std::string failures = render_failure_summary(trials);
+  if (!failures.empty()) std::printf("%s\n", failures.c_str());
 
   const std::string phases = render_phase_breakdown(trials);
   if (!phases.empty()) std::printf("%s\n", phases.c_str());
@@ -197,8 +237,14 @@ int main(int argc, char** argv) {
   }
 
   if (opt.stability) {
+    // Failed trials carry no metrics: resample the survivors only.
+    std::vector<const TrialRecord*> ok_trials;
     std::vector<std::vector<double>> points;
-    for (const auto& t : trials) points.push_back(def.metrics.extract(t.metrics));
+    for (const auto& t : trials) {
+      if (!t.ok()) continue;
+      ok_trials.push_back(&t);
+      points.push_back(def.metrics.extract(t.metrics));
+    }
     StabilityOptions sopts;
     sopts.samples = 4000;
     sopts.relative_noise = 0.03;
@@ -206,9 +252,10 @@ int main(int argc, char** argv) {
     Rng rng(opt.seed);
     const StabilityResult st = front_stability(points, def.metrics, sopts, rng);
     std::printf("Pareto-front membership under metric noise:\n");
-    for (const auto& t : trials) {
-      std::printf("  #%-2zu %5.1f%%%s\n", t.id + 1, 100.0 * st.membership[t.id],
-                  st.membership[t.id] >= 0.5 ? "  <== robust" : "");
+    for (std::size_t k = 0; k < ok_trials.size(); ++k) {
+      std::printf("  #%-2zu %5.1f%%%s\n", ok_trials[k]->id + 1,
+                  100.0 * st.membership[k],
+                  st.membership[k] >= 0.5 ? "  <== robust" : "");
     }
     std::printf("\n");
   }
