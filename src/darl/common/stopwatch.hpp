@@ -2,7 +2,10 @@
 //
 // Wall-clock stopwatch. Note: *reported* study metrics use the simulated
 // cluster clock (darl/simcluster); this stopwatch only measures real host
-// time for diagnostics.
+// time for diagnostics. This file (with obs/ and common/log) is the
+// whitelisted wall-clock site: darl_lint's `wall-clock` rule rejects
+// direct now()/system_clock reads anywhere else, so host time cannot
+// leak into results by accident.
 
 #pragma once
 

@@ -155,10 +155,13 @@ void SuccessiveHalving::build_next_rung() {
     return;
   }
   // Keep the best ceil(n/eta) configurations (higher internal score wins).
+  // stable_sort: entries arrive in deterministic proposal order, so equal
+  // scores must not let the promotion set depend on the sort's whims.
   std::vector<RungEntry> sorted = current_;
-  std::sort(sorted.begin(), sorted.end(), [](const RungEntry& a, const RungEntry& b) {
-    return a.score.value() > b.score.value();
-  });
+  std::stable_sort(sorted.begin(), sorted.end(),
+                   [](const RungEntry& a, const RungEntry& b) {
+                     return a.score.value() > b.score.value();
+                   });
   const std::size_t keep = std::max<std::size_t>(
       1, static_cast<std::size_t>(
              std::ceil(static_cast<double>(sorted.size()) / eta_)));

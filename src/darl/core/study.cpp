@@ -118,6 +118,9 @@ AttemptOutcome evaluate_attempt(const CaseStudyDef::EvaluateFn& evaluate,
     outcome.error = shared->error;
   } else {
     lock.unlock();
+    // Leaked runaway trials must stay visible: every abandoned watchdog
+    // worker bumps this counter (darl_study --obs-out surfaces it).
+    DARL_COUNTER_ADD("study.watchdog_detached", 1);
     worker.detach();  // `shared` keeps the abandoned thread's state alive
     outcome.timed_out = true;
   }

@@ -89,7 +89,9 @@ struct StudyOptions {
   /// Per-attempt wall-clock timeout in seconds (0 = none). A timed-out
   /// evaluation is abandoned on a detached watchdog thread and the attempt
   /// counts as failed; the evaluation function must therefore not mutate
-  /// shared state if timeouts are enabled.
+  /// shared state if timeouts are enabled. Every abandonment bumps the
+  /// `study.watchdog_detached` obs counter, so leaked runaway trials are
+  /// visible in metrics snapshots.
   double trial_timeout_seconds = 0.0;
   /// Policy applied once a trial's retry budget is exhausted.
   FailurePolicy on_trial_failure = FailurePolicy::Abort;

@@ -124,8 +124,9 @@ void RegistrySnapshot::write_jsonl(JsonlWriter& out) const {
 }
 
 Registry& Registry::global() {
-  // Leaked singleton: call sites cache references in function-local
-  // statics, which must stay valid through static destruction.
+  // Leaked singleton (suppressed in tools/darl_lint.supp): call sites
+  // cache references in function-local statics, which must stay valid
+  // through static destruction.
   static Registry* g = new Registry();
   return *g;
 }

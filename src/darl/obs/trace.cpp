@@ -46,6 +46,9 @@ struct GlobalTrace {
 };
 
 GlobalTrace& trace() {
+  // Leaked singleton (suppressed in tools/darl_lint.supp): per-thread
+  // span sinks flush into it during static destruction, so it must
+  // outlive every ThreadSink.
   static GlobalTrace* g = new GlobalTrace();
   return *g;
 }

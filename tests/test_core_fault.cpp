@@ -16,6 +16,7 @@
 #include "darl/core/fault_injection.hpp"
 #include "darl/core/report.hpp"
 #include "darl/core/study.hpp"
+#include "darl/obs/metrics.hpp"
 
 namespace darl::core {
 namespace {
@@ -130,6 +131,35 @@ TEST(FaultStudy, TimeoutMarksTrialTimedOut) {
   EXPECT_EQ(study.trials()[2].status, TrialStatus::Ok);
   // Let the abandoned watchdog evaluation drain before the process moves on.
   std::this_thread::sleep_for(std::chrono::milliseconds(300));
+}
+
+TEST(FaultStudy, TimeoutBumpsWatchdogDetachedCounter) {
+  // Every abandoned watchdog worker must be visible in metrics snapshots:
+  // a leaked runaway trial that nobody notices is how campaigns silently
+  // exhaust a machine.
+  obs::set_metrics_enabled(true);
+  obs::Counter& detached =
+      obs::Registry::global().counter("study.watchdog_detached");
+  const std::uint64_t before = detached.value();
+  CaseStudyDef def = throwing_study({});
+  def.evaluate = [](const LearningConfiguration& c, double budget,
+                    std::uint64_t seed) -> MetricValues {
+    (void)c;
+    (void)seed;
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    return {{"quality", budget}};
+  };
+  Study study(def, std::make_unique<FixedListSearch>(configs_for_x({1})),
+              {.seed = 1,
+               .log_progress = false,
+               .trial_timeout_seconds = 0.05,
+               .on_trial_failure = FailurePolicy::Skip});
+  EXPECT_NO_THROW(study.run());
+  obs::set_metrics_enabled(false);
+  ASSERT_EQ(study.trials().size(), 1u);
+  EXPECT_EQ(study.trials()[0].status, TrialStatus::TimedOut);
+  EXPECT_EQ(detached.value(), before + 1);
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
 }
 
 TEST(FaultStudy, TimeoutAbortRethrowsDarlError) {

@@ -221,8 +221,8 @@ TEST(Backends, FinalPolicyDeploysIntoMatchingActor) {
 TEST(Backends, SacRunsThroughBackends) {
   TrainRequest req;
   req.env_factory = [] {
-    return std::unique_ptr<env::Env>(
-        new env::TimeLimit(std::make_unique<env::PendulumEnv>(), 50));
+    return std::make_unique<env::TimeLimit>(
+        std::make_unique<env::PendulumEnv>(), 50);
   };
   req.algo.kind = rl::AlgoKind::SAC;
   req.algo.sac.warmup_steps = 64;

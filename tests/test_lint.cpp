@@ -1,0 +1,319 @@
+// tests/test_lint.cpp — the rule engine behind tools/darl_lint, driven
+// against in-memory fixture snippets: one violating and one clean case per
+// rule, plus stripper behavior and suppression-file parsing. Fixtures are
+// raw strings, which the engine itself blanks out when darl_lint scans
+// this file — the linter never flags its own test corpus.
+
+#include "tools/lint_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace lint = darl::lint;
+
+namespace {
+
+std::vector<std::string> rules_of(const std::vector<lint::Finding>& findings) {
+  std::vector<std::string> rules;
+  rules.reserve(findings.size());
+  for (const auto& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+bool has_rule(const std::vector<lint::Finding>& findings,
+              const std::string& rule) {
+  const auto rules = rules_of(findings);
+  return std::find(rules.begin(), rules.end(), rule) != rules.end();
+}
+
+/// Scan a .cpp fixture (path chosen so no path-scoped rule kicks in).
+std::vector<lint::Finding> scan(const std::string& code,
+                                const std::string& path = "src/darl/x.cpp") {
+  return lint::scan_source(path, code);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Stripper
+
+TEST(LintStrip, BlanksCommentsAndStrings) {
+  const std::string src = R"(int a; // new int
+/* delete a; */ const char* s = "new int[3]";
+char c = '"';)";
+  const std::string stripped = lint::strip_noncode(src);
+  EXPECT_EQ(stripped.find("new"), std::string::npos);
+  EXPECT_EQ(stripped.find("delete"), std::string::npos);
+  EXPECT_NE(stripped.find("int a;"), std::string::npos);
+  // Line structure survives for line numbering.
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'),
+            std::count(src.begin(), src.end(), '\n'));
+}
+
+TEST(LintStrip, BlanksRawStringsAndKeepsDigitSeparators) {
+  const std::string src =
+      "auto re = R\"rx(catch (...) new delete)rx\";\nint n = 1'000'000;";
+  const std::string stripped = lint::strip_noncode(src);
+  EXPECT_EQ(stripped.find("catch"), std::string::npos);
+  EXPECT_EQ(stripped.find("new"), std::string::npos);
+  EXPECT_NE(stripped.find("1'000'000"), std::string::npos);
+}
+
+TEST(LintStrip, ViolationsInsideLiteralsAreNotFindings) {
+  EXPECT_TRUE(scan(R"fx(const char* doc = "call std::rand() and detach()";)fx")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// banned-random
+
+TEST(LintRandom, FlagsRandSrandRandomDevice) {
+  EXPECT_TRUE(has_rule(scan("int x = std::rand();"), "banned-random"));
+  EXPECT_TRUE(has_rule(scan("srand(42);"), "banned-random"));
+  EXPECT_TRUE(has_rule(scan("std::random_device rd;"), "banned-random"));
+}
+
+TEST(LintRandom, CleanSeededRngAndSubstrings) {
+  EXPECT_TRUE(scan("Rng rng(seed); double u = rng.uniform();").empty());
+  // 'rand' embedded in identifiers must not trip the word boundary.
+  EXPECT_TRUE(scan("int operand(int x); auto grand = operand(1);").empty());
+}
+
+// ---------------------------------------------------------------------------
+// wall-clock
+
+TEST(LintWallClock, FlagsArglessNowAndSystemClock) {
+  EXPECT_TRUE(has_rule(scan("auto t = std::chrono::steady_clock::now();"),
+                       "wall-clock"));
+  EXPECT_TRUE(has_rule(scan("using clk = std::chrono::system_clock;"),
+                       "wall-clock"));
+}
+
+TEST(LintWallClock, WhitelistedPathsAndStopwatchUseAreClean) {
+  EXPECT_TRUE(lint::scan_source("src/darl/common/stopwatch.hpp",
+                                "#pragma once\nauto t = clock::now();")
+                  .empty());
+  EXPECT_TRUE(lint::scan_source("src/darl/obs/trace.cpp",
+                                "auto t = steady_clock::now();")
+                  .empty());
+  EXPECT_TRUE(scan("Stopwatch sw; double s = sw.seconds();").empty());
+}
+
+// ---------------------------------------------------------------------------
+// unordered-iter
+
+TEST(LintUnordered, FlagsRangeForOverUnorderedMember) {
+  const std::string code = R"(
+std::unordered_map<std::string, double> metrics_;
+void dump() {
+  for (const auto& kv : metrics_) emit(kv);
+}
+)";
+  const auto findings = scan(code);
+  ASSERT_TRUE(has_rule(findings, "unordered-iter"));
+  EXPECT_EQ(findings[0].line, 4u);
+}
+
+TEST(LintUnordered, FlagsExplicitBeginAndCrossFileContext) {
+  lint::ScanContext ctx;
+  ctx.unordered_names.push_back("seen_keys_");
+  const auto findings = lint::scan_source(
+      "src/darl/x.cpp",
+      "for (auto it = seen_keys_.begin(); it != seen_keys_.end(); ++it) {}",
+      ctx);
+  EXPECT_TRUE(has_rule(findings, "unordered-iter"));
+}
+
+TEST(LintUnordered, CleanOrderedMapAndMembershipTests) {
+  EXPECT_TRUE(scan(R"(
+std::map<std::string, double> metrics_;
+std::unordered_set<std::string> seen_;
+void dump() {
+  for (const auto& kv : metrics_) emit(kv);
+  if (seen_.count(key) == 0) seen_.insert(key);
+}
+)")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// raw-new-delete
+
+TEST(LintNewDelete, FlagsRawNewAndDelete) {
+  EXPECT_TRUE(has_rule(scan("int* p = new int;"), "raw-new-delete"));
+  EXPECT_TRUE(has_rule(scan("delete p;"), "raw-new-delete"));
+  EXPECT_TRUE(has_rule(scan("delete[] arr;"), "raw-new-delete"));
+}
+
+TEST(LintNewDelete, CleanDeletedFunctionsAndIdentifiers) {
+  EXPECT_TRUE(scan("Foo(const Foo&) = delete;").empty());
+  EXPECT_TRUE(scan("auto p = std::make_unique<int>(3);").empty());
+  EXPECT_TRUE(scan("int new_rung = renew(delete_count);").empty());
+}
+
+// ---------------------------------------------------------------------------
+// float-literal
+
+TEST(LintFloat, FlagsFloatLiteralsInNumericDirs) {
+  EXPECT_TRUE(has_rule(
+      lint::scan_source("src/darl/ode/rk.cpp", "double h = 0.5f;"),
+      "float-literal"));
+  EXPECT_TRUE(has_rule(
+      lint::scan_source("src/darl/nn/mlp.cpp", "auto lr = 1e-3f;"),
+      "float-literal"));
+}
+
+TEST(LintFloat, CleanDoubleLiteralsAndOtherDirs) {
+  EXPECT_TRUE(lint::scan_source("src/darl/ode/rk.cpp",
+                                "double h = 0.5; double k = 1e-3;")
+                  .empty());
+  // Hex integers ending in f are not float literals.
+  EXPECT_TRUE(lint::scan_source("src/darl/rl/ppo.cpp", "int m = 0x1e5f;")
+                  .empty());
+  // Outside the double-precision dirs the rule does not apply.
+  EXPECT_TRUE(scan("float blend = 0.5f;").empty());
+}
+
+// ---------------------------------------------------------------------------
+// std-endl
+
+TEST(LintEndl, FlagsStdEndl) {
+  EXPECT_TRUE(has_rule(scan("out << x << std::endl;"), "std-endl"));
+}
+
+TEST(LintEndl, CleanNewline) {
+  EXPECT_TRUE(scan(R"(out << x << "\n";)").empty());
+}
+
+// ---------------------------------------------------------------------------
+// pragma-once
+
+TEST(LintPragmaOnce, FlagsHeaderWithoutPragma) {
+  const auto findings =
+      lint::scan_source("src/darl/x.hpp", "int answer();\n");
+  EXPECT_TRUE(has_rule(findings, "pragma-once"));
+}
+
+TEST(LintPragmaOnce, CleanHeaderAndSourceFile) {
+  EXPECT_TRUE(
+      lint::scan_source("src/darl/x.hpp", "#pragma once\nint answer();\n")
+          .empty());
+  EXPECT_TRUE(lint::scan_source("src/darl/x.cpp", "int answer();\n").empty());
+}
+
+// ---------------------------------------------------------------------------
+// catch-all
+
+TEST(LintCatchAll, FlagsSwallowedException) {
+  const std::string code = R"(
+void f() {
+  try { g(); } catch (...) {
+    count += 1;
+  }
+}
+)";
+  const auto findings = scan(code);
+  ASSERT_TRUE(has_rule(findings, "catch-all"));
+  EXPECT_EQ(findings[0].line, 3u);
+}
+
+TEST(LintCatchAll, CleanRethrowAndRecording) {
+  EXPECT_TRUE(scan(R"(
+void f() {
+  try { g(); } catch (...) { throw; }
+  try { g(); } catch (...) { err = std::current_exception(); }
+}
+)")
+                  .empty());
+  // Typed catches are out of scope for this rule.
+  EXPECT_TRUE(
+      scan("try { g(); } catch (const std::exception& e) { log(e); }")
+          .empty());
+}
+
+// ---------------------------------------------------------------------------
+// detached-thread
+
+TEST(LintDetach, FlagsDetach) {
+  const auto findings = scan("std::thread t(work); t.detach();");
+  EXPECT_TRUE(has_rule(findings, "detached-thread"));
+}
+
+TEST(LintDetach, CleanJoin) {
+  EXPECT_TRUE(scan("std::thread t(work); t.join();").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Suppression parsing and matching
+
+TEST(LintSupp, ParsesEntriesSkipsCommentsReportsMalformed) {
+  const std::string file = R"(# header comment
+
+raw-new-delete src/darl/obs/metrics.cpp -- leaked singleton
+catch-all study.cpp missing separator
+detached-thread src/darl/core/study.cpp --
+)";
+  std::vector<std::string> errors;
+  const auto supps = lint::parse_suppressions(file, errors);
+  ASSERT_EQ(supps.size(), 1u);
+  EXPECT_EQ(supps[0].rule, "raw-new-delete");
+  EXPECT_EQ(supps[0].path_suffix, "src/darl/obs/metrics.cpp");
+  EXPECT_EQ(supps[0].justification, "leaked singleton");
+  EXPECT_EQ(supps[0].line, 3u);
+  ASSERT_EQ(errors.size(), 2u);  // missing ' -- ' and empty justification
+}
+
+TEST(LintSupp, MatchesOnRuleAndPathSuffix) {
+  lint::Suppression s;
+  s.rule = "raw-new-delete";
+  s.path_suffix = "obs/metrics.cpp";
+  lint::Finding hit{"raw-new-delete", "src/darl/obs/metrics.cpp", 12, ""};
+  lint::Finding other_rule{"catch-all", "src/darl/obs/metrics.cpp", 12, ""};
+  lint::Finding other_path{"raw-new-delete", "src/darl/obs/trace.cpp", 12, ""};
+  EXPECT_TRUE(lint::suppression_matches(s, hit));
+  EXPECT_FALSE(lint::suppression_matches(s, other_rule));
+  EXPECT_FALSE(lint::suppression_matches(s, other_path));
+}
+
+TEST(LintSupp, ApplyMarksUsedAndKeepsUnmatchedFindings) {
+  std::vector<lint::Finding> findings{
+      {"raw-new-delete", "src/darl/obs/metrics.cpp", 12, "m"},
+      {"detached-thread", "src/darl/core/study.cpp", 99, "m"},
+  };
+  std::vector<std::string> errors;
+  auto supps = lint::parse_suppressions(
+      "raw-new-delete src/darl/obs/metrics.cpp -- leaked singleton\n"
+      "std-endl src/darl/common/table.cpp -- stale entry\n",
+      errors);
+  ASSERT_EQ(supps.size(), 2u);
+  ASSERT_TRUE(errors.empty());
+  const auto left = lint::apply_suppressions(std::move(findings), supps);
+  ASSERT_EQ(left.size(), 1u);
+  EXPECT_EQ(left[0].rule, "detached-thread");
+  EXPECT_TRUE(supps[0].used);
+  EXPECT_FALSE(supps[1].used);  // the unused entry the CLI turns into an error
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: a fixture with several violations reports them sorted by line
+
+TEST(LintScan, FindingsAreSortedByLine) {
+  const std::string code = R"(
+int* p = new int;
+std::thread t(w); t.detach();
+int r = std::rand();
+)";
+  const auto findings = scan(code);
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_EQ(findings[0].rule, "raw-new-delete");
+  EXPECT_EQ(findings[1].rule, "detached-thread");
+  EXPECT_EQ(findings[2].rule, "banned-random");
+  EXPECT_TRUE(std::is_sorted(
+      findings.begin(), findings.end(),
+      [](const lint::Finding& a, const lint::Finding& b) {
+        return a.line < b.line;
+      }));
+}

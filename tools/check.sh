@@ -1,12 +1,21 @@
 #!/usr/bin/env bash
 # tools/check.sh — the full pre-merge gate.
 #
-# Builds two trees and runs the test suite on both:
-#   build/       Release-style tree (the default developer build)
-#   build-tsan/  ThreadSanitizer tree (DARL_SANITIZE=thread), which is what
-#                gives the parallel fault-tolerance tests teeth: data races
-#                in Study::run's threaded evaluate/retry/timeout paths show
-#                up here, not in the plain build.
+# Stages:
+#   1. build/        Release-style tree, full ctest suite
+#   2. darl_lint     project-specific static analysis over src/ tools/
+#                    bench/ tests/ examples/ (zero unsuppressed findings;
+#                    suppressions live in tools/darl_lint.supp)
+#   3. clang-tidy    optional second opinion (no-ops when absent)
+#   4. build-ubsan/  UndefinedBehaviorSanitizer tree (DARL_SANITIZE=
+#                    undefined, non-recovering), full ctest suite
+#   5. build-tsan/   ThreadSanitizer tree (DARL_SANITIZE=thread), which
+#                    gives the parallel fault-tolerance tests teeth: data
+#                    races in Study::run's threaded evaluate/retry/timeout
+#                    paths show up here, not in the plain build
+#   6. determinism audit: the same seeded campaign run twice serially and
+#                    once with --parallel 4 must produce byte-identical
+#                    trials CSVs
 #
 # Usage: tools/check.sh [extra ctest args...]
 #   e.g. tools/check.sh -R core_fault
@@ -27,6 +36,32 @@ run_tree() {
 }
 
 run_tree build "" "$@"
+
+echo "=== darl_lint (static analysis) ==="
+./build/tools/darl_lint --root .
+
+echo "=== clang-tidy (optional) ==="
+tools/run_clang_tidy.sh build
+
+run_tree build-ubsan undefined "$@"
 run_tree build-tsan thread "$@"
 
-echo "=== check.sh: both trees green ==="
+echo "=== determinism audit (serial x2 vs --parallel 4) ==="
+AUDIT_DIR="$(mktemp -d)"
+trap 'rm -rf "$AUDIT_DIR"' EXIT
+audit_run() {
+  local out="$1"
+  shift
+  ./build/tools/darl_study --explorer random --trials 6 --timesteps 2048 \
+      --seeds 1 --seed 7 --cache "" --csv "$out" "$@" > /dev/null
+}
+audit_run "$AUDIT_DIR/serial_a.csv"
+audit_run "$AUDIT_DIR/serial_b.csv"
+audit_run "$AUDIT_DIR/parallel.csv" --parallel 4
+cmp "$AUDIT_DIR/serial_a.csv" "$AUDIT_DIR/serial_b.csv" \
+  || { echo "determinism audit FAILED: serial reruns differ"; exit 1; }
+cmp "$AUDIT_DIR/serial_a.csv" "$AUDIT_DIR/parallel.csv" \
+  || { echo "determinism audit FAILED: parallel run differs from serial"; exit 1; }
+echo "determinism audit ok: $(wc -l < "$AUDIT_DIR/serial_a.csv") CSV lines byte-identical across runs"
+
+echo "=== check.sh: all gates green ==="

@@ -1,0 +1,491 @@
+// tools/lint_engine.hpp
+//
+// Rule engine for darl_lint, the project-specific static-analysis pass.
+// Header-only and dependency-free so tests/test_lint.cpp can drive the
+// rules against in-memory fixture snippets without touching the
+// filesystem; tools/darl_lint.cpp adds the directory walk and reporting.
+//
+// The engine works on "stripped" source: comments, string literals and
+// character literals are blanked out (line structure preserved), so a
+// banned pattern inside a comment or a string — including the fixture
+// snippets in the linter's own tests — never counts as a finding.
+//
+// Rules (ids are what the suppression file references):
+//   banned-random     std::rand / srand / std::random_device anywhere
+//   wall-clock        argless now() / system_clock / clock_gettime /
+//                     gettimeofday outside stopwatch/obs/log
+//   unordered-iter    iteration over a declared unordered_map/unordered_set
+//   raw-new-delete    raw new / delete expressions (= delete is fine)
+//   float-literal     float literals inside ode/ linalg/ rl/ nn/
+//   std-endl          std::endl (flushes; use '\n')
+//   pragma-once       .hpp file without #pragma once
+//   catch-all         catch (...) whose handler neither rethrows nor
+//                     records via std::current_exception
+//   detached-thread   std::thread::detach()
+//
+// Suppression file format (tools/darl_lint.supp): one entry per line,
+//   <rule-id> <path-suffix> -- <justification>
+// Blank lines and lines starting with '#' are ignored. An entry matches
+// every finding of <rule-id> in any scanned file whose normalized path
+// ends with <path-suffix>. Entries that match nothing are themselves
+// errors, so the file can only shrink when code gets cleaner.
+
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <cstddef>
+#include <regex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace darl::lint {
+
+struct Finding {
+  std::string rule;
+  std::string path;
+  std::size_t line = 0;  ///< 1-based line number
+  std::string message;
+};
+
+struct Suppression {
+  std::string rule;
+  std::string path_suffix;
+  std::string justification;
+  std::size_t line = 0;  ///< 1-based line in the suppression file
+  bool used = false;     ///< set by apply_suppressions
+};
+
+/// Project-wide context shared across files: names declared anywhere as
+/// unordered containers, so iteration in a .cpp over a member declared in
+/// its header is still caught.
+struct ScanContext {
+  std::vector<std::string> unordered_names;
+};
+
+// ---------------------------------------------------------------------------
+// Source preparation
+
+/// Blank out comments, string literals (including raw strings) and
+/// character literals, preserving line structure and column positions.
+inline std::string strip_noncode(const std::string& src) {
+  enum class State { Code, LineComment, BlockComment, String, Char, RawString };
+  std::string out;
+  out.reserve(src.size());
+  State state = State::Code;
+  std::string raw_end;        // ")delim\"" terminator for the raw string
+  char prev_code = '\0';      // last code character emitted (for 1'000)
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::Code:
+        if (c == '/' && next == '/') {
+          state = State::LineComment;
+          out += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::BlockComment;
+          out += "  ";
+          ++i;
+        } else if (c == '"') {
+          if (prev_code == 'R') {
+            // R"delim( ... )delim"  — find the delimiter.
+            std::size_t paren = src.find('(', i + 1);
+            if (paren == std::string::npos) paren = src.size();
+            raw_end = ")" + src.substr(i + 1, paren - i - 1) + "\"";
+            state = State::RawString;
+          } else {
+            state = State::String;
+          }
+          out += ' ';
+        } else if (c == '\'' &&
+                   !(std::isalnum(static_cast<unsigned char>(prev_code)) ||
+                     prev_code == '_')) {
+          // A quote after an identifier/digit is a digit separator
+          // (1'000'000) or ill-formed anyway; only open a char literal
+          // after a non-word character.
+          state = State::Char;
+          out += ' ';
+        } else {
+          out += c;
+          if (!std::isspace(static_cast<unsigned char>(c))) prev_code = c;
+        }
+        break;
+      case State::LineComment:
+        if (c == '\n') {
+          state = State::Code;
+          out += '\n';
+        } else {
+          out += ' ';
+        }
+        break;
+      case State::BlockComment:
+        if (c == '*' && next == '/') {
+          state = State::Code;
+          out += "  ";
+          ++i;
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::String:
+      case State::Char:
+        if (c == '\\') {
+          out += ' ';
+          if (next != '\0') {
+            out += next == '\n' ? '\n' : ' ';
+            ++i;
+          }
+        } else if ((state == State::String && c == '"') ||
+                   (state == State::Char && c == '\'')) {
+          state = State::Code;
+          prev_code = '\0';
+          out += ' ';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+      case State::RawString:
+        if (src.compare(i, raw_end.size(), raw_end) == 0) {
+          out.append(raw_end.size(), ' ');
+          i += raw_end.size() - 1;
+          state = State::Code;
+          prev_code = '\0';
+        } else {
+          out += c == '\n' ? '\n' : ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+inline std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(start));
+      break;
+    }
+    lines.push_back(text.substr(start, nl - start));
+    start = nl + 1;
+  }
+  return lines;
+}
+
+/// Use '/' separators regardless of platform so suffix matching and the
+/// per-rule path scoping behave identically everywhere.
+inline std::string normalize_path(std::string path) {
+  std::replace(path.begin(), path.end(), '\\', '/');
+  return path;
+}
+
+// ---------------------------------------------------------------------------
+// Declaration harvesting (for unordered-iter)
+
+/// Collect identifiers declared with an unordered_map/unordered_set type
+/// in (stripped) source: `std::unordered_set<std::string> seen_keys_;`
+/// records "seen_keys_". Heuristic: the identifier that follows the
+/// closing '>' of an unordered_* template-id.
+inline void collect_unordered_names(const std::string& stripped,
+                                    std::vector<std::string>& names) {
+  static const std::regex decl_re(
+      R"(\bunordered_(?:map|set|multimap|multiset)\s*<)");
+  auto begin = std::sregex_iterator(stripped.begin(), stripped.end(), decl_re);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    // Walk to the matching '>' of the template argument list.
+    std::size_t pos = static_cast<std::size_t>(it->position()) + it->length();
+    int depth = 1;
+    while (pos < stripped.size() && depth > 0) {
+      if (stripped[pos] == '<') ++depth;
+      if (stripped[pos] == '>') --depth;
+      ++pos;
+    }
+    if (depth != 0) continue;
+    // Skip whitespace and reference/pointer decorations.
+    while (pos < stripped.size() &&
+           (std::isspace(static_cast<unsigned char>(stripped[pos])) ||
+            stripped[pos] == '&' || stripped[pos] == '*')) {
+      ++pos;
+    }
+    std::string name;
+    while (pos < stripped.size() &&
+           (std::isalnum(static_cast<unsigned char>(stripped[pos])) ||
+            stripped[pos] == '_')) {
+      name += stripped[pos++];
+    }
+    if (name.empty()) continue;
+    if (std::find(names.begin(), names.end(), name) == names.end()) {
+      names.push_back(name);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rules
+
+namespace detail {
+
+inline bool contains(std::string_view haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+/// Files allowed to read the wall clock: the stopwatch is the one timing
+/// primitive, and obs/log stamp diagnostics with it.
+inline bool wall_clock_whitelisted(const std::string& path) {
+  return contains(path, "common/stopwatch") || contains(path, "/obs/") ||
+         contains(path, "common/log");
+}
+
+/// Directories holding double-precision numeric code where a stray float
+/// literal silently truncates.
+inline bool double_precision_path(const std::string& path) {
+  return contains(path, "/ode/") || contains(path, "/linalg/") ||
+         contains(path, "/rl/") || contains(path, "/nn/");
+}
+
+inline bool is_header(const std::string& path) {
+  return path.size() >= 4 && path.compare(path.size() - 4, 4, ".hpp") == 0;
+}
+
+/// Scan the handler block that starts at `pos` (the position of the
+/// catch keyword) for evidence the exception is rethrown or recorded.
+inline bool catch_block_records(const std::string& stripped, std::size_t pos) {
+  const std::size_t open = stripped.find('{', pos);
+  if (open == std::string::npos) return false;
+  int depth = 0;
+  std::size_t end = open;
+  for (; end < stripped.size(); ++end) {
+    if (stripped[end] == '{') ++depth;
+    if (stripped[end] == '}' && --depth == 0) break;
+  }
+  static const std::regex records_re(
+      R"(\bthrow\b|\bcurrent_exception\b|\brethrow_exception\b)");
+  const std::string block = stripped.substr(open, end - open + 1);
+  return std::regex_search(block, records_re);
+}
+
+}  // namespace detail
+
+/// Run every rule over one file. `path` is only used for scoping and
+/// reporting; `content` is the raw source text.
+inline std::vector<Finding> scan_source(const std::string& path_in,
+                                        const std::string& content,
+                                        const ScanContext& ctx = {}) {
+  const std::string path = normalize_path(path_in);
+  const std::string stripped = strip_noncode(content);
+  const std::vector<std::string> lines = split_lines(stripped);
+  std::vector<Finding> findings;
+  auto add = [&](const char* rule, std::size_t line_no, std::string msg) {
+    findings.push_back(Finding{rule, path, line_no, std::move(msg)});
+  };
+
+  // File-level names for unordered-iter: project-wide context plus any
+  // declaration local to this file.
+  std::vector<std::string> unordered = ctx.unordered_names;
+  collect_unordered_names(stripped, unordered);
+
+  static const std::regex random_re(
+      R"(\b(?:std\s*::\s*)?s?rand\s*\(|\brandom_device\b)");
+  static const std::regex wall_clock_re(
+      R"(\bnow\s*\(\s*\)|\bsystem_clock\b|\bclock_gettime\b|\bgettimeofday\b)");
+  static const std::regex new_re(R"(\bnew\b)");
+  static const std::regex delete_re(R"(\bdelete\b)");
+  static const std::regex deleted_fn_re(R"(=\s*delete\b)");
+  static const std::regex float_literal_re(
+      R"(\b(?:(?:\d+\.\d*|\d*\.\d+)(?:[eE][+-]?\d+)?|\d+[eE][+-]?\d+)[fF]\b)");
+  static const std::regex endl_re(R"(\bstd\s*::\s*endl\b)");
+  static const std::regex catch_all_re(R"(\bcatch\s*\(\s*\.\.\.\s*\))");
+  static const std::regex detach_re(R"(\.\s*detach\s*\(\s*\))");
+  static const std::regex range_for_re(R"(\bfor\s*\()");
+  static const std::regex pragma_once_re(R"(#\s*pragma\s+once\b)");
+
+  const bool check_wall_clock = !detail::wall_clock_whitelisted(path);
+  const bool check_float = detail::double_precision_path(path);
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const std::size_t line_no = i + 1;
+    if (line.empty()) continue;
+
+    if (std::regex_search(line, random_re)) {
+      add("banned-random", line_no,
+          "nondeterminism source (rand/srand/random_device); draw from a "
+          "seeded darl::Rng instead");
+    }
+    if (check_wall_clock && std::regex_search(line, wall_clock_re)) {
+      add("wall-clock", line_no,
+          "wall-clock read outside stopwatch/obs/log; route host timing "
+          "through darl::Stopwatch");
+    }
+    if (std::regex_search(line, new_re)) {
+      add("raw-new-delete", line_no,
+          "raw 'new'; use std::make_unique / containers (suppress only for "
+          "intentionally leaked singletons)");
+    }
+    if (std::regex_search(line, delete_re) &&
+        !std::regex_search(line, deleted_fn_re)) {
+      add("raw-new-delete", line_no,
+          "raw 'delete'; ownership belongs in a smart pointer or container");
+    }
+    if (check_float && std::regex_search(line, float_literal_re)) {
+      add("float-literal", line_no,
+          "float literal in double-precision numeric code; write a double "
+          "literal");
+    }
+    if (std::regex_search(line, endl_re)) {
+      add("std-endl", line_no, "std::endl flushes the stream; use '\\n'");
+    }
+    if (std::regex_search(line, detach_re)) {
+      add("detached-thread", line_no,
+          "detached thread outside the sanctioned study watchdog site");
+    }
+
+    // unordered-iter: a range-for whose range expression names a declared
+    // unordered container, or an explicit name.begin() iterator loop.
+    std::smatch for_m;
+    if (std::regex_search(line, for_m, range_for_re)) {
+      const std::string rest = for_m.suffix().str();
+      // The range-for separator is a single ':' that is not part of '::'.
+      std::size_t colon = std::string::npos;
+      for (std::size_t p = 0; p < rest.size(); ++p) {
+        if (rest[p] != ':') continue;
+        const bool dbl = (p + 1 < rest.size() && rest[p + 1] == ':') ||
+                         (p > 0 && rest[p - 1] == ':');
+        if (!dbl) {
+          colon = p;
+          break;
+        }
+      }
+      if (colon != std::string::npos) {
+        const std::string range_expr = rest.substr(colon + 1);
+        for (const auto& name : unordered) {
+          const std::regex name_re("\\b" + name + "\\b");
+          if (std::regex_search(range_expr, name_re)) {
+            add("unordered-iter", line_no,
+                "iteration over unordered container '" + name +
+                    "'; hash order is nondeterministic — copy into a sorted "
+                    "container before feeding output or metrics");
+            break;
+          }
+        }
+      }
+    }
+    for (const auto& name : unordered) {
+      const std::regex begin_re("\\b" + name + R"(\s*\.\s*c?begin\s*\()");
+      if (std::regex_search(line, begin_re)) {
+        add("unordered-iter", line_no,
+            "iterator over unordered container '" + name +
+                "'; hash order is nondeterministic — copy into a sorted "
+                "container before feeding output or metrics");
+        break;
+      }
+    }
+  }
+
+  // catch-all needs to look past the catch line, so it runs on the whole
+  // stripped text rather than line by line.
+  auto catch_begin =
+      std::sregex_iterator(stripped.begin(), stripped.end(), catch_all_re);
+  for (auto it = catch_begin; it != std::sregex_iterator(); ++it) {
+    const std::size_t pos = static_cast<std::size_t>(it->position());
+    if (!detail::catch_block_records(stripped, pos)) {
+      const std::size_t line_no =
+          1 + static_cast<std::size_t>(
+                  std::count(stripped.begin(),
+                             stripped.begin() + static_cast<std::ptrdiff_t>(pos),
+                             '\n'));
+      add("catch-all", line_no,
+          "catch (...) neither rethrows nor records the exception; use "
+          "'throw;' or capture std::current_exception()");
+    }
+  }
+
+  if (detail::is_header(path) && !std::regex_search(stripped, pragma_once_re)) {
+    add("pragma-once", 1, "header is missing #pragma once");
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return findings;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions
+
+/// Parse a suppression file. Malformed lines are reported into `errors`
+/// (message includes the 1-based line number) rather than silently skipped.
+inline std::vector<Suppression> parse_suppressions(
+    const std::string& content, std::vector<std::string>& errors) {
+  std::vector<Suppression> out;
+  const std::vector<std::string> lines = split_lines(content);
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    const std::size_t sep = line.find(" -- ");
+    if (sep == std::string::npos) {
+      errors.push_back("suppression line " + std::to_string(i + 1) +
+                       ": missing ' -- <justification>'");
+      continue;
+    }
+    std::string head = line.substr(0, sep);
+    std::string why = line.substr(sep + 4);
+    const std::size_t why_b = why.find_first_not_of(" \t");
+    why = why_b == std::string::npos ? "" : why.substr(why_b);
+    std::size_t ws = head.find_first_of(" \t", first);
+    if (ws == std::string::npos || why.empty()) {
+      errors.push_back("suppression line " + std::to_string(i + 1) +
+                       ": expected '<rule> <path-suffix> -- <justification>'");
+      continue;
+    }
+    Suppression s;
+    s.rule = head.substr(first, ws - first);
+    const std::size_t path_b = head.find_first_not_of(" \t", ws);
+    if (path_b == std::string::npos) {
+      errors.push_back("suppression line " + std::to_string(i + 1) +
+                       ": missing path suffix");
+      continue;
+    }
+    const std::size_t path_e = head.find_last_not_of(" \t");
+    s.path_suffix = normalize_path(head.substr(path_b, path_e - path_b + 1));
+    s.justification = why;
+    s.line = i + 1;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+inline bool suppression_matches(const Suppression& s, const Finding& f) {
+  if (s.rule != f.rule) return false;
+  if (s.path_suffix.size() > f.path.size()) return false;
+  return f.path.compare(f.path.size() - s.path_suffix.size(),
+                        s.path_suffix.size(), s.path_suffix) == 0;
+}
+
+/// Partition findings into (returned) unsuppressed findings, marking every
+/// matching suppression as used.
+inline std::vector<Finding> apply_suppressions(
+    std::vector<Finding> findings, std::vector<Suppression>& suppressions) {
+  std::vector<Finding> unsuppressed;
+  for (auto& f : findings) {
+    bool matched = false;
+    for (auto& s : suppressions) {
+      if (suppression_matches(s, f)) {
+        s.used = true;
+        matched = true;
+      }
+    }
+    if (!matched) unsuppressed.push_back(std::move(f));
+  }
+  return unsuppressed;
+}
+
+}  // namespace darl::lint

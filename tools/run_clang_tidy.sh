@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# tools/run_clang_tidy.sh — optional clang-tidy pass over src/ and tools/.
+#
+# Uses the compile database of an existing build tree (default: build/,
+# configured with CMAKE_EXPORT_COMPILE_COMMANDS ON by the root
+# CMakeLists). No-ops with exit 0 when clang-tidy is not installed, so
+# check.sh can call it unconditionally.
+#
+# Usage: tools/run_clang_tidy.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+if ! command -v clang-tidy > /dev/null 2>&1; then
+  echo "run_clang_tidy.sh: clang-tidy not found; skipping (not an error)"
+  exit 0
+fi
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  echo "run_clang_tidy.sh: $BUILD_DIR/compile_commands.json missing;" \
+       "configure the tree first (cmake -B $BUILD_DIR -S .)"
+  exit 2
+fi
+
+mapfile -t files < <(find src tools -name '*.cpp' | sort)
+echo "run_clang_tidy.sh: ${#files[@]} file(s), database $BUILD_DIR"
+clang-tidy -p "$BUILD_DIR" --quiet "${files[@]}"
