@@ -1,0 +1,99 @@
+// Microbenchmarks: the batched GEMM kernel underneath the Mlp batch path.
+//
+// The three transpose flavours exercised here are exactly the ones the
+// network uses: NT for the forward pass (Z = X * W^T), TN for the weight
+// gradient (dW += delta^T * X) and NN for the input gradient
+// (dX = delta * W). Sizes bracket the study's policy layers.
+
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+
+#include "darl/common/rng.hpp"
+#include "darl/linalg/matrix.hpp"
+
+namespace {
+
+using namespace darl;
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (double& v : m.data()) v = rng.normal(0.0, 1.0);
+  return m;
+}
+
+void report_flops(benchmark::State& state, double flops_per_iter) {
+  state.counters["flops/s"] = benchmark::Counter(
+      flops_per_iter * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+void BM_GemmNN(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  const Matrix a = random_matrix(n, n, rng);
+  const Matrix b = random_matrix(n, n, rng);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    c.fill(0.0);
+    Matrix::gemm(1.0, a, false, b, false, c);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  report_flops(state, 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                          static_cast<double>(n));
+}
+
+void BM_GemmNT(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const Matrix a = random_matrix(n, n, rng);
+  const Matrix b = random_matrix(n, n, rng);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    c.fill(0.0);
+    Matrix::gemm(1.0, a, false, b, true, c);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  report_flops(state, 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                          static_cast<double>(n));
+}
+
+void BM_GemmTN(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  const Matrix a = random_matrix(n, n, rng);
+  const Matrix b = random_matrix(n, n, rng);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    c.fill(0.0);
+    Matrix::gemm(1.0, a, true, b, false, c);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  report_flops(state, 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                          static_cast<double>(n));
+}
+
+// Forward-pass shape as the Mlp issues it: a (batch x in) activation block
+// against a (out x in) weight matrix, transposed. range(0) = batch.
+void BM_GemmMlpLayer(benchmark::State& state) {
+  const auto batch = static_cast<std::size_t>(state.range(0));
+  const std::size_t in = 64, out = 64;
+  Rng rng(4);
+  const Matrix x = random_matrix(batch, in, rng);
+  const Matrix w = random_matrix(out, in, rng);
+  Matrix z(batch, out);
+  for (auto _ : state) {
+    z.fill(0.0);
+    Matrix::gemm(1.0, x, false, w, true, z);
+    benchmark::DoNotOptimize(z.data().data());
+  }
+  report_flops(state, 2.0 * static_cast<double>(batch) *
+                          static_cast<double>(in) * static_cast<double>(out));
+}
+
+}  // namespace
+
+BENCHMARK(BM_GemmNN)->Arg(16)->Arg(64)->Arg(128);
+BENCHMARK(BM_GemmNT)->Arg(16)->Arg(64)->Arg(128);
+BENCHMARK(BM_GemmTN)->Arg(16)->Arg(64)->Arg(128);
+BENCHMARK(BM_GemmMlpLayer)->Arg(1)->Arg(7)->Arg(64)->Arg(256);

@@ -24,6 +24,13 @@ double Matrix::at(std::size_t r, std::size_t c) const {
   return (*this)(r, c);
 }
 
+void Matrix::reshape(std::size_t rows, std::size_t cols) {
+  DARL_CHECK(rows > 0 && cols > 0, "matrix dimensions must be positive");
+  rows_ = rows;
+  cols_ = cols;
+  data_.resize(rows * cols);
+}
+
 void Matrix::fill(double value) {
   for (double& v : data_) v = value;
 }
@@ -68,20 +75,217 @@ void Matrix::add_scaled(double alpha, const Matrix& other) {
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
 }
 
+void Matrix::gemm(double alpha, const Matrix& a, bool trans_a, const Matrix& b,
+                  bool trans_b, Matrix& c) {
+  const std::size_t m = trans_a ? a.cols_ : a.rows_;
+  const std::size_t kdim = trans_a ? a.rows_ : a.cols_;
+  const std::size_t n = trans_b ? b.rows_ : b.cols_;
+  const std::size_t bk = trans_b ? b.cols_ : b.rows_;
+  DARL_CHECK(kdim == bk, "gemm inner-dimension mismatch: op(A) is "
+                             << m << "x" << kdim << ", op(B) is " << bk << "x"
+                             << n);
+  DARL_CHECK(c.rows_ == m && c.cols_ == n,
+             "gemm output shape mismatch: C is " << c.rows_ << "x" << c.cols_
+                                                 << ", expected " << m << "x"
+                                                 << n);
+  const double* a_base = a.data_.data();
+  const double* b_base = b.data_.data();
+  double* c_base = c.data_.data();
+  // Each transpose flavour gets the loop order that walks both operands
+  // contiguously. All of them accumulate every C element over the
+  // contraction index t in ascending order, so the flavours are bitwise
+  // interchangeable with each other and with matvec / matvec_t / add_outer;
+  // only the traversal of independent elements differs.
+  if (!trans_a && trans_b) {
+    // C += alpha * A * B^T — the forward-pass shape (Z = X * W^T). Both A
+    // and B rows are contiguous along t. Register-blocked 2 rows x 4
+    // columns: eight output elements share one pass over the contraction
+    // index, each with its own scalar accumulator, so every element's
+    // summation order is exactly the unblocked one — the blocking only
+    // widens the set of independent chains in flight (the t-reduction
+    // cannot be vectorized without reassociation, so throughput comes
+    // from independent accumulators).
+    std::size_t r = 0;
+    for (; r + 2 <= m; r += 2) {
+      const double* pa0 = a_base + (r + 0) * a.cols_;
+      const double* pa1 = a_base + (r + 1) * a.cols_;
+      double* crow0 = c_base + (r + 0) * c.cols_;
+      double* crow1 = c_base + (r + 1) * c.cols_;
+      std::size_t j = 0;
+      for (; j + 4 <= n; j += 4) {
+        const double* pb0 = b_base + (j + 0) * b.cols_;
+        const double* pb1 = b_base + (j + 1) * b.cols_;
+        const double* pb2 = b_base + (j + 2) * b.cols_;
+        const double* pb3 = b_base + (j + 3) * b.cols_;
+        double a00 = crow0[j + 0], a01 = crow0[j + 1];
+        double a02 = crow0[j + 2], a03 = crow0[j + 3];
+        double a10 = crow1[j + 0], a11 = crow1[j + 1];
+        double a12 = crow1[j + 2], a13 = crow1[j + 3];
+        for (std::size_t t = 0; t < kdim; ++t) {
+          const double av0 = alpha * pa0[t];
+          const double av1 = alpha * pa1[t];
+          const double b0 = pb0[t], b1 = pb1[t], b2 = pb2[t], b3 = pb3[t];
+          a00 += av0 * b0;
+          a01 += av0 * b1;
+          a02 += av0 * b2;
+          a03 += av0 * b3;
+          a10 += av1 * b0;
+          a11 += av1 * b1;
+          a12 += av1 * b2;
+          a13 += av1 * b3;
+        }
+        crow0[j + 0] = a00;
+        crow0[j + 1] = a01;
+        crow0[j + 2] = a02;
+        crow0[j + 3] = a03;
+        crow1[j + 0] = a10;
+        crow1[j + 1] = a11;
+        crow1[j + 2] = a12;
+        crow1[j + 3] = a13;
+      }
+      for (; j < n; ++j) {
+        const double* pb = b_base + j * b.cols_;
+        double acc0 = crow0[j];
+        double acc1 = crow1[j];
+        for (std::size_t t = 0; t < kdim; ++t) {
+          const double bt = pb[t];
+          acc0 += (alpha * pa0[t]) * bt;
+          acc1 += (alpha * pa1[t]) * bt;
+        }
+        crow0[j] = acc0;
+        crow1[j] = acc1;
+      }
+    }
+    for (; r < m; ++r) {
+      const double* pa = a_base + r * a.cols_;
+      double* crow = c_base + r * c.cols_;
+      std::size_t j = 0;
+      for (; j + 4 <= n; j += 4) {
+        const double* pb0 = b_base + (j + 0) * b.cols_;
+        const double* pb1 = b_base + (j + 1) * b.cols_;
+        const double* pb2 = b_base + (j + 2) * b.cols_;
+        const double* pb3 = b_base + (j + 3) * b.cols_;
+        double acc0 = crow[j + 0];
+        double acc1 = crow[j + 1];
+        double acc2 = crow[j + 2];
+        double acc3 = crow[j + 3];
+        for (std::size_t t = 0; t < kdim; ++t) {
+          const double av = alpha * pa[t];
+          acc0 += av * pb0[t];
+          acc1 += av * pb1[t];
+          acc2 += av * pb2[t];
+          acc3 += av * pb3[t];
+        }
+        crow[j + 0] = acc0;
+        crow[j + 1] = acc1;
+        crow[j + 2] = acc2;
+        crow[j + 3] = acc3;
+      }
+      for (; j < n; ++j) {
+        const double* pb = b_base + j * b.cols_;
+        double acc = crow[j];
+        for (std::size_t t = 0; t < kdim; ++t) acc += (alpha * pa[t]) * pb[t];
+        crow[j] = acc;
+      }
+    }
+  } else if (trans_a && !trans_b) {
+    // C += alpha * A^T * B — the weight-gradient shape (dW += delta^T * X).
+    // Expressed as rank-1 updates (t outermost) so every access is
+    // row-contiguous; blocking four t's per sweep keeps each C row in
+    // registers across four consecutive updates. Element (r, j) still
+    // accumulates its alpha*A(t,r)*B(t,j) terms one at a time in
+    // ascending-t order, exactly like repeated add_outer calls.
+    std::size_t t = 0;
+    for (; t + 4 <= kdim; t += 4) {
+      const double* arow0 = a_base + (t + 0) * a.cols_;
+      const double* arow1 = a_base + (t + 1) * a.cols_;
+      const double* arow2 = a_base + (t + 2) * a.cols_;
+      const double* arow3 = a_base + (t + 3) * a.cols_;
+      const double* brow0 = b_base + (t + 0) * b.cols_;
+      const double* brow1 = b_base + (t + 1) * b.cols_;
+      const double* brow2 = b_base + (t + 2) * b.cols_;
+      const double* brow3 = b_base + (t + 3) * b.cols_;
+      for (std::size_t r = 0; r < m; ++r) {
+        const double av0 = alpha * arow0[r];
+        const double av1 = alpha * arow1[r];
+        const double av2 = alpha * arow2[r];
+        const double av3 = alpha * arow3[r];
+        double* crow = c_base + r * c.cols_;
+        for (std::size_t j = 0; j < n; ++j) {
+          double cj = crow[j];
+          cj += av0 * brow0[j];
+          cj += av1 * brow1[j];
+          cj += av2 * brow2[j];
+          cj += av3 * brow3[j];
+          crow[j] = cj;
+        }
+      }
+    }
+    for (; t < kdim; ++t) {
+      const double* arow = a_base + t * a.cols_;
+      const double* brow = b_base + t * b.cols_;
+      for (std::size_t r = 0; r < m; ++r) {
+        const double av = alpha * arow[r];
+        double* crow = c_base + r * c.cols_;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else if (!trans_a && !trans_b) {
+    // C += alpha * A * B — the input-gradient shape (dX = delta * W).
+    // i-t-j order with four t's per sweep: the inner j sweep is contiguous
+    // in B and C, the C element stays in a register across the four
+    // chained adds, and per element the t terms still land one at a time
+    // in ascending order.
+    for (std::size_t r = 0; r < m; ++r) {
+      const double* pa = a_base + r * a.cols_;
+      double* crow = c_base + r * c.cols_;
+      std::size_t t = 0;
+      for (; t + 4 <= kdim; t += 4) {
+        const double av0 = alpha * pa[t + 0];
+        const double av1 = alpha * pa[t + 1];
+        const double av2 = alpha * pa[t + 2];
+        const double av3 = alpha * pa[t + 3];
+        const double* brow0 = b_base + (t + 0) * b.cols_;
+        const double* brow1 = b_base + (t + 1) * b.cols_;
+        const double* brow2 = b_base + (t + 2) * b.cols_;
+        const double* brow3 = b_base + (t + 3) * b.cols_;
+        for (std::size_t j = 0; j < n; ++j) {
+          double cj = crow[j];
+          cj += av0 * brow0[j];
+          cj += av1 * brow1[j];
+          cj += av2 * brow2[j];
+          cj += av3 * brow3[j];
+          crow[j] = cj;
+        }
+      }
+      for (; t < kdim; ++t) {
+        const double av = alpha * pa[t];
+        const double* brow = b_base + t * b.cols_;
+        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  } else {
+    // C += alpha * A^T * B^T — unused by the network; generic strided form.
+    for (std::size_t r = 0; r < m; ++r) {
+      const double* pa = a_base + r;
+      double* crow = c_base + r * c.cols_;
+      for (std::size_t j = 0; j < n; ++j) {
+        const double* pb = b_base + j * b.cols_;
+        double acc = crow[j];
+        for (std::size_t t = 0; t < kdim; ++t)
+          acc += (alpha * pa[t * a.cols_]) * pb[t];
+        crow[j] = acc;
+      }
+    }
+  }
+}
+
 Matrix Matrix::multiply(const Matrix& a, const Matrix& b) {
   DARL_CHECK(a.cols_ == b.rows_,
              "multiply shape mismatch: " << a.rows_ << "x" << a.cols_ << " * "
                                          << b.rows_ << "x" << b.cols_);
   Matrix c(a.rows_, b.cols_, 0.0);
-  for (std::size_t i = 0; i < a.rows_; ++i) {
-    for (std::size_t k = 0; k < a.cols_; ++k) {
-      const double aik = a(i, k);
-      if (aik == 0.0) continue;
-      const double* brow = b.data_.data() + k * b.cols_;
-      double* crow = c.data_.data() + i * c.cols_;
-      for (std::size_t j = 0; j < b.cols_; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  gemm(1.0, a, false, b, false, c);
   return c;
 }
 
@@ -92,10 +296,36 @@ Matrix Matrix::transposed() const {
   return t;
 }
 
+void Matrix::transpose_into(Matrix& out) const {
+  out.reshape(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* src = data_.data() + r * cols_;
+    double* dst = out.data_.data() + r;
+    for (std::size_t c = 0; c < cols_; ++c) dst[c * rows_] = src[c];
+  }
+}
+
 void Matrix::randomize_kaiming(Rng& rng, double gain) {
   DARL_CHECK(gain > 0.0, "non-positive init gain " << gain);
   const double stddev = gain / std::sqrt(static_cast<double>(cols_));
   for (double& v : data_) v = rng.normal(0.0, stddev);
+}
+
+void add_bias(Matrix& m, const Vec& bias) {
+  DARL_CHECK(bias.size() == m.cols(),
+             "add_bias: bias has " << bias.size() << ", cols " << m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    double* row = m.row(r);
+    for (std::size_t c = 0; c < bias.size(); ++c) row[c] += bias[c];
+  }
+}
+
+void apply_tanh(Matrix& m) {
+  for (double& v : m.data()) v = std::tanh(v);
+}
+
+void apply_relu(Matrix& m) {
+  for (double& v : m.data()) v = v > 0.0 ? v : 0.0;
 }
 
 }  // namespace darl

@@ -1,7 +1,11 @@
 // darl/linalg/matrix.hpp
 //
 // Dense row-major matrix with the BLAS-2/3-lite kernels the neural-network
-// substrate needs (matrix-vector products, rank-1 updates, small GEMMs).
+// substrate needs: matrix-vector products, rank-1 updates, and a batched
+// GEMM that the nn::Mlp batch path is built on. The GEMM accumulates each
+// output element over the contraction index in ascending order with a
+// scalar accumulator — exactly the summation order of matvec/matvec_t/
+// add_outer — so batched and per-sample results are bitwise identical.
 
 #pragma once
 
@@ -38,6 +42,16 @@ class Matrix {
   Vec& data() { return data_; }
   const Vec& data() const { return data_; }
 
+  /// Pointer to the start of row `r` (unchecked).
+  double* row(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row(std::size_t r) const { return data_.data() + r * cols_; }
+
+  /// Change the dimensions to rows x cols, reusing the existing storage.
+  /// Element values are unspecified afterwards (callers overwrite). Never
+  /// shrinks capacity, so repeated reshapes of a workspace matrix stop
+  /// allocating once the largest shape has been seen.
+  void reshape(std::size_t rows, std::size_t cols);
+
   /// Set every element to `value`.
   void fill(double value);
 
@@ -53,11 +67,28 @@ class Matrix {
   /// this += alpha * other (same shape).
   void add_scaled(double alpha, const Matrix& other);
 
-  /// C = A * B (shapes must be compatible).
+  /// C += alpha * op(A) * op(B), where op is the identity or the transpose.
+  /// C must be pre-shaped to op(A).rows x op(B).cols; no temporaries are
+  /// allocated. Each C element accumulates over the contraction index in
+  /// ascending order (seeded from the existing C value), matching the
+  /// matvec / matvec_t / add_outer summation order bit for bit. Each
+  /// transpose flavour uses the loop order that keeps both operands
+  /// row-contiguous (NT: register-blocked dot rows; TN: rank-1 updates;
+  /// NN: i-t-j sweeps) — the per-element summation order is the same in
+  /// all of them, only the traversal of independent elements differs.
+  static void gemm(double alpha, const Matrix& a, bool trans_a,
+                   const Matrix& b, bool trans_b, Matrix& c);
+
+  /// C = A * B (shapes must be compatible). Routed through gemm.
   static Matrix multiply(const Matrix& a, const Matrix& b);
 
   /// Transposed copy.
   Matrix transposed() const;
+
+  /// Transpose into a caller-owned workspace (reshaped to cols x rows, no
+  /// allocation once the workspace has its capacity). Lets hot paths trade
+  /// a strided gemm operand for a one-off transposed copy.
+  void transpose_into(Matrix& out) const;
 
   /// Fill with He/Kaiming-style scaled normal draws: N(0, gain/sqrt(cols)).
   /// Used for layer weight initialization.
@@ -68,5 +99,14 @@ class Matrix {
   std::size_t cols_ = 0;
   Vec data_;
 };
+
+/// m(r, c) += bias[c] for every row r. Requires bias.size() == m.cols().
+/// Identical per row to axpy(1.0, bias, z) on a matvec result.
+void add_bias(Matrix& m, const Vec& bias);
+
+/// Element-wise tanh / rectifier over the whole matrix, in place. Same
+/// scalar functions the per-sample MLP activation path applies.
+void apply_tanh(Matrix& m);
+void apply_relu(Matrix& m);
 
 }  // namespace darl

@@ -1,11 +1,31 @@
 #include "darl/nn/mlp.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "darl/common/error.hpp"
 #include "darl/common/rng.hpp"
+#include "darl/obs/metrics.hpp"
 
 namespace darl::nn {
+
+namespace {
+
+// Bucket bounds for the batch-size histogram: powers of two up to the
+// largest minibatch any of the algorithms uses, plus an overflow bucket.
+obs::Histogram& batch_rows_histogram() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "nn.batch_rows", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0});
+  return h;
+}
+
+void record_batch(std::size_t rows, double flops) {
+  if (!obs::metrics_enabled()) return;
+  batch_rows_histogram().observe(static_cast<double>(rows));
+  DARL_GAUGE_ADD("nn.batched_flops", flops);
+}
+
+}  // namespace
 
 Mlp::Mlp(const std::vector<std::size_t>& sizes, Activation activation, Rng& rng)
     : sizes_(sizes), activation_(activation) {
@@ -24,78 +44,169 @@ Mlp::Mlp(const std::vector<std::size_t>& sizes, Activation activation, Rng& rng)
     grad_w_.emplace_back(sizes_[l + 1], sizes_[l], 0.0);
     grad_b_.emplace_back(sizes_[l + 1], 0.0);
   }
-  inputs_.resize(layers);
-  pre_.resize(layers);
-}
-
-double Mlp::act(double z) const {
-  return activation_ == Activation::Tanh ? std::tanh(z) : (z > 0.0 ? z : 0.0);
-}
-
-double Mlp::act_grad(double z) const {
-  if (activation_ == Activation::Tanh) {
-    const double t = std::tanh(z);
-    return 1.0 - t * t;
+  for (std::size_t l = 0; l + 1 < sizes_.size(); ++l) {
+    flops_fwd_ += 2.0 * static_cast<double>(sizes_[l]) * static_cast<double>(sizes_[l + 1]);
+    flops_fwd_ += static_cast<double>(sizes_[l + 1]);  // bias + activation
   }
-  return z > 0.0 ? 1.0 : 0.0;
+  ws_act_.resize(layers + 1);
+  ws_wt_.resize(layers);
+}
+
+void Mlp::ensure_forward_ws(std::size_t batch) {
+  const std::size_t layers = weights_.size();
+  for (std::size_t l = 0; l <= layers; ++l) ws_act_[l].reshape(batch, sizes_[l]);
+}
+
+void Mlp::refresh_weight_transposes() const {
+  for (std::size_t l = 0; l < weights_.size(); ++l)
+    weights_[l].transpose_into(ws_wt_[l]);
+}
+
+void Mlp::apply_act(Matrix& z) const {
+  if (activation_ == Activation::Tanh) {
+    apply_tanh(z);
+  } else {
+    apply_relu(z);
+  }
+}
+
+void Mlp::scale_by_act_grad(Matrix& delta, const Matrix& act) const {
+  double* d = delta.data().data();
+  const double* a = act.data().data();
+  const std::size_t n = delta.size();
+  if (activation_ == Activation::Tanh) {
+    // a[i] is the stored tanh of the pre-activation, so 1 - a^2 is bit for
+    // bit the value a recompute through std::tanh would produce — without
+    // the (expensive) recompute.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double t = a[i];
+      d[i] *= 1.0 - t * t;
+    }
+  } else {
+    // relu(z) > 0 exactly when z > 0, so the stored output decides the
+    // pass-through mask just like the pre-activation would.
+    for (std::size_t i = 0; i < n; ++i) d[i] *= a[i] > 0.0 ? 1.0 : 0.0;
+  }
+}
+
+const Matrix& Mlp::forward_batch(const Matrix& x) {
+  DARL_CHECK(x.cols() == input_dim(),
+             "Mlp input has " << x.cols() << " dims, expected " << input_dim());
+  const std::size_t batch = x.rows();
+  const std::size_t layers = weights_.size();
+  ensure_forward_ws(batch);
+  record_batch(batch, flops_fwd_ * static_cast<double>(batch));
+  const bool transposed = batch >= kTransposedGemmMinRows;
+  if (transposed) refresh_weight_transposes();
+  std::copy(x.data().begin(), x.data().end(), ws_act_[0].data().begin());
+  for (std::size_t l = 0; l < layers; ++l) {
+    Matrix& z = ws_act_[l + 1];
+    z.fill(0.0);
+    if (transposed) {
+      Matrix::gemm(1.0, ws_act_[l], false, ws_wt_[l], false, z);
+    } else {
+      Matrix::gemm(1.0, ws_act_[l], false, weights_[l], true, z);
+    }
+    add_bias(z, biases_[l]);
+    if (l + 1 < layers) apply_act(z);
+  }
+  forward_rows_ = batch;
+  return ws_act_[layers];
+}
+
+const Matrix& Mlp::evaluate_batch(const Matrix& x) const {
+  DARL_CHECK(x.cols() == input_dim(),
+             "Mlp input has " << x.cols() << " dims, expected " << input_dim());
+  const std::size_t batch = x.rows();
+  const std::size_t layers = weights_.size();
+  record_batch(batch, flops_fwd_ * static_cast<double>(batch));
+  const bool transposed = batch >= kTransposedGemmMinRows;
+  if (transposed) refresh_weight_transposes();
+  const Matrix* a = &x;
+  Matrix* z = &ws_eval_a_;
+  Matrix* spare = &ws_eval_b_;
+  for (std::size_t l = 0; l < layers; ++l) {
+    z->reshape(batch, sizes_[l + 1]);
+    z->fill(0.0);
+    if (transposed) {
+      Matrix::gemm(1.0, *a, false, ws_wt_[l], false, *z);
+    } else {
+      Matrix::gemm(1.0, *a, false, weights_[l], true, *z);
+    }
+    add_bias(*z, biases_[l]);
+    if (l + 1 < layers) apply_act(*z);
+    a = z;
+    std::swap(z, spare);
+  }
+  return *a;
+}
+
+const Matrix& Mlp::backward_batch(const Matrix& grad_output) {
+  DARL_CHECK(forward_rows_ > 0, "backward_batch() without a preceding forward_batch()");
+  DARL_CHECK(grad_output.rows() == forward_rows_ && grad_output.cols() == output_dim(),
+             "grad_output is " << grad_output.rows() << "x" << grad_output.cols()
+                               << ", expected " << forward_rows_ << "x"
+                               << output_dim());
+  const std::size_t batch = forward_rows_;
+  const std::size_t layers = weights_.size();
+  record_batch(batch, 2.0 * flops_fwd_ * static_cast<double>(batch));
+  Matrix* delta = &ws_delta_a_;  // dL/dz rows for the current layer
+  Matrix* spare = &ws_delta_b_;
+  delta->reshape(batch, output_dim());
+  std::copy(grad_output.data().begin(), grad_output.data().end(),
+            delta->data().begin());
+  for (std::size_t li = layers; li-- > 0;) {
+    if (li + 1 < layers) {
+      // delta currently holds dL/da for this layer's activation output;
+      // convert to dL/dz through the activation derivative, read off the
+      // stored activation rows.
+      scale_by_act_grad(*delta, ws_act_[li + 1]);
+    }
+    // grad_w += delta^T * activations: element (r, c) accumulates over
+    // samples in ascending order, exactly like per-sample add_outer calls.
+    Matrix::gemm(1.0, *delta, true, ws_act_[li], false, grad_w_[li]);
+    Vec& gb = grad_b_[li];
+    for (std::size_t r = 0; r < batch; ++r) {
+      const double* drow = delta->row(r);
+      for (std::size_t c = 0; c < gb.size(); ++c) gb[c] += drow[c];
+    }
+    spare->reshape(batch, sizes_[li]);
+    spare->fill(0.0);
+    Matrix::gemm(1.0, *delta, false, weights_[li], false, *spare);
+    std::swap(delta, spare);
+  }
+  forward_rows_ = 0;
+  return *delta;  // dL/dX
 }
 
 const Vec& Mlp::forward(const Vec& x) {
   DARL_CHECK(x.size() == input_dim(),
              "Mlp input has " << x.size() << " dims, expected " << input_dim());
-  const std::size_t layers = weights_.size();
-  Vec a = x;
-  for (std::size_t l = 0; l < layers; ++l) {
-    inputs_[l] = a;
-    Vec z = weights_[l].matvec(a);
-    axpy(1.0, biases_[l], z);
-    pre_[l] = z;
-    if (l + 1 < layers) {
-      for (double& v : z) v = act(v);
-    }
-    a = std::move(z);
-  }
-  output_ = std::move(a);
-  forward_done_ = true;
+  ws_x1_.reshape(1, input_dim());
+  std::copy(x.begin(), x.end(), ws_x1_.data().begin());
+  const Matrix& y = forward_batch(ws_x1_);
+  output_.assign(y.row(0), y.row(0) + output_dim());
   return output_;
 }
 
 Vec Mlp::evaluate(const Vec& x) const {
   DARL_CHECK(x.size() == input_dim(),
              "Mlp input has " << x.size() << " dims, expected " << input_dim());
-  const std::size_t layers = weights_.size();
-  Vec a = x;
-  for (std::size_t l = 0; l < layers; ++l) {
-    Vec z = weights_[l].matvec(a);
-    axpy(1.0, biases_[l], z);
-    if (l + 1 < layers) {
-      for (double& v : z) v = act(v);
-    }
-    a = std::move(z);
-  }
-  return a;
+  ws_eval_x1_.reshape(1, input_dim());
+  std::copy(x.begin(), x.end(), ws_eval_x1_.data().begin());
+  const Matrix& y = evaluate_batch(ws_eval_x1_);
+  return Vec(y.row(0), y.row(0) + output_dim());
 }
 
 Vec Mlp::backward(const Vec& grad_output) {
-  DARL_CHECK(forward_done_, "backward() without a preceding forward()");
+  DARL_CHECK(forward_rows_ == 1, "backward() without a preceding forward()");
   DARL_CHECK(grad_output.size() == output_dim(),
              "grad_output has " << grad_output.size() << " dims, expected "
                                 << output_dim());
-  const std::size_t layers = weights_.size();
-  Vec delta = grad_output;  // dL/dz for the output layer (linear)
-  for (std::size_t li = layers; li-- > 0;) {
-    if (li + 1 < layers) {
-      // delta currently holds dL/da for this layer's activation output;
-      // convert to dL/dz through the activation derivative.
-      for (std::size_t i = 0; i < delta.size(); ++i)
-        delta[i] *= act_grad(pre_[li][i]);
-    }
-    grad_w_[li].add_outer(1.0, delta, inputs_[li]);
-    axpy(1.0, delta, grad_b_[li]);
-    delta = weights_[li].matvec_t(delta);
-  }
-  forward_done_ = false;
-  return delta;  // dL/dx
+  ws_g1_.reshape(1, output_dim());
+  std::copy(grad_output.begin(), grad_output.end(), ws_g1_.data().begin());
+  const Matrix& dx = backward_batch(ws_g1_);
+  return Vec(dx.row(0), dx.row(0) + input_dim());
 }
 
 void Mlp::zero_grad() {
@@ -112,15 +223,6 @@ std::vector<ParamRef> Mlp::params() {
     out.push_back(ParamRef{&biases_[l], &grad_b_[l], "b" + std::to_string(l)});
   }
   return out;
-}
-
-double Mlp::flops_per_forward() const {
-  double flops = 0.0;
-  for (std::size_t l = 0; l + 1 < sizes_.size(); ++l) {
-    flops += 2.0 * static_cast<double>(sizes_[l]) * static_cast<double>(sizes_[l + 1]);
-    flops += static_cast<double>(sizes_[l + 1]);  // bias + activation
-  }
-  return flops;
 }
 
 std::size_t Mlp::param_count() const {

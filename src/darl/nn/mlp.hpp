@@ -1,10 +1,19 @@
 // darl/nn/mlp.hpp
 //
 // Multi-layer perceptron with manual reverse-mode differentiation — the
-// function approximator behind the PPO/SAC policies and value functions.
-// Sized for RL workloads (observation dims ~10, hidden 64, per-sample
-// forward/backward), double precision throughout, zero allocations on the
-// hot path after the first call.
+// function approximator behind the PPO/SAC/IMPALA policies and value
+// functions. Sized for RL workloads (observation dims ~10, hidden 64),
+// double precision throughout.
+//
+// The primary interface is batched: forward_batch/backward_batch/
+// evaluate_batch operate on observations-as-rows matrices through
+// Matrix::gemm and reuse per-net workspace buffers (activations,
+// pre-activations, deltas), so the steady-state hot loop performs zero
+// heap allocations. The per-sample forward/backward/evaluate API is a thin
+// batch-of-1 wrapper over the same kernels. Because gemm accumulates each
+// output element over the contraction index in the same order as
+// matvec/matvec_t/add_outer, batched and per-sample results are bitwise
+// identical (see DESIGN.md §11).
 
 #pragma once
 
@@ -29,27 +38,52 @@ struct ParamRef {
 
 /// Fully connected network: input -> (Linear -> act)* -> Linear.
 ///
-/// Usage per sample: y = forward(x); then backward(dL/dy) accumulates
-/// parameter gradients (call zero_grad() between optimizer steps) and
-/// returns dL/dx. forward/backward must be paired: backward consumes the
-/// caches of the immediately preceding forward.
+/// Batched usage: Y = forward_batch(X) with one observation per row; then
+/// backward_batch(dL/dY) accumulates parameter gradients (call zero_grad()
+/// between optimizer steps) and returns dL/dX. forward_batch/backward_batch
+/// must be paired: backward consumes the caches of the immediately
+/// preceding forward. evaluate_batch never touches those caches.
+///
+/// Instances are NOT safe for concurrent calls — evaluate/evaluate_batch
+/// included, since they write the instance's reusable workspace buffers.
+/// Each rollout worker owns its own policy copy, so this costs nothing in
+/// practice.
 class Mlp {
  public:
   /// `sizes` = {in, hidden..., out}, at least {in, out}. Weights use
   /// Kaiming-style init scaled for the activation; biases start at zero.
   Mlp(const std::vector<std::size_t>& sizes, Activation activation, Rng& rng);
 
-  /// Evaluate the network and cache intermediates for backward().
+  /// Evaluate one sample and cache intermediates for backward().
+  /// Batch-of-1 wrapper over forward_batch.
   const Vec& forward(const Vec& x);
 
-  /// Evaluate without touching the backward caches (safe for concurrent
-  /// rollouts where no gradient is needed). Slightly slower than forward()
-  /// due to local buffers.
+  /// Evaluate one sample without touching the backward caches.
+  /// Batch-of-1 wrapper over evaluate_batch.
   Vec evaluate(const Vec& x) const;
 
   /// Back-propagate dL/dy from the last forward(); accumulates gradients
   /// into the parameter buffers and returns dL/dx.
   Vec backward(const Vec& grad_output);
+
+  /// Batched forward over observations-as-rows X (batch x input_dim).
+  /// Returns the (batch x output_dim) head matrix — a reference into the
+  /// net's workspace, valid until the next forward/evaluate call — and
+  /// caches intermediates for backward_batch.
+  const Matrix& forward_batch(const Matrix& x);
+
+  /// Batched inference (no backward caches touched). Returns a reference
+  /// into the net's evaluation workspace, valid until the next
+  /// evaluate/evaluate_batch call.
+  const Matrix& evaluate_batch(const Matrix& x) const;
+
+  /// Batched backward for the immediately preceding forward_batch.
+  /// grad_output is (batch x output_dim); row i must hold dL/dy for row i
+  /// of the forward input. Accumulates parameter gradients exactly as the
+  /// equivalent sequence of per-sample backward() calls would (same
+  /// per-element accumulation order) and returns dL/dX (batch x input_dim),
+  /// a workspace reference valid until the next backward call.
+  const Matrix& backward_batch(const Matrix& grad_output);
 
   /// Zero every gradient accumulator.
   void zero_grad();
@@ -69,7 +103,7 @@ class Mlp {
   /// Floating-point operations of one forward pass (2*in*out per layer plus
   /// activations) — the unit of the simulated compute-cost model. A
   /// backward pass is charged at twice this.
-  double flops_per_forward() const;
+  double flops_per_forward() const { return flops_fwd_; }
 
   std::size_t input_dim() const { return sizes_.front(); }
   std::size_t output_dim() const { return sizes_.back(); }
@@ -77,13 +111,31 @@ class Mlp {
   Activation activation() const { return activation_; }
 
  private:
-  struct LayerGrads {
-    Matrix w;
-    Vec b;
-  };
+  /// Minimum batch rows for which the forward gemm is worth routing through
+  /// a transposed weight copy: Z = X * W^T becomes Z = X * (W^T as stored),
+  /// whose inner loop vectorizes (the direct form is a serial reduction).
+  /// Identical per-element summation order, so the two routes are bitwise
+  /// interchangeable; below the threshold the transpose costs more than the
+  /// kernel saves.
+  static constexpr std::size_t kTransposedGemmMinRows = 8;
 
-  double act(double z) const;
-  double act_grad(double z) const;
+  /// Grow the forward workspaces (per-layer activations) to hold `batch`
+  /// rows. Allocation happens here, outside the batch kernels, and only
+  /// until the largest batch has been seen.
+  void ensure_forward_ws(std::size_t batch);
+
+  /// Re-copy each layer's weights into ws_wt_ transposed (weights change
+  /// every optimizer step, so this runs once per batched pass that uses
+  /// the transposed route).
+  void refresh_weight_transposes() const;
+
+  /// In-place activation / activation-derivative application; identical
+  /// scalar math to the per-sample act/act_grad. The derivative is read
+  /// off the stored activation output (for tanh, 1 - a^2 with a the stored
+  /// tanh value — the same double the pre-activation recompute would give;
+  /// for ReLU, a > 0 exactly when z > 0).
+  void apply_act(Matrix& z) const;
+  void scale_by_act_grad(Matrix& delta, const Matrix& act) const;
 
   std::vector<std::size_t> sizes_;
   Activation activation_;
@@ -91,13 +143,24 @@ class Mlp {
   std::vector<Vec> biases_;
   std::vector<Matrix> grad_w_;
   std::vector<Vec> grad_b_;
+  double flops_fwd_ = 0.0;
 
-  // forward caches: inputs_[l] is the input to layer l; pre_[l] the
-  // pre-activation of layer l.
-  std::vector<Vec> inputs_;
-  std::vector<Vec> pre_;
+  // Reusable batch workspaces. ws_act_[l] holds the input rows of layer l
+  // (ws_act_.back() is the network output); hidden slots hold the
+  // activation outputs the backward pass differentiates through. ws_wt_[l]
+  // caches weights_[l] transposed for the large-batch forward route. The
+  // delta pair ping-pongs through backward_batch; the eval pair through
+  // evaluate_batch (mutable: evaluate is logically const but reuses
+  // instance-owned scratch).
+  std::vector<Matrix> ws_act_;
+  mutable std::vector<Matrix> ws_wt_;
+  Matrix ws_delta_a_, ws_delta_b_;
+  mutable Matrix ws_eval_a_, ws_eval_b_;
+  // Batch-of-1 staging rows for the per-sample wrappers.
+  Matrix ws_x1_, ws_g1_;
+  mutable Matrix ws_eval_x1_;
   Vec output_;
-  bool forward_done_ = false;
+  std::size_t forward_rows_ = 0;  ///< rows of the pending forward (0 = none)
 };
 
 }  // namespace darl::nn

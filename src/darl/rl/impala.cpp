@@ -37,17 +37,24 @@ class ImpalaActor final : public RolloutActor {
 
   ActOutput act(const Vec& obs, Rng& rng) override {
     const Vec head = net_.evaluate(obs);
-    ActOutput out;
-    if (space_.is_discrete()) {
-      const std::size_t a = nn::Categorical::sample(head, rng);
-      out.action = space_.discrete().encode(a);
-      out.log_prob = nn::Categorical::log_prob(head, a);
-    } else {
-      const Vec raw = nn::DiagGaussian::sample(head, log_std_, rng);
-      out.log_prob = nn::DiagGaussian::log_prob(head, log_std_, raw);
-      out.action = space_.box().clip(raw);
+    return sample_from_head(head, rng);
+  }
+
+  void act_batch(const std::vector<Vec>& obs, Rng& rng,
+                 std::vector<ActOutput>& out) override {
+    DARL_CHECK(out.size() == obs.size(),
+               "act_batch: out has " << out.size() << " slots for "
+                                     << obs.size() << " observations");
+    if (obs.empty()) return;
+    obs_mat_.reshape(obs.size(), net_.input_dim());
+    for (std::size_t i = 0; i < obs.size(); ++i) {
+      std::copy(obs[i].begin(), obs[i].end(), obs_mat_.row(i));
     }
-    return out;
+    const Matrix& heads = net_.evaluate_batch(obs_mat_);
+    for (std::size_t i = 0; i < obs.size(); ++i) {
+      head_scratch_.assign(heads.row(i), heads.row(i) + net_.output_dim());
+      out[i] = sample_from_head(head_scratch_, rng);
+    }
   }
 
   Vec act_greedy(const Vec& obs) override {
@@ -65,9 +72,26 @@ class ImpalaActor final : public RolloutActor {
   }
 
  private:
+  /// Shared sampling math for act()/act_batch().
+  ActOutput sample_from_head(const Vec& head, Rng& rng) {
+    ActOutput out;
+    if (space_.is_discrete()) {
+      const std::size_t a = nn::Categorical::sample(head, rng);
+      out.action = space_.discrete().encode(a);
+      out.log_prob = nn::Categorical::log_prob(head, a);
+    } else {
+      const Vec raw = nn::DiagGaussian::sample(head, log_std_, rng);
+      out.log_prob = nn::DiagGaussian::log_prob(head, log_std_, raw);
+      out.action = space_.box().clip(raw);
+    }
+    return out;
+  }
+
   nn::Mlp net_;
   Vec log_std_;
   env::ActionSpace space_;
+  Matrix obs_mat_;  // act_batch staging rows
+  Vec head_scratch_;
 };
 
 }  // namespace
@@ -199,70 +223,103 @@ TrainStats ImpalaAlgorithm::train(const std::vector<WorkerBatch>& batches) {
     const auto& stream = batch.transitions;
     if (stream.empty()) continue;
 
-    std::vector<double> values(stream.size());
-    std::vector<double> boots(stream.size());
-    std::vector<double> log_ratio(stream.size());
-    std::vector<double> logp_new(stream.size());
-    std::vector<Vec> heads(stream.size());
+    const std::size_t n = stream.size();
+    std::vector<double> values(n);
+    std::vector<double> boots(n);
+    std::vector<double> log_ratio(n);
+    std::vector<double> logp_new(n);
 
-    for (std::size_t i = 0; i < stream.size(); ++i) {
-      values[i] = value(stream[i].obs);
+    // V-trace inputs via batched evaluation: one critic pass over the
+    // stream, one over the bootstrap rows, one actor pass for the current
+    // log-probs. Bitwise identical to the old per-sample loop.
+    st_obs_.reshape(n, obs_dim_);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::copy(stream[i].obs.begin(), stream[i].obs.end(), st_obs_.row(i));
+    }
+    {
+      const Matrix& v = critic_.evaluate_batch(st_obs_);
+      for (std::size_t i = 0; i < n; ++i) values[i] = v(i, 0);
+    }
+    boot_idx_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
       value_evals += 1.0;
-      if (i + 1 == stream.size() || stream[i].done()) {
-        boots[i] = stream[i].terminated ? 0.0 : value(stream[i].next_obs);
+      boots[i] = 0.0;  // unused mid-stream
+      if (i + 1 == n || stream[i].done()) {
+        if (!stream[i].terminated) boot_idx_.push_back(i);
         value_evals += 1.0;
-      } else {
-        boots[i] = 0.0;  // unused mid-stream
       }
-      heads[i] = actor_.evaluate(stream[i].obs);
-      if (action_space_.is_discrete()) {
-        const std::size_t a = action_space_.discrete().decode(stream[i].action);
-        logp_new[i] = nn::Categorical::log_prob(heads[i], a);
-      } else {
-        logp_new[i] =
-            nn::DiagGaussian::log_prob(heads[i], log_std_, stream[i].action);
+    }
+    if (!boot_idx_.empty()) {
+      st_boot_obs_.reshape(boot_idx_.size(), obs_dim_);
+      for (std::size_t k = 0; k < boot_idx_.size(); ++k) {
+        const Vec& nobs = stream[boot_idx_[k]].next_obs;
+        std::copy(nobs.begin(), nobs.end(), st_boot_obs_.row(k));
       }
-      log_ratio[i] = logp_new[i] - stream[i].log_prob;
+      const Matrix& v = critic_.evaluate_batch(st_boot_obs_);
+      for (std::size_t k = 0; k < boot_idx_.size(); ++k)
+        boots[boot_idx_[k]] = v(k, 0);
+    }
+    const std::size_t head_dim = actor_.output_dim();
+    {
+      const Matrix& heads = actor_.evaluate_batch(st_obs_);
+      for (std::size_t i = 0; i < n; ++i) {
+        head_scratch_.assign(heads.row(i), heads.row(i) + head_dim);
+        if (action_space_.is_discrete()) {
+          const std::size_t a =
+              action_space_.discrete().decode(stream[i].action);
+          logp_new[i] = nn::Categorical::log_prob(head_scratch_, a);
+        } else {
+          logp_new[i] = nn::DiagGaussian::log_prob(head_scratch_, log_std_,
+                                                   stream[i].action);
+        }
+        log_ratio[i] = logp_new[i] - stream[i].log_prob;
+      }
     }
 
     const VtraceResult vt =
         compute_vtrace(stream, log_ratio, values, boots, config_.gamma,
                        config_.rho_clip, config_.c_clip);
 
-    for (std::size_t i = 0; i < stream.size(); ++i) {
+    // One actor and one critic forward/backward batch per stream; gradients
+    // keep accumulating across streams exactly as the per-sample calls did
+    // (gemm seeds each element from the existing gradient value).
+    const Matrix& heads = actor_.forward_batch(st_obs_);
+    const Matrix& vals = critic_.forward_batch(st_obs_);
+    st_dhead_.reshape(n, head_dim);
+    st_dv_.reshape(n, 1);
+    for (std::size_t i = 0; i < n; ++i) {
       const Transition& tr = stream[i];
       // Policy gradient: -pg_adv * grad logp - entropy bonus.
-      const Vec& head = actor_.forward(tr.obs);
-      Vec d_head(head.size(), 0.0);
+      head_scratch_.assign(heads.row(i), heads.row(i) + head_dim);
+      double* d_head = st_dhead_.row(i);
       if (action_space_.is_discrete()) {
         const std::size_t a = action_space_.discrete().decode(tr.action);
-        const Vec g_logp = nn::Categorical::log_prob_grad(head, a);
-        const Vec g_ent = nn::Categorical::entropy_grad(head);
-        entropy_sum += nn::Categorical::entropy(head);
-        for (std::size_t j = 0; j < head.size(); ++j) {
+        const Vec g_logp = nn::Categorical::log_prob_grad(head_scratch_, a);
+        const Vec g_ent = nn::Categorical::entropy_grad(head_scratch_);
+        entropy_sum += nn::Categorical::entropy(head_scratch_);
+        for (std::size_t j = 0; j < head_dim; ++j) {
           d_head[j] = scale * (-vt.pg_adv[i] * g_logp[j] -
                                config_.entropy_coef * g_ent[j]);
         }
       } else {
-        Vec d_mean, d_log_std;
-        nn::DiagGaussian::log_prob_grad(head, log_std_, tr.action, d_mean,
-                                        d_log_std);
+        nn::DiagGaussian::log_prob_grad(head_scratch_, log_std_, tr.action,
+                                        d_mean_, d_log_std_);
         entropy_sum += nn::DiagGaussian::entropy(log_std_);
-        for (std::size_t j = 0; j < head.size(); ++j) {
-          d_head[j] = scale * -vt.pg_adv[i] * d_mean[j];
-          log_std_grad_[j] += scale * (-vt.pg_adv[i] * d_log_std[j] -
+        for (std::size_t j = 0; j < head_dim; ++j) {
+          d_head[j] = scale * -vt.pg_adv[i] * d_mean_[j];
+          log_std_grad_[j] += scale * (-vt.pg_adv[i] * d_log_std_[j] -
                                        config_.entropy_coef);
         }
       }
-      actor_.backward(d_head);
       policy_loss += -vt.pg_adv[i] * logp_new[i];
 
       // Value regression toward vs.
-      const double v = critic_.forward(tr.obs)[0];
-      const double verr = v - vt.vs[i];
+      const double verr = vals(i, 0) - vt.vs[i];
       value_loss += 0.5 * verr * verr;
-      critic_.backward(Vec{scale * config_.value_coef * verr});
+      st_dv_.row(i)[0] = scale * config_.value_coef * verr;
     }
+    actor_.backward_batch(st_dhead_);
+    critic_.backward_batch(st_dv_);
   }
 
   auto actor_params = actor_.params();

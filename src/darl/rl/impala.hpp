@@ -76,6 +76,12 @@ class ImpalaAlgorithm final : public Algorithm {
   Vec log_std_, log_std_grad_;
   nn::Mlp critic_;
   std::unique_ptr<nn::Adam> actor_opt_, critic_opt_;
+
+  // Reusable batched-kernel staging buffers; capacity grows to the longest
+  // worker stream, then train() stops allocating in the network hot path.
+  Matrix st_obs_, st_boot_obs_, st_dhead_, st_dv_;
+  std::vector<std::size_t> boot_idx_;
+  Vec head_scratch_, d_mean_, d_log_std_;
 };
 
 }  // namespace darl::rl

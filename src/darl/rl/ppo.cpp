@@ -52,19 +52,24 @@ class PpoActor final : public RolloutActor {
 
   ActOutput act(const Vec& obs, Rng& rng) override {
     const Vec head = net_.evaluate(obs);
-    ActOutput out;
-    if (space_.is_discrete()) {
-      const std::size_t a = nn::Categorical::sample(head, rng);
-      out.action = space_.discrete().encode(a);
-      out.log_prob = nn::Categorical::log_prob(head, a);
-    } else {
-      const Vec raw = nn::DiagGaussian::sample(head, log_std_, rng);
-      out.log_prob = nn::DiagGaussian::log_prob(head, log_std_, raw);
-      out.action = space_.box().clip(raw);
-      // log_prob intentionally refers to the unclipped draw (standard
-      // practice: the clip is part of the environment interface).
+    return sample_from_head(head, rng);
+  }
+
+  void act_batch(const std::vector<Vec>& obs, Rng& rng,
+                 std::vector<ActOutput>& out) override {
+    DARL_CHECK(out.size() == obs.size(),
+               "act_batch: out has " << out.size() << " slots for "
+                                     << obs.size() << " observations");
+    if (obs.empty()) return;
+    obs_mat_.reshape(obs.size(), net_.input_dim());
+    for (std::size_t i = 0; i < obs.size(); ++i) {
+      std::copy(obs[i].begin(), obs[i].end(), obs_mat_.row(i));
     }
-    return out;
+    const Matrix& heads = net_.evaluate_batch(obs_mat_);
+    for (std::size_t i = 0; i < obs.size(); ++i) {
+      head_scratch_.assign(heads.row(i), heads.row(i) + net_.output_dim());
+      out[i] = sample_from_head(head_scratch_, rng);
+    }
   }
 
   Vec act_greedy(const Vec& obs) override {
@@ -83,10 +88,30 @@ class PpoActor final : public RolloutActor {
   }
 
  private:
+  /// Shared sampling math for act()/act_batch(): one policy-head vector in,
+  /// one sampled action out.
+  ActOutput sample_from_head(const Vec& head, Rng& rng) {
+    ActOutput out;
+    if (space_.is_discrete()) {
+      const std::size_t a = nn::Categorical::sample(head, rng);
+      out.action = space_.discrete().encode(a);
+      out.log_prob = nn::Categorical::log_prob(head, a);
+    } else {
+      const Vec raw = nn::DiagGaussian::sample(head, log_std_, rng);
+      out.log_prob = nn::DiagGaussian::log_prob(head, log_std_, raw);
+      out.action = space_.box().clip(raw);
+      // log_prob intentionally refers to the unclipped draw (standard
+      // practice: the clip is part of the environment interface).
+    }
+    return out;
+  }
+
   nn::Mlp net_;
   Vec log_std_;
   env::ActionSpace space_;
   Rng scratch_rng_;  // reserved for actor-local stochasticity
+  Matrix obs_mat_;   // act_batch staging rows
+  Vec head_scratch_;
 };
 
 }  // namespace
@@ -150,65 +175,11 @@ double PpoAlgorithm::value(const Vec& obs) const {
   return critic_.evaluate(obs)[0];
 }
 
-PpoAlgorithm::PolicyEval PpoAlgorithm::policy_loss_backward(const Sample& s,
-                                                            double scale) {
-  const Transition& tr = *s.t;
-  const Vec& head = actor_.forward(tr.obs);
-  PolicyEval ev;
-  Vec d_head(head.size(), 0.0);
-
-  if (action_space_.is_discrete()) {
-    const std::size_t a = action_space_.discrete().decode(tr.action);
-    ev.log_prob = nn::Categorical::log_prob(head, a);
-    ev.entropy = nn::Categorical::entropy(head);
-
-    const double ratio = std::exp(ev.log_prob - tr.log_prob);
-    const double lo = 1.0 - config_.clip_epsilon;
-    const double hi = 1.0 + config_.clip_epsilon;
-    const double unclipped = ratio * s.advantage;
-    const double clipped = std::clamp(ratio, lo, hi) * s.advantage;
-    // Gradient of -min(unclipped, clipped) w.r.t. logp flows through the
-    // ratio only when the active branch is differentiable in it.
-    double d_logp = 0.0;
-    if (unclipped <= clipped || (ratio >= lo && ratio <= hi)) {
-      d_logp = -s.advantage * ratio;
-    }
-    const Vec g_logp = nn::Categorical::log_prob_grad(head, a);
-    const Vec g_ent = nn::Categorical::entropy_grad(head);
-    for (std::size_t i = 0; i < head.size(); ++i) {
-      d_head[i] = scale * (d_logp * g_logp[i] - config_.entropy_coef * g_ent[i]);
-    }
-    actor_.backward(d_head);
-  } else {
-    ev.log_prob = nn::DiagGaussian::log_prob(head, log_std_, tr.action);
-    ev.entropy = nn::DiagGaussian::entropy(log_std_);
-
-    const double ratio = std::exp(ev.log_prob - tr.log_prob);
-    const double lo = 1.0 - config_.clip_epsilon;
-    const double hi = 1.0 + config_.clip_epsilon;
-    const double unclipped = ratio * s.advantage;
-    const double clipped = std::clamp(ratio, lo, hi) * s.advantage;
-    double d_logp = 0.0;
-    if (unclipped <= clipped || (ratio >= lo && ratio <= hi)) {
-      d_logp = -s.advantage * ratio;
-    }
-    Vec d_mean, d_log_std;
-    nn::DiagGaussian::log_prob_grad(head, log_std_, tr.action, d_mean, d_log_std);
-    for (std::size_t i = 0; i < head.size(); ++i) {
-      d_head[i] = scale * d_logp * d_mean[i];
-      // Entropy of a Gaussian is independent of the mean; bonus flows into
-      // log_std only (d entropy / d log_std = 1).
-      log_std_grad_[i] += scale * (d_logp * d_log_std[i] - config_.entropy_coef);
-    }
-    actor_.backward(d_head);
-  }
-  return ev;
-}
-
 TrainStats PpoAlgorithm::train(const std::vector<WorkerBatch>& batches) {
   TrainStats stats;
 
-  // 1) GAE per worker stream with the current critic.
+  // 1) GAE per worker stream with the current critic, evaluated as one
+  // batched pass per stream (bitwise identical to the per-sample loop).
   std::vector<Sample> samples;
   double value_evals = 0.0;
   for (const auto& batch : batches) {
@@ -216,16 +187,32 @@ TrainStats PpoAlgorithm::train(const std::vector<WorkerBatch>& batches) {
     if (stream.empty()) continue;
     std::vector<double> values(stream.size());
     std::vector<double> boots(stream.size());
+    gae_obs_.reshape(stream.size(), obs_dim_);
     for (std::size_t i = 0; i < stream.size(); ++i) {
-      values[i] = value(stream[i].obs);
-      // V(next_obs) is only read at stream ends and truncations; computing
-      // it from values[i+1] when possible halves the critic evaluations.
-      if (i + 1 < stream.size() && !stream[i].done()) {
-        boots[i] = 0.0;  // filled below from values[i+1]
-      } else {
-        boots[i] = stream[i].terminated ? 0.0 : value(stream[i].next_obs);
-        value_evals += 1.0;
+      std::copy(stream[i].obs.begin(), stream[i].obs.end(), gae_obs_.row(i));
+    }
+    {
+      const Matrix& v = critic_.evaluate_batch(gae_obs_);
+      for (std::size_t i = 0; i < stream.size(); ++i) values[i] = v(i, 0);
+    }
+    // V(next_obs) is only read at stream ends and truncations; computing
+    // it from values[i+1] when possible halves the critic evaluations.
+    boot_idx_.clear();
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      boots[i] = 0.0;
+      if (i + 1 < stream.size() && !stream[i].done()) continue;
+      if (!stream[i].terminated) boot_idx_.push_back(i);
+      value_evals += 1.0;
+    }
+    if (!boot_idx_.empty()) {
+      gae_obs_.reshape(boot_idx_.size(), obs_dim_);
+      for (std::size_t k = 0; k < boot_idx_.size(); ++k) {
+        const Vec& nobs = stream[boot_idx_[k]].next_obs;
+        std::copy(nobs.begin(), nobs.end(), gae_obs_.row(k));
       }
+      const Matrix& v = critic_.evaluate_batch(gae_obs_);
+      for (std::size_t k = 0; k < boot_idx_.size(); ++k)
+        boots[boot_idx_[k]] = v(k, 0);
     }
     for (std::size_t i = 0; i + 1 < stream.size(); ++i) {
       if (!stream[i].done()) boots[i] = values[i + 1];
@@ -266,29 +253,93 @@ TrainStats PpoAlgorithm::train(const std::vector<WorkerBatch>& batches) {
       std::fill(log_std_grad_.begin(), log_std_grad_.end(), 0.0);
       critic_.zero_grad();
 
-      double mb_kl = 0.0;
-      for (std::size_t p = start; p < end; ++p) {
-        const Sample& s = samples[perm[p]];
-        const PolicyEval ev = policy_loss_backward(s, scale);
+      // Assemble the minibatch observations once and run both networks
+      // through the batched kernels; the per-sample loop below only does
+      // the distribution math and fills the output-gradient rows. All
+      // scalar accumulators keep their ascending-sample summation order,
+      // so the stats match the old per-sample loop bit for bit.
+      const std::size_t mb = end - start;
+      mb_obs_.reshape(mb, obs_dim_);
+      for (std::size_t k = 0; k < mb; ++k) {
+        const Vec& obs = samples[perm[start + k]].t->obs;
+        std::copy(obs.begin(), obs.end(), mb_obs_.row(k));
+      }
+      const Matrix& heads = actor_.forward_batch(mb_obs_);
+      const Matrix& vals = critic_.forward_batch(mb_obs_);
+      const std::size_t head_dim = actor_.output_dim();
+      mb_dhead_.reshape(mb, head_dim);
+      mb_dv_.reshape(mb, 1);
 
-        const double ratio_log = ev.log_prob - s.t->log_prob;
+      double mb_kl = 0.0;
+      for (std::size_t k = 0; k < mb; ++k) {
+        const Sample& s = samples[perm[start + k]];
+        const Transition& tr = *s.t;
+        head_scratch_.assign(heads.row(k), heads.row(k) + head_dim);
+        double* d_head = mb_dhead_.row(k);
+        double log_prob = 0.0;
+        double entropy = 0.0;
+
+        const double lo = 1.0 - config_.clip_epsilon;
+        const double hi = 1.0 + config_.clip_epsilon;
+        if (action_space_.is_discrete()) {
+          const std::size_t a = action_space_.discrete().decode(tr.action);
+          log_prob = nn::Categorical::log_prob(head_scratch_, a);
+          entropy = nn::Categorical::entropy(head_scratch_);
+
+          const double ratio = std::exp(log_prob - tr.log_prob);
+          const double unclipped = ratio * s.advantage;
+          const double clipped = std::clamp(ratio, lo, hi) * s.advantage;
+          // Gradient of -min(unclipped, clipped) w.r.t. logp flows through
+          // the ratio only when the active branch is differentiable in it.
+          double d_logp = 0.0;
+          if (unclipped <= clipped || (ratio >= lo && ratio <= hi)) {
+            d_logp = -s.advantage * ratio;
+          }
+          const Vec g_logp = nn::Categorical::log_prob_grad(head_scratch_, a);
+          const Vec g_ent = nn::Categorical::entropy_grad(head_scratch_);
+          for (std::size_t i = 0; i < head_dim; ++i) {
+            d_head[i] =
+                scale * (d_logp * g_logp[i] - config_.entropy_coef * g_ent[i]);
+          }
+        } else {
+          log_prob = nn::DiagGaussian::log_prob(head_scratch_, log_std_, tr.action);
+          entropy = nn::DiagGaussian::entropy(log_std_);
+
+          const double ratio = std::exp(log_prob - tr.log_prob);
+          const double unclipped = ratio * s.advantage;
+          const double clipped = std::clamp(ratio, lo, hi) * s.advantage;
+          double d_logp = 0.0;
+          if (unclipped <= clipped || (ratio >= lo && ratio <= hi)) {
+            d_logp = -s.advantage * ratio;
+          }
+          nn::DiagGaussian::log_prob_grad(head_scratch_, log_std_, tr.action,
+                                          d_mean_, d_log_std_);
+          for (std::size_t i = 0; i < head_dim; ++i) {
+            d_head[i] = scale * d_logp * d_mean_[i];
+            // Entropy of a Gaussian is independent of the mean; bonus flows
+            // into log_std only (d entropy / d log_std = 1).
+            log_std_grad_[i] +=
+                scale * (d_logp * d_log_std_[i] - config_.entropy_coef);
+          }
+        }
+
+        const double ratio_log = log_prob - tr.log_prob;
         mb_kl += (std::exp(ratio_log) - 1.0) - ratio_log;  // k3 estimator
         const double ratio = std::exp(ratio_log);
         const double unclipped = ratio * s.advantage;
-        const double clipped =
-            std::clamp(ratio, 1.0 - config_.clip_epsilon,
-                       1.0 + config_.clip_epsilon) *
-            s.advantage;
+        const double clipped = std::clamp(ratio, lo, hi) * s.advantage;
         policy_loss_sum += -std::min(unclipped, clipped);
-        entropy_sum += ev.entropy;
+        entropy_sum += entropy;
 
-        // Critic step on the same minibatch.
-        const double v = critic_.forward(s.t->obs)[0];
+        // Critic target on the same minibatch.
+        const double v = vals(k, 0);
         const double verr = v - s.ret;
         value_loss_sum += 0.5 * verr * verr;
-        critic_.backward(Vec{scale * config_.value_coef * verr});
+        mb_dv_.row(k)[0] = scale * config_.value_coef * verr;
         ++loss_count;
       }
+      actor_.backward_batch(mb_dhead_);
+      critic_.backward_batch(mb_dv_);
 
       auto actor_params = actor_.params();
       if (!log_std_.empty())

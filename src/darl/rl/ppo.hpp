@@ -70,14 +70,6 @@ class PpoAlgorithm final : public Algorithm {
     double ret = 0.0;
   };
 
-  /// Evaluate logp under the current policy and accumulate the policy
-  /// gradient for one sample (returns new logp and entropy).
-  struct PolicyEval {
-    double log_prob = 0.0;
-    double entropy = 0.0;
-  };
-  PolicyEval policy_loss_backward(const Sample& s, double scale);
-
   std::size_t obs_dim_;
   env::ActionSpace action_space_;
   PpoConfig config_;
@@ -90,6 +82,14 @@ class PpoAlgorithm final : public Algorithm {
   std::unique_ptr<nn::Adam> actor_opt_;
   std::unique_ptr<nn::Adam> critic_opt_;
   double last_kl_ = 0.0;
+
+  // Reusable staging buffers for the batched kernels. Capacity grows to
+  // the largest stream / minibatch seen, then train() runs allocation-free
+  // apart from the sample index vectors.
+  Matrix gae_obs_;
+  Matrix mb_obs_, mb_dhead_, mb_dv_;
+  std::vector<std::size_t> boot_idx_;
+  Vec head_scratch_, d_mean_, d_log_std_;
 };
 
 }  // namespace darl::rl

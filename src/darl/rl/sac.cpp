@@ -68,17 +68,24 @@ class SacActor final : public RolloutActor {
 
   ActOutput act(const Vec& obs, Rng& rng) override {
     const Vec head = net_.evaluate(obs);
-    const std::size_t d = head.size() / 2;
-    Vec mean(head.begin(), head.begin() + static_cast<std::ptrdiff_t>(d));
-    Vec log_std(d);
-    for (std::size_t i = 0; i < d; ++i) {
-      log_std[i] = lo_ + 0.5 * (hi_ - lo_) * (std::tanh(head[d + i]) + 1.0);
+    return sample_from_head(head, rng);
+  }
+
+  void act_batch(const std::vector<Vec>& obs, Rng& rng,
+                 std::vector<ActOutput>& out) override {
+    DARL_CHECK(out.size() == obs.size(),
+               "act_batch: out has " << out.size() << " slots for "
+                                     << obs.size() << " observations");
+    if (obs.empty()) return;
+    obs_mat_.reshape(obs.size(), net_.input_dim());
+    for (std::size_t i = 0; i < obs.size(); ++i) {
+      std::copy(obs[i].begin(), obs[i].end(), obs_mat_.row(i));
     }
-    const auto draw = nn::SquashedGaussian::sample(mean, log_std, rng);
-    ActOutput out;
-    out.action = scale_to_box(draw.action, box_);
-    out.log_prob = draw.log_prob;
-    return out;
+    const Matrix& heads = net_.evaluate_batch(obs_mat_);
+    for (std::size_t i = 0; i < obs.size(); ++i) {
+      head_scratch_.assign(heads.row(i), heads.row(i) + net_.output_dim());
+      out[i] = sample_from_head(head_scratch_, rng);
+    }
   }
 
   Vec act_greedy(const Vec& obs) override {
@@ -93,9 +100,27 @@ class SacActor final : public RolloutActor {
   }
 
  private:
+  /// Shared sampling math for act()/act_batch(): split the head into mean
+  /// and softly clamped log-std, draw, scale into the env box.
+  ActOutput sample_from_head(const Vec& head, Rng& rng) {
+    const std::size_t d = head.size() / 2;
+    Vec mean(head.begin(), head.begin() + static_cast<std::ptrdiff_t>(d));
+    Vec log_std(d);
+    for (std::size_t i = 0; i < d; ++i) {
+      log_std[i] = lo_ + 0.5 * (hi_ - lo_) * (std::tanh(head[d + i]) + 1.0);
+    }
+    const auto draw = nn::SquashedGaussian::sample(mean, log_std, rng);
+    ActOutput out;
+    out.action = scale_to_box(draw.action, box_);
+    out.log_prob = draw.log_prob;
+    return out;
+  }
+
   nn::Mlp net_;
   env::BoxSpace box_;
   double lo_, hi_;
+  Matrix obs_mat_;  // act_batch staging rows
+  Vec head_scratch_;
 };
 
 }  // namespace
@@ -231,40 +256,76 @@ void SacAlgorithm::one_update(TrainStats& stats) {
   const double a_now = alpha();
 
   // --- 1) Critic targets y = r + gamma (1-d)(min Q_t(s',a') - alpha logp').
+  // One batched actor pass and one batched pass per target critic over the
+  // non-terminal rows; the policy draws stay per-sample in ascending batch
+  // order so the rng_ stream is identical to the per-sample loop.
   std::vector<double> targets(batch.size());
-  Vec mean, log_std;
+  nonterm_idx_.clear();
   for (std::size_t i = 0; i < batch.size(); ++i) {
-    const Transition& tr = *batch[i];
-    double y = tr.reward;
-    if (!tr.terminated) {
-      const Vec head = actor_.evaluate(tr.next_obs);
-      split_head(head, mean, log_std);
-      const auto draw = nn::SquashedGaussian::sample(mean, log_std, rng_);
-      const Vec in = concat(tr.next_obs, draw.action);
-      const double qmin =
-          std::min(q1_target_.evaluate(in)[0], q2_target_.evaluate(in)[0]);
-      y += config_.gamma * (qmin - a_now * draw.log_prob);
+    if (!batch[i]->terminated) nonterm_idx_.push_back(i);
+  }
+  if (!nonterm_idx_.empty()) {
+    mb_obs_.reshape(nonterm_idx_.size(), obs_dim_);
+    for (std::size_t k = 0; k < nonterm_idx_.size(); ++k) {
+      const Vec& nobs = batch[nonterm_idx_[k]]->next_obs;
+      std::copy(nobs.begin(), nobs.end(), mb_obs_.row(k));
     }
-    targets[i] = y;
+    const Matrix& heads = actor_.evaluate_batch(mb_obs_);
+    mb_qin_.reshape(nonterm_idx_.size(), obs_dim_ + act_dim_);
+    tgt_logp_.resize(nonterm_idx_.size());
+    for (std::size_t k = 0; k < nonterm_idx_.size(); ++k) {
+      const Transition& tr = *batch[nonterm_idx_[k]];
+      head_scratch_.assign(heads.row(k), heads.row(k) + 2 * act_dim_);
+      split_head(head_scratch_, mean_scratch_, log_std_scratch_);
+      const auto draw =
+          nn::SquashedGaussian::sample(mean_scratch_, log_std_scratch_, rng_);
+      double* qrow = mb_qin_.row(k);
+      std::copy(tr.next_obs.begin(), tr.next_obs.end(), qrow);
+      std::copy(draw.action.begin(), draw.action.end(), qrow + obs_dim_);
+      tgt_logp_[k] = draw.log_prob;
+    }
+    const Matrix& q1v = q1_target_.evaluate_batch(mb_qin_);
+    const Matrix& q2v = q2_target_.evaluate_batch(mb_qin_);
+    for (std::size_t k = 0; k < nonterm_idx_.size(); ++k) {
+      const double qmin = std::min(q1v(k, 0), q2v(k, 0));
+      targets[nonterm_idx_[k]] =
+          batch[nonterm_idx_[k]]->reward +
+          config_.gamma * (qmin - a_now * tgt_logp_[k]);
+    }
+  }
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    if (batch[i]->terminated) targets[i] = batch[i]->reward;
   }
 
-  // --- 2) Critic updates (importance-weighted MSE to targets).
+  // --- 2) Critic updates (importance-weighted MSE to targets): one
+  // forward/backward batch per critic instead of per sample.
   q1_.zero_grad();
   q2_.zero_grad();
   double q_loss = 0.0;
   std::vector<double> new_priorities(per_ ? batch.size() : 0);
+  mb_qin_.reshape(batch.size(), obs_dim_ + act_dim_);
   for (std::size_t i = 0; i < batch.size(); ++i) {
     const Transition& tr = *batch[i];
     const Vec squashed = unscale_from_box(tr.action, action_space_.box());
-    const Vec in = concat(tr.obs, squashed);
+    double* qrow = mb_qin_.row(i);
+    std::copy(tr.obs.begin(), tr.obs.end(), qrow);
+    std::copy(squashed.begin(), squashed.end(), qrow + obs_dim_);
+  }
+  const Matrix& cv1 = q1_.forward_batch(mb_qin_);
+  const Matrix& cv2 = q2_.forward_batch(mb_qin_);
+  mb_d1_.reshape(batch.size(), 1);
+  mb_d2_.reshape(batch.size(), 1);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
     const double w = is_weights[i];
-    const double e1 = q1_.forward(in)[0] - targets[i];
-    q1_.backward(Vec{inv_b * w * e1});
-    const double e2 = q2_.forward(in)[0] - targets[i];
-    q2_.backward(Vec{inv_b * w * e2});
+    const double e1 = cv1(i, 0) - targets[i];
+    const double e2 = cv2(i, 0) - targets[i];
+    mb_d1_(i, 0) = inv_b * w * e1;
+    mb_d2_(i, 0) = inv_b * w * e2;
     q_loss += 0.5 * inv_b * w * (e1 * e1 + e2 * e2);
     if (per_) new_priorities[i] = 0.5 * (std::abs(e1) + std::abs(e2));
   }
+  q1_.backward_batch(mb_d1_);
+  q2_.backward_batch(mb_d2_);
   if (per_) per_->update_priorities(per_indices, new_priorities);
   nn::clip_grad_norm(q1_.params(), config_.max_grad_norm);
   nn::clip_grad_norm(q2_.params(), config_.max_grad_norm);
@@ -272,44 +333,84 @@ void SacAlgorithm::one_update(TrainStats& stats) {
   q2_opt_->step();
 
   // --- 3) Actor update: minimize alpha logp - min Q(s, a(s)).
+  // Batched: one actor forward over the batch, per-sample draws in rng
+  // order, one batched q1/q2 evaluation to pick the smaller critic, then
+  // one forward/backward batch per chosen-critic group to pull dQ/da out
+  // of the critic input gradients, and a single actor backward batch.
   actor_.zero_grad();
   double logp_sum = 0.0;
-  for (const Transition* trp : batch) {
-    const Transition& tr = *trp;
-    const Vec& head = actor_.forward(tr.obs);
-    split_head(head, mean, log_std);
-    const auto draw = nn::SquashedGaussian::sample(mean, log_std, rng_);
-    logp_sum += draw.log_prob;
-
-    // dL/da from the critic with the smaller Q (grad of -Q is -dQ/da).
-    const Vec in = concat(tr.obs, draw.action);
-    const double v1 = q1_.evaluate(in)[0];
-    const double v2 = q2_.evaluate(in)[0];
-    nn::Mlp& qmin = v1 <= v2 ? q1_ : q2_;
-    qmin.forward(in);
-    const Vec dq_din = qmin.backward(Vec{1.0});  // dQ/d[obs, action]
-    Vec grad_action(act_dim_);
-    for (std::size_t i = 0; i < act_dim_; ++i)
-      grad_action[i] = -dq_din[obs_dim_ + i];
-
-    Vec d_mean, d_log_std;
-    nn::SquashedGaussian::pathwise_grad(mean, log_std, draw.pre_tanh,
-                                        draw.noise, a_now, grad_action, d_mean,
-                                        d_log_std);
-    // Chain d_log_std through the soft clamp log_std = f(raw).
-    Vec d_head(2 * act_dim_);
-    for (std::size_t i = 0; i < act_dim_; ++i) {
-      d_head[i] = inv_b * d_mean[i];
-      const double t = std::tanh(head[act_dim_ + i]);
-      const double dclamp =
-          0.5 * (config_.log_std_max - config_.log_std_min) * (1.0 - t * t);
-      d_head[act_dim_ + i] = inv_b * d_log_std[i] * dclamp;
+  mb_obs_.reshape(batch.size(), obs_dim_);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    std::copy(batch[i]->obs.begin(), batch[i]->obs.end(), mb_obs_.row(i));
+  }
+  const Matrix& heads = actor_.forward_batch(mb_obs_);
+  draws_.resize(batch.size());
+  means_.resize(batch.size());
+  log_stds_.resize(batch.size());
+  mb_qin_.reshape(batch.size(), obs_dim_ + act_dim_);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const Transition& tr = *batch[i];
+    head_scratch_.assign(heads.row(i), heads.row(i) + 2 * act_dim_);
+    split_head(head_scratch_, means_[i], log_stds_[i]);
+    draws_[i] = nn::SquashedGaussian::sample(means_[i], log_stds_[i], rng_);
+    logp_sum += draws_[i].log_prob;
+    double* qrow = mb_qin_.row(i);
+    std::copy(tr.obs.begin(), tr.obs.end(), qrow);
+    std::copy(draws_[i].action.begin(), draws_[i].action.end(),
+              qrow + obs_dim_);
+  }
+  {
+    const Matrix& av1 = q1_.evaluate_batch(mb_qin_);
+    const Matrix& av2 = q2_.evaluate_batch(mb_qin_);
+    grp1_idx_.clear();
+    grp2_idx_.clear();
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      // Same tie rule as the per-sample path: q1 wins on equality.
+      (av1(i, 0) <= av2(i, 0) ? grp1_idx_ : grp2_idx_).push_back(i);
     }
-    actor_.backward(d_head);
+  }
+  // dL/da from the critic with the smaller Q (grad of -Q is -dQ/da).
+  mb_ga_.reshape(batch.size(), act_dim_);
+  for (int g = 0; g < 2; ++g) {
+    const std::vector<std::size_t>& idx = g == 0 ? grp1_idx_ : grp2_idx_;
+    if (idx.empty()) continue;
+    nn::Mlp& qnet = g == 0 ? q1_ : q2_;
+    grp_qin_.reshape(idx.size(), obs_dim_ + act_dim_);
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+      const double* src = mb_qin_.row(idx[k]);
+      std::copy(src, src + obs_dim_ + act_dim_, grp_qin_.row(k));
+    }
+    qnet.forward_batch(grp_qin_);
+    grp_dy_.reshape(idx.size(), 1);
+    grp_dy_.fill(1.0);
+    const Matrix& din = qnet.backward_batch(grp_dy_);  // dQ/d[obs, action]
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+      double* ga = mb_ga_.row(idx[k]);
+      const double* drow = din.row(k);
+      for (std::size_t j = 0; j < act_dim_; ++j) ga[j] = -drow[obs_dim_ + j];
+    }
   }
   // Discard the input-gradient pollution accumulated in the critics.
   q1_.zero_grad();
   q2_.zero_grad();
+  mb_dhead_.reshape(batch.size(), 2 * act_dim_);
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    grad_action_.assign(mb_ga_.row(i), mb_ga_.row(i) + act_dim_);
+    nn::SquashedGaussian::pathwise_grad(means_[i], log_stds_[i],
+                                        draws_[i].pre_tanh, draws_[i].noise,
+                                        a_now, grad_action_, d_mean_,
+                                        d_log_std_);
+    // Chain d_log_std through the soft clamp log_std = f(raw).
+    double* dh = mb_dhead_.row(i);
+    for (std::size_t j = 0; j < act_dim_; ++j) {
+      dh[j] = inv_b * d_mean_[j];
+      const double t = std::tanh(heads(i, act_dim_ + j));
+      const double dclamp =
+          0.5 * (config_.log_std_max - config_.log_std_min) * (1.0 - t * t);
+      dh[act_dim_ + j] = inv_b * d_log_std_[j] * dclamp;
+    }
+  }
+  actor_.backward_batch(mb_dhead_);
   nn::clip_grad_norm(actor_.params(), config_.max_grad_norm);
   actor_opt_->step();
 

@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "darl/common/rng.hpp"
+#include "darl/nn/distributions.hpp"
 #include "darl/nn/mlp.hpp"
 #include "darl/nn/optimizer.hpp"
 #include "darl/rl/algorithm.hpp"
@@ -92,6 +93,19 @@ class SacAlgorithm final : public Algorithm {
   std::unique_ptr<PrioritizedReplayBuffer> per_;
   double update_carry_ = 0.0;
   double target_entropy_ = 0.0;
+
+  // Reusable batched-kernel staging buffers: observation / [obs, action]
+  // rows, output-gradient rows, and per-sample draw storage. Capacity
+  // settles at the configured batch size, after which one_update() stops
+  // allocating in the network hot path.
+  Matrix mb_obs_, mb_qin_, mb_d1_, mb_d2_, mb_dhead_, mb_ga_;
+  Matrix grp_qin_, grp_dy_;
+  std::vector<std::size_t> nonterm_idx_, grp1_idx_, grp2_idx_;
+  std::vector<nn::SquashedGaussian::Draw> draws_;
+  std::vector<Vec> means_, log_stds_;
+  std::vector<double> tgt_logp_;
+  Vec head_scratch_, mean_scratch_, log_std_scratch_;
+  Vec d_mean_, d_log_std_, grad_action_;
 };
 
 }  // namespace darl::rl

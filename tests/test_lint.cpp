@@ -247,6 +247,74 @@ TEST(LintDetach, CleanJoin) {
 }
 
 // ---------------------------------------------------------------------------
+// heap-alloc-in-kernel
+
+TEST(LintKernelAlloc, FlagsAllocationsInsideBatchAndGemmBodies) {
+  const std::string code = R"fx(
+const Matrix& Mlp::forward_batch(const Matrix& x) {
+  ws_act_.resize(layers + 1);
+  return ws_act_.back();
+}
+void Matrix::gemm(double alpha, const Matrix& a, bool ta,
+                  const Matrix& b, bool tb, Matrix& c) {
+  scratch_.push_back(0.0);
+  double* tmp = new double[c.size()];
+}
+)fx";
+  const auto findings = scan(code);
+  std::size_t kernel_hits = 0;
+  for (const auto& f : findings) {
+    if (f.rule == "heap-alloc-in-kernel") ++kernel_hits;
+  }
+  EXPECT_EQ(kernel_hits, 3u);  // resize, push_back, new
+  // The resize on line 3 belongs to forward_batch.
+  ASSERT_TRUE(has_rule(findings, "heap-alloc-in-kernel"));
+  EXPECT_EQ(findings[0].line, 3u);
+  EXPECT_NE(findings[0].message.find("forward_batch"), std::string::npos);
+}
+
+TEST(LintKernelAlloc, PointerAccessAndConstQualifierAreCovered) {
+  const std::string code = R"fx(
+const Matrix& Mlp::evaluate_batch(const Matrix& x) const {
+  spare->resize(batch * cols);
+  return *spare;
+}
+)fx";
+  EXPECT_TRUE(has_rule(scan(code), "heap-alloc-in-kernel"));
+}
+
+TEST(LintKernelAlloc, CleanKernelsCallsAndOtherFunctions) {
+  // reshape (capacity-reusing) is the sanctioned growth path; calls to a
+  // kernel and allocations in non-kernel functions are out of scope.
+  EXPECT_TRUE(scan(R"fx(
+const Matrix& Mlp::backward_batch(const Matrix& g) {
+  spare->reshape(batch, cols);
+  Matrix::gemm(1.0, *delta, true, ws_act_[li], false, grad_w_[li]);
+  return *delta;
+}
+void Mlp::ensure_forward_ws(std::size_t batch) {
+  ws_act_.resize(layers + 1);
+}
+void caller() {
+  net.forward_batch(x);
+  out.push_back(result);
+}
+)fx")
+                  .empty());
+  // Declarations have no body to scan.
+  EXPECT_TRUE(
+      scan("static void gemm(double alpha, const Matrix& a, bool ta,\n"
+           "                 const Matrix& b, bool tb, Matrix& c);")
+          .empty());
+  // Names that merely contain the kernel stems do not match.
+  EXPECT_TRUE(scan(R"fx(
+void gemm_dispatch_table() { table.push_back(kernel); }
+void run_batched() { queue.push_back(job); }
+)fx")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
 // Suppression parsing and matching
 
 TEST(LintSupp, ParsesEntriesSkipsCommentsReportsMalformed) {

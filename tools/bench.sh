@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# tools/bench.sh — micro-kernel benchmark runner.
+#
+# Runs the gemm and nn micro benchmarks and distills the batched-kernel
+# numbers into a compact JSON report (default: BENCH_4.json at the repo
+# root) with one record per (op, batch): ns/op and flops/s. The report
+# also carries the headline number this file exists to track: the batch-64
+# forward+backward speedup of the batched kernels over 64 per-sample calls
+# (the pre-batching execution pattern). The committed BENCH_4.json is the
+# baseline snapshot; re-run this script after touching linalg/ or nn/ and
+# compare.
+#
+# Usage: tools/bench.sh [output.json]
+#   BUILD_DIR=build-foo tools/bench.sh     # use a different build tree
+#   BENCH_SMOKE=1 tools/bench.sh out.json  # near-instant smoke run (CI gate:
+#                                          # the benches still build and run;
+#                                          # numbers are meaningless)
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_4.json}"
+BUILD="${BUILD_DIR:-build}"
+JOBS="$(nproc)"
+
+cmake --build "$BUILD" -j "$JOBS" --target bench_micro_gemm bench_micro_nn
+
+SMOKE_ARGS=()
+if [[ "${BENCH_SMOKE:-0}" != "0" ]]; then
+  # Near-zero min time: each bench runs a handful of iterations, just
+  # enough to prove it builds, runs, and emits distillable JSON. (The
+  # "=1x" fixed-iteration syntax needs google-benchmark >= 1.8, which the
+  # toolchain image does not guarantee.)
+  SMOKE_ARGS=(--benchmark_min_time=0.001)
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+"./$BUILD/bench/bench_micro_gemm" --benchmark_format=json \
+    "${SMOKE_ARGS[@]+"${SMOKE_ARGS[@]}"}" > "$TMP/gemm.json"
+"./$BUILD/bench/bench_micro_nn" --benchmark_format=json \
+    --benchmark_filter='Batch|PerSampleLoop|WrapperLoop' \
+    "${SMOKE_ARGS[@]+"${SMOKE_ARGS[@]}"}" > "$TMP/nn.json"
+
+python3 - "$TMP/gemm.json" "$TMP/nn.json" "$OUT" <<'PY'
+import json, sys
+
+gemm_path, nn_path, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)["benchmarks"]
+
+def to_ns(b):
+    unit = b.get("time_unit", "ns")
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+    return b["real_time"] * scale
+
+results = []
+times = {}
+for b in load(gemm_path) + load(nn_path):
+    if b.get("run_type") == "aggregate":
+        continue
+    name = b["name"]  # e.g. BM_MlpForwardBackwardBatch/64/64
+    parts = name.split("/")
+    op = parts[0]
+    # Single-arg benches (gemm square size, MlpLayer batch) report the arg
+    # as the batch column; two-arg nn benches report {hidden, batch}.
+    batch = int(parts[-1]) if len(parts) > 1 else 1
+    ns = to_ns(b)
+    times[name] = ns
+    results.append({
+        "op": op,
+        "batch": batch,
+        "ns_per_op": ns,
+        "flops_per_s": b.get("flops/s"),
+    })
+
+report = {"results": results}
+batched = times.get("BM_MlpForwardBackwardBatch/64/64")
+per_sample = times.get("BM_MlpForwardBackwardPerSampleLoop/64/64")
+if batched and per_sample:
+    report["fwd_bwd_batch64_speedup_vs_per_sample"] = per_sample / batched
+
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+
+speedup = report.get("fwd_bwd_batch64_speedup_vs_per_sample")
+if speedup is not None:
+    print(f"batch-64 fwd+bwd speedup over per-sample: {speedup:.2f}x")
+print(f"wrote {out_path} ({len(results)} records)")
+PY

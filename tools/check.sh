@@ -13,7 +13,11 @@
 #                    gives the parallel fault-tolerance tests teeth: data
 #                    races in Study::run's threaded evaluate/retry/timeout
 #                    paths show up here, not in the plain build
-#   6. determinism audit: the same seeded campaign run twice serially and
+#   6. smoke bench    the gemm/nn micro benchmarks built and run with a
+#                    near-zero time budget (BENCH_SMOKE=1 tools/bench.sh) —
+#                    keeps the batched-kernel benches compiling and their
+#                    JSON distiller working without paying for real timings
+#   7. determinism audit: the same seeded campaign run twice serially and
 #                    once with --parallel 4 must produce byte-identical
 #                    trials CSVs
 #
@@ -46,9 +50,13 @@ tools/run_clang_tidy.sh build
 run_tree build-ubsan undefined "$@"
 run_tree build-tsan thread "$@"
 
-echo "=== determinism audit (serial x2 vs --parallel 4) ==="
 AUDIT_DIR="$(mktemp -d)"
 trap 'rm -rf "$AUDIT_DIR"' EXIT
+
+echo "=== smoke bench (near-instant micro-kernel run) ==="
+BENCH_SMOKE=1 tools/bench.sh "$AUDIT_DIR/bench_smoke.json"
+
+echo "=== determinism audit (serial x2 vs --parallel 4) ==="
 audit_run() {
   local out="$1"
   shift

@@ -49,7 +49,9 @@ void print_rules() {
       "  std-endl         std::endl\n"
       "  pragma-once      .hpp without #pragma once\n"
       "  catch-all        catch (...) without rethrow or recording\n"
-      "  detached-thread  std::thread::detach()\n");
+      "  detached-thread  std::thread::detach()\n"
+      "  heap-alloc-in-kernel  new / .resize( / .push_back( inside a "
+      "*_batch or gemm body\n");
 }
 
 [[noreturn]] void usage(int code) {

@@ -22,6 +22,11 @@
 //   catch-all         catch (...) whose handler neither rethrows nor
 //                     records via std::current_exception
 //   detached-thread   std::thread::detach()
+//   heap-alloc-in-kernel  new / .resize( / .push_back( inside the body of
+//                     a function named *_batch or gemm — the batched hot
+//                     loops must stay allocation-free; workspace growth
+//                     belongs in ensure_*/reshape helpers called before
+//                     the kernel (suppressible for one-time growth)
 //
 // Suppression file format (tools/darl_lint.supp): one entry per line,
 //   <rule-id> <path-suffix> -- <justification>
@@ -269,6 +274,43 @@ inline bool catch_block_records(const std::string& stripped, std::size_t pos) {
   return std::regex_search(block, records_re);
 }
 
+/// Starting from `paren` (the '(' that follows a gemm / *_batch name),
+/// decide whether this is a function *definition* and, if so, return the
+/// [body_open, body_close] brace positions of its body. Declarations and
+/// call expressions are rejected: between the parameter list's ')' and the
+/// body's '{' only whitespace and word characters (const, noexcept,
+/// override, ...) may appear — a ';', ',' or any operator character means
+/// there is no body here.
+inline bool kernel_body_range(const std::string& stripped, std::size_t paren,
+                              std::size_t& body_open,
+                              std::size_t& body_close) {
+  int depth = 0;
+  std::size_t pos = paren;
+  for (; pos < stripped.size(); ++pos) {
+    if (stripped[pos] == '(') ++depth;
+    if (stripped[pos] == ')' && --depth == 0) break;
+  }
+  if (pos >= stripped.size()) return false;
+  for (++pos; pos < stripped.size(); ++pos) {
+    const char c = stripped[pos];
+    if (c == '{') break;
+    if (!std::isspace(static_cast<unsigned char>(c)) &&
+        !std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+      return false;
+    }
+  }
+  if (pos >= stripped.size()) return false;
+  body_open = pos;
+  depth = 0;
+  for (; pos < stripped.size(); ++pos) {
+    if (stripped[pos] == '{') ++depth;
+    if (stripped[pos] == '}' && --depth == 0) break;
+  }
+  if (pos >= stripped.size()) return false;
+  body_close = pos;
+  return true;
+}
+
 }  // namespace detail
 
 /// Run every rule over one file. `path` is only used for scoping and
@@ -402,6 +444,40 @@ inline std::vector<Finding> scan_source(const std::string& path_in,
       add("catch-all", line_no,
           "catch (...) neither rethrows nor records the exception; use "
           "'throw;' or capture std::current_exception()");
+    }
+  }
+
+  // heap-alloc-in-kernel: gemm and *_batch bodies are the batched hot
+  // loops; they must not allocate. Like catch-all, this looks past the
+  // signature line, so it runs on the whole stripped text.
+  static const std::regex kernel_def_re(R"(\b(\w*_batch|gemm)\s*\()");
+  static const std::regex heap_alloc_re(
+      R"(\bnew\b|[.>]\s*resize\s*\(|[.>]\s*push_back\s*\()");
+  auto kernel_begin =
+      std::sregex_iterator(stripped.begin(), stripped.end(), kernel_def_re);
+  for (auto it = kernel_begin; it != std::sregex_iterator(); ++it) {
+    const std::size_t paren =
+        static_cast<std::size_t>(it->position() + it->length()) - 1;
+    std::size_t body_open = 0, body_close = 0;
+    if (!detail::kernel_body_range(stripped, paren, body_open, body_close)) {
+      continue;  // declaration or call, not a definition
+    }
+    const std::string body =
+        stripped.substr(body_open, body_close - body_open + 1);
+    auto alloc_begin =
+        std::sregex_iterator(body.begin(), body.end(), heap_alloc_re);
+    for (auto am = alloc_begin; am != std::sregex_iterator(); ++am) {
+      const std::size_t abs =
+          body_open + static_cast<std::size_t>(am->position());
+      const std::size_t line_no =
+          1 + static_cast<std::size_t>(
+                  std::count(stripped.begin(),
+                             stripped.begin() + static_cast<std::ptrdiff_t>(abs),
+                             '\n'));
+      add("heap-alloc-in-kernel", line_no,
+          "heap allocation in batched kernel '" + it->str(1) +
+              "'; grow workspaces via an ensure_*/reshape helper before the "
+              "hot loop (suppress only for one-time workspace growth)");
     }
   }
 
