@@ -1,0 +1,132 @@
+// Microbenchmarks: the policy inference server under closed-loop load.
+//
+// BM_ServeClosedLoop sweeps client count (offered load) x max_batch
+// (batching window): each iteration spawns `clients` threads that each
+// issue a fixed burst of requests back-to-back, so the server saturates at
+// the thread count's natural concurrency. max_batch=1 with a zero window
+// is the no-batching baseline; the report distilled into BENCH_5.json
+// (tools/bench.sh) tracks how much throughput micro-batching buys at
+// saturating load, plus p50/p99 latency from the server's own
+// per-request clocks.
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+#include <vector>
+
+#include "darl/common/rng.hpp"
+#include "darl/common/stats.hpp"
+#include "darl/serve/batch_scheduler.hpp"
+#include "darl/serve/policy_store.hpp"
+
+namespace {
+
+using namespace darl;
+
+constexpr std::size_t kObsDim = 64;
+constexpr std::size_t kRequestsPerClient = 64;
+
+// A serving-scale policy (much wider than the study's 64-unit training
+// nets): per-sample evaluation is ~50us, so execution dominates the
+// per-request scheduling constants and the gemm per-row advantage of
+// evaluate_batch (DESIGN.md §11) is what the batched settings harvest.
+serve::PolicySpec bench_spec() {
+  serve::PolicySpec spec;
+  spec.sizes = {kObsDim, 256, 256, 16};
+  spec.activation = nn::Activation::Tanh;
+  Rng rng(1);
+  nn::Mlp net(spec.sizes, spec.activation, rng);
+  spec.net_params = net.get_flat_params();
+  spec.action_space = env::ActionSpace(env::DiscreteSpace(16));
+  spec.decode = serve::GreedyDecode::ArgmaxDiscrete;
+  return spec;
+}
+
+// Args: {clients, max_batch, max_delay_us}. Three window settings per
+// offered load:
+//   {c, 1, 0}    — per-sample baseline, no batching anywhere
+//   {c, 64, 0}   — greedy batching: serve whatever queued while the
+//                  worker was busy (the backlog is the batch)
+//   {c, 64, 200} — yield-gather batching bounded by a 200us window
+// The gemm per-row advantage needs tens of rows to pay for itself
+// (DESIGN.md §11), so the batched cells pull ahead decisively once the
+// client count can actually fill such batches (the 64-client rows).
+void BM_ServeClosedLoop(benchmark::State& state) {
+  const auto clients = static_cast<std::size_t>(state.range(0));
+  const auto max_batch = static_cast<std::size_t>(state.range(1));
+  const auto delay_us = static_cast<double>(state.range(2));
+
+  serve::PolicyStore store;
+  store.publish(bench_spec());
+  serve::ServeConfig config;
+  config.max_batch = max_batch;
+  config.max_delay_us = delay_us;
+  config.queue_capacity = 4096;
+  // One dispatcher: the committed baseline runs on a single-core machine,
+  // where extra workers only add scheduling noise. Multi-core runners can
+  // raise this along with the client counts.
+  config.workers = 1;
+  serve::BatchScheduler server(store, config);
+
+  // Pre-generated observations: the benchmark measures serving, not rng.
+  std::vector<Vec> observations(clients * kRequestsPerClient);
+  {
+    Rng rng(7);
+    for (Vec& obs : observations) {
+      obs.resize(kObsDim);
+      for (double& v : obs) v = rng.uniform(-1.0, 1.0);
+    }
+  }
+
+  // Closed-loop think time: a real client computes its next observation
+  // (simulator step, feature assembly) between requests. The spin also
+  // lets concurrent requests pile into the queue, which is what the
+  // batching window exists to harvest.
+  auto think = [](const Vec& obs) {
+    double acc = 0.0;
+    for (int spin = 0; spin < 200; ++spin) {
+      for (double v : obs) acc += v * v;
+    }
+    benchmark::DoNotOptimize(acc);
+  };
+
+  std::vector<double> latencies_us;
+  for (auto _ : state) {
+    std::vector<std::vector<double>> per_client(clients);
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (std::size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        per_client[c].reserve(kRequestsPerClient);
+        for (std::size_t r = 0; r < kRequestsPerClient; ++r) {
+          const Vec& obs = observations[c * kRequestsPerClient + r];
+          think(obs);
+          const serve::Response response = server.serve(obs);
+          benchmark::DoNotOptimize(response.action.data());
+          per_client[c].push_back(response.latency_us);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    for (const auto& pc : per_client) {
+      latencies_us.insert(latencies_us.end(), pc.begin(), pc.end());
+    }
+  }
+
+  const auto total = static_cast<std::int64_t>(clients * kRequestsPerClient);
+  state.SetItemsProcessed(state.iterations() * total);
+  if (!latencies_us.empty()) {
+    state.counters["p50_us"] = percentile(latencies_us, 50.0);
+    state.counters["p99_us"] = percentile(latencies_us, 99.0);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_ServeClosedLoop)
+    ->Args({1, 1, 0})->Args({1, 64, 0})->Args({1, 64, 200})
+    ->Args({16, 1, 0})->Args({16, 64, 0})->Args({16, 64, 200})
+    ->Args({64, 1, 0})->Args({64, 64, 0})->Args({64, 64, 200})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->MeasureProcessCPUTime();

@@ -4,15 +4,23 @@
 // configurations chosen *before* the expensive learning phase.
 //
 // The example trains a small PPO policy on the airdrop simulator, saves a
-// checkpoint, reloads it into a fresh inference-only actor, and verifies
-// the deployed policy reproduces the trained one's behaviour.
+// checkpoint, reloads it into a fresh inference-only actor, and finally
+// stands the checkpoint up behind the darl::serve micro-batching server —
+// the way a deployed policy actually answers requests — verifying that
+// every served action is bitwise-identical to the trained actor's greedy
+// decision.
 
+#include <atomic>
 #include <cstdio>
+#include <thread>
+#include <vector>
 
 #include "darl/airdrop/airdrop_env.hpp"
 #include "darl/frameworks/backend.hpp"
 #include "darl/rl/checkpoint.hpp"
 #include "darl/rl/evaluate.hpp"
+#include "darl/serve/batch_scheduler.hpp"
+#include "darl/serve/policy_store.hpp"
 
 using namespace darl;
 
@@ -70,22 +78,55 @@ int main() {
               "%.3f, mean flight %.0f steps\n",
               eval.episodes, eval.mean_score, eval.mean_length);
 
-  // 4) Same parameters => same greedy decisions.
-  auto reference = algo->make_actor();
-  reference->set_params(result.final_policy);
-  auto env2 = req.env_factory();
-  env2->seed(99);
-  Vec obs = env2->reset();
-  bool identical = true;
-  for (int i = 0; i < 25; ++i) {
-    const Vec a = deployed->act_greedy(obs);
-    const Vec b = reference->act_greedy(obs);
-    if (a != b) identical = false;
-    const env::StepResult r = env2->step(a);
-    if (r.done()) break;
-    obs = r.observation;
+  // 4) Serve: publish the checkpoint to a versioned PolicyStore and put a
+  // micro-batching BatchScheduler in front of it. Several client threads
+  // drive airdrop episodes through serve(); the scheduler coalesces their
+  // concurrent requests into micro-batches, and because the batched
+  // kernels match per-sample math bitwise (DESIGN.md §11), every served
+  // action must equal the trained actor's greedy decision exactly.
+  serve::PolicyStore store;
+  const std::uint64_t version =
+      store.publish_checkpoint(loaded, probe->action_space());
+  serve::ServeConfig serve_cfg;
+  serve_cfg.max_batch = 8;
+  serve::BatchScheduler server(store, serve_cfg);
+
+  constexpr int kClients = 3;
+  constexpr int kStepsPerClient = 25;
+  std::atomic<int> served{0};
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      // Per-thread reference actor: the same parameters the server holds.
+      auto reference = algo->make_actor();
+      reference->set_params(loaded.params);
+      auto client_env = req.env_factory();
+      client_env->seed(100 + c);
+      Vec client_obs = client_env->reset();
+      for (int i = 0; i < kStepsPerClient; ++i) {
+        const serve::Response response = server.serve(client_obs);
+        if (response.outcome != serve::Outcome::Ok) break;
+        served.fetch_add(1);
+        if (response.action != reference->act_greedy(client_obs)) {
+          mismatches.fetch_add(1);
+        }
+        const env::StepResult r = client_env->step(response.action);
+        if (r.done()) break;
+        client_obs = r.observation;
+      }
+    });
   }
-  std::printf("  deployed decisions identical to in-memory policy: %s\n",
+  for (auto& t : clients) t.join();
+  server.shutdown();
+
+  const bool identical = mismatches.load() == 0;
+  std::printf("  served %d requests from policy version %llu across %d "
+              "concurrent clients\n",
+              served.load(), static_cast<unsigned long long>(version),
+              kClients);
+  std::printf("  served actions identical to trained actor's greedy "
+              "decisions: %s\n",
               identical ? "yes" : "NO");
   std::remove(path.c_str());
   return identical ? 0 : 1;

@@ -2,55 +2,142 @@
 
 #include <cinttypes>
 #include <fstream>
+#include <iomanip>
 #include <istream>
 #include <ostream>
 #include <sstream>
 
 #include "darl/common/error.hpp"
+#include "darl/common/rng.hpp"
 
 namespace darl::rl {
 namespace {
 
-constexpr const char* kMagic = "darl-checkpoint-v1";
+constexpr const char* kMagicV1 = "darl-checkpoint-v1";
+constexpr const char* kMagicV2 = "darl-checkpoint-v2";
+constexpr const char* kDigestKey = "fnv1a64";
+
+AlgoKind parse_algo(const std::string& algo) {
+  if (algo == "PPO") return AlgoKind::PPO;
+  if (algo == "SAC") return AlgoKind::SAC;
+  if (algo == "IMPALA") return AlgoKind::IMPALA;
+  throw CheckpointError("unknown checkpoint algorithm '" + algo + "'");
+}
+
+/// The v2 payload — everything between the magic line and the digest
+/// footer, exactly as serialized. Digesting the serialized text (same
+/// helper as the campaign cache) makes the footer independent of how the
+/// doubles are later parsed.
+std::string serialize_payload(const Checkpoint& checkpoint) {
+  std::ostringstream payload;
+  payload.precision(17);
+  payload << algo_name(checkpoint.kind) << ' ' << checkpoint.obs_dim << ' '
+          << checkpoint.action_dim << ' ' << checkpoint.params.size() << '\n';
+  for (double v : checkpoint.params) payload << v << '\n';
+  return payload.str();
+}
+
+std::string digest_hex(std::uint64_t digest) {
+  std::ostringstream oss;
+  oss << std::hex << std::setw(16) << std::setfill('0') << digest;
+  return oss.str();
+}
+
+/// Parse one metadata line "ALGO obs act count" into `ck`; returns the
+/// parameter count.
+std::size_t parse_metadata(const std::string& line, Checkpoint& ck) {
+  std::istringstream meta(line);
+  std::string algo;
+  std::size_t obs_dim = 0, action_dim = 0, count = 0;
+  if (!(meta >> algo >> obs_dim >> action_dim >> count)) {
+    throw CheckpointError("malformed checkpoint metadata '" + line + "'");
+  }
+  ck.kind = parse_algo(algo);
+  ck.obs_dim = obs_dim;
+  ck.action_dim = action_dim;
+  return count;
+}
+
+/// Legacy v1 body: whitespace-separated values, no integrity footer.
+Checkpoint load_v1_body(std::istream& in) {
+  Checkpoint ck;
+  std::string algo;
+  std::size_t obs_dim = 0, action_dim = 0, count = 0;
+  if (!(in >> algo >> obs_dim >> action_dim >> count)) {
+    throw CheckpointError("malformed checkpoint metadata");
+  }
+  ck.kind = parse_algo(algo);
+  ck.obs_dim = obs_dim;
+  ck.action_dim = action_dim;
+  ck.params.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!(in >> ck.params[i])) {
+      throw CheckpointError("checkpoint truncated at parameter " +
+                            std::to_string(i) + " of " + std::to_string(count));
+    }
+  }
+  return ck;
+}
+
+/// v2 body: line-oriented so the payload text can be rebuilt verbatim for
+/// digest verification.
+Checkpoint load_v2_body(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line)) {
+    throw CheckpointError("checkpoint truncated before metadata");
+  }
+  std::string payload = line + '\n';
+  Checkpoint ck;
+  const std::size_t count = parse_metadata(line, ck);
+  ck.params.resize(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!std::getline(in, line)) {
+      throw CheckpointError("checkpoint truncated at parameter " +
+                            std::to_string(i) + " of " + std::to_string(count));
+    }
+    payload += line;
+    payload += '\n';
+    std::istringstream value(line);
+    if (!(value >> ck.params[i])) {
+      throw CheckpointError("unparsable checkpoint parameter " +
+                            std::to_string(i) + ": '" + line + "'");
+    }
+  }
+  if (!std::getline(in, line)) {
+    throw CheckpointError("checkpoint truncated before integrity footer");
+  }
+  std::istringstream footer(line);
+  std::string key, stored_hex;
+  if (!(footer >> key >> stored_hex) || key != kDigestKey) {
+    throw CheckpointError("malformed checkpoint integrity footer '" + line +
+                          "'");
+  }
+  const std::string computed_hex = digest_hex(fnv1a64(payload));
+  if (stored_hex != computed_hex) {
+    throw CheckpointError("checkpoint integrity digest mismatch (stored " +
+                          stored_hex + ", computed " + computed_hex +
+                          ") — file is corrupted");
+  }
+  return ck;
+}
 
 }  // namespace
 
 void save_checkpoint(std::ostream& out, const Checkpoint& checkpoint) {
-  out << kMagic << '\n';
-  out << algo_name(checkpoint.kind) << ' ' << checkpoint.obs_dim << ' '
-      << checkpoint.action_dim << ' ' << checkpoint.params.size() << '\n';
-  out.precision(17);
-  for (double v : checkpoint.params) out << v << '\n';
+  const std::string payload = serialize_payload(checkpoint);
+  out << kMagicV2 << '\n'
+      << payload << kDigestKey << ' ' << digest_hex(fnv1a64(payload)) << '\n';
   DARL_CHECK(static_cast<bool>(out), "checkpoint write failed");
 }
 
 Checkpoint load_checkpoint(std::istream& in) {
   std::string magic;
-  DARL_CHECK(std::getline(in, magic), "empty checkpoint stream");
-  DARL_CHECK(magic == kMagic, "unrecognized checkpoint header '" << magic << "'");
-
-  std::string algo;
-  std::size_t obs_dim = 0, action_dim = 0, count = 0;
-  DARL_CHECK(static_cast<bool>(in >> algo >> obs_dim >> action_dim >> count),
-             "malformed checkpoint metadata");
-  Checkpoint ck;
-  if (algo == "PPO") {
-    ck.kind = AlgoKind::PPO;
-  } else if (algo == "SAC") {
-    ck.kind = AlgoKind::SAC;
-  } else if (algo == "IMPALA") {
-    ck.kind = AlgoKind::IMPALA;
-  } else {
-    throw Error("unknown checkpoint algorithm '" + algo + "'");
+  if (!std::getline(in, magic)) {
+    throw CheckpointError("empty checkpoint stream");
   }
-  ck.obs_dim = obs_dim;
-  ck.action_dim = action_dim;
-  ck.params.resize(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    DARL_CHECK(static_cast<bool>(in >> ck.params[i]),
-               "checkpoint truncated at parameter " << i);
-  }
-  return ck;
+  if (magic == kMagicV2) return load_v2_body(in);
+  if (magic == kMagicV1) return load_v1_body(in);
+  throw CheckpointError("unrecognized checkpoint header '" + magic + "'");
 }
 
 void save_checkpoint_file(const std::string& path, const Checkpoint& checkpoint) {

@@ -4,16 +4,30 @@
 // (plus an interface fingerprint) so a study's winning configuration can be
 // re-deployed without retraining — the paper's motivation for choosing a
 // good configuration *before* the learning phase is reproduced.
+//
+// Format v2 adds an integrity footer: an fnv1a64 digest over the payload
+// (metadata line + parameter lines, exactly as serialized), so a
+// truncated or bit-flipped file fails loading with a typed
+// CheckpointError instead of silently deploying garbage weights. Files
+// written by the v1 format (no digest) still load.
 
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
+#include "darl/common/error.hpp"
 #include "darl/linalg/vec.hpp"
 #include "darl/rl/types.hpp"
 
 namespace darl::rl {
+
+/// Raised when a checkpoint stream is malformed, truncated, fails its
+/// integrity digest, or does not match the architecture it is loaded into.
+class CheckpointError : public Error {
+ public:
+  explicit CheckpointError(const std::string& what_arg) : Error(what_arg) {}
+};
 
 /// A saved policy snapshot.
 struct Checkpoint {
@@ -23,15 +37,18 @@ struct Checkpoint {
   Vec params;
 };
 
-/// Serialize a checkpoint (text header + little-endian doubles in base-10
-/// text lines; robust and diffable, adequate for the small policies here).
+/// Serialize a checkpoint (v2: text header + base-10 parameter lines at
+/// round-trip precision + fnv1a64 payload digest; robust and diffable,
+/// adequate for the small policies here).
 void save_checkpoint(std::ostream& out, const Checkpoint& checkpoint);
 
-/// Parse a checkpoint written by save_checkpoint. Throws darl::Error on a
-/// malformed stream or version mismatch.
+/// Parse a checkpoint written by save_checkpoint (v2) or by the legacy
+/// digest-less v1 format. Throws CheckpointError on a malformed,
+/// truncated or digest-mismatched stream.
 Checkpoint load_checkpoint(std::istream& in);
 
-/// Convenience file wrappers; throw darl::Error on I/O failure.
+/// Convenience file wrappers; throw darl::Error on I/O failure and
+/// CheckpointError on malformed content.
 void save_checkpoint_file(const std::string& path, const Checkpoint& checkpoint);
 Checkpoint load_checkpoint_file(const std::string& path);
 

@@ -1,0 +1,267 @@
+#include "darl/serve/batch_scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "darl/common/error.hpp"
+#include "darl/common/rng.hpp"
+#include "darl/common/stopwatch.hpp"
+#include "darl/obs/metrics.hpp"
+#include "darl/obs/trace.hpp"
+
+namespace darl::serve {
+namespace {
+
+// Serving latency buckets in microseconds: sub-100us in-process batching
+// up to multi-millisecond saturation, plus the implicit overflow bucket.
+obs::Histogram& latency_histogram() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "serve.latency_us",
+      {50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0, 50000.0});
+  return h;
+}
+
+// Micro-batch sizes, powers of two like nn.batch_rows.
+obs::Histogram& batch_rows_histogram() {
+  static obs::Histogram& h = obs::Registry::global().histogram(
+      "serve.batch_rows", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0});
+  return h;
+}
+
+}  // namespace
+
+const char* outcome_name(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::Ok:
+      return "ok";
+    case Outcome::RejectedFull:
+      return "rejected-full";
+    case Outcome::RejectedShutdown:
+      return "rejected-shutdown";
+    case Outcome::TimedOut:
+      return "timed-out";
+  }
+  return "unknown";
+}
+
+BatchScheduler::BatchScheduler(const PolicyStore& store, ServeConfig config)
+    : store_(store), config_(config) {
+  DARL_CHECK(config_.max_batch >= 1, "max_batch must be at least 1");
+  DARL_CHECK(config_.queue_capacity >= 1, "queue_capacity must be at least 1");
+  DARL_CHECK(config_.max_delay_us >= 0.0, "max_delay_us must be non-negative");
+  const PolicyVersion* version = store_.current();
+  DARL_CHECK(version != nullptr,
+             "PolicyStore has no published version to serve");
+  input_dim_ = version->spec.input_dim();
+  action_dim_ = version->spec.action_dim();
+
+  workers_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    auto worker = std::make_unique<Worker>();
+    worker->batch.assign(config_.max_batch, nullptr);
+    workers_.push_back(std::move(worker));
+  }
+  // Spawn only after every Worker is in place: threads capture stable
+  // pointers into workers_.
+  for (auto& worker : workers_) {
+    Worker* w = worker.get();
+    w->thread = std::thread([this, w] { dispatch_loop(*w); });
+  }
+}
+
+BatchScheduler::~BatchScheduler() { shutdown(); }
+
+Response BatchScheduler::serve(const Vec& obs, double deadline_us) {
+  DARL_CHECK(obs.size() == input_dim_,
+             "serve: observation has " << obs.size() << " dims, policy expects "
+                                       << input_dim_);
+  Stopwatch stopwatch;
+  DARL_COUNTER_ADD("serve.requests", 1);
+
+  Response response;
+  response.action.assign(action_dim_, 0.0);
+  Request request;
+  request.obs = &obs;
+  request.out = &response;
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stopping_) {
+      DARL_COUNTER_ADD("serve.rejected_shutdown", 1);
+      response.outcome = Outcome::RejectedShutdown;
+      response.latency_us = stopwatch.seconds() * 1e6;
+      return response;
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+      DARL_COUNTER_ADD("serve.rejected_full", 1);
+      response.outcome = Outcome::RejectedFull;
+      response.latency_us = stopwatch.seconds() * 1e6;
+      return response;
+    }
+    queue_.push_back(&request);
+    DARL_GAUGE_SET("serve.queue_depth", queue_.size());
+  }
+  queue_cv_.notify_one();
+
+  {
+    std::unique_lock<std::mutex> lock(request.mutex);
+    if (deadline_us <= 0.0) {
+      request.cv.wait(lock, [&] { return request.done; });
+    } else if (!request.cv.wait_for(
+                   lock, std::chrono::duration<double, std::micro>(deadline_us),
+                   [&] { return request.done; })) {
+      lock.unlock();
+      bool removed = false;
+      {
+        std::lock_guard<std::mutex> queue_lock(queue_mutex_);
+        const auto it = std::find(queue_.begin(), queue_.end(), &request);
+        if (it != queue_.end()) {
+          queue_.erase(it);
+          removed = true;
+          DARL_GAUGE_SET("serve.queue_depth", queue_.size());
+        }
+      }
+      if (removed) {
+        DARL_COUNTER_ADD("serve.timed_out", 1);
+        response.outcome = Outcome::TimedOut;
+        response.latency_us = stopwatch.seconds() * 1e6;
+        return response;
+      }
+      // A worker popped the request before we could abandon it; the
+      // result is imminent — wait it out so the stack frame stays valid.
+      lock.lock();
+      request.cv.wait(lock, [&] { return request.done; });
+    }
+  }
+
+  response.outcome = Outcome::Ok;
+  response.latency_us = stopwatch.seconds() * 1e6;
+  if (obs::metrics_enabled()) latency_histogram().observe(response.latency_us);
+  return response;
+}
+
+void BatchScheduler::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+}
+
+std::size_t BatchScheduler::queue_depth() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return queue_.size();
+}
+
+void BatchScheduler::dispatch_loop(Worker& worker) {
+  for (;;) {
+    std::size_t count = 0;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stopping_) return;  // drained
+        continue;
+      }
+      // Batching window: give concurrent clients max_delay_us to fill the
+      // batch. Shutdown flushes immediately so draining never waits.
+      if (queue_.size() < config_.max_batch && config_.max_delay_us > 0.0 &&
+          !stopping_) {
+        Stopwatch window;
+        if (config_.gather) {
+          // Yield-gather: cede the CPU so clients that are already
+          // runnable can enqueue; stop the moment a yield brings no new
+          // arrival. Unlike a timed sleep this has no granularity floor,
+          // so a straggler costs one scheduler pass, not a timer tick.
+          std::size_t seen = queue_.size();
+          while (!stopping_ && queue_.size() < config_.max_batch &&
+                 window.seconds() * 1e6 < config_.max_delay_us) {
+            lock.unlock();
+            std::this_thread::yield();
+            lock.lock();
+            if (queue_.size() <= seen) break;  // arrivals went idle
+            seen = queue_.size();
+          }
+        } else {
+          while (!stopping_ && !queue_.empty() &&
+                 queue_.size() < config_.max_batch) {
+            const double remaining_us =
+                config_.max_delay_us - window.seconds() * 1e6;
+            if (remaining_us <= 0.0) break;
+            queue_cv_.wait_for(
+                lock, std::chrono::duration<double, std::micro>(remaining_us));
+          }
+        }
+        if (queue_.empty()) continue;  // abandoned or taken by a peer
+      }
+      count = std::min(queue_.size(), config_.max_batch);
+      for (std::size_t i = 0; i < count; ++i) {
+        worker.batch[i] = queue_.front();
+        queue_.pop_front();
+      }
+      DARL_GAUGE_SET("serve.queue_depth", queue_.size());
+    }
+    execute_batch(worker, count);
+  }
+}
+
+void BatchScheduler::execute_batch(Worker& worker, std::size_t count) {
+  DARL_SPAN_V("serve.execute", "rows", count);
+  // One version per micro-batch: everything popped above is served by the
+  // snapshot read here, even if a publish lands mid-execution.
+  const PolicyVersion* version = store_.current();
+  ensure_replica(worker, *version);
+  worker.obs_mat.reshape(count, input_dim_);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Vec& obs = *worker.batch[i]->obs;
+    std::copy(obs.begin(), obs.end(), worker.obs_mat.row(i));
+  }
+  const Matrix& heads = worker.net->evaluate_batch(worker.obs_mat);
+  for (std::size_t i = 0; i < count; ++i) {
+    Request* request = worker.batch[i];
+    decode_head(version->spec, heads.row(i), request->out->action);
+    request->out->version = version->id;
+    complete(*request);
+  }
+  DARL_COUNTER_ADD("serve.batches", 1);
+  DARL_COUNTER_ADD("serve.served", count);
+  if (obs::metrics_enabled()) {
+    batch_rows_histogram().observe(static_cast<double>(count));
+  }
+}
+
+void BatchScheduler::ensure_replica(Worker& worker,
+                                    const PolicyVersion& version) {
+  if (worker.version_id == version.id) return;
+  // Hot-swap contract: every published version keeps the interface the
+  // scheduler was built against.
+  DARL_ASSERT(version.spec.input_dim() == input_dim_ &&
+                  version.spec.action_dim() == action_dim_,
+              "hot-swapped policy version changed the serving interface");
+  if (!worker.net || worker.net->sizes() != version.spec.sizes ||
+      worker.net->activation() != version.spec.activation) {
+    Rng init(version.id);
+    worker.net = std::make_unique<nn::Mlp>(version.spec.sizes,
+                                           version.spec.activation, init);
+  }
+  worker.net->set_flat_params(version.spec.net_params);
+  worker.version_id = version.id;
+  DARL_COUNTER_ADD("serve.replica_refresh", 1);
+}
+
+void BatchScheduler::complete(Request& request) {
+  // Notify UNDER the lock: the Request lives on the client's stack, and
+  // the client destroys it as soon as serve() observes done. Holding the
+  // mutex across notify_one means the client cannot finish its wait (it
+  // must re-acquire the mutex) until this thread is done touching the
+  // condition variable — the canonical safe pattern for a cv whose
+  // lifetime ends right after the wakeup.
+  std::lock_guard<std::mutex> lock(request.mutex);
+  request.done = true;
+  request.cv.notify_one();
+}
+
+}  // namespace darl::serve

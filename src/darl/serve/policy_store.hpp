@@ -1,0 +1,134 @@
+// darl/serve/policy_store.hpp
+//
+// Versioned policy storage for the inference server. A PolicyStore holds
+// an immutable chain of published PolicyVersions; readers obtain the
+// current version with a single acquire load (no lock, no reference
+// count), writers publish a new version under a mutex. Old versions are
+// retained for the store's lifetime, so a dispatcher that grabbed version
+// N keeps a valid pointer while version N+1 goes live — in-flight
+// micro-batches finish on the version they started with, which is exactly
+// the hot-swap contract the serving layer documents (DESIGN.md §12).
+//
+// A version is *data only* (network shape + flat parameters + greedy
+// decode recipe): nn::Mlp instances are not safe for concurrent
+// evaluation, so each scheduler worker materializes its own Mlp replica
+// from the spec and refreshes it when the version id changes.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "darl/env/space.hpp"
+#include "darl/nn/mlp.hpp"
+#include "darl/rl/checkpoint.hpp"
+
+namespace darl::serve {
+
+/// How a policy-head row is turned into a greedy action (env encoding).
+/// Each recipe replicates the corresponding actor's act_greedy() math
+/// exactly, so a served action is bitwise-identical to the training-side
+/// greedy decision for the same head.
+enum class GreedyDecode {
+  Raw,              ///< action = head (no action space involved)
+  ArgmaxDiscrete,   ///< softmax argmax, encoded (PPO/IMPALA discrete)
+  ClipBox,          ///< box-clipped head (PPO/IMPALA continuous)
+  SquashedMeanBox,  ///< tanh(mean half), scaled into the box (SAC)
+};
+
+/// Everything needed to serve one policy: the Mlp architecture, its flat
+/// parameters, and the decode recipe. Immutable once published.
+struct PolicySpec {
+  std::vector<std::size_t> sizes;  ///< Mlp layer sizes {in, hidden..., out}
+  nn::Activation activation = nn::Activation::Tanh;
+  Vec net_params;                  ///< flat Mlp parameters (no extras)
+  env::ActionSpace action_space;   ///< unused for GreedyDecode::Raw
+  GreedyDecode decode = GreedyDecode::Raw;
+
+  std::size_t input_dim() const { return sizes.front(); }
+  /// Dimension of a served action vector.
+  std::size_t action_dim() const;
+};
+
+/// Build a servable spec from a saved checkpoint. `hidden` must match the
+/// architecture the checkpoint was trained with (the algorithms' default
+/// is {64, 64}); a parameter-count mismatch raises rl::CheckpointError.
+/// For PPO/IMPALA continuous policies the state-independent log-std tail
+/// is split off (greedy decoding never reads it); SAC's mean/log-std head
+/// split is handled by the decode recipe instead.
+PolicySpec policy_spec_from_checkpoint(
+    const rl::Checkpoint& checkpoint, const env::ActionSpace& action_space,
+    const std::vector<std::size_t>& hidden = {64, 64});
+
+/// Greedy-decode one head row into `out` (pre-sized to spec.action_dim()).
+/// Deterministic per-element math — no allocation, no rng.
+void decode_head(const PolicySpec& spec, const double* head, Vec& out);
+
+/// One published policy. Immutable; identified by a monotonically
+/// increasing id (first publish = 1).
+struct PolicyVersion {
+  std::uint64_t id = 0;
+  PolicySpec spec;
+  std::uint64_t params_digest = 0;  ///< fnv1a64 over net_params bytes
+};
+
+/// Versioned, swap-under-traffic policy holder.
+///
+/// Thread safety: current() is safe from any thread and lock-free (one
+/// acquire load); publish() serializes writers on an internal mutex. The
+/// release store in publish() pairs with the acquire load in current(),
+/// so a reader that observes version N also observes N's fully
+/// constructed spec. Published versions stay valid until the store is
+/// destroyed (retention is one heap object per publish — swaps are rare
+/// events, so this is cheap insurance against use-after-swap).
+class PolicyStore {
+ public:
+  PolicyStore() = default;
+  PolicyStore(const PolicyStore&) = delete;
+  PolicyStore& operator=(const PolicyStore&) = delete;
+
+  /// Publish a new version; returns its id. The new version becomes
+  /// visible to current() before publish() returns.
+  std::uint64_t publish(PolicySpec spec);
+
+  /// Convenience: derive the spec from a checkpoint and publish it.
+  std::uint64_t publish_checkpoint(
+      const rl::Checkpoint& checkpoint, const env::ActionSpace& action_space,
+      const std::vector<std::size_t>& hidden = {64, 64});
+
+  /// The latest published version, or nullptr before the first publish.
+  /// The pointer stays valid for the store's lifetime.
+  const PolicyVersion* current() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Number of versions published so far.
+  std::uint64_t version_count() const;
+
+ private:
+  mutable std::mutex publish_mutex_;
+  std::vector<std::unique_ptr<PolicyVersion>> retained_;
+  std::atomic<const PolicyVersion*> current_{nullptr};
+};
+
+/// Reference single-observation inference path: per-sample Mlp::evaluate
+/// plus greedy decode, with no batching anywhere. Tests, the CLI
+/// self-check and the deploy example compare served actions against this
+/// bitwise. Not thread-safe (owns one Mlp workspace); make one per thread.
+class DirectPolicy {
+ public:
+  explicit DirectPolicy(const PolicySpec& spec);
+
+  /// Greedy action for one observation.
+  Vec act(const Vec& obs);
+
+ private:
+  PolicySpec spec_;
+  nn::Mlp net_;
+  Vec action_;
+};
+
+}  // namespace darl::serve

@@ -308,8 +308,37 @@ void caller() {
           .empty());
   // Names that merely contain the kernel stems do not match.
   EXPECT_TRUE(scan(R"fx(
-void gemm_dispatch_table() { table.push_back(kernel); }
+void gemm_table_builder() { table.push_back(kernel); }
 void run_batched() { queue.push_back(job); }
+)fx")
+                  .empty());
+}
+
+TEST(LintKernelAlloc, FlagsAllocationsInDispatchBodies) {
+  // The serve scheduler's dispatch path is per-request hot code; growing
+  // containers there would allocate on every micro-batch.
+  const std::string code = R"fx(
+void BatchScheduler::dispatch_loop(Worker& worker) {
+  worker.batch.push_back(queue_.front());
+}
+)fx";
+  const auto findings = scan(code);
+  ASSERT_TRUE(has_rule(findings, "heap-alloc-in-kernel"));
+  EXPECT_NE(findings[0].message.find("dispatch_loop"), std::string::npos);
+}
+
+TEST(LintKernelAlloc, CleanDispatchBodyAndCallSites) {
+  // Index assignment into a preallocated slot plus pop_front is the
+  // sanctioned dispatch pattern; calls and declarations have no body.
+  EXPECT_TRUE(scan(R"fx(
+void BatchScheduler::dispatch_loop(Worker& worker) {
+  worker.batch[i] = queue_.front();
+  queue_.pop_front();
+}
+void spawn(Worker* w) {
+  w->thread = std::thread([this, w] { dispatch_loop(*w); });
+}
+void dispatch_once(Worker& worker);
 )fx")
                   .empty());
 }

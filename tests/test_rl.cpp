@@ -536,6 +536,69 @@ TEST(Checkpoint, RejectsMalformedStreams) {
   EXPECT_THROW(load_checkpoint_file("/nonexistent/dir/x.ckpt"), Error);
 }
 
+TEST(Checkpoint, V2RoundTripIsExactAndCarriesDigest) {
+  Checkpoint ck;
+  ck.kind = AlgoKind::SAC;
+  ck.obs_dim = 3;
+  ck.action_dim = 2;
+  ck.params = {0.1, -2.25, 1e-17, 3.0000000000000004, -0.0};
+
+  std::stringstream buf;
+  save_checkpoint(buf, ck);
+  const std::string text = buf.str();
+  EXPECT_NE(text.find("darl-checkpoint-v2"), std::string::npos);
+  EXPECT_NE(text.find("fnv1a64 "), std::string::npos);
+
+  const Checkpoint loaded = load_checkpoint(buf);
+  EXPECT_EQ(loaded.kind, AlgoKind::SAC);
+  EXPECT_EQ(loaded.obs_dim, 3u);
+  EXPECT_EQ(loaded.action_dim, 2u);
+  // Bitwise round trip: the serving layer's determinism argument depends
+  // on deployed weights being the trained weights, not approximations.
+  ASSERT_EQ(loaded.params.size(), ck.params.size());
+  for (std::size_t i = 0; i < ck.params.size(); ++i) {
+    EXPECT_EQ(loaded.params[i], ck.params[i]) << "param " << i;
+  }
+}
+
+TEST(Checkpoint, V2DetectsCorruptionAndTruncation) {
+  Checkpoint ck;
+  ck.kind = AlgoKind::PPO;
+  ck.obs_dim = 2;
+  ck.action_dim = 1;
+  ck.params = {1.5, -2.5, 0.25};
+  std::stringstream buf;
+  save_checkpoint(buf, ck);
+  const std::string text = buf.str();
+
+  // Flip one digit of one parameter: the digest no longer matches.
+  std::string corrupted = text;
+  const std::size_t pos = corrupted.find("1.5");
+  ASSERT_NE(pos, std::string::npos);
+  corrupted[pos] = '9';
+  std::stringstream bad(corrupted);
+  EXPECT_THROW(load_checkpoint(bad), CheckpointError);
+
+  // Drop the integrity footer: typed truncation error, not garbage weights.
+  std::stringstream no_footer(text.substr(0, text.rfind("fnv1a64")));
+  EXPECT_THROW(load_checkpoint(no_footer), CheckpointError);
+
+  // Cut the parameter block short.
+  std::stringstream short_params("darl-checkpoint-v2\nPPO 2 1 3\n1.5\n");
+  EXPECT_THROW(load_checkpoint(short_params), CheckpointError);
+}
+
+TEST(Checkpoint, LegacyV1FilesStillLoad) {
+  std::stringstream legacy(
+      "darl-checkpoint-v1\nIMPALA 2 1 4\n0.5\n-1.5\n2\n-0.125\n");
+  const Checkpoint loaded = load_checkpoint(legacy);
+  EXPECT_EQ(loaded.kind, AlgoKind::IMPALA);
+  EXPECT_EQ(loaded.obs_dim, 2u);
+  ASSERT_EQ(loaded.params.size(), 4u);
+  EXPECT_EQ(loaded.params[1], -1.5);
+  EXPECT_EQ(loaded.params[3], -0.125);
+}
+
 TEST(Evaluate, RunsEpisodesAndAggregates) {
   AlgorithmSpec spec;
   spec.kind = AlgoKind::PPO;

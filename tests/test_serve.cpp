@@ -1,0 +1,442 @@
+// tests/test_serve.cpp — the micro-batching inference server.
+//
+// The load-bearing property is the correctness bar from DESIGN.md §12: a
+// served action must be bitwise-identical to per-sample Mlp::evaluate +
+// greedy decode on the same checkpoint, for every queue/batch/concurrency
+// setting — PR 4's ascending-index gemm accumulation makes batching
+// invisible to the numerics. The concurrency tests (hot swap under load,
+// backpressure, drain) get real teeth in the TSan tree tools/check.sh
+// builds.
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "darl/common/rng.hpp"
+#include "darl/common/stopwatch.hpp"
+#include "darl/obs/metrics.hpp"
+#include "darl/rl/factory.hpp"
+#include "darl/serve/batch_scheduler.hpp"
+#include "darl/serve/policy_store.hpp"
+
+using namespace darl;
+using namespace darl::serve;
+
+namespace {
+
+/// Small discrete policy (4 obs dims -> 3 actions) with seed-determined
+/// random weights — two different seeds give two distinguishable versions.
+PolicySpec make_discrete_spec(std::uint64_t seed) {
+  PolicySpec spec;
+  spec.sizes = {4, 16, 3};
+  spec.activation = nn::Activation::Tanh;
+  Rng rng(seed);
+  nn::Mlp net(spec.sizes, spec.activation, rng);
+  spec.net_params = net.get_flat_params();
+  spec.action_space = env::ActionSpace(env::DiscreteSpace(3));
+  spec.decode = GreedyDecode::ArgmaxDiscrete;
+  return spec;
+}
+
+/// Continuous policy with the SAC-style squashed-mean decode.
+PolicySpec make_box_spec(std::uint64_t seed) {
+  PolicySpec spec;
+  spec.sizes = {4, 16, 4};  // head = mean ++ log-std for a 2-dim box
+  spec.activation = nn::Activation::Tanh;
+  Rng rng(seed);
+  nn::Mlp net(spec.sizes, spec.activation, rng);
+  spec.net_params = net.get_flat_params();
+  spec.action_space = env::ActionSpace(env::BoxSpace(2, -1.5, 2.0));
+  spec.decode = GreedyDecode::SquashedMeanBox;
+  return spec;
+}
+
+Vec random_obs(Rng& rng) {
+  Vec obs(4);
+  for (double& v : obs) v = rng.uniform(-1.0, 1.0);
+  return obs;
+}
+
+bool bitwise_equal(const Vec& a, const Vec& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) return false;
+  }
+  return true;
+}
+
+/// Spin until the scheduler's queue holds `want` requests (clients block
+/// inside serve(), so enqueueing is asynchronous from the test's view).
+void wait_for_queue_depth(const BatchScheduler& server, std::size_t want) {
+  for (int i = 0; i < 20000 && server.queue_depth() < want; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(server.queue_depth(), want);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PolicyStore
+
+TEST(PolicyStore, PublishesMonotonicVersionsAndRetainsOld) {
+  PolicyStore store;
+  EXPECT_EQ(store.current(), nullptr);
+  EXPECT_EQ(store.version_count(), 0u);
+
+  EXPECT_EQ(store.publish(make_discrete_spec(1)), 1u);
+  const PolicyVersion* v1 = store.current();
+  ASSERT_NE(v1, nullptr);
+  EXPECT_EQ(v1->id, 1u);
+  EXPECT_NE(v1->params_digest, 0u);
+
+  EXPECT_EQ(store.publish(make_discrete_spec(2)), 2u);
+  const PolicyVersion* v2 = store.current();
+  EXPECT_EQ(v2->id, 2u);
+  EXPECT_EQ(store.version_count(), 2u);
+
+  // The old version stays fully readable after the swap — this is what
+  // lets in-flight micro-batches finish on the version they started with.
+  EXPECT_EQ(v1->spec.sizes.size(), 3u);
+  EXPECT_NE(v1->params_digest, v2->params_digest);
+}
+
+TEST(PolicyStore, RejectsParamCountMismatch) {
+  PolicySpec spec = make_discrete_spec(3);
+  spec.net_params.pop_back();
+  PolicyStore store;
+  EXPECT_THROW(store.publish(std::move(spec)), Error);
+}
+
+TEST(PolicySpec, FromCheckpointMatchesAlgorithmArchitectures) {
+  // PPO discrete: all parameters are network parameters.
+  rl::AlgorithmSpec algo_spec;
+  algo_spec.kind = rl::AlgoKind::PPO;
+  const env::ActionSpace discrete(env::DiscreteSpace(2));
+  auto ppo = rl::make_algorithm(algo_spec, 4, discrete, 7);
+  rl::Checkpoint ck;
+  ck.kind = rl::AlgoKind::PPO;
+  ck.obs_dim = 4;
+  ck.action_dim = 1;
+  ck.params = ppo->policy_params();
+  const PolicySpec ppo_spec = policy_spec_from_checkpoint(ck, discrete);
+  EXPECT_EQ(ppo_spec.sizes, (std::vector<std::size_t>{4, 64, 64, 2}));
+  EXPECT_EQ(ppo_spec.decode, GreedyDecode::ArgmaxDiscrete);
+  EXPECT_EQ(ppo_spec.net_params.size(), ck.params.size());
+  EXPECT_EQ(ppo_spec.action_dim(), 1u);
+
+  // PPO continuous: the state-independent log-std tail is split off.
+  const env::ActionSpace box(env::BoxSpace(2, -1.0, 1.0));
+  auto ppo_box = rl::make_algorithm(algo_spec, 4, box, 7);
+  rl::Checkpoint ck_box;
+  ck_box.kind = rl::AlgoKind::PPO;
+  ck_box.obs_dim = 4;
+  ck_box.action_dim = 2;
+  ck_box.params = ppo_box->policy_params();
+  const PolicySpec box_spec = policy_spec_from_checkpoint(ck_box, box);
+  EXPECT_EQ(box_spec.decode, GreedyDecode::ClipBox);
+  EXPECT_EQ(box_spec.net_params.size() + 2, ck_box.params.size());
+
+  // SAC: twin-headed actor, no tail.
+  rl::AlgorithmSpec sac_spec;
+  sac_spec.kind = rl::AlgoKind::SAC;
+  auto sac = rl::make_algorithm(sac_spec, 4, box, 7);
+  rl::Checkpoint ck_sac;
+  ck_sac.kind = rl::AlgoKind::SAC;
+  ck_sac.obs_dim = 4;
+  ck_sac.action_dim = 2;
+  ck_sac.params = sac->policy_params();
+  const PolicySpec sac_policy = policy_spec_from_checkpoint(ck_sac, box);
+  EXPECT_EQ(sac_policy.sizes.back(), 4u);
+  EXPECT_EQ(sac_policy.decode, GreedyDecode::SquashedMeanBox);
+
+  // Architecture mismatch is a typed checkpoint error.
+  EXPECT_THROW(policy_spec_from_checkpoint(ck, discrete, {32}),
+               rl::CheckpointError);
+}
+
+// ---------------------------------------------------------------------------
+// Bitwise served-vs-direct equivalence
+
+namespace {
+
+/// Hammer one scheduler config from `clients` threads and compare every
+/// served action bitwise against the per-sample direct path.
+void run_equivalence(const ServeConfig& config, std::size_t clients,
+                     std::size_t requests_per_client) {
+  PolicyStore store;
+  store.publish(make_discrete_spec(11));
+  BatchScheduler server(store, config);
+
+  std::atomic<std::size_t> mismatches{0};
+  std::atomic<std::size_t> not_ok{0};
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      DirectPolicy direct(store.current()->spec);
+      Rng rng(100 + c);
+      for (std::size_t r = 0; r < requests_per_client; ++r) {
+        const Vec obs = random_obs(rng);
+        const Response response = server.serve(obs);
+        if (response.outcome != Outcome::Ok || response.version != 1) {
+          not_ok.fetch_add(1);
+          continue;
+        }
+        if (!bitwise_equal(response.action, direct.act(obs))) {
+          mismatches.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(not_ok.load(), 0u);
+  EXPECT_EQ(mismatches.load(), 0u);
+}
+
+}  // namespace
+
+TEST(Serve, BitwiseMatchesDirectBatchSizeOne) {
+  ServeConfig config;
+  config.max_batch = 1;
+  config.max_delay_us = 0.0;
+  config.workers = 1;
+  run_equivalence(config, 4, 50);
+}
+
+TEST(Serve, BitwiseMatchesDirectSmallWindow) {
+  ServeConfig config;
+  config.max_batch = 8;
+  config.max_delay_us = 200.0;
+  config.workers = 1;
+  run_equivalence(config, 8, 40);
+}
+
+TEST(Serve, BitwiseMatchesDirectWideWindowWorkerPool) {
+  ServeConfig config;
+  config.max_batch = 32;
+  config.max_delay_us = 1000.0;
+  config.workers = 4;
+  run_equivalence(config, 8, 40);
+}
+
+TEST(Serve, BitwiseMatchesDirectContinuousDecode) {
+  PolicyStore store;
+  store.publish(make_box_spec(21));
+  ServeConfig config;
+  config.max_batch = 4;
+  config.max_delay_us = 100.0;
+  BatchScheduler server(store, config);
+
+  DirectPolicy direct(store.current()->spec);
+  Rng rng(5);
+  for (int r = 0; r < 50; ++r) {
+    const Vec obs = random_obs(rng);
+    const Response response = server.serve(obs);
+    ASSERT_EQ(response.outcome, Outcome::Ok);
+    ASSERT_EQ(response.action.size(), 2u);
+    EXPECT_TRUE(bitwise_equal(response.action, direct.act(obs)));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Admission control
+
+TEST(Serve, RejectsWrongObservationDimension) {
+  PolicyStore store;
+  store.publish(make_discrete_spec(31));
+  BatchScheduler server(store, ServeConfig{});
+  EXPECT_THROW(server.serve(Vec(3, 0.0)), InvalidArgument);
+}
+
+TEST(Serve, RequiresAPublishedVersion) {
+  PolicyStore store;
+  EXPECT_THROW(BatchScheduler(store, ServeConfig{}), Error);
+}
+
+TEST(Serve, DeadlineReturnsTimedOutInsteadOfBlocking) {
+  PolicyStore store;
+  store.publish(make_discrete_spec(41));
+  ServeConfig config;
+  config.workers = 0;  // nothing dispatches: the queue never drains
+  BatchScheduler server(store, config);
+
+  Rng rng(1);
+  const Response response = server.serve(random_obs(rng), /*deadline_us=*/5000.0);
+  EXPECT_EQ(response.outcome, Outcome::TimedOut);
+  EXPECT_GE(response.latency_us, 5000.0);
+  // The abandoned request removed itself from the queue.
+  EXPECT_EQ(server.queue_depth(), 0u);
+}
+
+TEST(Serve, BackpressureRejectsWhenQueueIsFull) {
+  PolicyStore store;
+  store.publish(make_discrete_spec(51));
+  ServeConfig config;
+  config.workers = 0;
+  config.queue_capacity = 2;
+  BatchScheduler server(store, config);
+
+  Response blocked_a, blocked_b;
+  std::thread a([&] {
+    Rng rng(2);
+    blocked_a = server.serve(random_obs(rng), /*deadline_us=*/3e5);
+  });
+  std::thread b([&] {
+    Rng rng(3);
+    blocked_b = server.serve(random_obs(rng), /*deadline_us=*/3e5);
+  });
+  wait_for_queue_depth(server, 2);
+
+  // Queue full: the next request is rejected immediately, not blocked.
+  Rng rng(4);
+  Stopwatch reject_time;
+  const Response rejected = server.serve(random_obs(rng), /*deadline_us=*/3e5);
+  EXPECT_EQ(rejected.outcome, Outcome::RejectedFull);
+  EXPECT_LT(reject_time.seconds(), 0.25);
+
+  a.join();
+  b.join();
+  EXPECT_EQ(blocked_a.outcome, Outcome::TimedOut);
+  EXPECT_EQ(blocked_b.outcome, Outcome::TimedOut);
+}
+
+TEST(Serve, GatherFlushServesLonelyRequestBeforeWindowExpires) {
+  PolicyStore store;
+  store.publish(make_discrete_spec(45));
+  ServeConfig config;
+  config.max_batch = 16;
+  config.max_delay_us = 10e6;  // a 10 s window, cut short by yield-gather
+  config.gather = true;
+  config.workers = 1;
+  BatchScheduler server(store, config);
+
+  Rng rng(8);
+  Stopwatch clock;
+  const Response response = server.serve(random_obs(rng));
+  EXPECT_EQ(response.outcome, Outcome::Ok);
+  // Served after roughly one idle gap, nowhere near the 10 s window.
+  EXPECT_LT(clock.seconds(), 5.0);
+}
+
+// ---------------------------------------------------------------------------
+// Hot swap
+
+TEST(Serve, HotSwapUnderLoadServesEachRequestFromOneVersion) {
+  PolicyStore store;
+  const PolicySpec spec_v1 = make_discrete_spec(61);
+  const PolicySpec spec_v2 = make_discrete_spec(62);
+  store.publish(spec_v1);
+
+  ServeConfig config;
+  config.max_batch = 8;
+  config.max_delay_us = 100.0;
+  config.workers = 2;
+  config.queue_capacity = 1024;
+  BatchScheduler server(store, config);
+
+  std::atomic<std::size_t> mismatches{0};
+  std::atomic<std::size_t> bad_version{0};
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < 4; ++c) {
+    clients.emplace_back([&, c] {
+      DirectPolicy direct_v1(spec_v1);
+      DirectPolicy direct_v2(spec_v2);
+      Rng rng(200 + c);
+      for (int r = 0; r < 150; ++r) {
+        const Vec obs = random_obs(rng);
+        const Response response = server.serve(obs);
+        if (response.outcome != Outcome::Ok) {
+          bad_version.fetch_add(1);
+          continue;
+        }
+        // Whichever version served the request, the action must be that
+        // version's exact greedy decision — never a blend.
+        if (response.version == 1) {
+          if (!bitwise_equal(response.action, direct_v1.act(obs)))
+            mismatches.fetch_add(1);
+        } else if (response.version == 2) {
+          if (!bitwise_equal(response.action, direct_v2.act(obs)))
+            mismatches.fetch_add(1);
+        } else {
+          bad_version.fetch_add(1);
+        }
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  store.publish(spec_v2);  // swap under live traffic
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(mismatches.load(), 0u);
+  EXPECT_EQ(bad_version.load(), 0u);
+
+  // After the swap has settled, new requests are served by version 2.
+  Rng rng(9);
+  const Response after = server.serve(random_obs(rng));
+  EXPECT_EQ(after.outcome, Outcome::Ok);
+  EXPECT_EQ(after.version, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Shutdown
+
+TEST(Serve, ShutdownDrainsQueueThenRejects) {
+  obs::set_metrics_enabled(true);
+  obs::Registry::global().reset();
+
+  PolicyStore store;
+  store.publish(make_discrete_spec(71));
+  ServeConfig config;
+  config.max_batch = 16;
+  config.max_delay_us = 10e6;  // 10 s window: nothing flushes on its own
+  config.gather = false;       // fixed window, no early gather flush
+  config.workers = 1;
+  config.queue_capacity = 32;
+  BatchScheduler server(store, config);
+
+  constexpr std::size_t kClients = 8;
+  std::vector<Response> responses(kClients);
+  std::vector<Vec> observations(kClients);
+  {
+    Rng rng(6);
+    for (auto& obs : observations) obs = random_obs(rng);
+  }
+  std::vector<std::thread> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] { responses[c] = server.serve(observations[c]); });
+  }
+  // All eight sit in the batching window (fewer than max_batch arrived).
+  wait_for_queue_depth(server, kClients);
+
+  server.shutdown();  // flushes the window, serves all eight, joins
+  for (auto& t : clients) t.join();
+
+  DirectPolicy direct(store.current()->spec);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    EXPECT_EQ(responses[c].outcome, Outcome::Ok) << "client " << c;
+    EXPECT_TRUE(bitwise_equal(responses[c].action, direct.act(observations[c])));
+  }
+
+  // Everything drained as one micro-batch of eight.
+  const obs::RegistrySnapshot snap = obs::Registry::global().snapshot();
+  EXPECT_EQ(snap.counters.at("serve.served"), kClients);
+  EXPECT_EQ(snap.counters.at("serve.batches"), 1u);
+
+  // The server no longer admits work.
+  Rng rng(7);
+  const Response rejected = server.serve(random_obs(rng));
+  EXPECT_EQ(rejected.outcome, Outcome::RejectedShutdown);
+  obs::set_metrics_enabled(false);
+}
+
+TEST(Serve, OutcomeNamesAreStable) {
+  EXPECT_STREQ(outcome_name(Outcome::Ok), "ok");
+  EXPECT_STREQ(outcome_name(Outcome::RejectedFull), "rejected-full");
+  EXPECT_STREQ(outcome_name(Outcome::RejectedShutdown), "rejected-shutdown");
+  EXPECT_STREQ(outcome_name(Outcome::TimedOut), "timed-out");
+}

@@ -10,19 +10,28 @@
 # baseline snapshot; re-run this script after touching linalg/ or nn/ and
 # compare.
 #
-# Usage: tools/bench.sh [output.json]
+# The serving sweep (bench_serve: closed-loop clients x batching window)
+# is distilled the same way into a second report (default: BENCH_5.json):
+# req/s and p50/p99 latency per (clients, max_batch) cell, plus the
+# headline batched-vs-batch-1 throughput speedup at the saturating client
+# count.
+#
+# Usage: tools/bench.sh [output.json] [serve_output.json]
 #   BUILD_DIR=build-foo tools/bench.sh     # use a different build tree
-#   BENCH_SMOKE=1 tools/bench.sh out.json  # near-instant smoke run (CI gate:
+#   BENCH_SMOKE=1 tools/bench.sh out.json serve.json
+#                                          # near-instant smoke run (CI gate:
 #                                          # the benches still build and run;
 #                                          # numbers are meaningless)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_4.json}"
+SERVE_OUT="${2:-BENCH_5.json}"
 BUILD="${BUILD_DIR:-build}"
 JOBS="$(nproc)"
 
-cmake --build "$BUILD" -j "$JOBS" --target bench_micro_gemm bench_micro_nn
+cmake --build "$BUILD" -j "$JOBS" \
+    --target bench_micro_gemm bench_micro_nn bench_serve
 
 SMOKE_ARGS=()
 if [[ "${BENCH_SMOKE:-0}" != "0" ]]; then
@@ -41,6 +50,8 @@ trap 'rm -rf "$TMP"' EXIT
 "./$BUILD/bench/bench_micro_nn" --benchmark_format=json \
     --benchmark_filter='Batch|PerSampleLoop|WrapperLoop' \
     "${SMOKE_ARGS[@]+"${SMOKE_ARGS[@]}"}" > "$TMP/nn.json"
+"./$BUILD/bench/bench_serve" --benchmark_format=json \
+    "${SMOKE_ARGS[@]+"${SMOKE_ARGS[@]}"}" > "$TMP/serve.json"
 
 python3 - "$TMP/gemm.json" "$TMP/nn.json" "$OUT" <<'PY'
 import json, sys
@@ -89,5 +100,58 @@ with open(out_path, "w") as f:
 speedup = report.get("fwd_bwd_batch64_speedup_vs_per_sample")
 if speedup is not None:
     print(f"batch-64 fwd+bwd speedup over per-sample: {speedup:.2f}x")
+print(f"wrote {out_path} ({len(results)} records)")
+PY
+
+python3 - "$TMP/serve.json" "$SERVE_OUT" <<'PY'
+import json, sys
+
+serve_path, out_path = sys.argv[1], sys.argv[2]
+
+with open(serve_path) as f:
+    benchmarks = json.load(f)["benchmarks"]
+
+results = []
+rps = {}
+for b in benchmarks:
+    if b.get("run_type") == "aggregate":
+        continue
+    # e.g. BM_ServeClosedLoop/16/64/200/process_time/real_time — the
+    # numeric path segments are {clients, max_batch, max_delay_us}.
+    args = [int(p) for p in b["name"].split("/") if p.isdigit()]
+    if len(args) != 3 or "items_per_second" not in b:
+        continue
+    clients, max_batch, delay_us = args
+    record = {
+        "clients": clients,
+        "max_batch": max_batch,
+        "max_delay_us": delay_us,
+        "req_per_s": b["items_per_second"],
+        "p50_us": b.get("p50_us"),
+        "p99_us": b.get("p99_us"),
+    }
+    results.append(record)
+    rps[(clients, max_batch, delay_us)] = b["items_per_second"]
+
+report = {"results": results}
+# Headline: throughput win of micro-batching over the batch-1 baseline at
+# the saturating client count (the largest swept).
+if rps:
+    saturating = max(c for c, _, _ in rps)
+    batched_cells = {(m, d): v for (c, m, d), v in rps.items()
+                     if c == saturating and m > 1}
+    base = rps.get((saturating, 1, 0))
+    if base and batched_cells:
+        best = max(batched_cells, key=batched_cells.get)
+        report["saturating_clients"] = saturating
+        report["serve_batched_speedup_vs_batch1"] = (
+            batched_cells[best] / base)
+        print(f"serve: {saturating} clients, max_batch={best[0]} "
+              f"delay={best[1]}us vs batch-1: "
+              f"{report['serve_batched_speedup_vs_batch1']:.2f}x throughput")
+
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
 print(f"wrote {out_path} ({len(results)} records)")
 PY

@@ -54,7 +54,8 @@ AUDIT_DIR="$(mktemp -d)"
 trap 'rm -rf "$AUDIT_DIR"' EXIT
 
 echo "=== smoke bench (near-instant micro-kernel run) ==="
-BENCH_SMOKE=1 tools/bench.sh "$AUDIT_DIR/bench_smoke.json"
+BENCH_SMOKE=1 tools/bench.sh "$AUDIT_DIR/bench_smoke.json" \
+    "$AUDIT_DIR/bench_serve_smoke.json"
 
 echo "=== determinism audit (serial x2 vs --parallel 4) ==="
 audit_run() {

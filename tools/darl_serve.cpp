@@ -1,0 +1,339 @@
+// darl_serve — command-line front end for the micro-batching policy
+// inference server (src/darl/serve/, DESIGN.md §12).
+//
+//   darl_serve [options]
+//
+//   --checkpoint PATH   serve this saved policy (default: train one fresh)
+//   --train-timesteps N PPO training budget when no checkpoint is given
+//                       (default 4096)
+//   --save PATH         after training, also save the checkpoint here
+//   --clients N         closed-loop client threads (default 4)
+//   --requests N        requests per client (default 200)
+//   --max-batch N       micro-batch size cap (default 32)
+//   --max-delay-us X    batching window in microseconds (default 200)
+//   --queue-cap N       admission queue capacity (default 256)
+//   --workers N         dispatcher threads (default 1)
+//   --deadline-us X     per-request deadline, 0 = wait forever (default 0)
+//   --swap-every N      hot-swap (republish) the policy after every N
+//                       requests per client, 0 = never (default 0). The
+//                       republished spec is identical, so the bitwise
+//                       self-check keeps working across swaps.
+//   --seed N            rng seed for client traffic (default 42)
+//   --obs-out PATH      write the metrics-registry snapshot as JSONL
+//   --help
+//
+// Each client walks its own airdrop episode: observation -> served action
+// -> simulator step, so the offered traffic is the real deployment loop.
+// Every Ok response is compared bitwise against DirectPolicy (per-sample
+// Mlp::evaluate + greedy decode, no batching); any mismatch makes the
+// process exit 1. The run ends with an outcome/latency/batch-shape table.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "darl/airdrop/airdrop_env.hpp"
+#include "darl/common/jsonl.hpp"
+#include "darl/common/stats.hpp"
+#include "darl/common/stopwatch.hpp"
+#include "darl/common/table.hpp"
+#include "darl/frameworks/backend.hpp"
+#include "darl/obs/metrics.hpp"
+#include "darl/rl/checkpoint.hpp"
+#include "darl/serve/batch_scheduler.hpp"
+#include "darl/serve/policy_store.hpp"
+
+namespace {
+
+using namespace darl;
+
+struct CliOptions {
+  std::string checkpoint;
+  std::string save;
+  std::size_t train_timesteps = 4096;
+  std::size_t clients = 4;
+  std::size_t requests = 200;
+  std::size_t max_batch = 32;
+  double max_delay_us = 200.0;
+  std::size_t queue_capacity = 256;
+  std::size_t workers = 1;
+  double deadline_us = 0.0;
+  std::size_t swap_every = 0;
+  std::uint64_t seed = 42;
+  std::string obs_out;
+};
+
+[[noreturn]] void usage(int code) {
+  std::printf(
+      "darl_serve — micro-batching policy inference server\n"
+      "\n"
+      "  --checkpoint PATH   serve this saved policy (default: train fresh)\n"
+      "  --train-timesteps N PPO budget when training fresh (default 4096)\n"
+      "  --save PATH         save the freshly trained checkpoint\n"
+      "  --clients N         closed-loop client threads     (default 4)\n"
+      "  --requests N        requests per client            (default 200)\n"
+      "  --max-batch N       micro-batch size cap           (default 32)\n"
+      "  --max-delay-us X    batching window, microseconds  (default 200)\n"
+      "  --queue-cap N       admission queue capacity       (default 256)\n"
+      "  --workers N         dispatcher threads             (default 1)\n"
+      "  --deadline-us X     per-request deadline, 0 = none (default 0)\n"
+      "  --swap-every N      republish after every N requests per client\n"
+      "                      (0 = never; same weights, new version id)\n"
+      "  --seed N            client traffic seed            (default 42)\n"
+      "  --obs-out PATH      metrics snapshot as JSONL\n"
+      "  --help\n");
+  std::exit(code);
+}
+
+/// Per-client tally, merged after the join.
+struct ClientStats {
+  std::vector<double> ok_latencies_us;
+  std::size_t ok = 0;
+  std::size_t rejected_full = 0;
+  std::size_t rejected_shutdown = 0;
+  std::size_t timed_out = 0;
+  std::size_t mismatches = 0;
+};
+
+/// One closed-loop client: drives an airdrop episode with served actions.
+/// Non-Ok responses fall back to the direct policy so the episode keeps
+/// advancing (the deployment posture: degrade, don't stall).
+void run_client(serve::BatchScheduler& server, const serve::PolicySpec& spec,
+                const env::EnvFactory& factory, const CliOptions& opt,
+                std::uint64_t seed, ClientStats& stats) {
+  serve::DirectPolicy direct(spec);
+  auto env = factory();
+  env->seed(seed);
+  Vec obs = env->reset();
+  stats.ok_latencies_us.reserve(opt.requests);
+  for (std::size_t r = 0; r < opt.requests; ++r) {
+    const serve::Response response = server.serve(obs, opt.deadline_us);
+    const Vec reference = direct.act(obs);
+    Vec action = reference;
+    switch (response.outcome) {
+      case serve::Outcome::Ok:
+        ++stats.ok;
+        stats.ok_latencies_us.push_back(response.latency_us);
+        if (response.action != reference) ++stats.mismatches;
+        action = response.action;
+        break;
+      case serve::Outcome::RejectedFull:
+        ++stats.rejected_full;
+        break;
+      case serve::Outcome::RejectedShutdown:
+        ++stats.rejected_shutdown;
+        break;
+      case serve::Outcome::TimedOut:
+        ++stats.timed_out;
+        break;
+    }
+    const env::StepResult step = env->step(action);
+    obs = step.done() ? env->reset() : step.observation;
+  }
+}
+
+rl::Checkpoint obtain_checkpoint(const CliOptions& opt,
+                                 const env::EnvFactory& factory) {
+  if (!opt.checkpoint.empty()) {
+    std::printf("loading checkpoint %s\n", opt.checkpoint.c_str());
+    return rl::load_checkpoint_file(opt.checkpoint);
+  }
+  std::printf("training PPO on the airdrop simulator (%zu steps)...\n",
+              opt.train_timesteps);
+  frameworks::TrainRequest req;
+  req.env_factory = factory;
+  req.algo.kind = rl::AlgoKind::PPO;
+  req.deployment = {1, 2};
+  req.total_timesteps = opt.train_timesteps;
+  req.eval_episodes = 5;
+  req.seed = 11;
+  frameworks::StableBaselinesBackend backend;
+  const frameworks::TrainResult result = backend.run(req);
+  std::printf("  trained: eval landing score %.3f\n", result.reward);
+
+  auto probe = factory();
+  rl::Checkpoint ck;
+  ck.kind = rl::AlgoKind::PPO;
+  ck.obs_dim = probe->observation_space().dim();
+  ck.action_dim = probe->action_space().action_dim();
+  ck.params = result.final_policy;
+  if (!opt.save.empty()) {
+    rl::save_checkpoint_file(opt.save, ck);
+    std::printf("  saved checkpoint to %s\n", opt.save.c_str());
+  }
+  return ck;
+}
+
+std::size_t parse_size(const char* v) {
+  return static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+}
+
+CliOptions parse_cli(int argc, char** argv) {
+  CliOptions opt;
+  auto need_value = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      usage(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (!std::strcmp(a, "--checkpoint")) opt.checkpoint = need_value(i);
+    else if (!std::strcmp(a, "--save")) opt.save = need_value(i);
+    else if (!std::strcmp(a, "--train-timesteps"))
+      opt.train_timesteps = parse_size(need_value(i));
+    else if (!std::strcmp(a, "--clients")) opt.clients = parse_size(need_value(i));
+    else if (!std::strcmp(a, "--requests")) opt.requests = parse_size(need_value(i));
+    else if (!std::strcmp(a, "--max-batch")) opt.max_batch = parse_size(need_value(i));
+    else if (!std::strcmp(a, "--max-delay-us"))
+      opt.max_delay_us = std::strtod(need_value(i), nullptr);
+    else if (!std::strcmp(a, "--queue-cap"))
+      opt.queue_capacity = parse_size(need_value(i));
+    else if (!std::strcmp(a, "--workers")) opt.workers = parse_size(need_value(i));
+    else if (!std::strcmp(a, "--deadline-us"))
+      opt.deadline_us = std::strtod(need_value(i), nullptr);
+    else if (!std::strcmp(a, "--swap-every"))
+      opt.swap_every = parse_size(need_value(i));
+    else if (!std::strcmp(a, "--seed"))
+      opt.seed = std::strtoull(need_value(i), nullptr, 10);
+    else if (!std::strcmp(a, "--obs-out")) opt.obs_out = need_value(i);
+    else if (!std::strcmp(a, "--help")) usage(0);
+    else {
+      std::fprintf(stderr, "unknown option '%s'\n", a);
+      usage(2);
+    }
+  }
+  if (opt.clients == 0 || opt.requests == 0 || opt.workers == 0) {
+    std::fprintf(stderr, "--clients, --requests and --workers must be > 0\n");
+    usage(2);
+  }
+  return opt;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliOptions opt = parse_cli(argc, argv);
+  obs::set_metrics_enabled(true);
+
+  airdrop::AirdropConfig env_cfg;
+  env_cfg.altitude_min = 30.0;
+  env_cfg.altitude_max = 200.0;
+  env_cfg.rk_order = ode::RkOrder::Order5;
+  const env::EnvFactory factory = airdrop::make_airdrop_factory(env_cfg);
+
+  const rl::Checkpoint ck = obtain_checkpoint(opt, factory);
+  auto probe = factory();
+
+  serve::PolicyStore store;
+  store.publish_checkpoint(ck, probe->action_space());
+  const serve::PolicySpec spec = store.current()->spec;
+  std::printf("serving policy: %zu params, version %llu\n",
+              spec.net_params.size(),
+              static_cast<unsigned long long>(store.current()->id));
+
+  serve::ServeConfig config;
+  config.max_batch = opt.max_batch;
+  config.max_delay_us = opt.max_delay_us;
+  config.queue_capacity = opt.queue_capacity;
+  config.workers = opt.workers;
+  serve::BatchScheduler server(store, config);
+
+  std::vector<ClientStats> stats(opt.clients);
+  std::vector<std::thread> clients;
+  clients.reserve(opt.clients);
+  Stopwatch wall;
+  // Optional hot-swap driver: republish the same spec on a cadence so the
+  // version id advances under live traffic.
+  std::thread swapper;
+  bool swapping = opt.swap_every > 0;
+  if (swapping) {
+    swapper = std::thread([&] {
+      const std::size_t swaps = opt.requests / opt.swap_every;
+      for (std::size_t s = 0; s < swaps; ++s) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        store.publish(spec);
+      }
+    });
+  }
+  for (std::size_t c = 0; c < opt.clients; ++c) {
+    clients.emplace_back([&, c] {
+      run_client(server, spec, factory, opt, opt.seed + c, stats[c]);
+    });
+  }
+  for (auto& t : clients) t.join();
+  if (swapping) swapper.join();
+  const double wall_s = wall.seconds();
+  server.shutdown();
+
+  ClientStats total;
+  for (const ClientStats& s : stats) {
+    total.ok += s.ok;
+    total.rejected_full += s.rejected_full;
+    total.rejected_shutdown += s.rejected_shutdown;
+    total.timed_out += s.timed_out;
+    total.mismatches += s.mismatches;
+    total.ok_latencies_us.insert(total.ok_latencies_us.end(),
+                                 s.ok_latencies_us.begin(),
+                                 s.ok_latencies_us.end());
+  }
+
+  const obs::RegistrySnapshot snap = obs::Registry::global().snapshot();
+  const auto batch_hist = snap.histograms.find("serve.batch_rows");
+  const double batches =
+      batch_hist != snap.histograms.end()
+          ? static_cast<double>(batch_hist->second.count)
+          : 0.0;
+  const double mean_batch =
+      batches > 0.0 ? batch_hist->second.sum / batches : 0.0;
+
+  TextTable table;
+  table.set_columns({"metric", "value"}, {Align::Left, Align::Right});
+  table.add_row({"clients x requests", std::to_string(opt.clients) + " x " +
+                                           std::to_string(opt.requests)});
+  table.add_row({"served ok", std::to_string(total.ok)});
+  table.add_row({"rejected (queue full)", std::to_string(total.rejected_full)});
+  table.add_row({"timed out", std::to_string(total.timed_out)});
+  table.add_row({"policy versions", std::to_string(store.version_count())});
+  table.add_rule();
+  if (!total.ok_latencies_us.empty()) {
+    table.add_row({"latency p50 (us)",
+                   fixed(percentile(total.ok_latencies_us, 50.0), 1)});
+    table.add_row({"latency p99 (us)",
+                   fixed(percentile(total.ok_latencies_us, 99.0), 1)});
+  }
+  table.add_row({"throughput (req/s)",
+                 fixed(static_cast<double>(total.ok) / wall_s, 0)});
+  table.add_row({"mean micro-batch rows", fixed(mean_batch, 2)});
+  std::printf("\n%s\n", table.render(2).c_str());
+
+  if (!opt.obs_out.empty()) {
+    std::ofstream out(opt.obs_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write '%s'\n", opt.obs_out.c_str());
+      return 1;
+    }
+    JsonlWriter writer(out);
+    snap.write_jsonl(writer);
+    std::printf("wrote %s (%zu records)\n", opt.obs_out.c_str(),
+                writer.records());
+  }
+
+  if (total.mismatches > 0) {
+    std::fprintf(stderr,
+                 "SELF-CHECK FAILED: %zu served action(s) differ from the "
+                 "direct per-sample path\n",
+                 total.mismatches);
+    return 1;
+  }
+  std::printf("self-check: all %zu served actions bitwise-identical to the "
+              "direct path\n",
+              total.ok);
+  return 0;
+}

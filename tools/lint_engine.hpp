@@ -23,8 +23,9 @@
 //                     records via std::current_exception
 //   detached-thread   std::thread::detach()
 //   heap-alloc-in-kernel  new / .resize( / .push_back( inside the body of
-//                     a function named *_batch or gemm — the batched hot
-//                     loops must stay allocation-free; workspace growth
+//                     a function named *_batch, gemm or *dispatch* — the
+//                     batched hot loops and the serve scheduler's dispatch
+//                     path must stay allocation-free; workspace growth
 //                     belongs in ensure_*/reshape helpers called before
 //                     the kernel (suppressible for one-time growth)
 //
@@ -448,9 +449,11 @@ inline std::vector<Finding> scan_source(const std::string& path_in,
   }
 
   // heap-alloc-in-kernel: gemm and *_batch bodies are the batched hot
-  // loops; they must not allocate. Like catch-all, this looks past the
+  // loops, and *dispatch* bodies are the serve scheduler's per-request
+  // path; none of them may allocate. Like catch-all, this looks past the
   // signature line, so it runs on the whole stripped text.
-  static const std::regex kernel_def_re(R"(\b(\w*_batch|gemm)\s*\()");
+  static const std::regex kernel_def_re(
+      R"(\b(\w*_batch|gemm|\w*dispatch\w*)\s*\()");
   static const std::regex heap_alloc_re(
       R"(\bnew\b|[.>]\s*resize\s*\(|[.>]\s*push_back\s*\()");
   auto kernel_begin =
