@@ -1,0 +1,168 @@
+// bench/bench_obs.cpp — what the telemetry layer costs on hot paths.
+//
+// The headline numbers (distilled into BENCH_6.json by tools/bench.sh):
+//   - sharded Counter::add vs the single shared atomic it replaced (the
+//     PR-1 design), single-threaded and under 8-thread contention. The
+//     sharded counter must be no slower solo and far faster contended —
+//     that is the whole point of the cache-line-owned slots.
+//   - the disabled-gate cost of DARL_COUNTER_ADD (one relaxed bool load),
+//     which is what every instrumented hot path pays when telemetry is off.
+//   - snapshot / sampler-tick / Prometheus-render costs, which bound how
+//     cheap a scrape or sampler cadence is for a live serving process.
+//   - flight_note on/off, the per-event price of the flight recorder.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "darl/obs/export.hpp"
+#include "darl/obs/flight.hpp"
+#include "darl/obs/metrics.hpp"
+#include "darl/obs/timeseries.hpp"
+
+namespace {
+
+using namespace darl::obs;
+
+/// Instruments live in a bench-local registry so the numbers are not
+/// polluted by whatever the rest of the process registered.
+Registry& bench_registry() {
+  static Registry r;
+  return r;
+}
+
+/// A registry pre-populated like a busy serve process: a few dozen
+/// counters/gauges plus latency histograms.
+Registry& populated_registry() {
+  static Registry& r = []() -> Registry& {
+    static Registry reg;
+    for (int i = 0; i < 32; ++i) {
+      reg.counter("bench.ctr" + std::to_string(i)).add(i * 17 + 1);
+      reg.gauge("bench.gge" + std::to_string(i)).set(i * 0.25);
+    }
+    for (int i = 0; i < 4; ++i) {
+      Histogram& h = reg.histogram(
+          "bench.hist" + std::to_string(i),
+          {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0});
+      for (int v = 0; v < 256; ++v) h.observe((v % 150) * 1.01);
+    }
+    return reg;
+  }();
+  return r;
+}
+
+// --------------------------------------------------------------- counters
+
+// Baseline: the pre-sharding design — every thread RMWs one shared line.
+void BM_CounterSingleAtomic(benchmark::State& state) {
+  static std::atomic<std::uint64_t> value{0};
+  for (auto _ : state) {
+    value.fetch_add(1, std::memory_order_relaxed);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterSingleAtomic)->Threads(1)->Threads(8);
+
+void BM_CounterSharded(benchmark::State& state) {
+  static Counter& c = bench_registry().counter("bench.sharded");
+  for (auto _ : state) {
+    c.add(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterSharded)->Threads(1)->Threads(8);
+
+void BM_CounterShardedLabeled(benchmark::State& state) {
+  static Counter& c =
+      bench_registry().counter("bench.labeled", {{"tenant", "bench"}});
+  for (auto _ : state) {
+    c.add(1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterShardedLabeled)->Threads(1)->Threads(8);
+
+void BM_CounterMacroDisabled(benchmark::State& state) {
+  set_metrics_enabled(false);
+  for (auto _ : state) {
+    DARL_COUNTER_ADD("bench.gated", 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterMacroDisabled);
+
+void BM_CounterMacroEnabled(benchmark::State& state) {
+  set_metrics_enabled(true);
+  for (auto _ : state) {
+    DARL_COUNTER_ADD("bench.macro_on", 1);
+  }
+  set_metrics_enabled(false);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CounterMacroEnabled);
+
+void BM_HistogramObserve(benchmark::State& state) {
+  static Histogram& h = bench_registry().histogram(
+      "bench.observe", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0});
+  double v = 0.0;
+  for (auto _ : state) {
+    h.observe(v);
+    v = v < 40.0 ? v + 0.37 : 0.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramObserve)->Threads(1)->Threads(8);
+
+// ------------------------------------------------- scrape-side operations
+
+void BM_RegistrySnapshot(benchmark::State& state) {
+  Registry& reg = populated_registry();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(reg.snapshot());
+  }
+}
+BENCHMARK(BM_RegistrySnapshot);
+
+void BM_SamplerTick(benchmark::State& state) {
+  static TimeSeries ts(
+      {.capacity = 240, .period_ms = 1000, .registry = &populated_registry()});
+  for (auto _ : state) {
+    ts.sample_once();
+  }
+}
+BENCHMARK(BM_SamplerTick);
+
+void BM_PrometheusRender(benchmark::State& state) {
+  const RegistrySnapshot snap = populated_registry().snapshot();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prometheus_text(snap));
+  }
+}
+BENCHMARK(BM_PrometheusRender);
+
+// --------------------------------------------------------- flight recorder
+
+void BM_FlightNoteDisabled(benchmark::State& state) {
+  set_flight_enabled(false);
+  static const std::string text = "bench note payload";
+  for (auto _ : state) {
+    flight_note("bench", text);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightNoteDisabled);
+
+void BM_FlightNoteEnabled(benchmark::State& state) {
+  set_flight_enabled(true);
+  static const std::string text = "bench note payload";
+  for (auto _ : state) {
+    flight_note("bench", text);
+  }
+  set_flight_enabled(false);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlightNoteEnabled)->Threads(1)->Threads(8);
+
+}  // namespace

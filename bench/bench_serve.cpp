@@ -15,7 +15,7 @@
 #include <vector>
 
 #include "darl/common/rng.hpp"
-#include "darl/common/stats.hpp"
+#include "darl/obs/percentile.hpp"
 #include "darl/serve/batch_scheduler.hpp"
 #include "darl/serve/policy_store.hpp"
 
@@ -116,8 +116,8 @@ void BM_ServeClosedLoop(benchmark::State& state) {
   const auto total = static_cast<std::int64_t>(clients * kRequestsPerClient);
   state.SetItemsProcessed(state.iterations() * total);
   if (!latencies_us.empty()) {
-    state.counters["p50_us"] = percentile(latencies_us, 50.0);
-    state.counters["p99_us"] = percentile(latencies_us, 99.0);
+    state.counters["p50_us"] = obs::percentile(latencies_us, 50.0);
+    state.counters["p99_us"] = obs::percentile(latencies_us, 99.0);
   }
 }
 

@@ -1,7 +1,10 @@
 #include "darl/common/jsonl.hpp"
 
+#include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "darl/common/error.hpp"
 
@@ -85,6 +88,216 @@ const std::vector<Json>& Json::as_array() const {
 const std::map<std::string, Json>& Json::as_object() const {
   DARL_CHECK(is_object(), "Json node is not an object");
   return std::get<Object>(value_);
+}
+
+namespace {
+
+/// Recursive-descent JSON parser over a byte range. Kept deliberately
+/// small: the only in-repo producer is Json::dump() (exporter snapshots,
+/// study artifacts), so exotic inputs just need a clean error, not
+/// recovery.
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    DARL_CHECK(pos_ == text_.size(),
+               "JSON: trailing content at byte " << pos_);
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) {
+    throw InvalidArgument("JSON: " + std::string(what) + " at byte " +
+                          std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    const std::size_t n = std::strlen(lit);
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Json parse_value() {
+    skip_ws();
+    DARL_CHECK(depth_ < 64, "JSON: nesting deeper than 64");
+    switch (peek()) {
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return Json::null();
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return Json::boolean(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return Json::boolean(false);
+      case '"': return Json::string(parse_string());
+      case '[': return parse_array();
+      case '{': return parse_object();
+      default: return parse_number();
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double v = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      pos_ = start;
+      fail("malformed number");
+    }
+    return Json::number(v);
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("raw control character");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': out += parse_unicode_escape(); break;
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  std::string parse_unicode_escape() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      code <<= 4;
+      if (c >= '0' && c <= '9') {
+        code += static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        code += static_cast<unsigned>(c - 'a') + 10;
+      } else if (c >= 'A' && c <= 'F') {
+        code += static_cast<unsigned>(c - 'A') + 10;
+      } else {
+        fail("bad \\u escape digit");
+      }
+    }
+    // Encode the BMP code point as UTF-8; surrogates (never produced by
+    // dump(), which only \u-escapes control bytes) map to U+FFFD.
+    std::string out;
+    if (code >= 0xD800 && code <= 0xDFFF) code = 0xFFFD;
+    if (code < 0x80) {
+      out += static_cast<char>(code);
+    } else if (code < 0x800) {
+      out += static_cast<char>(0xC0 | (code >> 6));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    } else {
+      out += static_cast<char>(0xE0 | (code >> 12));
+      out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (code & 0x3F));
+    }
+    return out;
+  }
+
+  Json parse_array() {
+    expect('[');
+    ++depth_;
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      --depth_;
+      return arr;
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == ']') break;
+      if (c != ',') fail("expected ',' or ']'");
+    }
+    --depth_;
+    return arr;
+  }
+
+  Json parse_object() {
+    expect('{');
+    ++depth_;
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      --depth_;
+      return obj;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.set(key, parse_value());
+      skip_ws();
+      const char c = peek();
+      ++pos_;
+      if (c == '}') break;
+      if (c != ',') fail("expected ',' or '}'");
+    }
+    --depth_;
+    return obj;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) {
+  return JsonParser(text).parse_document();
 }
 
 std::string json_escape(const std::string& s) {

@@ -31,6 +31,12 @@ class Json {
   static Json array();
   static Json object();
 
+  /// Parse one JSON document (the whole string; trailing non-whitespace is
+  /// an error). Accepts what dump() emits — plus standard escapes and
+  /// nesting — and throws darl::InvalidArgument with a byte offset on
+  /// malformed input. \uXXXX escapes decode to UTF-8.
+  static Json parse(const std::string& text);
+
   /// Append to an array node. Throws unless this node is an array.
   void push_back(Json v);
 

@@ -10,6 +10,7 @@ namespace darl {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::Warn};
+std::atomic<LogSink> g_sink{nullptr};
 std::mutex g_mutex;
 
 const char* level_name(LogLevel level) {
@@ -35,8 +36,16 @@ int thread_ordinal() {
   return ordinal;
 }
 
+void set_log_sink(LogSink sink) {
+  g_sink.store(sink, std::memory_order_relaxed);
+}
+
 void log_message(LogLevel level, const std::string& message) {
   if (!log_enabled(level)) return;
+  if (const LogSink sink = g_sink.load(std::memory_order_relaxed);
+      sink != nullptr) {
+    sink(level, message);
+  }
   std::lock_guard<std::mutex> lock(g_mutex);
   std::fprintf(stderr, "[darl %s %10.3fs t%02d] %s\n", level_name(level),
                process_uptime_seconds(), thread_ordinal(), message.c_str());

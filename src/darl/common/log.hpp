@@ -29,6 +29,14 @@ inline bool log_enabled(LogLevel level) {
 /// Emit one log line (thread-safe; a single OS write per line).
 void log_message(LogLevel level, const std::string& message);
 
+/// Optional secondary sink: receives every line that passes the level
+/// filter, before it is written to stderr and outside the stderr lock. A
+/// plain function pointer (not std::function) so higher layers — the obs
+/// flight recorder — can hook in without this layer depending on them.
+/// nullptr uninstalls.
+using LogSink = void (*)(LogLevel level, const std::string& message);
+void set_log_sink(LogSink sink);
+
 /// Small dense per-thread ordinal (0, 1, 2, ... in first-use order), stable
 /// for the thread's lifetime. Printed in log lines and recorded in obs
 /// trace spans, so the two can be matched up.

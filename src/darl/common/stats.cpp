@@ -64,18 +64,6 @@ double median(std::vector<double> xs) {
   return 0.5 * (lo + hi);
 }
 
-double percentile(std::vector<double> xs, double p) {
-  DARL_CHECK(!xs.empty(), "percentile of empty vector");
-  DARL_CHECK(p >= 0.0 && p <= 100.0, "percentile out of [0,100]: " << p);
-  std::sort(xs.begin(), xs.end());
-  if (xs.size() == 1) return xs[0];
-  const double rank = p / 100.0 * static_cast<double>(xs.size() - 1);
-  const auto lo = static_cast<std::size_t>(std::floor(rank));
-  const auto hi = std::min(lo + 1, xs.size() - 1);
-  const double frac = rank - static_cast<double>(lo);
-  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
-}
-
 std::vector<double> ema(const std::vector<double>& xs, double alpha) {
   DARL_CHECK(alpha > 0.0 && alpha <= 1.0, "ema alpha out of (0,1]: " << alpha);
   std::vector<double> out;

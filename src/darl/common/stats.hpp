@@ -57,8 +57,9 @@ double stddev(const std::vector<double>& xs);
 /// Requires a non-empty vector.
 double median(std::vector<double> xs);
 
-/// Linear-interpolation percentile, p in [0, 100]. Requires non-empty input.
-double percentile(std::vector<double> xs, double p);
+// The sample-percentile helper moved to darl/obs/percentile.hpp
+// (obs::percentile): it is telemetry math, shared with the histogram-bucket
+// estimator the exporter consumers need.
 
 /// Exponential moving average of a series with smoothing factor alpha in
 /// (0, 1]; returns a series of the same length.

@@ -4,6 +4,7 @@
 #include "darl/common/log.hpp"
 #include "darl/common/rng.hpp"
 #include "darl/common/stopwatch.hpp"
+#include "darl/obs/flight.hpp"
 #include "darl/obs/metrics.hpp"
 #include "darl/obs/trace.hpp"
 #include <chrono>
@@ -279,6 +280,18 @@ void Study::run() {
           DARL_LOG_WARN << "study '" << def_.name << "': trial " << record.id
                         << " " << trial_status_name(record.status) << " after "
                         << record.attempts << " attempt(s): " << record.error;
+        }
+        // Feed the flight recorder and flush its rings to the configured
+        // dump path: the last K events of every thread — spans, warnings,
+        // this note — become the post-mortem for the faulted trial.
+        if (obs::flight_enabled()) {
+          obs::flight_note("trial_failure",
+                           "trial " + std::to_string(record.id) + " " +
+                               trial_status_name(record.status) + ": " +
+                               record.error);
+          if (!obs::flight_dump_path().empty()) {
+            obs::flight_dump_to_path(obs::flight_dump_path());
+          }
         }
         explorer_->tell_failure(record.id);
         if (options_.on_trial_failure == FailurePolicy::Abort && !abort_error) {

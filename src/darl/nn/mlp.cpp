@@ -218,9 +218,15 @@ std::vector<ParamRef> Mlp::params() {
   std::vector<ParamRef> out;
   out.reserve(2 * weights_.size());
   for (std::size_t l = 0; l < weights_.size(); ++l) {
-    out.push_back(ParamRef{&weights_[l].data(), &grad_w_[l].data(),
-                           "w" + std::to_string(l)});
-    out.push_back(ParamRef{&biases_[l], &grad_b_[l], "b" + std::to_string(l)});
+    // Built via += (not literal + temporary) to dodge a GCC-12 -Wrestrict
+    // false positive in the inlined string concatenation.
+    std::string wname = "w";
+    wname += std::to_string(l);
+    std::string bname = "b";
+    bname += std::to_string(l);
+    out.push_back(
+        ParamRef{&weights_[l].data(), &grad_w_[l].data(), std::move(wname)});
+    out.push_back(ParamRef{&biases_[l], &grad_b_[l], std::move(bname)});
   }
   return out;
 }

@@ -1,0 +1,348 @@
+#include "darl/obs/export.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "darl/common/error.hpp"
+#include "darl/common/log.hpp"
+#include "darl/common/stopwatch.hpp"
+
+namespace darl::obs {
+namespace {
+
+/// Prometheus metric name: the registry charset is [a-z0-9_.] and the
+/// exposition charset is [a-zA-Z0-9_:], so mapping '.' to '_' suffices.
+std::string prom_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == '.') c = '_';
+  }
+  return out;
+}
+
+/// Shortest-faithful double formatting ("%g" with enough digits to
+/// round-trip typical telemetry values, without trailing-zero noise).
+std::string prom_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return buf;
+}
+
+/// `{k1="v1",k2="v2"}` (with `extra_key`/`extra_value` appended when
+/// `extra_key` is non-null), or "" when there are no labels at all.
+std::string prom_labels(const Labels& labels, const char* extra_key = nullptr,
+                        const std::string& extra_value = std::string()) {
+  if (labels.empty() && extra_key == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += prom_name(k);
+    out += "=\"";
+    out += escape_label_value(v);
+    out += '"';
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    out += extra_value;
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+const Labels& labels_for(const RegistrySnapshot& snap, const std::string& key) {
+  static const Labels kEmpty;
+  const auto it = snap.ids.find(key);
+  return it != snap.ids.end() ? it->second.labels : kEmpty;
+}
+
+std::string base_name_for(const RegistrySnapshot& snap,
+                          const std::string& key) {
+  const auto it = snap.ids.find(key);
+  return it != snap.ids.end() ? it->second.name : key;
+}
+
+}  // namespace
+
+std::string prometheus_text(const RegistrySnapshot& snap) {
+  std::string out;
+  // The snapshot maps are keyed by the flattened instrument key, which
+  // starts with the base name, so all series of one family are adjacent:
+  // emit the # TYPE header on family change.
+  std::string family;
+  for (const auto& [key, v] : snap.counters) {
+    const std::string name = prom_name(base_name_for(snap, key));
+    if (name != family) {
+      family = name;
+      out += "# TYPE " + name + " counter\n";
+    }
+    out += name + prom_labels(labels_for(snap, key)) + ' ' +
+           std::to_string(v) + '\n';
+  }
+  family.clear();
+  for (const auto& [key, v] : snap.gauges) {
+    const std::string name = prom_name(base_name_for(snap, key));
+    if (name != family) {
+      family = name;
+      out += "# TYPE " + name + " gauge\n";
+    }
+    out += name + prom_labels(labels_for(snap, key)) + ' ' + prom_number(v) +
+           '\n';
+  }
+  family.clear();
+  for (const auto& [key, h] : snap.histograms) {
+    const std::string name = prom_name(base_name_for(snap, key));
+    const Labels& labels = labels_for(snap, key);
+    if (name != family) {
+      family = name;
+      out += "# TYPE " + name + " histogram\n";
+    }
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += i < h.counts.size() ? h.counts[i] : 0;
+      out += name + "_bucket" +
+             prom_labels(labels, "le", prom_number(h.bounds[i])) + ' ' +
+             std::to_string(cumulative) + '\n';
+    }
+    out += name + "_bucket" + prom_labels(labels, "le", "+Inf") + ' ' +
+           std::to_string(h.count) + '\n';
+    out += name + "_sum" + prom_labels(labels) + ' ' + prom_number(h.sum) +
+           '\n';
+    out += name + "_count" + prom_labels(labels) + ' ' +
+           std::to_string(h.count) + '\n';
+  }
+  return out;
+}
+
+namespace {
+
+std::string http_response(int status, const std::string& content_type,
+                          const std::string& body) {
+  const char* reason = "OK";
+  switch (status) {
+    case 200: reason = "OK"; break;
+    case 400: reason = "Bad Request"; break;
+    case 404: reason = "Not Found"; break;
+    case 405: reason = "Method Not Allowed"; break;
+    default: reason = "Error"; break;
+  }
+  std::string out = "HTTP/1.0 " + std::to_string(status) + ' ' + reason +
+                    "\r\nContent-Type: " + content_type +
+                    "\r\nContent-Length: " + std::to_string(body.size()) +
+                    "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+void set_io_timeout(int fd, int seconds) {
+  timeval tv{};
+  tv.tv_sec = seconds;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+void send_all(int fd, const std::string& data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
+    if (n <= 0) return;  // peer went away; nothing useful to do
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+Exporter::Exporter(ExporterOptions options)
+    : options_(options),
+      registry_(options.registry != nullptr ? options.registry
+                                            : &Registry::global()) {}
+
+Exporter::~Exporter() { stop(); }
+
+void Exporter::start() {
+  DARL_CHECK(!started_, "Exporter::start() called twice");
+  DARL_CHECK(options_.port >= 0 && options_.port <= 65535,
+             "invalid obs port " << options_.port);
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw Error("obs exporter: socket() failed: " +
+                std::string(std::strerror(errno)));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("obs exporter: bind(127.0.0.1:" +
+                std::to_string(options_.port) + ") failed: " + err);
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw Error("obs exporter: listen() failed: " + err);
+  }
+
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                    &bound_len) == 0) {
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+  }
+
+  stop_requested_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread([this] { accept_loop(); });
+  started_ = true;
+}
+
+void Exporter::stop() {
+  if (!started_) return;
+  stop_requested_.store(true, std::memory_order_relaxed);
+  // Unblock the accept() in the loop thread; close happens after the join
+  // so the fd number cannot be reused out from under the loop.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  started_ = false;
+}
+
+bool Exporter::running() const {
+  return started_ && !stop_requested_.load(std::memory_order_relaxed);
+}
+
+void Exporter::accept_loop() {
+  while (!stop_requested_.load(std::memory_order_relaxed)) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (stop_requested_.load(std::memory_order_relaxed)) break;
+      if (errno == EINTR) continue;
+      break;  // listening socket is gone; nothing to recover
+    }
+    set_io_timeout(fd, 2);
+    // Read until the end of the request line; a scraper's whole request
+    // fits in one segment, so cap the buffer and never block on bodies.
+    std::string request;
+    char buf[1024];
+    while (request.find('\n') == std::string::npos &&
+           request.size() < 8192) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n <= 0) break;
+      request.append(buf, static_cast<std::size_t>(n));
+    }
+    const std::size_t eol = request.find('\n');
+    std::string line =
+        eol == std::string::npos ? request : request.substr(0, eol);
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    send_all(fd, handle_request(line));
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    ::close(fd);
+  }
+}
+
+std::string Exporter::handle_request(const std::string& request_line) const {
+  // Expect `METHOD <path> HTTP/1.x`.
+  const std::size_t sp1 = request_line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos
+                               : request_line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      request_line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+    return http_response(400, "text/plain", "bad request\n");
+  }
+  const std::string method = request_line.substr(0, sp1);
+  std::string path = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (const std::size_t q = path.find('?'); q != std::string::npos) {
+    path.resize(q);  // queries are accepted and ignored
+  }
+  if (method != "GET") {
+    return http_response(405, "text/plain", "only GET is supported\n");
+  }
+
+  if (path == "/healthz") {
+    return http_response(200, "text/plain", "ok\n");
+  }
+  if (path == "/metrics") {
+    return http_response(200, "text/plain; version=0.0.4",
+                         prometheus_text(registry_->snapshot()));
+  }
+  if (path == "/snapshot.json") {
+    Json root = Json::object();
+    root.set("uptime_s",
+             Json::number(static_cast<double>(process_uptime_ns()) * 1e-9));
+    root.set("metrics", registry_->snapshot().to_json());
+    if (options_.timeseries != nullptr) {
+      root.set("series", options_.timeseries->to_json());
+    }
+    return http_response(200, "application/json", root.dump() + "\n");
+  }
+  return http_response(404, "text/plain", "not found\n");
+}
+
+HttpResponse http_get(int port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    throw Error("http_get: socket() failed: " +
+                std::string(std::strerror(errno)));
+  }
+  set_io_timeout(fd, 5);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    throw Error("http_get: connect(127.0.0.1:" + std::to_string(port) +
+                ") failed: " + err);
+  }
+  send_all(fd, "GET " + path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n"
+                                "Connection: close\r\n\r\n");
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  HttpResponse out;
+  const std::size_t eol = response.find("\r\n");
+  if (eol == std::string::npos) {
+    throw Error("http_get: truncated response from port " +
+                std::to_string(port));
+  }
+  const std::string status_line = response.substr(0, eol);
+  const std::size_t sp = status_line.find(' ');
+  if (sp == std::string::npos) {
+    throw Error("http_get: malformed status line: " + status_line);
+  }
+  out.status = std::atoi(status_line.c_str() + sp + 1);
+  const std::size_t body_at = response.find("\r\n\r\n");
+  out.body = body_at == std::string::npos ? std::string()
+                                          : response.substr(body_at + 4);
+  return out;
+}
+
+}  // namespace darl::obs

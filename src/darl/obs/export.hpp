@@ -1,0 +1,98 @@
+// darl/obs/export.hpp
+//
+// Wire-exposed telemetry: renders RegistrySnapshot as Prometheus text
+// exposition, and serves it (plus a JSON snapshot with time-series tails
+// and a health probe) over a minimal blocking HTTP/1.0 listener.
+//
+// obs::Exporter speaks *just enough* HTTP for a scraper: it parses the
+// request line of a GET, routes on the path, and answers with
+// Content-Length + Connection: close. One sequential accept loop on a
+// loopback-bound socket — a scrape is a snapshot + a string render, a few
+// hundred microseconds, so concurrency buys nothing at this scale. This is
+// deliberately the first socket code in the repo: the listener/framing
+// shape here seeds the ROADMAP item-1 transport layer.
+//
+// Routes:
+//   GET /metrics        -> text/plain; Prometheus text exposition
+//   GET /snapshot.json  -> application/json; {"uptime_s","metrics","series"}
+//   GET /healthz        -> text/plain; "ok\n"
+// Anything else: 404. Non-GET: 405. Unparseable request line: 400.
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "darl/obs/metrics.hpp"
+#include "darl/obs/timeseries.hpp"
+
+namespace darl::obs {
+
+/// Render a snapshot in the Prometheus text exposition format. Metric
+/// names have '.' mapped to '_'; label values are escaped per the format
+/// rules; histograms emit cumulative `_bucket{le="..."}` lines (with a
+/// final le="+Inf") plus `_sum` and `_count`.
+std::string prometheus_text(const RegistrySnapshot& snap);
+
+struct ExporterOptions {
+  /// TCP port to bind on 127.0.0.1; 0 picks an ephemeral port (read it
+  /// back with Exporter::port()).
+  int port = 0;
+  /// Registry to expose; nullptr means Registry::global().
+  Registry* registry = nullptr;
+  /// Optional sampler whose ring tails are embedded in /snapshot.json.
+  TimeSeries* timeseries = nullptr;
+};
+
+/// Blocking HTTP/1.0 metrics listener. start() binds + spawns the accept
+/// thread; stop() (also the dtor) shuts the listening socket down and
+/// joins. All failures surface as darl::Error from start(); per-connection
+/// errors are answered on the wire and never take the listener down.
+class Exporter {
+ public:
+  explicit Exporter(ExporterOptions options = {});
+  ~Exporter();
+
+  Exporter(const Exporter&) = delete;
+  Exporter& operator=(const Exporter&) = delete;
+
+  void start();
+  void stop();
+  bool running() const;
+
+  /// Bound port (the real one when options.port was 0). 0 until start().
+  int port() const { return port_; }
+
+  /// Requests answered so far (any status).
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  std::string handle_request(const std::string& request_line) const;
+
+  ExporterOptions options_;
+  Registry* registry_;
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> stop_requested_{false};
+  bool started_ = false;
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+/// Minimal HTTP GET client for the exporter's loopback endpoints (used by
+/// darl_top, the live tests, and check.sh's smoke stage via darl_top).
+struct HttpResponse {
+  int status = 0;
+  std::string body;
+};
+
+/// Connect to 127.0.0.1:port, issue `GET path HTTP/1.0`, and return the
+/// parsed status + body. Throws darl::Error on connect/IO failure.
+HttpResponse http_get(int port, const std::string& path);
+
+}  // namespace darl::obs

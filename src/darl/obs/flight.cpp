@@ -1,0 +1,371 @@
+#include "darl/obs/flight.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <csignal>
+#include <cstring>
+#include <fstream>
+#include <mutex>
+
+#include "darl/common/error.hpp"
+#include "darl/common/jsonl.hpp"
+#include "darl/common/log.hpp"
+#include "darl/common/stopwatch.hpp"
+#include "darl/obs/trace.hpp"
+
+namespace darl::obs {
+namespace {
+
+std::atomic<bool> g_flight_enabled{false};
+
+/// One seqlock slot. Every field is an atomic so concurrent writer/reader
+/// access is race-free by construction; the seq protocol decides which
+/// reads are coherent (see flight.hpp header comment).
+struct Slot {
+  std::atomic<std::uint64_t> seq{0};  ///< 0 = empty/mid-write, else ticket
+  std::atomic<std::uint8_t> kind{0};
+  std::atomic<std::uint64_t> t_ns{0};
+  std::atomic<std::uint64_t> dur_ns{0};
+  std::atomic<std::int64_t> trial{-1};
+  std::atomic<const char*> name{nullptr};
+  std::atomic<std::uint8_t> text_len{0};
+  std::array<std::atomic<char>, kFlightMessageBytes> text{};
+};
+
+struct FlightRing {
+  int tid = 0;
+  std::atomic<std::uint64_t> head{0};  ///< last published ticket
+  std::array<Slot, kFlightRingEvents> slots{};
+};
+
+std::array<std::atomic<FlightRing*>, kFlightMaxRings> g_rings{};
+std::atomic<std::size_t> g_ring_count{0};
+
+FlightRing* make_ring() {
+  // Leaked by design (see tools/darl_lint.supp): the fatal-signal handler
+  // walks the directory at an arbitrary moment, possibly after the owning
+  // thread has exited, so a ring must never be freed.
+  const std::size_t idx = g_ring_count.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= kFlightMaxRings) return nullptr;
+  auto* ring = new FlightRing();
+  ring->tid = darl::thread_ordinal();
+  g_rings[idx].store(ring, std::memory_order_release);
+  return ring;
+}
+
+FlightRing* local_ring() {
+  thread_local FlightRing* ring = make_ring();
+  return ring;
+}
+
+void record(FlightEvent::Kind kind, const char* name, std::uint64_t t_ns,
+            std::uint64_t dur_ns, const char* text, std::size_t text_len) {
+  FlightRing* ring = local_ring();
+  if (ring == nullptr) return;
+  const std::uint64_t ticket =
+      ring->head.load(std::memory_order_relaxed) + 1;
+  Slot& s = ring->slots[ticket % kFlightRingEvents];
+  // Writer protocol: invalidate, #StoreStore fence, payload, publish.
+  s.seq.store(0, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  s.kind.store(static_cast<std::uint8_t>(kind), std::memory_order_relaxed);
+  s.t_ns.store(t_ns, std::memory_order_relaxed);
+  s.dur_ns.store(dur_ns, std::memory_order_relaxed);
+  s.trial.store(current_trial(), std::memory_order_relaxed);
+  s.name.store(name, std::memory_order_relaxed);
+  const std::size_t n = std::min(text_len, kFlightMessageBytes);
+  for (std::size_t i = 0; i < n; ++i) {
+    s.text[i].store(text[i], std::memory_order_relaxed);
+  }
+  s.text_len.store(static_cast<std::uint8_t>(n), std::memory_order_relaxed);
+  s.seq.store(ticket, std::memory_order_release);
+  ring->head.store(ticket, std::memory_order_release);
+}
+
+/// Coherent copy of one slot, or false when the slot is empty or was
+/// overwritten mid-read (seqlock validation failed).
+bool read_slot(const Slot& s, int tid, FlightEvent& out) {
+  const std::uint64_t before = s.seq.load(std::memory_order_acquire);
+  if (before == 0) return false;
+  FlightEvent ev;
+  ev.kind = static_cast<FlightEvent::Kind>(
+      s.kind.load(std::memory_order_relaxed));
+  ev.t_ns = s.t_ns.load(std::memory_order_relaxed);
+  ev.dur_ns = s.dur_ns.load(std::memory_order_relaxed);
+  ev.trial = s.trial.load(std::memory_order_relaxed);
+  const char* name = s.name.load(std::memory_order_relaxed);
+  const std::size_t len = s.text_len.load(std::memory_order_relaxed);
+  char text[kFlightMessageBytes];
+  for (std::size_t i = 0; i < len && i < kFlightMessageBytes; ++i) {
+    text[i] = s.text[i].load(std::memory_order_relaxed);
+  }
+  std::atomic_thread_fence(std::memory_order_acquire);
+  if (s.seq.load(std::memory_order_relaxed) != before) return false;
+  ev.order = before;
+  ev.tid = tid;
+  ev.name = name != nullptr ? name : "";
+  ev.text.assign(text, std::min(len, kFlightMessageBytes));
+  out = std::move(ev);
+  return true;
+}
+
+std::size_t ring_count() {
+  return std::min(g_ring_count.load(std::memory_order_acquire),
+                  kFlightMaxRings);
+}
+
+const char* kind_tag(FlightEvent::Kind kind) {
+  switch (kind) {
+    case FlightEvent::Kind::Span: return "span";
+    case FlightEvent::Kind::Log: return "log";
+    case FlightEvent::Kind::Note: return "note";
+  }
+  return "note";
+}
+
+// --- fatal-dump path configuration -----------------------------------------
+
+std::mutex g_path_mutex;
+char g_dump_path[512] = {0};  ///< read lock-free by the signal handler
+
+void log_sink(darl::LogLevel level, const std::string& line) {
+  const char* tag = "info";
+  switch (level) {
+    case darl::LogLevel::Debug: tag = "debug"; break;
+    case darl::LogLevel::Info: tag = "info"; break;
+    case darl::LogLevel::Warn: tag = "warn"; break;
+    case darl::LogLevel::Error: tag = "error"; break;
+    case darl::LogLevel::Off: return;
+  }
+  flight_record_log(tag, line);
+}
+
+// --- async-signal-safe formatting ------------------------------------------
+
+void fd_write(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t w = ::write(fd, data, n);
+    if (w <= 0) return;
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+}
+
+void fd_write_cstr(int fd, const char* s) { fd_write(fd, s, std::strlen(s)); }
+
+void fd_write_u64(int fd, std::uint64_t v) {
+  char buf[24];
+  int i = sizeof(buf);
+  do {
+    buf[--i] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v > 0);
+  fd_write(fd, buf + i, sizeof(buf) - static_cast<std::size_t>(i));
+}
+
+void fd_write_i64(int fd, std::int64_t v) {
+  if (v < 0) {
+    fd_write(fd, "-", 1);
+    fd_write_u64(fd, static_cast<std::uint64_t>(-(v + 1)) + 1);
+  } else {
+    fd_write_u64(fd, static_cast<std::uint64_t>(v));
+  }
+}
+
+/// JSON-string bytes with the restraint a signal handler allows: quote,
+/// backslash and control characters become '?'.
+void fd_write_sanitized(int fd, const char* s, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    char c = s[i];
+    if (c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20) {
+      c = '?';
+    }
+    fd_write(fd, &c, 1);
+  }
+}
+
+void fault_dump_ring(int fd, const FlightRing& ring) {
+  // Oldest-first: tickets head-K+1 .. head, skipping torn/empty slots.
+  const std::uint64_t head = ring.head.load(std::memory_order_acquire);
+  const std::uint64_t span =
+      std::min<std::uint64_t>(head, kFlightRingEvents);
+  for (std::uint64_t t = head - span + 1; t <= head && head > 0; ++t) {
+    const Slot& s = ring.slots[t % kFlightRingEvents];
+    const std::uint64_t before = s.seq.load(std::memory_order_acquire);
+    if (before != t) continue;
+    const auto kind = static_cast<FlightEvent::Kind>(
+        s.kind.load(std::memory_order_relaxed));
+    const std::uint64_t t_ns = s.t_ns.load(std::memory_order_relaxed);
+    const std::uint64_t dur_ns = s.dur_ns.load(std::memory_order_relaxed);
+    const std::int64_t trial = s.trial.load(std::memory_order_relaxed);
+    const char* name = s.name.load(std::memory_order_relaxed);
+    const std::size_t len = std::min<std::size_t>(
+        s.text_len.load(std::memory_order_relaxed), kFlightMessageBytes);
+    char text[kFlightMessageBytes];
+    for (std::size_t i = 0; i < len; ++i) {
+      text[i] = s.text[i].load(std::memory_order_relaxed);
+    }
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.seq.load(std::memory_order_relaxed) != before) continue;
+
+    fd_write_cstr(fd, "{\"kind\":\"");
+    fd_write_cstr(fd, kind_tag(kind));
+    fd_write_cstr(fd, "\",\"order\":");
+    fd_write_u64(fd, t);
+    fd_write_cstr(fd, ",\"t_ns\":");
+    fd_write_u64(fd, t_ns);
+    fd_write_cstr(fd, ",\"dur_ns\":");
+    fd_write_u64(fd, dur_ns);
+    fd_write_cstr(fd, ",\"tid\":");
+    fd_write_i64(fd, ring.tid);
+    fd_write_cstr(fd, ",\"trial\":");
+    fd_write_i64(fd, trial);
+    fd_write_cstr(fd, ",\"name\":\"");
+    if (name != nullptr) fd_write_sanitized(fd, name, std::strlen(name));
+    fd_write_cstr(fd, "\",\"text\":\"");
+    fd_write_sanitized(fd, text, len);
+    fd_write_cstr(fd, "\"}\n");
+  }
+}
+
+std::atomic<bool> g_handler_installed{false};
+
+void flight_fatal_handler(int sig) {
+  flight_dump_on_fault();
+  std::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+
+}  // namespace
+
+void set_flight_enabled(bool enabled) {
+  g_flight_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool flight_enabled() {
+  return g_flight_enabled.load(std::memory_order_relaxed);
+}
+
+void flight_record_span(const char* name, std::uint64_t start_ns,
+                        std::uint64_t end_ns) {
+  if (!flight_enabled()) return;
+  record(FlightEvent::Kind::Span, name, start_ns,
+         end_ns >= start_ns ? end_ns - start_ns : 0, nullptr, 0);
+}
+
+void flight_note(const char* tag, const std::string& text) {
+  if (!flight_enabled()) return;
+  record(FlightEvent::Kind::Note, tag, process_uptime_ns(), 0, text.data(),
+         text.size());
+}
+
+void flight_record_log(const char* level_tag, const std::string& line) {
+  if (!flight_enabled()) return;
+  record(FlightEvent::Kind::Log, level_tag, process_uptime_ns(), 0,
+         line.data(), line.size());
+}
+
+std::vector<FlightEvent> flight_collect() {
+  std::vector<FlightEvent> out;
+  const std::size_t n = ring_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    const FlightRing* ring = g_rings[i].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    for (const Slot& s : ring->slots) {
+      FlightEvent ev;
+      if (read_slot(s, ring->tid, ev)) out.push_back(std::move(ev));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              if (a.t_ns != b.t_ns) return a.t_ns < b.t_ns;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              return a.order < b.order;
+            });
+  return out;
+}
+
+void flight_clear() {
+  const std::size_t n = ring_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    FlightRing* ring = g_rings[i].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    for (Slot& s : ring->slots) s.seq.store(0, std::memory_order_relaxed);
+  }
+}
+
+std::size_t flight_dump_jsonl(std::ostream& out) {
+  JsonlWriter writer(out);
+  for (const FlightEvent& ev : flight_collect()) {
+    Json rec = Json::object();
+    rec.set("kind", Json::string(kind_tag(ev.kind)));
+    rec.set("order", Json::integer(static_cast<std::int64_t>(ev.order)));
+    rec.set("t_ns", Json::integer(static_cast<std::int64_t>(ev.t_ns)));
+    if (ev.kind == FlightEvent::Kind::Span) {
+      rec.set("dur_ns", Json::integer(static_cast<std::int64_t>(ev.dur_ns)));
+    }
+    rec.set("tid", Json::integer(ev.tid));
+    rec.set("trial", Json::integer(ev.trial));
+    rec.set("name", Json::string(ev.name));
+    if (!ev.text.empty()) rec.set("text", Json::string(ev.text));
+    writer.write(rec);
+  }
+  return writer.records();
+}
+
+std::size_t flight_dump_to_path(const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  DARL_CHECK(out.good(), "cannot open flight dump path '" << path << "'");
+  return flight_dump_jsonl(out);
+}
+
+void set_flight_dump_path(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_path_mutex);
+  const std::size_t n = std::min(path.size(), sizeof(g_dump_path) - 1);
+  std::memcpy(g_dump_path, path.data(), n);
+  g_dump_path[n] = '\0';
+}
+
+std::string flight_dump_path() {
+  std::lock_guard<std::mutex> lock(g_path_mutex);
+  return g_dump_path;
+}
+
+void flight_dump_on_fault() {
+  // Async-signal-safe from here down: open/write/close and manual
+  // formatting only. The path buffer is read without the mutex — set it
+  // before installing the handler.
+  if (g_dump_path[0] == '\0') return;
+  const int fd =
+      ::open(g_dump_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return;
+  const std::size_t n = ring_count();
+  for (std::size_t i = 0; i < n; ++i) {
+    const FlightRing* ring = g_rings[i].load(std::memory_order_acquire);
+    if (ring != nullptr) fault_dump_ring(fd, *ring);
+  }
+  ::close(fd);
+}
+
+void install_flight_signal_handler() {
+  if (g_handler_installed.exchange(true, std::memory_order_relaxed)) return;
+  for (int sig : {SIGSEGV, SIGBUS, SIGILL, SIGFPE, SIGABRT}) {
+    std::signal(sig, &flight_fatal_handler);
+  }
+}
+
+void enable_flight() {
+  set_flight_enabled(true);
+  darl::set_log_sink(&log_sink);
+}
+
+void disable_flight() {
+  set_flight_enabled(false);
+  darl::set_log_sink(nullptr);
+}
+
+}  // namespace darl::obs

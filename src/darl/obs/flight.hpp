@@ -1,0 +1,116 @@
+// darl/obs/flight.hpp
+//
+// Flight recorder: every thread keeps a fixed ring of its last K telemetry
+// events (finished spans, log lines, explicit notes). The rings cost a few
+// relaxed atomic stores per event while the process is healthy and are only
+// ever read out when something goes wrong: an injected/real trial fault in
+// a campaign, or a fatal signal. The dump is a JSONL artifact — the last
+// ~K*threads events, globally ordered — so a crash in hour 30 of a
+// campaign stops being unexplainable.
+//
+// Concurrency design (and why TSan agrees it is clean):
+//   - Each ring has ONE writer (its owning thread). Readers (dump paths,
+//     possibly a crashing sibling thread) never block it.
+//   - Every slot is a seqlock whose payload fields are themselves atomics
+//     (including the message bytes, stored as atomic<char>): the writer
+//     stores seq=0 (relaxed), writes the payload (relaxed), then publishes
+//     seq=ticket (release). A reader loads seq (acquire), copies the
+//     payload (relaxed), issues an acquire fence, and re-reads seq: a
+//     changed ticket means a torn read and the slot is skipped. No field is
+//     ever touched non-atomically, so there is no data race to report —
+//     only values that are provably discarded.
+//   - Rings register themselves in a fixed global directory (atomic
+//     pointer array + release-published count) and are intentionally
+//     leaked, so the fatal-signal handler can walk every ring without
+//     locks and without racing thread exit.
+//
+// The fatal-signal dump uses only async-signal-safe calls (open/write,
+// manual integer formatting). Hook it up with install_flight_signal_handler
+// after set_flight_dump_path.
+
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace darl::obs {
+
+/// Runtime gate (default off). Recording while disabled is a single
+/// relaxed atomic-bool load.
+void set_flight_enabled(bool enabled);
+bool flight_enabled();
+
+/// Events retained per thread ring.
+inline constexpr std::size_t kFlightRingEvents = 128;
+/// Message payload bytes retained per event (longer messages truncate).
+inline constexpr std::size_t kFlightMessageBytes = 120;
+/// Rings the global directory can hold; threads beyond this record nothing.
+inline constexpr std::size_t kFlightMaxRings = 256;
+
+/// One decoded event, as returned by flight_collect().
+struct FlightEvent {
+  enum class Kind : std::uint8_t { Span = 0, Log = 1, Note = 2 };
+  Kind kind = Kind::Note;
+  std::uint64_t order = 0;  ///< per-ring ticket (monotonic within a thread)
+  std::uint64_t t_ns = 0;   ///< process_uptime_ns() at record time
+  std::uint64_t dur_ns = 0;  ///< spans only
+  int tid = 0;               ///< darl::thread_ordinal() of the recorder
+  std::int64_t trial = -1;   ///< obs::current_trial() at record time
+  std::string name;          ///< span name / note tag / log level tag
+  std::string text;          ///< log line or note message (spans: empty)
+};
+
+/// Record a finished span (called by obs tracing when flight recording is
+/// on). `name` must be a string literal (the ring stores the pointer).
+void flight_record_span(const char* name, std::uint64_t start_ns,
+                        std::uint64_t end_ns);
+
+/// Record a free-form note, e.g. flight_note("trial_failure", err.what()).
+/// `tag` must be a string literal; `text` is copied (and truncated to
+/// kFlightMessageBytes).
+void flight_note(const char* tag, const std::string& text);
+
+/// Record a log line (wired into darl::set_log_sink by enable_flight()).
+void flight_record_log(const char* level_tag, const std::string& line);
+
+/// Decode every ring into events, globally ordered by timestamp. Torn
+/// slots (overwritten mid-read) are skipped, never invented.
+std::vector<FlightEvent> flight_collect();
+
+/// Drop all recorded events. Only meaningful while recorder threads are
+/// quiescent (tests).
+void flight_clear();
+
+/// Write flight_collect() as JSONL ({"kind","t_ns","tid","trial","name",
+/// ...} per line). Returns the number of events written.
+std::size_t flight_dump_jsonl(std::ostream& out);
+
+/// flight_dump_jsonl to a file path (truncating). Returns events written;
+/// throws darl::Error when the file cannot be opened.
+std::size_t flight_dump_to_path(const std::string& path);
+
+/// Where fatal-signal dumps go (copied into a fixed buffer so the signal
+/// handler can read it without allocating). Empty disables fault dumps.
+void set_flight_dump_path(const std::string& path);
+std::string flight_dump_path();
+
+/// Async-signal-safe dump of every ring to flight_dump_path(). Safe to
+/// call from normal code too (the study trial-failure hook uses
+/// flight_dump_to_path instead, which produces the same records with less
+/// formatting restraint).
+void flight_dump_on_fault();
+
+/// Install a fatal-signal handler (SIGSEGV/SIGBUS/SIGILL/SIGFPE/SIGABRT)
+/// that calls flight_dump_on_fault(), then restores the default action and
+/// re-raises. Idempotent.
+void install_flight_signal_handler();
+
+/// Convenience: enable flight recording and route log lines into the
+/// rings (installs the darl::set_log_sink hook). Mirrors set_enabled()'s
+/// role for metrics+tracing.
+void enable_flight();
+void disable_flight();
+
+}  // namespace darl::obs

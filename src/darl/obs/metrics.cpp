@@ -16,6 +16,22 @@ void atomic_add_double(std::atomic<double>& target, double delta) {
   }
 }
 
+/// Sorted-by-key copy with validated names; duplicate keys are a
+/// registration error.
+Labels canonical_labels(const std::string& name, const Labels& labels) {
+  Labels out = labels;
+  std::sort(out.begin(), out.end());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    DARL_CHECK(valid_metric_name(out[i].first),
+               "instrument '" << name << "': label key '" << out[i].first
+                              << "' must match [a-z0-9_.]+");
+    DARL_CHECK(i == 0 || out[i - 1].first != out[i].first,
+               "instrument '" << name << "': duplicate label key '"
+                              << out[i].first << "'");
+  }
+  return out;
+}
+
 }  // namespace
 
 void set_metrics_enabled(bool enabled) {
@@ -24,6 +40,45 @@ void set_metrics_enabled(bool enabled) {
 
 bool metrics_enabled() {
   return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+std::string escape_label_value(const std::string& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                    c == '_' || c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::string instrument_key(const std::string& name, const Labels& labels) {
+  if (labels.empty()) return name;
+  std::string key = name;
+  key += '{';
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) key += ',';
+    key += labels[i].first;
+    key += "=\"";
+    key += escape_label_value(labels[i].second);
+    key += '"';
+  }
+  key += '}';
+  return key;
 }
 
 void Gauge::add(double delta) { atomic_add_double(value_, delta); }
@@ -91,24 +146,36 @@ Json RegistrySnapshot::to_json() const {
 }
 
 void RegistrySnapshot::write_jsonl(JsonlWriter& out) const {
+  auto set_identity = [&](Json& rec, const std::string& key) {
+    rec.set("name", Json::string(key));
+    const auto id = ids.find(key);
+    if (id != ids.end() && !id->second.labels.empty()) {
+      Json labels = Json::object();
+      for (const auto& [k, v] : id->second.labels) {
+        labels.set(k, Json::string(v));
+      }
+      rec.set("metric", Json::string(id->second.name));
+      rec.set("labels", std::move(labels));
+    }
+  };
   for (const auto& [name, v] : counters) {
     Json rec = Json::object();
     rec.set("kind", Json::string("counter"));
-    rec.set("name", Json::string(name));
+    set_identity(rec, name);
     rec.set("value", Json::integer(static_cast<std::int64_t>(v)));
     out.write(rec);
   }
   for (const auto& [name, v] : gauges) {
     Json rec = Json::object();
     rec.set("kind", Json::string("gauge"));
-    rec.set("name", Json::string(name));
+    set_identity(rec, name);
     rec.set("value", Json::number(v));
     out.write(rec);
   }
   for (const auto& [name, h] : histograms) {
     Json rec = Json::object();
     rec.set("kind", Json::string("histogram"));
-    rec.set("name", Json::string(name));
+    set_identity(rec, name);
     Json bounds = Json::array();
     for (double b : h.bounds) bounds.push_back(Json::number(b));
     rec.set("bounds", std::move(bounds));
@@ -125,60 +192,118 @@ void RegistrySnapshot::write_jsonl(JsonlWriter& out) const {
 
 Registry& Registry::global() {
   // Leaked singleton (suppressed in tools/darl_lint.supp): call sites
-  // cache references in function-local statics, which must stay valid
-  // through static destruction.
+  // cache instrument references in function-local statics, which must stay
+  // valid through static destruction.
   static Registry* g = new Registry();
   return *g;
 }
 
-Counter& Registry::counter(const std::string& name) {
+Counter& Registry::counter(const std::string& name, const Labels& labels) {
+  DARL_CHECK(valid_metric_name(name),
+             "counter name '" << name << "' must match [a-z0-9_.]+");
+  Labels canonical = canonical_labels(name, labels);
+  const std::string key = instrument_key(name, canonical);
   std::lock_guard<std::mutex> lock(mutex_);
-  auto& slot = counters_[name];
-  if (!slot) slot = std::make_unique<Counter>();
-  return *slot;
+  auto& slot = counters_[key];
+  if (!slot.instrument) {
+    slot.name = name;
+    slot.labels = std::move(canonical);
+    slot.instrument = std::make_unique<Counter>();
+  }
+  return *slot.instrument;
 }
 
-Gauge& Registry::gauge(const std::string& name) {
+Gauge& Registry::gauge(const std::string& name, const Labels& labels) {
+  DARL_CHECK(valid_metric_name(name),
+             "gauge name '" << name << "' must match [a-z0-9_.]+");
+  Labels canonical = canonical_labels(name, labels);
+  const std::string key = instrument_key(name, canonical);
   std::lock_guard<std::mutex> lock(mutex_);
-  auto& slot = gauges_[name];
-  if (!slot) slot = std::make_unique<Gauge>();
-  return *slot;
+  auto& slot = gauges_[key];
+  if (!slot.instrument) {
+    slot.name = name;
+    slot.labels = std::move(canonical);
+    slot.instrument = std::make_unique<Gauge>();
+  }
+  return *slot.instrument;
 }
 
 Histogram& Registry::histogram(const std::string& name,
-                               std::vector<double> bounds) {
+                               std::vector<double> bounds,
+                               const Labels& labels) {
+  DARL_CHECK(valid_metric_name(name),
+             "histogram name '" << name << "' must match [a-z0-9_.]+");
+  Labels canonical = canonical_labels(name, labels);
+  const std::string key = instrument_key(name, canonical);
   std::lock_guard<std::mutex> lock(mutex_);
-  auto& slot = histograms_[name];
-  if (!slot) {
-    slot = std::make_unique<Histogram>(std::move(bounds));
+  auto& slot = histograms_[key];
+  if (!slot.instrument) {
+    slot.name = name;
+    slot.labels = std::move(canonical);
+    slot.instrument = std::make_unique<Histogram>(std::move(bounds));
   } else {
-    DARL_CHECK(slot->bounds() == bounds,
-               "histogram '" << name << "' re-registered with different bounds");
+    DARL_CHECK(slot.instrument->bounds() == bounds,
+               "histogram '" << key << "' re-registered with different bounds");
   }
-  return *slot;
+  return *slot.instrument;
 }
 
 RegistrySnapshot Registry::snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  // Phase 1 (under the registration mutex): gather stable pointers only.
+  // Entries are never erased and instruments live behind unique_ptr, so
+  // the pointers survive the unlock.
+  struct Ref {
+    const std::string* key;
+    const std::string* name;
+    const Labels* labels;
+    const void* instrument;
+  };
+  std::vector<Ref> counter_refs, gauge_refs, histogram_refs;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    counter_refs.reserve(counters_.size());
+    for (const auto& [key, e] : counters_) {
+      counter_refs.push_back({&key, &e.name, &e.labels, e.instrument.get()});
+    }
+    gauge_refs.reserve(gauges_.size());
+    for (const auto& [key, e] : gauges_) {
+      gauge_refs.push_back({&key, &e.name, &e.labels, e.instrument.get()});
+    }
+    histogram_refs.reserve(histograms_.size());
+    for (const auto& [key, e] : histograms_) {
+      histogram_refs.push_back({&key, &e.name, &e.labels, e.instrument.get()});
+    }
+  }
+
+  // Phase 2 (lock-free): read the atomics and build the snapshot. Writers
+  // keep running; each value is individually consistent.
   RegistrySnapshot snap;
-  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
-  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
-  for (const auto& [name, h] : histograms_) {
+  for (const Ref& r : counter_refs) {
+    snap.counters[*r.key] = static_cast<const Counter*>(r.instrument)->value();
+    snap.ids[*r.key] = InstrumentId{*r.name, *r.labels};
+  }
+  for (const Ref& r : gauge_refs) {
+    snap.gauges[*r.key] = static_cast<const Gauge*>(r.instrument)->value();
+    snap.ids[*r.key] = InstrumentId{*r.name, *r.labels};
+  }
+  for (const Ref& r : histogram_refs) {
+    const auto* h = static_cast<const Histogram*>(r.instrument);
     HistogramSnapshot hs;
     hs.bounds = h->bounds();
     hs.counts = h->counts();
     hs.count = h->count();
     hs.sum = h->sum();
-    snap.histograms[name] = std::move(hs);
+    snap.histograms[*r.key] = std::move(hs);
+    snap.ids[*r.key] = InstrumentId{*r.name, *r.labels};
   }
   return snap;
 }
 
 void Registry::reset() {
   std::lock_guard<std::mutex> lock(mutex_);
-  for (auto& [name, c] : counters_) c->reset();
-  for (auto& [name, g] : gauges_) g->reset();
-  for (auto& [name, h] : histograms_) h->reset();
+  for (auto& [key, e] : counters_) e.instrument->reset();
+  for (auto& [key, e] : gauges_) e.instrument->reset();
+  for (auto& [key, e] : histograms_) e.instrument->reset();
 }
 
 }  // namespace darl::obs

@@ -1,24 +1,31 @@
 // darl/obs/metrics.hpp
 //
-// Process-wide metrics registry: named counters, gauges and fixed-bucket
-// histograms. Registration (name -> instrument lookup) takes a mutex once
-// per call site; the hot path is a single relaxed atomic operation, so
-// instruments may be hammered concurrently from every worker thread.
-// Snapshots serialize through darl::Json, and the whole layer is
-// zero-cost when disabled: a relaxed atomic-bool check at runtime
-// (set_metrics_enabled), or compiled out entirely with -DDARL_OBS_DISABLED.
+// Process-wide metrics registry: named, optionally *labeled* counters,
+// gauges and fixed-bucket histograms. Registration (name -> instrument
+// lookup) takes a mutex once per call site; the hot path is a relaxed
+// atomic add on a per-thread-sharded, cache-line-owned slot, so
+// instruments may be hammered concurrently from every worker thread
+// without bouncing a shared line. Shards are aggregated at snapshot time.
+//
+// Snapshots serialize through darl::Json (and, via obs/export.hpp, the
+// Prometheus text exposition format). The whole layer is zero-cost when
+// disabled: a relaxed atomic-bool check at runtime (set_metrics_enabled),
+// or compiled out entirely with -DDARL_OBS_DISABLED.
 
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "darl/common/jsonl.hpp"
+#include "darl/common/log.hpp"  // thread_ordinal() for counter sharding
 
 namespace darl::obs {
 
@@ -29,15 +36,63 @@ namespace darl::obs {
 void set_metrics_enabled(bool enabled);
 bool metrics_enabled();
 
-/// Monotonic event counter.
+/// Instrument labels: key/value pairs, canonicalized (sorted by key) at
+/// registration. Keys obey the same charset as metric names; values are
+/// free-form and escaped on export.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Metric and label-key names must match [a-z0-9_.]+ (enforced at
+/// registration, and statically by darl_lint's `metric-name` rule).
+bool valid_metric_name(const std::string& name);
+
+/// Escape a label value for the flattened instrument key and for the
+/// Prometheus text exposition (backslash, double quote, newline).
+std::string escape_label_value(const std::string& v);
+
+/// Canonical flattened identity of one instrument: `name` when unlabeled,
+/// otherwise `name{k1="v1",k2="v2"}` with keys sorted and values escaped.
+/// Snapshot maps are keyed by this string, so unlabeled instruments keep
+/// their historical plain-name keys.
+std::string instrument_key(const std::string& name, const Labels& labels);
+
+/// Monotonic event counter, sharded across kShards cache-line-owned slots
+/// indexed by the caller's dense thread ordinal. The common case (fewer
+/// live incrementing threads than shards) is a relaxed RMW on a line no
+/// other thread touches; ordinal collisions fall back to sharing a slot,
+/// which stays exact because the slot op is still an atomic fetch_add.
+/// value() sums the shards (aggregation happens at snapshot time, not on
+/// the hot path).
 class Counter {
  public:
-  void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
-  std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
-  void reset() { value_.store(0, std::memory_order_relaxed); }
+  static constexpr std::size_t kShards = 16;
+
+  void add(std::uint64_t n = 1) {
+    shards_[shard_index()].value.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const Shard& s : shards_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  void reset() {
+    for (Shard& s : shards_) s.value.store(0, std::memory_order_relaxed);
+  }
 
  private:
-  std::atomic<std::uint64_t> value_{0};
+  struct alignas(64) Shard {
+    std::atomic<std::uint64_t> value{0};
+  };
+  static std::size_t shard_index() {
+    // The masked ordinal never changes for a thread, so cache it in an
+    // inline thread_local: the steady-state cost is one TLS load instead
+    // of an out-of-line thread_ordinal() call per increment.
+    thread_local const std::size_t cached =
+        static_cast<std::size_t>(darl::thread_ordinal()) & (kShards - 1);
+    return cached;
+  }
+  std::array<Shard, kShards> shards_;
 };
 
 /// Last-value / accumulating double instrument.
@@ -84,17 +139,28 @@ struct HistogramSnapshot {
   double sum = 0.0;
 };
 
+/// Structured identity of one snapshot entry (base name + labels), keyed
+/// by the same flattened instrument_key as the value maps. Consumers that
+/// need the parts (the Prometheus renderer) look here instead of parsing
+/// the flattened key back apart.
+struct InstrumentId {
+  std::string name;
+  Labels labels;
+};
+
 /// Point-in-time copy of the whole registry.
 struct RegistrySnapshot {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;
   std::map<std::string, HistogramSnapshot> histograms;
+  std::map<std::string, InstrumentId> ids;
 
   /// One Json object: {"counters":{...},"gauges":{...},"histograms":{...}}.
   Json to_json() const;
 
   /// One JSONL record per instrument:
-  /// {"kind":"counter","name":...,"value":...} etc.
+  /// {"kind":"counter","name":...,"value":...} etc. Labeled instruments
+  /// carry the flattened key as "name" plus a "labels" object.
   void write_jsonl(JsonlWriter& out) const;
 };
 
@@ -106,22 +172,35 @@ class Registry {
   /// The process-wide registry used by the DARL_COUNTER_* macros.
   static Registry& global();
 
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
+  Counter& counter(const std::string& name, const Labels& labels = {});
+  Gauge& gauge(const std::string& name, const Labels& labels = {});
   /// First registration fixes the bounds; a later call with different
   /// bounds throws darl::InvalidArgument.
-  Histogram& histogram(const std::string& name, std::vector<double> bounds);
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const Labels& labels = {});
 
+  /// Copy-then-read: the registration mutex is held only while instrument
+  /// pointers are gathered (entries are never erased, so the pointers stay
+  /// valid); the values are read — and any downstream formatting happens —
+  /// without the lock, so a scrape never stalls instrument lookup on a
+  /// serving hot path.
   RegistrySnapshot snapshot() const;
 
   /// Zero every instrument, keeping registrations (and references) alive.
   void reset();
 
  private:
+  template <typename T>
+  struct Entry {
+    std::string name;
+    Labels labels;
+    std::unique_ptr<T> instrument;
+  };
+
   mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  std::map<std::string, Entry<Counter>> counters_;
+  std::map<std::string, Entry<Gauge>> gauges_;
+  std::map<std::string, Entry<Histogram>> histograms_;
 };
 
 }  // namespace darl::obs

@@ -1,0 +1,240 @@
+#include "darl/obs/timeseries.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "darl/common/error.hpp"
+#include "darl/common/stopwatch.hpp"
+#include "darl/obs/percentile.hpp"
+
+namespace darl::obs {
+
+template <typename Point>
+void TimeSeries::Ring<Point>::push(Point p, std::size_t capacity) {
+  if (slots.size() < capacity) {
+    slots.push_back(std::move(p));
+    return;
+  }
+  slots[next] = std::move(p);
+  next = (next + 1) % slots.size();
+}
+
+template <typename Point>
+std::vector<Point> TimeSeries::Ring<Point>::ordered() const {
+  std::vector<Point> out;
+  out.reserve(slots.size());
+  // Before the ring wraps, `next` stays 0 and slots are already oldest
+  // first; afterwards `next` marks the oldest slot.
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    out.push_back(slots[(next + i) % slots.size()]);
+  }
+  return out;
+}
+
+TimeSeries::TimeSeries(TimeSeriesOptions options)
+    : options_(options),
+      registry_(options.registry != nullptr ? options.registry
+                                            : &Registry::global()) {
+  DARL_CHECK(options_.capacity >= 2,
+             "TimeSeries capacity must be >= 2 (got " << options_.capacity
+                                                      << ")");
+  DARL_CHECK(options_.period_ms > 0,
+             "TimeSeries period_ms must be > 0 (got " << options_.period_ms
+                                                      << ")");
+}
+
+TimeSeries::~TimeSeries() { stop(); }
+
+void TimeSeries::start() {
+  std::lock_guard<std::mutex> lock(thread_mutex_);
+  if (thread_running_) return;
+  stop_requested_ = false;
+  thread_ = std::thread([this] { run_loop(); });
+  thread_running_ = true;
+}
+
+void TimeSeries::stop() {
+  {
+    std::lock_guard<std::mutex> lock(thread_mutex_);
+    if (!thread_running_) return;
+    stop_requested_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+  std::lock_guard<std::mutex> lock(thread_mutex_);
+  thread_running_ = false;
+}
+
+bool TimeSeries::running() const {
+  std::lock_guard<std::mutex> lock(thread_mutex_);
+  return thread_running_;
+}
+
+void TimeSeries::run_loop() {
+  std::unique_lock<std::mutex> lock(thread_mutex_);
+  while (!stop_requested_) {
+    lock.unlock();
+    sample_once();
+    lock.lock();
+    cv_.wait_for(lock, std::chrono::milliseconds(options_.period_ms),
+                 [this] { return stop_requested_; });
+  }
+}
+
+void TimeSeries::sample_once() {
+  const RegistrySnapshot snap = registry_->snapshot();
+  const std::uint64_t now_ns = process_uptime_ns();
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [key, v] : snap.counters) {
+    scalars_[key].push(SeriesPoint{now_ns, static_cast<double>(v)},
+                       options_.capacity);
+  }
+  for (const auto& [key, v] : snap.gauges) {
+    scalars_[key].push(SeriesPoint{now_ns, v}, options_.capacity);
+  }
+  for (const auto& [key, h] : snap.histograms) {
+    HistogramPoint p;
+    p.t_ns = now_ns;
+    p.counts = h.counts;
+    p.count = h.count;
+    p.sum = h.sum;
+    histograms_[key].push(std::move(p), options_.capacity);
+  }
+  ++samples_;
+}
+
+std::uint64_t TimeSeries::samples_taken() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_;
+}
+
+std::vector<SeriesPoint> TimeSeries::scalar_series(
+    const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = scalars_.find(key);
+  if (it == scalars_.end()) return {};
+  return it->second.ordered();
+}
+
+namespace {
+
+std::optional<double> windowed_rate(double first_v, std::uint64_t first_ns,
+                                    double last_v, std::uint64_t last_ns) {
+  if (last_ns <= first_ns) return std::nullopt;
+  const double dt_s = static_cast<double>(last_ns - first_ns) * 1e-9;
+  return (last_v - first_v) / dt_s;
+}
+
+}  // namespace
+
+std::optional<double> TimeSeries::rate_per_s(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (const auto it = scalars_.find(key); it != scalars_.end()) {
+    const auto points = it->second.ordered();
+    if (points.size() < 2) return std::nullopt;
+    return windowed_rate(points.front().value, points.front().t_ns,
+                         points.back().value, points.back().t_ns);
+  }
+  if (const auto it = histograms_.find(key); it != histograms_.end()) {
+    const auto points = it->second.ordered();
+    if (points.size() < 2) return std::nullopt;
+    return windowed_rate(static_cast<double>(points.front().count),
+                         points.front().t_ns,
+                         static_cast<double>(points.back().count),
+                         points.back().t_ns);
+  }
+  return std::nullopt;
+}
+
+std::optional<double> TimeSeries::window_percentile(const std::string& key,
+                                                    double p) const {
+  std::vector<std::uint64_t> first_counts, last_counts;
+  std::vector<double> bounds;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = histograms_.find(key);
+    if (it == histograms_.end()) return std::nullopt;
+    const auto points = it->second.ordered();
+    if (points.size() < 2) return std::nullopt;
+    first_counts = points.front().counts;
+    last_counts = points.back().counts;
+  }
+  // Bounds come from the live registry snapshot shape: counts vectors are
+  // bounds.size() + 1 long, and histogram bounds are fixed at registration,
+  // so any retained point pairs up with the current bounds.
+  const RegistrySnapshot snap = registry_->snapshot();
+  const auto hist = snap.histograms.find(key);
+  if (hist == snap.histograms.end()) return std::nullopt;
+  bounds = hist->second.bounds;
+  if (first_counts.size() != last_counts.size() ||
+      last_counts.size() != bounds.size() + 1) {
+    return std::nullopt;
+  }
+  std::vector<std::uint64_t> window(last_counts.size(), 0);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < window.size(); ++i) {
+    window[i] = last_counts[i] - std::min(first_counts[i], last_counts[i]);
+    total += window[i];
+  }
+  if (total == 0) return std::nullopt;
+  return histogram_percentile(bounds, window, p);
+}
+
+Json TimeSeries::to_json(std::size_t max_points) const {
+  // Copy the rings under the lock, derive/format outside it (the same
+  // copy-then-format discipline as Registry::snapshot()).
+  std::map<std::string, std::vector<SeriesPoint>> scalars;
+  std::map<std::string, std::vector<HistogramPoint>> hists;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [key, ring] : scalars_) scalars[key] = ring.ordered();
+    for (const auto& [key, ring] : histograms_) hists[key] = ring.ordered();
+  }
+
+  Json root = Json::object();
+  for (const auto& [key, points] : scalars) {
+    Json node = Json::object();
+    Json arr = Json::array();
+    const std::size_t start =
+        points.size() > max_points ? points.size() - max_points : 0;
+    for (std::size_t i = start; i < points.size(); ++i) {
+      Json pt = Json::array();
+      pt.push_back(Json::number(static_cast<double>(points[i].t_ns) * 1e-9));
+      pt.push_back(Json::number(points[i].value));
+      arr.push_back(std::move(pt));
+    }
+    node.set("points", std::move(arr));
+    if (points.size() >= 2) {
+      const auto rate =
+          windowed_rate(points.front().value, points.front().t_ns,
+                        points.back().value, points.back().t_ns);
+      if (rate.has_value()) node.set("rate_per_s", Json::number(*rate));
+    }
+    root.set(key, std::move(node));
+  }
+  for (const auto& [key, points] : hists) {
+    Json node = Json::object();
+    if (points.size() >= 2) {
+      const auto rate =
+          windowed_rate(static_cast<double>(points.front().count),
+                        points.front().t_ns,
+                        static_cast<double>(points.back().count),
+                        points.back().t_ns);
+      if (rate.has_value()) node.set("rate_per_s", Json::number(*rate));
+      Json window = Json::object();
+      window.set("count",
+                 Json::integer(static_cast<std::int64_t>(
+                     points.back().count - std::min(points.front().count,
+                                                    points.back().count))));
+      const auto p50 = window_percentile(key, 50.0);
+      const auto p99 = window_percentile(key, 99.0);
+      if (p50.has_value()) window.set("p50", Json::number(*p50));
+      if (p99.has_value()) window.set("p99", Json::number(*p99));
+      node.set("window", std::move(window));
+    }
+    root.set(key, std::move(node));
+  }
+  return root;
+}
+
+}  // namespace darl::obs

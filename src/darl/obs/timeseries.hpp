@@ -1,0 +1,131 @@
+// darl/obs/timeseries.hpp
+//
+// Periodic registry sampler: a background thread snapshots a Registry
+// every `period_ms` into fixed-capacity per-instrument ring buffers, so a
+// live process carries a bounded recent history of every counter, gauge
+// and histogram. From the rings two windowed derivations fall out:
+//   - rate_per_s(): (last - first) / dt over the retained window for
+//     cumulative instruments (counters, histogram counts);
+//   - window_percentile(): percentile of only the observations that landed
+//     inside the window, from the difference of the first and last
+//     cumulative bucket vectors of a histogram ring.
+// The exporter embeds to_json() tails into /snapshot.json and darl_top
+// renders them. Memory is bounded: capacity points per instrument,
+// allocated lazily the first time an instrument appears in a sample.
+//
+// sample_once() is public so tests (and one-shot CLI paths) can drive the
+// sampler deterministically without the thread.
+
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "darl/common/jsonl.hpp"
+#include "darl/obs/metrics.hpp"
+
+namespace darl::obs {
+
+struct TimeSeriesOptions {
+  /// Ring capacity (points retained) per instrument.
+  std::size_t capacity = 240;
+  /// Sampling cadence for the background thread.
+  int period_ms = 250;
+  /// Registry to sample; nullptr means Registry::global().
+  Registry* registry = nullptr;
+};
+
+/// One retained sample of a scalar instrument (counter or gauge).
+/// Timestamps are process_uptime_ns() values.
+struct SeriesPoint {
+  std::uint64_t t_ns = 0;
+  double value = 0.0;
+};
+
+/// One retained sample of a histogram: cumulative bucket counts (size
+/// bounds.size() + 1) plus cumulative count/sum at sample time.
+struct HistogramPoint {
+  std::uint64_t t_ns = 0;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+class TimeSeries {
+ public:
+  explicit TimeSeries(TimeSeriesOptions options = {});
+  ~TimeSeries();
+
+  TimeSeries(const TimeSeries&) = delete;
+  TimeSeries& operator=(const TimeSeries&) = delete;
+
+  /// Launch the sampler thread (idempotent).
+  void start();
+  /// Stop and join the sampler thread (idempotent; called by dtor).
+  void stop();
+  bool running() const;
+
+  /// Take one sample now (also what the background thread does each tick).
+  void sample_once();
+
+  std::size_t capacity() const { return options_.capacity; }
+  int period_ms() const { return options_.period_ms; }
+
+  /// Total samples taken so far (across all instruments).
+  std::uint64_t samples_taken() const;
+
+  /// Retained points for a scalar instrument key (counter value or gauge),
+  /// oldest first. Empty when the key is unknown.
+  std::vector<SeriesPoint> scalar_series(const std::string& key) const;
+
+  /// Windowed rate for a cumulative scalar series: (last - first) / dt over
+  /// the retained ring. nullopt when fewer than two points are retained or
+  /// the window has zero duration.
+  std::optional<double> rate_per_s(const std::string& key) const;
+
+  /// Percentile (p in [0,100]) of the observations a histogram recorded
+  /// *within* the retained window, from the delta of its cumulative bucket
+  /// vectors. nullopt when the key is unknown, fewer than two points are
+  /// retained, or no observations landed in the window.
+  std::optional<double> window_percentile(const std::string& key,
+                                          double p) const;
+
+  /// Ring tails as one Json object keyed by instrument: scalar series as
+  /// {"points": [[t_s, v], ...], "rate_per_s": r}; histograms as
+  /// {"window": {"count": n, "p50": ..., "p99": ...}, "rate_per_s": r}.
+  /// At most `max_points` trailing points per scalar series.
+  Json to_json(std::size_t max_points = 64) const;
+
+ private:
+  template <typename Point>
+  struct Ring {
+    std::vector<Point> slots;  ///< size <= capacity; grows then wraps
+    std::size_t next = 0;      ///< insertion index once full
+    void push(Point p, std::size_t capacity);
+    std::vector<Point> ordered() const;  ///< oldest first
+  };
+
+  void run_loop();
+
+  TimeSeriesOptions options_;
+  Registry* registry_;
+
+  mutable std::mutex mutex_;  ///< guards rings + samples_
+  std::map<std::string, Ring<SeriesPoint>> scalars_;
+  std::map<std::string, Ring<HistogramPoint>> histograms_;
+  std::uint64_t samples_ = 0;
+
+  mutable std::mutex thread_mutex_;  ///< guards thread lifecycle + stop flag
+  std::condition_variable cv_;
+  std::thread thread_;
+  bool stop_requested_ = false;
+  bool thread_running_ = false;
+};
+
+}  // namespace darl::obs

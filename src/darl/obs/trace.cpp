@@ -28,12 +28,6 @@ struct GlobalTrace {
   std::vector<ThreadBuffer*> live;
   std::size_t dropped = 0;
 
-  void append(std::vector<SpanRecord>& batch) {
-    // Caller holds no locks; takes the global mutex.
-    std::lock_guard<std::mutex> lock(mutex);
-    append_locked(batch);
-  }
-
   void append_locked(std::vector<SpanRecord>& batch) {
     const std::size_t room =
         spans.size() < kMaxSpans ? kMaxSpans - spans.size() : 0;
@@ -53,10 +47,13 @@ GlobalTrace& trace() {
   return *g;
 }
 
-// One per thread that ever emitted a span. Lock ordering: the owner thread
-// only ever holds `mutex` alone (push) or the global mutex alone (flush,
-// after swapping the batch out); collect_spans holds global-then-local,
-// which is safe because no path acquires local-then-global.
+// One per thread that ever emitted a span. Lock ordering: every
+// multi-lock path (flush, thread exit, collect_spans, clear_spans) takes
+// global-then-local; the owner thread holds `mutex` alone only for the
+// plain push. Flushing under both locks means a batch moves from `local`
+// to the global trace atomically with respect to collectors — a
+// concurrent collect_spans() can never observe the batch in neither
+// place, so its result size is monotone while emitters run.
 struct ThreadBuffer {
   std::mutex mutex;
   std::vector<SpanRecord> local;
@@ -69,27 +66,26 @@ struct ThreadBuffer {
   }
 
   ~ThreadBuffer() {
-    std::vector<SpanRecord> batch;
-    {
-      std::lock_guard<std::mutex> lock(mutex);
-      batch.swap(local);
-    }
     GlobalTrace& g = trace();
     std::lock_guard<std::mutex> lock(g.mutex);
     g.live.erase(std::remove(g.live.begin(), g.live.end(), this), g.live.end());
-    g.append_locked(batch);
+    std::lock_guard<std::mutex> local_lock(mutex);
+    g.append_locked(local);
   }
 
   void push(const SpanRecord& r) {
-    std::vector<SpanRecord> batch;
     {
       std::lock_guard<std::mutex> lock(mutex);
       local.push_back(r);
       if (local.size() < kFlushAt) return;
-      batch.swap(local);
+    }
+    GlobalTrace& g = trace();
+    std::lock_guard<std::mutex> lock(g.mutex);
+    std::lock_guard<std::mutex> local_lock(mutex);
+    if (local.size() >= kFlushAt) {
+      g.append_locked(local);  // clears `local`
       local.reserve(kFlushAt);
     }
-    trace().append(batch);
   }
 };
 
@@ -125,10 +121,13 @@ namespace detail {
 
 void finish_span(const char* name, std::uint64_t start_ns, const char* k1,
                  std::int64_t v1, const char* k2, std::int64_t v2) {
+  const std::uint64_t end_ns = process_uptime_ns();
+  if (flight_enabled()) flight_record_span(name, start_ns, end_ns);
+  if (!tracing_enabled()) return;
   SpanRecord r;
   r.name = name;
   r.start_ns = start_ns;
-  r.end_ns = process_uptime_ns();
+  r.end_ns = end_ns;
   r.tid = thread_ordinal();
   r.trial = t_current_trial;
   r.k1 = k1;

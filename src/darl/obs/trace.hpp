@@ -17,6 +17,7 @@
 
 #include "darl/common/jsonl.hpp"
 #include "darl/common/stopwatch.hpp"
+#include "darl/obs/flight.hpp"   // flight_enabled(): spans also feed the recorder
 #include "darl/obs/metrics.hpp"  // for the DARL_OBS_CONCAT helpers
 
 namespace darl::obs {
@@ -61,14 +62,15 @@ void finish_span(const char* name, std::uint64_t start_ns, const char* k1,
                  std::int64_t v1, const char* k2, std::int64_t v2);
 }  // namespace detail
 
-/// RAII span. Inactive (and nearly free) when tracing is disabled at
-/// construction time.
+/// RAII span. Inactive (and nearly free) when neither tracing nor flight
+/// recording is enabled at construction time; finish_span routes the
+/// record to whichever consumers are on at destruction.
 class SpanScope {
  public:
   explicit SpanScope(const char* name, const char* k1 = nullptr,
                      std::int64_t v1 = 0, const char* k2 = nullptr,
                      std::int64_t v2 = 0) {
-    if (!tracing_enabled()) return;
+    if (!tracing_enabled() && !flight_enabled()) return;
     name_ = name;
     k1_ = k1;
     v1_ = v1;

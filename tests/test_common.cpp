@@ -160,15 +160,8 @@ TEST(Stats, MedianOddEven) {
   EXPECT_THROW(median({}), InvalidArgument);
 }
 
-TEST(Stats, PercentileInterpolates) {
-  const std::vector<double> xs{0.0, 10.0, 20.0, 30.0, 40.0};
-  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 0.0);
-  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 40.0);
-  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 20.0);
-  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 10.0);
-  EXPECT_DOUBLE_EQ(percentile(xs, 12.5), 5.0);
-  EXPECT_THROW(percentile(xs, 101.0), InvalidArgument);
-}
+// The sample-percentile helper moved to obs::percentile (see
+// tests/test_obs.cpp for its coverage, alongside histogram_percentile).
 
 TEST(Stats, EmaFirstValueAndSmoothing) {
   const auto e = ema({1.0, 1.0, 4.0}, 0.5);

@@ -344,6 +344,78 @@ void dispatch_once(Worker& worker);
 }
 
 // ---------------------------------------------------------------------------
+// metric-name
+
+// The bad-name fixtures are assembled by string concatenation: this rule
+// scans RAW file content (the names live in string literals the stripper
+// blanks), so a contiguous bad registration call written here verbatim
+// would be a finding in the linter's own test file.
+
+TEST(LintMetricName, FlagsBadInstrumentNames) {
+  const std::string bad_reg =
+      std::string("obs::Registry::global().count") +
+      "er(\"Serve.Requests\").add(1);";
+  const auto findings = scan(bad_reg);
+  ASSERT_TRUE(has_rule(findings, "metric-name"));
+  EXPECT_NE(findings[0].message.find("Serve.Requests"), std::string::npos);
+
+  const std::string bad_macro =
+      std::string("DARL_COUNTER") + "_ADD(\"serve bad\", 1);";
+  EXPECT_TRUE(has_rule(scan(bad_macro), "metric-name"));
+}
+
+TEST(LintMetricName, FlagsBadLabelKeys) {
+  const std::string bad_label = std::string("reg.gau") +
+                                "ge(\"serve.depth\", {{\"Bad-Key\", v}});";
+  const auto findings = scan(bad_label);
+  ASSERT_TRUE(has_rule(findings, "metric-name"));
+  EXPECT_NE(findings[0].message.find("Bad-Key"), std::string::npos);
+}
+
+TEST(LintMetricName, CleanNamesLabelsAndNonLiteralArgs) {
+  EXPECT_TRUE(
+      scan("reg.counter(\"serve.client_requests\", {{\"tenant\", t}});")
+          .empty());
+  EXPECT_TRUE(scan("DARL_GAUGE_SET(\"serve.queue_depth\", depth);").empty());
+  // Histogram bounds lists are not label pairs.
+  EXPECT_TRUE(
+      scan("reg.histogram(\"serve.latency_us\", {1.0, 2.0, 4.0});").empty());
+  // A name passed through a variable is checked at runtime, not here.
+  EXPECT_TRUE(scan("reg.counter(name_var).add(1);").empty());
+}
+
+// ---------------------------------------------------------------------------
+// metric-lookup-in-kernel
+
+TEST(LintMetricLookup, FlagsRegistryLookupInKernelBodies) {
+  const std::string code = R"fx(
+void BatchScheduler::execute_batch(Worker& worker, std::size_t count) {
+  obs::Registry::global().counter(kServed).add(count);
+}
+)fx";
+  const auto findings = scan(code);
+  ASSERT_TRUE(has_rule(findings, "metric-lookup-in-kernel"));
+  EXPECT_NE(findings[0].message.find("execute_batch"), std::string::npos);
+}
+
+TEST(LintMetricLookup, CleanMacrosStaticHelpersAndNonKernelLookups) {
+  // The DARL_* macros cache the instrument in a function-local static, and
+  // lookups in ordinary (non-kernel) functions are out of scope.
+  EXPECT_TRUE(scan(R"fx(
+void BatchScheduler::execute_batch(Worker& worker, std::size_t count) {
+  DARL_COUNTER_ADD("serve.served", count);
+  latency_histogram().observe(elapsed_us);
+}
+obs::Histogram& latency_histogram() {
+  static obs::Histogram& h =
+      obs::Registry::global().histogram("serve.latency_us", kBounds);
+  return h;
+}
+)fx")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
 // Suppression parsing and matching
 
 TEST(LintSupp, ParsesEntriesSkipsCommentsReportsMalformed) {

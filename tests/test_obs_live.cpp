@@ -1,0 +1,330 @@
+// tests/test_obs_live.cpp — the wire-exposed telemetry path end to end:
+// obs::Exporter over a real loopback socket (valid responses, malformed
+// requests, concurrent scrapes during a live BatchScheduler run), the
+// scraped-counters-match-server-stats acceptance bar, and the flight
+// recorder's dump-on-trial-fault hook driven through a real fault-injection
+// campaign. The concurrency tests get real teeth in the TSan tree that
+// tools/check.sh builds.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "darl/common/error.hpp"
+#include "darl/common/jsonl.hpp"
+#include "darl/common/rng.hpp"
+#include "darl/core/explorer.hpp"
+#include "darl/core/fault_injection.hpp"
+#include "darl/core/study.hpp"
+#include "darl/obs/export.hpp"
+#include "darl/obs/flight.hpp"
+#include "darl/obs/metrics.hpp"
+#include "darl/obs/timeseries.hpp"
+#include "darl/rl/factory.hpp"
+#include "darl/serve/batch_scheduler.hpp"
+#include "darl/serve/policy_store.hpp"
+
+using namespace darl;
+using namespace darl::serve;
+
+namespace {
+
+/// Send raw bytes to the exporter and return the response status code
+/// (0 when the connection failed or no status line came back). Lets the
+/// malformed-request tests step outside what obs::http_get can produce.
+int raw_request_status(int port, const std::string& request) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return 0;
+  }
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char buf[512];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  // "HTTP/1.0 NNN ..."
+  const std::size_t sp = response.find(' ');
+  if (sp == std::string::npos || sp + 4 > response.size()) return 0;
+  return std::atoi(response.c_str() + sp + 1);
+}
+
+/// The value of one series line in a Prometheus text body, or -1.
+double prometheus_value(const std::string& text, const std::string& series) {
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.compare(0, series.size() + 1, series + ' ') == 0) {
+      return std::atof(line.c_str() + series.size() + 1);
+    }
+  }
+  return -1.0;
+}
+
+PolicySpec make_spec(std::uint64_t seed) {
+  PolicySpec spec;
+  spec.sizes = {4, 16, 3};
+  spec.activation = nn::Activation::Tanh;
+  Rng rng(seed);
+  nn::Mlp net(spec.sizes, spec.activation, rng);
+  spec.net_params = net.get_flat_params();
+  spec.action_space = env::ActionSpace(env::DiscreteSpace(3));
+  spec.decode = GreedyDecode::ArgmaxDiscrete;
+  return spec;
+}
+
+/// Exporter tests drive a private registry/sampler so the global metrics
+/// gate (off by default in the test binary) stays untouched.
+class ExporterTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    registry = std::make_unique<obs::Registry>();
+    sampler = std::make_unique<obs::TimeSeries>(obs::TimeSeriesOptions{
+        .capacity = 32, .period_ms = 1000, .registry = registry.get()});
+    exporter = std::make_unique<obs::Exporter>(obs::ExporterOptions{
+        .port = 0, .registry = registry.get(), .timeseries = sampler.get()});
+  }
+  std::unique_ptr<obs::Registry> registry;
+  std::unique_ptr<obs::TimeSeries> sampler;
+  std::unique_ptr<obs::Exporter> exporter;
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Exporter endpoints
+
+TEST_F(ExporterTest, ServesHealthMetricsAndSnapshot) {
+  registry->counter("live.requests").add(5);
+  registry->gauge("live.depth").set(2.0);
+  registry->histogram("live.latency_us", {10.0, 100.0}).observe(42.0);
+  sampler->sample_once();
+  registry->counter("live.requests").add(5);
+  sampler->sample_once();
+
+  exporter->start();
+  ASSERT_TRUE(exporter->running());
+  ASSERT_GT(exporter->port(), 0);
+
+  const obs::HttpResponse health = obs::http_get(exporter->port(), "/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(health.body, "ok\n");
+
+  const obs::HttpResponse metrics = obs::http_get(exporter->port(), "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  EXPECT_NE(metrics.body.find("# TYPE live_requests counter"),
+            std::string::npos)
+      << metrics.body;
+  EXPECT_NE(metrics.body.find("live_requests 10"), std::string::npos);
+  EXPECT_NE(metrics.body.find("live_latency_us_bucket{le=\"+Inf\"} 1"),
+            std::string::npos);
+
+  const obs::HttpResponse snap =
+      obs::http_get(exporter->port(), "/snapshot.json");
+  EXPECT_EQ(snap.status, 200);
+  const Json doc = Json::parse(snap.body);
+  const auto& top = doc.as_object();
+  EXPECT_TRUE(top.at("uptime_s").is_number());
+  const auto& counters =
+      top.at("metrics").as_object().at("counters").as_object();
+  EXPECT_DOUBLE_EQ(counters.at("live.requests").as_number(), 10.0);
+  // The sampler's ring tail rides along for rate/percentile rendering.
+  const auto& series = top.at("series").as_object();
+  EXPECT_EQ(series.at("live.requests").as_object().at("points").as_array()
+                .size(),
+            2u);
+
+  EXPECT_EQ(obs::http_get(exporter->port(), "/nope").status, 404);
+  EXPECT_GE(exporter->requests_served(), 4u);
+
+  exporter->stop();
+  EXPECT_FALSE(exporter->running());
+  EXPECT_THROW(obs::http_get(exporter->port(), "/healthz"), Error);
+}
+
+TEST_F(ExporterTest, AnswersMalformedRequestsWithoutDying) {
+  exporter->start();
+  const int port = exporter->port();
+
+  EXPECT_EQ(raw_request_status(port, "garbage\r\n"), 400);
+  EXPECT_EQ(raw_request_status(port, "\r\n"), 400);
+  EXPECT_EQ(raw_request_status(port, "POST /metrics HTTP/1.0\r\n\r\n"), 405);
+  EXPECT_EQ(raw_request_status(port, "GET /metrics/extra HTTP/1.0\r\n\r\n"),
+            404);
+  // Query strings are ignored, not 404ed.
+  EXPECT_EQ(raw_request_status(port, "GET /healthz?probe=1 HTTP/1.0\r\n\r\n"),
+            200);
+
+  // The listener survived all of the above.
+  EXPECT_EQ(obs::http_get(port, "/healthz").status, 200);
+}
+
+TEST_F(ExporterTest, RestartAfterStopBindsAFreshPort) {
+  exporter->start();
+  const int first = exporter->port();
+  EXPECT_EQ(obs::http_get(first, "/healthz").status, 200);
+  exporter->stop();
+  exporter->start();
+  EXPECT_GT(exporter->port(), 0);
+  EXPECT_EQ(obs::http_get(exporter->port(), "/healthz").status, 200);
+  exporter->stop();
+}
+
+// ---------------------------------------------------------------------------
+// Live serve: concurrent scrapes + scraped-counters-match-stats acceptance
+
+TEST(ObsLiveServe, ConcurrentScrapesDuringBatchedServingStayConsistent) {
+  obs::Registry::global().reset();
+  obs::set_metrics_enabled(true);
+
+  PolicyStore store;
+  store.publish(make_spec(11));
+  ServeConfig config;
+  config.max_batch = 8;
+  config.workers = 2;
+
+  obs::TimeSeries sampler(obs::TimeSeriesOptions{.capacity = 64,
+                                                 .period_ms = 1});
+  sampler.start();
+  obs::Exporter exporter;
+  exporter.start();
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsPerClient = 200;
+  std::atomic<std::uint64_t> ok_served{0};
+  {
+    BatchScheduler server(store, config);
+    std::atomic<bool> scrape_stop{false};
+    std::vector<std::thread> scrapers;
+    for (int s = 0; s < 2; ++s) {
+      scrapers.emplace_back([&exporter, &scrape_stop] {
+        while (!scrape_stop.load(std::memory_order_relaxed)) {
+          const obs::HttpResponse m =
+              obs::http_get(exporter.port(), "/metrics");
+          EXPECT_EQ(m.status, 200);
+          const obs::HttpResponse j =
+              obs::http_get(exporter.port(), "/snapshot.json");
+          EXPECT_EQ(j.status, 200);
+          EXPECT_NO_THROW(Json::parse(j.body));
+        }
+      });
+    }
+
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+      clients.emplace_back([&server, &ok_served, c] {
+        Rng rng(100 + static_cast<std::uint64_t>(c));
+        Vec obs_vec(4);
+        for (int i = 0; i < kRequestsPerClient; ++i) {
+          for (double& v : obs_vec) v = rng.uniform(-1.0, 1.0);
+          const Response r = server.serve(obs_vec, 1e6);
+          if (r.outcome == Outcome::Ok) {
+            ok_served.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    scrape_stop.store(true, std::memory_order_relaxed);
+    for (auto& t : scrapers) t.join();
+    server.shutdown();
+  }
+  sampler.stop();
+
+  // Acceptance bar: the wire-scraped counter equals both the registry's
+  // view and the ground truth the clients observed.
+  const obs::HttpResponse metrics =
+      obs::http_get(exporter.port(), "/metrics");
+  ASSERT_EQ(metrics.status, 200);
+  const double scraped = prometheus_value(metrics.body, "serve_served");
+  const obs::RegistrySnapshot snap = obs::Registry::global().snapshot();
+  EXPECT_EQ(static_cast<std::uint64_t>(scraped),
+            snap.counters.at("serve.served"));
+  EXPECT_EQ(static_cast<std::uint64_t>(scraped),
+            ok_served.load(std::memory_order_relaxed));
+  EXPECT_EQ(ok_served.load(std::memory_order_relaxed),
+            static_cast<std::uint64_t>(kClients) * kRequestsPerClient);
+  EXPECT_GE(sampler.samples_taken(), 2u);
+
+  exporter.stop();
+  obs::set_metrics_enabled(false);
+  obs::Registry::global().reset();
+}
+
+// ---------------------------------------------------------------------------
+// Flight recorder: dump-on-trial-fault through a real campaign
+
+TEST(ObsLiveFlight, TrialFaultProducesANonEmptyFlightDump) {
+  const std::string dump_path = "test_obs_live_flight.jsonl";
+  std::remove(dump_path.c_str());
+
+  obs::flight_clear();
+  obs::enable_flight();
+  obs::set_flight_dump_path(dump_path);
+
+  core::FaultInjectionOptions fi;
+  fi.throw_probability = 1.0;  // every attempt fails -> dump guaranteed
+  const core::CaseStudyDef def = core::make_fault_injection_case_study(fi);
+  core::Study study(def,
+                    std::make_unique<core::GridSearch>(def.space, 2),
+                    {.seed = 3,
+                     .log_progress = false,
+                     .max_retries = 0,
+                     .on_trial_failure = core::FailurePolicy::Skip});
+  EXPECT_NO_THROW(study.run());
+
+  obs::disable_flight();
+  obs::set_flight_dump_path(std::string());
+
+  std::ifstream in(dump_path);
+  ASSERT_TRUE(in.good()) << "study fault did not write " << dump_path;
+  std::string line;
+  std::size_t records = 0;
+  bool saw_failure_note = false;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    const Json record = Json::parse(line);  // throws on malformed output
+    const auto& obj = record.as_object();
+    EXPECT_TRUE(obj.count("kind"));
+    EXPECT_TRUE(obj.count("name"));
+    if (obj.count("name") && obj.at("name").as_string() == "trial_failure") {
+      saw_failure_note = true;
+    }
+    ++records;
+  }
+  EXPECT_GT(records, 0u);
+  EXPECT_TRUE(saw_failure_note);
+
+  obs::flight_clear();
+  std::remove(dump_path.c_str());
+}

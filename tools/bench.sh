@@ -16,7 +16,13 @@
 # headline batched-vs-batch-1 throughput speedup at the saturating client
 # count.
 #
-# Usage: tools/bench.sh [output.json] [serve_output.json]
+# The telemetry sweep (bench_obs) is distilled into a third report
+# (default: BENCH_6.json): ns/op per instrument operation keyed by thread
+# count, plus two headline numbers: the sharded counter's contended
+# advantage over the single shared atomic it replaced (the PR-1 design),
+# and the one-relaxed-load cost of a disabled DARL_COUNTER_ADD gate.
+#
+# Usage: tools/bench.sh [output.json] [serve_output.json] [obs_output.json]
 #   BUILD_DIR=build-foo tools/bench.sh     # use a different build tree
 #   BENCH_SMOKE=1 tools/bench.sh out.json serve.json
 #                                          # near-instant smoke run (CI gate:
@@ -27,11 +33,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_4.json}"
 SERVE_OUT="${2:-BENCH_5.json}"
+OBS_OUT="${3:-BENCH_6.json}"
 BUILD="${BUILD_DIR:-build}"
 JOBS="$(nproc)"
 
 cmake --build "$BUILD" -j "$JOBS" \
-    --target bench_micro_gemm bench_micro_nn bench_serve
+    --target bench_micro_gemm bench_micro_nn bench_serve bench_obs
 
 SMOKE_ARGS=()
 if [[ "${BENCH_SMOKE:-0}" != "0" ]]; then
@@ -52,6 +59,8 @@ trap 'rm -rf "$TMP"' EXIT
     "${SMOKE_ARGS[@]+"${SMOKE_ARGS[@]}"}" > "$TMP/nn.json"
 "./$BUILD/bench/bench_serve" --benchmark_format=json \
     "${SMOKE_ARGS[@]+"${SMOKE_ARGS[@]}"}" > "$TMP/serve.json"
+"./$BUILD/bench/bench_obs" --benchmark_format=json \
+    "${SMOKE_ARGS[@]+"${SMOKE_ARGS[@]}"}" > "$TMP/obs.json"
 
 python3 - "$TMP/gemm.json" "$TMP/nn.json" "$OUT" <<'PY'
 import json, sys
@@ -153,5 +162,62 @@ if rps:
 with open(out_path, "w") as f:
     json.dump(report, f, indent=2)
     f.write("\n")
+print(f"wrote {out_path} ({len(results)} records)")
+PY
+
+python3 - "$TMP/obs.json" "$OBS_OUT" <<'PY'
+import json, sys
+
+obs_path, out_path = sys.argv[1], sys.argv[2]
+
+with open(obs_path) as f:
+    benchmarks = json.load(f)["benchmarks"]
+
+def to_ns(b):
+    unit = b.get("time_unit", "ns")
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+    return b["real_time"] * scale
+
+results = []
+times = {}
+for b in benchmarks:
+    if b.get("run_type") == "aggregate":
+        continue
+    # e.g. BM_CounterSharded/threads:8; unsuffixed benches are 1 thread.
+    name = b["name"]
+    op = name.split("/")[0]
+    threads = 1
+    if "/threads:" in name:
+        threads = int(name.rsplit("/threads:", 1)[1])
+    ns = to_ns(b)
+    times[(op, threads)] = ns
+    results.append({"op": op, "threads": threads, "ns_per_op": ns})
+
+report = {"results": results}
+# Headline 1: sharded counter vs the single shared atomic it replaced,
+# solo and under contention. (On a single-core runner the contended cell
+# never exercises real cache-line ping-pong; the solo ratio is the one
+# the acceptance gate reads.)
+atomic1 = times.get(("BM_CounterSingleAtomic", 1))
+sharded1 = times.get(("BM_CounterSharded", 1))
+atomic8 = times.get(("BM_CounterSingleAtomic", 8))
+sharded8 = times.get(("BM_CounterSharded", 8))
+if atomic1 and sharded1:
+    report["sharded_solo_ns_vs_atomic_ns"] = [sharded1, atomic1]
+if atomic8 and sharded8:
+    report["sharded_contended_speedup_vs_atomic"] = atomic8 / sharded8
+# Headline 2: what an instrumented hot path pays when telemetry is off.
+gate = times.get(("BM_CounterMacroDisabled", 1))
+if gate is not None:
+    report["disabled_gate_ns"] = gate
+
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+
+if atomic1 and sharded1:
+    print(f"obs: sharded counter solo {sharded1:.1f}ns vs atomic "
+          f"{atomic1:.1f}ns; contended x8 "
+          f"{report.get('sharded_contended_speedup_vs_atomic', 0):.2f}x")
 print(f"wrote {out_path} ({len(results)} records)")
 PY

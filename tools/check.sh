@@ -13,13 +13,19 @@
 #                    gives the parallel fault-tolerance tests teeth: data
 #                    races in Study::run's threaded evaluate/retry/timeout
 #                    paths show up here, not in the plain build
-#   6. smoke bench    the gemm/nn micro benchmarks built and run with a
-#                    near-zero time budget (BENCH_SMOKE=1 tools/bench.sh) —
-#                    keeps the batched-kernel benches compiling and their
-#                    JSON distiller working without paying for real timings
-#   7. determinism audit: the same seeded campaign run twice serially and
+#   6. smoke bench    the gemm/nn/serve/obs micro benchmarks built and run
+#                    with a near-zero time budget (BENCH_SMOKE=1
+#                    tools/bench.sh) — keeps the benches compiling and
+#                    their JSON distillers working without paying for
+#                    real timings
+#   7. telemetry smoke: darl_serve started with --obs-port 0, its
+#                    /healthz and /metrics scraped live over /dev/tcp,
+#                    and the serve metric families asserted present
+#   8. determinism audit: the same seeded campaign run twice serially and
 #                    once with --parallel 4 must produce byte-identical
-#                    trials CSVs
+#                    trials CSVs — with the telemetry sampler + exporter
+#                    enabled (--obs-port 0), proving observability never
+#                    perturbs campaign results
 #
 # Usage: tools/check.sh [extra ctest args...]
 #   e.g. tools/check.sh -R core_fault
@@ -55,14 +61,61 @@ trap 'rm -rf "$AUDIT_DIR"' EXIT
 
 echo "=== smoke bench (near-instant micro-kernel run) ==="
 BENCH_SMOKE=1 tools/bench.sh "$AUDIT_DIR/bench_smoke.json" \
-    "$AUDIT_DIR/bench_serve_smoke.json"
+    "$AUDIT_DIR/bench_serve_smoke.json" "$AUDIT_DIR/bench_obs_smoke.json"
 
-echo "=== determinism audit (serial x2 vs --parallel 4) ==="
+echo "=== telemetry smoke (darl_serve --obs-port, live scrape) ==="
+OBS_LOG="$AUDIT_DIR/obs_serve.log"
+./build/tools/darl_serve --train-timesteps 512 --clients 2 --requests 50 \
+    --obs-port 0 --obs-linger-s 30 > "$OBS_LOG" 2>&1 &
+OBS_PID=$!
+obs_port=""
+for _ in $(seq 1 300); do
+  obs_port="$(sed -n \
+      's/^obs: exporter listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+      "$OBS_LOG" | head -n 1)"
+  [[ -n "$obs_port" ]] && break
+  kill -0 "$OBS_PID" 2>/dev/null \
+    || { echo "telemetry smoke FAILED: darl_serve exited early"; \
+         cat "$OBS_LOG"; exit 1; }
+  sleep 0.2
+done
+[[ -n "$obs_port" ]] \
+  || { echo "telemetry smoke FAILED: exporter never announced its port"; \
+       cat "$OBS_LOG"; kill "$OBS_PID" 2>/dev/null; exit 1; }
+# Scrape once the serving run is over (the linger window) so the serve
+# counter families are guaranteed registered and final.
+for _ in $(seq 1 600); do
+  grep -q '^obs: lingering' "$OBS_LOG" && break
+  sleep 0.2
+done
+scrape() {  # scrape PATH — raw HTTP/1.0 GET over bash /dev/tcp
+  local path="$1"
+  exec 3<>"/dev/tcp/127.0.0.1/$obs_port"
+  printf 'GET %s HTTP/1.0\r\n\r\n' "$path" >&3
+  cat <&3
+  exec 3<&- 3>&-
+}
+healthz="$(scrape /healthz)"
+grep -q '200 OK' <<<"$healthz" \
+  || { echo "telemetry smoke FAILED: /healthz not 200"; \
+       echo "$healthz"; kill "$OBS_PID" 2>/dev/null; exit 1; }
+metrics="$(scrape /metrics)"
+for family in serve_requests serve_served serve_batches serve_queue_depth \
+              serve_latency_us serve_batch_rows; do
+  grep -q "^$family" <<<"$metrics" \
+    || { echo "telemetry smoke FAILED: family '$family' missing from /metrics"; \
+         echo "$metrics" | head -n 40; kill "$OBS_PID" 2>/dev/null; exit 1; }
+done
+kill "$OBS_PID" 2>/dev/null || true
+wait "$OBS_PID" 2>/dev/null || true
+echo "telemetry smoke ok: port $obs_port, /healthz 200, $(grep -c '^serve_' <<<"$metrics") serve_* series scraped"
+
+echo "=== determinism audit (serial x2 vs --parallel 4, telemetry on) ==="
 audit_run() {
   local out="$1"
   shift
   ./build/tools/darl_study --explorer random --trials 6 --timesteps 2048 \
-      --seeds 1 --seed 7 --cache "" --csv "$out" "$@" > /dev/null
+      --seeds 1 --seed 7 --cache "" --csv "$out" --obs-port 0 "$@" > /dev/null
 }
 audit_run "$AUDIT_DIR/serial_a.csv"
 audit_run "$AUDIT_DIR/serial_b.csv"

@@ -51,7 +51,11 @@ void print_rules() {
       "  catch-all        catch (...) without rethrow or recording\n"
       "  detached-thread  std::thread::detach()\n"
       "  heap-alloc-in-kernel  new / .resize( / .push_back( inside a "
-      "*_batch or gemm body\n");
+      "*_batch or gemm body\n"
+      "  metric-name      instrument/label-key names outside [a-z0-9_.]+ "
+      "(scans raw source)\n"
+      "  metric-lookup-in-kernel  registry lookup inside a *_batch / gemm "
+      "/ *dispatch* body\n");
 }
 
 [[noreturn]] void usage(int code) {

@@ -20,6 +20,12 @@
 //                       self-check keeps working across swaps.
 //   --seed N            rng seed for client traffic (default 42)
 //   --obs-out PATH      write the metrics-registry snapshot as JSONL
+//   --obs-port P        live telemetry: serve /metrics (Prometheus),
+//                       /snapshot.json and /healthz on 127.0.0.1:P
+//                       (0 = ephemeral; the bound port is printed)
+//   --obs-linger-s X    keep the exporter alive X seconds after the run
+//   --flight-out PATH   dump the flight recorder (JSONL) at exit and on
+//                       fatal signals
 //   --help
 //
 // Each client walks its own airdrop episode: observation -> served action
@@ -33,17 +39,21 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "darl/airdrop/airdrop_env.hpp"
 #include "darl/common/jsonl.hpp"
-#include "darl/common/stats.hpp"
 #include "darl/common/stopwatch.hpp"
 #include "darl/common/table.hpp"
 #include "darl/frameworks/backend.hpp"
+#include "darl/obs/export.hpp"
+#include "darl/obs/flight.hpp"
 #include "darl/obs/metrics.hpp"
+#include "darl/obs/percentile.hpp"
+#include "darl/obs/timeseries.hpp"
 #include "darl/rl/checkpoint.hpp"
 #include "darl/serve/batch_scheduler.hpp"
 #include "darl/serve/policy_store.hpp"
@@ -66,6 +76,9 @@ struct CliOptions {
   std::size_t swap_every = 0;
   std::uint64_t seed = 42;
   std::string obs_out;
+  int obs_port = -1;        ///< -1 = no exporter; 0 = ephemeral port
+  double obs_linger_s = 0.0;
+  std::string flight_out;
 };
 
 [[noreturn]] void usage(int code) {
@@ -86,6 +99,13 @@ struct CliOptions {
       "                      (0 = never; same weights, new version id)\n"
       "  --seed N            client traffic seed            (default 42)\n"
       "  --obs-out PATH      metrics snapshot as JSONL\n"
+      "  --obs-port P        expose /metrics, /snapshot.json, /healthz on\n"
+      "                      127.0.0.1:P (0 = pick a free port; the bound\n"
+      "                      port is printed). darl_top can attach to it.\n"
+      "  --obs-linger-s X    keep the exporter up X seconds after the run\n"
+      "                      so scrapers can read the final counters\n"
+      "  --flight-out PATH   flight-recorder JSONL dump target; also\n"
+      "                      installs the fatal-signal dump handler\n"
       "  --help\n");
   std::exit(code);
 }
@@ -105,13 +125,22 @@ struct ClientStats {
 /// advancing (the deployment posture: degrade, don't stall).
 void run_client(serve::BatchScheduler& server, const serve::PolicySpec& spec,
                 const env::EnvFactory& factory, const CliOptions& opt,
-                std::uint64_t seed, ClientStats& stats) {
+                std::size_t client_index, std::uint64_t seed,
+                ClientStats& stats) {
   serve::DirectPolicy direct(spec);
   auto env = factory();
   env->seed(seed);
   Vec obs = env->reset();
   stats.ok_latencies_us.reserve(opt.requests);
+  // Per-tenant labeled counter: one series per client thread, so the
+  // exporter shows which tenant the traffic came from. Registered once,
+  // then hot-path adds on the sharded slots.
+  std::string tenant = "c";
+  tenant += std::to_string(client_index);
+  darl::obs::Counter& tenant_requests = darl::obs::Registry::global().counter(
+      "serve.client_requests", {{"tenant", tenant}});
   for (std::size_t r = 0; r < opt.requests; ++r) {
+    tenant_requests.add(1);
     const serve::Response response = server.serve(obs, opt.deadline_us);
     const Vec reference = direct.act(obs);
     Vec action = reference;
@@ -203,6 +232,11 @@ CliOptions parse_cli(int argc, char** argv) {
     else if (!std::strcmp(a, "--seed"))
       opt.seed = std::strtoull(need_value(i), nullptr, 10);
     else if (!std::strcmp(a, "--obs-out")) opt.obs_out = need_value(i);
+    else if (!std::strcmp(a, "--obs-port"))
+      opt.obs_port = static_cast<int>(std::strtol(need_value(i), nullptr, 10));
+    else if (!std::strcmp(a, "--obs-linger-s"))
+      opt.obs_linger_s = std::strtod(need_value(i), nullptr);
+    else if (!std::strcmp(a, "--flight-out")) opt.flight_out = need_value(i);
     else if (!std::strcmp(a, "--help")) usage(0);
     else {
       std::fprintf(stderr, "unknown option '%s'\n", a);
@@ -221,6 +255,30 @@ CliOptions parse_cli(int argc, char** argv) {
 int main(int argc, char** argv) {
   const CliOptions opt = parse_cli(argc, argv);
   obs::set_metrics_enabled(true);
+
+  if (!opt.flight_out.empty()) {
+    obs::enable_flight();
+    obs::set_flight_dump_path(opt.flight_out);
+    obs::install_flight_signal_handler();
+  }
+
+  std::unique_ptr<obs::TimeSeries> sampler;
+  std::unique_ptr<obs::Exporter> exporter;
+  if (opt.obs_port >= 0) {
+    obs::TimeSeriesOptions ts_opt;
+    ts_opt.period_ms = 100;  // short-lived CLI runs still get a window
+    sampler = std::make_unique<obs::TimeSeries>(ts_opt);
+    sampler->start();
+    obs::ExporterOptions ex_opt;
+    ex_opt.port = opt.obs_port;
+    ex_opt.timeseries = sampler.get();
+    exporter = std::make_unique<obs::Exporter>(ex_opt);
+    exporter->start();
+    // Scripts (check.sh, darl_top) read the bound port off this line, so
+    // flush it before the run starts producing other output.
+    std::printf("obs: exporter listening on 127.0.0.1:%d\n", exporter->port());
+    std::fflush(stdout);
+  }
 
   airdrop::AirdropConfig env_cfg;
   env_cfg.altitude_min = 30.0;
@@ -264,7 +322,7 @@ int main(int argc, char** argv) {
   }
   for (std::size_t c = 0; c < opt.clients; ++c) {
     clients.emplace_back([&, c] {
-      run_client(server, spec, factory, opt, opt.seed + c, stats[c]);
+      run_client(server, spec, factory, opt, c, opt.seed + c, stats[c]);
     });
   }
   for (auto& t : clients) t.join();
@@ -304,9 +362,9 @@ int main(int argc, char** argv) {
   table.add_rule();
   if (!total.ok_latencies_us.empty()) {
     table.add_row({"latency p50 (us)",
-                   fixed(percentile(total.ok_latencies_us, 50.0), 1)});
+                   fixed(obs::percentile(total.ok_latencies_us, 50.0), 1)});
     table.add_row({"latency p99 (us)",
-                   fixed(percentile(total.ok_latencies_us, 99.0), 1)});
+                   fixed(obs::percentile(total.ok_latencies_us, 99.0), 1)});
   }
   table.add_row({"throughput (req/s)",
                  fixed(static_cast<double>(total.ok) / wall_s, 0)});
@@ -323,6 +381,25 @@ int main(int argc, char** argv) {
     snap.write_jsonl(writer);
     std::printf("wrote %s (%zu records)\n", opt.obs_out.c_str(),
                 writer.records());
+  }
+
+  if (exporter != nullptr) {
+    if (opt.obs_linger_s > 0.0) {
+      // The stats table above is already printed, so a scraper can compare
+      // a final /metrics scrape against it while we linger.
+      std::printf("obs: lingering %.1fs for scrapers on port %d...\n",
+                  opt.obs_linger_s, exporter->port());
+      std::fflush(stdout);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(opt.obs_linger_s));
+    }
+    exporter->stop();
+  }
+  if (sampler != nullptr) sampler->stop();
+  if (!opt.flight_out.empty()) {
+    const std::size_t events = obs::flight_dump_to_path(opt.flight_out);
+    std::printf("wrote flight dump %s (%zu events)\n", opt.flight_out.c_str(),
+                events);
   }
 
   if (total.mismatches > 0) {

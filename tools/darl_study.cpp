@@ -17,6 +17,10 @@
 //   --csv PATH            write the trial table as CSV
 //   --trace-out PATH      write a Chrome trace-event JSON of the run
 //   --obs-out PATH        write the metrics-registry snapshot as JSONL
+//   --obs-port P          live /metrics + /snapshot.json + /healthz on
+//                         127.0.0.1:P while the campaign runs (0 = ephemeral)
+//   --flight-out PATH     flight-recorder JSONL (dumped on trial faults,
+//                         fatal signals, and at exit)
 //   --verbose             log trial progress
 //   --help
 //
@@ -29,13 +33,17 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "darl/common/jsonl.hpp"
 #include "darl/common/log.hpp"
 #include "darl/common/rng.hpp"
+#include "darl/obs/export.hpp"
+#include "darl/obs/flight.hpp"
 #include "darl/obs/metrics.hpp"
+#include "darl/obs/timeseries.hpp"
 #include "darl/obs/trace.hpp"
 #include "darl/core/airdrop_study.hpp"
 #include "darl/core/ranking.hpp"
@@ -63,6 +71,8 @@ struct CliOptions {
   std::string report_out;
   std::string trace_out;
   std::string obs_out;
+  int obs_port = -1;  ///< -1 = no exporter; 0 = ephemeral port
+  std::string flight_out;
   bool verbose = false;
   bool stability = false;
 };
@@ -88,6 +98,11 @@ struct CliOptions {
       "  --trace-out PATH  write a Chrome trace-event JSON (Perfetto /\n"
       "                    chrome://tracing) of the study's spans\n"
       "  --obs-out PATH    write the metrics-registry snapshot as JSONL\n"
+      "  --obs-port P      expose /metrics, /snapshot.json, /healthz on\n"
+      "                    127.0.0.1:P while the campaign runs (0 = pick a\n"
+      "                    free port; the bound port is printed)\n"
+      "  --flight-out PATH flight-recorder JSONL: dumped on trial faults,\n"
+      "                    fatal signals, and at exit\n"
       "  --stability       report Pareto-front robustness under noise\n"
       "  --verbose         log per-trial progress\n");
   std::exit(code);
@@ -127,6 +142,9 @@ CliOptions parse_args(int argc, char** argv) {
     else if (!std::strcmp(a, "--report")) opt.report_out = need_value(i);
     else if (!std::strcmp(a, "--trace-out")) opt.trace_out = need_value(i);
     else if (!std::strcmp(a, "--obs-out")) opt.obs_out = need_value(i);
+    else if (!std::strcmp(a, "--obs-port"))
+      opt.obs_port = static_cast<int>(std::strtol(need_value(i), nullptr, 10));
+    else if (!std::strcmp(a, "--flight-out")) opt.flight_out = need_value(i);
     else if (!std::strcmp(a, "--verbose")) opt.verbose = true;
     else if (!std::strcmp(a, "--stability")) opt.stability = true;
     else if (!std::strcmp(a, "--figure")) {
@@ -189,7 +207,25 @@ int main(int argc, char** argv) {
   if (opt.verbose) set_log_level(LogLevel::Info);
   // Observability is opt-in so default runs measure the bare hot paths.
   if (!opt.trace_out.empty()) obs::set_tracing_enabled(true);
-  if (!opt.obs_out.empty()) obs::set_metrics_enabled(true);
+  if (!opt.obs_out.empty() || opt.obs_port >= 0) obs::set_metrics_enabled(true);
+  if (!opt.flight_out.empty()) {
+    obs::enable_flight();
+    obs::set_flight_dump_path(opt.flight_out);
+    obs::install_flight_signal_handler();
+  }
+  std::unique_ptr<obs::TimeSeries> sampler;
+  std::unique_ptr<obs::Exporter> exporter;
+  if (opt.obs_port >= 0) {
+    sampler = std::make_unique<obs::TimeSeries>();
+    sampler->start();
+    obs::ExporterOptions ex_opt;
+    ex_opt.port = opt.obs_port;
+    ex_opt.timeseries = sampler.get();
+    exporter = std::make_unique<obs::Exporter>(ex_opt);
+    exporter->start();
+    std::printf("obs: exporter listening on 127.0.0.1:%d\n", exporter->port());
+    std::fflush(stdout);
+  }
 
   AirdropStudyOptions study_opts;
   study_opts.total_timesteps = opt.timesteps;
@@ -301,6 +337,14 @@ int main(int argc, char** argv) {
     JsonlWriter writer(out);
     obs::Registry::global().snapshot().write_jsonl(writer);
     std::printf("wrote %s (%zu records)\n", opt.obs_out.c_str(), writer.records());
+  }
+
+  if (exporter != nullptr) exporter->stop();
+  if (sampler != nullptr) sampler->stop();
+  if (!opt.flight_out.empty()) {
+    const std::size_t events = obs::flight_dump_to_path(opt.flight_out);
+    std::printf("wrote flight dump %s (%zu events)\n", opt.flight_out.c_str(),
+                events);
   }
   return 0;
 }

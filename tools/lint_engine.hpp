@@ -28,6 +28,21 @@
 //                     path must stay allocation-free; workspace growth
 //                     belongs in ensure_*/reshape helpers called before
 //                     the kernel (suppressible for one-time growth)
+//   metric-name       instrument names and label keys passed to
+//                     .counter("...") / .gauge("...") / .histogram("...")
+//                     or the DARL_COUNTER_ADD / DARL_GAUGE_* macros must
+//                     match [a-z0-9_.]+ — the registry rejects anything
+//                     else at runtime; this catches it statically. Unlike
+//                     every other rule this one scans the RAW source (the
+//                     names live inside string literals, which the
+//                     stripper blanks), so a registration call quoted in a
+//                     comment counts too: keep examples well-formed.
+//   metric-lookup-in-kernel  Registry::global() or a .counter(/.gauge(/
+//                     .histogram( lookup inside a *_batch / gemm /
+//                     *dispatch* body — instrument lookup takes the
+//                     registration mutex and a map walk; hot loops must
+//                     resolve instruments once outside (the DARL_* macros'
+//                     function-local static, or a static helper)
 //
 // Suppression file format (tools/darl_lint.supp): one entry per line,
 //   <rule-id> <path-suffix> -- <justification>
@@ -482,6 +497,104 @@ inline std::vector<Finding> scan_source(const std::string& path_in,
               "'; grow workspaces via an ensure_*/reshape helper before the "
               "hot loop (suppress only for one-time workspace growth)");
     }
+  }
+
+  // metric-lookup-in-kernel: like heap-alloc-in-kernel, but for instrument
+  // lookup — Registry::global() plus the name->instrument map walk under
+  // the registration mutex must not run per batch/request. The DARL_*
+  // macros are fine (they cache the reference in a function-local static
+  // and spell COUNTER/GAUGE in upper case, so the lower-case patterns
+  // below do not match them).
+  static const std::regex metric_lookup_re(
+      R"(\bRegistry\s*::\s*global\b|[.>]\s*(?:counter|gauge|histogram)\s*\()");
+  for (auto it = kernel_begin; it != std::sregex_iterator(); ++it) {
+    const std::size_t paren =
+        static_cast<std::size_t>(it->position() + it->length()) - 1;
+    std::size_t body_open = 0, body_close = 0;
+    if (!detail::kernel_body_range(stripped, paren, body_open, body_close)) {
+      continue;
+    }
+    const std::string body =
+        stripped.substr(body_open, body_close - body_open + 1);
+    auto lookup_begin =
+        std::sregex_iterator(body.begin(), body.end(), metric_lookup_re);
+    for (auto lm = lookup_begin; lm != std::sregex_iterator(); ++lm) {
+      const std::size_t abs =
+          body_open + static_cast<std::size_t>(lm->position());
+      const std::size_t line_no =
+          1 + static_cast<std::size_t>(
+                  std::count(stripped.begin(),
+                             stripped.begin() + static_cast<std::ptrdiff_t>(abs),
+                             '\n'));
+      add("metric-lookup-in-kernel", line_no,
+          "instrument lookup in hot function '" + it->str(1) +
+              "'; resolve the instrument once outside the loop (DARL_* "
+              "macro or a function-local static)");
+    }
+  }
+
+  // metric-name: validate instrument names and label keys at the call
+  // site. Scans the RAW content — the names are string literals, which
+  // strip_noncode blanks. Tolerates an escaping backslash before the
+  // quotes so registration calls quoted inside fixture string literals
+  // are validated the same way as real code.
+  static const std::regex metric_reg_re(
+      R"([.>]\s*(?:counter|gauge|histogram)\s*\(\s*\\?"([^"\\]*)\\?")");
+  static const std::regex metric_macro_re(
+      R"(\bDARL_(?:COUNTER_ADD|GAUGE_ADD|GAUGE_SET)\s*\(\s*\\?"([^"\\]*)\\?")");
+  static const std::regex label_key_re(R"(\{\s*\\?"([^"\\]*)\\?"\s*,)");
+  auto valid_name = [](const std::string& s) {
+    if (s.empty()) return false;
+    for (const char c : s) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                      c == '_' || c == '.';
+      if (!ok) return false;
+    }
+    return true;
+  };
+  auto raw_line_of = [&content](std::size_t pos) {
+    return 1 + static_cast<std::size_t>(
+                   std::count(content.begin(),
+                              content.begin() + static_cast<std::ptrdiff_t>(pos),
+                              '\n'));
+  };
+  auto check_metric_name = [&](const std::sregex_iterator& m,
+                               bool scan_labels) {
+    const std::string name = m->str(1);
+    const std::size_t pos = static_cast<std::size_t>(m->position());
+    if (!valid_name(name)) {
+      add("metric-name", raw_line_of(pos),
+          "instrument name '" + name +
+              "' violates [a-z0-9_.]+; the registry rejects it at runtime");
+    }
+    if (!scan_labels) return;
+    // Label keys live between this call's name argument and the end of
+    // the statement: validate every {"key", ...} pair up to the next ';'.
+    const std::size_t arg_begin =
+        pos + static_cast<std::size_t>(m->length());
+    std::size_t arg_end = content.find(';', arg_begin);
+    if (arg_end == std::string::npos) arg_end = content.size();
+    const std::string args = content.substr(arg_begin, arg_end - arg_begin);
+    auto lk = std::sregex_iterator(args.begin(), args.end(), label_key_re);
+    for (; lk != std::sregex_iterator(); ++lk) {
+      const std::string key = lk->str(1);
+      if (!valid_name(key)) {
+        add("metric-name",
+            raw_line_of(arg_begin + static_cast<std::size_t>(lk->position())),
+            "label key '" + key +
+                "' violates [a-z0-9_.]+; the registry rejects it at runtime");
+      }
+    }
+  };
+  for (auto it = std::sregex_iterator(content.begin(), content.end(),
+                                      metric_reg_re);
+       it != std::sregex_iterator(); ++it) {
+    check_metric_name(it, /*scan_labels=*/true);
+  }
+  for (auto it = std::sregex_iterator(content.begin(), content.end(),
+                                      metric_macro_re);
+       it != std::sregex_iterator(); ++it) {
+    check_metric_name(it, /*scan_labels=*/false);
   }
 
   if (detail::is_header(path) && !std::regex_search(stripped, pragma_once_re)) {
