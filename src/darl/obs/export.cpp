@@ -135,6 +135,7 @@ std::string http_response(int status, const std::string& content_type,
     case 400: reason = "Bad Request"; break;
     case 404: reason = "Not Found"; break;
     case 405: reason = "Method Not Allowed"; break;
+    case 408: reason = "Request Timeout"; break;
     default: reason = "Error"; break;
   }
   std::string out = "HTTP/1.0 " + std::to_string(status) + ' ' + reason +
@@ -150,6 +151,17 @@ void set_io_timeout(int fd, int seconds) {
   tv.tv_sec = seconds;
   ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+}
+
+/// Sub-second receive timeout, clamped away from zero (a zero timeval
+/// means "block forever", the opposite of what a lapsed deadline wants).
+void set_recv_timeout_s(int fd, double seconds) {
+  constexpr double kMinTimeout = 0.01;
+  if (seconds < kMinTimeout) seconds = kMinTimeout;
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
 }
 
 void send_all(int fd, const std::string& data) {
@@ -210,6 +222,12 @@ void Exporter::start() {
   }
 
   stop_requested_.store(false, std::memory_order_relaxed);
+  const std::size_t pool =
+      options_.handler_threads > 0 ? options_.handler_threads : 1;
+  handlers_.reserve(pool);
+  for (std::size_t i = 0; i < pool; ++i) {
+    handlers_.emplace_back([this] { handler_loop(); });
+  }
   thread_ = std::thread([this] { accept_loop(); });
   started_ = true;
 }
@@ -221,6 +239,17 @@ void Exporter::stop() {
   // so the fd number cannot be reused out from under the loop.
   ::shutdown(listen_fd_, SHUT_RDWR);
   thread_.join();
+  // Handlers drain in-flight connections (each bounded by the connection
+  // deadline), then observe stop and exit; fds still pending un-handled
+  // are closed unanswered.
+  conn_cv_.notify_all();
+  for (std::thread& handler : handlers_) handler.join();
+  handlers_.clear();
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (const int fd : pending_conns_) ::close(fd);
+    pending_conns_.clear();
+  }
   ::close(listen_fd_);
   listen_fd_ = -1;
   started_ = false;
@@ -231,6 +260,10 @@ bool Exporter::running() const {
 }
 
 void Exporter::accept_loop() {
+  // Backlog beyond which accepted connections are shed instead of queued:
+  // with every handler pinned by a slow client, queueing more work only
+  // defers the pain — close immediately and let the scraper retry.
+  const std::size_t max_pending = handlers_.size() * 8;
   while (!stop_requested_.load(std::memory_order_relaxed)) {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
@@ -238,25 +271,85 @@ void Exporter::accept_loop() {
       if (errno == EINTR) continue;
       break;  // listening socket is gone; nothing to recover
     }
-    set_io_timeout(fd, 2);
-    // Read until the end of the request line; a scraper's whole request
-    // fits in one segment, so cap the buffer and never block on bodies.
-    std::string request;
-    char buf[1024];
-    while (request.find('\n') == std::string::npos &&
-           request.size() < 8192) {
-      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-      if (n <= 0) break;
-      request.append(buf, static_cast<std::size_t>(n));
+    bool shed = false;
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      if (pending_conns_.size() >= max_pending) {
+        shed = true;
+      } else {
+        pending_conns_.push_back(fd);
+      }
     }
-    const std::size_t eol = request.find('\n');
-    std::string line =
-        eol == std::string::npos ? request : request.substr(0, eol);
-    if (!line.empty() && line.back() == '\r') line.pop_back();
-    send_all(fd, handle_request(line));
-    requests_.fetch_add(1, std::memory_order_relaxed);
-    ::close(fd);
+    if (shed) {
+      ::close(fd);
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      conn_cv_.notify_one();
+    }
   }
+}
+
+void Exporter::handler_loop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(conn_mutex_);
+      conn_cv_.wait(lock, [&] {
+        return stop_requested_.load(std::memory_order_relaxed) ||
+               !pending_conns_.empty();
+      });
+      if (pending_conns_.empty()) return;  // stopping and drained
+      fd = pending_conns_.front();
+      pending_conns_.pop_front();
+    }
+    handle_connection(fd);
+  }
+}
+
+void Exporter::handle_connection(int fd) {
+  set_io_timeout(fd, 2);
+  // Read until the end of the request line, under a *total* wall-clock
+  // deadline and a bounded recv() count: a drip-feeding client sending one
+  // byte per read runs out of read budget, a silent one runs out of clock.
+  // Either way the handler is back in the pool within connection_deadline_s.
+  Stopwatch deadline;
+  std::string request;
+  char buf[1024];
+  std::size_t reads = 0;
+  bool timed_out = false;
+  while (request.find('\n') == std::string::npos && request.size() < 8192) {
+    const double remaining_s =
+        options_.connection_deadline_s - deadline.seconds();
+    if (remaining_s <= 0.0 || reads >= options_.max_request_reads) {
+      timed_out = true;
+      break;
+    }
+    set_recv_timeout_s(fd, remaining_s);
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    ++reads;
+    if (n < 0) {
+      // A recv timeout (the tail of the wall-clock budget) is a deadline
+      // expiry, not a malformed request; anything else ends the read.
+      if (errno == EAGAIN || errno == EWOULDBLOCK) timed_out = true;
+      break;
+    }
+    if (n == 0) break;  // peer closed: parse whatever arrived
+    request.append(buf, static_cast<std::size_t>(n));
+  }
+  const std::size_t eol = request.find('\n');
+  if (timed_out && eol == std::string::npos) {
+    send_all(fd, http_response(408, "text/plain", "request timeout\n"));
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    ::close(fd);
+    return;
+  }
+  std::string line =
+      eol == std::string::npos ? request : request.substr(0, eol);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  send_all(fd, handle_request(line));
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  ::close(fd);
 }
 
 std::string Exporter::handle_request(const std::string& request_line) const {

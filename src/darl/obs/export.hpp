@@ -6,24 +6,36 @@
 //
 // obs::Exporter speaks *just enough* HTTP for a scraper: it parses the
 // request line of a GET, routes on the path, and answers with
-// Content-Length + Connection: close. One sequential accept loop on a
-// loopback-bound socket — a scrape is a snapshot + a string render, a few
-// hundred microseconds, so concurrency buys nothing at this scale. This is
-// deliberately the first socket code in the repo: the listener/framing
-// shape here seeds the ROADMAP item-1 transport layer.
+// Content-Length + Connection: close. The accept loop hands each accepted
+// connection to a small pool of handler threads, so one slow or hostile
+// client can never head-of-line block a health probe: a drip-feeding
+// connection (one byte per read, never a newline) occupies one handler for
+// at most `connection_deadline_s` wall-clock seconds and at most
+// `max_request_reads` recv() calls, then gets a 408 and is closed, while
+// /healthz keeps answering from the other handlers. Connections beyond the
+// pending backlog are shed at accept (closed unanswered) rather than
+// queued without bound — the same shed-don't-queue posture the serving
+// fleet takes under overload (DESIGN.md §14). This is deliberately the
+// first socket code in the repo: the listener/framing shape here seeds the
+// ROADMAP item-1 transport layer.
 //
 // Routes:
 //   GET /metrics        -> text/plain; Prometheus text exposition
 //   GET /snapshot.json  -> application/json; {"uptime_s","metrics","series"}
 //   GET /healthz        -> text/plain; "ok\n"
 // Anything else: 404. Non-GET: 405. Unparseable request line: 400.
+// Request line never completed within the deadline / read budget: 408.
 
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "darl/obs/metrics.hpp"
 #include "darl/obs/timeseries.hpp"
@@ -44,6 +56,15 @@ struct ExporterOptions {
   Registry* registry = nullptr;
   /// Optional sampler whose ring tails are embedded in /snapshot.json.
   TimeSeries* timeseries = nullptr;
+  /// Concurrent connection handlers. A slow client occupies one handler;
+  /// probes keep answering from the rest.
+  std::size_t handler_threads = 4;
+  /// Total wall-clock budget for reading one request line. A connection
+  /// that has not produced a full line by then is answered 408 and closed.
+  double connection_deadline_s = 2.0;
+  /// Hard cap on recv() calls per connection: a drip-feeder sending one
+  /// byte per read exhausts this long before the deadline.
+  std::size_t max_request_reads = 64;
 };
 
 /// Blocking HTTP/1.0 metrics listener. start() binds + spawns the accept
@@ -70,8 +91,17 @@ class Exporter {
     return requests_.load(std::memory_order_relaxed);
   }
 
+  /// Connections shed at accept because every handler was busy and the
+  /// pending backlog was full (overload), or closed for blowing the
+  /// request deadline / read budget (slow client).
+  std::uint64_t connections_dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
  private:
   void accept_loop();
+  void handler_loop();
+  void handle_connection(int fd);
   std::string handle_request(const std::string& request_line) const;
 
   ExporterOptions options_;
@@ -79,9 +109,14 @@ class Exporter {
   int listen_fd_ = -1;
   int port_ = 0;
   std::thread thread_;
+  std::vector<std::thread> handlers_;
+  std::mutex conn_mutex_;
+  std::condition_variable conn_cv_;
+  std::deque<int> pending_conns_;  ///< accepted fds awaiting a handler
   std::atomic<bool> stop_requested_{false};
   bool started_ = false;
   std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> dropped_{0};
 };
 
 /// Minimal HTTP GET client for the exporter's loopback endpoints (used by

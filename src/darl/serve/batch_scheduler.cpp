@@ -14,18 +14,24 @@ namespace {
 
 // Serving latency buckets in microseconds: sub-100us in-process batching
 // up to multi-millisecond saturation, plus the implicit overflow bucket.
-obs::Histogram& latency_histogram() {
-  static obs::Histogram& h = obs::Registry::global().histogram(
-      "serve.latency_us",
-      {50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0, 50000.0});
-  return h;
+const std::vector<double>& latency_bounds() {
+  static const std::vector<double> bounds{
+      50.0, 100.0, 200.0, 500.0, 1000.0, 2000.0, 5000.0, 10000.0, 50000.0};
+  return bounds;
 }
 
 // Micro-batch sizes, powers of two like nn.batch_rows.
-obs::Histogram& batch_rows_histogram() {
-  static obs::Histogram& h = obs::Registry::global().histogram(
-      "serve.batch_rows", {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0});
-  return h;
+const std::vector<double>& batch_rows_bounds() {
+  static const std::vector<double> bounds{1.0,  2.0,  4.0,   8.0,  16.0,
+                                          32.0, 64.0, 128.0, 256.0};
+  return bounds;
+}
+
+obs::Labels with_label(const obs::Labels& base, const char* key,
+                       const char* value) {
+  obs::Labels labels = base;
+  labels.emplace_back(key, value);
+  return labels;
 }
 
 }  // namespace
@@ -40,20 +46,62 @@ const char* outcome_name(Outcome outcome) {
       return "rejected-shutdown";
     case Outcome::TimedOut:
       return "timed-out";
+    case Outcome::RejectedQuota:
+      return "rejected-quota";
+    case Outcome::Shed:
+      return "shed";
   }
   return "unknown";
 }
 
 BatchScheduler::BatchScheduler(const PolicyStore& store, ServeConfig config)
-    : store_(store), config_(config) {
+    : config_(std::move(config)) {
   DARL_CHECK(config_.max_batch >= 1, "max_batch must be at least 1");
   DARL_CHECK(config_.queue_capacity >= 1, "queue_capacity must be at least 1");
   DARL_CHECK(config_.max_delay_us >= 0.0, "max_delay_us must be non-negative");
-  const PolicyVersion* version = store_.current();
+  tenant_ = store.tenant(config_.tenant);
+  DARL_CHECK(tenant_ != nullptr,
+             "PolicyStore has no tenant '" << config_.tenant << "' to serve");
+  const PolicyVersion* version = tenant_->current();
   DARL_CHECK(version != nullptr,
              "PolicyStore has no published version to serve");
   input_dim_ = version->spec.input_dim();
   action_dim_ = version->spec.action_dim();
+
+  // Instrument resolution happens exactly once, here: the serve/dispatch
+  // hot paths only touch the cached pointers. Latency is one histogram
+  // family labeled by outcome, so rejected and timed-out requests show in
+  // the same exposition family as the Ok path instead of vanishing — a
+  // p99 that "improves" under overload was exactly the blind spot.
+  obs::Registry& registry = obs::Registry::global();
+  requests_ctr_ = &registry.counter("serve.requests", config_.labels);
+  served_ctr_ = &registry.counter("serve.served", config_.labels);
+  batches_ctr_ = &registry.counter("serve.batches", config_.labels);
+  replica_refresh_ctr_ =
+      &registry.counter("serve.replica_refresh", config_.labels);
+  batch_rows_hist_ =
+      &registry.histogram("serve.batch_rows", batch_rows_bounds(),
+                          config_.labels);
+  queue_depth_gauge_ = &registry.gauge("serve.queue_depth", config_.labels);
+  const struct {
+    Outcome outcome;
+    const char* counter;
+  } outcome_counters[] = {
+      {Outcome::RejectedFull, "serve.rejected_full"},
+      {Outcome::RejectedShutdown, "serve.rejected_shutdown"},
+      {Outcome::TimedOut, "serve.timed_out"},
+  };
+  for (const auto& [outcome, counter] : outcome_counters) {
+    outcome_ctr_[static_cast<std::size_t>(outcome)] =
+        &registry.counter(counter, config_.labels);
+  }
+  for (const Outcome outcome :
+       {Outcome::Ok, Outcome::RejectedFull, Outcome::RejectedShutdown,
+        Outcome::TimedOut}) {
+    latency_hist_[static_cast<std::size_t>(outcome)] = &registry.histogram(
+        "serve.latency_us", latency_bounds(),
+        with_label(config_.labels, "outcome", outcome_name(outcome)));
+  }
 
   workers_.reserve(config_.workers);
   for (std::size_t i = 0; i < config_.workers; ++i) {
@@ -71,12 +119,36 @@ BatchScheduler::BatchScheduler(const PolicyStore& store, ServeConfig config)
 
 BatchScheduler::~BatchScheduler() { shutdown(); }
 
+void BatchScheduler::publish_queue_depth() {
+  // Caller holds queue_mutex_: the gauge is consistent with the queue it
+  // describes, and with per-shard labels each shard owns its own series.
+  if (obs::metrics_enabled()) {
+    queue_depth_gauge_->set(static_cast<double>(queue_.size()));
+  }
+}
+
+Response& BatchScheduler::finish(Response& response, Outcome outcome,
+                                 double latency_us) {
+  response.outcome = outcome;
+  response.latency_us = latency_us;
+  if (obs::metrics_enabled()) {
+    if (obs::Counter* ctr = outcome_ctr_[static_cast<std::size_t>(outcome)]) {
+      ctr->add(1);
+    }
+    if (obs::Histogram* hist =
+            latency_hist_[static_cast<std::size_t>(outcome)]) {
+      hist->observe(latency_us);
+    }
+  }
+  return response;
+}
+
 Response BatchScheduler::serve(const Vec& obs, double deadline_us) {
   DARL_CHECK(obs.size() == input_dim_,
              "serve: observation has " << obs.size() << " dims, policy expects "
                                        << input_dim_);
   Stopwatch stopwatch;
-  DARL_COUNTER_ADD("serve.requests", 1);
+  if (obs::metrics_enabled()) requests_ctr_->add(1);
 
   Response response;
   response.action.assign(action_dim_, 0.0);
@@ -87,19 +159,15 @@ Response BatchScheduler::serve(const Vec& obs, double deadline_us) {
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     if (stopping_) {
-      DARL_COUNTER_ADD("serve.rejected_shutdown", 1);
-      response.outcome = Outcome::RejectedShutdown;
-      response.latency_us = stopwatch.seconds() * 1e6;
-      return response;
+      return finish(response, Outcome::RejectedShutdown,
+                    stopwatch.seconds() * 1e6);
     }
     if (queue_.size() >= config_.queue_capacity) {
-      DARL_COUNTER_ADD("serve.rejected_full", 1);
-      response.outcome = Outcome::RejectedFull;
-      response.latency_us = stopwatch.seconds() * 1e6;
-      return response;
+      return finish(response, Outcome::RejectedFull,
+                    stopwatch.seconds() * 1e6);
     }
     queue_.push_back(&request);
-    DARL_GAUGE_SET("serve.queue_depth", queue_.size());
+    publish_queue_depth();
   }
   queue_cv_.notify_one();
 
@@ -118,14 +186,11 @@ Response BatchScheduler::serve(const Vec& obs, double deadline_us) {
         if (it != queue_.end()) {
           queue_.erase(it);
           removed = true;
-          DARL_GAUGE_SET("serve.queue_depth", queue_.size());
+          publish_queue_depth();
         }
       }
       if (removed) {
-        DARL_COUNTER_ADD("serve.timed_out", 1);
-        response.outcome = Outcome::TimedOut;
-        response.latency_us = stopwatch.seconds() * 1e6;
-        return response;
+        return finish(response, Outcome::TimedOut, stopwatch.seconds() * 1e6);
       }
       // A worker popped the request before we could abandon it; the
       // result is imminent — wait it out so the stack frame stays valid.
@@ -134,10 +199,7 @@ Response BatchScheduler::serve(const Vec& obs, double deadline_us) {
     }
   }
 
-  response.outcome = Outcome::Ok;
-  response.latency_us = stopwatch.seconds() * 1e6;
-  if (obs::metrics_enabled()) latency_histogram().observe(response.latency_us);
-  return response;
+  return finish(response, Outcome::Ok, stopwatch.seconds() * 1e6);
 }
 
 void BatchScheduler::shutdown() {
@@ -202,7 +264,7 @@ void BatchScheduler::dispatch_loop(Worker& worker) {
         worker.batch[i] = queue_.front();
         queue_.pop_front();
       }
-      DARL_GAUGE_SET("serve.queue_depth", queue_.size());
+      publish_queue_depth();
     }
     execute_batch(worker, count);
   }
@@ -212,7 +274,7 @@ void BatchScheduler::execute_batch(Worker& worker, std::size_t count) {
   DARL_SPAN_V("serve.execute", "rows", count);
   // One version per micro-batch: everything popped above is served by the
   // snapshot read here, even if a publish lands mid-execution.
-  const PolicyVersion* version = store_.current();
+  const PolicyVersion* version = tenant_->current();
   ensure_replica(worker, *version);
   worker.obs_mat.reshape(count, input_dim_);
   for (std::size_t i = 0; i < count; ++i) {
@@ -226,10 +288,10 @@ void BatchScheduler::execute_batch(Worker& worker, std::size_t count) {
     request->out->version = version->id;
     complete(*request);
   }
-  DARL_COUNTER_ADD("serve.batches", 1);
-  DARL_COUNTER_ADD("serve.served", count);
   if (obs::metrics_enabled()) {
-    batch_rows_histogram().observe(static_cast<double>(count));
+    batches_ctr_->add(1);
+    served_ctr_->add(count);
+    batch_rows_hist_->observe(static_cast<double>(count));
   }
 }
 
@@ -249,7 +311,7 @@ void BatchScheduler::ensure_replica(Worker& worker,
   }
   worker.net->set_flat_params(version.spec.net_params);
   worker.version_id = version.id;
-  DARL_COUNTER_ADD("serve.replica_refresh", 1);
+  if (obs::metrics_enabled()) replica_refresh_ctr_->add(1);
 }
 
 void BatchScheduler::complete(Request& request) {

@@ -27,20 +27,31 @@
 
 #pragma once
 
+#include <array>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "darl/obs/metrics.hpp"
 #include "darl/serve/policy_store.hpp"
 
 namespace darl::serve {
 
 /// Scheduler tuning knobs.
 struct ServeConfig {
+  /// Tenant (named policy) in the PolicyStore this scheduler serves. The
+  /// empty default is the unnamed single-policy tenant, so pre-fleet call
+  /// sites keep working unchanged.
+  std::string tenant;
+  /// Instrument labels stamped on every metric this scheduler emits
+  /// (serve::Router sets {{"tenant",...},{"shard",...}}). Empty keeps the
+  /// historical unlabeled instrument keys.
+  obs::Labels labels;
   /// Flush a micro-batch at this many requests.
   std::size_t max_batch = 32;
   /// Flush an incomplete micro-batch this many microseconds after a worker
@@ -63,13 +74,20 @@ struct ServeConfig {
 };
 
 /// Typed request outcome (status-not-throw: only contract violations
-/// raise exceptions on the serving path).
+/// raise exceptions on the serving path). The first four are produced by
+/// BatchScheduler itself; RejectedQuota and Shed are produced by
+/// serve::Router's admission layer before a request reaches a shard.
 enum class Outcome {
   Ok,                ///< action filled by the policy
   RejectedFull,      ///< admission queue at capacity (backpressure)
   RejectedShutdown,  ///< server is stopping / stopped
   TimedOut,          ///< deadline expired while waiting in the queue
+  RejectedQuota,     ///< tenant exceeded its in-flight admission quota
+  Shed,              ///< dropped by priority load-shedding under overload
 };
+
+/// Number of Outcome values (for per-outcome instrument arrays).
+inline constexpr std::size_t kOutcomeCount = 6;
 
 const char* outcome_name(Outcome outcome);
 
@@ -81,11 +99,13 @@ struct Response {
   double latency_us = 0.0;   ///< admission to return, client-side
 };
 
-/// Micro-batching inference server over a PolicyStore. Construction
-/// captures the store's current version interface and starts the worker
-/// pool; the destructor shuts down and drains. serve() may be called from
-/// any number of client threads concurrently; shutdown() must not be
-/// called concurrently with itself.
+/// Micro-batching inference server over one PolicyStore tenant (the
+/// unnamed tenant by default — set ServeConfig::tenant to serve a named
+/// policy; serve::Router builds one scheduler per tenant x shard).
+/// Construction captures the tenant's current version interface and
+/// starts the worker pool; the destructor shuts down and drains. serve()
+/// may be called from any number of client threads concurrently;
+/// shutdown() must not be called concurrently with itself.
 class BatchScheduler {
  public:
   BatchScheduler(const PolicyStore& store, ServeConfig config);
@@ -138,11 +158,31 @@ class BatchScheduler {
   void execute_batch(Worker& worker, std::size_t count);
   void ensure_replica(Worker& worker, const PolicyVersion& version);
   void complete(Request& request);
+  /// Finish a response: stamp outcome + latency and record the
+  /// per-outcome latency histogram (labeled, resolved at construction).
+  Response& finish(Response& response, Outcome outcome, double latency_us);
 
-  const PolicyStore& store_;
+  const PolicyStore::Tenant* tenant_ = nullptr;
   ServeConfig config_;
   std::size_t input_dim_ = 0;
   std::size_t action_dim_ = 0;
+
+  // Instruments resolved once here: the dispatch/serve hot paths never
+  // touch the registry (darl-lint's metric-lookup-in-kernel rule). All
+  // carry config_.labels; latency is additionally labeled by outcome.
+  obs::Counter* requests_ctr_ = nullptr;
+  obs::Counter* served_ctr_ = nullptr;
+  obs::Counter* batches_ctr_ = nullptr;
+  obs::Counter* replica_refresh_ctr_ = nullptr;
+  std::array<obs::Counter*, kOutcomeCount> outcome_ctr_{};
+  std::array<obs::Histogram*, kOutcomeCount> latency_hist_{};
+  obs::Histogram* batch_rows_hist_ = nullptr;
+  obs::Gauge* queue_depth_gauge_ = nullptr;
+
+  /// Publish the queue depth gauge; caller holds queue_mutex_, so the
+  /// gauge moves in lockstep with the queue it describes (per shard —
+  /// the pre-fleet code wrote one global gauge from racing shards).
+  void publish_queue_depth();
 
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;

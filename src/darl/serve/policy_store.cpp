@@ -158,6 +158,11 @@ void decode_head(const PolicySpec& spec, const double* head, Vec& out) {
 }
 
 std::uint64_t PolicyStore::publish(PolicySpec spec) {
+  return publish(std::string(), std::move(spec));
+}
+
+std::uint64_t PolicyStore::publish(const std::string& tenant_name,
+                                   PolicySpec spec) {
   DARL_CHECK(spec.sizes.size() >= 2, "policy spec needs {in, ..., out} sizes");
   DARL_CHECK(spec.net_params.size() == mlp_param_count(spec.sizes),
              "policy spec has " << spec.net_params.size()
@@ -169,13 +174,23 @@ std::uint64_t PolicyStore::publish(PolicySpec spec) {
   version->params_digest = digest_params(version->spec.net_params);
 
   std::lock_guard<std::mutex> lock(publish_mutex_);
-  version->id = retained_.size() + 1;
-  retained_.push_back(std::move(version));
-  // Release pairs with the acquire in current(): a reader that sees the
-  // new pointer sees the fully constructed version behind it.
-  current_.store(retained_.back().get(), std::memory_order_release);
+  auto it = tenants_.find(tenant_name);
+  if (it == tenants_.end()) {
+    it = tenants_.emplace(tenant_name, std::make_unique<Tenant>(tenant_name))
+             .first;
+    if (tenant_name.empty()) {
+      default_tenant_.store(it->second.get(), std::memory_order_release);
+    }
+  }
+  Tenant& tenant = *it->second;
+  version->id = tenant.retained_.size() + 1;
+  tenant.retained_.push_back(std::move(version));
+  // Release pairs with the acquire in Tenant::current(): a reader that
+  // sees the new pointer sees the fully constructed version behind it.
+  tenant.current_.store(tenant.retained_.back().get(),
+                        std::memory_order_release);
   DARL_COUNTER_ADD("serve.swaps", 1);
-  return retained_.back()->id;
+  return tenant.retained_.back()->id;
 }
 
 std::uint64_t PolicyStore::publish_checkpoint(
@@ -184,9 +199,38 @@ std::uint64_t PolicyStore::publish_checkpoint(
   return publish(policy_spec_from_checkpoint(checkpoint, action_space, hidden));
 }
 
-std::uint64_t PolicyStore::version_count() const {
+std::uint64_t PolicyStore::publish_checkpoint(
+    const std::string& tenant_name, const rl::Checkpoint& checkpoint,
+    const env::ActionSpace& action_space,
+    const std::vector<std::size_t>& hidden) {
+  return publish(tenant_name,
+                 policy_spec_from_checkpoint(checkpoint, action_space, hidden));
+}
+
+const PolicyStore::Tenant* PolicyStore::tenant(
+    const std::string& tenant_name) const {
   std::lock_guard<std::mutex> lock(publish_mutex_);
-  return retained_.size();
+  const auto it = tenants_.find(tenant_name);
+  return it != tenants_.end() ? it->second.get() : nullptr;
+}
+
+std::vector<std::string> PolicyStore::tenant_names() const {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  std::vector<std::string> names;
+  names.reserve(tenants_.size());
+  for (const auto& [name, tenant] : tenants_) names.push_back(name);
+  return names;
+}
+
+std::uint64_t PolicyStore::version_count() const {
+  return version_count(std::string());
+}
+
+std::uint64_t PolicyStore::version_count(
+    const std::string& tenant_name) const {
+  std::lock_guard<std::mutex> lock(publish_mutex_);
+  const auto it = tenants_.find(tenant_name);
+  return it != tenants_.end() ? it->second->retained_.size() : 0;
 }
 
 DirectPolicy::DirectPolicy(const PolicySpec& spec)

@@ -1,13 +1,19 @@
 // darl/serve/policy_store.hpp
 //
-// Versioned policy storage for the inference server. A PolicyStore holds
-// an immutable chain of published PolicyVersions; readers obtain the
+// Versioned, multi-tenant policy storage for the inference fleet. A
+// PolicyStore hosts many *named* policies (tenants); each tenant holds an
+// immutable chain of published PolicyVersions. Readers obtain a tenant's
 // current version with a single acquire load (no lock, no reference
 // count), writers publish a new version under a mutex. Old versions are
 // retained for the store's lifetime, so a dispatcher that grabbed version
 // N keeps a valid pointer while version N+1 goes live — in-flight
 // micro-batches finish on the version they started with, which is exactly
 // the hot-swap contract the serving layer documents (DESIGN.md §12).
+//
+// The unnamed tenant "" is the single-policy back-compat path: publish()
+// and current() without a name read and write it, so pre-fleet call sites
+// keep working unchanged. Version ids are monotonic *per tenant* (first
+// publish = 1): hot-swapping tenant A never advances tenant B's ids.
 //
 // A version is *data only* (network shape + flat parameters + greedy
 // decode recipe): nn::Mlp instances are not safe for concurrent
@@ -18,8 +24,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "darl/env/space.hpp"
@@ -75,43 +83,89 @@ struct PolicyVersion {
   std::uint64_t params_digest = 0;  ///< fnv1a64 over net_params bytes
 };
 
-/// Versioned, swap-under-traffic policy holder.
+/// Versioned, swap-under-traffic, multi-tenant policy holder.
 ///
-/// Thread safety: current() is safe from any thread and lock-free (one
-/// acquire load); publish() serializes writers on an internal mutex. The
-/// release store in publish() pairs with the acquire load in current(),
-/// so a reader that observes version N also observes N's fully
+/// Thread safety: Tenant::current() is safe from any thread and lock-free
+/// (one acquire load); publish() serializes writers on an internal mutex.
+/// The release store in publish() pairs with the acquire load in
+/// current(), so a reader that observes version N also observes N's fully
 /// constructed spec. Published versions stay valid until the store is
 /// destroyed (retention is one heap object per publish — swaps are rare
-/// events, so this is cheap insurance against use-after-swap).
+/// events, so this is cheap insurance against use-after-swap). Tenant
+/// handles returned by tenant() are likewise stable for the store's
+/// lifetime, so a scheduler resolves its tenant once at construction and
+/// reads lock-free forever after.
 class PolicyStore {
  public:
+  /// Stable per-tenant handle: the lock-free read side of one named
+  /// policy's version chain.
+  class Tenant {
+   public:
+    /// Constructed by PolicyStore::publish on a tenant's first publish;
+    /// standalone instances hold an empty chain and serve no one.
+    explicit Tenant(std::string name) : name_(std::move(name)) {}
+
+    /// The tenant's latest published version, or nullptr before its first
+    /// publish. The pointer stays valid for the store's lifetime.
+    const PolicyVersion* current() const {
+      return current_.load(std::memory_order_acquire);
+    }
+    const std::string& name() const { return name_; }
+
+   private:
+    friend class PolicyStore;
+    std::string name_;
+    std::atomic<const PolicyVersion*> current_{nullptr};
+    std::vector<std::unique_ptr<PolicyVersion>> retained_;  ///< publish_mutex_
+  };
+
   PolicyStore() = default;
   PolicyStore(const PolicyStore&) = delete;
   PolicyStore& operator=(const PolicyStore&) = delete;
 
-  /// Publish a new version; returns its id. The new version becomes
-  /// visible to current() before publish() returns.
+  /// Publish a new version for the unnamed tenant; returns its id. The
+  /// new version becomes visible to current() before publish() returns.
   std::uint64_t publish(PolicySpec spec);
+
+  /// Publish a new version for a named tenant (created on first publish).
+  std::uint64_t publish(const std::string& tenant_name, PolicySpec spec);
 
   /// Convenience: derive the spec from a checkpoint and publish it.
   std::uint64_t publish_checkpoint(
       const rl::Checkpoint& checkpoint, const env::ActionSpace& action_space,
       const std::vector<std::size_t>& hidden = {64, 64});
+  std::uint64_t publish_checkpoint(
+      const std::string& tenant_name, const rl::Checkpoint& checkpoint,
+      const env::ActionSpace& action_space,
+      const std::vector<std::size_t>& hidden = {64, 64});
 
-  /// The latest published version, or nullptr before the first publish.
-  /// The pointer stays valid for the store's lifetime.
+  /// The unnamed tenant's latest published version, or nullptr before the
+  /// first publish. The pointer stays valid for the store's lifetime.
   const PolicyVersion* current() const {
-    return current_.load(std::memory_order_acquire);
+    const Tenant* t = default_tenant_.load(std::memory_order_acquire);
+    return t != nullptr ? t->current() : nullptr;
   }
 
-  /// Number of versions published so far.
+  /// A named tenant's latest version (nullptr if it never published).
+  const PolicyVersion* current(const std::string& tenant_name) const {
+    const Tenant* t = tenant(tenant_name);
+    return t != nullptr ? t->current() : nullptr;
+  }
+
+  /// Stable handle for a named tenant, or nullptr if it never published.
+  const Tenant* tenant(const std::string& tenant_name) const;
+
+  /// Names of every tenant that has published, sorted.
+  std::vector<std::string> tenant_names() const;
+
+  /// Versions published so far by the unnamed / a named tenant.
   std::uint64_t version_count() const;
+  std::uint64_t version_count(const std::string& tenant_name) const;
 
  private:
   mutable std::mutex publish_mutex_;
-  std::vector<std::unique_ptr<PolicyVersion>> retained_;
-  std::atomic<const PolicyVersion*> current_{nullptr};
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+  std::atomic<const Tenant*> default_tenant_{nullptr};
 };
 
 /// Reference single-observation inference path: per-sample Mlp::evaluate

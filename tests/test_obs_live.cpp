@@ -27,6 +27,7 @@
 #include "darl/common/error.hpp"
 #include "darl/common/jsonl.hpp"
 #include "darl/common/rng.hpp"
+#include "darl/common/stopwatch.hpp"
 #include "darl/core/explorer.hpp"
 #include "darl/core/fault_injection.hpp"
 #include "darl/core/study.hpp"
@@ -74,6 +75,43 @@ int raw_request_status(int port, const std::string& request) {
   }
   ::close(fd);
   // "HTTP/1.0 NNN ..."
+  const std::size_t sp = response.find(' ');
+  if (sp == std::string::npos || sp + 4 > response.size()) return 0;
+  return std::atoi(response.c_str() + sp + 1);
+}
+
+/// Drip-feed `bytes` to the exporter one byte at a time, `gap_ms` apart,
+/// never completing a request line; then read whatever the server answers
+/// and return its status (0 = connection refused / no status line). This
+/// is the hostile-client shape that used to head-of-line block the
+/// single-threaded accept loop for hours: each byte re-armed the per-recv
+/// timeout, so the connection never timed out as a whole.
+int drip_request_status(int port, std::size_t bytes, int gap_ms) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    return 0;
+  }
+  for (std::size_t i = 0; i < bytes; ++i) {
+    // MSG_NOSIGNAL: the server is expected to cut us off mid-drip; a
+    // SIGPIPE would take the test binary down instead of ending the loop.
+    if (::send(fd, "G", 1, MSG_NOSIGNAL) <= 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(gap_ms));
+  }
+  std::string response;
+  char buf[256];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
   const std::size_t sp = response.find(' ');
   if (sp == std::string::npos || sp + 4 > response.size()) return 0;
   return std::atoi(response.c_str() + sp + 1);
@@ -187,6 +225,83 @@ TEST_F(ExporterTest, AnswersMalformedRequestsWithoutDying) {
 
   // The listener survived all of the above.
   EXPECT_EQ(obs::http_get(port, "/healthz").status, 200);
+}
+
+TEST_F(ExporterTest, HealthzAnswersFastWhileDripFeederHoldsAConnection) {
+  exporter->start();
+  const int port = exporter->port();
+
+  // A drip-feeder that never completes its request line: one byte every
+  // 50 ms for ~1.5 s (inside the 2 s connection deadline, and fewer sends
+  // than the read budget, so the hold is as long as the server allows).
+  std::atomic<int> drip_status{-1};
+  std::thread dripper([&] { drip_status = drip_request_status(port, 30, 50); });
+
+  // Give the drip connection time to land on a handler, then demand
+  // health probes stay fast while it is being held. Before the handler
+  // pool + total deadline, this is exactly the case that wedged /healthz
+  // for the duration of the drip (hours, at one byte per 2 s timeout).
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  for (int probe = 0; probe < 5; ++probe) {
+    Stopwatch latency;
+    const obs::HttpResponse health = obs::http_get(port, "/healthz");
+    EXPECT_EQ(health.status, 200);
+    EXPECT_LT(latency.seconds(), 0.1) << "probe " << probe;
+  }
+
+  dripper.join();
+  // The drip connection itself was eventually answered 408 and counted.
+  EXPECT_EQ(drip_status.load(), 408);
+  EXPECT_GE(exporter->connections_dropped(), 1u);
+  EXPECT_EQ(obs::http_get(port, "/healthz").status, 200);
+}
+
+TEST_F(ExporterTest, SlowClientIsCutOffByTheConnectionDeadline) {
+  obs::ExporterOptions opt;
+  opt.port = 0;
+  opt.registry = registry.get();
+  opt.connection_deadline_s = 0.3;
+  obs::Exporter slow_exporter(opt);
+  slow_exporter.start();
+  const int port = slow_exporter.port();
+
+  // Each 50 ms byte used to re-arm the per-recv timeout indefinitely; the
+  // wall-clock deadline now ends the connection at ~0.3 s regardless.
+  Stopwatch held;
+  const int status = drip_request_status(port, 100, 50);
+  EXPECT_EQ(status, 408);
+  EXPECT_LT(held.seconds(), 2.0);
+  EXPECT_GE(slow_exporter.connections_dropped(), 1u);
+
+  // A silent connection (no bytes at all) is bounded the same way.
+  Stopwatch silent_held;
+  EXPECT_EQ(drip_request_status(port, 0, 0), 408);
+  EXPECT_LT(silent_held.seconds(), 2.0);
+
+  EXPECT_EQ(obs::http_get(port, "/healthz").status, 200);
+  slow_exporter.stop();
+}
+
+TEST_F(ExporterTest, ReadBudgetCutsOffByteAtATimeClients) {
+  obs::ExporterOptions opt;
+  opt.port = 0;
+  opt.registry = registry.get();
+  opt.connection_deadline_s = 30.0;  // deadline alone would take too long
+  opt.max_request_reads = 4;
+  obs::Exporter budget_exporter(opt);
+  budget_exporter.start();
+  const int port = budget_exporter.port();
+
+  // 10 ms gaps keep each byte in its own recv(): the read budget (4)
+  // trips long before the 30 s deadline would.
+  Stopwatch held;
+  EXPECT_EQ(drip_request_status(port, 20, 10), 408);
+  EXPECT_LT(held.seconds(), 5.0);
+  EXPECT_GE(budget_exporter.connections_dropped(), 1u);
+
+  // Legitimate requests that arrive in a few reads are untouched.
+  EXPECT_EQ(obs::http_get(port, "/healthz").status, 200);
+  budget_exporter.stop();
 }
 
 TEST_F(ExporterTest, RestartAfterStopBindsAFreshPort) {

@@ -19,8 +19,10 @@
 #include "darl/common/stopwatch.hpp"
 #include "darl/obs/metrics.hpp"
 #include "darl/rl/factory.hpp"
+#include "darl/serve/arrival.hpp"
 #include "darl/serve/batch_scheduler.hpp"
 #include "darl/serve/policy_store.hpp"
+#include "darl/serve/router.hpp"
 
 using namespace darl;
 using namespace darl::serve;
@@ -439,4 +441,452 @@ TEST(Serve, OutcomeNamesAreStable) {
   EXPECT_STREQ(outcome_name(Outcome::RejectedFull), "rejected-full");
   EXPECT_STREQ(outcome_name(Outcome::RejectedShutdown), "rejected-shutdown");
   EXPECT_STREQ(outcome_name(Outcome::TimedOut), "timed-out");
+  EXPECT_STREQ(outcome_name(Outcome::RejectedQuota), "rejected-quota");
+  EXPECT_STREQ(outcome_name(Outcome::Shed), "shed");
+}
+
+// ---------------------------------------------------------------------------
+// Serving-path observability (latency by outcome, per-shard queue gauges)
+
+TEST(ServeObs, LatencyRecordedForEveryOutcome) {
+  obs::set_metrics_enabled(true);
+  obs::Registry::global().reset();
+
+  PolicyStore store;
+  store.publish(make_discrete_spec(81));
+  {
+    ServeConfig ok_config;
+    BatchScheduler server(store, ok_config);
+    Rng rng(1);
+    ASSERT_EQ(server.serve(random_obs(rng)).outcome, Outcome::Ok);
+  }
+  {
+    ServeConfig stuck;  // nothing dispatches: deadline + full queue paths
+    stuck.workers = 0;
+    stuck.queue_capacity = 1;
+    BatchScheduler server(store, stuck);
+    Response blocked;
+    std::thread holder([&] {
+      Rng rng(2);
+      blocked = server.serve(random_obs(rng), /*deadline_us=*/3e5);
+    });
+    wait_for_queue_depth(server, 1);
+    Rng rng(3);
+    ASSERT_EQ(server.serve(random_obs(rng)).outcome, Outcome::RejectedFull);
+    holder.join();
+    ASSERT_EQ(blocked.outcome, Outcome::TimedOut);
+    server.shutdown();
+    ASSERT_EQ(server.serve(random_obs(rng)).outcome,
+              Outcome::RejectedShutdown);
+  }
+
+  // The pre-fleet scheduler only timed the Ok path; rejected and timed-out
+  // requests were invisible in the latency telemetry. Every outcome now
+  // lands in its own labeled series.
+  const obs::RegistrySnapshot snap = obs::Registry::global().snapshot();
+  for (const char* outcome :
+       {"ok", "rejected-full", "rejected-shutdown", "timed-out"}) {
+    const std::string key =
+        std::string("serve.latency_us{outcome=\"") + outcome + "\"}";
+    auto it = snap.histograms.find(key);
+    ASSERT_NE(it, snap.histograms.end()) << key;
+    EXPECT_GE(it->second.count, 1u) << key;
+  }
+  obs::set_metrics_enabled(false);
+}
+
+TEST(ServeObs, QueueDepthGaugesArePerShard) {
+  obs::set_metrics_enabled(true);
+  obs::Registry::global().reset();
+
+  PolicyStore store;
+  store.publish(make_discrete_spec(82));
+  RouterConfig config;
+  config.shards = 2;
+  config.shard.workers = 0;  // requests park in the queue
+  Router router(store, config);
+
+  // One key per shard (shard_for is a stable hash, so probe for them).
+  std::uint64_t key0 = 0, key1 = 0;
+  for (std::uint64_t k = 0; router.shard_for(key1) != 1; ++k) key1 = k;
+  for (std::uint64_t k = 0; router.shard_for(key0) != 0; ++k) key0 = k;
+
+  std::vector<std::thread> holders;
+  for (const std::uint64_t key : {key0, key0, key1}) {
+    holders.emplace_back([&, key] {
+      Rng rng(11);
+      (void)router.serve("", key, random_obs(rng), Priority::Control,
+                         /*deadline_us=*/5e5);
+    });
+  }
+  BatchScheduler* shard0 = router.shard("", 0);
+  BatchScheduler* shard1 = router.shard("", 1);
+  ASSERT_NE(shard0, nullptr);
+  ASSERT_NE(shard1, nullptr);
+  wait_for_queue_depth(*shard0, 2);
+  wait_for_queue_depth(*shard1, 1);
+
+  // The pre-fleet gauge was one global slot, so concurrent shards
+  // overwrote each other (last-writer-wins). Each shard now owns a
+  // labeled gauge updated under its queue lock.
+  const obs::RegistrySnapshot snap = obs::Registry::global().snapshot();
+  EXPECT_EQ(
+      snap.gauges.at("serve.queue_depth{shard=\"0\",tenant=\"default\"}"),
+      2.0);
+  EXPECT_EQ(
+      snap.gauges.at("serve.queue_depth{shard=\"1\",tenant=\"default\"}"),
+      1.0);
+
+  for (auto& t : holders) t.join();  // deadlines abandon the queue
+  const obs::RegistrySnapshot after = obs::Registry::global().snapshot();
+  EXPECT_EQ(
+      after.gauges.at("serve.queue_depth{shard=\"0\",tenant=\"default\"}"),
+      0.0);
+  EXPECT_EQ(
+      after.gauges.at("serve.queue_depth{shard=\"1\",tenant=\"default\"}"),
+      0.0);
+  obs::set_metrics_enabled(false);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-tenant PolicyStore
+
+TEST(PolicyStore, TenantsHaveIndependentVersionChains) {
+  PolicyStore store;
+  EXPECT_EQ(store.tenant("a"), nullptr);
+  EXPECT_EQ(store.current("a"), nullptr);
+
+  EXPECT_EQ(store.publish("a", make_discrete_spec(1)), 1u);
+  EXPECT_EQ(store.publish("b", make_discrete_spec(2)), 1u);
+  EXPECT_EQ(store.publish("a", make_discrete_spec(3)), 2u);
+
+  // Hot-swapping tenant a never advanced tenant b's chain.
+  EXPECT_EQ(store.version_count("a"), 2u);
+  EXPECT_EQ(store.version_count("b"), 1u);
+  EXPECT_EQ(store.current("a")->id, 2u);
+  EXPECT_EQ(store.current("b")->id, 1u);
+
+  // The unnamed tenant is untouched by named publishes.
+  EXPECT_EQ(store.current(), nullptr);
+  EXPECT_EQ(store.version_count(), 0u);
+  EXPECT_EQ(store.tenant_names(), (std::vector<std::string>{"a", "b"}));
+
+  // Tenant handles are stable across publishes.
+  const PolicyStore::Tenant* a = store.tenant("a");
+  store.publish("a", make_discrete_spec(4));
+  EXPECT_EQ(store.tenant("a"), a);
+  EXPECT_EQ(a->current()->id, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// Router: sharding, quotas, shedding, fleet lifecycle
+
+TEST(Router, ShardAssignmentIsStableAndCoversAllShards) {
+  PolicyStore store;
+  store.publish(make_discrete_spec(91));
+  RouterConfig config;
+  config.shards = 4;
+  Router router(store, config);
+
+  std::vector<std::size_t> hits(config.shards, 0);
+  for (std::uint64_t key = 0; key < 1000; ++key) {
+    const std::size_t shard = router.shard_for(key);
+    ASSERT_LT(shard, config.shards);
+    // Stable: the same key maps to the same shard on every call.
+    EXPECT_EQ(router.shard_for(key), shard);
+    ++hits[shard];
+  }
+  // fnv1a64 spreads sequential keys: every shard takes real traffic.
+  for (std::size_t s = 0; s < config.shards; ++s) {
+    EXPECT_GT(hits[s], 100u) << "shard " << s;
+  }
+  router.shutdown();
+}
+
+TEST(Router, ServesTenantsFromTheirOwnPolicies) {
+  PolicyStore store;
+  const PolicySpec spec_a = make_discrete_spec(92);
+  const PolicySpec spec_b = make_box_spec(93);
+  store.publish("a", spec_a);
+  store.publish("b", spec_b);
+
+  RouterConfig config;
+  config.shards = 2;
+  Router router(store, config);
+  EXPECT_EQ(router.tenant_names(), (std::vector<std::string>{"a", "b"}));
+
+  DirectPolicy direct_a(spec_a);
+  DirectPolicy direct_b(spec_b);
+  Rng rng(14);
+  for (std::uint64_t r = 0; r < 40; ++r) {
+    const Vec obs = random_obs(rng);
+    const Response from_a = router.serve("a", r, obs);
+    ASSERT_EQ(from_a.outcome, Outcome::Ok);
+    EXPECT_TRUE(bitwise_equal(from_a.action, direct_a.act(obs)));
+    const Response from_b = router.serve("b", r, obs);
+    ASSERT_EQ(from_b.outcome, Outcome::Ok);
+    EXPECT_TRUE(bitwise_equal(from_b.action, direct_b.act(obs)));
+  }
+  EXPECT_THROW(router.serve("nope", 1, random_obs(rng)), Error);
+  router.shutdown();
+}
+
+TEST(Router, QuotaRejectsExcessInFlightPerTenant) {
+  PolicyStore store;
+  store.publish("a", make_discrete_spec(94));
+  store.publish("b", make_discrete_spec(95));
+  RouterConfig config;
+  config.shards = 2;
+  config.shard.workers = 0;  // requests park: in-flight stays high
+  config.default_quota = 2;
+  Router router(store, config);
+
+  std::vector<std::thread> holders;
+  for (int h = 0; h < 2; ++h) {
+    holders.emplace_back([&, h] {
+      Rng rng(20 + h);
+      (void)router.serve("a", static_cast<std::uint64_t>(h), random_obs(rng),
+                         Priority::Control, /*deadline_us=*/5e5);
+    });
+  }
+  const auto tenant_in_flight = [&](const std::string& tenant) {
+    return router.queue_depth(tenant, 0) + router.queue_depth(tenant, 1);
+  };
+  for (int i = 0; i < 20000 && tenant_in_flight("a") < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(tenant_in_flight("a"), 2u);
+
+  // Tenant a is at quota: rejected immediately, without a queue slot.
+  Rng rng(30);
+  Stopwatch reject_time;
+  EXPECT_EQ(router.serve("a", 7, random_obs(rng)).outcome,
+            Outcome::RejectedQuota);
+  EXPECT_LT(reject_time.seconds(), 0.25);
+  // Tenant b's quota is its own: it still admits (and times out parked,
+  // since nothing dispatches — admission is what is under test).
+  EXPECT_EQ(router.serve("b", 7, random_obs(rng), Priority::Normal,
+                         /*deadline_us=*/5000.0)
+                .outcome,
+            Outcome::TimedOut);
+
+  // Raising the quota readmits tenant a.
+  router.set_quota("a", 8);
+  EXPECT_EQ(router.serve("a", 9, random_obs(rng), Priority::Normal,
+                         /*deadline_us=*/5000.0)
+                .outcome,
+            Outcome::TimedOut);
+  for (auto& t : holders) t.join();
+  router.shutdown();
+}
+
+TEST(Router, ShedsLowestPriorityFirstAndNeverControl) {
+  PolicyStore store;
+  store.publish(make_discrete_spec(96));
+  RouterConfig config;
+  config.shards = 1;  // one queue: depth is fully controlled
+  config.shard.workers = 0;
+  config.shard.queue_capacity = 8;
+  config.shed_low = 0.25;     // shed Low at depth >= 2
+  config.shed_normal = 0.50;  // shed Normal at depth >= 4
+  config.shed_high = 0.75;    // shed High at depth >= 6
+  Router router(store, config);
+  BatchScheduler* shard = router.shard("", 0);
+  ASSERT_NE(shard, nullptr);
+
+  std::vector<std::thread> holders;
+  const auto park = [&](std::size_t count) {
+    for (std::size_t h = 0; h < count; ++h) {
+      holders.emplace_back([&] {
+        Rng rng(40);
+        (void)router.serve("", 1, random_obs(rng), Priority::Control,
+                           /*deadline_us=*/1e6);
+      });
+    }
+  };
+  Rng rng(41);
+
+  park(2);
+  wait_for_queue_depth(*shard, 2);
+  // Depth 2: Low sheds, Normal and High still admit.
+  EXPECT_EQ(router.serve("", 1, random_obs(rng), Priority::Low).outcome,
+            Outcome::Shed);
+  EXPECT_EQ(router.serve("", 1, random_obs(rng), Priority::Normal,
+                         /*deadline_us=*/2000.0)
+                .outcome,
+            Outcome::TimedOut);
+
+  park(2);
+  wait_for_queue_depth(*shard, 4);
+  // Depth 4: Normal sheds too; High still admits.
+  EXPECT_EQ(router.serve("", 1, random_obs(rng), Priority::Normal).outcome,
+            Outcome::Shed);
+  EXPECT_EQ(router.serve("", 1, random_obs(rng), Priority::High,
+                         /*deadline_us=*/2000.0)
+                .outcome,
+            Outcome::TimedOut);
+
+  park(2);
+  wait_for_queue_depth(*shard, 6);
+  // Depth 6: every lane sheds except Control, which only the hard queue
+  // capacity can stop.
+  EXPECT_EQ(router.serve("", 1, random_obs(rng), Priority::High).outcome,
+            Outcome::Shed);
+  EXPECT_EQ(router.serve("", 1, random_obs(rng), Priority::Control,
+                         /*deadline_us=*/2000.0)
+                .outcome,
+            Outcome::TimedOut);
+
+  park(2);
+  wait_for_queue_depth(*shard, 8);
+  // Queue full: even Control gets backpressure, typed as RejectedFull.
+  EXPECT_EQ(router.serve("", 1, random_obs(rng), Priority::Control).outcome,
+            Outcome::RejectedFull);
+
+  for (auto& t : holders) t.join();
+  router.shutdown();
+}
+
+TEST(Router, HotSwapsOneTenantWhileAnotherServes) {
+  PolicyStore store;
+  const PolicySpec spec_a1 = make_discrete_spec(97);
+  const PolicySpec spec_a2 = make_discrete_spec(98);
+  const PolicySpec spec_b = make_discrete_spec(99);
+  store.publish("a", spec_a1);
+  store.publish("b", spec_b);
+  RouterConfig config;
+  config.shards = 2;
+  Router router(store, config);
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> b_errors{0};
+  std::thread b_client([&] {
+    DirectPolicy direct_b(spec_b);
+    Rng rng(50);
+    std::uint64_t r = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const Vec obs = random_obs(rng);
+      const Response response = router.serve("b", r++, obs);
+      // Tenant b must be untouched by a's swap: same version, same bits.
+      if (response.outcome != Outcome::Ok || response.version != 1 ||
+          !bitwise_equal(response.action, direct_b.act(obs))) {
+        b_errors.fetch_add(1);
+      }
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  store.publish("a", spec_a2);  // hot-swap tenant a under b's live load
+
+  DirectPolicy direct_a2(spec_a2);
+  Rng rng(51);
+  for (std::uint64_t r = 0; r < 20; ++r) {
+    const Vec obs = random_obs(rng);
+    const Response response = router.serve("a", r, obs);
+    ASSERT_EQ(response.outcome, Outcome::Ok);
+    EXPECT_EQ(response.version, 2u);
+    EXPECT_TRUE(bitwise_equal(response.action, direct_a2.act(obs)));
+  }
+  stop.store(true, std::memory_order_relaxed);
+  b_client.join();
+  EXPECT_EQ(b_errors.load(), 0u);
+  router.shutdown();
+}
+
+TEST(Router, ShutdownDrainsEveryShardThenRejects) {
+  PolicyStore store;
+  store.publish("a", make_discrete_spec(101));
+  store.publish("b", make_discrete_spec(102));
+  RouterConfig config;
+  config.shards = 2;
+  config.shard.max_batch = 16;
+  config.shard.max_delay_us = 10e6;  // 10 s window: nothing self-flushes
+  config.shard.gather = false;
+  Router router(store, config);
+
+  // Park two clients on every (tenant, shard) queue.
+  constexpr std::size_t kPerShard = 2;
+  std::vector<Response> responses;
+  std::vector<std::thread> clients;
+  std::vector<std::pair<std::string, std::uint64_t>> placements;
+  for (const std::string tenant : {"a", "b"}) {
+    for (std::size_t s = 0; s < config.shards; ++s) {
+      std::uint64_t key = 0;
+      for (std::uint64_t k = 0; router.shard_for(key) != s; ++k) key = k;
+      for (std::size_t i = 0; i < kPerShard; ++i) {
+        placements.emplace_back(tenant, key);
+      }
+    }
+  }
+  responses.resize(placements.size());
+  Rng rng(60);
+  std::vector<Vec> observations;
+  observations.reserve(placements.size());
+  for (std::size_t i = 0; i < placements.size(); ++i) {
+    observations.push_back(random_obs(rng));
+  }
+  for (std::size_t i = 0; i < placements.size(); ++i) {
+    clients.emplace_back([&, i] {
+      responses[i] = router.serve(placements[i].first, placements[i].second,
+                                  observations[i]);
+    });
+  }
+  for (const std::string tenant : {"a", "b"}) {
+    for (std::size_t s = 0; s < config.shards; ++s) {
+      BatchScheduler* shard = router.shard(tenant, s);
+      ASSERT_NE(shard, nullptr);
+      wait_for_queue_depth(*shard, kPerShard);
+    }
+  }
+
+  router.shutdown();  // flushes every shard's window and joins its workers
+  for (auto& t : clients) t.join();
+  for (std::size_t i = 0; i < placements.size(); ++i) {
+    ASSERT_EQ(responses[i].outcome, Outcome::Ok) << "request " << i;
+    DirectPolicy direct(store.current(placements[i].first)->spec);
+    EXPECT_TRUE(bitwise_equal(responses[i].action,
+                              direct.act(observations[i])));
+  }
+
+  // The fleet no longer admits work, on any tenant.
+  EXPECT_EQ(router.serve("a", 1, random_obs(rng)).outcome,
+            Outcome::RejectedShutdown);
+  EXPECT_EQ(router.serve("b", 1, random_obs(rng)).outcome,
+            Outcome::RejectedShutdown);
+}
+
+TEST(Router, PriorityNamesAreStable) {
+  EXPECT_STREQ(priority_name(Priority::Control), "control");
+  EXPECT_STREQ(priority_name(Priority::High), "high");
+  EXPECT_STREQ(priority_name(Priority::Normal), "normal");
+  EXPECT_STREQ(priority_name(Priority::Low), "low");
+}
+
+// ---------------------------------------------------------------------------
+// Arrival processes (open-loop load generation)
+
+TEST(Arrival, MeanGapMatchesConfiguredRate) {
+  Rng rng(70);
+  for (const Arrival kind :
+       {Arrival::Poisson, Arrival::Bursty, Arrival::HeavyTail}) {
+    ArrivalProcess arrivals(kind, /*mean_gap_s=*/0.01);
+    double total = 0.0;
+    constexpr int kDraws = 20000;
+    for (int i = 0; i < kDraws; ++i) total += arrivals.next_gap_s(rng);
+    // Long-run mean gap within 15% of the configured 10ms (HeavyTail has
+    // infinite variance, so the tolerance is generous).
+    EXPECT_NEAR(total / kDraws, 0.01, 0.0015) << arrival_name(kind);
+  }
+}
+
+TEST(Arrival, ParsesCliSpellings) {
+  Arrival out = Arrival::Poisson;
+  EXPECT_TRUE(parse_arrival("bursty", out));
+  EXPECT_EQ(out, Arrival::Bursty);
+  EXPECT_TRUE(parse_arrival("heavytail", out));
+  EXPECT_EQ(out, Arrival::HeavyTail);
+  EXPECT_TRUE(parse_arrival("poisson", out));
+  EXPECT_EQ(out, Arrival::Poisson);
+  EXPECT_FALSE(parse_arrival("uniform", out));
+  EXPECT_EQ(out, Arrival::Poisson);  // untouched on failure
 }

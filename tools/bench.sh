@@ -22,7 +22,17 @@
 # advantage over the single shared atomic it replaced (the PR-1 design),
 # and the one-relaxed-load cost of a disabled DARL_COUNTER_ADD gate.
 #
-# Usage: tools/bench.sh [output.json] [serve_output.json] [obs_output.json]
+# The open-loop fleet sweep (bench_serve: offered rate x max_batch through
+# serve::Router) is distilled into a fourth report (default: BENCH_7.json):
+# achieved rate and open-loop p50/p99/p99.9 per (rate, max_batch, arrival)
+# cell, the saturation knee per configuration (highest offered rate still
+# achieving >= 95%), and the batched-vs-batch-1 comparison at the first
+# swept rate beyond the batch-1 knee (achieved-rate ratio and p99.9
+# ratio — beyond its knee, batch-1's open-loop tail grows with the
+# backlog while the batched fleet keeps it bounded).
+#
+# Usage: tools/bench.sh [output.json] [serve_output.json] [obs_output.json] \
+#                       [openloop_output.json]
 #   BUILD_DIR=build-foo tools/bench.sh     # use a different build tree
 #   BENCH_SMOKE=1 tools/bench.sh out.json serve.json
 #                                          # near-instant smoke run (CI gate:
@@ -34,6 +44,7 @@ cd "$(dirname "$0")/.."
 OUT="${1:-BENCH_4.json}"
 SERVE_OUT="${2:-BENCH_5.json}"
 OBS_OUT="${3:-BENCH_6.json}"
+OPENLOOP_OUT="${4:-BENCH_7.json}"
 BUILD="${BUILD_DIR:-build}"
 JOBS="$(nproc)"
 
@@ -127,6 +138,9 @@ for b in benchmarks:
         continue
     # e.g. BM_ServeClosedLoop/16/64/200/process_time/real_time — the
     # numeric path segments are {clients, max_batch, max_delay_us}.
+    # (bench_serve also hosts BM_ServeOpenLoop, distilled separately.)
+    if not b["name"].startswith("BM_ServeClosedLoop/"):
+        continue
     args = [int(p) for p in b["name"].split("/") if p.isdigit()]
     if len(args) != 3 or "items_per_second" not in b:
         continue
@@ -219,5 +233,88 @@ if atomic1 and sharded1:
     print(f"obs: sharded counter solo {sharded1:.1f}ns vs atomic "
           f"{atomic1:.1f}ns; contended x8 "
           f"{report.get('sharded_contended_speedup_vs_atomic', 0):.2f}x")
+print(f"wrote {out_path} ({len(results)} records)")
+PY
+
+python3 - "$TMP/serve.json" "$OPENLOOP_OUT" <<'PY'
+import json, sys
+
+serve_path, out_path = sys.argv[1], sys.argv[2]
+
+with open(serve_path) as f:
+    benchmarks = json.load(f)["benchmarks"]
+
+ARRIVALS = {0: "poisson", 1: "bursty", 2: "heavytail"}
+KNEE_FRACTION = 0.95  # achieved >= 95% of offered counts as keeping up
+
+results = []
+for b in benchmarks:
+    if b.get("run_type") == "aggregate":
+        continue
+    # e.g. BM_ServeOpenLoop/16000/64/0/real_time — the numeric segments
+    # are {offered rate per second, max_batch, arrival kind}.
+    if not b["name"].startswith("BM_ServeOpenLoop/"):
+        continue
+    args = [int(p) for p in b["name"].split("/") if p.isdigit()]
+    if len(args) != 3 or "items_per_second" not in b:
+        continue
+    rate, max_batch, arrival = args
+    results.append({
+        "offered_per_s": rate,
+        "max_batch": max_batch,
+        "arrival": ARRIVALS.get(arrival, str(arrival)),
+        "achieved_per_s": b["items_per_second"],
+        "p50_us": b.get("p50_us"),
+        "p99_us": b.get("p99_us"),
+        "p999_us": b.get("p999_us"),
+    })
+
+report = {"results": results}
+
+# Saturation knee per configuration: the highest swept offered rate the
+# poisson sweep still keeps up with (achieved >= KNEE_FRACTION x offered).
+knees = {}
+for r in results:
+    if r["arrival"] != "poisson":
+        continue
+    if r["achieved_per_s"] >= KNEE_FRACTION * r["offered_per_s"]:
+        key = r["max_batch"]
+        knees[key] = max(knees.get(key, 0), r["offered_per_s"])
+report["knee_per_s"] = {f"max_batch_{k}": v for k, v in sorted(knees.items())}
+
+# Headline: batch-1 vs the batched fleet at the first swept rate beyond
+# the batch-1 knee — the regime micro-batching exists for. Beyond its
+# knee batch-1's open-loop backlog grows for the whole run, so its p99.9
+# explodes; the batched cells at the same offered rate stay bounded.
+batch1_knee = knees.get(1)
+batched = sorted(k for k in knees if k > 1)
+if batch1_knee is not None and batched:
+    cells = {}
+    for r in results:
+        if r["arrival"] == "poisson":
+            cells[(r["offered_per_s"], r["max_batch"])] = r
+    beyond = sorted(rate for rate, mb in cells
+                    if mb == 1 and rate > batch1_knee)
+    if beyond:
+        rate = beyond[0]
+        base = cells.get((rate, 1))
+        best = cells.get((rate, batched[-1]))
+        if base and best:
+            report["batch1_knee_per_s"] = batch1_knee
+            report["beyond_knee_rate_per_s"] = rate
+            report["beyond_knee_achieved_ratio"] = (
+                best["achieved_per_s"] / base["achieved_per_s"])
+            if base.get("p999_us") and best.get("p999_us"):
+                report["beyond_knee_p999_ratio"] = (
+                    base["p999_us"] / best["p999_us"])
+            print(f"open-loop: batch-1 knee {batch1_knee} req/s; at "
+                  f"{rate} req/s batched achieves "
+                  f"{report['beyond_knee_achieved_ratio']:.2f}x the "
+                  f"batch-1 rate, p99.9 "
+                  f"{report.get('beyond_knee_p999_ratio', 0):.1f}x lower")
+
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
 print(f"wrote {out_path} ({len(results)} records)")
 PY

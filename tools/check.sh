@@ -21,7 +21,12 @@
 #   7. telemetry smoke: darl_serve started with --obs-port 0, its
 #                    /healthz and /metrics scraped live over /dev/tcp,
 #                    and the serve metric families asserted present
-#   8. determinism audit: the same seeded campaign run twice serially and
+#   8. fleet smoke:  darl_serve as a 2-shard x 2-tenant fleet under
+#                    open-loop overload; the scraped labeled counters
+#                    must show low-priority shedding, both tenants
+#                    serving, per-shard queue gauges, and no shed
+#                    counter on the control lane
+#   9. determinism audit: the same seeded campaign run twice serially and
 #                    once with --parallel 4 must produce byte-identical
 #                    trials CSVs — with the telemetry sampler + exporter
 #                    enabled (--obs-port 0), proving observability never
@@ -61,7 +66,8 @@ trap 'rm -rf "$AUDIT_DIR"' EXIT
 
 echo "=== smoke bench (near-instant micro-kernel run) ==="
 BENCH_SMOKE=1 tools/bench.sh "$AUDIT_DIR/bench_smoke.json" \
-    "$AUDIT_DIR/bench_serve_smoke.json" "$AUDIT_DIR/bench_obs_smoke.json"
+    "$AUDIT_DIR/bench_serve_smoke.json" "$AUDIT_DIR/bench_obs_smoke.json" \
+    "$AUDIT_DIR/bench_openloop_smoke.json"
 
 echo "=== telemetry smoke (darl_serve --obs-port, live scrape) ==="
 OBS_LOG="$AUDIT_DIR/obs_serve.log"
@@ -109,6 +115,73 @@ done
 kill "$OBS_PID" 2>/dev/null || true
 wait "$OBS_PID" 2>/dev/null || true
 echo "telemetry smoke ok: port $obs_port, /healthz 200, $(grep -c '^serve_' <<<"$metrics") serve_* series scraped"
+
+echo "=== fleet smoke (2 shards x 2 tenants, shedding under overload) ==="
+# Open-loop offered load well beyond the fleet's deliberately throttled
+# capacity (tiny queues, wide batching window), mixed priorities: the
+# labeled shed counters must show low/normal traffic being dropped while
+# both tenants keep serving and no control traffic is ever shed.
+FLEET_LOG="$AUDIT_DIR/fleet_serve.log"
+./build/tools/darl_serve --train-timesteps 512 --clients 16 --requests 200 \
+    --tenants 2 --shards 2 --priority mixed --open-loop --rate-per-s 6000 \
+    --arrival bursty --max-batch 64 --max-delay-us 5000 --queue-cap 4 \
+    --no-gather --obs-port 0 --obs-linger-s 5 > "$FLEET_LOG" 2>&1 &
+FLEET_PID=$!
+fleet_port=""
+for _ in $(seq 1 300); do
+  fleet_port="$(sed -n \
+      's/^obs: exporter listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+      "$FLEET_LOG" | head -n 1)"
+  [[ -n "$fleet_port" ]] && break
+  kill -0 "$FLEET_PID" 2>/dev/null \
+    || { echo "fleet smoke FAILED: darl_serve exited early"; \
+         cat "$FLEET_LOG"; exit 1; }
+  sleep 0.2
+done
+[[ -n "$fleet_port" ]] \
+  || { echo "fleet smoke FAILED: exporter never announced its port"; \
+       cat "$FLEET_LOG"; kill "$FLEET_PID" 2>/dev/null; exit 1; }
+for _ in $(seq 1 600); do
+  grep -q '^obs: lingering' "$FLEET_LOG" && break
+  sleep 0.2
+done
+obs_port="$fleet_port"
+fleet_metrics="$(scrape /metrics)"
+fleet_fail() {
+  echo "fleet smoke FAILED: $1"
+  echo "$fleet_metrics" | grep '^serve_' | head -n 40
+  kill "$FLEET_PID" 2>/dev/null
+  exit 1
+}
+# Per-shard labeled queue gauges exist for every (shard, tenant) pair.
+for shard in 0 1; do
+  for tenant in t0 t1; do
+    grep -q "^serve_queue_depth{shard=\"$shard\",tenant=\"$tenant\"}" \
+        <<<"$fleet_metrics" \
+      || fleet_fail "queue gauge missing for shard=$shard tenant=$tenant"
+  done
+done
+# Both tenants actually served traffic.
+for tenant in t0 t1; do
+  served="$(grep "^serve_served{.*tenant=\"$tenant\"}" <<<"$fleet_metrics" \
+      | awk '{s += $NF} END {print s+0}')"
+  [[ "$served" -gt 0 ]] || fleet_fail "tenant $tenant served nothing"
+done
+# Overload shed low-priority traffic (counted per tenant and priority)...
+shed_total="$(grep '^serve_shed{priority="low"' <<<"$fleet_metrics" \
+    | awk '{s += $NF} END {print s+0}')"
+[[ "$shed_total" -gt 0 ]] \
+  || fleet_fail "no low-priority shedding under 6k/s against a ~3k/s fleet"
+# ...but control traffic is never shed: the lane has no shed counter at all.
+grep -q '^serve_shed{priority="control"' <<<"$fleet_metrics" \
+  && fleet_fail "control lane grew a shed counter"
+# Let the short linger expire so the per-shard bitwise self-check prints.
+wait "$FLEET_PID" \
+  || { echo "fleet smoke FAILED: darl_serve exited nonzero"; \
+       cat "$FLEET_LOG"; exit 1; }
+grep -q 'self-check: all .* bitwise-identical' "$FLEET_LOG" \
+  || fleet_fail "fleet self-check line missing"
+echo "fleet smoke ok: port $fleet_port, $shed_total low-priority requests shed, both tenants serving"
 
 echo "=== determinism audit (serial x2 vs --parallel 4, telemetry on) ==="
 audit_run() {

@@ -22,6 +22,7 @@
 #include <cstring>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "darl/common/jsonl.hpp"
@@ -85,6 +86,13 @@ CliOptions parse_cli(int argc, char** argv) {
   return opt;
 }
 
+/// "name{k=\"v\",...}" -> "name": labeled instruments aggregate by base
+/// name so a sharded fleet's per-shard counters roll up into one row.
+std::string base_name(const std::string& key) {
+  const auto brace = key.find('{');
+  return brace == std::string::npos ? key : key.substr(0, brace);
+}
+
 /// series[key].rate_per_s when the sampler ring has one, else nan.
 double series_rate(const Json& root, const std::string& key) {
   if (!root.is_object()) return std::nan("");
@@ -138,6 +146,67 @@ std::string render_dashboard(const Json& root) {
     }
   }
 
+  // Serve health: outcome counters rolled up across tenant/shard/priority
+  // labels, so rejected and timed-out traffic is visible at a glance even
+  // when the fleet splits it over many labeled instruments.
+  struct OutcomeAgg {
+    double count = 0.0;
+    double rate = 0.0;
+    bool present = false;
+    bool has_rate = false;
+  };
+  const std::vector<std::pair<std::string, std::string>> kServeOutcomes = {
+      {"serve.router_requests", "admitted (router)"},
+      {"serve.requests", "admitted (shard)"},
+      {"serve.served", "ok"},
+      {"serve.rejected_full", "rejected-full"},
+      {"serve.rejected_quota", "rejected-quota"},
+      {"serve.rejected_shutdown", "rejected-shutdown"},
+      {"serve.timed_out", "timed-out"},
+      {"serve.shed", "shed"},
+  };
+  std::vector<OutcomeAgg> agg(kServeOutcomes.size());
+  if (const auto counters = m.find("counters");
+      counters != m.end() && counters->second.is_object()) {
+    for (const auto& [key, v] : counters->second.as_object()) {
+      const std::string base = base_name(key);
+      for (std::size_t i = 0; i < kServeOutcomes.size(); ++i) {
+        if (base != kServeOutcomes[i].first) continue;
+        agg[i].present = true;
+        agg[i].count += v.as_number();
+        const double r = series_rate(root, key);
+        if (!std::isnan(r)) {
+          agg[i].rate += r;
+          agg[i].has_rate = true;
+        }
+        break;
+      }
+    }
+  }
+  TextTable serve_table;
+  serve_table.set_columns({"serve outcome", "count", "rate/s", "share"},
+                          {Align::Left, Align::Right, Align::Right,
+                           Align::Right});
+  bool any_serve = false;
+  for (const auto& a : agg) any_serve = any_serve || a.present;
+  if (any_serve) {
+    // Share denominator: router admissions when the fleet path is live,
+    // else the schedulers' own admission counter.
+    double admitted = agg[0].present && agg[0].count > 0 ? agg[0].count
+                                                         : agg[1].count;
+    for (std::size_t i = 0; i < kServeOutcomes.size(); ++i) {
+      if (!agg[i].present) continue;
+      std::string share = "-";
+      if (i >= 2 && admitted > 0) {
+        share = fixed(100.0 * agg[i].count / admitted, 1) + "%";
+      }
+      serve_table.add_row(
+          {kServeOutcomes[i].second, fixed(agg[i].count, 0),
+           agg[i].has_rate ? fixed(agg[i].rate, 1) : std::string("-"),
+           share});
+    }
+  }
+
   TextTable hist_table;
   hist_table.set_columns({"histogram", "count", "p50", "p99", "rate/s"},
                          {Align::Left, Align::Right, Align::Right,
@@ -167,6 +236,11 @@ std::string render_dashboard(const Json& root) {
 
   if (table.row_count() > 0) {
     out += table.render(2);
+    out += '\n';
+  }
+  if (serve_table.row_count() > 0) {
+    out += '\n';
+    out += serve_table.render(2);
     out += '\n';
   }
   if (hist_table.row_count() > 0) {
