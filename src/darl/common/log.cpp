@@ -1,5 +1,7 @@
 #include "darl/common/log.hpp"
 
+#include "darl/common/thread_safety.hpp"
+
 #include <atomic>
 #include <cstdio>
 #include <mutex>
@@ -11,6 +13,9 @@ namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::Warn};
 std::atomic<LogSink> g_sink{nullptr};
+/// Serializes the stderr write only — never held around the sink call,
+/// and log_message below declares it DARL_EXCLUDES so a custom sink that
+/// logs recursively deadlocks in review, not production.
 std::mutex g_mutex;
 
 const char* level_name(LogLevel level) {
@@ -40,7 +45,8 @@ void set_log_sink(LogSink sink) {
   g_sink.store(sink, std::memory_order_relaxed);
 }
 
-void log_message(LogLevel level, const std::string& message) {
+void log_message(LogLevel level, const std::string& message)
+    DARL_EXCLUDES(g_mutex) {
   if (!log_enabled(level)) return;
   if (const LogSink sink = g_sink.load(std::memory_order_relaxed);
       sink != nullptr) {

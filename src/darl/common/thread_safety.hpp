@@ -1,0 +1,60 @@
+// darl/common/thread_safety.hpp
+//
+// Lock-discipline annotations, checked twice:
+//
+//   1. Everywhere, by `darl_verify` (tools/verify_engine.hpp): the
+//      project's cross-file analyzer harvests these macros from every
+//      translation unit and enforces guarded-field access, the global
+//      lock-acquisition order, and the blocking-call rules on each
+//      tools/check.sh run — with any compiler.
+//   2. Under Clang, by the real thing: the macros expand to Clang's
+//      thread-safety attributes, so `-Wthread-safety` re-checks the same
+//      contracts with full type information. (With libstdc++'s
+//      unannotated std::mutex the attributes are inert — Clang ignores
+//      attributes whose argument is not a capability type — which is why
+//      CMake pairs -Wthread-safety with -Wno-thread-safety-attributes;
+//      against an annotated standard library, e.g. libc++ with
+//      _LIBCPP_ENABLE_THREAD_SAFETY_ANNOTATIONS, the analysis is live.)
+//
+// Under GCC every macro expands to nothing (tests assert this), so
+// annotations never change codegen or portability.
+//
+// Usage:
+//   std::deque<Request*> queue_ DARL_GUARDED_BY(queue_mutex_);
+//     The field may only be read or written while `queue_mutex_` is held
+//     (or from a function annotated DARL_REQUIRES(queue_mutex_)).
+//   void publish_queue_depth() DARL_REQUIRES(queue_mutex_);
+//     Callers must already hold the mutex; darl_verify treats the body
+//     as holding it.
+//   std::mutex a_ DARL_ACQUIRED_BEFORE(b_);
+//     Declares the global order a_ -> b_; the edge joins the lock graph
+//     darl_verify checks for cycles.
+//   void log_message(...) DARL_EXCLUDES(g_mutex);
+//     Callers must NOT hold the mutex (the function acquires it).
+//     Documentation + Clang only; darl_verify does not enforce it.
+
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define DARL_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef DARL_THREAD_ANNOTATION
+#define DARL_THREAD_ANNOTATION(x)  // expands to nothing outside Clang
+#endif
+
+/// Field may only be accessed while holding `mu`.
+#define DARL_GUARDED_BY(mu) DARL_THREAD_ANNOTATION(guarded_by(mu))
+
+/// Function requires the caller to already hold every listed mutex.
+#define DARL_REQUIRES(...) \
+  DARL_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// This mutex is always acquired before every listed mutex.
+#define DARL_ACQUIRED_BEFORE(...) \
+  DARL_THREAD_ANNOTATION(acquired_before(__VA_ARGS__))
+
+/// Function must be called WITHOUT the listed mutexes held (it acquires
+/// them itself, or hands work to something that does).
+#define DARL_EXCLUDES(...) DARL_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))

@@ -4,6 +4,7 @@
 #include "darl/common/log.hpp"
 #include "darl/common/rng.hpp"
 #include "darl/common/stopwatch.hpp"
+#include "darl/common/thread_safety.hpp"
 #include "darl/obs/flight.hpp"
 #include "darl/obs/metrics.hpp"
 #include "darl/obs/trace.hpp"
@@ -85,9 +86,9 @@ AttemptOutcome evaluate_attempt(const CaseStudyDef::EvaluateFn& evaluate,
   struct Shared {
     std::mutex mutex;
     std::condition_variable cv;
-    bool done = false;
-    MetricValues metrics;
-    std::exception_ptr error;
+    bool done DARL_GUARDED_BY(mutex) = false;
+    MetricValues metrics DARL_GUARDED_BY(mutex);
+    std::exception_ptr error DARL_GUARDED_BY(mutex);
   };
   auto shared = std::make_shared<Shared>();
   std::thread worker([shared, evaluate, config = proposal.config,

@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "darl/common/thread_safety.hpp"
 #include "darl/obs/metrics.hpp"
 #include "darl/obs/timeseries.hpp"
 
@@ -112,7 +113,10 @@ class Exporter {
   std::vector<std::thread> handlers_;
   std::mutex conn_mutex_;
   std::condition_variable conn_cv_;
-  std::deque<int> pending_conns_;  ///< accepted fds awaiting a handler
+  /// Accepted fds awaiting a handler. Handlers pop under conn_mutex_ but
+  /// always drop it before touching the socket — recv/send under this
+  /// lock would head-of-line-block every other connection.
+  std::deque<int> pending_conns_ DARL_GUARDED_BY(conn_mutex_);
   std::atomic<bool> stop_requested_{false};
   bool started_ = false;
   std::atomic<std::uint64_t> requests_{0};

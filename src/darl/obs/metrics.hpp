@@ -26,6 +26,7 @@
 
 #include "darl/common/jsonl.hpp"
 #include "darl/common/log.hpp"  // thread_ordinal() for counter sharding
+#include "darl/common/thread_safety.hpp"
 
 namespace darl::obs {
 
@@ -198,9 +199,10 @@ class Registry {
   };
 
   mutable std::mutex mutex_;
-  std::map<std::string, Entry<Counter>> counters_;
-  std::map<std::string, Entry<Gauge>> gauges_;
-  std::map<std::string, Entry<Histogram>> histograms_;
+  std::map<std::string, Entry<Counter>> counters_ DARL_GUARDED_BY(mutex_);
+  std::map<std::string, Entry<Gauge>> gauges_ DARL_GUARDED_BY(mutex_);
+  std::map<std::string, Entry<Histogram>> histograms_
+      DARL_GUARDED_BY(mutex_);
 };
 
 }  // namespace darl::obs

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "darl/common/jsonl.hpp"
+#include "darl/common/thread_safety.hpp"
 #include "darl/obs/metrics.hpp"
 
 namespace darl::obs {
@@ -117,15 +118,19 @@ class TimeSeries {
   Registry* registry_;
 
   mutable std::mutex mutex_;  ///< guards rings + samples_
-  std::map<std::string, Ring<SeriesPoint>> scalars_;
-  std::map<std::string, Ring<HistogramPoint>> histograms_;
-  std::uint64_t samples_ = 0;
+  std::map<std::string, Ring<SeriesPoint>> scalars_ DARL_GUARDED_BY(mutex_);
+  std::map<std::string, Ring<HistogramPoint>> histograms_
+      DARL_GUARDED_BY(mutex_);
+  std::uint64_t samples_ DARL_GUARDED_BY(mutex_) = 0;
 
-  mutable std::mutex thread_mutex_;  ///< guards thread lifecycle + stop flag
+  /// Guards the sampler thread lifecycle + stop flag. run_loop() holds it
+  /// between waits but drops it around sample_once(), which takes mutex_
+  /// — hence the declared order: never take thread_mutex_ under mutex_.
+  mutable std::mutex thread_mutex_ DARL_ACQUIRED_BEFORE(mutex_);
   std::condition_variable cv_;
   std::thread thread_;
-  bool stop_requested_ = false;
-  bool thread_running_ = false;
+  bool stop_requested_ DARL_GUARDED_BY(thread_mutex_) = false;
+  bool thread_running_ DARL_GUARDED_BY(thread_mutex_) = false;
 };
 
 }  // namespace darl::obs

@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "darl/common/thread_safety.hpp"
 #include "darl/obs/metrics.hpp"
 #include "darl/serve/policy_store.hpp"
 
@@ -141,7 +142,7 @@ class BatchScheduler {
     Response* out = nullptr;
     std::mutex mutex;
     std::condition_variable cv;
-    bool done = false;
+    bool done DARL_GUARDED_BY(mutex) = false;
   };
 
   /// Per-worker state: a private policy replica and preallocated batch
@@ -182,12 +183,12 @@ class BatchScheduler {
   /// Publish the queue depth gauge; caller holds queue_mutex_, so the
   /// gauge moves in lockstep with the queue it describes (per shard —
   /// the pre-fleet code wrote one global gauge from racing shards).
-  void publish_queue_depth();
+  void publish_queue_depth() DARL_REQUIRES(queue_mutex_);
 
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
-  std::deque<Request*> queue_;
-  bool stopping_ = false;
+  std::deque<Request*> queue_ DARL_GUARDED_BY(queue_mutex_);
+  bool stopping_ DARL_GUARDED_BY(queue_mutex_) = false;
 
   std::vector<std::unique_ptr<Worker>> workers_;
 };

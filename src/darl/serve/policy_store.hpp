@@ -30,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "darl/common/thread_safety.hpp"
 #include "darl/env/space.hpp"
 #include "darl/nn/mlp.hpp"
 #include "darl/rl/checkpoint.hpp"
@@ -116,7 +117,10 @@ class PolicyStore {
     friend class PolicyStore;
     std::string name_;
     std::atomic<const PolicyVersion*> current_{nullptr};
-    std::vector<std::unique_ptr<PolicyVersion>> retained_;  ///< publish_mutex_
+    /// Owned version chain; mutated only under the store's publish_mutex_
+    /// (readers go through the lock-free `current_` pointer instead).
+    std::vector<std::unique_ptr<PolicyVersion>> retained_
+        DARL_GUARDED_BY(publish_mutex_);
   };
 
   PolicyStore() = default;
@@ -164,7 +168,8 @@ class PolicyStore {
 
  private:
   mutable std::mutex publish_mutex_;
-  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_
+      DARL_GUARDED_BY(publish_mutex_);
   std::atomic<const Tenant*> default_tenant_{nullptr};
 };
 

@@ -119,6 +119,11 @@ class Router {
   TenantGroup* find_tenant(const std::string& tenant_name) const;
 
   RouterConfig config_;
+  // Concurrency discipline (darl_verify): the router deliberately owns no
+  // mutex, so nothing here carries DARL_GUARDED_BY — tenants_ is frozen
+  // at construction (lock-free lookups), and all mutable state above is
+  // atomics with explicit memory_order (the naked-atomic-ordering rule
+  // keeps it that way). Blocking and queueing live in BatchScheduler.
   std::map<std::string, std::unique_ptr<TenantGroup>> tenants_;
 };
 

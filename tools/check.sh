@@ -1,36 +1,51 @@
 #!/usr/bin/env bash
 # tools/check.sh — the full pre-merge gate.
 #
+# Static analysis runs first: the lints need only the two analyzer
+# binaries, so a discipline violation is reported in seconds, before any
+# full tree compiles.
+#
 # Stages:
-#   1. build/        Release-style tree, full ctest suite
-#   2. darl_lint     project-specific static analysis over src/ tools/
-#                    bench/ tests/ examples/ (zero unsuppressed findings;
-#                    suppressions live in tools/darl_lint.supp)
-#   3. clang-tidy    optional second opinion (no-ops when absent)
-#   4. build-ubsan/  UndefinedBehaviorSanitizer tree (DARL_SANITIZE=
+#   1. darl_lint     project-specific per-line static analysis over src/
+#                    tools/ bench/ tests/ examples/ (zero unsuppressed
+#                    findings; suppressions live in tools/darl_lint.supp)
+#   2. darl_verify   cross-file concurrency-discipline analysis: guarded
+#                    fields, the global lock-order graph, blocking calls
+#                    under locks, cv-wait predicates, atomic orderings
+#                    (suppressions in tools/darl_verify.supp)
+#   3. build/        Release-style tree, full ctest suite
+#   4. clang-tidy    optional second opinion (no-ops when absent);
+#                    thread-safety + concurrency findings are errors
+#   5. build-ubsan/  UndefinedBehaviorSanitizer tree (DARL_SANITIZE=
 #                    undefined, non-recovering), full ctest suite
-#   5. build-tsan/   ThreadSanitizer tree (DARL_SANITIZE=thread), which
+#   6. build-asan/   Address+UB sanitizer tree (DARL_SANITIZE=
+#                    address,undefined) with leak detection on: heap
+#                    misuse and leaks in the serve/obs teardown paths
+#                    show up here
+#   7. build-tsan/   ThreadSanitizer tree (DARL_SANITIZE=thread), which
 #                    gives the parallel fault-tolerance tests teeth: data
 #                    races in Study::run's threaded evaluate/retry/timeout
 #                    paths show up here, not in the plain build
-#   6. smoke bench    the gemm/nn/serve/obs micro benchmarks built and run
+#   8. smoke bench    the gemm/nn/serve/obs micro benchmarks built and run
 #                    with a near-zero time budget (BENCH_SMOKE=1
 #                    tools/bench.sh) — keeps the benches compiling and
 #                    their JSON distillers working without paying for
 #                    real timings
-#   7. telemetry smoke: darl_serve started with --obs-port 0, its
+#   9. telemetry smoke: darl_serve started with --obs-port 0, its
 #                    /healthz and /metrics scraped live over /dev/tcp,
 #                    and the serve metric families asserted present
-#   8. fleet smoke:  darl_serve as a 2-shard x 2-tenant fleet under
+#  10. fleet smoke:  darl_serve as a 2-shard x 2-tenant fleet under
 #                    open-loop overload; the scraped labeled counters
 #                    must show low-priority shedding, both tenants
 #                    serving, per-shard queue gauges, and no shed
 #                    counter on the control lane
-#   9. determinism audit: the same seeded campaign run twice serially and
+#  11. determinism audit: the same seeded campaign run twice serially and
 #                    once with --parallel 4 must produce byte-identical
 #                    trials CSVs — with the telemetry sampler + exporter
 #                    enabled (--obs-port 0), proving observability never
 #                    perturbs campaign results
+#
+# A per-stage wall-clock summary prints at the end.
 #
 # Usage: tools/check.sh [extra ctest args...]
 #   e.g. tools/check.sh -R core_fault
@@ -39,37 +54,73 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 JOBS="$(nproc)"
 
+# --------------------------------------------------------------------------
+# Per-stage timing: stage NAME starts a stage (closing the previous one);
+# the summary at the bottom prints every stage with its wall-clock cost.
+STAGE_NAMES=()
+STAGE_SECS=()
+CURRENT_STAGE=""
+STAGE_T0=0
+stage_end() {
+  [[ -n "$CURRENT_STAGE" ]] || return 0
+  STAGE_NAMES+=("$CURRENT_STAGE")
+  STAGE_SECS+=($(( $(date +%s) - STAGE_T0 )))
+  CURRENT_STAGE=""
+}
+stage() {
+  stage_end
+  CURRENT_STAGE="$1"
+  STAGE_T0="$(date +%s)"
+  echo "=== $1 ==="
+}
+
 run_tree() {
   local dir="$1" sanitize="$2"
   shift 2
-  echo "=== [$dir] configure (DARL_SANITIZE='$sanitize') ==="
+  echo "--- [$dir] configure (DARL_SANITIZE='$sanitize') ---"
   cmake -B "$dir" -S . -DDARL_SANITIZE="$sanitize"
-  echo "=== [$dir] build ==="
+  echo "--- [$dir] build ---"
   cmake --build "$dir" -j "$JOBS"
-  echo "=== [$dir] ctest ==="
+  echo "--- [$dir] ctest ---"
   ctest --test-dir "$dir" --output-on-failure -j "$JOBS" "$@"
 }
 
-run_tree build "" "$@"
-
-echo "=== darl_lint (static analysis) ==="
+# --------------------------------------------------------------------------
+# Static analysis first: configure the plain tree and build just the two
+# analyzer binaries (stdlib-only, seconds) so lint findings arrive before
+# any full build is paid for.
+stage "darl_lint (per-line static analysis)"
+cmake -B build -S . > /dev/null
+cmake --build build -j "$JOBS" --target darl_lint darl_verify
 ./build/tools/darl_lint --root .
 
-echo "=== clang-tidy (optional) ==="
+stage "darl_verify (concurrency discipline)"
+./build/tools/darl_verify --root .
+
+stage "build/ (plain tree + ctest)"
+run_tree build "" "$@"
+
+stage "clang-tidy (optional)"
 tools/run_clang_tidy.sh build
 
+stage "build-ubsan/ (undefined)"
 run_tree build-ubsan undefined "$@"
+
+stage "build-asan/ (address,undefined + leaks)"
+ASAN_OPTIONS="detect_leaks=1" run_tree build-asan address,undefined "$@"
+
+stage "build-tsan/ (thread)"
 run_tree build-tsan thread "$@"
 
 AUDIT_DIR="$(mktemp -d)"
 trap 'rm -rf "$AUDIT_DIR"' EXIT
 
-echo "=== smoke bench (near-instant micro-kernel run) ==="
+stage "smoke bench (near-instant micro-kernel run)"
 BENCH_SMOKE=1 tools/bench.sh "$AUDIT_DIR/bench_smoke.json" \
     "$AUDIT_DIR/bench_serve_smoke.json" "$AUDIT_DIR/bench_obs_smoke.json" \
     "$AUDIT_DIR/bench_openloop_smoke.json"
 
-echo "=== telemetry smoke (darl_serve --obs-port, live scrape) ==="
+stage "telemetry smoke (darl_serve --obs-port, live scrape)"
 OBS_LOG="$AUDIT_DIR/obs_serve.log"
 ./build/tools/darl_serve --train-timesteps 512 --clients 2 --requests 50 \
     --obs-port 0 --obs-linger-s 30 > "$OBS_LOG" 2>&1 &
@@ -116,7 +167,7 @@ kill "$OBS_PID" 2>/dev/null || true
 wait "$OBS_PID" 2>/dev/null || true
 echo "telemetry smoke ok: port $obs_port, /healthz 200, $(grep -c '^serve_' <<<"$metrics") serve_* series scraped"
 
-echo "=== fleet smoke (2 shards x 2 tenants, shedding under overload) ==="
+stage "fleet smoke (2 shards x 2 tenants, shedding under overload)"
 # Open-loop offered load well beyond the fleet's deliberately throttled
 # capacity (tiny queues, wide batching window), mixed priorities: the
 # labeled shed counters must show low/normal traffic being dropped while
@@ -183,7 +234,7 @@ grep -q 'self-check: all .* bitwise-identical' "$FLEET_LOG" \
   || fleet_fail "fleet self-check line missing"
 echo "fleet smoke ok: port $fleet_port, $shed_total low-priority requests shed, both tenants serving"
 
-echo "=== determinism audit (serial x2 vs --parallel 4, telemetry on) ==="
+stage "determinism audit (serial x2 vs --parallel 4, telemetry on)"
 audit_run() {
   local out="$1"
   shift
@@ -199,4 +250,9 @@ cmp "$AUDIT_DIR/serial_a.csv" "$AUDIT_DIR/parallel.csv" \
   || { echo "determinism audit FAILED: parallel run differs from serial"; exit 1; }
 echo "determinism audit ok: $(wc -l < "$AUDIT_DIR/serial_a.csv") CSV lines byte-identical across runs"
 
+stage_end
+echo "=== stage timing ==="
+for i in "${!STAGE_NAMES[@]}"; do
+  printf '  %4ds  %s\n' "${STAGE_SECS[$i]}" "${STAGE_NAMES[$i]}"
+done
 echo "=== check.sh: all gates green ==="

@@ -1,13 +1,19 @@
-// darl_lint — project-specific static analysis for the darl tree.
+// darl_verify — cross-file concurrency-discipline analysis.
 //
-//   darl_lint [--root DIR] [--supp FILE] [--format human|json]
-//             [--list-rules] [dir...]
+//   darl_verify [--root DIR] [--supp FILE] [--format human|json]
+//               [--list-rules] [dir...]
 //
-// Scans src/, tools/, bench/, tests/ and examples/ (or the listed
-// directories) for the banned patterns and invariants described in
-// tools/lint_engine.hpp. Exceptions live in tools/darl_lint.supp, one
-// justified entry per rule+file; a suppression that matches nothing is
-// itself an error so the file only ever shrinks.
+// Two passes over src/, tools/, bench/, tests/ and examples/ (or the
+// listed directories): pass 1 harvests the DARL_GUARDED_BY /
+// DARL_REQUIRES / DARL_ACQUIRED_BEFORE annotations from every file
+// (src/darl/common/thread_safety.hpp), pass 2 walks each file tracking
+// held locks and checks guarded-field access, blocking calls and
+// condition-variable discipline, while collecting "A held while
+// acquiring B" edges; the merged global lock graph is then checked for
+// cycles (static deadlocks), printed as witness paths. Rule details live
+// in tools/verify_engine.hpp; exceptions in tools/darl_verify.supp, one
+// justified entry per rule+file, where an entry matching nothing is
+// itself an error.
 //
 // Exit codes: 0 clean, 1 findings / unused or malformed suppressions,
 // 2 usage or I/O error.
@@ -21,16 +27,18 @@
 #include <system_error>
 #include <vector>
 
-#include "lint_engine.hpp"
+#include "verify_engine.hpp"
 
 namespace {
 
 namespace fs = std::filesystem;
-using namespace darl::lint;
+using darl::lint::AnnotatedFinding;
+using darl::lint::Finding;
+using darl::lint::Suppression;
 
 struct Options {
   std::string root = ".";
-  std::string supp_path = "tools/darl_lint.supp";
+  std::string supp_path = "tools/darl_verify.supp";
   std::string format = "human";
   std::vector<std::string> dirs;
   bool list_rules = false;
@@ -41,40 +49,33 @@ constexpr const char* kDefaultDirs[] = {"src", "tools", "bench", "tests",
 
 void print_rules() {
   std::printf(
-      "darl_lint rules:\n"
-      "  banned-random    std::rand / srand / std::random_device\n"
-      "  wall-clock       argless now() / system_clock outside "
-      "stopwatch/obs/log\n"
-      "  unordered-iter   iteration over unordered_map/unordered_set\n"
-      "  raw-new-delete   raw new / delete expressions\n"
-      "  float-literal    float literals in ode/ linalg/ rl/ nn/\n"
-      "  std-endl         std::endl\n"
-      "  pragma-once      .hpp without #pragma once\n"
-      "  catch-all        catch (...) without rethrow or recording\n"
-      "  detached-thread  std::thread::detach()\n"
-      "  heap-alloc-in-kernel  new / .resize( / .push_back( inside a "
-      "*_batch or gemm body\n"
-      "  metric-name      instrument/label-key names outside [a-z0-9_.]+ "
-      "(scans raw source)\n"
-      "  metric-lookup-in-kernel  registry lookup inside a *_batch / gemm "
-      "/ *dispatch* body\n");
+      "darl_verify rules:\n"
+      "  guarded-field          DARL_GUARDED_BY field accessed without "
+      "holding its mutex\n"
+      "  lock-order             cycle in the global lock-acquisition graph "
+      "(static deadlock)\n"
+      "  blocking-under-lock    recv/send/accept/connect/sleep_for/join/cv "
+      "wait while a mutex is held\n"
+      "  cv-wait-no-predicate   untimed cv.wait(lk) without a predicate\n"
+      "  naked-atomic-ordering  atomic op in serve/ or obs/ without an "
+      "explicit memory_order\n");
 }
 
 [[noreturn]] void usage(int code) {
   std::printf(
-      "darl_lint — project-specific static analysis\n"
+      "darl_verify — cross-file concurrency-discipline analysis\n"
       "\n"
-      "  darl_lint [--root DIR] [--supp FILE] [--format human|json]\n"
-      "            [--list-rules] [dir...]\n"
+      "  darl_verify [--root DIR] [--supp FILE] [--format human|json]\n"
+      "              [--list-rules] [dir...]\n"
       "\n"
-      "  --root DIR    repository root to scan from (default .)\n"
-      "  --supp FILE   suppression file, relative to root\n"
-      "                (default tools/darl_lint.supp; \"\" disables)\n"
-      "  --format FMT  human (default) or json — json emits a stable\n"
-      "                array of {rule, file, line, message, suppressed}\n"
-      "  --list-rules  print the rule table and exit\n"
-      "  dir...        directories to scan, relative to root\n"
-      "                (default: src tools bench tests examples)\n");
+      "  --root DIR     repository root to scan from (default .)\n"
+      "  --supp FILE    suppression file, relative to root\n"
+      "                 (default tools/darl_verify.supp; \"\" disables)\n"
+      "  --format FMT   human (default) or json — json emits a stable\n"
+      "                 array of {rule, file, line, message, suppressed}\n"
+      "  --list-rules   print the rule table and exit\n"
+      "  dir...         directories to scan, relative to root\n"
+      "                 (default: src tools bench tests examples)\n");
   std::exit(code);
 }
 
@@ -87,7 +88,7 @@ bool read_file(const fs::path& path, std::string& out) {
   return true;
 }
 
-bool lintable(const fs::path& path) {
+bool scannable(const fs::path& path) {
   const std::string ext = path.extension().string();
   return ext == ".cpp" || ext == ".hpp";
 }
@@ -133,13 +134,11 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Gather the file list (sorted, so output and suppression matching are
-  // deterministic).
   std::vector<std::string> files;
   for (const auto& dir : opt.dirs) {
     const fs::path base = fs::path(opt.root) / dir;
     if (!fs::is_directory(base)) {
-      std::fprintf(stderr, "darl_lint: not a directory: %s\n",
+      std::fprintf(stderr, "darl_verify: not a directory: %s\n",
                    base.string().c_str());
       return 2;
     }
@@ -147,44 +146,48 @@ int main(int argc, char** argv) {
     for (fs::recursive_directory_iterator it(base, ec), end; it != end;
          it.increment(ec)) {
       if (ec) {
-        std::fprintf(stderr, "darl_lint: walk error under %s: %s\n",
+        std::fprintf(stderr, "darl_verify: walk error under %s: %s\n",
                      base.string().c_str(), ec.message().c_str());
         return 2;
       }
-      if (it->is_regular_file() && lintable(it->path())) {
-        // Report paths relative to the root so suppressions are stable.
-        files.push_back(
-            normalize_path(fs::relative(it->path(), opt.root).string()));
+      if (it->is_regular_file() && scannable(it->path())) {
+        files.push_back(darl::lint::normalize_path(
+            fs::relative(it->path(), opt.root).string()));
       }
     }
   }
   std::sort(files.begin(), files.end());
 
-  // Pass 1: harvest unordered-container declarations project-wide, so a
-  // loop in a .cpp over a member declared in its header is still caught.
-  ScanContext ctx;
+  // Pass 1: harvest annotations project-wide so a field guarded in a
+  // header is enforced in every .cpp, and lock-order edges merge across
+  // translation units.
+  darl::verify::VerifyContext ctx;
   std::vector<std::pair<std::string, std::string>> sources;
   sources.reserve(files.size());
   for (const auto& rel : files) {
     std::string content;
     if (!read_file(fs::path(opt.root) / rel, content)) {
-      std::fprintf(stderr, "darl_lint: cannot read %s\n", rel.c_str());
+      std::fprintf(stderr, "darl_verify: cannot read %s\n", rel.c_str());
       return 2;
     }
-    collect_unordered_names(strip_noncode(content), ctx.unordered_names);
+    darl::verify::harvest_source(rel, content, ctx);
     sources.emplace_back(rel, std::move(content));
   }
 
-  // Pass 2: scan.
+  // Pass 2: walk every file (collects nesting edges into ctx), then judge
+  // the merged lock graph.
   std::vector<Finding> findings;
   for (const auto& [rel, content] : sources) {
-    auto file_findings = scan_source(rel, content, ctx);
+    auto file_findings = darl::verify::check_source(rel, content, ctx);
     findings.insert(findings.end(),
                     std::make_move_iterator(file_findings.begin()),
                     std::make_move_iterator(file_findings.end()));
   }
+  auto graph_findings = darl::verify::check_lock_order(ctx);
+  findings.insert(findings.end(),
+                  std::make_move_iterator(graph_findings.begin()),
+                  std::make_move_iterator(graph_findings.end()));
 
-  // Suppressions.
   std::vector<Suppression> suppressions;
   std::vector<std::string> supp_errors;
   if (!opt.supp_path.empty()) {
@@ -192,15 +195,15 @@ int main(int argc, char** argv) {
     std::string content;
     if (fs::exists(supp_file)) {
       if (!read_file(supp_file, content)) {
-        std::fprintf(stderr, "darl_lint: cannot read %s\n",
+        std::fprintf(stderr, "darl_verify: cannot read %s\n",
                      supp_file.string().c_str());
         return 2;
       }
-      suppressions = parse_suppressions(content, supp_errors);
+      suppressions = darl::lint::parse_suppressions(content, supp_errors);
     }
   }
   const std::vector<AnnotatedFinding> annotated =
-      annotate_suppressions(std::move(findings), suppressions);
+      darl::lint::annotate_suppressions(std::move(findings), suppressions);
 
   bool failed = false;
   std::size_t unsuppressed = 0;
@@ -230,13 +233,14 @@ int main(int argc, char** argv) {
   }
 
   if (opt.format == "json") {
-    std::fputs(findings_json(annotated).c_str(), stdout);
+    std::fputs(darl::lint::findings_json(annotated).c_str(), stdout);
   }
   std::fprintf(
       opt.format == "json" ? stderr : stdout,
-      "darl_lint: %zu file(s), %zu finding(s): %zu suppressed, %zu "
-      "unsuppressed%s\n",
-      files.size(), annotated.size(), annotated.size() - unsuppressed,
-      unsuppressed, failed ? " — FAIL" : "");
+      "darl_verify: %zu file(s), %zu guarded field(s), %zu lock-order "
+      "edge(s), %zu finding(s): %zu suppressed, %zu unsuppressed%s\n",
+      files.size(), ctx.guarded_fields.size(), ctx.edges.size(),
+      annotated.size(), annotated.size() - unsuppressed, unsuppressed,
+      failed ? " — FAIL" : "");
   return failed ? 1 : 0;
 }

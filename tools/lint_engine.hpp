@@ -662,22 +662,89 @@ inline bool suppression_matches(const Suppression& s, const Finding& f) {
                         s.path_suffix.size(), s.path_suffix) == 0;
 }
 
+/// A finding plus whether a suppression claimed it — the unit both tools'
+/// --format=json output serializes, so suppressed findings stay visible
+/// to CI/editor consumers instead of silently vanishing.
+struct AnnotatedFinding {
+  Finding finding;
+  bool suppressed = false;
+};
+
+/// Match every finding against the suppression list, marking matching
+/// suppressions as used. Order of the input findings is preserved.
+inline std::vector<AnnotatedFinding> annotate_suppressions(
+    std::vector<Finding> findings, std::vector<Suppression>& suppressions) {
+  std::vector<AnnotatedFinding> out;
+  out.reserve(findings.size());
+  for (auto& f : findings) {
+    AnnotatedFinding af;
+    for (auto& s : suppressions) {
+      if (suppression_matches(s, f)) {
+        s.used = true;
+        af.suppressed = true;
+      }
+    }
+    af.finding = std::move(f);
+    out.push_back(std::move(af));
+  }
+  return out;
+}
+
 /// Partition findings into (returned) unsuppressed findings, marking every
 /// matching suppression as used.
 inline std::vector<Finding> apply_suppressions(
     std::vector<Finding> findings, std::vector<Suppression>& suppressions) {
   std::vector<Finding> unsuppressed;
-  for (auto& f : findings) {
-    bool matched = false;
-    for (auto& s : suppressions) {
-      if (suppression_matches(s, f)) {
-        s.used = true;
-        matched = true;
-      }
-    }
-    if (!matched) unsuppressed.push_back(std::move(f));
+  for (auto& af :
+       annotate_suppressions(std::move(findings), suppressions)) {
+    if (!af.suppressed) unsuppressed.push_back(std::move(af.finding));
   }
   return unsuppressed;
+}
+
+// ---------------------------------------------------------------------------
+// JSON output (--format=json in darl_lint / darl_verify)
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          constexpr const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xf];
+          out += hex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Stable machine-readable schema shared by both tools: a JSON array of
+/// {rule, file, line, message, suppressed} objects, one per finding,
+/// suppressed findings included.
+inline std::string findings_json(const std::vector<AnnotatedFinding>& all) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    const Finding& f = all[i].finding;
+    out += i == 0 ? "\n" : ",\n";
+    out += "  {\"rule\": \"" + json_escape(f.rule) + "\", \"file\": \"" +
+           json_escape(f.path) +
+           "\", \"line\": " + std::to_string(f.line) + ", \"message\": \"" +
+           json_escape(f.message) + "\", \"suppressed\": " +
+           (all[i].suppressed ? "true" : "false") + "}";
+  }
+  out += all.empty() ? "]\n" : "\n]\n";
+  return out;
 }
 
 }  // namespace darl::lint

@@ -24,4 +24,10 @@ fi
 
 mapfile -t files < <(find src tools -name '*.cpp' | sort)
 echo "run_clang_tidy.sh: ${#files[@]} file(s), database $BUILD_DIR"
-clang-tidy -p "$BUILD_DIR" --quiet "${files[@]}"
+# Concurrency checks and Clang's -Wthread-safety diagnostics (driven by
+# the DARL_* annotations in src/darl/common/thread_safety.hpp) are
+# errors: they duplicate invariants darl_verify enforces, so a finding
+# is a discipline break, not advice.
+clang-tidy -p "$BUILD_DIR" --quiet \
+    --warnings-as-errors='clang-diagnostic-thread-safety*,concurrency-*' \
+    "${files[@]}"
