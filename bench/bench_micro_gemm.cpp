@@ -4,6 +4,12 @@
 // network uses: NT for the forward pass (Z = X * W^T), TN for the weight
 // gradient (dW += delta^T * X) and NN for the input gradient
 // (dX = delta * W). Sizes bracket the study's policy layers.
+//
+// BM_GemmNTNaive keeps the pre-blocking loop order alive as the speedup
+// baseline for the blocked kernel; BM_GemmNTThreads sweeps the
+// DARL_LINALG_THREADS pool width so BENCH_9.json records scaling
+// efficiency; BM_GemmNTFastMath times the opt-in FMA tier against the
+// exactly-rounded default.
 
 #include <benchmark/benchmark.h>
 
@@ -11,6 +17,7 @@
 
 #include "darl/common/rng.hpp"
 #include "darl/linalg/matrix.hpp"
+#include "darl/linalg/thread_pool.hpp"
 
 namespace {
 
@@ -73,6 +80,82 @@ void BM_GemmTN(benchmark::State& state) {
                           static_cast<double>(n));
 }
 
+// The pre-blocking NT implementation: one dot product per output element,
+// B walked column-wise with stride n. This is what Matrix::gemm did before
+// the packed K-panel kernel, kept verbatim as the blocked-vs-naive
+// comparison baseline (same ascending-t accumulation, so it also doubles
+// as a correctness cross-check in tests).
+void naive_gemm_nt(double alpha, const Matrix& a, const Matrix& b, Matrix& c) {
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a.row(i);
+    double* crow = c.row(i);
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* brow = b.row(j);
+      double acc = 0.0;
+      for (std::size_t t = 0; t < k; ++t) acc += arow[t] * brow[t];
+      crow[j] += alpha * acc;
+    }
+  }
+}
+
+void BM_GemmNTNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  const Matrix a = random_matrix(n, n, rng);
+  const Matrix b = random_matrix(n, n, rng);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    c.fill(0.0);
+    naive_gemm_nt(1.0, a, b, c);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  report_flops(state, 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                          static_cast<double>(n));
+}
+
+// Pool-width sweep over the blocked NT kernel. Args: {n, threads}. The
+// pool is reconfigured at benchmark entry (a quiescent point) and restored
+// to the DARL_LINALG_THREADS default afterwards so neighbouring benchmarks
+// keep their configured width.
+void BM_GemmNTThreads(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  linalg::ThreadPool::instance().configure(threads);
+  Rng rng(2);
+  const Matrix a = random_matrix(n, n, rng);
+  const Matrix b = random_matrix(n, n, rng);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    c.fill(0.0);
+    Matrix::gemm(1.0, a, false, b, true, c);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  report_flops(state, 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                          static_cast<double>(n));
+  linalg::ThreadPool::instance().configure(linalg::env_thread_width());
+}
+
+// The opt-in DARL_FAST_MATH tier (FMA microkernel, fused rounding) against
+// the exactly-rounded default at the same size. On hardware without
+// AVX2+FMA set_fast_math(true) is a no-op and the two coincide.
+void BM_GemmNTFastMath(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  set_fast_math(true);
+  Rng rng(2);
+  const Matrix a = random_matrix(n, n, rng);
+  const Matrix b = random_matrix(n, n, rng);
+  Matrix c(n, n);
+  for (auto _ : state) {
+    c.fill(0.0);
+    Matrix::gemm(1.0, a, false, b, true, c);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  report_flops(state, 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                          static_cast<double>(n));
+  set_fast_math(false);
+}
+
 // Forward-pass shape as the Mlp issues it: a (batch x in) activation block
 // against a (out x in) weight matrix, transposed. range(0) = batch.
 void BM_GemmMlpLayer(benchmark::State& state) {
@@ -96,4 +179,11 @@ void BM_GemmMlpLayer(benchmark::State& state) {
 BENCHMARK(BM_GemmNN)->Arg(16)->Arg(64)->Arg(128);
 BENCHMARK(BM_GemmNT)->Arg(16)->Arg(64)->Arg(128);
 BENCHMARK(BM_GemmTN)->Arg(16)->Arg(64)->Arg(128);
+BENCHMARK(BM_GemmNTNaive)->Arg(64)->Arg(128);
+BENCHMARK(BM_GemmNTThreads)
+    ->Args({128, 1})
+    ->Args({128, 2})
+    ->Args({128, 4})
+    ->Args({128, 8});
+BENCHMARK(BM_GemmNTFastMath)->Arg(64)->Arg(128);
 BENCHMARK(BM_GemmMlpLayer)->Arg(1)->Arg(7)->Arg(64)->Arg(256);

@@ -5,9 +5,11 @@
 
 #include "darl/common/rng.hpp"
 #include "darl/linalg/matrix.hpp"
+#include "darl/linalg/thread_pool.hpp"
 #include "darl/nn/distributions.hpp"
 #include "darl/nn/mlp.hpp"
 #include "darl/nn/optimizer.hpp"
+#include "darl/nn/quantize.hpp"
 
 namespace {
 
@@ -73,6 +75,56 @@ void BM_MlpForwardBackwardBatch(benchmark::State& state) {
   }
   const double flops =
       3.0 * net.flops_per_forward() * static_cast<double>(b);
+  state.counters["flops/s"] = benchmark::Counter(
+      flops * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
+// The batched training step under a swept linalg::ThreadPool width.
+// Args: {hidden width, batch rows, threads}. The pool is reconfigured at
+// benchmark entry (a quiescent point) and restored afterwards; results
+// are bitwise-identical across widths, only the wall clock moves.
+void BM_MlpForwardBackwardBatchThreads(benchmark::State& state) {
+  Rng rng(7);
+  const auto h = static_cast<std::size_t>(state.range(0));
+  const auto b = static_cast<std::size_t>(state.range(1));
+  const auto threads = static_cast<std::size_t>(state.range(2));
+  linalg::ThreadPool::instance().configure(threads);
+  nn::Mlp net({12, h, h, 3}, nn::Activation::Tanh, rng);
+  const Matrix x(b, 12, 0.3);
+  const Matrix g(b, 3, 0.5);
+  net.forward_batch(x);
+  net.backward_batch(g);  // size the workspaces outside the timed loop
+  for (auto _ : state) {
+    net.zero_grad();
+    net.forward_batch(x);
+    benchmark::DoNotOptimize(net.backward_batch(g).data().data());
+  }
+  const double flops =
+      3.0 * net.flops_per_forward() * static_cast<double>(b);
+  state.counters["flops/s"] = benchmark::Counter(
+      flops * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  linalg::ThreadPool::instance().configure(linalg::env_thread_width());
+}
+
+// int8 row-quantized batched inference (the darl/serve quantized path)
+// against BM_MlpForwardBatch at the same shape. Args: {hidden, batch}.
+void BM_MlpEvaluateBatchQuantized(benchmark::State& state) {
+  Rng rng(6);
+  const auto h = static_cast<std::size_t>(state.range(0));
+  const auto b = static_cast<std::size_t>(state.range(1));
+  nn::Mlp net({12, h, h, 3}, nn::Activation::Tanh, rng);
+  const nn::QuantizedNet qn = nn::quantize_mlp_params(
+      {12, h, h, 3}, nn::Activation::Tanh, net.get_flat_params());
+  const Matrix x(b, 12, 0.3);
+  net.evaluate_batch_quantized(x, qn);  // size workspaces untimed
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        net.evaluate_batch_quantized(x, qn).data().data());
+  }
+  const double flops =
+      net.flops_per_forward() * static_cast<double>(b);
   state.counters["flops/s"] = benchmark::Counter(
       flops * static_cast<double>(state.iterations()),
       benchmark::Counter::kIsRate);
@@ -229,6 +281,17 @@ BENCHMARK(BM_MlpForwardBatch)
 BENCHMARK(BM_MlpForwardBackwardBatch)
     ->Args({64, 1})
     ->Args({64, 7})
+    ->Args({64, 64})
+    ->Args({128, 64});
+BENCHMARK(BM_MlpForwardBackwardBatchThreads)
+    ->Args({64, 64, 1})
+    ->Args({64, 64, 2})
+    ->Args({64, 64, 4})
+    ->Args({64, 64, 8})
+    ->Args({128, 256, 1})
+    ->Args({128, 256, 4});
+BENCHMARK(BM_MlpEvaluateBatchQuantized)
+    ->Args({64, 1})
     ->Args({64, 64})
     ->Args({128, 64});
 BENCHMARK(BM_MlpForwardBackwardPerSampleLoop)->Args({64, 64})->Args({128, 64});

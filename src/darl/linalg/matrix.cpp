@@ -1,9 +1,20 @@
 #include "darl/linalg/matrix.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
 
 #include "darl/common/error.hpp"
 #include "darl/common/rng.hpp"
+#include "darl/linalg/thread_pool.hpp"
+
+#if defined(__x86_64__) || defined(__i386__)
+#define DARL_LINALG_X86 1
+#include <immintrin.h>
+#else
+#define DARL_LINALG_X86 0
+#endif
 
 namespace darl {
 
@@ -75,6 +86,329 @@ void Matrix::add_scaled(double alpha, const Matrix& other) {
   for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += alpha * other.data_[i];
 }
 
+namespace {
+
+// ---------------------------------------------------------------------------
+// Blocked gemm kernels (DESIGN.md §16).
+//
+// Every kernel below accumulates each C element over the contraction index
+// t in ascending order with a scalar chain seeded from the C value already
+// in memory. K-panel boundaries re-seed the chain from C between panels —
+// the same additions in the same order, just interleaved with other rows —
+// so blocking, packing, and the row-partition parallel schedule are all
+// bitwise-neutral. Only the opt-in fast-math tier (fused multiply-add)
+// rounds differently, and only by the documented divergence bound.
+// ---------------------------------------------------------------------------
+
+/// K-panel length: the contraction index is walked in chunks of this many
+/// terms so a panel of the row-major operand stays cache-hot across all of
+/// a worker's C rows (64 terms x 256 cols x 8 bytes = 128 KiB, L2-sized).
+constexpr std::size_t kPanelK = 64;
+
+/// m*n*k volume below which gemm stays on the calling thread: chunk
+/// handoff costs more than it saves (batch-1 serve latency must not
+/// regress). 64x64x64 (the training batch shape) sits above it.
+constexpr std::size_t kParallelMinVolume = 131072;
+
+/// NT output rows below which packing op(B) costs more than the packed
+/// sweep saves; small shapes use the register-blocked dot-product kernel.
+constexpr std::size_t kNtPackMinRows = 8;
+
+/// Fast-math tier switch. Enabled only when DARL_FAST_MATH=1 AND the CPU
+/// has AVX2+FMA; darl_study force-disables it so campaign CSVs are exempt
+/// by construction.
+bool cpu_has_fast_math() {
+#if DARL_LINALG_X86 && defined(__GNUC__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+bool fast_math_env_default() {
+  const char* raw = std::getenv("DARL_FAST_MATH");
+  return raw != nullptr && raw[0] == '1' && cpu_has_fast_math();
+}
+
+std::atomic<bool> g_fast_math{fast_math_env_default()};
+
+/// Per-thread packing scratch for the NT flavour's transposed copy of
+/// op(B). Thread-local (gemm may run concurrently from serve replicas and
+/// parallel trials); grows to the largest k x n seen and then stops
+/// allocating. Growth lives here, outside the kernel bodies, per the
+/// darl_lint no-alloc-in-kernel rule.
+double* pack_workspace(std::size_t need) {
+  thread_local Vec buf;
+  if (buf.size() < need) buf.resize(need);
+  return buf.data();
+}
+
+/// dst (k x n row-major) = B^T, with B n x k row-major. Pure layout
+/// change: every value is copied, none recomputed.
+void pack_b_transposed(const double* b_base, std::size_t b_stride,
+                       std::size_t n, std::size_t k, double* dst) {
+  for (std::size_t j = 0; j < n; ++j) {
+    const double* brow = b_base + j * b_stride;
+    for (std::size_t t = 0; t < k; ++t) dst[t * n + j] = brow[t];
+  }
+}
+
+// Inner sweeps: four ascending-t terms land on each C element per pass
+// (chained scalar adds), then a single-t remainder. The j loop is
+// contiguous in both operands, so it vectorizes without reassociating any
+// per-element sum.
+inline void sweep4(double av0, double av1, double av2, double av3,
+                   const double* b0, const double* b1, const double* b2,
+                   const double* b3, double* crow, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) {
+    double cj = crow[j];
+    cj += av0 * b0[j];
+    cj += av1 * b1[j];
+    cj += av2 * b2[j];
+    cj += av3 * b3[j];
+    crow[j] = cj;
+  }
+}
+
+inline void sweep1(double av, const double* b, double* crow, std::size_t n) {
+  for (std::size_t j = 0; j < n; ++j) crow[j] += av * b[j];
+}
+
+#if DARL_LINALG_X86
+// Fast-math sweeps: identical term order, but each term lands via a fused
+// multiply-add (one rounding instead of two). Compiled for AVX2+FMA via
+// the target attribute so the base build flags stay untouched; only
+// reachable when fast_math_active().
+__attribute__((target("avx2,fma"))) void sweep4_fma(
+    double av0, double av1, double av2, double av3, const double* b0,
+    const double* b1, const double* b2, const double* b3, double* crow,
+    std::size_t n) {
+  const __m256d v0 = _mm256_set1_pd(av0);
+  const __m256d v1 = _mm256_set1_pd(av1);
+  const __m256d v2 = _mm256_set1_pd(av2);
+  const __m256d v3 = _mm256_set1_pd(av3);
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    __m256d c = _mm256_loadu_pd(crow + j);
+    c = _mm256_fmadd_pd(v0, _mm256_loadu_pd(b0 + j), c);
+    c = _mm256_fmadd_pd(v1, _mm256_loadu_pd(b1 + j), c);
+    c = _mm256_fmadd_pd(v2, _mm256_loadu_pd(b2 + j), c);
+    c = _mm256_fmadd_pd(v3, _mm256_loadu_pd(b3 + j), c);
+    _mm256_storeu_pd(crow + j, c);
+  }
+  for (; j < n; ++j) {
+    double cj = crow[j];
+    cj = std::fma(av0, b0[j], cj);
+    cj = std::fma(av1, b1[j], cj);
+    cj = std::fma(av2, b2[j], cj);
+    cj = std::fma(av3, b3[j], cj);
+    crow[j] = cj;
+  }
+}
+
+__attribute__((target("avx2,fma"))) void sweep1_fma(double av,
+                                                    const double* b,
+                                                    double* crow,
+                                                    std::size_t n) {
+  const __m256d v = _mm256_set1_pd(av);
+  std::size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    __m256d c = _mm256_loadu_pd(crow + j);
+    c = _mm256_fmadd_pd(v, _mm256_loadu_pd(b + j), c);
+    _mm256_storeu_pd(crow + j, c);
+  }
+  for (; j < n; ++j) crow[j] = std::fma(av, b[j], crow[j]);
+}
+#endif  // DARL_LINALG_X86
+
+/// One worker's share of C += alpha * A * B, with B a row-major k x n
+/// operand — the true B of the NN flavour, or the packed B^T of the NT
+/// flavour. K-panel outermost: one panel of B stays hot across all of the
+/// worker's rows; each row's scalar chain re-seeds from C at the panel
+/// boundary, preserving the ascending-t order exactly.
+void rowmajor_rows(double alpha, const double* a_base, std::size_t a_stride,
+                   const double* b_base, std::size_t n, std::size_t k,
+                   double* c_base, std::size_t c_stride, std::size_t r0,
+                   std::size_t r1, bool fm) {
+  for (std::size_t t0 = 0; t0 < k; t0 += kPanelK) {
+    const std::size_t t1 = std::min(k, t0 + kPanelK);
+    for (std::size_t r = r0; r < r1; ++r) {
+      const double* pa = a_base + r * a_stride;
+      double* crow = c_base + r * c_stride;
+      std::size_t t = t0;
+#if DARL_LINALG_X86
+      if (fm) {
+        for (; t + 4 <= t1; t += 4) {
+          sweep4_fma(alpha * pa[t + 0], alpha * pa[t + 1], alpha * pa[t + 2],
+                     alpha * pa[t + 3], b_base + (t + 0) * n,
+                     b_base + (t + 1) * n, b_base + (t + 2) * n,
+                     b_base + (t + 3) * n, crow, n);
+        }
+        for (; t < t1; ++t) sweep1_fma(alpha * pa[t], b_base + t * n, crow, n);
+        continue;
+      }
+#else
+      (void)fm;
+#endif
+      for (; t + 4 <= t1; t += 4) {
+        sweep4(alpha * pa[t + 0], alpha * pa[t + 1], alpha * pa[t + 2],
+               alpha * pa[t + 3], b_base + (t + 0) * n, b_base + (t + 1) * n,
+               b_base + (t + 2) * n, b_base + (t + 3) * n, crow, n);
+      }
+      for (; t < t1; ++t) sweep1(alpha * pa[t], b_base + t * n, crow, n);
+    }
+  }
+}
+
+/// One worker's share of C += alpha * A^T * B (rows [r0, r1) of C). The
+/// t-outer rank-1 form already streams B once, so no K-panel is needed;
+/// four t's per sweep keep each C row in registers, ascending order
+/// unchanged.
+void tn_rows(double alpha, const double* a_base, std::size_t a_stride,
+             const double* b_base, std::size_t b_stride, std::size_t n,
+             std::size_t k, double* c_base, std::size_t c_stride,
+             std::size_t r0, std::size_t r1, bool fm) {
+  std::size_t t = 0;
+  for (; t + 4 <= k; t += 4) {
+    const double* arow0 = a_base + (t + 0) * a_stride;
+    const double* arow1 = a_base + (t + 1) * a_stride;
+    const double* arow2 = a_base + (t + 2) * a_stride;
+    const double* arow3 = a_base + (t + 3) * a_stride;
+    const double* brow0 = b_base + (t + 0) * b_stride;
+    const double* brow1 = b_base + (t + 1) * b_stride;
+    const double* brow2 = b_base + (t + 2) * b_stride;
+    const double* brow3 = b_base + (t + 3) * b_stride;
+    for (std::size_t r = r0; r < r1; ++r) {
+      double* crow = c_base + r * c_stride;
+#if DARL_LINALG_X86
+      if (fm) {
+        sweep4_fma(alpha * arow0[r], alpha * arow1[r], alpha * arow2[r],
+                   alpha * arow3[r], brow0, brow1, brow2, brow3, crow, n);
+        continue;
+      }
+#endif
+      sweep4(alpha * arow0[r], alpha * arow1[r], alpha * arow2[r],
+             alpha * arow3[r], brow0, brow1, brow2, brow3, crow, n);
+    }
+  }
+  for (; t < k; ++t) {
+    const double* arow = a_base + t * a_stride;
+    const double* brow = b_base + t * b_stride;
+    for (std::size_t r = r0; r < r1; ++r) {
+      double* crow = c_base + r * c_stride;
+#if DARL_LINALG_X86
+      if (fm) {
+        sweep1_fma(alpha * arow[r], brow, crow, n);
+        continue;
+      }
+#else
+      (void)fm;
+#endif
+      sweep1(alpha * arow[r], brow, crow, n);
+    }
+  }
+}
+
+/// Register-blocked dot-product NT kernel for small outputs (m below
+/// kNtPackMinRows): four C columns share one ascending-t pass, each with
+/// its own scalar chain. This is the PR-4 kernel shape; packing would cost
+/// as much as the whole product at these sizes. Always scalar — the
+/// fast-math tier only covers the blocked shapes.
+void nt_small(double alpha, const double* a_base, std::size_t a_stride,
+              const double* b_base, std::size_t b_stride, std::size_t m,
+              std::size_t n, std::size_t k, double* c_base,
+              std::size_t c_stride) {
+  for (std::size_t r = 0; r < m; ++r) {
+    const double* pa = a_base + r * a_stride;
+    double* crow = c_base + r * c_stride;
+    std::size_t j = 0;
+    for (; j + 4 <= n; j += 4) {
+      const double* pb0 = b_base + (j + 0) * b_stride;
+      const double* pb1 = b_base + (j + 1) * b_stride;
+      const double* pb2 = b_base + (j + 2) * b_stride;
+      const double* pb3 = b_base + (j + 3) * b_stride;
+      double acc0 = crow[j + 0];
+      double acc1 = crow[j + 1];
+      double acc2 = crow[j + 2];
+      double acc3 = crow[j + 3];
+      for (std::size_t t = 0; t < k; ++t) {
+        const double av = alpha * pa[t];
+        acc0 += av * pb0[t];
+        acc1 += av * pb1[t];
+        acc2 += av * pb2[t];
+        acc3 += av * pb3[t];
+      }
+      crow[j + 0] = acc0;
+      crow[j + 1] = acc1;
+      crow[j + 2] = acc2;
+      crow[j + 3] = acc3;
+    }
+    for (; j < n; ++j) {
+      const double* pb = b_base + j * b_stride;
+      double acc = crow[j];
+      for (std::size_t t = 0; t < k; ++t) acc += (alpha * pa[t]) * pb[t];
+      crow[j] = acc;
+    }
+  }
+}
+
+/// Chunk context handed to the pool: everything a worker needs to find
+/// its fixed row range and run the right flavour over it.
+struct ChunkCtx {
+  double alpha = 1.0;
+  const double* a_base = nullptr;
+  std::size_t a_stride = 0;
+  const double* b_base = nullptr;
+  std::size_t b_stride = 0;
+  double* c_base = nullptr;
+  std::size_t c_stride = 0;
+  std::size_t m = 0;
+  std::size_t n = 0;
+  std::size_t k = 0;
+  bool tn = false;
+  bool fm = false;
+};
+
+/// Fixed tile ownership: worker w of `width` owns C rows
+/// [m*w/width, m*(w+1)/width) — contiguous, disjoint, and a pure function
+/// of (w, width), so the schedule (and every write) is identical across
+/// runs and across threaded vs inline execution.
+void gemm_chunk(void* vctx, std::size_t w, std::size_t width) {
+  const ChunkCtx& ctx = *static_cast<const ChunkCtx*>(vctx);
+  const std::size_t r0 = (ctx.m * w) / width;
+  const std::size_t r1 = (ctx.m * (w + 1)) / width;
+  if (r0 >= r1) return;
+  if (ctx.tn) {
+    tn_rows(ctx.alpha, ctx.a_base, ctx.a_stride, ctx.b_base, ctx.b_stride,
+            ctx.n, ctx.k, ctx.c_base, ctx.c_stride, r0, r1, ctx.fm);
+  } else {
+    rowmajor_rows(ctx.alpha, ctx.a_base, ctx.a_stride, ctx.b_base, ctx.n,
+                  ctx.k, ctx.c_base, ctx.c_stride, r0, r1, ctx.fm);
+  }
+}
+
+/// Route a chunk context through the pool when the product volume clears
+/// the parallel threshold, inline otherwise. Inline is chunk (0, 1) — the
+/// whole row range in one call.
+void dispatch_chunks(ChunkCtx& ctx) {
+  linalg::ThreadPool& pool = linalg::ThreadPool::instance();
+  if (pool.width() > 1 && ctx.m * ctx.n * ctx.k >= kParallelMinVolume) {
+    pool.run(&gemm_chunk, &ctx);
+  } else {
+    gemm_chunk(&ctx, 0, 1);
+  }
+}
+
+}  // namespace
+
+void set_fast_math(bool on) {
+  g_fast_math.store(on && cpu_has_fast_math(), std::memory_order_relaxed);
+}
+
+bool fast_math_active() {
+  return g_fast_math.load(std::memory_order_relaxed);
+}
+
 void Matrix::gemm(double alpha, const Matrix& a, bool trans_a, const Matrix& b,
                   bool trans_b, Matrix& c) {
   const std::size_t m = trans_a ? a.cols_ : a.rows_;
@@ -91,179 +425,50 @@ void Matrix::gemm(double alpha, const Matrix& a, bool trans_a, const Matrix& b,
   const double* a_base = a.data_.data();
   const double* b_base = b.data_.data();
   double* c_base = c.data_.data();
-  // Each transpose flavour gets the loop order that walks both operands
-  // contiguously. All of them accumulate every C element over the
-  // contraction index t in ascending order, so the flavours are bitwise
-  // interchangeable with each other and with matvec / matvec_t / add_outer;
-  // only the traversal of independent elements differs.
+  const bool fm = fast_math_active();
+  ChunkCtx ctx;
+  ctx.alpha = alpha;
+  ctx.c_base = c_base;
+  ctx.c_stride = c.cols_;
+  ctx.m = m;
+  ctx.n = n;
+  ctx.k = kdim;
+  ctx.fm = fm;
   if (!trans_a && trans_b) {
-    // C += alpha * A * B^T — the forward-pass shape (Z = X * W^T). Both A
-    // and B rows are contiguous along t. Register-blocked 2 rows x 4
-    // columns: eight output elements share one pass over the contraction
-    // index, each with its own scalar accumulator, so every element's
-    // summation order is exactly the unblocked one — the blocking only
-    // widens the set of independent chains in flight (the t-reduction
-    // cannot be vectorized without reassociation, so throughput comes
-    // from independent accumulators).
-    std::size_t r = 0;
-    for (; r + 2 <= m; r += 2) {
-      const double* pa0 = a_base + (r + 0) * a.cols_;
-      const double* pa1 = a_base + (r + 1) * a.cols_;
-      double* crow0 = c_base + (r + 0) * c.cols_;
-      double* crow1 = c_base + (r + 1) * c.cols_;
-      std::size_t j = 0;
-      for (; j + 4 <= n; j += 4) {
-        const double* pb0 = b_base + (j + 0) * b.cols_;
-        const double* pb1 = b_base + (j + 1) * b.cols_;
-        const double* pb2 = b_base + (j + 2) * b.cols_;
-        const double* pb3 = b_base + (j + 3) * b.cols_;
-        double a00 = crow0[j + 0], a01 = crow0[j + 1];
-        double a02 = crow0[j + 2], a03 = crow0[j + 3];
-        double a10 = crow1[j + 0], a11 = crow1[j + 1];
-        double a12 = crow1[j + 2], a13 = crow1[j + 3];
-        for (std::size_t t = 0; t < kdim; ++t) {
-          const double av0 = alpha * pa0[t];
-          const double av1 = alpha * pa1[t];
-          const double b0 = pb0[t], b1 = pb1[t], b2 = pb2[t], b3 = pb3[t];
-          a00 += av0 * b0;
-          a01 += av0 * b1;
-          a02 += av0 * b2;
-          a03 += av0 * b3;
-          a10 += av1 * b0;
-          a11 += av1 * b1;
-          a12 += av1 * b2;
-          a13 += av1 * b3;
-        }
-        crow0[j + 0] = a00;
-        crow0[j + 1] = a01;
-        crow0[j + 2] = a02;
-        crow0[j + 3] = a03;
-        crow1[j + 0] = a10;
-        crow1[j + 1] = a11;
-        crow1[j + 2] = a12;
-        crow1[j + 3] = a13;
-      }
-      for (; j < n; ++j) {
-        const double* pb = b_base + j * b.cols_;
-        double acc0 = crow0[j];
-        double acc1 = crow1[j];
-        for (std::size_t t = 0; t < kdim; ++t) {
-          const double bt = pb[t];
-          acc0 += (alpha * pa0[t]) * bt;
-          acc1 += (alpha * pa1[t]) * bt;
-        }
-        crow0[j] = acc0;
-        crow1[j] = acc1;
-      }
+    // C += alpha * A * B^T — the forward-pass shape (Z = X * W^T). Large
+    // outputs pack op(B) into a k x n panel buffer once (layout only, no
+    // arithmetic) and run the vectorizable row-major core over it; small
+    // outputs keep the dot-product kernel. Same per-element order either
+    // way.
+    if (m < kNtPackMinRows) {
+      nt_small(alpha, a_base, a.cols_, b_base, b.cols_, m, n, kdim, c_base,
+               c.cols_);
+      return;
     }
-    for (; r < m; ++r) {
-      const double* pa = a_base + r * a.cols_;
-      double* crow = c_base + r * c.cols_;
-      std::size_t j = 0;
-      for (; j + 4 <= n; j += 4) {
-        const double* pb0 = b_base + (j + 0) * b.cols_;
-        const double* pb1 = b_base + (j + 1) * b.cols_;
-        const double* pb2 = b_base + (j + 2) * b.cols_;
-        const double* pb3 = b_base + (j + 3) * b.cols_;
-        double acc0 = crow[j + 0];
-        double acc1 = crow[j + 1];
-        double acc2 = crow[j + 2];
-        double acc3 = crow[j + 3];
-        for (std::size_t t = 0; t < kdim; ++t) {
-          const double av = alpha * pa[t];
-          acc0 += av * pb0[t];
-          acc1 += av * pb1[t];
-          acc2 += av * pb2[t];
-          acc3 += av * pb3[t];
-        }
-        crow[j + 0] = acc0;
-        crow[j + 1] = acc1;
-        crow[j + 2] = acc2;
-        crow[j + 3] = acc3;
-      }
-      for (; j < n; ++j) {
-        const double* pb = b_base + j * b.cols_;
-        double acc = crow[j];
-        for (std::size_t t = 0; t < kdim; ++t) acc += (alpha * pa[t]) * pb[t];
-        crow[j] = acc;
-      }
-    }
+    double* pack = pack_workspace(kdim * n);
+    pack_b_transposed(b_base, b.cols_, n, kdim, pack);
+    ctx.a_base = a_base;
+    ctx.a_stride = a.cols_;
+    ctx.b_base = pack;
+    ctx.b_stride = n;
+    dispatch_chunks(ctx);
   } else if (trans_a && !trans_b) {
     // C += alpha * A^T * B — the weight-gradient shape (dW += delta^T * X).
-    // Expressed as rank-1 updates (t outermost) so every access is
-    // row-contiguous; blocking four t's per sweep keeps each C row in
-    // registers across four consecutive updates. Element (r, j) still
-    // accumulates its alpha*A(t,r)*B(t,j) terms one at a time in
-    // ascending-t order, exactly like repeated add_outer calls.
-    std::size_t t = 0;
-    for (; t + 4 <= kdim; t += 4) {
-      const double* arow0 = a_base + (t + 0) * a.cols_;
-      const double* arow1 = a_base + (t + 1) * a.cols_;
-      const double* arow2 = a_base + (t + 2) * a.cols_;
-      const double* arow3 = a_base + (t + 3) * a.cols_;
-      const double* brow0 = b_base + (t + 0) * b.cols_;
-      const double* brow1 = b_base + (t + 1) * b.cols_;
-      const double* brow2 = b_base + (t + 2) * b.cols_;
-      const double* brow3 = b_base + (t + 3) * b.cols_;
-      for (std::size_t r = 0; r < m; ++r) {
-        const double av0 = alpha * arow0[r];
-        const double av1 = alpha * arow1[r];
-        const double av2 = alpha * arow2[r];
-        const double av3 = alpha * arow3[r];
-        double* crow = c_base + r * c.cols_;
-        for (std::size_t j = 0; j < n; ++j) {
-          double cj = crow[j];
-          cj += av0 * brow0[j];
-          cj += av1 * brow1[j];
-          cj += av2 * brow2[j];
-          cj += av3 * brow3[j];
-          crow[j] = cj;
-        }
-      }
-    }
-    for (; t < kdim; ++t) {
-      const double* arow = a_base + t * a.cols_;
-      const double* brow = b_base + t * b.cols_;
-      for (std::size_t r = 0; r < m; ++r) {
-        const double av = alpha * arow[r];
-        double* crow = c_base + r * c.cols_;
-        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
+    // Rank-1 t-outer updates, parallel over C row ranges.
+    ctx.a_base = a_base;
+    ctx.a_stride = a.cols_;
+    ctx.b_base = b_base;
+    ctx.b_stride = b.cols_;
+    ctx.tn = true;
+    dispatch_chunks(ctx);
   } else if (!trans_a && !trans_b) {
-    // C += alpha * A * B — the input-gradient shape (dX = delta * W).
-    // i-t-j order with four t's per sweep: the inner j sweep is contiguous
-    // in B and C, the C element stays in a register across the four
-    // chained adds, and per element the t terms still land one at a time
-    // in ascending order.
-    for (std::size_t r = 0; r < m; ++r) {
-      const double* pa = a_base + r * a.cols_;
-      double* crow = c_base + r * c.cols_;
-      std::size_t t = 0;
-      for (; t + 4 <= kdim; t += 4) {
-        const double av0 = alpha * pa[t + 0];
-        const double av1 = alpha * pa[t + 1];
-        const double av2 = alpha * pa[t + 2];
-        const double av3 = alpha * pa[t + 3];
-        const double* brow0 = b_base + (t + 0) * b.cols_;
-        const double* brow1 = b_base + (t + 1) * b.cols_;
-        const double* brow2 = b_base + (t + 2) * b.cols_;
-        const double* brow3 = b_base + (t + 3) * b.cols_;
-        for (std::size_t j = 0; j < n; ++j) {
-          double cj = crow[j];
-          cj += av0 * brow0[j];
-          cj += av1 * brow1[j];
-          cj += av2 * brow2[j];
-          cj += av3 * brow3[j];
-          crow[j] = cj;
-        }
-      }
-      for (; t < kdim; ++t) {
-        const double av = alpha * pa[t];
-        const double* brow = b_base + t * b.cols_;
-        for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-      }
-    }
+    // C += alpha * A * B — the input-gradient shape (dX = delta * W). B is
+    // already row-major k x n; the packed-NT core runs on it directly.
+    ctx.a_base = a_base;
+    ctx.a_stride = a.cols_;
+    ctx.b_base = b_base;
+    ctx.b_stride = b.cols_;
+    dispatch_chunks(ctx);
   } else {
     // C += alpha * A^T * B^T — unused by the network; generic strided form.
     for (std::size_t r = 0; r < m; ++r) {

@@ -68,14 +68,20 @@ class Matrix {
   void add_scaled(double alpha, const Matrix& other);
 
   /// C += alpha * op(A) * op(B), where op is the identity or the transpose.
-  /// C must be pre-shaped to op(A).rows x op(B).cols; no temporaries are
-  /// allocated. Each C element accumulates over the contraction index in
-  /// ascending order (seeded from the existing C value), matching the
-  /// matvec / matvec_t / add_outer summation order bit for bit. Each
-  /// transpose flavour uses the loop order that keeps both operands
-  /// row-contiguous (NT: register-blocked dot rows; TN: rank-1 updates;
-  /// NN: i-t-j sweeps) — the per-element summation order is the same in
-  /// all of them, only the traversal of independent elements differs.
+  /// C must be pre-shaped to op(A).rows x op(B).cols; the only scratch is a
+  /// thread-local packing buffer that stops growing once the largest shape
+  /// has been seen. Each C element accumulates over the contraction index
+  /// in ascending order (seeded from the existing C value), matching the
+  /// matvec / matvec_t / add_outer summation order bit for bit — across
+  /// flavours, K-panel blocking, operand packing, AND the thread count:
+  /// large products are row-partitioned over the persistent
+  /// linalg::ThreadPool (width from DARL_LINALG_THREADS, default 1) with
+  /// fixed disjoint row ownership per worker, so results are bitwise
+  /// identical at any width. Products below a volume threshold stay on the
+  /// calling thread (batch-1 latency). The opt-in fast-math tier
+  /// (DARL_FAST_MATH=1 / set_fast_math) swaps the inner sweeps for
+  /// AVX2+FMA versions with the same term order but fused rounding — see
+  /// DESIGN.md §16 for the divergence bound; campaigns force it off.
   static void gemm(double alpha, const Matrix& a, bool trans_a,
                    const Matrix& b, bool trans_b, Matrix& c);
 
@@ -99,6 +105,16 @@ class Matrix {
   std::size_t cols_ = 0;
   Vec data_;
 };
+
+/// Toggle the opt-in fast-math gemm tier at runtime. Takes effect only on
+/// CPUs with AVX2+FMA (silently stays off otherwise). The process default
+/// is DARL_FAST_MATH=1 in the environment; darl_study calls
+/// set_fast_math(false) unconditionally so campaign arithmetic is always
+/// the strict tier.
+void set_fast_math(bool on);
+
+/// Whether gemm is currently using the fused-multiply-add sweeps.
+bool fast_math_active();
 
 /// m(r, c) += bias[c] for every row r. Requires bias.size() == m.cols().
 /// Identical per row to axpy(1.0, bias, z) on a matvec result.

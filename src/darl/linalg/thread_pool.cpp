@@ -1,0 +1,115 @@
+#include "darl/linalg/thread_pool.hpp"
+
+#include <cstdlib>
+
+namespace darl::linalg {
+
+std::size_t env_thread_width() {
+  const char* raw = std::getenv("DARL_LINALG_THREADS");
+  if (raw == nullptr || raw[0] == '\0') return 1;
+  char* end = nullptr;
+  const unsigned long v = std::strtoul(raw, &end, 10);
+  if (end == raw || v < 1) return 1;
+  return v > 64 ? 64 : static_cast<std::size_t>(v);
+}
+
+ThreadPool& ThreadPool::instance() {
+  // Meyer's singleton: constructed on first gemm that asks for it, joined
+  // at static destruction. Width comes from the environment so the
+  // determinism audit can run the same binary at 1 and 4 threads.
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::ThreadPool() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  width_ = env_thread_width();
+  start_workers();
+}
+
+ThreadPool::~ThreadPool() { stop_workers(); }
+
+void ThreadPool::start_workers() {
+  stopping_ = false;
+  // Workers are born with seen == 0, so the epoch must restart at 0 too:
+  // a stale epoch surviving a reconfigure would wake a fresh worker
+  // straight into the previous run's task_/ctx_ — a dangling pointer to a
+  // stack frame that returned long ago.
+  epoch_ = 0;
+  task_ = nullptr;
+  ctx_ = nullptr;
+  pending_ = 0;
+  threads_.reserve(width_ > 0 ? width_ - 1 : 0);
+  for (std::size_t w = 1; w < width_; ++w) {
+    threads_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+void ThreadPool::stop_workers() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    work_cv_.notify_all();
+  }
+  for (std::thread& t : threads_) t.join();
+  threads_.clear();
+}
+
+void ThreadPool::configure(std::size_t width) {
+  stop_workers();
+  std::lock_guard<std::mutex> lock(mutex_);
+  width_ = width < 1 ? 1 : (width > 64 ? 64 : width);
+  start_workers();
+}
+
+void ThreadPool::worker_loop(std::size_t w) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Task task = nullptr;
+    void* ctx = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stopping_ || epoch_ != seen; });
+      if (stopping_) return;
+      seen = epoch_;
+      task = task_;
+      ctx = ctx_;
+    }
+    task(ctx, w, width_);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run(Task task, void* ctx) {
+  const std::size_t width = width_;
+  bool expected = false;
+  if (width <= 1 ||
+      !busy_.compare_exchange_strong(expected, true,
+                                     std::memory_order_acquire)) {
+    // Solo pool, nested call, or another thread's run() is in flight:
+    // execute every chunk inline. Chunk w of width still covers exactly
+    // the same row ranges, so the results are bitwise identical to the
+    // threaded execution.
+    for (std::size_t w = 0; w < width; ++w) task(ctx, w, width);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    task_ = task;
+    ctx_ = ctx;
+    pending_ = width - 1;
+    ++epoch_;
+    work_cv_.notify_all();
+  }
+  task(ctx, 0, width);  // the caller is worker 0
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return pending_ == 0; });
+  }
+  busy_.store(false, std::memory_order_release);
+}
+
+}  // namespace darl::linalg

@@ -5,6 +5,7 @@
 
 #include "darl/common/error.hpp"
 #include "darl/common/rng.hpp"
+#include "darl/nn/quantize.hpp"
 #include "darl/obs/metrics.hpp"
 
 namespace darl::nn {
@@ -49,17 +50,11 @@ Mlp::Mlp(const std::vector<std::size_t>& sizes, Activation activation, Rng& rng)
     flops_fwd_ += static_cast<double>(sizes_[l + 1]);  // bias + activation
   }
   ws_act_.resize(layers + 1);
-  ws_wt_.resize(layers);
 }
 
 void Mlp::ensure_forward_ws(std::size_t batch) {
   const std::size_t layers = weights_.size();
   for (std::size_t l = 0; l <= layers; ++l) ws_act_[l].reshape(batch, sizes_[l]);
-}
-
-void Mlp::refresh_weight_transposes() const {
-  for (std::size_t l = 0; l < weights_.size(); ++l)
-    weights_[l].transpose_into(ws_wt_[l]);
 }
 
 void Mlp::apply_act(Matrix& z) const {
@@ -96,17 +91,14 @@ const Matrix& Mlp::forward_batch(const Matrix& x) {
   const std::size_t layers = weights_.size();
   ensure_forward_ws(batch);
   record_batch(batch, flops_fwd_ * static_cast<double>(batch));
-  const bool transposed = batch >= kTransposedGemmMinRows;
-  if (transposed) refresh_weight_transposes();
   std::copy(x.data().begin(), x.data().end(), ws_act_[0].data().begin());
   for (std::size_t l = 0; l < layers; ++l) {
     Matrix& z = ws_act_[l + 1];
     z.fill(0.0);
-    if (transposed) {
-      Matrix::gemm(1.0, ws_act_[l], false, ws_wt_[l], false, z);
-    } else {
-      Matrix::gemm(1.0, ws_act_[l], false, weights_[l], true, z);
-    }
+    // Z = X * W^T straight through the NT flavour: gemm packs the weight
+    // operand internally once the batch clears its threshold, with the
+    // same per-element summation order at every batch size.
+    Matrix::gemm(1.0, ws_act_[l], false, weights_[l], true, z);
     add_bias(z, biases_[l]);
     if (l + 1 < layers) apply_act(z);
   }
@@ -120,20 +112,44 @@ const Matrix& Mlp::evaluate_batch(const Matrix& x) const {
   const std::size_t batch = x.rows();
   const std::size_t layers = weights_.size();
   record_batch(batch, flops_fwd_ * static_cast<double>(batch));
-  const bool transposed = batch >= kTransposedGemmMinRows;
-  if (transposed) refresh_weight_transposes();
   const Matrix* a = &x;
   Matrix* z = &ws_eval_a_;
   Matrix* spare = &ws_eval_b_;
   for (std::size_t l = 0; l < layers; ++l) {
     z->reshape(batch, sizes_[l + 1]);
     z->fill(0.0);
-    if (transposed) {
-      Matrix::gemm(1.0, *a, false, ws_wt_[l], false, *z);
-    } else {
-      Matrix::gemm(1.0, *a, false, weights_[l], true, *z);
-    }
+    Matrix::gemm(1.0, *a, false, weights_[l], true, *z);
     add_bias(*z, biases_[l]);
+    if (l + 1 < layers) apply_act(*z);
+    a = z;
+    std::swap(z, spare);
+  }
+  return *a;
+}
+
+void Mlp::ensure_quant_ws() const {
+  std::size_t widest = 0;
+  for (std::size_t l = 0; l + 1 < sizes_.size(); ++l)
+    widest = std::max(widest, sizes_[l]);
+  if (ws_qx_.size() < widest) ws_qx_.resize(widest);
+}
+
+const Matrix& Mlp::evaluate_batch_quantized(const Matrix& x,
+                                            const QuantizedNet& qn) const {
+  DARL_CHECK(x.cols() == input_dim(),
+             "Mlp input has " << x.cols() << " dims, expected " << input_dim());
+  DARL_CHECK(qn.sizes == sizes_,
+             "quantized net architecture does not match this Mlp");
+  const std::size_t batch = x.rows();
+  const std::size_t layers = weights_.size();
+  record_batch(batch, flops_fwd_ * static_cast<double>(batch));
+  ensure_quant_ws();
+  const Matrix* a = &x;
+  Matrix* z = &ws_eval_a_;
+  Matrix* spare = &ws_eval_b_;
+  for (std::size_t l = 0; l < layers; ++l) {
+    z->reshape(batch, sizes_[l + 1]);
+    quantized_layer_forward(qn.layers[l], *a, ws_qx_.data(), *z);
     if (l + 1 < layers) apply_act(*z);
     a = z;
     std::swap(z, spare);

@@ -28,6 +28,8 @@ namespace darl::nn {
 /// Hidden-layer activation functions.
 enum class Activation { Tanh, ReLU };
 
+struct QuantizedNet;  // darl/nn/quantize.hpp
+
 /// A reference to one parameter buffer and its gradient accumulator.
 /// Optimizers iterate these; the referenced storage is owned by the model.
 struct ParamRef {
@@ -77,6 +79,18 @@ class Mlp {
   /// evaluate/evaluate_batch call.
   const Matrix& evaluate_batch(const Matrix& x) const;
 
+  /// Batched int8 inference through a quantized snapshot of this
+  /// network's parameters (see darl/nn/quantize.hpp for the scheme). `qn`
+  /// must have been quantized from a network with this architecture. Rows
+  /// are processed independently with exact int32 accumulation, so the
+  /// result is bitwise identical whether samples arrive batched or one at
+  /// a time — the serving self-check for quantized tenants relies on
+  /// this. Lossy versus evaluate_batch within the bound returned by
+  /// quantization_logit_error_bound. Returns a reference into the
+  /// evaluation workspace, valid until the next evaluate call.
+  const Matrix& evaluate_batch_quantized(const Matrix& x,
+                                         const QuantizedNet& qn) const;
+
   /// Batched backward for the immediately preceding forward_batch.
   /// grad_output is (batch x output_dim); row i must hold dL/dy for row i
   /// of the forward input. Accumulates parameter gradients exactly as the
@@ -111,23 +125,14 @@ class Mlp {
   Activation activation() const { return activation_; }
 
  private:
-  /// Minimum batch rows for which the forward gemm is worth routing through
-  /// a transposed weight copy: Z = X * W^T becomes Z = X * (W^T as stored),
-  /// whose inner loop vectorizes (the direct form is a serial reduction).
-  /// Identical per-element summation order, so the two routes are bitwise
-  /// interchangeable; below the threshold the transpose costs more than the
-  /// kernel saves.
-  static constexpr std::size_t kTransposedGemmMinRows = 8;
-
   /// Grow the forward workspaces (per-layer activations) to hold `batch`
   /// rows. Allocation happens here, outside the batch kernels, and only
   /// until the largest batch has been seen.
   void ensure_forward_ws(std::size_t batch);
 
-  /// Re-copy each layer's weights into ws_wt_ transposed (weights change
-  /// every optimizer step, so this runs once per batched pass that uses
-  /// the transposed route).
-  void refresh_weight_transposes() const;
+  /// Grow the quantized-path scratch (one uint8 row of the widest layer
+  /// input). Allocation lives here, outside the kernels.
+  void ensure_quant_ws() const;
 
   /// In-place activation / activation-derivative application; identical
   /// scalar math to the per-sample act/act_grad. The derivative is read
@@ -147,18 +152,20 @@ class Mlp {
 
   // Reusable batch workspaces. ws_act_[l] holds the input rows of layer l
   // (ws_act_.back() is the network output); hidden slots hold the
-  // activation outputs the backward pass differentiates through. ws_wt_[l]
-  // caches weights_[l] transposed for the large-batch forward route. The
+  // activation outputs the backward pass differentiates through. The
   // delta pair ping-pongs through backward_batch; the eval pair through
   // evaluate_batch (mutable: evaluate is logically const but reuses
-  // instance-owned scratch).
+  // instance-owned scratch). (The PR-4 transposed-weight cache is gone:
+  // Matrix::gemm now packs the NT operand internally when the batch is
+  // large enough to pay for it.)
   std::vector<Matrix> ws_act_;
-  mutable std::vector<Matrix> ws_wt_;
   Matrix ws_delta_a_, ws_delta_b_;
   mutable Matrix ws_eval_a_, ws_eval_b_;
   // Batch-of-1 staging rows for the per-sample wrappers.
   Matrix ws_x1_, ws_g1_;
   mutable Matrix ws_eval_x1_;
+  // Quantized-activation row scratch for evaluate_batch_quantized.
+  mutable std::vector<std::uint8_t> ws_qx_;
   Vec output_;
   std::size_t forward_rows_ = 0;  ///< rows of the pending forward (0 = none)
 };

@@ -1,0 +1,173 @@
+#include "darl/nn/quantize.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "darl/common/error.hpp"
+
+namespace darl::nn {
+
+namespace {
+
+/// Activation-row quantization parameters: scale and offset for one
+/// sample's row, chosen so the row's [min, max] maps onto [0, 255].
+struct RowQuant {
+  double scale = 1.0;
+  double offset = 0.0;
+};
+
+/// Quantize `row` (n doubles) into `qrow` (uint8). A constant row gets
+/// scale 1 and all-zero codes (the offset carries the value exactly).
+RowQuant quantize_row(const double* row, std::size_t n, std::uint8_t* qrow) {
+  double lo = row[0];
+  double hi = row[0];
+  for (std::size_t c = 1; c < n; ++c) {
+    lo = std::min(lo, row[c]);
+    hi = std::max(hi, row[c]);
+  }
+  RowQuant rq;
+  rq.offset = lo;
+  rq.scale = hi > lo ? (hi - lo) / 255.0 : 1.0;
+  for (std::size_t c = 0; c < n; ++c) {
+    const double q = std::nearbyint((row[c] - rq.offset) / rq.scale);
+    qrow[c] = static_cast<std::uint8_t>(q < 0.0 ? 0.0 : (q > 255.0 ? 255.0 : q));
+  }
+  return rq;
+}
+
+}  // namespace
+
+QuantizedNet quantize_mlp_params(const std::vector<std::size_t>& sizes,
+                                 Activation activation, const Vec& flat) {
+  DARL_CHECK(sizes.size() >= 2, "quantize: need {in, ..., out} sizes");
+  QuantizedNet qn;
+  qn.sizes = sizes;
+  qn.activation = activation;
+  std::size_t off = 0;
+  for (std::size_t l = 0; l + 1 < sizes.size(); ++l) {
+    QuantizedLayer layer;
+    layer.in = sizes[l];
+    layer.out = sizes[l + 1];
+    const std::size_t wn = layer.out * layer.in;
+    DARL_CHECK(off + wn + layer.out <= flat.size(),
+               "quantize: flat parameter vector too short");
+    layer.qw.resize(wn);
+    layer.w_scale.resize(layer.out);
+    layer.qrow_sum.resize(layer.out);
+    for (std::size_t j = 0; j < layer.out; ++j) {
+      const double* wrow = flat.data() + off + j * layer.in;
+      double amax = 0.0;
+      for (std::size_t c = 0; c < layer.in; ++c)
+        amax = std::max(amax, std::fabs(wrow[c]));
+      const double scale = amax > 0.0 ? amax / 127.0 : 1.0;
+      layer.w_scale[j] = scale;
+      std::int32_t rsum = 0;
+      for (std::size_t c = 0; c < layer.in; ++c) {
+        const double q = std::nearbyint(wrow[c] / scale);
+        const auto qi = static_cast<std::int8_t>(
+            q < -127.0 ? -127.0 : (q > 127.0 ? 127.0 : q));
+        layer.qw[j * layer.in + c] = qi;
+        rsum += qi;
+      }
+      layer.qrow_sum[j] = rsum;
+    }
+    off += wn;
+    layer.bias.assign(flat.begin() + static_cast<std::ptrdiff_t>(off),
+                      flat.begin() + static_cast<std::ptrdiff_t>(off + layer.out));
+    off += layer.out;
+    qn.layers.push_back(std::move(layer));
+  }
+  DARL_CHECK(off == flat.size(),
+             "quantize: flat vector has " << flat.size()
+                                          << " values, architecture expects "
+                                          << off);
+  return qn;
+}
+
+void quantized_layer_forward(const QuantizedLayer& layer, const Matrix& in,
+                             std::uint8_t* qrow, Matrix& out) {
+  const std::size_t rows = in.rows();
+  for (std::size_t r = 0; r < rows; ++r) {
+    const RowQuant rq = quantize_row(in.row(r), layer.in, qrow);
+    double* orow = out.row(r);
+    const std::int8_t* qw = layer.qw.data();
+    for (std::size_t j = 0; j < layer.out; ++j) {
+      const std::int8_t* wrow = qw + j * layer.in;
+      std::int32_t acc = 0;
+      for (std::size_t c = 0; c < layer.in; ++c) {
+        acc += static_cast<std::int32_t>(wrow[c]) *
+               static_cast<std::int32_t>(qrow[c]);
+      }
+      // Fixed scalar expression per logit: integer result, two scales,
+      // offset fold, bias. Deterministic and identical per-sample vs
+      // batched (each row is independent).
+      orow[j] = layer.w_scale[j] *
+                    (rq.scale * static_cast<double>(acc) +
+                     rq.offset * static_cast<double>(layer.qrow_sum[j])) +
+                layer.bias[j];
+    }
+  }
+}
+
+double quantization_logit_error_bound(const QuantizedNet& qn, const Vec& flat,
+                                      const Matrix& x) {
+  DARL_CHECK(x.cols() == qn.sizes.front(),
+             "bound: input has " << x.cols() << " dims, expected "
+                                 << qn.sizes.front());
+  const std::size_t rows = x.rows();
+  double worst = 0.0;
+  std::vector<std::uint8_t> qrow;
+  for (const QuantizedLayer& layer : qn.layers)
+    qrow.resize(std::max(qrow.size(), layer.in));
+
+  for (std::size_t r = 0; r < rows; ++r) {
+    // Quantized-path activations for this sample (what the kernel sees),
+    // and the per-element error bound carried alongside them.
+    Vec tilde(x.row(r), x.row(r) + x.cols());
+    Vec err(x.cols(), 0.0);
+    std::size_t off = 0;
+    for (std::size_t l = 0; l < qn.layers.size(); ++l) {
+      const QuantizedLayer& layer = qn.layers[l];
+      const double* wbase = flat.data() + off;
+      // The activation scale the kernel will use for this row.
+      const RowQuant rq = quantize_row(tilde.data(), layer.in, qrow.data());
+      Vec next(layer.out, 0.0);
+      Vec next_err(layer.out, 0.0);
+      Matrix trow(1, layer.in);
+      std::copy(tilde.begin(), tilde.end(), trow.data().begin());
+      Matrix zrow(1, layer.out);
+      quantized_layer_forward(layer, trow, qrow.data(), zrow);
+      for (std::size_t j = 0; j < layer.out; ++j) {
+        const double* wrow = wbase + j * layer.in;
+        const std::int8_t* qwrow = layer.qw.data() + j * layer.in;
+        const double sw = layer.w_scale[j];
+        double e = 0.0;
+        for (std::size_t c = 0; c < layer.in; ++c) {
+          // |W - s_w*qw| <= s_w/2 against the quantized-path activation,
+          // |a~ - dequant(a~)| <= s_x/2 against the dequantized weight,
+          // plus the incoming per-element error through the exact weight.
+          e += 0.5 * sw * std::fabs(tilde[c]);
+          e += 0.5 * rq.scale * std::fabs(sw * static_cast<double>(qwrow[c]));
+          e += std::fabs(wrow[c]) * err[c];
+        }
+        next_err[j] = e;
+        next[j] = zrow(0, j);
+      }
+      off += layer.out * layer.in + layer.out;
+      if (l + 1 < qn.layers.size()) {
+        // tanh and relu are 1-Lipschitz: the pre-activation error bound
+        // carries through unchanged.
+        for (double& v : next) {
+          v = qn.activation == Activation::Tanh ? std::tanh(v)
+                                                : (v > 0.0 ? v : 0.0);
+        }
+      }
+      tilde = std::move(next);
+      err = std::move(next_err);
+    }
+    for (double e : err) worst = std::max(worst, e);
+  }
+  return worst;
+}
+
+}  // namespace darl::nn

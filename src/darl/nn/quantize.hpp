@@ -1,0 +1,80 @@
+// darl/nn/quantize.hpp
+//
+// int8 row-quantized inference for the serving path (DESIGN.md §16).
+//
+// Scheme: weights are quantized per OUTPUT ROW, symmetric int8
+// (s_w[j] = max_c |W[j][c]| / 127, zero-point 0); activations are
+// quantized per SAMPLE ROW, asymmetric uint8 against the row's [min, max]
+// (s_x = (max - min) / 255, offset min). Each output logit is then
+//
+//   z[j] = s_w[j] * (s_x * acc[j] + min * qrow_sum[j]) + bias[j]
+//
+// with acc[j] = sum_c qw[j][c] * qx[c] accumulated in int32 — exact
+// integer arithmetic, so the contraction is associative and batched
+// inference is bitwise identical to per-sample inference by construction
+// (each row is quantized and reduced independently; the few double ops
+// per logit are a fixed expression). qrow_sum[j] = sum_c qw[j][c] folds
+// the activation offset out of the integer loop.
+//
+// The tier is lossy versus the exact path: |logit error| is bounded by
+// quantization_logit_error_bound (rounding of weights and activations,
+// propagated through 1-Lipschitz activations); the gate test in
+// tests/test_nn_batch.cpp asserts the measured error stays inside it.
+// Exact-mode tenants in darl/serve bypass this path entirely.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "darl/linalg/matrix.hpp"
+#include "darl/nn/mlp.hpp"
+
+namespace darl::nn {
+
+/// One linear layer, weights quantized per output row. Immutable after
+/// quantize_mlp_params; shared read-only across scheduler replicas.
+struct QuantizedLayer {
+  std::size_t in = 0;
+  std::size_t out = 0;
+  std::vector<std::int8_t> qw;        ///< out x in, row-major
+  Vec w_scale;                        ///< per-row symmetric scale s_w
+  std::vector<std::int32_t> qrow_sum; ///< per-row sum of qw (offset fold)
+  Vec bias;                           ///< exact double bias
+};
+
+/// A whole network quantized for inference. Carried (as a shared_ptr) on
+/// the immutable serve::PolicyVersion, built once at publish time.
+struct QuantizedNet {
+  std::vector<std::size_t> sizes;
+  Activation activation = Activation::Tanh;
+  std::vector<QuantizedLayer> layers;
+};
+
+/// Quantize a network given its architecture and flat parameter vector
+/// (the get_flat_params / PolicySpec::net_params layout: per layer,
+/// row-major weights then bias). int32 accumulation is exact for layer
+/// widths up to ~66k inputs (127 * 255 * 66k < 2^31).
+QuantizedNet quantize_mlp_params(const std::vector<std::size_t>& sizes,
+                                 Activation activation, const Vec& flat);
+
+/// Run one quantized layer over `in` (one sample per row, exact doubles),
+/// writing logits into `out` (pre-shaped in.rows() x layer.out). `qrow`
+/// is caller-owned scratch of at least layer.in bytes. This is the single
+/// source of truth for the quantized math: Mlp::evaluate_batch_quantized
+/// and the error-bound auditor both run it.
+void quantized_layer_forward(const QuantizedLayer& layer, const Matrix& in,
+                             std::uint8_t* qrow, Matrix& out);
+
+/// Analytic upper bound on max_j |exact logit - quantized logit| over the
+/// whole batch: per layer, weight rounding (s_w/2 per term against the
+/// actual quantized-path activations), activation rounding (s_x/2 against
+/// the dequantized weight row), and the incoming error propagated through
+/// the 1-Lipschitz activation and the exact weight magnitudes. `flat` is
+/// the exact parameter vector the net was quantized from. Walks the
+/// quantized forward internally; intended for tests and audits, allocates
+/// freely.
+double quantization_logit_error_bound(const QuantizedNet& qn, const Vec& flat,
+                                      const Matrix& x);
+
+}  // namespace darl::nn

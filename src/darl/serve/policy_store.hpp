@@ -33,6 +33,7 @@
 #include "darl/common/thread_safety.hpp"
 #include "darl/env/space.hpp"
 #include "darl/nn/mlp.hpp"
+#include "darl/nn/quantize.hpp"
 #include "darl/rl/checkpoint.hpp"
 
 namespace darl::serve {
@@ -82,6 +83,11 @@ struct PolicyVersion {
   std::uint64_t id = 0;
   PolicySpec spec;
   std::uint64_t params_digest = 0;  ///< fnv1a64 over net_params bytes
+  /// int8 row-quantized snapshot of spec.net_params, derived once at
+  /// publish time so scheduler replicas in quantized mode share it
+  /// read-only (the replicas' Mlp instances keep the exact parameters;
+  /// the quantized weights ride on the immutable version instead).
+  std::shared_ptr<const nn::QuantizedNet> quantized;
 };
 
 /// Versioned, swap-under-traffic, multi-tenant policy holder.
@@ -176,10 +182,14 @@ class PolicyStore {
 /// Reference single-observation inference path: per-sample Mlp::evaluate
 /// plus greedy decode, with no batching anywhere. Tests, the CLI
 /// self-check and the deploy example compare served actions against this
-/// bitwise. Not thread-safe (owns one Mlp workspace); make one per thread.
+/// bitwise. With `quantized` set it runs the int8 batch-of-1 path
+/// instead — the reference for quantized-mode tenants, which is likewise
+/// bitwise-reproducible because the int8 kernel reduces each sample
+/// independently in exact integer arithmetic. Not thread-safe (owns one
+/// Mlp workspace); make one per thread.
 class DirectPolicy {
  public:
-  explicit DirectPolicy(const PolicySpec& spec);
+  explicit DirectPolicy(const PolicySpec& spec, bool quantized = false);
 
   /// Greedy action for one observation.
   Vec act(const Vec& obs);
@@ -187,6 +197,8 @@ class DirectPolicy {
  private:
   PolicySpec spec_;
   nn::Mlp net_;
+  std::shared_ptr<const nn::QuantizedNet> quantized_;  ///< null = exact
+  Matrix obs_row_;
   Vec action_;
 };
 

@@ -8,6 +8,7 @@
 #include "darl/common/rng.hpp"
 #include "darl/common/stats.hpp"
 #include "darl/linalg/matrix.hpp"
+#include "darl/linalg/thread_pool.hpp"
 #include "darl/linalg/vec.hpp"
 
 namespace darl {
@@ -121,6 +122,176 @@ TEST(Matrix, KaimingInitStatistics) {
   for (double v : w.data()) s.push(v);
   EXPECT_NEAR(s.mean(), 0.0, 0.002);
   EXPECT_NEAR(s.stddev(), 1.0 / 16.0, 0.002);  // gain/sqrt(cols) = 1/16
+}
+
+// ---------------------------------------------------------------------------
+// Blocked / threaded gemm vs. the canonical accumulation chain
+//
+// Matrix::gemm documents one per-element contract: each C(i, j) is the
+// stored value extended by (alpha * a_it) * b_tj terms in ascending t, one
+// chained scalar add per term. The reference below is that contract
+// written as the plainest possible triple loop — the pre-blocking PR-4
+// loop order. Blocking, packing, and the pool's row partition must all be
+// bitwise-invisible against it, at every width, for every flavour, on
+// shapes chosen to stress the edges (prime dims, K not a multiple of the
+// 64-term panel, K below one sweep4 pass, m below the NT packing cutoff).
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (double& v : m.data()) v = rng.normal(0.0, 1.0);
+  return m;
+}
+
+void reference_gemm(double alpha, const Matrix& a, bool trans_a,
+                    const Matrix& b, bool trans_b, Matrix& c) {
+  const std::size_t m = c.rows(), n = c.cols();
+  const std::size_t k = trans_a ? a.rows() : a.cols();
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = c(i, j);
+      for (std::size_t t = 0; t < k; ++t) {
+        const double a_it = trans_a ? a(t, i) : a(i, t);
+        const double b_tj = trans_b ? b(j, t) : b(t, j);
+        acc += (alpha * a_it) * b_tj;
+      }
+      c(i, j) = acc;
+    }
+  }
+}
+
+struct GemmShape {
+  std::size_t m, n, k;
+};
+
+/// Run one flavour over the edge-case shape set at pool widths 1, 2 and 4
+/// and demand bitwise equality with the reference chain every time.
+void check_flavour_bitwise(bool trans_a, bool trans_b) {
+  const GemmShape shapes[] = {
+      {13, 17, 71},   // prime dims, K not a multiple of the 64-term panel
+      {3, 5, 2},      // K below one sweep4 pass
+      {67, 31, 64},   // K exactly one panel, odd m/n
+      {9, 129, 130},  // K spanning three panels with a remainder
+      {1, 64, 64},    // single output row (NT: below the packing cutoff)
+  };
+  linalg::ThreadPool& pool = linalg::ThreadPool::instance();
+  Rng rng(17);
+  for (const GemmShape& s : shapes) {
+    const Matrix a = trans_a ? random_matrix(s.k, s.m, rng)
+                             : random_matrix(s.m, s.k, rng);
+    const Matrix b = trans_b ? random_matrix(s.n, s.k, rng)
+                             : random_matrix(s.k, s.n, rng);
+    const Matrix c0 = random_matrix(s.m, s.n, rng);  // nonzero seed values
+    const double alpha = -0.75;
+    Matrix expected = c0;
+    reference_gemm(alpha, a, trans_a, b, trans_b, expected);
+    for (const std::size_t width : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{4}}) {
+      pool.configure(width);
+      Matrix c = c0;
+      Matrix::gemm(alpha, a, trans_a, b, trans_b, c);
+      for (std::size_t i = 0; i < c.size(); ++i) {
+        ASSERT_EQ(c.data()[i], expected.data()[i])
+            << "flavour " << (trans_a ? "T" : "N") << (trans_b ? "T" : "N")
+            << " shape " << s.m << "x" << s.n << "x" << s.k << " width "
+            << width << " element " << i;
+      }
+    }
+  }
+  pool.configure(linalg::env_thread_width());
+}
+
+TEST(GemmBitwise, NtMatchesReferenceChainAtAllWidths) {
+  check_flavour_bitwise(false, true);
+}
+
+TEST(GemmBitwise, TnMatchesReferenceChainAtAllWidths) {
+  check_flavour_bitwise(true, false);
+}
+
+TEST(GemmBitwise, NnMatchesReferenceChainAtAllWidths) {
+  check_flavour_bitwise(false, false);
+}
+
+TEST(GemmBitwise, TtMatchesReferenceChain) {
+  check_flavour_bitwise(true, true);
+}
+
+// The serving contract at the gemm level: row i of a batched NT product
+// equals the same row computed as a batch of one (the small-m dot kernel),
+// bitwise — rows are independent, so batching is invisible per sample.
+TEST(GemmBitwise, NtBatchedRowsEqualPerRowProducts) {
+  Rng rng(23);
+  const std::size_t m = 64, n = 33, k = 67;
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix b = random_matrix(n, k, rng);
+  Matrix c(m, n, 0.0);
+  Matrix::gemm(1.0, a, false, b, true, c);
+  for (std::size_t i = 0; i < m; ++i) {
+    Matrix arow(1, k);
+    std::copy(a.row(i), a.row(i) + k, arow.data().begin());
+    Matrix crow(1, n, 0.0);
+    Matrix::gemm(1.0, arow, false, b, true, crow);
+    for (std::size_t j = 0; j < n; ++j) {
+      ASSERT_EQ(c(i, j), crow(0, j)) << "row " << i << " col " << j;
+    }
+  }
+}
+
+// Regression: configure() after a threaded run must restart the epoch
+// along with the workers. A stale epoch woke freshly spawned workers
+// straight into the previous run's task_/ctx_ — a dangling pointer to a
+// returned stack frame (crashed the width-sweep bench). Alternate widths
+// with parallel-sized runs between every reconfigure; each run must still
+// match the reference chain, and the sanitizer trees watch the rest.
+TEST(GemmBitwise, ReconfigureAfterThreadedRunStaysSound) {
+  linalg::ThreadPool& pool = linalg::ThreadPool::instance();
+  Rng rng(31);
+  const std::size_t m = 64, n = 64, k = 64;  // above the parallel cutoff
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix b = random_matrix(n, k, rng);
+  const Matrix c0 = random_matrix(m, n, rng);
+  Matrix expected = c0;
+  reference_gemm(1.0, a, false, b, true, expected);
+  for (const std::size_t width : {std::size_t{4}, std::size_t{2},
+                                  std::size_t{4}, std::size_t{1},
+                                  std::size_t{4}}) {
+    pool.configure(width);
+    Matrix c = c0;
+    Matrix::gemm(1.0, a, false, b, true, c);
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      ASSERT_EQ(c.data()[i], expected.data()[i])
+          << "width " << width << " element " << i;
+    }
+  }
+  pool.configure(linalg::env_thread_width());
+}
+
+// The fast-math tier is opt-in, exempt from the bitwise contract, and
+// bounded: each element may differ from the exactly-rounded result only by
+// the fused-rounding slack k * u * sum_t |alpha * a_it * b_tj| (DESIGN.md
+// §16). On hardware without AVX2+FMA set_fast_math(true) stays off and the
+// diff is exactly zero, which the bound also accepts.
+TEST(GemmBitwise, FastMathStaysWithinDivergenceBound) {
+  Rng rng(29);
+  const std::size_t m = 32, n = 48, k = 96;
+  const Matrix a = random_matrix(m, k, rng);
+  const Matrix b = random_matrix(n, k, rng);
+  Matrix exact(m, n, 0.0);
+  Matrix::gemm(1.0, a, false, b, true, exact);
+  set_fast_math(true);
+  Matrix fused(m, n, 0.0);
+  Matrix::gemm(1.0, a, false, b, true, fused);
+  set_fast_math(false);
+  const double u = 0x1p-52;
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double mag = 0.0;
+      for (std::size_t t = 0; t < k; ++t) mag += std::abs(a(i, t) * b(j, t));
+      ASSERT_LE(std::abs(fused(i, j) - exact(i, j)),
+                static_cast<double>(k) * u * mag)
+          << "element (" << i << "," << j << ")";
+    }
+  }
 }
 
 }  // namespace

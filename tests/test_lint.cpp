@@ -247,6 +247,38 @@ TEST(LintDetach, CleanJoin) {
 }
 
 // ---------------------------------------------------------------------------
+// thread-outside-pool
+
+TEST(LintThreadPool, FlagsStdThreadInLinalgAndNn) {
+  const std::string code = "std::thread t(work); t.join();";
+  EXPECT_TRUE(has_rule(scan(code, "src/darl/linalg/matrix.cpp"),
+                       "thread-outside-pool"));
+  EXPECT_TRUE(has_rule(scan(code, "src/darl/nn/mlp.cpp"),
+                       "thread-outside-pool"));
+  // A member declaration is just as banned as a construction: the rule is
+  // about who owns threads, not how they are spelled.
+  EXPECT_TRUE(has_rule(scan("std::vector<std::thread> workers_;",
+                            "src/darl/nn/mlp.hpp"),
+                       "thread-outside-pool"));
+}
+
+TEST(LintThreadPool, CleanPoolFilesOtherDirsAndPoolUse) {
+  const std::string code = "std::thread t(work); t.join();";
+  // The sanctioned pool pair may construct threads.
+  EXPECT_FALSE(has_rule(scan(code, "src/darl/linalg/thread_pool.cpp"),
+                        "thread-outside-pool"));
+  EXPECT_FALSE(has_rule(scan(code, "src/darl/linalg/thread_pool.hpp"),
+                        "thread-outside-pool"));
+  // Outside linalg/nn the rule does not apply (serve owns workers).
+  EXPECT_FALSE(has_rule(scan(code, "src/darl/serve/batch_scheduler.cpp"),
+                        "thread-outside-pool"));
+  // Going through the pool is the sanctioned route.
+  EXPECT_TRUE(scan("ThreadPool::instance().run(&gemm_chunk, &ctx);",
+                   "src/darl/linalg/matrix.cpp")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
 // heap-alloc-in-kernel
 
 TEST(LintKernelAlloc, FlagsAllocationsInsideBatchAndGemmBodies) {

@@ -31,8 +31,18 @@
 # ratio — beyond its knee, batch-1's open-loop tail grows with the
 # backlog while the batched fleet keeps it bounded).
 #
+# The kernel-performance sweep (blocked vs naive NT gemm, the
+# DARL_LINALG_THREADS pool-width ladder, the DARL_FAST_MATH tier, and int8
+# quantized inference) is distilled into a fifth report (default:
+# BENCH_9.json): per-cell real/CPU ns and GFLOP/s keyed by op x threads,
+# plus headlines for the blocked-vs-naive single-thread lift, pool scaling
+# efficiency, the 4-thread batch-64 fwd+bwd speedup over the per-sample
+# baseline, and the quantized-vs-exact batched inference ratio. Wall-clock
+# thread scaling is only meaningful on a multi-core runner; the report
+# records both real and CPU time so a single-core CI box stays honest.
+#
 # Usage: tools/bench.sh [output.json] [serve_output.json] [obs_output.json] \
-#                       [openloop_output.json]
+#                       [openloop_output.json] [kernel_output.json]
 #   BUILD_DIR=build-foo tools/bench.sh     # use a different build tree
 #   BENCH_SMOKE=1 tools/bench.sh out.json serve.json
 #                                          # near-instant smoke run (CI gate:
@@ -45,6 +55,7 @@ OUT="${1:-BENCH_4.json}"
 SERVE_OUT="${2:-BENCH_5.json}"
 OBS_OUT="${3:-BENCH_6.json}"
 OPENLOOP_OUT="${4:-BENCH_7.json}"
+KERNEL_OUT="${5:-BENCH_9.json}"
 BUILD="${BUILD_DIR:-build}"
 JOBS="$(nproc)"
 
@@ -87,6 +98,16 @@ def to_ns(b):
     scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
     return b["real_time"] * scale
 
+# Kernel-sweep benches (threads ladder, fast-math tier, naive strawman,
+# quantized inference) are distilled into BENCH_9, not this baseline.
+KERNEL_OPS = {
+    "BM_GemmNTNaive",
+    "BM_GemmNTThreads",
+    "BM_GemmNTFastMath",
+    "BM_MlpForwardBackwardBatchThreads",
+    "BM_MlpEvaluateBatchQuantized",
+}
+
 results = []
 times = {}
 for b in load(gemm_path) + load(nn_path):
@@ -95,17 +116,24 @@ for b in load(gemm_path) + load(nn_path):
     name = b["name"]  # e.g. BM_MlpForwardBackwardBatch/64/64
     parts = name.split("/")
     op = parts[0]
+    if op in KERNEL_OPS:
+        continue
+    args = [int(p) for p in parts[1:] if p.isdigit()]
     # Single-arg benches (gemm square size, MlpLayer batch) report the arg
-    # as the batch column; two-arg nn benches report {hidden, batch}.
-    batch = int(parts[-1]) if len(parts) > 1 else 1
+    # as the batch column; two-arg nn benches report {hidden, batch} — both
+    # columns, so e.g. hidden-64 and hidden-128 rows at the same batch stay
+    # distinguishable.
     ns = to_ns(b)
     times[name] = ns
-    results.append({
+    record = {
         "op": op,
-        "batch": batch,
+        "batch": args[-1] if args else 1,
         "ns_per_op": ns,
         "flops_per_s": b.get("flops/s"),
-    })
+    }
+    if len(args) == 2:
+        record["hidden"] = args[0]
+    results.append(record)
 
 report = {"results": results}
 batched = times.get("BM_MlpForwardBackwardBatch/64/64")
@@ -316,5 +344,134 @@ if batch1_knee is not None and batched:
 with open(out_path, "w") as f:
     json.dump(report, f, indent=2)
     f.write("\n")
+print(f"wrote {out_path} ({len(results)} records)")
+PY
+
+python3 - "$TMP/gemm.json" "$TMP/nn.json" "$KERNEL_OUT" <<'PY'
+import json, sys
+
+gemm_path, nn_path, out_path = sys.argv[1], sys.argv[2], sys.argv[3]
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)["benchmarks"]
+
+def ns(b, field):
+    unit = b.get("time_unit", "ns")
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+    return b[field] * scale
+
+# The kernel-performance report: blocked vs naive NT gemm, the pool-width
+# ladder, the DARL_FAST_MATH tier, and int8 quantized batched inference.
+# Each record carries BOTH real and CPU ns: on a single-core runner the
+# pool's worker time is CPU-attributed but wall time cannot drop, so only
+# the CPU column shows the schedule's work distribution there; real-time
+# speedups are meaningful only on a multi-core box.
+KERNEL_OPS = {
+    "BM_GemmNT",            # blocked NT at the ambient pool width (1)
+    "BM_GemmNTNaive",       # pre-blocking dot-product strawman
+    "BM_GemmNTThreads",     # blocked NT across pool widths 1/2/4/8
+    "BM_GemmNTFastMath",    # DARL_FAST_MATH FMA tier
+    "BM_MlpForwardBatch",   # exact batched forward (quantized comparator)
+    "BM_MlpForwardBackwardBatch",
+    "BM_MlpForwardBackwardBatchThreads",
+    "BM_MlpForwardBackwardPerSampleLoop",
+    "BM_MlpEvaluateBatchQuantized",
+}
+
+results = []
+cells = {}
+for b in load(gemm_path) + load(nn_path):
+    if b.get("run_type") == "aggregate":
+        continue
+    name = b["name"]
+    parts = name.split("/")
+    op = parts[0]
+    if op not in KERNEL_OPS:
+        continue
+    args = [int(p) for p in parts[1:] if p.isdigit()]
+    record = {"op": op,
+              "real_ns": ns(b, "real_time"),
+              "cpu_ns": ns(b, "cpu_time"),
+              "flops_per_s": b.get("flops/s")}
+    if op.startswith("BM_Gemm"):
+        record["n"] = args[0]
+        record["threads"] = args[1] if len(args) > 1 else 1
+    else:
+        record["hidden"], record["batch"] = args[0], args[1]
+        record["threads"] = args[2] if len(args) > 2 else 1
+    cells[name] = record
+    results.append(record)
+
+report = {"results": results}
+
+def real(name):
+    r = cells.get(name)
+    return r["real_ns"] if r else None
+
+def gflops(name):
+    r = cells.get(name)
+    f = r.get("flops_per_s") if r else None
+    return f / 1e9 if f else None
+
+# Headline 1: single-threaded blocked NT vs the pre-blocking dot-product
+# kernel (the tentpole's cache-blocking win, no threading involved).
+for n in (64, 128):
+    blocked, naive = gflops(f"BM_GemmNT/{n}"), gflops(f"BM_GemmNTNaive/{n}")
+    if blocked and naive:
+        report[f"nt_blocked_gflops_{n}"] = blocked
+        report[f"nt_naive_gflops_{n}"] = naive
+        report[f"nt_blocked_vs_naive_{n}"] = blocked / naive
+
+# Headline 2: the pool-width ladder at 128^3, real-time speedup vs the
+# same blocked kernel at width 1 plus the CPU-attributed flop rate.
+base_r = real("BM_GemmNTThreads/128/1")
+if base_r:
+    ladder = {}
+    for w in (1, 2, 4, 8):
+        cell = cells.get(f"BM_GemmNTThreads/128/{w}")
+        if cell:
+            ladder[f"threads_{w}"] = {
+                "real_speedup": base_r / cell["real_ns"],
+                "cpu_gflops": (cell["flops_per_s"] or 0) / 1e9,
+            }
+    report["nt_threads_ladder_128"] = ladder
+
+# Headline 3: DARL_FAST_MATH tier over the default blocked kernel.
+for n in (64, 128):
+    exact, fast = gflops(f"BM_GemmNT/{n}"), gflops(f"BM_GemmNTFastMath/{n}")
+    if exact and fast:
+        report[f"fast_math_speedup_{n}"] = fast / exact
+
+# Headline 4: batch-64 fwd+bwd at 4 pool threads vs the per-sample loop —
+# the acceptance gate's end-to-end training-path number.
+per_sample = real("BM_MlpForwardBackwardPerSampleLoop/64/64")
+t4 = real("BM_MlpForwardBackwardBatchThreads/64/64/4")
+t1 = real("BM_MlpForwardBackwardBatchThreads/64/64/1")
+if per_sample and t4:
+    report["fwd_bwd_batch64_4t_speedup_vs_per_sample"] = per_sample / t4
+if per_sample and t1:
+    report["fwd_bwd_batch64_1t_speedup_vs_per_sample"] = per_sample / t1
+
+# Headline 5: int8 quantized batched inference vs the exact forward pass
+# at the same shape (the serving fleet's evaluate path).
+for hidden, batch in ((64, 64), (128, 64)):
+    exact = real(f"BM_MlpForwardBatch/{hidden}/{batch}")
+    quant = real(f"BM_MlpEvaluateBatchQuantized/{hidden}/{batch}")
+    if exact and quant:
+        report[f"quantized_eval_speedup_h{hidden}_b{batch}"] = exact / quant
+
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2)
+    f.write("\n")
+
+r = report
+if "nt_blocked_vs_naive_128" in r:
+    print(f"kernel: blocked NT {r['nt_blocked_gflops_128']:.1f} GFLOP/s vs "
+          f"naive {r['nt_naive_gflops_128']:.1f} at 128^3 "
+          f"({r['nt_blocked_vs_naive_128']:.2f}x)")
+if "fwd_bwd_batch64_4t_speedup_vs_per_sample" in r:
+    print(f"kernel: fwd+bwd batch-64 at 4 threads "
+          f"{r['fwd_bwd_batch64_4t_speedup_vs_per_sample']:.2f}x per-sample")
 print(f"wrote {out_path} ({len(results)} records)")
 PY

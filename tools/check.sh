@@ -25,12 +25,15 @@
 #   7. build-tsan/   ThreadSanitizer tree (DARL_SANITIZE=thread), which
 #                    gives the parallel fault-tolerance tests teeth: data
 #                    races in Study::run's threaded evaluate/retry/timeout
-#                    paths show up here, not in the plain build
+#                    paths show up here, not in the plain build; the
+#                    GemmBitwise suite then reruns in the same tree with
+#                    DARL_LINALG_THREADS=4 so the pool's fixed
+#                    tile-ownership schedule is raced under TSan
 #   8. smoke bench    the gemm/nn/serve/obs micro benchmarks built and run
 #                    with a near-zero time budget (BENCH_SMOKE=1
-#                    tools/bench.sh) — keeps the benches compiling and
-#                    their JSON distillers working without paying for
-#                    real timings
+#                    tools/bench.sh) — keeps the benches and all five
+#                    JSON distillers (incl. the BENCH_9 kernel report)
+#                    working without paying for real timings
 #   9. telemetry smoke: darl_serve started with --obs-port 0, its
 #                    /healthz and /metrics scraped live over /dev/tcp,
 #                    and the serve metric families asserted present
@@ -39,11 +42,13 @@
 #                    must show low-priority shedding, both tenants
 #                    serving, per-shard queue gauges, and no shed
 #                    counter on the control lane
-#  11. determinism audit: the same seeded campaign run twice serially and
-#                    once with --parallel 4 must produce byte-identical
+#  11. determinism audit: the same seeded campaign run twice serially,
+#                    once with --parallel 4, and once with the gemm pool
+#                    at DARL_LINALG_THREADS=4 must produce byte-identical
 #                    trials CSVs — with the telemetry sampler + exporter
-#                    enabled (--obs-port 0), proving observability never
-#                    perturbs campaign results
+#                    enabled (--obs-port 0), proving neither observability
+#                    nor the parallel gemm schedule ever perturbs
+#                    campaign results
 #
 # A per-stage wall-clock summary prints at the end.
 #
@@ -111,6 +116,12 @@ ASAN_OPTIONS="detect_leaks=1" run_tree build-asan address,undefined "$@"
 
 stage "build-tsan/ (thread)"
 run_tree build-tsan thread "$@"
+# Re-race the gemm bitwise-equivalence suite with the pool actually wide:
+# the full ctest pass above runs at the default width (1), so this is the
+# run where TSan watches the fixed tile-ownership schedule's handoff.
+echo "--- [build-tsan] GemmBitwise at DARL_LINALG_THREADS=4 ---"
+DARL_LINALG_THREADS=4 ./build-tsan/tests/test_linalg \
+    --gtest_filter='GemmBitwise.*'
 
 AUDIT_DIR="$(mktemp -d)"
 trap 'rm -rf "$AUDIT_DIR"' EXIT
@@ -118,7 +129,7 @@ trap 'rm -rf "$AUDIT_DIR"' EXIT
 stage "smoke bench (near-instant micro-kernel run)"
 BENCH_SMOKE=1 tools/bench.sh "$AUDIT_DIR/bench_smoke.json" \
     "$AUDIT_DIR/bench_serve_smoke.json" "$AUDIT_DIR/bench_obs_smoke.json" \
-    "$AUDIT_DIR/bench_openloop_smoke.json"
+    "$AUDIT_DIR/bench_openloop_smoke.json" "$AUDIT_DIR/bench_kernel_smoke.json"
 
 stage "telemetry smoke (darl_serve --obs-port, live scrape)"
 OBS_LOG="$AUDIT_DIR/obs_serve.log"
@@ -234,7 +245,7 @@ grep -q 'self-check: all .* bitwise-identical' "$FLEET_LOG" \
   || fleet_fail "fleet self-check line missing"
 echo "fleet smoke ok: port $fleet_port, $shed_total low-priority requests shed, both tenants serving"
 
-stage "determinism audit (serial x2 vs --parallel 4, telemetry on)"
+stage "determinism audit (serial x2, --parallel 4, gemm pool x4, telemetry on)"
 audit_run() {
   local out="$1"
   shift
@@ -244,11 +255,16 @@ audit_run() {
 audit_run "$AUDIT_DIR/serial_a.csv"
 audit_run "$AUDIT_DIR/serial_b.csv"
 audit_run "$AUDIT_DIR/parallel.csv" --parallel 4
+# The gemm pool at width 4: every Matrix::gemm in the campaign now runs
+# the parallel fixed-tile schedule, and the CSVs must not move a byte.
+DARL_LINALG_THREADS=4 audit_run "$AUDIT_DIR/threads4.csv"
 cmp "$AUDIT_DIR/serial_a.csv" "$AUDIT_DIR/serial_b.csv" \
   || { echo "determinism audit FAILED: serial reruns differ"; exit 1; }
 cmp "$AUDIT_DIR/serial_a.csv" "$AUDIT_DIR/parallel.csv" \
   || { echo "determinism audit FAILED: parallel run differs from serial"; exit 1; }
-echo "determinism audit ok: $(wc -l < "$AUDIT_DIR/serial_a.csv") CSV lines byte-identical across runs"
+cmp "$AUDIT_DIR/serial_a.csv" "$AUDIT_DIR/threads4.csv" \
+  || { echo "determinism audit FAILED: DARL_LINALG_THREADS=4 run differs from serial"; exit 1; }
+echo "determinism audit ok: $(wc -l < "$AUDIT_DIR/serial_a.csv") CSV lines byte-identical across runs (incl. gemm pool at 4 threads)"
 
 stage_end
 echo "=== stage timing ==="

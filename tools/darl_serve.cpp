@@ -40,6 +40,16 @@
 //                       requests per client, 0 = never (default 0). The
 //                       republished spec is identical, so the bitwise
 //                       self-check keeps working across swaps.
+//   --quantized         serve through the int8 quantized inference path
+//                       (per-layer scales derived at publish time). The
+//                       self-check compares against a *quantized*
+//                       DirectPolicy, so it still demands bitwise
+//                       equality — quantization is deterministic, only
+//                       lossy versus the exact double path.
+//   --exact-tenants L   comma-separated tenant names pinned to the exact
+//                       path even under --quantized (per-tenant
+//                       fallback; their self-check reference stays the
+//                       exact DirectPolicy)
 //   --seed N            rng seed for client traffic (default 42)
 //   --obs-out PATH      write the metrics-registry snapshot as JSONL
 //   --obs-port P        live telemetry: serve /metrics (Prometheus),
@@ -114,6 +124,8 @@ struct CliOptions {
   std::size_t workers = 1;
   double deadline_us = 0.0;
   std::size_t swap_every = 0;
+  bool quantized = false;
+  std::vector<std::string> exact_tenants;
   std::uint64_t seed = 42;
   std::string obs_out;
   int obs_port = -1;        ///< -1 = no exporter; 0 = ephemeral port
@@ -151,6 +163,10 @@ struct CliOptions {
       "  --deadline-us X     per-request deadline, 0 = none (default 0)\n"
       "  --swap-every N      republish after every N requests per client\n"
       "                      (0 = never; same weights, new version id)\n"
+      "  --quantized         int8 quantized inference path; the bitwise\n"
+      "                      self-check runs against a quantized reference\n"
+      "  --exact-tenants L   comma-separated tenants kept on the exact\n"
+      "                      double path even under --quantized\n"
       "  --seed N            client traffic seed            (default 42)\n"
       "  --obs-out PATH      metrics snapshot as JSONL\n"
       "  --obs-port P        expose /metrics, /snapshot.json, /healthz on\n"
@@ -228,7 +244,10 @@ void run_client(serve::Router& router, const std::string& tenant,
                 const serve::PolicySpec& spec, const env::EnvFactory& factory,
                 const CliOptions& opt, std::size_t client_index,
                 std::uint64_t seed, ClientStats& stats) {
-  serve::DirectPolicy direct(spec);
+  // The reference must match the tenant's serving mode: quantized tenants
+  // check against the int8 batch-of-1 path, exact tenants (including
+  // --exact-tenants fallbacks under --quantized) against Mlp::evaluate.
+  serve::DirectPolicy direct(spec, router.tenant_quantized(tenant));
   auto env = factory();
   env->seed(seed);
   Vec obs = env->reset();
@@ -354,6 +373,20 @@ CliOptions parse_cli(int argc, char** argv) {
       opt.deadline_us = std::strtod(need_value(i), nullptr);
     else if (!std::strcmp(a, "--swap-every"))
       opt.swap_every = parse_size(need_value(i));
+    else if (!std::strcmp(a, "--quantized")) opt.quantized = true;
+    else if (!std::strcmp(a, "--exact-tenants")) {
+      std::string list = need_value(i);
+      std::size_t start = 0;
+      while (start <= list.size()) {
+        const std::size_t comma = list.find(',', start);
+        const std::size_t end = comma == std::string::npos ? list.size() : comma;
+        if (end > start) {
+          opt.exact_tenants.push_back(list.substr(start, end - start));
+        }
+        if (comma == std::string::npos) break;
+        start = comma + 1;
+      }
+    }
     else if (!std::strcmp(a, "--seed"))
       opt.seed = std::strtoull(need_value(i), nullptr, 10);
     else if (!std::strcmp(a, "--obs-out")) opt.obs_out = need_value(i);
@@ -468,7 +501,17 @@ int main(int argc, char** argv) {
   router_cfg.shed_normal = opt.shed_normal;
   router_cfg.shed_high = opt.shed_high;
   router_cfg.default_quota = opt.quota;
+  router_cfg.quantized = opt.quantized;
+  router_cfg.exact_tenants = opt.exact_tenants;
   serve::Router router(store, router_cfg);
+  if (opt.quantized) {
+    std::size_t exact = 0;
+    for (const std::string& name : tenant_names) {
+      if (!router.tenant_quantized(name)) ++exact;
+    }
+    std::printf("quantized serving: int8 path on %zu/%zu tenant(s)\n",
+                tenant_names.size() - exact, tenant_names.size());
+  }
 
   std::vector<ClientStats> stats(opt.clients);
   std::vector<std::thread> clients;

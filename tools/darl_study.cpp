@@ -39,6 +39,7 @@
 
 #include "darl/common/jsonl.hpp"
 #include "darl/common/log.hpp"
+#include "darl/linalg/matrix.hpp"
 #include "darl/common/rng.hpp"
 #include "darl/obs/export.hpp"
 #include "darl/obs/flight.hpp"
@@ -204,6 +205,11 @@ std::unique_ptr<ExploratoryMethod> make_explorer(const CliOptions& opt,
 
 int main(int argc, char** argv) {
   const CliOptions opt = parse_args(argc, argv);
+  // Campaign CSVs are the determinism-audit artifact (check.sh compares
+  // them byte-for-byte), so the fast-math tier is pinned off here no
+  // matter what DARL_FAST_MATH says — only exactly-rounded kernels may
+  // touch audited numbers (DESIGN.md §16).
+  set_fast_math(false);
   if (opt.verbose) set_log_level(LogLevel::Info);
   // Observability is opt-in so default runs measure the bare hot paths.
   if (!opt.trace_out.empty()) obs::set_tracing_enabled(true);

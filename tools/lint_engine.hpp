@@ -22,6 +22,12 @@
 //   catch-all         catch (...) whose handler neither rethrows nor
 //                     records via std::current_exception
 //   detached-thread   std::thread::detach()
+//   thread-outside-pool  any std::thread use inside src/darl/linalg/ or
+//                     src/darl/nn/ except in linalg/thread_pool.{hpp,cpp}
+//                     — the numeric kernels must parallelize through the
+//                     one sanctioned linalg::ThreadPool (fixed tile
+//                     ownership keeps results bitwise-deterministic; an
+//                     ad-hoc thread has no such schedule)
 //   heap-alloc-in-kernel  new / .resize( / .push_back( inside the body of
 //                     a function named *_batch, gemm or *dispatch* — the
 //                     batched hot loops and the serve scheduler's dispatch
@@ -269,6 +275,13 @@ inline bool double_precision_path(const std::string& path) {
          contains(path, "/rl/") || contains(path, "/nn/");
 }
 
+/// Scope of the thread-outside-pool rule: the deterministic numeric
+/// libraries, minus the one file pair that *is* the sanctioned pool.
+inline bool thread_restricted_path(const std::string& path) {
+  if (!contains(path, "/linalg/") && !contains(path, "/nn/")) return false;
+  return !contains(path, "linalg/thread_pool.");
+}
+
 inline bool is_header(const std::string& path) {
   return path.size() >= 4 && path.compare(path.size() - 4, 4, ".hpp") == 0;
 }
@@ -359,11 +372,13 @@ inline std::vector<Finding> scan_source(const std::string& path_in,
   static const std::regex endl_re(R"(\bstd\s*::\s*endl\b)");
   static const std::regex catch_all_re(R"(\bcatch\s*\(\s*\.\.\.\s*\))");
   static const std::regex detach_re(R"(\.\s*detach\s*\(\s*\))");
+  static const std::regex std_thread_re(R"(\bstd\s*::\s*thread\b)");
   static const std::regex range_for_re(R"(\bfor\s*\()");
   static const std::regex pragma_once_re(R"(#\s*pragma\s+once\b)");
 
   const bool check_wall_clock = !detail::wall_clock_whitelisted(path);
   const bool check_float = detail::double_precision_path(path);
+  const bool check_thread = detail::thread_restricted_path(path);
 
   for (std::size_t i = 0; i < lines.size(); ++i) {
     const std::string& line = lines[i];
@@ -401,6 +416,12 @@ inline std::vector<Finding> scan_source(const std::string& path_in,
     if (std::regex_search(line, detach_re)) {
       add("detached-thread", line_no,
           "detached thread outside the sanctioned study watchdog site");
+    }
+    if (check_thread && std::regex_search(line, std_thread_re)) {
+      add("thread-outside-pool", line_no,
+          "std::thread in linalg/nn outside linalg::ThreadPool; numeric "
+          "kernels must parallelize through the pool's fixed tile-ownership "
+          "schedule (linalg/thread_pool.hpp) to stay bitwise-deterministic");
     }
 
     // unordered-iter: a range-for whose range expression names a declared
