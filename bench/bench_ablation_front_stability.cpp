@@ -23,7 +23,7 @@ int main() {
   darl::core::StabilityOptions opts;
   opts.samples = 4000;
   opts.relative_noise = 0.03;            // modelled time/power uncertainty
-  opts.absolute_stddev = {0.04, 0.0, 0.0};  // measured reward seed noise
+  opts.absolute_stddev = {0.04, 0.0, 0.0, 0.0};  // measured reward seed noise
 
   darl::Rng rng(7);
   const auto result =

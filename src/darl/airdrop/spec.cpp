@@ -1,0 +1,110 @@
+#include "darl/airdrop/spec.hpp"
+
+#include <sstream>
+
+#include "darl/common/error.hpp"
+
+namespace darl::airdrop {
+namespace {
+
+int rk_to_int(ode::RkOrder order) { return static_cast<int>(order); }
+
+ode::RkOrder rk_from_int(int order) {
+  switch (order) {
+    case 3: return ode::RkOrder::Order3;
+    case 5: return ode::RkOrder::Order5;
+    case 8: return ode::RkOrder::Order8;
+    default:
+      throw InvalidArgument("airdrop spec: unsupported Runge-Kutta order " +
+                            std::to_string(order));
+  }
+}
+
+template <typename T>
+T field(std::istream& is, const char* key) {
+  std::string got;
+  T value{};
+  if (!(is >> got) || got != key || !(is >> value)) {
+    throw InvalidArgument(std::string("airdrop spec: malformed field '") +
+                          key + "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+const char* const kAirdropSpecMagic = "airdrop-v1";
+
+std::string encode_airdrop_spec(const AirdropConfig& c) {
+  std::ostringstream os;
+  os.precision(17);
+  os << kAirdropSpecMagic << '\n';
+  os << "wind_enabled " << (c.wind_enabled ? 1 : 0) << '\n';
+  os << "wind_speed_max " << c.wind_speed_max << '\n';
+  os << "wind_shear_exponent " << c.wind_shear_exponent << '\n';
+  os << "wind_ref_altitude " << c.wind_ref_altitude << '\n';
+  os << "gusts_enabled " << (c.gusts_enabled ? 1 : 0) << '\n';
+  os << "gust_probability " << c.gust_probability << '\n';
+  os << "gust_speed " << c.gust_speed << '\n';
+  os << "gust_duration " << c.gust_duration << '\n';
+  os << "altitude_min " << c.altitude_min << '\n';
+  os << "altitude_max " << c.altitude_max << '\n';
+  os << "rk_order " << rk_to_int(c.rk_order) << '\n';
+  os << "action_mode "
+     << (c.action_mode == ActionMode::Continuous ? "continuous" : "discrete3")
+     << '\n';
+  os << "control_dt " << c.control_dt << '\n';
+  os << "reward_scale " << c.reward_scale << '\n';
+  os << "shaping_weight " << c.shaping_weight << '\n';
+  os << "drop_offset_fraction " << c.drop_offset_fraction << '\n';
+  os << "max_episode_steps " << c.max_episode_steps << '\n';
+  os << "precise_touchdown " << (c.precise_touchdown ? 1 : 0) << '\n';
+  os << "touchdown_tolerance " << c.touchdown_tolerance << '\n';
+  return os.str();
+}
+
+AirdropConfig decode_airdrop_spec(const std::string& spec) {
+  std::istringstream is(spec);
+  std::string magic;
+  if (!(is >> magic) || magic != kAirdropSpecMagic) {
+    throw InvalidArgument("airdrop spec: bad magic '" + magic + "'");
+  }
+  AirdropConfig c;
+  c.wind_enabled = field<int>(is, "wind_enabled") != 0;
+  c.wind_speed_max = field<double>(is, "wind_speed_max");
+  c.wind_shear_exponent = field<double>(is, "wind_shear_exponent");
+  c.wind_ref_altitude = field<double>(is, "wind_ref_altitude");
+  c.gusts_enabled = field<int>(is, "gusts_enabled") != 0;
+  c.gust_probability = field<double>(is, "gust_probability");
+  c.gust_speed = field<double>(is, "gust_speed");
+  c.gust_duration = field<double>(is, "gust_duration");
+  c.altitude_min = field<double>(is, "altitude_min");
+  c.altitude_max = field<double>(is, "altitude_max");
+  c.rk_order = rk_from_int(field<int>(is, "rk_order"));
+  const std::string mode = field<std::string>(is, "action_mode");
+  if (mode == "continuous") {
+    c.action_mode = ActionMode::Continuous;
+  } else if (mode == "discrete3") {
+    c.action_mode = ActionMode::Discrete3;
+  } else {
+    throw InvalidArgument("airdrop spec: unknown action mode '" + mode + "'");
+  }
+  c.control_dt = field<double>(is, "control_dt");
+  c.reward_scale = field<double>(is, "reward_scale");
+  c.shaping_weight = field<double>(is, "shaping_weight");
+  c.drop_offset_fraction = field<double>(is, "drop_offset_fraction");
+  c.max_episode_steps = field<std::size_t>(is, "max_episode_steps");
+  c.precise_touchdown = field<int>(is, "precise_touchdown") != 0;
+  c.touchdown_tolerance = field<double>(is, "touchdown_tolerance");
+  return c;
+}
+
+bool is_airdrop_spec(const std::string& spec) {
+  return spec.rfind(kAirdropSpecMagic, 0) == 0;
+}
+
+env::EnvFactory airdrop_factory_from_spec(const std::string& spec) {
+  return make_airdrop_factory(decode_airdrop_spec(spec));
+}
+
+}  // namespace darl::airdrop

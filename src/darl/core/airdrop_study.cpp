@@ -2,9 +2,11 @@
 
 #include <fstream>
 
+#include "darl/airdrop/spec.hpp"
 #include "darl/common/error.hpp"
 #include "darl/common/log.hpp"
 #include "darl/frameworks/backend.hpp"
+#include "darl/frameworks/distributed.hpp"
 
 namespace darl::core {
 namespace {
@@ -79,6 +81,10 @@ CaseStudyDef make_airdrop_case_study(const AirdropStudyOptions& options) {
   def.name = "airdrop-package-delivery";
   def.space = airdrop_param_space();
   def.metrics = MetricSet::paper_metrics();
+  // Mean parameter staleness of consumed batches (versions). A schedule
+  // property, identical between the in-process and multi-process runtimes
+  // (DESIGN.md §17); 0 for the synchronous single-node frameworks.
+  def.metrics.add({"NetStaleness", "versions", Sense::Minimize});
 
   const AirdropStudyOptions opts = options;
   def.evaluate = [opts](const LearningConfiguration& config,
@@ -100,6 +106,10 @@ CaseStudyDef make_airdrop_case_study(const AirdropStudyOptions& options) {
 
     frameworks::TrainRequest request;
     request.env_factory = airdrop::make_airdrop_factory(env_cfg);
+    // The same configuration as an opaque spec string: remote actor
+    // processes rebuild an identical factory from it (unused — and
+    // harmless — on the in-process paths).
+    request.env_spec = airdrop::encode_airdrop_spec(env_cfg);
     request.algo.kind = algo;
     if (algo == rl::AlgoKind::PPO) {
       // Each framework ships its own PPO defaults; these profiles mirror
@@ -156,7 +166,15 @@ CaseStudyDef make_airdrop_case_study(const AirdropStudyOptions& options) {
     for (std::size_t rep = 0; rep < reps; ++rep) {
       frameworks::TrainRequest req = request;
       req.seed = Rng(seed).split(rep).seed();
-      auto backend = frameworks::make_backend(fw);
+      // Multi-process execution is an RLlib multi-node concern: the other
+      // frameworks (and single-node RLlib) have no remote actors to host.
+      const bool multi_process = opts.distributed.enabled &&
+                                 fw == frameworks::FrameworkKind::RayRllib &&
+                                 req.deployment.nodes > 1;
+      auto backend =
+          multi_process
+              ? frameworks::make_distributed_backend(opts.distributed)
+              : frameworks::make_backend(fw);
       const frameworks::TrainResult result = backend->run(req);
       acc.reward += result.reward;
       acc.sim_seconds += result.sim_seconds;
@@ -168,6 +186,7 @@ CaseStudyDef make_airdrop_case_study(const AirdropStudyOptions& options) {
       acc.collect_wall_seconds += result.collect_wall_seconds;
       acc.learn_wall_seconds += result.learn_wall_seconds;
       acc.sync_wall_seconds += result.sync_wall_seconds;
+      acc.net_staleness += result.net_staleness;
     }
     const double inv = 1.0 / static_cast<double>(reps);
 
@@ -177,6 +196,7 @@ CaseStudyDef make_airdrop_case_study(const AirdropStudyOptions& options) {
     metrics["ComputationTime"] = acc.sim_seconds * inv * scale / 60.0;  // min
     metrics["PowerConsumption"] =
         acc.sim_energy_joules * inv * scale / 1e3;  // kJ
+    metrics["NetStaleness"] = acc.net_staleness * inv;
     // Extra diagnostics travel alongside the declared metrics.
     metrics["TrainReward"] = acc.train_reward * inv;
     metrics["RewardStddev"] = acc.reward_stddev * inv;

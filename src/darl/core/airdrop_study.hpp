@@ -15,6 +15,7 @@
 #include "darl/airdrop/airdrop_env.hpp"
 #include "darl/core/report.hpp"
 #include "darl/core/study.hpp"
+#include "darl/frameworks/distributed.hpp"
 
 namespace darl::core {
 
@@ -41,6 +42,13 @@ struct AirdropStudyOptions {
   /// Iteration sizing forwarded to the backends.
   std::size_t train_batch_total = 1024;
   std::size_t steps_per_env = 256;
+
+  /// Multi-process execution (DESIGN.md §17). When `distributed.enabled`
+  /// is set, RLlib multi-node trials run through DistributedRllibBackend
+  /// — real actor processes over darl/net sockets — instead of the
+  /// in-process thread pool. Metrics are byte-identical between the two
+  /// paths; this trades host wall time for genuine process isolation.
+  frameworks::DistributedOptions distributed;
 
   AirdropStudyOptions() {
     base_env.wind_enabled = false;

@@ -44,14 +44,23 @@ void BackendBase::finalize(
     const TrainRequest& request, rl::Algorithm& algo,
     const std::vector<std::unique_ptr<RolloutWorker>>& workers,
     const sim::SimCluster& cluster, TrainResult& result) const {
+  std::vector<std::vector<env::EpisodeRecord>> episodes_per_worker;
+  episodes_per_worker.reserve(workers.size());
+  for (const auto& w : workers) episodes_per_worker.push_back(w->episodes());
+  finalize(request, algo, episodes_per_worker, cluster, result);
+}
+
+void BackendBase::finalize(
+    const TrainRequest& request, rl::Algorithm& algo,
+    const std::vector<std::vector<env::EpisodeRecord>>& episodes_per_worker,
+    const sim::SimCluster& cluster, TrainResult& result) const {
   DARL_SPAN("backend.eval");
   DARL_COUNTER_ADD("backend.train_jobs", 1);
   // Training-episode diagnostics: mean score of the most recent episodes
   // (up to 50 per worker).
   RunningStats train_scores;
   std::size_t episodes = 0;
-  for (const auto& w : workers) {
-    const auto& eps = w->episodes();
+  for (const auto& eps : episodes_per_worker) {
     episodes += eps.size();
     const std::size_t take = std::min<std::size_t>(eps.size(), 50);
     for (std::size_t i = eps.size() - take; i < eps.size(); ++i)

@@ -52,6 +52,15 @@ class BackendBase : public Backend {
                 const std::vector<std::unique_ptr<RolloutWorker>>& workers,
                 const sim::SimCluster& cluster, TrainResult& result) const;
 
+  /// Same, from per-worker episode records instead of live workers — the
+  /// multi-process runtime's remote workers ship their episode records
+  /// over the wire, so the learner finalizes from data, not objects.
+  /// `episodes_per_worker[i]` must be worker i's records in training
+  /// order.
+  void finalize(const TrainRequest& request, rl::Algorithm& algo,
+                const std::vector<std::vector<env::EpisodeRecord>>& episodes_per_worker,
+                const sim::SimCluster& cluster, TrainResult& result) const;
+
   BackendCosts costs_;
 };
 

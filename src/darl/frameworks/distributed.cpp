@@ -1,0 +1,653 @@
+#include "darl/frameworks/distributed.hpp"
+
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "darl/common/error.hpp"
+#include "darl/common/stopwatch.hpp"
+#include "darl/net/param_server.hpp"
+#include "darl/net/queue.hpp"
+#include "darl/net/socket.hpp"
+#include "darl/net/wire.hpp"
+#include "darl/obs/metrics.hpp"
+#include "darl/obs/trace.hpp"
+#include "darl/rl/checkpoint.hpp"
+
+namespace darl::frameworks {
+
+namespace {
+
+/// The hidden sizes the algorithm spec would build with (only the block
+/// matching `kind` is read — mirrors rl::make_algorithm).
+std::vector<std::size_t> hidden_of(const rl::AlgorithmSpec& spec) {
+  switch (spec.kind) {
+    case rl::AlgoKind::PPO: return spec.ppo.hidden;
+    case rl::AlgoKind::SAC: return spec.sac.hidden;
+    case rl::AlgoKind::IMPALA: return spec.impala.hidden;
+  }
+  throw InvalidArgument("unknown AlgoKind");
+}
+
+/// Directory holding the running executable (via /proc/self/exe), used to
+/// resolve the default darl_worker binary next to darl_study.
+std::string self_exe_dir() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return ".";
+  buf[n] = '\0';
+  const std::string path(buf);
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+}
+
+/// Fresh per-process Unix-socket endpoint for runs that did not pick one.
+std::string auto_endpoint() {
+  static std::atomic<unsigned> counter{0};
+  std::ostringstream os;
+  os << "unix:/tmp/darl_net_" << ::getpid() << "_" << counter.fetch_add(1)
+     << ".sock";
+  return os.str();
+}
+
+/// fork + execv. The child execs immediately (async-signal-safe path only),
+/// which keeps the spawn safe in a process that already runs threads (the
+/// obs exporter, collection workers).
+pid_t spawn_process(const std::vector<std::string>& argv) {
+  std::vector<char*> cargv;
+  cargv.reserve(argv.size() + 1);
+  for (const auto& a : argv) cargv.push_back(const_cast<char*>(a.c_str()));
+  cargv.push_back(nullptr);
+  const pid_t pid = ::fork();
+  DARL_CHECK(pid >= 0, "fork failed: " << std::strerror(errno));
+  if (pid == 0) {
+    ::execv(cargv[0], cargv.data());
+    // exec failed; nothing of the parent may run in this child.
+    std::_Exit(127);
+  }
+  return pid;
+}
+
+/// waitpid with EINTR retry; exit code, 128+signal, or -1.
+int wait_child(pid_t pid) {
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0) {
+    if (errno != EINTR) return -1;
+  }
+  if (WIFEXITED(status)) return WEXITSTATUS(status);
+  if (WIFSIGNALED(status)) return 128 + WTERMSIG(status);
+  return -1;
+}
+
+/// Kills every still-owned child on scope exit (error paths); the normal
+/// path waits for clean exits and disarms.
+class ChildReaper {
+ public:
+  ~ChildReaper() {
+    for (const pid_t pid : pids_) {
+      ::kill(pid, SIGKILL);
+      wait_child(pid);
+    }
+  }
+  void add(pid_t pid) { pids_.push_back(pid); }
+  /// Graceful wait; throws when a child failed.
+  void wait_all() {
+    while (!pids_.empty()) {
+      const pid_t pid = pids_.back();
+      pids_.pop_back();
+      const int code = wait_child(pid);
+      if (code != 0) {
+        throw net::NetError("actor process exited with status " +
+                            std::to_string(code));
+      }
+    }
+  }
+
+ private:
+  std::vector<pid_t> pids_;
+};
+
+/// Reader-side state for one actor connection. The reader thread is the
+/// only writer of `error`/`saw_bye` until it exits; the learner thread
+/// reads them only after join(), so the join is the synchronization.
+struct ActorLink {
+  net::MsgChannel channel;
+  net::BoundedQueue<net::BatchMsg> inbox;
+  std::thread reader;
+  std::string error;
+  bool saw_bye = false;
+
+  explicit ActorLink(std::size_t inbox_capacity) : inbox(inbox_capacity) {}
+};
+
+}  // namespace
+
+DistributedRllibBackend::DistributedRllibBackend(DistributedOptions options,
+                                                 BackendCosts costs)
+    : BackendBase(costs), options_(std::move(options)) {}
+
+TrainResult DistributedRllibBackend::run(const TrainRequest& request) {
+  const auto& dep = request.deployment;
+  DARL_CHECK(dep.nodes >= 2,
+             "DistributedRllibBackend needs >= 2 nodes (single-node jobs "
+             "stay in-process)");
+  DARL_CHECK(dep.cores_per_node >= 1, "invalid deployment "
+                                          << dep.nodes << "x"
+                                          << dep.cores_per_node);
+  DARL_CHECK(request.total_timesteps > 0, "no timesteps requested");
+  DARL_CHECK(!request.env_spec.empty(),
+             "distributed run needs TrainRequest::env_spec (the remote "
+             "actors rebuild the environment from it)");
+
+  Stopwatch wall;
+
+  // Probe the environment interface (same as the in-process backend).
+  auto probe = request.env_factory();
+  const std::size_t obs_dim = probe->observation_space().dim();
+  const env::ActionSpace action_space = probe->action_space();
+  probe.reset();
+
+  auto algo = rl::make_algorithm(request.algo, obs_dim, action_space,
+                                 Rng(request.seed).split(1).seed());
+
+  const std::size_t cores = dep.cores_per_node;
+  const std::size_t n_workers = dep.nodes * cores;
+  const std::size_t n_remote = dep.nodes - 1;
+  // Node 0's workers run in-process on threads with their global ids
+  // (0..cores-1), seeded exactly as the in-process backend seeds them.
+  auto workers = make_workers(request, *algo, cores);
+
+  sim::SimCluster cluster(sim::ClusterSpec::paper_testbed(dep.nodes, cores));
+  const double inference_mflop = algo->make_actor()->inference_cost_mflop();
+
+  const std::size_t per_worker =
+      std::max<std::size_t>(1, request.train_batch_total / n_workers);
+
+  // --- bring the actor fleet up -------------------------------------------
+  const std::string endpoint_str =
+      options_.endpoint.empty() ? auto_endpoint() : options_.endpoint;
+  net::Listener listener = net::listen_endpoint(
+      net::Endpoint::parse(endpoint_str), static_cast<int>(dep.nodes));
+  const std::string bound = listener.endpoint().str();
+
+  ChildReaper children;
+  if (options_.spawn_actors) {
+    const std::string bin = options_.worker_bin.empty()
+                                ? self_exe_dir() + "/darl_worker"
+                                : options_.worker_bin;
+    for (std::size_t node = 1; node < dep.nodes; ++node) {
+      children.add(spawn_process(
+          {bin, "--role", "actor", "--connect", bound, "--node",
+           std::to_string(node), "--connect-timeout",
+           std::to_string(options_.connect_timeout_s), "--io-timeout",
+           std::to_string(options_.io_timeout_s)}));
+    }
+  }
+
+  // Accept one connection per remote node; a missing actor surfaces as a
+  // timeout here, not a hang (SO_RCVTIMEO bounds accept on Linux).
+  net::set_recv_timeout(listener.fd(), options_.connect_timeout_s);
+  std::vector<std::unique_ptr<ActorLink>> links(dep.nodes);  // [0] unused
+  for (std::size_t i = 0; i < n_remote; ++i) {
+    net::OwnedFd conn = net::accept_retry(listener.fd());
+    if (!conn.valid()) {
+      throw net::NetError("timed out waiting for " +
+                          std::to_string(n_remote) + " actor(s) on " + bound);
+    }
+    DARL_COUNTER_ADD("net.accepts", 1);
+    net::set_io_timeout(conn.get(), options_.io_timeout_s);
+    net::MsgChannel ch(std::move(conn));
+    const net::HelloMsg hello =
+        net::decode_hello(ch.expect(net::MsgType::Hello));
+    DARL_CHECK(hello.node >= 1 && hello.node < dep.nodes,
+               "actor announced node " << hello.node << " outside 1.."
+                                       << dep.nodes - 1);
+    DARL_CHECK(links[hello.node] == nullptr,
+               "two actors announced node " << hello.node);
+    auto link = std::make_unique<ActorLink>(/*inbox_capacity=*/cores * 2);
+    link->channel = std::move(ch);
+    links[hello.node] = std::move(link);
+  }
+
+  // Ship each actor its job.
+  net::JobMsg job;
+  job.algo = request.algo.kind;
+  job.hidden = hidden_of(request.algo);
+  job.seed = request.seed;
+  job.nodes = dep.nodes;
+  job.cores = cores;
+  job.per_worker = per_worker;
+  job.obs_dim = obs_dim;
+  job.action_dim = action_space.action_dim();
+  job.env_spec = request.env_spec;
+  for (std::size_t node = 1; node < dep.nodes; ++node) {
+    job.node = node;
+    links[node]->channel.send(net::MsgType::Job, net::encode_job(job));
+  }
+
+  // One reader thread per connection: the only thread that recv()s on the
+  // channel (the learner thread only send()s — the MsgChannel contract).
+  std::atomic<bool> stop_sent{false};
+  for (std::size_t node = 1; node < dep.nodes; ++node) {
+    ActorLink* link = links[node].get();
+    link->reader = std::thread([link, &stop_sent] {
+      try {
+        net::MsgType type;
+        std::string payload;
+        while (link->channel.recv(type, payload)) {
+          if (type == net::MsgType::Batch) {
+            link->inbox.push(net::decode_batch_msg(payload));
+          } else if (type == net::MsgType::Bye) {
+            link->saw_bye = true;
+            break;
+          } else {
+            link->error = std::string("unexpected ") + net::msg_type_name(type);
+            break;
+          }
+        }
+        if (!link->saw_bye && link->error.empty() &&
+            !stop_sent.load(std::memory_order_acquire)) {
+          link->error = "actor closed the connection mid-run";
+        }
+      } catch (const std::exception& e) {
+        link->error = e.what();
+      }
+      link->inbox.close();
+    });
+  }
+  const auto join_readers = [&links, &dep] {
+    for (std::size_t node = 1; node < dep.nodes; ++node) {
+      if (links[node]->reader.joinable()) links[node]->reader.join();
+    }
+  };
+
+  // --- training loop (the in-process schedule, over the wire) -------------
+  TrainResult result;
+  try {
+    // The parameter-server endpoint: every snapshot goes into the
+    // serve::PolicyStore hot-swap chain and the retention ring the wire
+    // ships from. Version v = parameters after v train calls.
+    net::ParamServer pserver(request.algo.kind, obs_dim,
+                             action_space.action_dim(), action_space,
+                             hidden_of(request.algo));
+    Vec params_current = algo->policy_params();
+    Vec params_prev = params_current;
+    pserver.publish(params_current);  // v0
+
+    // Remote episode records accumulate per global worker id for the final
+    // diagnostics (local workers keep their own).
+    std::vector<std::vector<env::EpisodeRecord>> remote_episodes(n_workers);
+    std::vector<net::BatchMsg> delayed_remote;
+    double staleness_sum = 0.0;
+    std::size_t staleness_batches = 0;
+
+    std::size_t steps_done = 0;
+    rl::TrainStats last_stats;
+    const std::int64_t obs_trial = obs::current_trial();
+
+    while (steps_done < request.total_timesteps) {
+      const std::uint64_t t = result.iterations;
+      Stopwatch phase;
+
+      // --- policy sync: local workers read v_{max(t-1,0)} directly; remote
+      // actors receive v_{max(t-2,0)} as checkpoint-v2 text — the
+      // asynchronous-pipeline schedule, now over a real socket. The
+      // simulated broadcast is the same run_transfer the in-process
+      // backend issues.
+      {
+        DARL_SPAN("backend.sync");
+        for (auto& w : workers) w->sync(params_prev);
+        const std::uint64_t remote_version = t >= 2 ? t - 2 : 0;
+        net::WeightsMsg weights;
+        weights.version = remote_version;
+        weights.checkpoint = pserver.checkpoint_text(remote_version);
+        const std::string payload = net::encode_weights(weights);
+        for (std::size_t node = 1; node < dep.nodes; ++node) {
+          links[node]->channel.send(net::MsgType::Weights, payload);
+          cluster.run_transfer(0, node,
+                               static_cast<double>(algo->params_bytes()));
+        }
+      }
+      result.sync_wall_seconds += phase.seconds();
+      phase.reset();
+
+      // --- collection: local workers on threads; remote batches pulled
+      // from the per-connection inboxes (bounded — a slow learner
+      // backpressures the actors through the transport).
+      std::vector<rl::WorkerBatch> local_batches(cores);
+      std::vector<net::BatchMsg> remote_batches;
+      {
+        DARL_SPAN("backend.collect");
+        std::vector<std::thread> threads;
+        threads.reserve(cores);
+        for (std::size_t i = 0; i < cores; ++i) {
+          threads.emplace_back([&, i] {
+            obs::TrialScope tag(obs_trial);
+            local_batches[i] = workers[i]->collect(per_worker);
+          });
+        }
+        remote_batches.reserve(n_remote * cores);
+        for (std::size_t node = 1; node < dep.nodes; ++node) {
+          for (std::size_t c = 0; c < cores; ++c) {
+            net::BatchMsg msg;
+            const net::QueueOutcome got =
+                links[node]->inbox.pop(msg, options_.io_timeout_s);
+            if (got != net::QueueOutcome::Ok) {
+              for (auto& th : threads) th.join();
+              const std::string why = got == net::QueueOutcome::TimedOut
+                                          ? "timed out waiting for a batch"
+                                          : links[node]->error;
+              throw net::NetError("actor node " + std::to_string(node) +
+                                  ": " + why);
+            }
+            remote_batches.push_back(std::move(msg));
+          }
+        }
+        for (auto& th : threads) th.join();
+
+        // Deterministic consumption order regardless of arrival order.
+        std::sort(remote_batches.begin(), remote_batches.end(),
+                  [](const net::BatchMsg& a, const net::BatchMsg& b) {
+                    return a.worker < b.worker;
+                  });
+        const std::uint64_t expect_version = t >= 2 ? t - 2 : 0;
+        for (auto& msg : remote_batches) {
+          DARL_CHECK(msg.version == expect_version,
+                     "batch from worker " << msg.worker << " carries version "
+                                          << msg.version << ", expected "
+                                          << expect_version);
+          auto& eps = remote_episodes[msg.worker];
+          eps.insert(eps.end(), msg.episodes.begin(), msg.episodes.end());
+        }
+
+        // Simulated collection phase: identical WorkerLoad sequence to the
+        // in-process backend (global worker id order).
+        std::vector<sim::SimCluster::WorkerLoad> loads;
+        loads.reserve(n_workers);
+        for (std::size_t i = 0; i < cores; ++i) {
+          const CollectCost cost = workers[i]->take_cost();
+          loads.push_back({0, worker_busy_seconds(cost, inference_mflop)});
+        }
+        for (const auto& msg : remote_batches) {
+          const CollectCost cost{msg.env_cost_units,
+                                 static_cast<std::size_t>(msg.inferences),
+                                 static_cast<std::size_t>(msg.steps)};
+          loads.push_back({msg.worker / cores,
+                           worker_busy_seconds(cost, inference_mflop)});
+        }
+        cluster.run_parallel_phase(loads);
+      }
+      result.collect_wall_seconds += phase.seconds();
+      phase.reset();
+
+      // --- sample shipping (reported cost; the real bytes already flowed).
+      {
+        DARL_SPAN("backend.sync");
+        for (std::size_t node = 1; node < dep.nodes; ++node) {
+          double bytes = 0.0;
+          for (const auto& msg : remote_batches) {
+            if (msg.worker / cores == node) {
+              bytes += static_cast<double>(msg.transitions.size()) *
+                       static_cast<double>(algo->transition_bytes());
+            }
+          }
+          cluster.run_transfer(node, 0, bytes);
+        }
+      }
+      result.sync_wall_seconds += phase.seconds();
+      phase.reset();
+
+      // --- learner update: last iteration's remote batches first (their
+      // wire version tags feed the staleness account), then fresh local
+      // batches — the in-process consumption order.
+      {
+        DARL_SPAN("backend.learn");
+        std::vector<rl::WorkerBatch> train_batches;
+        train_batches.reserve(delayed_remote.size() + cores);
+        for (auto& msg : delayed_remote) {
+          staleness_sum += static_cast<double>(t - msg.version);
+          ++staleness_batches;
+          train_batches.push_back(
+              rl::WorkerBatch{static_cast<std::size_t>(msg.worker),
+                              std::move(msg.transitions)});
+        }
+        delayed_remote = std::move(remote_batches);
+        const std::uint64_t local_version = t >= 1 ? t - 1 : 0;
+        for (std::size_t i = 0; i < cores; ++i) {
+          staleness_sum += static_cast<double>(t - local_version);
+          ++staleness_batches;
+          train_batches.push_back(std::move(local_batches[i]));
+        }
+        last_stats = algo->train(train_batches);
+        const double train_core_seconds = cluster.seconds_for_mflop(
+            0, last_stats.train_cost_mflop * costs_.train_tax);
+        cluster.run_compute(0, train_core_seconds, cores,
+                            costs_.train_parallel_efficiency);
+        cluster.run_idle(costs_.iteration_overhead_s);
+        params_prev = std::move(params_current);
+        params_current = algo->policy_params();
+        pserver.publish(params_current);  // v_{t+1}
+      }
+      result.learn_wall_seconds += phase.seconds();
+
+      steps_done += per_worker * n_workers;
+      ++result.iterations;
+      if (staleness_batches > 0) {
+        DARL_GAUGE_SET("net.staleness",
+                       staleness_sum / static_cast<double>(staleness_batches));
+      }
+    }
+
+    // --- orderly shutdown: Stop out, Bye back, readers drain.
+    stop_sent.store(true, std::memory_order_release);
+    for (std::size_t node = 1; node < dep.nodes; ++node) {
+      links[node]->channel.send(net::MsgType::Stop, std::string());
+    }
+    join_readers();
+    for (std::size_t node = 1; node < dep.nodes; ++node) {
+      if (!links[node]->error.empty()) {
+        throw net::NetError("actor node " + std::to_string(node) + ": " +
+                            links[node]->error);
+      }
+      DARL_CHECK(links[node]->saw_bye,
+                 "actor node " << node << " never sent Bye");
+    }
+    if (options_.spawn_actors) children.wait_all();
+
+    result.timesteps = steps_done;
+    result.net_staleness =
+        staleness_batches > 0
+            ? staleness_sum / static_cast<double>(staleness_batches)
+            : 0.0;
+    result.final_policy_loss = last_stats.policy_loss;
+    result.final_value_loss = last_stats.value_loss;
+    result.final_entropy = last_stats.entropy;
+
+    std::vector<std::vector<env::EpisodeRecord>> episodes_per_worker;
+    episodes_per_worker.reserve(n_workers);
+    for (std::size_t i = 0; i < n_workers; ++i) {
+      episodes_per_worker.push_back(i < cores ? workers[i]->episodes()
+                                              : remote_episodes[i]);
+    }
+    finalize(request, *algo, episodes_per_worker, cluster, result);
+  } catch (...) {
+    // Unblock and reap the readers before ~ActorLink (a reader may be
+    // parked in recv or in a full inbox's push); ChildReaper kills any
+    // spawned actors on unwind.
+    for (auto& link : links) {
+      if (link) {
+        link->inbox.close();
+        net::shutdown_socket(link->channel.fd());
+      }
+    }
+    join_readers();
+    throw;
+  }
+
+  result.wall_seconds = wall.seconds();
+  return result;
+}
+
+std::size_t run_actor(const std::string& endpoint, std::size_t node,
+                      const EnvSpecResolver& resolver,
+                      double connect_timeout_s, double io_timeout_s) {
+  DARL_CHECK(node >= 1, "actor node must be >= 1 (node 0 is the learner)");
+  DARL_CHECK(resolver != nullptr, "actor needs an env-spec resolver");
+
+  net::OwnedFd fd = net::connect_endpoint(net::Endpoint::parse(endpoint),
+                                          connect_timeout_s);
+  net::set_io_timeout(fd.get(), io_timeout_s);
+  net::MsgChannel channel(std::move(fd));
+  DARL_COUNTER_ADD("net.connects", 1);
+
+  net::HelloMsg hello;
+  hello.node = node;
+  channel.send(net::MsgType::Hello, net::encode_hello(hello));
+  const net::JobMsg job = net::decode_job(channel.expect(net::MsgType::Job));
+  DARL_CHECK(job.node == node, "job addressed to node " << job.node
+                                                        << ", this is node "
+                                                        << node);
+  DARL_CHECK(job.cores >= 1 && job.nodes > node, "malformed job topology");
+
+  env::EnvFactory factory = resolver(job.env_spec);
+  DARL_CHECK(factory != nullptr, "env-spec resolver rejected the spec");
+  auto probe = factory();
+  const std::size_t obs_dim = probe->observation_space().dim();
+  const env::ActionSpace action_space = probe->action_space();
+  probe.reset();
+  DARL_CHECK(obs_dim == job.obs_dim &&
+                 action_space.action_dim() == job.action_dim,
+             "environment interface mismatch: local " << obs_dim << "/"
+                                                      << action_space.action_dim()
+                                                      << ", job " << job.obs_dim
+                                                      << "/" << job.action_dim);
+
+  // Inference-only algorithm shell: act behavior is fully determined by
+  // the architecture plus the synced parameters, so learner-side
+  // hyperparameters never need to travel.
+  rl::AlgorithmSpec spec;
+  spec.kind = job.algo;
+  spec.ppo.hidden = job.hidden;
+  spec.sac.hidden = job.hidden;
+  spec.impala.hidden = job.hidden;
+  auto algo = rl::make_algorithm(spec, obs_dim, action_space,
+                                 Rng(job.seed).split(1).seed());
+
+  // This node's workers, with their *global* ids and the exact per-id
+  // seed streams the in-process backend derives.
+  const std::size_t cores = job.cores;
+  const Rng seeder(job.seed);
+  std::vector<std::unique_ptr<RolloutWorker>> workers;
+  std::vector<std::size_t> shipped_episodes(cores, 0);
+  workers.reserve(cores);
+  for (std::size_t c = 0; c < cores; ++c) {
+    const std::size_t gid = node * cores + c;
+    auto e = factory();
+    DARL_CHECK(e != nullptr, "env factory returned null");
+    workers.push_back(std::make_unique<RolloutWorker>(
+        gid, std::move(e), algo->make_actor(), seeder.split(100 + gid).seed()));
+  }
+
+  // Outbound queue: collection threads block once two batches are in
+  // flight, so a slow learner throttles the actor instead of growing an
+  // unbounded send buffer.
+  net::BoundedQueue<net::BatchMsg> outbox(2);
+  std::string send_error;
+  std::thread sender([&] {
+    try {
+      net::BatchMsg msg;
+      while (outbox.pop(msg) == net::QueueOutcome::Ok) {
+        channel.send(net::MsgType::Batch, net::encode_batch_msg(msg));
+      }
+    } catch (const std::exception& e) {
+      send_error = e.what();
+      outbox.close();
+    }
+  });
+
+  std::size_t iterations = 0;
+  bool stopped = false;
+  try {
+    net::MsgType type;
+    std::string payload;
+    while (channel.recv(type, payload)) {
+      if (type == net::MsgType::Stop) {
+        stopped = true;
+        break;
+      }
+      if (type != net::MsgType::Weights) {
+        throw net::WireError(std::string("actor expected Weights, got ") +
+                             net::msg_type_name(type));
+      }
+      const net::WeightsMsg weights = net::decode_weights(payload);
+      std::istringstream ck_in(weights.checkpoint);
+      const rl::Checkpoint ck = rl::load_checkpoint(ck_in);
+      DARL_CHECK(ck.kind == job.algo && ck.obs_dim == obs_dim,
+                 "shipped checkpoint does not match the job interface");
+
+      std::vector<std::thread> threads;
+      threads.reserve(cores);
+      for (std::size_t c = 0; c < cores; ++c) {
+        threads.emplace_back([&, c] {
+          RolloutWorker& w = *workers[c];
+          w.sync(ck.params);
+          net::BatchMsg msg;
+          msg.worker = node * cores + c;
+          msg.version = weights.version;
+          rl::WorkerBatch batch = w.collect(job.per_worker);
+          msg.transitions = std::move(batch.transitions);
+          const CollectCost cost = w.take_cost();
+          msg.env_cost_units = cost.env_cost_units;
+          msg.inferences = cost.inferences;
+          msg.steps = cost.steps;
+          const auto& eps = w.episodes();
+          msg.episodes.assign(eps.begin() + static_cast<std::ptrdiff_t>(
+                                                shipped_episodes[c]),
+                              eps.end());
+          shipped_episodes[c] = eps.size();
+          outbox.push(std::move(msg));
+        });
+      }
+      for (auto& th : threads) th.join();
+      // A dead sender shows up as a closed outbox; its reason
+      // (send_error) is only safe to read after the join below.
+      if (outbox.closed()) break;
+      ++iterations;
+    }
+  } catch (...) {
+    outbox.close();
+    if (sender.joinable()) sender.join();
+    throw;
+  }
+
+  outbox.close();
+  sender.join();
+  if (!send_error.empty()) throw net::NetError(send_error);
+  if (!stopped) throw net::NetError("learner vanished before sending Stop");
+  net::ByeMsg bye;
+  bye.node = node;
+  channel.send(net::MsgType::Bye, net::encode_bye(bye));
+  return iterations;
+}
+
+std::unique_ptr<Backend> make_distributed_backend(
+    const DistributedOptions& options) {
+  return std::make_unique<DistributedRllibBackend>(options);
+}
+
+std::unique_ptr<Backend> make_distributed_backend(
+    const DistributedOptions& options, const BackendCosts& costs) {
+  return std::make_unique<DistributedRllibBackend>(options, costs);
+}
+
+}  // namespace darl::frameworks

@@ -1,0 +1,107 @@
+// darl/frameworks/distributed.hpp
+//
+// The multi-process actor–learner runtime (DESIGN.md §17): the same
+// coordination schedule as RllibBackend, but remote workers live in real
+// actor processes connected over darl/net sockets instead of threads in
+// the learner's address space. The learner publishes versioned weights
+// through net::ParamServer (serve::PolicyStore hot-swap chain underneath),
+// ships version max(t-2, 0) to remote actors at iteration t, and consumes
+// their batches one iteration late — exactly the in-process pipeline —
+// so reported-cost accounting stays in simcluster and campaign CSVs are
+// byte-identical between the two substrates.
+//
+// Determinism contract (why the CSVs match bit for bit):
+//   * worker i everywhere seeds from Rng(seed).split(100 + i), the
+//     learner's algorithm from split(1) — same streams as make_workers.
+//   * weights travel as checkpoint-v2 text at round-trip precision and
+//     batches as precision-17 token streams, so every double is bitwise
+//     preserved across the wire.
+//   * the learner consumes delayed remote batches sorted by worker id,
+//     then local batches in id order — the push order of the in-process
+//     loop.
+//   * simulated time/energy come from the identical sequence of
+//     SimCluster calls; the wall clock never feeds a metric.
+
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "darl/env/env.hpp"
+#include "darl/frameworks/backend.hpp"
+
+namespace darl::frameworks {
+
+/// Rebuilds an environment factory from the opaque spec string carried in
+/// a Job message (e.g. airdrop::airdrop_factory_from_spec). The worker
+/// binary registers one; darl/net and this runtime stay case-study
+/// agnostic.
+using EnvSpecResolver = std::function<env::EnvFactory(const std::string&)>;
+
+/// Configuration of the multi-process runtime.
+struct DistributedOptions {
+  /// Run RLlib multi-node trials over real processes (darl_study
+  /// --distributed). Single-node trials always stay in-process.
+  bool enabled = false;
+
+  /// Listen endpoint ("tcp:0" for an ephemeral loopback port,
+  /// "unix:/path.sock"). Empty picks a fresh Unix socket under /tmp.
+  std::string endpoint;
+
+  /// Actor binary to spawn (argv[0]); empty resolves to "darl_worker"
+  /// next to the running executable.
+  std::string worker_bin;
+
+  /// Spawn one actor process per remote node (fork/execv). When false the
+  /// learner only listens — actors are started externally (tests drive
+  /// run_actor on threads; check.sh starts separate processes).
+  bool spawn_actors = true;
+
+  /// Deadline for the actor fleet to connect (and for actors to reach the
+  /// learner — forwarded in the spawned workers' argv).
+  double connect_timeout_s = 30.0;
+
+  /// Per-syscall I/O timeout on established connections: a wedged peer
+  /// surfaces as FrameError{TimedOut} instead of a hang.
+  double io_timeout_s = 120.0;
+};
+
+/// RllibBackend's schedule over real processes: local node-0 workers on
+/// threads, one actor process per remote node, weights out / batches in
+/// over length-prefixed frames, per-batch staleness accounted from the
+/// version tags actually carried on the wire (and published to
+/// net.staleness). Requires nodes >= 2 and a non-empty
+/// TrainRequest::env_spec.
+class DistributedRllibBackend final : public BackendBase {
+ public:
+  explicit DistributedRllibBackend(
+      DistributedOptions options,
+      BackendCosts costs = default_costs(FrameworkKind::RayRllib));
+  FrameworkKind kind() const override { return FrameworkKind::RayRllib; }
+  TrainResult run(const TrainRequest& request) override;
+
+ private:
+  DistributedOptions options_;
+};
+
+/// The actor-process main loop: connect to the learner, handshake, build
+/// the node's rollout workers from the Job, then per iteration load the
+/// shipped checkpoint, collect on one thread per worker, and stream one
+/// Batch per worker back (bounded outbound queue — a slow learner
+/// backpressures collection instead of buffering unboundedly). Returns
+/// the number of iterations served; throws NetError/FrameError/WireError
+/// on transport or protocol failure.
+std::size_t run_actor(const std::string& endpoint, std::size_t node,
+                      const EnvSpecResolver& resolver,
+                      double connect_timeout_s = 30.0,
+                      double io_timeout_s = 120.0);
+
+/// Factory mirroring make_backend.
+std::unique_ptr<Backend> make_distributed_backend(
+    const DistributedOptions& options);
+std::unique_ptr<Backend> make_distributed_backend(
+    const DistributedOptions& options, const BackendCosts& costs);
+
+}  // namespace darl::frameworks

@@ -44,6 +44,19 @@ TrainResult RllibBackend::run(const TrainRequest& request) {
   Vec params_prev2 = params_current;  // two update cycles old
   std::vector<rl::WorkerBatch> delayed_remote;
 
+  // Per-batch staleness accounting: the learner's update count when a
+  // batch is consumed minus the parameter version it was collected with
+  // (version v = parameters after v train calls; the initial snapshot is
+  // v0). The multi-process runtime computes the same quantity from the
+  // version tags actually carried on the wire; both paths see the same
+  // schedule, so the NetStaleness study metric is transport-independent.
+  std::uint64_t version_current = 0;
+  std::uint64_t version_prev = 0;
+  std::uint64_t version_prev2 = 0;
+  std::uint64_t delayed_remote_version = 0;
+  double staleness_sum = 0.0;
+  std::size_t staleness_batches = 0;
+
   const std::size_t per_worker =
       std::max<std::size_t>(1, request.train_batch_total / n_workers);
 
@@ -129,17 +142,29 @@ TrainResult RllibBackend::run(const TrainRequest& request) {
     // the pipeline one iteration late; local batches are consumed fresh.
     {
       DARL_SPAN("backend.learn");
+      const std::uint64_t updates_done = result.iterations;
       std::vector<rl::WorkerBatch> train_batches = std::move(delayed_remote);
+      // Remote batches were collected under prev2 one iteration ago.
+      staleness_sum += static_cast<double>(train_batches.size()) *
+                       static_cast<double>(updates_done - delayed_remote_version);
+      staleness_batches += train_batches.size();
       delayed_remote.clear();
+      const std::uint64_t local_version =
+          dep.nodes == 1 ? version_current : version_prev;
       for (std::size_t i = 0; i < n_workers; ++i) {
         if (worker_node(i) == 0) {
+          staleness_sum += static_cast<double>(updates_done - local_version);
+          ++staleness_batches;
           train_batches.push_back(std::move(batches[i]));
         } else {
           delayed_remote.push_back(std::move(batches[i]));
         }
       }
+      delayed_remote_version = version_prev2;
       params_prev2 = params_prev;
       params_prev = params_current;
+      version_prev2 = version_prev;
+      version_prev = version_current;
       last_stats = algo->train(train_batches);
       const double train_core_seconds = cluster.seconds_for_mflop(
           0, last_stats.train_cost_mflop * costs_.train_tax);
@@ -147,6 +172,7 @@ TrainResult RllibBackend::run(const TrainRequest& request) {
                           costs_.train_parallel_efficiency);
       cluster.run_idle(costs_.iteration_overhead_s);
       params_current = algo->policy_params();
+      ++version_current;
     }
     result.learn_wall_seconds += phase.seconds();
 
@@ -155,6 +181,10 @@ TrainResult RllibBackend::run(const TrainRequest& request) {
   }
 
   result.timesteps = steps_done;
+  result.net_staleness =
+      staleness_batches > 0
+          ? staleness_sum / static_cast<double>(staleness_batches)
+          : 0.0;
   result.final_policy_loss = last_stats.policy_loss;
   result.final_value_loss = last_stats.value_loss;
   result.final_entropy = last_stats.entropy;

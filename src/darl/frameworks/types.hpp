@@ -47,6 +47,14 @@ struct TrainRequest {
 
   /// Final greedy evaluation used to report the Reward metric.
   std::size_t eval_episodes = 50;
+
+  /// Opaque environment specification for multi-process execution: remote
+  /// actor processes cannot receive `env_factory` (a closure), so the
+  /// distributed runtime ships this string instead and the worker binary's
+  /// registered resolver rebuilds an identical factory from it (see
+  /// darl/airdrop/spec.hpp for the airdrop codec). Ignored by the
+  /// in-process backends; required by DistributedRllibBackend.
+  std::string env_spec;
 };
 
 /// Outcome of one training job: the study metrics plus diagnostics.
@@ -68,6 +76,16 @@ struct TrainResult {
   double collect_wall_seconds = 0.0;
   double learn_wall_seconds = 0.0;
   double sync_wall_seconds = 0.0;
+
+  /// Mean parameter staleness of consumed batches, in versions: learner
+  /// update count at consumption minus the version the batch was collected
+  /// with. 0 for synchronous single-node runs; positive under the
+  /// asynchronous multi-node pipeline (RLlib-style backends). Identical by
+  /// construction between the in-process and multi-process runtimes — it
+  /// is a property of the coordination schedule, not of the transport —
+  /// which is what lets campaign CSVs rank on it and stay byte-identical
+  /// across both paths (DESIGN.md §17).
+  double net_staleness = 0.0;
 
   std::size_t timesteps = 0;
   std::size_t episodes = 0;

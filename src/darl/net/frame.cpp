@@ -1,0 +1,117 @@
+#include "darl/net/frame.hpp"
+
+#include <cstring>
+
+#include "darl/common/rng.hpp"
+
+namespace darl::net {
+namespace {
+
+void put_u32(unsigned char* out, std::uint32_t v) {
+  out[0] = static_cast<unsigned char>(v & 0xFFu);
+  out[1] = static_cast<unsigned char>((v >> 8) & 0xFFu);
+  out[2] = static_cast<unsigned char>((v >> 16) & 0xFFu);
+  out[3] = static_cast<unsigned char>((v >> 24) & 0xFFu);
+}
+
+void put_u64(unsigned char* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = static_cast<unsigned char>((v >> (8 * i)) & 0xFFu);
+  }
+}
+
+std::uint32_t get_u32(const unsigned char* in) {
+  return static_cast<std::uint32_t>(in[0]) |
+         (static_cast<std::uint32_t>(in[1]) << 8) |
+         (static_cast<std::uint32_t>(in[2]) << 16) |
+         (static_cast<std::uint32_t>(in[3]) << 24);
+}
+
+std::uint64_t get_u64(const unsigned char* in) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(in[i]) << (8 * i);
+  }
+  return v;
+}
+
+[[noreturn]] void throw_io(const IoResult& r, const char* what) {
+  if (r.status == IoStatus::TimedOut) {
+    throw FrameError(FrameError::Kind::TimedOut,
+                     std::string("net: frame ") + what + " timed out");
+  }
+  throw FrameError(FrameError::Kind::Io,
+                   std::string("net: frame ") + what + " failed: " +
+                       std::strerror(r.err));
+}
+
+}  // namespace
+
+void encode_frame_header(std::uint32_t type, const std::string& payload,
+                         unsigned char* out) {
+  put_u32(out, kFrameMagic);
+  put_u32(out + 4, type);
+  put_u64(out + 8, static_cast<std::uint64_t>(payload.size()));
+  put_u64(out + 16, fnv1a64(payload));
+}
+
+void write_frame(int fd, std::uint32_t type, const std::string& payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw FrameError(FrameError::Kind::TooLarge,
+                     "net: frame payload of " + std::to_string(payload.size()) +
+                         " bytes exceeds the " +
+                         std::to_string(kMaxFramePayload) + "-byte cap");
+  }
+  unsigned char header[kFrameHeaderBytes];
+  encode_frame_header(type, payload, header);
+  IoResult r = send_all(fd, header, sizeof(header));
+  if (r.status != IoStatus::Ok) throw_io(r, "write");
+  r = send_all(fd, payload);
+  if (r.status != IoStatus::Ok) throw_io(r, "write");
+}
+
+bool read_frame(int fd, Frame& out) {
+  unsigned char header[kFrameHeaderBytes];
+  IoResult r = recv_exact(fd, header, sizeof(header));
+  if (r.status == IoStatus::Eof) {
+    if (r.n == 0) return false;  // clean close between frames
+    throw FrameError(FrameError::Kind::Truncated,
+                     "net: peer closed mid-header (" + std::to_string(r.n) +
+                         " of " + std::to_string(sizeof(header)) + " bytes)");
+  }
+  if (r.status != IoStatus::Ok) throw_io(r, "read");
+
+  if (get_u32(header) != kFrameMagic) {
+    throw FrameError(FrameError::Kind::BadMagic,
+                     "net: bad frame magic (stream out of sync?)");
+  }
+  out.type = get_u32(header + 4);
+  const std::uint64_t length = get_u64(header + 8);
+  const std::uint64_t digest = get_u64(header + 16);
+  if (length > kMaxFramePayload) {
+    throw FrameError(FrameError::Kind::TooLarge,
+                     "net: frame length " + std::to_string(length) +
+                         " exceeds the " + std::to_string(kMaxFramePayload) +
+                         "-byte cap");
+  }
+
+  out.payload.resize(static_cast<std::size_t>(length));
+  if (length > 0) {
+    r = recv_exact(fd, out.payload.data(), out.payload.size());
+    if (r.status == IoStatus::Eof) {
+      throw FrameError(FrameError::Kind::Truncated,
+                       "net: peer closed mid-payload (" + std::to_string(r.n) +
+                           " of " + std::to_string(length) + " bytes)");
+    }
+    if (r.status != IoStatus::Ok) throw_io(r, "read");
+  }
+  if (fnv1a64(out.payload) != digest) {
+    throw FrameError(FrameError::Kind::BadDigest,
+                     "net: frame payload digest mismatch (type " +
+                         std::to_string(out.type) + ", " +
+                         std::to_string(length) + " bytes)");
+  }
+  return true;
+}
+
+}  // namespace darl::net

@@ -1,0 +1,62 @@
+#include "darl/net/param_server.hpp"
+
+#include <sstream>
+#include <utility>
+
+#include "darl/common/error.hpp"
+#include "darl/obs/metrics.hpp"
+
+namespace darl::net {
+
+ParamServer::ParamServer(rl::AlgoKind kind, std::size_t obs_dim,
+                         std::size_t action_dim, env::ActionSpace action_space,
+                         std::vector<std::size_t> hidden)
+    : kind_(kind),
+      obs_dim_(obs_dim),
+      action_dim_(action_dim),
+      action_space_(std::move(action_space)),
+      hidden_(std::move(hidden)) {
+  DARL_CHECK(obs_dim_ > 0 && action_dim_ > 0,
+             "ParamServer needs a non-degenerate interface");
+}
+
+std::uint64_t ParamServer::publish(const Vec& params) {
+  rl::Checkpoint ck;
+  ck.kind = kind_;
+  ck.obs_dim = obs_dim_;
+  ck.action_dim = action_dim_;
+  ck.params = params;
+
+  std::ostringstream os;
+  rl::save_checkpoint(os, ck);
+  std::string text = os.str();
+
+  // The store derives (and validates) the servable spec; its per-tenant
+  // version ids are monotonic from 1, i.e. logical version + 1.
+  store_.publish_checkpoint(kTenant, ck, action_space_, hidden_);
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t version = next_version_++;
+  ring_.emplace_back(version, std::move(text));
+  while (ring_.size() > kRetainedVersions) ring_.pop_front();
+  DARL_COUNTER_ADD("net.weights_published", 1);
+  return version;
+}
+
+std::string ParamServer::checkpoint_text(std::uint64_t version) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [v, text] : ring_) {
+    if (v == version) return text;
+  }
+  throw Error("ParamServer: version " + std::to_string(version) +
+              " is outside the retention ring (latest " +
+              std::to_string(next_version_ == 0 ? 0 : next_version_ - 1) + ")");
+}
+
+std::uint64_t ParamServer::latest_version() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  DARL_CHECK(next_version_ > 0, "ParamServer: nothing published yet");
+  return next_version_ - 1;
+}
+
+}  // namespace darl::net

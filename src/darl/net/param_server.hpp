@@ -1,0 +1,74 @@
+// darl/net/param_server.hpp
+//
+// The learner's parameter-server endpoint: every trained parameter
+// snapshot is published into serve::PolicyStore's versioned hot-swap
+// chain (one tenant per training job), and a ring of recent versions is
+// kept in full — serialized checkpoint-v2 text ready to ship — so the
+// runtime can broadcast *older* versions to remote actors (the
+// asynchronous-pipeline schedule sends version max(t-2, 0) at iteration
+// t). Publishing through the store means anything built on the serving
+// layer (darl_serve, ROADMAP item 2's remote tier) can read the
+// training job's live weights with the same lock-free current() chain.
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "darl/common/thread_safety.hpp"
+#include "darl/env/space.hpp"
+#include "darl/linalg/vec.hpp"
+#include "darl/rl/types.hpp"
+#include "darl/serve/policy_store.hpp"
+
+namespace darl::net {
+
+/// Versioned weight publication for one training job. Thread-safe.
+class ParamServer {
+ public:
+  /// `hidden` must match the algorithm's network architecture (the
+  /// serving-spec derivation validates the parameter count).
+  ParamServer(rl::AlgoKind kind, std::size_t obs_dim, std::size_t action_dim,
+              env::ActionSpace action_space, std::vector<std::size_t> hidden);
+
+  /// Publish a snapshot; returns its logical version (0 = initial
+  /// parameters, then one per train step). The serve::PolicyStore version
+  /// id is logical + 1 (store ids start at 1).
+  std::uint64_t publish(const Vec& params);
+
+  /// checkpoint-v2 text of `version`; throws darl::Error when the version
+  /// fell out of the retention ring (the runtime only ever ships versions
+  /// at most kRetainedVersions behind the latest).
+  std::string checkpoint_text(std::uint64_t version) const;
+
+  /// Latest published logical version; publish() must have run at least
+  /// once.
+  std::uint64_t latest_version() const;
+
+  const serve::PolicyStore& store() const { return store_; }
+
+  /// Tenant name the job publishes under.
+  static constexpr const char* kTenant = "learner";
+  /// The schedule needs at most the current and two previous versions;
+  /// keep a little slack.
+  static constexpr std::size_t kRetainedVersions = 8;
+
+ private:
+  const rl::AlgoKind kind_;
+  const std::size_t obs_dim_;
+  const std::size_t action_dim_;
+  const env::ActionSpace action_space_;
+  const std::vector<std::size_t> hidden_;
+
+  serve::PolicyStore store_;
+  mutable std::mutex mutex_;
+  std::uint64_t next_version_ DARL_GUARDED_BY(mutex_) = 0;
+  /// (logical version, serialized checkpoint) pairs, oldest first.
+  std::deque<std::pair<std::uint64_t, std::string>> ring_
+      DARL_GUARDED_BY(mutex_);
+};
+
+}  // namespace darl::net

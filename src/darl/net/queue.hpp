@@ -1,0 +1,101 @@
+// darl/net/queue.hpp
+//
+// A small bounded MPMC queue used on both ends of the actor–learner
+// stream: actors stage outgoing trajectory batches behind a capacity
+// limit (a slow learner therefore backpressures collection through TCP
+// and this queue, the BatchScheduler admission idea applied to the
+// transport), and the learner's per-connection reader threads park
+// incoming batches here for the training loop to drain.
+
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "darl/common/error.hpp"
+#include "darl/common/thread_safety.hpp"
+
+namespace darl::net {
+
+/// Admission outcome of a bounded-queue operation.
+enum class QueueOutcome { Ok, Closed, TimedOut };
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    DARL_CHECK(capacity > 0, "BoundedQueue needs capacity >= 1");
+  }
+
+  /// Block until there is room (backpressure), the queue closes, or
+  /// `timeout_s` lapses (timeout_s < 0 blocks indefinitely).
+  QueueOutcome push(T item, double timeout_s = -1.0) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto room = [&] { return closed_ || items_.size() < capacity_; };
+    if (!wait_for(lock, not_full_, timeout_s, room)) return QueueOutcome::TimedOut;
+    if (closed_) return QueueOutcome::Closed;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return QueueOutcome::Ok;
+  }
+
+  /// Block until an item is available, the queue closes *and drains*, or
+  /// `timeout_s` lapses. Items queued before close() are still delivered.
+  QueueOutcome pop(T& out, double timeout_s = -1.0) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto ready = [&] { return closed_ || !items_.empty(); };
+    if (!wait_for(lock, not_empty_, timeout_s, ready)) return QueueOutcome::TimedOut;
+    if (items_.empty()) return QueueOutcome::Closed;
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return QueueOutcome::Ok;
+  }
+
+  /// Wake every waiter; subsequent pushes are rejected, pops drain.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  template <typename Pred>
+  static bool wait_for(std::unique_lock<std::mutex>& lock,
+                       std::condition_variable& cv, double timeout_s,
+                       Pred pred) {
+    if (timeout_s < 0.0) {
+      cv.wait(lock, pred);
+      return true;
+    }
+    return cv.wait_for(lock, std::chrono::duration<double>(timeout_s), pred);
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_ DARL_GUARDED_BY(mutex_);
+  bool closed_ DARL_GUARDED_BY(mutex_) = false;
+};
+
+}  // namespace darl::net

@@ -1,18 +1,16 @@
 #include "darl/obs/export.hpp"
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
 #include <unistd.h>
 
-#include <cerrno>
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <string>
+#include <utility>
 
 #include "darl/common/error.hpp"
 #include "darl/common/log.hpp"
 #include "darl/common/stopwatch.hpp"
+#include "darl/net/socket.hpp"
 
 namespace darl::obs {
 namespace {
@@ -146,31 +144,11 @@ std::string http_response(int status, const std::string& content_type,
   return out;
 }
 
-void set_io_timeout(int fd, int seconds) {
-  timeval tv{};
-  tv.tv_sec = seconds;
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
-}
-
-/// Sub-second receive timeout, clamped away from zero (a zero timeval
-/// means "block forever", the opposite of what a lapsed deadline wants).
-void set_recv_timeout_s(int fd, double seconds) {
-  constexpr double kMinTimeout = 0.01;
-  if (seconds < kMinTimeout) seconds = kMinTimeout;
-  timeval tv{};
-  tv.tv_sec = static_cast<time_t>(seconds);
-  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
-  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-}
-
-void send_all(int fd, const std::string& data) {
-  std::size_t sent = 0;
-  while (sent < data.size()) {
-    const ssize_t n = ::send(fd, data.data() + sent, data.size() - sent, 0);
-    if (n <= 0) return;  // peer went away; nothing useful to do
-    sent += static_cast<std::size_t>(n);
-  }
+/// Best-effort response write (a vanished peer is the client's problem,
+/// not the exporter's). net::send_all retries EINTR and never raises
+/// SIGPIPE.
+void send_response(int fd, const std::string& data) {
+  static_cast<void>(net::send_all(fd, data));
 }
 
 }  // namespace
@@ -187,39 +165,15 @@ void Exporter::start() {
   DARL_CHECK(options_.port >= 0 && options_.port <= 65535,
              "invalid obs port " << options_.port);
 
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) {
-    throw Error("obs exporter: socket() failed: " +
-                std::string(std::strerror(errno)));
+  net::Endpoint ep;
+  ep.kind = net::Endpoint::Kind::Tcp;
+  ep.port = options_.port;
+  try {
+    listener_ = net::listen_endpoint(ep, 16);
+  } catch (const net::NetError& e) {
+    throw Error("obs exporter: " + std::string(e.what()));
   }
-  const int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(options_.port));
-  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
-             sizeof(addr)) != 0) {
-    const std::string err = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw Error("obs exporter: bind(127.0.0.1:" +
-                std::to_string(options_.port) + ") failed: " + err);
-  }
-  if (::listen(listen_fd_, 16) != 0) {
-    const std::string err = std::strerror(errno);
-    ::close(listen_fd_);
-    listen_fd_ = -1;
-    throw Error("obs exporter: listen() failed: " + err);
-  }
-
-  sockaddr_in bound{};
-  socklen_t bound_len = sizeof(bound);
-  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound),
-                    &bound_len) == 0) {
-    port_ = static_cast<int>(ntohs(bound.sin_port));
-  }
+  port_ = listener_.endpoint().port;
 
   stop_requested_.store(false, std::memory_order_relaxed);
   const std::size_t pool =
@@ -237,7 +191,7 @@ void Exporter::stop() {
   stop_requested_.store(true, std::memory_order_relaxed);
   // Unblock the accept() in the loop thread; close happens after the join
   // so the fd number cannot be reused out from under the loop.
-  ::shutdown(listen_fd_, SHUT_RDWR);
+  listener_.shutdown();
   thread_.join();
   // Handlers drain in-flight connections (each bounded by the connection
   // deadline), then observe stop and exit; fds still pending un-handled
@@ -250,8 +204,7 @@ void Exporter::stop() {
     for (const int fd : pending_conns_) ::close(fd);
     pending_conns_.clear();
   }
-  ::close(listen_fd_);
-  listen_fd_ = -1;
+  listener_ = net::Listener();
   started_ = false;
 }
 
@@ -265,23 +218,21 @@ void Exporter::accept_loop() {
   // defers the pain — close immediately and let the scraper retry.
   const std::size_t max_pending = handlers_.size() * 8;
   while (!stop_requested_.load(std::memory_order_relaxed)) {
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) {
-      if (stop_requested_.load(std::memory_order_relaxed)) break;
-      if (errno == EINTR) continue;
-      break;  // listening socket is gone; nothing to recover
-    }
+    // accept_retry handles EINTR; an invalid fd means the listening socket
+    // was shut down (stop) or is gone — nothing to recover either way.
+    net::OwnedFd conn = net::accept_retry(listener_.fd());
+    if (!conn.valid()) break;
     bool shed = false;
     {
       std::lock_guard<std::mutex> lock(conn_mutex_);
       if (pending_conns_.size() >= max_pending) {
         shed = true;
       } else {
-        pending_conns_.push_back(fd);
+        pending_conns_.push_back(conn.release());
       }
     }
     if (shed) {
-      ::close(fd);
+      conn.reset();
       dropped_.fetch_add(1, std::memory_order_relaxed);
     } else {
       conn_cv_.notify_one();
@@ -307,7 +258,7 @@ void Exporter::handler_loop() {
 }
 
 void Exporter::handle_connection(int fd) {
-  set_io_timeout(fd, 2);
+  net::set_io_timeout(fd, 2.0);
   // Read until the end of the request line, under a *total* wall-clock
   // deadline and a bounded recv() count: a drip-feeding client sending one
   // byte per read runs out of read budget, a silent one runs out of clock.
@@ -324,21 +275,21 @@ void Exporter::handle_connection(int fd) {
       timed_out = true;
       break;
     }
-    set_recv_timeout_s(fd, remaining_s);
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    net::set_recv_timeout(fd, remaining_s);
+    const net::IoResult r = net::recv_some(fd, buf, sizeof(buf));
     ++reads;
-    if (n < 0) {
+    if (r.status != net::IoStatus::Ok) {
       // A recv timeout (the tail of the wall-clock budget) is a deadline
-      // expiry, not a malformed request; anything else ends the read.
-      if (errno == EAGAIN || errno == EWOULDBLOCK) timed_out = true;
+      // expiry, not a malformed request; EOF or an error ends the read and
+      // we parse whatever arrived.
+      if (r.status == net::IoStatus::TimedOut) timed_out = true;
       break;
     }
-    if (n == 0) break;  // peer closed: parse whatever arrived
-    request.append(buf, static_cast<std::size_t>(n));
+    request.append(buf, r.n);
   }
   const std::size_t eol = request.find('\n');
   if (timed_out && eol == std::string::npos) {
-    send_all(fd, http_response(408, "text/plain", "request timeout\n"));
+    send_response(fd, http_response(408, "text/plain", "request timeout\n"));
     requests_.fetch_add(1, std::memory_order_relaxed);
     dropped_.fetch_add(1, std::memory_order_relaxed);
     ::close(fd);
@@ -347,7 +298,7 @@ void Exporter::handle_connection(int fd) {
   std::string line =
       eol == std::string::npos ? request : request.substr(0, eol);
   if (!line.empty() && line.back() == '\r') line.pop_back();
-  send_all(fd, handle_request(line));
+  send_response(fd, handle_request(line));
   requests_.fetch_add(1, std::memory_order_relaxed);
   ::close(fd);
 }
@@ -392,33 +343,23 @@ std::string Exporter::handle_request(const std::string& request_line) const {
 }
 
 HttpResponse http_get(int port, const std::string& path) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    throw Error("http_get: socket() failed: " +
-                std::string(std::strerror(errno)));
+  net::Endpoint ep;
+  ep.kind = net::Endpoint::Kind::Tcp;
+  ep.port = port;
+  net::OwnedFd fd;
+  try {
+    // A short connect deadline (with retry-on-refused underneath) keeps
+    // the fail-fast behaviour callers expect against a dead port.
+    fd = net::connect_endpoint(ep, /*deadline_s=*/0.5);
+  } catch (const net::NetError& e) {
+    throw Error("http_get: " + std::string(e.what()));
   }
-  set_io_timeout(fd, 5);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    const std::string err = std::strerror(errno);
-    ::close(fd);
-    throw Error("http_get: connect(127.0.0.1:" + std::to_string(port) +
-                ") failed: " + err);
-  }
-  send_all(fd, "GET " + path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n"
-                                "Connection: close\r\n\r\n");
-  std::string response;
-  char buf[4096];
-  for (;;) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
-    response.append(buf, static_cast<std::size_t>(n));
-  }
-  ::close(fd);
+  net::set_io_timeout(fd.get(), 5.0);
+  send_response(fd.get(),
+                "GET " + path + " HTTP/1.0\r\nHost: 127.0.0.1\r\n"
+                "Connection: close\r\n\r\n");
+  const std::string response = net::recv_until_eof(fd.get());
+  fd.reset();
 
   HttpResponse out;
   const std::size_t eol = response.find("\r\n");

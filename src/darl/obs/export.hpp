@@ -15,9 +15,10 @@
 // /healthz keeps answering from the other handlers. Connections beyond the
 // pending backlog are shed at accept (closed unanswered) rather than
 // queued without bound — the same shed-don't-queue posture the serving
-// fleet takes under overload (DESIGN.md §14). This is deliberately the
-// first socket code in the repo: the listener/framing shape here seeds the
-// ROADMAP item-1 transport layer.
+// fleet takes under overload (DESIGN.md §14). The raw socket work
+// (listen/accept/deadline-read, EINTR retry, SIGPIPE suppression) lives in
+// darl/net/socket.hpp — this exporter was the repo's first socket code and
+// now rides the shared transport primitives it seeded (DESIGN.md §17).
 //
 // Routes:
 //   GET /metrics        -> text/plain; Prometheus text exposition
@@ -38,6 +39,7 @@
 #include <vector>
 
 #include "darl/common/thread_safety.hpp"
+#include "darl/net/socket.hpp"
 #include "darl/obs/metrics.hpp"
 #include "darl/obs/timeseries.hpp"
 
@@ -107,7 +109,7 @@ class Exporter {
 
   ExporterOptions options_;
   Registry* registry_;
-  int listen_fd_ = -1;
+  net::Listener listener_;
   int port_ = 0;
   std::thread thread_;
   std::vector<std::thread> handlers_;

@@ -279,6 +279,37 @@ TEST(LintThreadPool, CleanPoolFilesOtherDirsAndPoolUse) {
 }
 
 // ---------------------------------------------------------------------------
+// naked-socket-call
+
+TEST(LintSocket, FlagsRawSocketCallsOutsideNet) {
+  EXPECT_TRUE(has_rule(scan("const ssize_t n = ::recv(fd, buf, cap, 0);",
+                            "src/darl/obs/export.cpp"),
+                       "naked-socket-call"));
+  EXPECT_TRUE(has_rule(scan("::send(fd, data, len, MSG_NOSIGNAL);",
+                            "tests/test_obs_live.cpp"),
+               "naked-socket-call"));
+  EXPECT_TRUE(has_rule(scan("int c = ::accept(listen_fd, nullptr, nullptr);",
+                            "tools/darl_worker.cpp"),
+               "naked-socket-call"));
+}
+
+TEST(LintSocket, CleanInsideNetHelpersAndNonSyscallNames) {
+  const std::string code = "const ssize_t n = ::recv(fd, buf, cap, 0);";
+  // darl/net is the one sanctioned home for the raw calls.
+  EXPECT_FALSE(has_rule(scan(code, "src/darl/net/socket.cpp"),
+                        "naked-socket-call"));
+  // The helpers themselves (and method calls) are not raw syscalls.
+  EXPECT_TRUE(scan("net::send_all(fd, payload); net::recv_exact(fd, b, n); "
+                   "channel.send(type, payload);",
+                   "src/darl/serve/batch_scheduler.cpp")
+                  .empty());
+  // A quoted or commented call never counts (stripped source).
+  EXPECT_TRUE(scan("// ::recv(fd, buf, cap, 0);\n"
+                   "const char* doc = \"::send(fd, p, n, 0)\";")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
 // heap-alloc-in-kernel
 
 TEST(LintKernelAlloc, FlagsAllocationsInsideBatchAndGemmBodies) {

@@ -1,0 +1,635 @@
+// tests/test_net.cpp — the socket transport and the multi-process
+// actor–learner runtime: endpoint parsing, frame integrity over a real
+// socketpair (round-trips, truncation, digest mismatch, fragmentation,
+// connection reset mid-message), the wire codec for every message type,
+// the bounded queue, the parameter-server ring, and the acceptance bar —
+// a loopback 2-actor training run whose TrainResult matches the
+// in-process backend bit for bit (DESIGN.md §17).
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "darl/airdrop/airdrop_env.hpp"
+#include "darl/airdrop/spec.hpp"
+#include "darl/common/error.hpp"
+#include "darl/common/rng.hpp"
+#include "darl/frameworks/backend.hpp"
+#include "darl/frameworks/distributed.hpp"
+#include "darl/net/frame.hpp"
+#include "darl/net/param_server.hpp"
+#include "darl/net/queue.hpp"
+#include "darl/net/socket.hpp"
+#include "darl/net/wire.hpp"
+#include "darl/rl/checkpoint.hpp"
+#include "darl/rl/factory.hpp"
+
+namespace {
+
+using namespace darl;
+
+/// A connected AF_UNIX stream pair wrapped in OwnedFds.
+struct FdPair {
+  net::OwnedFd a, b;
+  FdPair() {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a.reset(fds[0]);
+    b.reset(fds[1]);
+  }
+};
+
+std::string unique_sock_path(const char* tag) {
+  return "/tmp/darl_test_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+// ---------------------------------------------------------------------------
+// Endpoint
+
+TEST(NetEndpoint, ParsesAndRoundTrips) {
+  const net::Endpoint tcp = net::Endpoint::parse("tcp:8080");
+  EXPECT_EQ(tcp.kind, net::Endpoint::Kind::Tcp);
+  EXPECT_EQ(tcp.port, 8080);
+  EXPECT_EQ(tcp.str(), "tcp:8080");
+
+  const net::Endpoint ux = net::Endpoint::parse("unix:/tmp/x.sock");
+  EXPECT_EQ(ux.kind, net::Endpoint::Kind::Unix);
+  EXPECT_EQ(ux.path, "/tmp/x.sock");
+  EXPECT_EQ(ux.str(), "unix:/tmp/x.sock");
+}
+
+TEST(NetEndpoint, RejectsMalformed) {
+  EXPECT_THROW(net::Endpoint::parse("http:80"), InvalidArgument);
+  EXPECT_THROW(net::Endpoint::parse("tcp:notaport"), InvalidArgument);
+  EXPECT_THROW(net::Endpoint::parse("tcp:-1"), InvalidArgument);
+  EXPECT_THROW(net::Endpoint::parse("unix:"), InvalidArgument);
+  EXPECT_THROW(net::Endpoint::parse(""), InvalidArgument);
+}
+
+TEST(NetSocket, ConnectDeadlineLapsesAgainstDeadPort) {
+  // A Unix path nobody listens on: connect retries until the deadline,
+  // then throws NetError (never hangs).
+  const net::Endpoint ep = net::Endpoint::parse("unix:/tmp/darl_nobody.sock");
+  EXPECT_THROW(net::connect_endpoint(ep, /*deadline_s=*/0.2), net::NetError);
+}
+
+TEST(NetSocket, ListenerResolvesEphemeralPortAndAccepts) {
+  net::Listener listener =
+      net::listen_endpoint(net::Endpoint::parse("tcp:0"));
+  ASSERT_TRUE(listener.valid());
+  EXPECT_GT(listener.endpoint().port, 0);
+
+  net::OwnedFd client =
+      net::connect_endpoint(listener.endpoint(), /*deadline_s=*/5.0);
+  ASSERT_TRUE(client.valid());
+  net::OwnedFd server = net::accept_retry(listener.fd());
+  ASSERT_TRUE(server.valid());
+
+  ASSERT_EQ(net::send_all(client.get(), "ping").status, net::IoStatus::Ok);
+  char buf[4];
+  const net::IoResult got = net::recv_exact(server.get(), buf, 4);
+  ASSERT_EQ(got.status, net::IoStatus::Ok);
+  EXPECT_EQ(std::string(buf, 4), "ping");
+}
+
+// ---------------------------------------------------------------------------
+// Frames
+
+TEST(NetFrame, RoundTripsOverSocketpair) {
+  FdPair p;
+  const std::string payload = "hello frame \x01\x00\xff payload";
+  net::write_frame(p.a.get(), 42, payload);
+
+  net::Frame frame;
+  ASSERT_TRUE(net::read_frame(p.b.get(), frame));
+  EXPECT_EQ(frame.type, 42u);
+  EXPECT_EQ(frame.payload, payload);
+
+  // Clean EOF at a frame boundary is a false return, not an error.
+  p.a.reset();
+  EXPECT_FALSE(net::read_frame(p.b.get(), frame));
+}
+
+TEST(NetFrame, OneBytePerSendStillDecodes) {
+  // A pathologically fragmenting sender: the reader's partial-read loops
+  // must reassemble the frame regardless of segmentation.
+  FdPair p;
+  const std::string payload(300, 'z');
+  unsigned char header[net::kFrameHeaderBytes];
+  net::encode_frame_header(7, payload, header);
+  std::string wire(reinterpret_cast<const char*>(header), sizeof(header));
+  wire += payload;
+
+  std::thread sender([&] {
+    for (const char c : wire) {
+      ASSERT_EQ(net::send_all(p.a.get(), &c, 1).status, net::IoStatus::Ok);
+    }
+    p.a.reset();
+  });
+  net::Frame frame;
+  ASSERT_TRUE(net::read_frame(p.b.get(), frame));
+  sender.join();
+  EXPECT_EQ(frame.type, 7u);
+  EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(NetFrame, TruncatedPayloadIsTypedError) {
+  FdPair p;
+  const std::string payload = "will be cut short";
+  unsigned char header[net::kFrameHeaderBytes];
+  net::encode_frame_header(3, payload, header);
+  ASSERT_EQ(net::send_all(p.a.get(), header, sizeof(header)).status,
+            net::IoStatus::Ok);
+  ASSERT_EQ(net::send_all(p.a.get(), payload.data(), 5).status,
+            net::IoStatus::Ok);
+  p.a.reset();  // EOF mid-payload
+
+  net::Frame frame;
+  try {
+    net::read_frame(p.b.get(), frame);
+    FAIL() << "expected FrameError";
+  } catch (const net::FrameError& e) {
+    EXPECT_EQ(e.kind(), net::FrameError::Kind::Truncated);
+  }
+}
+
+TEST(NetFrame, TruncatedHeaderIsTypedError) {
+  FdPair p;
+  unsigned char header[net::kFrameHeaderBytes];
+  net::encode_frame_header(3, "x", header);
+  ASSERT_EQ(net::send_all(p.a.get(), header, 10).status, net::IoStatus::Ok);
+  p.a.reset();  // EOF mid-header
+
+  net::Frame frame;
+  try {
+    net::read_frame(p.b.get(), frame);
+    FAIL() << "expected FrameError";
+  } catch (const net::FrameError& e) {
+    EXPECT_EQ(e.kind(), net::FrameError::Kind::Truncated);
+  }
+}
+
+TEST(NetFrame, CorruptedPayloadFailsDigest) {
+  FdPair p;
+  const std::string payload = "checksummed content";
+  unsigned char header[net::kFrameHeaderBytes];
+  net::encode_frame_header(3, payload, header);
+  std::string corrupted = payload;
+  corrupted[4] ^= 0x20;  // same length, one flipped bit
+  ASSERT_EQ(net::send_all(p.a.get(), header, sizeof(header)).status,
+            net::IoStatus::Ok);
+  ASSERT_EQ(net::send_all(p.a.get(), corrupted).status, net::IoStatus::Ok);
+
+  net::Frame frame;
+  try {
+    net::read_frame(p.b.get(), frame);
+    FAIL() << "expected FrameError";
+  } catch (const net::FrameError& e) {
+    EXPECT_EQ(e.kind(), net::FrameError::Kind::BadDigest);
+  }
+}
+
+TEST(NetFrame, BadMagicRejected) {
+  FdPair p;
+  unsigned char header[net::kFrameHeaderBytes];
+  net::encode_frame_header(3, "x", header);
+  header[0] ^= 0xff;
+  ASSERT_EQ(net::send_all(p.a.get(), header, sizeof(header)).status,
+            net::IoStatus::Ok);
+
+  net::Frame frame;
+  try {
+    net::read_frame(p.b.get(), frame);
+    FAIL() << "expected FrameError";
+  } catch (const net::FrameError& e) {
+    EXPECT_EQ(e.kind(), net::FrameError::Kind::BadMagic);
+  }
+}
+
+TEST(NetFrame, OversizedLengthRejectedWithoutAllocating) {
+  FdPair p;
+  // Hand-build a header whose length field exceeds kMaxFramePayload.
+  unsigned char header[net::kFrameHeaderBytes];
+  net::encode_frame_header(3, "", header);
+  const std::uint64_t huge = net::kMaxFramePayload + 1;
+  for (int i = 0; i < 8; ++i)
+    header[8 + i] = static_cast<unsigned char>((huge >> (8 * i)) & 0xff);
+  ASSERT_EQ(net::send_all(p.a.get(), header, sizeof(header)).status,
+            net::IoStatus::Ok);
+
+  net::Frame frame;
+  try {
+    net::read_frame(p.b.get(), frame);
+    FAIL() << "expected FrameError";
+  } catch (const net::FrameError& e) {
+    EXPECT_EQ(e.kind(), net::FrameError::Kind::TooLarge);
+  }
+}
+
+TEST(NetFrame, ConnectionResetMidMessageIsErrorNotSignal) {
+  // Regression for the SIGPIPE/EINTR satellite: the peer disappears with
+  // an abortive close (RST) while we are mid-conversation. Every further
+  // write must surface as FrameError — the process must not die on
+  // SIGPIPE (all sends use MSG_NOSIGNAL).
+  net::Listener listener =
+      net::listen_endpoint(net::Endpoint::parse("tcp:0"));
+  net::OwnedFd client =
+      net::connect_endpoint(listener.endpoint(), /*deadline_s=*/5.0);
+  net::OwnedFd server = net::accept_retry(listener.fd());
+  ASSERT_TRUE(server.valid());
+
+  // Abortive close: RST instead of FIN.
+  struct linger lg;
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  ASSERT_EQ(::setsockopt(server.get(), SOL_SOCKET, SO_LINGER, &lg, sizeof(lg)),
+            0);
+  server.reset();
+
+  // Large payloads force the kernel buffer past the reset; at least one
+  // write_frame must fail (and none may raise SIGPIPE).
+  const std::string payload(1 << 20, 'r');
+  bool failed = false;
+  for (int i = 0; i < 8 && !failed; ++i) {
+    try {
+      net::write_frame(client.get(), 1, payload);
+    } catch (const net::FrameError& e) {
+      EXPECT_TRUE(e.kind() == net::FrameError::Kind::Io ||
+                  e.kind() == net::FrameError::Kind::TimedOut);
+      failed = true;
+    }
+  }
+  EXPECT_TRUE(failed);
+}
+
+// ---------------------------------------------------------------------------
+// Wire codec
+
+TEST(NetWire, HelloJobByeRoundTrip) {
+  net::HelloMsg hello;
+  hello.node = 3;
+  const net::HelloMsg hello2 = net::decode_hello(net::encode_hello(hello));
+  EXPECT_EQ(hello2.node, 3u);
+  EXPECT_EQ(hello2.protocol, net::kProtocolVersion);
+
+  net::JobMsg job;
+  job.algo = rl::AlgoKind::SAC;
+  job.hidden = {32, 16};
+  job.seed = 0xDEADBEEFCAFEull;
+  job.node = 2;
+  job.nodes = 4;
+  job.cores = 8;
+  job.per_worker = 128;
+  job.obs_dim = 7;
+  job.action_dim = 2;
+  job.env_spec = "airdrop-v1\nsome multi-line\nopaque spec\n";
+  const net::JobMsg job2 = net::decode_job(net::encode_job(job));
+  EXPECT_EQ(job2.algo, rl::AlgoKind::SAC);
+  EXPECT_EQ(job2.hidden, (std::vector<std::size_t>{32, 16}));
+  EXPECT_EQ(job2.seed, job.seed);
+  EXPECT_EQ(job2.node, 2u);
+  EXPECT_EQ(job2.nodes, 4u);
+  EXPECT_EQ(job2.cores, 8u);
+  EXPECT_EQ(job2.per_worker, 128u);
+  EXPECT_EQ(job2.obs_dim, 7u);
+  EXPECT_EQ(job2.action_dim, 2u);
+  EXPECT_EQ(job2.env_spec, job.env_spec);
+
+  net::ByeMsg bye;
+  bye.node = 9;
+  EXPECT_EQ(net::decode_bye(net::encode_bye(bye)).node, 9u);
+}
+
+TEST(NetWire, ProtocolMismatchRejected) {
+  net::HelloMsg hello;
+  hello.protocol = net::kProtocolVersion + 1;
+  EXPECT_THROW(net::decode_hello(net::encode_hello(hello)), net::WireError);
+}
+
+TEST(NetWire, WeightsRoundTripBitwise) {
+  // The checkpoint text must survive embedding verbatim (it contains
+  // newlines and its own digest footer).
+  rl::Checkpoint ck;
+  ck.kind = rl::AlgoKind::PPO;
+  ck.obs_dim = 3;
+  ck.action_dim = 1;
+  ck.params = Vec{0.1, -2.0 / 3.0, 1e-300, std::numeric_limits<double>::min()};
+  std::ostringstream os;
+  rl::save_checkpoint(os, ck);
+
+  net::WeightsMsg w;
+  w.version = 17;
+  w.checkpoint = os.str();
+  const net::WeightsMsg w2 = net::decode_weights(net::encode_weights(w));
+  EXPECT_EQ(w2.version, 17u);
+  ASSERT_EQ(w2.checkpoint, w.checkpoint);
+
+  std::istringstream is(w2.checkpoint);
+  const rl::Checkpoint ck2 = rl::load_checkpoint(is);
+  ASSERT_EQ(ck2.params.size(), ck.params.size());
+  for (std::size_t i = 0; i < ck.params.size(); ++i)
+    EXPECT_EQ(ck2.params[i], ck.params[i]);  // bitwise, not approx
+}
+
+TEST(NetWire, BatchRoundTripBitwise) {
+  net::BatchMsg b;
+  b.worker = 5;
+  b.version = 3;
+  b.env_cost_units = 1234.5678901234567;
+  b.inferences = 77;
+  b.steps = 64;
+  b.episodes.push_back({-1.0 / 3.0, 0.987654321987654, 321});
+  b.episodes.push_back({2.5, -0.125, 7});
+  for (int i = 0; i < 3; ++i) {
+    rl::Transition t;
+    t.obs = Vec{0.1 * i, -1.0 / (i + 1), 3.14159265358979};
+    t.action = Vec{static_cast<double>(i % 2)};
+    t.next_obs = Vec{0.2 * i, 1e-17, -2.718281828459045};
+    t.reward = -0.001 * i + 1.0 / 7.0;
+    t.log_prob = -1.0986122886681098;
+    t.terminated = (i == 2);
+    t.truncated = (i == 1);
+    b.transitions.push_back(t);
+  }
+
+  const net::BatchMsg b2 = net::decode_batch_msg(net::encode_batch_msg(b));
+  EXPECT_EQ(b2.worker, 5u);
+  EXPECT_EQ(b2.version, 3u);
+  EXPECT_EQ(b2.env_cost_units, b.env_cost_units);
+  EXPECT_EQ(b2.inferences, 77u);
+  EXPECT_EQ(b2.steps, 64u);
+  ASSERT_EQ(b2.episodes.size(), 2u);
+  EXPECT_EQ(b2.episodes[0].total_reward, b.episodes[0].total_reward);
+  EXPECT_EQ(b2.episodes[0].score, b.episodes[0].score);
+  EXPECT_EQ(b2.episodes[0].length, 321u);
+  ASSERT_EQ(b2.transitions.size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto& x = b.transitions[i];
+    const auto& y = b2.transitions[i];
+    ASSERT_EQ(y.obs.size(), x.obs.size());
+    for (std::size_t k = 0; k < x.obs.size(); ++k) EXPECT_EQ(y.obs[k], x.obs[k]);
+    for (std::size_t k = 0; k < x.next_obs.size(); ++k)
+      EXPECT_EQ(y.next_obs[k], x.next_obs[k]);
+    EXPECT_EQ(y.action[0], x.action[0]);
+    EXPECT_EQ(y.reward, x.reward);
+    EXPECT_EQ(y.log_prob, x.log_prob);
+    EXPECT_EQ(y.terminated, x.terminated);
+    EXPECT_EQ(y.truncated, x.truncated);
+  }
+}
+
+TEST(NetWire, EveryMessageTypeOverASocketpair) {
+  FdPair p;
+  net::MsgChannel tx(std::move(p.a));
+  net::MsgChannel rx(std::move(p.b));
+
+  net::HelloMsg hello;
+  hello.node = 1;
+  tx.send(net::MsgType::Hello, net::encode_hello(hello));
+  net::JobMsg job;
+  job.env_spec = "spec";
+  tx.send(net::MsgType::Job, net::encode_job(job));
+  net::WeightsMsg weights;
+  weights.version = 2;
+  weights.checkpoint = "not parsed here";
+  tx.send(net::MsgType::Weights, net::encode_weights(weights));
+  net::BatchMsg batch;
+  batch.worker = 4;
+  tx.send(net::MsgType::Batch, net::encode_batch_msg(batch));
+  tx.send(net::MsgType::Stop, std::string());
+  net::ByeMsg bye;
+  bye.node = 1;
+  tx.send(net::MsgType::Bye, net::encode_bye(bye));
+
+  EXPECT_EQ(net::decode_hello(rx.expect(net::MsgType::Hello)).node, 1u);
+  EXPECT_EQ(net::decode_job(rx.expect(net::MsgType::Job)).env_spec, "spec");
+  EXPECT_EQ(net::decode_weights(rx.expect(net::MsgType::Weights)).version, 2u);
+  EXPECT_EQ(net::decode_batch_msg(rx.expect(net::MsgType::Batch)).worker, 4u);
+  rx.expect(net::MsgType::Stop);
+  EXPECT_EQ(net::decode_bye(rx.expect(net::MsgType::Bye)).node, 1u);
+
+  // expect() on a mismatched type is a WireError.
+  tx.send(net::MsgType::Hello, net::encode_hello(hello));
+  EXPECT_THROW(rx.expect(net::MsgType::Batch), net::WireError);
+}
+
+// ---------------------------------------------------------------------------
+// BoundedQueue
+
+TEST(NetQueue, BackpressureAndClose) {
+  net::BoundedQueue<int> q(2);
+  EXPECT_EQ(q.push(1), net::QueueOutcome::Ok);
+  EXPECT_EQ(q.push(2), net::QueueOutcome::Ok);
+  EXPECT_EQ(q.push(3, /*timeout_s=*/0.05), net::QueueOutcome::TimedOut);
+
+  int v = 0;
+  EXPECT_EQ(q.pop(v), net::QueueOutcome::Ok);
+  EXPECT_EQ(v, 1);
+  EXPECT_EQ(q.push(3), net::QueueOutcome::Ok);  // room again
+
+  q.close();
+  EXPECT_EQ(q.push(4), net::QueueOutcome::Closed);
+  // Items queued before close still drain, in order.
+  EXPECT_EQ(q.pop(v), net::QueueOutcome::Ok);
+  EXPECT_EQ(v, 2);
+  EXPECT_EQ(q.pop(v), net::QueueOutcome::Ok);
+  EXPECT_EQ(v, 3);
+  EXPECT_EQ(q.pop(v), net::QueueOutcome::Closed);
+}
+
+TEST(NetQueue, BlockedPopWakesOnPush) {
+  net::BoundedQueue<int> q(1);
+  std::thread producer([&] { q.push(42); });
+  int v = 0;
+  EXPECT_EQ(q.pop(v), net::QueueOutcome::Ok);
+  EXPECT_EQ(v, 42);
+  producer.join();
+}
+
+// ---------------------------------------------------------------------------
+// ParamServer
+
+TEST(NetParamServer, PublishesVersionedCheckpointsThroughTheStore) {
+  const env::ActionSpace space{env::DiscreteSpace(3)};
+  rl::AlgorithmSpec spec;
+  auto algo = rl::make_algorithm(spec, /*obs_dim=*/4, space, /*seed=*/9);
+
+  net::ParamServer ps(rl::AlgoKind::PPO, 4, space.action_dim(), space,
+                      spec.ppo.hidden);
+  const Vec v0 = algo->policy_params();
+  EXPECT_EQ(ps.publish(v0), 0u);
+  Vec v1 = v0;
+  v1[0] += 1.0;
+  EXPECT_EQ(ps.publish(v1), 1u);
+  EXPECT_EQ(ps.latest_version(), 1u);
+
+  // Shipped text loads back to the exact published parameters.
+  std::istringstream is(ps.checkpoint_text(0));
+  const rl::Checkpoint ck = rl::load_checkpoint(is);
+  ASSERT_EQ(ck.params.size(), v0.size());
+  for (std::size_t i = 0; i < v0.size(); ++i) EXPECT_EQ(ck.params[i], v0[i]);
+
+  // The store's hot-swap chain tracks the newest publication
+  // (store versions are logical + 1).
+  const auto handle = ps.store().current(net::ParamServer::kTenant);
+  ASSERT_NE(handle, nullptr);
+  EXPECT_EQ(handle->id, 2u);
+
+  // Old versions fall off the retention ring.
+  for (std::uint64_t k = 2; k < 2 + net::ParamServer::kRetainedVersions; ++k) {
+    v1[0] += 1.0;
+    ps.publish(v1);
+  }
+  EXPECT_THROW(ps.checkpoint_text(0), Error);
+  EXPECT_NO_THROW(ps.checkpoint_text(ps.latest_version()));
+}
+
+// ---------------------------------------------------------------------------
+// The acceptance bar: loopback multi-process run == in-process run, bitwise.
+
+frameworks::TrainRequest tiny_rllib_request(std::size_t nodes) {
+  airdrop::AirdropConfig cfg;
+  cfg.wind_enabled = false;
+  cfg.gusts_enabled = false;
+  cfg.altitude_min = 30.0;
+  cfg.altitude_max = 300.0;
+
+  frameworks::TrainRequest req;
+  req.env_factory = airdrop::make_airdrop_factory(cfg);
+  req.env_spec = airdrop::encode_airdrop_spec(cfg);
+  req.algo.kind = rl::AlgoKind::PPO;
+  req.deployment.nodes = nodes;
+  req.deployment.cores_per_node = 2;
+  req.total_timesteps = 1536;
+  req.train_batch_total = 512;
+  req.eval_episodes = 10;
+  req.seed = 1234;
+  return req;
+}
+
+TEST(NetDistributed, LoopbackRunMatchesInProcessBitwise) {
+  const frameworks::TrainRequest req = tiny_rllib_request(/*nodes=*/3);
+
+  frameworks::RllibBackend in_process;
+  const frameworks::TrainResult want = in_process.run(req);
+
+  // Actors on threads (spawn_actors = false): same runtime code as the
+  // separate-process path — run_actor is exactly darl_worker's actor
+  // role — without forking from a gtest process.
+  const std::string sock = unique_sock_path("dist");
+  frameworks::DistributedOptions opts;
+  opts.enabled = true;
+  opts.endpoint = "unix:" + sock;
+  opts.spawn_actors = false;
+  opts.connect_timeout_s = 30.0;
+
+  std::vector<std::thread> actors;
+  for (std::size_t node = 1; node < req.deployment.nodes; ++node) {
+    actors.emplace_back([&, node] {
+      frameworks::run_actor(opts.endpoint, node,
+                            airdrop::airdrop_factory_from_spec);
+    });
+  }
+  frameworks::DistributedRllibBackend distributed(opts);
+  const frameworks::TrainResult got = distributed.run(req);
+  for (auto& t : actors) t.join();
+
+  // The paper metrics and everything feeding campaign CSVs must be
+  // bit-identical (EXPECT_EQ on doubles is deliberate).
+  EXPECT_EQ(got.reward, want.reward);
+  EXPECT_EQ(got.reward_stddev, want.reward_stddev);
+  EXPECT_EQ(got.sim_seconds, want.sim_seconds);
+  EXPECT_EQ(got.sim_energy_joules, want.sim_energy_joules);
+  EXPECT_EQ(got.train_reward, want.train_reward);
+  EXPECT_EQ(got.net_staleness, want.net_staleness);
+  EXPECT_EQ(got.timesteps, want.timesteps);
+  EXPECT_EQ(got.episodes, want.episodes);
+  EXPECT_EQ(got.iterations, want.iterations);
+  EXPECT_EQ(got.final_policy_loss, want.final_policy_loss);
+  EXPECT_EQ(got.final_value_loss, want.final_value_loss);
+  EXPECT_EQ(got.final_entropy, want.final_entropy);
+  ASSERT_EQ(got.final_policy.size(), want.final_policy.size());
+  for (std::size_t i = 0; i < want.final_policy.size(); ++i)
+    EXPECT_EQ(got.final_policy[i], want.final_policy[i]);
+
+  // The asynchronous pipeline is actually exercised: staleness > 0.
+  EXPECT_GT(got.net_staleness, 0.0);
+}
+
+TEST(NetDistributed, MissingActorSurfacesAsTimeoutNotHang) {
+  frameworks::TrainRequest req = tiny_rllib_request(/*nodes=*/2);
+  frameworks::DistributedOptions opts;
+  opts.enabled = true;
+  opts.endpoint = "unix:" + unique_sock_path("noactor");
+  opts.spawn_actors = false;       // and nobody else connects
+  opts.connect_timeout_s = 0.3;
+  frameworks::DistributedRllibBackend backend(opts);
+  EXPECT_THROW(backend.run(req), net::NetError);
+}
+
+TEST(NetDistributed, SingleNodeJobsAreRejected) {
+  frameworks::TrainRequest req = tiny_rllib_request(/*nodes=*/1);
+  frameworks::DistributedOptions opts;
+  opts.enabled = true;
+  frameworks::DistributedRllibBackend backend(opts);
+  EXPECT_THROW(backend.run(req), Error);
+}
+
+TEST(NetDistributed, EmptyEnvSpecIsRejected) {
+  frameworks::TrainRequest req = tiny_rllib_request(/*nodes=*/2);
+  req.env_spec.clear();
+  frameworks::DistributedOptions opts;
+  opts.enabled = true;
+  frameworks::DistributedRllibBackend backend(opts);
+  EXPECT_THROW(backend.run(req), Error);
+}
+
+// ---------------------------------------------------------------------------
+// Airdrop env-spec codec (the resolver the worker binary registers).
+
+TEST(AirdropSpec, RoundTripsConfig) {
+  airdrop::AirdropConfig cfg;
+  cfg.wind_enabled = true;
+  cfg.gusts_enabled = false;
+  cfg.altitude_min = 42.5;
+  cfg.altitude_max = 123.75;
+  cfg.rk_order = ode::RkOrder::Order8;
+  cfg.action_mode = airdrop::ActionMode::Continuous;
+
+  const std::string spec = airdrop::encode_airdrop_spec(cfg);
+  EXPECT_TRUE(airdrop::is_airdrop_spec(spec));
+  EXPECT_FALSE(airdrop::is_airdrop_spec("something-else"));
+
+  const airdrop::AirdropConfig back = airdrop::decode_airdrop_spec(spec);
+  EXPECT_EQ(back.wind_enabled, cfg.wind_enabled);
+  EXPECT_EQ(back.gusts_enabled, cfg.gusts_enabled);
+  EXPECT_EQ(back.altitude_min, cfg.altitude_min);
+  EXPECT_EQ(back.altitude_max, cfg.altitude_max);
+  EXPECT_EQ(back.rk_order, cfg.rk_order);
+  EXPECT_EQ(back.action_mode, cfg.action_mode);
+
+  EXPECT_THROW(airdrop::decode_airdrop_spec("garbage"), InvalidArgument);
+
+  // The factory builds an identically-behaving environment.
+  env::EnvFactory factory = airdrop::airdrop_factory_from_spec(spec);
+  auto a = factory();
+  auto b = airdrop::make_airdrop_factory(cfg)();
+  a->seed(99);
+  b->seed(99);
+  const Vec oa = a->reset();
+  const Vec ob = b->reset();
+  ASSERT_EQ(oa.size(), ob.size());
+  for (std::size_t i = 0; i < oa.size(); ++i) EXPECT_EQ(oa[i], ob[i]);
+}
+
+}  // namespace

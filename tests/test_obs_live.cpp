@@ -6,11 +6,6 @@
 // campaign. The concurrency tests get real teeth in the TSan tree that
 // tools/check.sh builds.
 
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <sys/socket.h>
-#include <unistd.h>
-
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +26,7 @@
 #include "darl/core/explorer.hpp"
 #include "darl/core/fault_injection.hpp"
 #include "darl/core/study.hpp"
+#include "darl/net/socket.hpp"
 #include "darl/obs/export.hpp"
 #include "darl/obs/flight.hpp"
 #include "darl/obs/metrics.hpp"
@@ -44,36 +40,29 @@ using namespace darl::serve;
 
 namespace {
 
+/// Connect to the exporter on loopback, or an invalid fd when the
+/// exporter is gone (the 1s deadline keeps a dead-port probe fast).
+net::OwnedFd connect_exporter(int port) {
+  net::Endpoint ep;
+  ep.kind = net::Endpoint::Kind::Tcp;
+  ep.port = port;
+  try {
+    return net::connect_endpoint(ep, 1.0);
+  } catch (const net::NetError&) {
+    return net::OwnedFd{};
+  }
+}
+
 /// Send raw bytes to the exporter and return the response status code
 /// (0 when the connection failed or no status line came back). Lets the
-/// malformed-request tests step outside what obs::http_get can produce.
+/// malformed-request tests step outside what obs::http_get can produce;
+/// the byte shuffling itself goes through the darl/net transport helpers
+/// (the naked-socket-call lint rule bans raw recv/send here too).
 int raw_request_status(int port, const std::string& request) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return 0;
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    ::close(fd);
-    return 0;
-  }
-  std::size_t sent = 0;
-  while (sent < request.size()) {
-    const ssize_t n =
-        ::send(fd, request.data() + sent, request.size() - sent, 0);
-    if (n <= 0) break;
-    sent += static_cast<std::size_t>(n);
-  }
-  std::string response;
-  char buf[512];
-  for (;;) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
-    response.append(buf, static_cast<std::size_t>(n));
-  }
-  ::close(fd);
+  net::OwnedFd fd = connect_exporter(port);
+  if (!fd.valid()) return 0;
+  net::send_all(fd.get(), request);  // a cut-off mid-send still gets a read
+  const std::string response = net::recv_until_eof(fd.get());
   // "HTTP/1.0 NNN ..."
   const std::size_t sp = response.find(' ');
   if (sp == std::string::npos || sp + 4 > response.size()) return 0;
@@ -87,31 +76,16 @@ int raw_request_status(int port, const std::string& request) {
 /// single-threaded accept loop for hours: each byte re-armed the per-recv
 /// timeout, so the connection never timed out as a whole.
 int drip_request_status(int port, std::size_t bytes, int gap_ms) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return 0;
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<std::uint16_t>(port));
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
-      0) {
-    ::close(fd);
-    return 0;
-  }
+  net::OwnedFd fd = connect_exporter(port);
+  if (!fd.valid()) return 0;
   for (std::size_t i = 0; i < bytes; ++i) {
-    // MSG_NOSIGNAL: the server is expected to cut us off mid-drip; a
-    // SIGPIPE would take the test binary down instead of ending the loop.
-    if (::send(fd, "G", 1, MSG_NOSIGNAL) <= 0) break;
+    // The server is expected to cut us off mid-drip; send_all's
+    // MSG_NOSIGNAL turns that into an error return that ends the loop
+    // instead of a SIGPIPE that takes the test binary down.
+    if (net::send_all(fd.get(), "G", 1).status != net::IoStatus::Ok) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(gap_ms));
   }
-  std::string response;
-  char buf[256];
-  for (;;) {
-    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
-    response.append(buf, static_cast<std::size_t>(n));
-  }
-  ::close(fd);
+  const std::string response = net::recv_until_eof(fd.get());
   const std::size_t sp = response.find(' ');
   if (sp == std::string::npos || sp + 4 > response.size()) return 0;
   return std::atoi(response.c_str() + sp + 1);

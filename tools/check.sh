@@ -42,13 +42,23 @@
 #                    must show low-priority shedding, both tenants
 #                    serving, per-shard queue gauges, and no shed
 #                    counter on the control lane
-#  11. determinism audit: the same seeded campaign run twice serially,
+#  11. distributed smoke: a darl_worker learner plus two independently
+#                    launched darl_worker actor processes train an RLlib
+#                    job over a Unix socket; the learner's /metrics must
+#                    expose the net_* transport families and a nonzero
+#                    net_staleness, both actors must exit 0, and the
+#                    learner must report the run complete
+#  12. determinism audit: the same seeded campaign run twice serially,
 #                    once with --parallel 4, and once with the gemm pool
 #                    at DARL_LINALG_THREADS=4 must produce byte-identical
 #                    trials CSVs — with the telemetry sampler + exporter
 #                    enabled (--obs-port 0), proving neither observability
 #                    nor the parallel gemm schedule ever perturbs
-#                    campaign results
+#                    campaign results; a second campaign whose random
+#                    draw includes RLlib nodes=2 trials then reruns with
+#                    --distributed, and the multi-process CSV must match
+#                    the in-process one byte for byte with nonzero
+#                    NetStaleness on the engaged trials
 #
 # A per-stage wall-clock summary prints at the end.
 #
@@ -245,6 +255,77 @@ grep -q 'self-check: all .* bitwise-identical' "$FLEET_LOG" \
   || fleet_fail "fleet self-check line missing"
 echo "fleet smoke ok: port $fleet_port, $shed_total low-priority requests shed, both tenants serving"
 
+stage "distributed smoke (learner + 2 actor processes over a unix socket)"
+DIST_LOG="$AUDIT_DIR/dist_learner.log"
+DIST_EP="unix:$AUDIT_DIR/dist.sock"
+./build/tools/darl_worker --role learner --listen "$DIST_EP" --nodes 3 \
+    --cores 2 --timesteps 4096 --seed 7 --spawn-actors 0 \
+    --obs-port 0 --obs-linger-s 30 > "$DIST_LOG" 2>&1 &
+DIST_PID=$!
+# The actors are launched here, not by the learner (--spawn-actors 0):
+# this is the stage that proves three genuinely independent processes
+# assemble into one training run.
+./build/tools/darl_worker --role actor --connect "$DIST_EP" --node 1 \
+    > "$AUDIT_DIR/dist_actor1.log" 2>&1 &
+DIST_A1_PID=$!
+./build/tools/darl_worker --role actor --connect "$DIST_EP" --node 2 \
+    > "$AUDIT_DIR/dist_actor2.log" 2>&1 &
+DIST_A2_PID=$!
+dist_port=""
+for _ in $(seq 1 300); do
+  dist_port="$(sed -n \
+      's/^obs: exporter listening on 127\.0\.0\.1:\([0-9]*\)$/\1/p' \
+      "$DIST_LOG" | head -n 1)"
+  [[ -n "$dist_port" ]] && break
+  kill -0 "$DIST_PID" 2>/dev/null \
+    || { echo "distributed smoke FAILED: learner exited early"; \
+         cat "$DIST_LOG"; exit 1; }
+  sleep 0.2
+done
+[[ -n "$dist_port" ]] \
+  || { echo "distributed smoke FAILED: exporter never announced its port"; \
+       cat "$DIST_LOG"; kill "$DIST_PID" 2>/dev/null; exit 1; }
+# Both actors must finish cleanly (the learner sends Stop, they ack Bye).
+wait "$DIST_A1_PID" \
+  || { echo "distributed smoke FAILED: actor 1 exited nonzero"; \
+       cat "$AUDIT_DIR/dist_actor1.log"; kill "$DIST_PID" 2>/dev/null; exit 1; }
+wait "$DIST_A2_PID" \
+  || { echo "distributed smoke FAILED: actor 2 exited nonzero"; \
+       cat "$AUDIT_DIR/dist_actor2.log"; kill "$DIST_PID" 2>/dev/null; exit 1; }
+# Scrape during the post-run linger window: every counter is final.
+for _ in $(seq 1 600); do
+  grep -q '^obs: lingering' "$DIST_LOG" && break
+  sleep 0.2
+done
+obs_port="$dist_port"
+dist_metrics="$(scrape /metrics)"
+dist_fail() {
+  echo "distributed smoke FAILED: $1"
+  echo "$dist_metrics" | grep '^net_' | head -n 20
+  kill "$DIST_PID" 2>/dev/null
+  exit 1
+}
+for family in net_accepts net_frames_sent net_frames_received \
+              net_bytes_sent net_bytes_received net_weights_published \
+              net_staleness; do
+  grep -q "^$family" <<<"$dist_metrics" \
+    || dist_fail "family '$family' missing from /metrics"
+done
+# Remote batches lag the published weights by design, so the mean
+# staleness of the final iteration must be strictly positive.
+staleness="$(grep '^net_staleness ' <<<"$dist_metrics" | awk '{print $2}')"
+awk -v s="$staleness" 'BEGIN { exit !(s > 0) }' \
+  || dist_fail "net_staleness not positive (got '$staleness')"
+grep -q '^learner: run complete$' "$DIST_LOG" \
+  || dist_fail "learner never reported 'run complete'"
+grep -q '^actor node 1: served' "$AUDIT_DIR/dist_actor1.log" \
+  || dist_fail "actor 1 served nothing"
+grep -q '^actor node 2: served' "$AUDIT_DIR/dist_actor2.log" \
+  || dist_fail "actor 2 served nothing"
+kill "$DIST_PID" 2>/dev/null || true
+wait "$DIST_PID" 2>/dev/null || true
+echo "distributed smoke ok: port $dist_port, staleness $staleness, both actors served and exited 0"
+
 stage "determinism audit (serial x2, --parallel 4, gemm pool x4, telemetry on)"
 audit_run() {
   local out="$1"
@@ -264,7 +345,20 @@ cmp "$AUDIT_DIR/serial_a.csv" "$AUDIT_DIR/parallel.csv" \
   || { echo "determinism audit FAILED: parallel run differs from serial"; exit 1; }
 cmp "$AUDIT_DIR/serial_a.csv" "$AUDIT_DIR/threads4.csv" \
   || { echo "determinism audit FAILED: DARL_LINALG_THREADS=4 run differs from serial"; exit 1; }
-echo "determinism audit ok: $(wc -l < "$AUDIT_DIR/serial_a.csv") CSV lines byte-identical across runs (incl. gemm pool at 4 threads)"
+# Multi-process leg: seed 1's random draw includes two RLlib nodes=2
+# trials (seed 7's has none), so --distributed actually spawns actor
+# processes; the campaign CSV must still match the in-process run byte
+# for byte, and the engaged trials must report nonzero NetStaleness.
+audit_run "$AUDIT_DIR/dist_inproc.csv" --seed 1
+audit_run "$AUDIT_DIR/dist_mp.csv" --seed 1 --distributed
+cmp "$AUDIT_DIR/dist_inproc.csv" "$AUDIT_DIR/dist_mp.csv" \
+  || { echo "determinism audit FAILED: --distributed run differs from in-process"; exit 1; }
+grep -q 'framework=RLlib, nodes=[^1]' "$AUDIT_DIR/dist_mp.csv" \
+  || { echo "determinism audit FAILED: no multi-node RLlib trial engaged the distributed path"; exit 1; }
+grep 'framework=RLlib, nodes=[^1]' "$AUDIT_DIR/dist_mp.csv" \
+    | awk -F, '$NF <= 0 { bad = 1 } END { exit bad }' \
+  || { echo "determinism audit FAILED: an engaged trial reported zero NetStaleness"; exit 1; }
+echo "determinism audit ok: $(wc -l < "$AUDIT_DIR/serial_a.csv") CSV lines byte-identical across runs (incl. gemm pool at 4 threads and the multi-process --distributed leg)"
 
 stage_end
 echo "=== stage timing ==="

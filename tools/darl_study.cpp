@@ -21,6 +21,10 @@
 //                         127.0.0.1:P while the campaign runs (0 = ephemeral)
 //   --flight-out PATH     flight-recorder JSONL (dumped on trial faults,
 //                         fatal signals, and at exit)
+//   --distributed         run RLlib multi-node trials through real actor
+//                         processes over darl/net sockets (DESIGN.md §17)
+//   --worker-bin PATH     actor binary for --distributed (default:
+//                         darl_worker next to this executable)
 //   --verbose             log trial progress
 //   --help
 //
@@ -74,6 +78,8 @@ struct CliOptions {
   std::string obs_out;
   int obs_port = -1;  ///< -1 = no exporter; 0 = ephemeral port
   std::string flight_out;
+  bool distributed = false;
+  std::string worker_bin;
   bool verbose = false;
   bool stability = false;
 };
@@ -104,6 +110,10 @@ struct CliOptions {
       "                    free port; the bound port is printed)\n"
       "  --flight-out PATH flight-recorder JSONL: dumped on trial faults,\n"
       "                    fatal signals, and at exit\n"
+      "  --distributed     run RLlib multi-node trials through real actor\n"
+      "                    processes over darl/net sockets\n"
+      "  --worker-bin PATH actor binary for --distributed (default:\n"
+      "                    darl_worker next to this executable)\n"
       "  --stability       report Pareto-front robustness under noise\n"
       "  --verbose         log per-trial progress\n");
   std::exit(code);
@@ -146,6 +156,8 @@ CliOptions parse_args(int argc, char** argv) {
     else if (!std::strcmp(a, "--obs-port"))
       opt.obs_port = static_cast<int>(std::strtol(need_value(i), nullptr, 10));
     else if (!std::strcmp(a, "--flight-out")) opt.flight_out = need_value(i);
+    else if (!std::strcmp(a, "--distributed")) opt.distributed = true;
+    else if (!std::strcmp(a, "--worker-bin")) opt.worker_bin = need_value(i);
     else if (!std::strcmp(a, "--verbose")) opt.verbose = true;
     else if (!std::strcmp(a, "--stability")) opt.stability = true;
     else if (!std::strcmp(a, "--figure")) {
@@ -236,6 +248,8 @@ int main(int argc, char** argv) {
   AirdropStudyOptions study_opts;
   study_opts.total_timesteps = opt.timesteps;
   study_opts.seeds_per_trial = opt.seeds_per_trial;
+  study_opts.distributed.enabled = opt.distributed;
+  study_opts.distributed.worker_bin = opt.worker_bin;
   const CaseStudyDef def = make_airdrop_case_study(study_opts);
 
   const StudyOptions run_opts{.seed = opt.seed,
@@ -290,7 +304,7 @@ int main(int argc, char** argv) {
     StabilityOptions sopts;
     sopts.samples = 4000;
     sopts.relative_noise = 0.03;
-    sopts.absolute_stddev = {0.04, 0.0, 0.0};  // measured reward seed noise
+    sopts.absolute_stddev = {0.04, 0.0, 0.0, 0.0};  // measured reward seed noise
     Rng rng(opt.seed);
     const StabilityResult st = front_stability(points, def.metrics, sopts, rng);
     std::printf("Pareto-front membership under metric noise:\n");

@@ -49,6 +49,13 @@
 //                     registration mutex and a map walk; hot loops must
 //                     resolve instruments once outside (the DARL_* macros'
 //                     function-local static, or a static helper)
+//   naked-socket-call ::recv( / ::send( / ::accept( anywhere outside
+//                     src/darl/net/ — raw socket I/O forgets one of
+//                     MSG_NOSIGNAL, the EINTR retry, the partial-transfer
+//                     loop or the EOF-vs-error split; go through the
+//                     darl/net/socket.hpp helpers (send_all, recv_some,
+//                     recv_exact, recv_until_eof, accept_retry), which is
+//                     the repo's single home for those loops
 //
 // Suppression file format (tools/darl_lint.supp): one entry per line,
 //   <rule-id> <path-suffix> -- <justification>
@@ -282,6 +289,12 @@ inline bool thread_restricted_path(const std::string& path) {
   return !contains(path, "linalg/thread_pool.");
 }
 
+/// Scope of the naked-socket-call rule: everywhere except darl/net, the
+/// one directory allowed to touch the raw POSIX socket calls.
+inline bool socket_restricted_path(const std::string& path) {
+  return !contains(path, "/darl/net/");
+}
+
 inline bool is_header(const std::string& path) {
   return path.size() >= 4 && path.compare(path.size() - 4, 4, ".hpp") == 0;
 }
@@ -373,12 +386,14 @@ inline std::vector<Finding> scan_source(const std::string& path_in,
   static const std::regex catch_all_re(R"(\bcatch\s*\(\s*\.\.\.\s*\))");
   static const std::regex detach_re(R"(\.\s*detach\s*\(\s*\))");
   static const std::regex std_thread_re(R"(\bstd\s*::\s*thread\b)");
+  static const std::regex naked_socket_re(R"(::\s*(?:recv|send|accept)\s*\()");
   static const std::regex range_for_re(R"(\bfor\s*\()");
   static const std::regex pragma_once_re(R"(#\s*pragma\s+once\b)");
 
   const bool check_wall_clock = !detail::wall_clock_whitelisted(path);
   const bool check_float = detail::double_precision_path(path);
   const bool check_thread = detail::thread_restricted_path(path);
+  const bool check_socket = detail::socket_restricted_path(path);
 
   for (std::size_t i = 0; i < lines.size(); ++i) {
     const std::string& line = lines[i];
@@ -422,6 +437,13 @@ inline std::vector<Finding> scan_source(const std::string& path_in,
           "std::thread in linalg/nn outside linalg::ThreadPool; numeric "
           "kernels must parallelize through the pool's fixed tile-ownership "
           "schedule (linalg/thread_pool.hpp) to stay bitwise-deterministic");
+    }
+    if (check_socket && std::regex_search(line, naked_socket_re)) {
+      add("naked-socket-call", line_no,
+          "raw recv/send/accept outside darl/net; use the socket.hpp "
+          "helpers (send_all / recv_some / recv_exact / recv_until_eof / "
+          "accept_retry) — they own MSG_NOSIGNAL, EINTR retry and the "
+          "partial-transfer loops");
     }
 
     // unordered-iter: a range-for whose range expression names a declared
